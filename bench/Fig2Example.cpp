@@ -1,0 +1,155 @@
+//===- bench/Fig2Example.cpp - Paper Figure 2: the worked example ---------===//
+//
+// Rebuilds the paper's Figure 2 — the triply nested loop over tags A, B, C
+// — and prints the information the figure tabulates: per-block B_EXPLICIT
+// and B_AMBIGUOUS, the per-loop equation results, and the IL before and
+// after promotion, showing the landing-pad loads and exit-block stores in
+// the same places the paper puts them (load of C in B0, store of C in B9,
+// load of A in B2, store of A in B8).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "promote/ScalarPromotion.h"
+
+#include <cstdio>
+
+using namespace rpcc;
+
+namespace {
+
+struct Figure2 {
+  Module M;
+  Function *F = nullptr;
+  TagId A, B, C;
+
+  Figure2() {
+    A = M.tags().createGlobal("A", 8, true, MemType::I64);
+    B = M.tags().createGlobal("B", 8, true, MemType::I64);
+    C = M.tags().createGlobal("C", 8, true, MemType::I64);
+    for (TagId T : {A, B, C})
+      M.tags().tag(T).AddressTaken = true;
+
+    Function *Foo = M.addFunction("foo");
+    {
+      IRBuilder FB(M, Foo);
+      FB.setBlock(Foo->newBlock("entry"));
+      FB.emitRet();
+    }
+    Function *Bar = M.addFunction("bar");
+    {
+      IRBuilder FB(M, Bar);
+      FB.setBlock(Bar->newBlock("entry"));
+      FB.emitRet();
+    }
+
+    F = M.addFunction("fig2");
+    IRBuilder Bld(M, F);
+    BasicBlock *B0 = F->newBlock("B0-outer-pad");
+    BasicBlock *B1 = F->newBlock("B1-outer-header");
+    BasicBlock *B2 = F->newBlock("B2-middle-pad");
+    BasicBlock *B3 = F->newBlock("B3-middle-header");
+    BasicBlock *B4 = F->newBlock("B4-inner-pad");
+    BasicBlock *B5 = F->newBlock("B5-inner-header");
+    BasicBlock *B6 = F->newBlock("B6-inner-latch");
+    BasicBlock *B7 = F->newBlock("B7-inner-exit");
+    BasicBlock *B8 = F->newBlock("B8-middle-exit");
+    BasicBlock *B9 = F->newBlock("B9-outer-exit");
+
+    Bld.setBlock(B0);
+    Bld.emitJmp(B1->id());
+
+    Bld.setBlock(B1); // SST [C] r0; JSR foo ref{A}
+    Reg R0 = Bld.emitLoadI(42);
+    Bld.emitScalarStore(C, R0);
+    Bld.emitCall(Foo, {});
+    B1->insts().back()->Refs.insert(A);
+    Reg C1 = Bld.emitLoadI(1);
+    Bld.emitBr(C1, B2->id(), B9->id());
+
+    Bld.setBlock(B2);
+    Bld.emitJmp(B3->id());
+
+    Bld.setBlock(B3); // SST [B] r2 — explicit store of B
+    Reg V = Bld.emitLoadI(7);
+    Bld.emitScalarStore(B, V);
+    Reg C2 = Bld.emitLoadI(1);
+    Bld.emitBr(C2, B4->id(), B8->id());
+
+    Bld.setBlock(B4); // JSR bar ref{B}
+    Bld.emitCall(Bar, {});
+    B4->insts().back()->Refs.insert(B);
+    Bld.emitJmp(B5->id());
+
+    Bld.setBlock(B5); // SLD [A]
+    Bld.emitScalarLoad(A);
+    Reg C3 = Bld.emitLoadI(1);
+    Bld.emitBr(C3, B6->id(), B7->id());
+
+    Bld.setBlock(B6);
+    Bld.emitJmp(B5->id());
+
+    Bld.setBlock(B7); // SST [A]
+    Reg R4 = Bld.emitLoadI(9);
+    Bld.emitScalarStore(A, R4);
+    Bld.emitJmp(B3->id());
+
+    Bld.setBlock(B8);
+    Bld.emitJmp(B1->id());
+
+    Bld.setBlock(B9);
+    Bld.emitRet();
+
+    recomputeCfg(*F);
+  }
+};
+
+std::string tagSetNames(const Module &M, const TagSet &S) {
+  std::string Out = "{";
+  bool First = true;
+  for (TagId T : S) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += M.tags().tag(T).Name;
+  }
+  return Out + "}";
+}
+
+} // namespace
+
+int main() {
+  Figure2 Fig;
+
+  std::printf("Figure 2: An Example (paper section 3.2)\n\n");
+  std::printf("-- IL before promotion --\n%s\n",
+              printFunction(Fig.M, *Fig.F).c_str());
+
+  auto Infos = analyzeScalarPromotion(Fig.M, *Fig.F);
+  std::printf("-- Loop information sets (Figure 1 equations) --\n");
+  std::printf("%-10s %-8s %-12s %-12s %-12s %-8s\n", "header", "depth",
+              "EXPLICIT", "AMBIGUOUS", "PROMOTABLE", "LIFT");
+  for (const auto &I : Infos)
+    std::printf("B%-9u %-8u %-12s %-12s %-12s %-8s\n", I.Header, I.Depth,
+                tagSetNames(Fig.M, I.Explicit).c_str(),
+                tagSetNames(Fig.M, I.Ambiguous).c_str(),
+                tagSetNames(Fig.M, I.Promotable).c_str(),
+                tagSetNames(Fig.M, I.Lift).c_str());
+
+  PromotionStats S = promoteScalarsInFunction(Fig.M, *Fig.F);
+  std::printf("\n-- Promotion --\n");
+  std::printf("promoted tags: %u  rewritten ops: %u  pad loads: %u  "
+              "exit stores: %u\n",
+              S.PromotedTags, S.RewrittenOps, S.LoadsInserted,
+              S.StoresInserted);
+  std::printf("\n-- IL after promotion --\n%s\n",
+              printFunction(Fig.M, *Fig.F).c_str());
+
+  std::printf("Paper's expectation: A promoted in the two inner loops and "
+              "lifted at the middle\nloop (load in B2, store in B8); C "
+              "promoted in the outer loop (load in B0,\nstore in B9); B "
+              "blocked by the ambiguous JSR reference.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===- bench/Fig3ArrayPromotion.cpp - Paper Figure 3 ----------------------===//
+//
+// The paper's Figure 3: for (i) for (j) B[i] += A[i][j]. Section 3.3's
+// pointer-based promotion should keep B[i] in a register across the inner
+// loop ("This eliminates a load before the reference to B[i] in the inner
+// loop and a store after it"). This binary sweeps the matrix size and
+// prints loads/stores with scalar promotion alone versus scalar plus
+// pointer-based promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace rpcc;
+
+namespace {
+
+std::string figure3Source(int DimX, int DimY) {
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf),
+                "float A[%d][%d]; float B[%d];\n"
+                "int main() { int i; int j;\n"
+                "  for (i = 0; i < %d; i++)\n"
+                "    for (j = 0; j < %d; j++)\n"
+                "      A[i][j] = (float)(i + j);\n"
+                "  for (i = 0; i < %d; i++)\n"
+                "    for (j = 0; j < %d; j++)\n"
+                "      B[i] = B[i] + A[i][j];\n"
+                "  return (int)B[%d]; }",
+                DimX, DimY, DimX, DimX, DimY, DimX, DimY, DimX - 1);
+  return Buf;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Figure 3: Promoting Array References (paper section 3.3)\n");
+  std::printf("kernel: for (i) for (j) B[i] += A[i][j]\n\n");
+
+  TextTable T({"DIM_X x DIM_Y", "config", "total", "loads", "stores",
+               "loads removed", "stores removed"});
+
+  const int Dims[][2] = {{8, 16}, {16, 32}, {32, 32}, {32, 64}};
+  for (const auto &D : Dims) {
+    std::string Src = figure3Source(D[0], D[1]);
+    ExecResult R[2];
+    for (int PP = 0; PP != 2; ++PP) {
+      CompilerConfig Cfg;
+      Cfg.Analysis = AnalysisKind::PointsTo;
+      Cfg.ScalarPromotion = true;
+      Cfg.PointerPromotion = PP == 1;
+      R[PP] = compileAndRun(Src, Cfg);
+      if (!R[PP].Ok) {
+        std::fprintf(stderr, "error: %s\n", R[PP].Error.c_str());
+        return 1;
+      }
+    }
+    if (R[0].ExitCode != R[1].ExitCode || R[0].Output != R[1].Output) {
+      std::fprintf(stderr, "error: behavior diverged\n");
+      return 1;
+    }
+    std::string Dim =
+        std::to_string(D[0]) + " x " + std::to_string(D[1]);
+    T.addRow({Dim, "scalar only", withCommas(R[0].Counters.Total),
+              withCommas(R[0].Counters.Loads),
+              withCommas(R[0].Counters.Stores), "-", "-"});
+    T.addRow({"", "+ pointer promotion", withCommas(R[1].Counters.Total),
+              withCommas(R[1].Counters.Loads),
+              withCommas(R[1].Counters.Stores),
+              withCommasSigned(static_cast<int64_t>(R[0].Counters.Loads) -
+                               static_cast<int64_t>(R[1].Counters.Loads)),
+              withCommasSigned(static_cast<int64_t>(R[0].Counters.Stores) -
+                               static_cast<int64_t>(R[1].Counters.Stores))});
+  }
+  std::fputs(T.render().c_str(), stdout);
+  std::printf("\nExpected shape: pointer-based promotion removes one load "
+              "and one store of B[i]\nper inner-loop iteration (DIM_X * "
+              "DIM_Y of each), as in the paper's rewritten\ncode with the "
+              "scalar temporary rb.\n");
+  return 0;
+}

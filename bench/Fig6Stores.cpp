@@ -1,0 +1,7 @@
+//===- bench/Fig6Stores.cpp - Paper Figure 6: stores executed -------------===//
+
+#include "SuiteTable.h"
+
+int main() {
+  return rpcc::runSuiteTable(rpcc::Metric::Stores, "Figure 6: Stores");
+}

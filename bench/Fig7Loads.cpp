@@ -1,0 +1,7 @@
+//===- bench/Fig7Loads.cpp - Paper Figure 7: loads executed ---------------===//
+
+#include "SuiteTable.h"
+
+int main() {
+  return rpcc::runSuiteTable(rpcc::Metric::Loads, "Figure 7: Loads");
+}

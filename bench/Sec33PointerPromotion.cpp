@@ -1,0 +1,57 @@
+//===- bench/Sec33PointerPromotion.cpp - Paper §3.3 ablation --------------===//
+//
+// The paper's §3.3 verdict on pointer-based promotion: "pointer-based
+// promotion hurt performance for one program and had no effect on nine
+// others... In fft, the only significant success, pointer-based promotion
+// was able to remove 48.3% more operations... than scalar promotion was
+// able to remove." This binary runs the suite with scalar promotion alone
+// and with §3.3 pointer-based promotion added, under points-to analysis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/SuiteRunner.h"
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace rpcc;
+
+int main() {
+  std::printf("Section 3.3: Pointer-Based Promotion (ablation)\n");
+  std::printf("(points-to analysis; scalar promotion alone vs. scalar + "
+              "pointer-based)\n\n");
+  TextTable T({"program", "total scalar", "total +ptr", "extra removed",
+               "loads removed", "stores removed"});
+  for (const std::string &Name : benchProgramNames()) {
+    std::string Src = loadBenchProgram(Name);
+    ExecResult R[2];
+    bool Ok = true;
+    for (int PP = 0; PP != 2; ++PP) {
+      CompilerConfig Cfg;
+      Cfg.Analysis = AnalysisKind::PointsTo;
+      Cfg.ScalarPromotion = true;
+      Cfg.PointerPromotion = PP == 1;
+      R[PP] = compileAndRun(Src, Cfg);
+      Ok &= R[PP].Ok;
+    }
+    if (!Ok || R[0].Output != R[1].Output) {
+      std::fprintf(stderr, "error: %s failed or diverged\n", Name.c_str());
+      return 1;
+    }
+    auto D = [](uint64_t A, uint64_t B) {
+      return withCommasSigned(static_cast<int64_t>(A) -
+                              static_cast<int64_t>(B));
+    };
+    T.addRow({Name, withCommas(R[0].Counters.Total),
+              withCommas(R[1].Counters.Total),
+              D(R[0].Counters.Total, R[1].Counters.Total),
+              D(R[0].Counters.Loads, R[1].Counters.Loads),
+              D(R[0].Counters.Stores, R[1].Counters.Stores)});
+  }
+  std::fputs(T.render().c_str(), stdout);
+  std::printf("\nExpected shape: fft is the standout (its scale_pass kernel "
+              "re-references\ninvariant addresses); most other programs move "
+              "by well under 1%%, and a\nfew tick slightly negative — the "
+              "paper's own disappointed verdict on §3.3.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+//===- bench/SuiteTable.h - Shared driver for Figures 5-7 ------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_BENCH_SUITETABLE_H
+#define RPCC_BENCH_SUITETABLE_H
+
+#include "driver/SuiteRunner.h"
+
+#include <cstdio>
+
+namespace rpcc {
+
+/// Runs the 14-program suite through the paper's four configurations and
+/// prints the requested metric as a Figure 5/6/7-style table.
+inline int runSuiteTable(Metric Which, const char *Title) {
+  std::printf("%s\n", Title);
+  std::printf("(14 MiniC programs standing in for the paper's Figure 4 "
+              "suite; 16+16 allocatable registers)\n\n");
+  std::vector<ProgramResults> All;
+  for (const std::string &Name : benchProgramNames()) {
+    ProgramResults PR = runAllConfigs(Name, loadBenchProgram(Name));
+    for (int A = 0; A != 2; ++A)
+      for (int P = 0; P != 2; ++P)
+        if (!PR.R[A][P].Ok) {
+          std::fprintf(stderr, "error: %s failed: %s\n", Name.c_str(),
+                       PR.R[A][P].Error.c_str());
+          return 1;
+        }
+    // Observable behavior must agree across all four configurations.
+    for (int A = 0; A != 2; ++A)
+      for (int P = 0; P != 2; ++P)
+        if (PR.R[A][P].Output != PR.R[0][0].Output) {
+          std::fprintf(stderr, "error: %s outputs differ across configs\n",
+                       Name.c_str());
+          return 1;
+        }
+    All.push_back(std::move(PR));
+  }
+  std::string Table = formatPaperTable(All, Which);
+  std::fputs(Table.c_str(), stdout);
+  return 0;
+}
+
+} // namespace rpcc
+
+#endif // RPCC_BENCH_SUITETABLE_H

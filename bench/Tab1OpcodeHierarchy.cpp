@@ -1,0 +1,73 @@
+//===- bench/Tab1OpcodeHierarchy.cpp - Paper Table 1 ----------------------===//
+//
+// The paper's Table 1 defines the hierarchy of memory operations (iLoad,
+// cLoad, sLoad/sStore, general Load/Store) that "denote increasingly more
+// specific knowledge". This binary shows the hierarchy doing its job: the
+// static mix of memory opcodes across the suite as analysis sharpens tag
+// sets and opcode strengthening moves operations up the ladder.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alias/ModRef.h"
+#include "alias/PointsTo.h"
+#include "alias/TagRefine.h"
+#include "driver/SuiteRunner.h"
+#include "frontend/Lowering.h"
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace rpcc;
+
+namespace {
+
+OpcodeMix mixFor(int Stage) {
+  OpcodeMix Sum;
+  for (const std::string &Name : benchProgramNames()) {
+    Module M;
+    std::string Err;
+    if (!compileToIL(loadBenchProgram(Name), M, Err))
+      continue;
+    if (Stage >= 1) {
+      if (Stage >= 2) {
+        PointsToResult PT = runPointsTo(M);
+        runModRef(M, &PT);
+      } else {
+        runModRef(M);
+      }
+      strengthenOpcodes(M);
+    }
+    OpcodeMix Mix = countOpcodeMix(M);
+    Sum.ILoad += Mix.ILoad;
+    Sum.CLoad += Mix.CLoad;
+    Sum.SLoad += Mix.SLoad;
+    Sum.SStore += Mix.SStore;
+    Sum.Load += Mix.Load;
+    Sum.Store += Mix.Store;
+  }
+  return Sum;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Table 1: Hierarchy of Memory Operations\n");
+  std::printf("(static opcode census over the whole suite; strengthening "
+              "moves general\nloads/stores up to scalar and constant forms "
+              "as tag sets sharpen)\n\n");
+  TextTable T({"stage", "iLoad", "cLoad", "sLoad", "sStore", "Load",
+               "Store"});
+  const char *Names[3] = {"front end only", "MOD/REF + strengthen",
+                          "points-to + strengthen"};
+  for (int Stage = 0; Stage != 3; ++Stage) {
+    OpcodeMix M = mixFor(Stage);
+    T.addRow({Names[Stage], withCommas(M.ILoad), withCommas(M.CLoad),
+              withCommas(M.SLoad), withCommas(M.SStore), withCommas(M.Load),
+              withCommas(M.Store)});
+  }
+  std::fputs(T.render().c_str(), stdout);
+  std::printf("\niLoad: immediate; cLoad: invariant-but-unknown value; "
+              "sLoad/sStore: known\nscalar; Load/Store: general pointer-based "
+              "form (see paper Table 1).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+/*
+ * allroots — a polynomial root finder (deflation with Newton iterations),
+ * standing in for the paper's 215-line allroots.
+ *
+ * Shape: nearly straight-line numeric code whose working state lives in
+ * locals; globals are written only to record results. The paper shows 11
+ * stores total for allroots and 0.00% everywhere — promotion has nothing
+ * to chew on, and the program verifies that the transformation does no
+ * harm on tiny codes.
+ */
+
+float coeff[8];
+float roots[8];
+int nroots;
+int niters;
+
+float eval(float *c, int deg, float x) {
+    float acc;
+    int i;
+    acc = c[deg];
+    for (i = deg - 1; i >= 0; i--)
+        acc = acc * x + c[i];
+    return acc;
+}
+
+float eval_deriv(float *c, int deg, float x) {
+    float acc;
+    int i;
+    acc = c[deg] * (float)deg;
+    for (i = deg - 1; i >= 1; i--)
+        acc = acc * x + c[i] * (float)i;
+    return acc;
+}
+
+float newton(float *c, int deg, float guess) {
+    int it;
+    float fx;
+    float dfx;
+    int steps;
+
+    steps = 0;
+    for (it = 0; it < 40; it++) {
+        fx = eval(c, deg, guess);
+        dfx = eval_deriv(c, deg, guess);
+        if (fx < 0.000001 && fx > -0.000001)
+            break;
+        if (dfx < 0.0000001 && dfx > -0.0000001)
+            break;
+        guess = guess - fx / dfx;
+        steps = steps + 1;
+    }
+    niters = niters + steps;
+    return guess;
+}
+
+/* Synthetic division of c by (x - r), in place. */
+void deflate(float *c, int deg, float r) {
+    float carry;
+    float next;
+    int i;
+    carry = c[deg];
+    for (i = deg - 1; i >= 0; i--) {
+        next = c[i];
+        c[i] = carry;
+        carry = next + carry * r;
+    }
+}
+
+int main() {
+    int deg;
+    float r;
+
+    /* (x-1)(x-2)(x-3)(x-4) = x^4 - 10x^3 + 35x^2 - 50x + 24 */
+    coeff[4] = 1.0;
+    coeff[3] = -10.0;
+    coeff[2] = 35.0;
+    coeff[1] = -50.0;
+    coeff[0] = 24.0;
+
+    nroots = 0;
+    deg = 4;
+    while (deg > 0) {
+        r = newton(coeff, deg, 0.5);
+        roots[nroots] = r;
+        nroots = nroots + 1;
+        deflate(coeff, deg, r);
+        deg = deg - 1;
+    }
+
+    print_int(nroots);
+    print_char(' ');
+    print_int((int)(roots[0] + roots[1] + roots[2] + roots[3] + 0.5));
+    print_char(' ');
+    print_int(niters);
+    print_char('\n');
+    return nroots * 10 + ((int)(roots[0] + 0.5)) % 10;
+}

@@ -1,0 +1,107 @@
+/*
+ * clean — a text cleaner (whitespace squeezing, line accounting, word
+ * counting), standing in for the paper's 7,583-line "clean".
+ *
+ * Shape: one pass over a character buffer with half a dozen global state
+ * scalars touched on every character. The paper reports a solid store
+ * reduction for clean (~3.3%), equal under both analyses.
+ */
+
+char input[4096];
+char output[4096];
+
+int nlines;
+int nwords;
+int nchars;
+int nsqueezed;
+int inword;
+int outpos;
+
+void synth_input() {
+    int i;
+    int c;
+    for (i = 0; i < 4000; i++) {
+        c = (i * 31 + i / 17) % 97;
+        if (c < 8)
+            input[i] = ' ';
+        else if (c < 10)
+            input[i] = '\t';
+        else if (c < 13)
+            input[i] = '\n';
+        else
+            input[i] = 'a' + c % 26;
+    }
+    input[4000] = 0;
+}
+
+int is_space(int c) {
+    return c == ' ' || c == '\t';
+}
+
+/*
+ * The hot loop: every iteration reads and writes the global counters, so
+ * promotion lifts them into registers for the whole scan.
+ */
+void clean_text() {
+    int i;
+    int c;
+    int pending;
+
+    pending = 0;
+    inword = 0;
+    outpos = 0;
+    for (i = 0; input[i] != 0; i++) {
+        c = input[i];
+        nchars = nchars + 1;
+        if (c == '\n') {
+            nlines = nlines + 1;
+            inword = 0;
+            pending = 0;
+            output[outpos] = '\n';
+            outpos = outpos + 1;
+        } else if (is_space(c)) {
+            if (pending) {
+                nsqueezed = nsqueezed + 1;
+            } else {
+                pending = 1;
+            }
+            inword = 0;
+        } else {
+            if (pending && outpos > 0) {
+                output[outpos] = ' ';
+                outpos = outpos + 1;
+                pending = 0;
+            }
+            if (!inword) {
+                nwords = nwords + 1;
+                inword = 1;
+            }
+            output[outpos] = c;
+            outpos = outpos + 1;
+        }
+    }
+    output[outpos] = 0;
+}
+
+int main() {
+    int pass;
+
+    synth_input();
+    for (pass = 0; pass < 4; pass++) {
+        nlines = 0;
+        nwords = 0;
+        nchars = 0;
+        nsqueezed = 0;
+        clean_text();
+    }
+
+    print_int(nlines);
+    print_char(' ');
+    print_int(nwords);
+    print_char(' ');
+    print_int(nchars);
+    print_char(' ');
+    print_int(nsqueezed);
+    print_char('\n');
+    return (nwords + nsqueezed) % 199;
+}

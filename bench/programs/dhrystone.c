@@ -1,0 +1,88 @@
+/*
+ * dhrystone — a synthetic integer benchmark in the Dhrystone mold.
+ *
+ * Shape: reproduces the paper's degradation anecdote — "in dhrystone,
+ * values were promoted in a loop that always executed once". proc_once
+ * contains such a loop over global scalars: promotion dutifully inserts
+ * the landing-pad load and exit store around a single iteration, a small
+ * net loss, while the main measurement loop is register-resident already.
+ */
+
+int int_glob;
+int bool_glob;
+char ch_1_glob;
+char ch_2_glob;
+int arr_1_glob[50];
+int arr_2_glob[50];
+
+int one_shot_a;
+int one_shot_b;
+int one_shot_c;
+
+int func_1(int ch_1, int ch_2) {
+    if (ch_1 == ch_2)
+        return 0;
+    return 1;
+}
+
+int func_2(int v) {
+    if (v > 25)
+        return v % 26;
+    return v;
+}
+
+void proc_1(int v) {
+    int_glob = v + func_2(v);
+    if (int_glob > 100)
+        int_glob = int_glob - 100;
+}
+
+void proc_2(int idx) {
+    arr_1_glob[idx] = idx * 2;
+    arr_2_glob[idx] = arr_1_glob[idx] + idx;
+}
+
+/*
+ * The paper's case: this loop runs exactly once per call, yet all three
+ * globals qualify for promotion, so the promoted version pays a
+ * landing-pad load and exit store for each of them around a single trip
+ * that only ever touches one branch's worth of state.
+ */
+void proc_once(int flag) {
+    int iter;
+    for (iter = 0; iter < 1; iter++) {
+        if (flag > 0)
+            one_shot_a = one_shot_a + flag;
+        else if (flag < 0)
+            one_shot_b = one_shot_b + 1;
+        else
+            one_shot_c = one_shot_c + 1;
+    }
+}
+
+int main() {
+    int run;
+    int loops;
+    int sum;
+
+    loops = 3000;
+    sum = 0;
+    for (run = 0; run < loops; run++) {
+        proc_1(run % 97);
+        proc_2(run % 50);
+        sum = sum + func_1('a' + run % 26, 'c');
+        if (run % 25 == 0)
+            proc_once(run % 3 - 1);
+    }
+    bool_glob = sum > 0;
+    ch_1_glob = 'x';
+    ch_2_glob = 'y';
+
+    print_int(int_glob);
+    print_char(' ');
+    print_int(one_shot_a + one_shot_b + one_shot_c);
+    print_char(' ');
+    print_int(sum);
+    print_char('\n');
+    return (sum + int_glob) % 222;
+}

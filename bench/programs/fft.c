@@ -1,0 +1,185 @@
+/*
+ * fft — fast Fourier transform, standing in for the paper's 760-line fft.
+ *
+ * Two of the paper's anecdotes live here:
+ *
+ *   1. "An example where pointer analysis was required to promote a value
+ *      arose in fft": the scale_pass kernel below is the paper's own code
+ *      shape — T1 is a global whose address is taken elsewhere, and the
+ *      stores through the x2 parameter can only be separated from T1 by
+ *      points-to analysis. Under MOD/REF alone T1 stays in memory.
+ *
+ *   2. fft is the one program where §3.3 pointer-based promotion wins:
+ *      in the butterfly loops the element *(data + j) is re-referenced
+ *      through a loop-invariant base.
+ */
+
+float re[256];
+float im[256];
+float wre[256];
+float wim[256];
+
+float X1[256];
+float X2[256];
+float X3[256];
+
+float T1; /* the paper's T1: address exposed below */
+int KT;
+
+int nbits;
+int nsize;
+
+/* T1's address escapes here, making it ambiguous under MOD/REF. */
+float *t1_addr() {
+    return &T1;
+}
+
+void init_signal() {
+    int i;
+    nsize = 256;
+    nbits = 8;
+    for (i = 0; i < nsize; i++) {
+        re[i] = sin(6.28318 * (float)i / 32.0);
+        im[i] = 0.0;
+        wre[i] = cos(6.28318 * (float)i / (float)nsize);
+        wim[i] = 0.0 - sin(6.28318 * (float)i / (float)nsize);
+        X1[i] = (float)(i % 7);
+        X3[i] = 1.0 + (float)(i % 3);
+    }
+    KT = 2;
+}
+
+int bitrev(int x, int bits) {
+    int r;
+    int b;
+    r = 0;
+    for (b = 0; b < bits; b++) {
+        r = r * 2 + x % 2;
+        x = x / 2;
+    }
+    return r;
+}
+
+void reorder() {
+    int i;
+    int j;
+    float t;
+    for (i = 0; i < nsize; i++) {
+        j = bitrev(i, nbits);
+        if (j > i) {
+            t = re[i]; re[i] = re[j]; re[j] = t;
+            t = im[i]; im[i] = im[j]; im[j] = t;
+        }
+    }
+}
+
+/* Iterative radix-2 butterflies. */
+void transform() {
+    int len;
+    int half;
+    int stride;
+    int base;
+    int k;
+    int widx;
+    float tr;
+    float ti;
+    float ur;
+    float ui;
+
+    len = 2;
+    while (len <= nsize) {
+        half = len / 2;
+        stride = nsize / len;
+        for (base = 0; base < nsize; base += len) {
+            for (k = 0; k < half; k++) {
+                widx = k * stride;
+                tr = wre[widx] * re[base + half + k]
+                   - wim[widx] * im[base + half + k];
+                ti = wre[widx] * im[base + half + k]
+                   + wim[widx] * re[base + half + k];
+                ur = re[base + k];
+                ui = im[base + k];
+                re[base + k] = ur + tr;
+                im[base + k] = ui + ti;
+                re[base + half + k] = ur - tr;
+                im[base + half + k] = ui - ti;
+            }
+        }
+        len = len * 2;
+    }
+}
+
+/*
+ * The paper's kernel (section 5), lightly adapted:
+ *
+ *   for (...) { T1 = pow(X3[index3], KT);
+ *               X2[index1] = T1 * X1[index1];
+ *               X2[index1+N1] = T1 * X1[index1+N1]; }
+ *
+ * T1's address is taken elsewhere in this file; x1/x2/x3 arrive as
+ * pointers. MOD/REF must assume the stores through x2 may modify T1;
+ * points-to proves they cannot, so T1 promotes.
+ */
+void scale_pass(float *x2, float *x1, float *x3, int n3, int n1) {
+    int i;
+    int j;
+    int k;
+    int index1;
+    int index3;
+
+    for (i = 0; i < 2; i++) {
+        for (j = 0; j < n3; j++) {
+            for (k = 0; k < n1; k++) {
+                index3 = (i * n3 + j) * n1 + k;
+                index1 = (i * n3 + j) * n1 * 2 + k;
+                T1 = pow(x3[index3], (float)KT);
+                x2[index1] = T1 * x1[index1];
+                x2[index1 + n1] = T1 * x1[index1 + n1];
+            }
+        }
+    }
+}
+
+float Espec[32];
+
+/*
+ * Power-spectrum binning: Espec[b] accumulates over the inner loop through
+ * an address that is invariant there — the Figure 3 pattern, and the place
+ * where §3.3 pointer-based promotion scores its one significant success
+ * ("In fft, the only significant success...").
+ */
+void bin_spectrum() {
+    int b;
+    int k;
+    for (b = 0; b < 32; b++) {
+        for (k = 0; k < 8; k++) {
+            Espec[b] = Espec[b] + re[b * 8 + k] * re[b * 8 + k] +
+                       im[b * 8 + k] * im[b * 8 + k];
+        }
+    }
+}
+
+int main() {
+    int i;
+    float checksum;
+    float *escaped;
+
+    init_signal();
+    reorder();
+    transform();
+    scale_pass(X2, X1, X3, 8, 8);
+    bin_spectrum();
+
+    /* keep the address escape alive */
+    escaped = t1_addr();
+    *escaped = *escaped + 1.0;
+
+    checksum = 0.0;
+    for (i = 0; i < nsize; i++)
+        checksum = checksum + re[i] * re[i] + im[i] * im[i];
+    checksum = checksum + X2[10] + T1 + Espec[3] + Espec[17];
+
+    print_int((int)checksum);
+    print_char('\n');
+    return ((int)checksum) % 173;
+}

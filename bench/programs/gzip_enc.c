@@ -1,0 +1,165 @@
+/*
+ * gzip_enc — an LZ77-style hash-chain compressor, standing in for the
+ * compression half of the paper's 7,331-line gzip.
+ *
+ * Shape: a byte-crunching loop over global buffers with global bit-output
+ * and match-statistics counters referenced per literal/match. The paper
+ * reports a modest whole-program win for gzip(enc): 1.75% of operations
+ * under MOD/REF and 2.15% under points-to.
+ */
+
+char text[8192];
+char packed[12288];
+int head_tab[256];
+int prev_tab[8192];
+
+int in_len;
+int out_pos;
+int bits_pending;
+int literals;
+int matches;
+int match_bytes;
+
+void synth_text() {
+    int i;
+    int j;
+    int p;
+    p = 0;
+    /* Repetitive-but-not-trivial text: cycling phrases with noise. */
+    for (i = 0; i < 160; i++) {
+        for (j = 0; j < 12; j++) {
+            text[p] = 'a' + (j * 5 + i % 3) % 26;
+            p = p + 1;
+        }
+        for (j = 0; j < 12; j++) {
+            text[p] = 'a' + (j + i * 7) % 26;
+            p = p + 1;
+        }
+        text[p] = ' ';
+        p = p + 1;
+    }
+    in_len = p;
+}
+
+int hash_at(int pos) {
+    int h;
+    h = text[pos] * 31 + text[pos + 1] * 7 + text[pos + 2];
+    if (h < 0)
+        h = -h;
+    return h % 256;
+}
+
+void put_byte(int b) {
+    packed[out_pos] = b;
+    out_pos = out_pos + 1;
+    bits_pending = bits_pending + 8;
+}
+
+int match_length(int cand, int pos, int limit) {
+    int len;
+    len = 0;
+    while (len < 18 && pos + len < limit &&
+           text[cand + len] == text[pos + len])
+        len = len + 1;
+    return len;
+}
+
+/* Threads positions pos..pos+len-1 into the hash chains. */
+int insert_hashes(int pos, int len) {
+    int h;
+    while (len > 0) {
+        h = hash_at(pos);
+        prev_tab[pos] = head_tab[h];
+        head_tab[h] = pos;
+        pos = pos + 1;
+        len = len - 1;
+    }
+    return pos;
+}
+
+/* Walks the hash chain for position pos; returns best_off * 32 + best_len
+ * (gzip's longest_match, with the result packed into one register). */
+int longest_match(int pos, int h) {
+    int cand;
+    int len;
+    int best_len;
+    int best_off;
+    int tries;
+
+    cand = head_tab[h];
+    best_len = 0;
+    best_off = 0;
+    tries = 0;
+    while (cand >= 0 && tries < 8 && pos - cand < 4096) {
+        len = match_length(cand, pos, in_len);
+        if (len > best_len) {
+            best_len = len;
+            best_off = pos - cand;
+        }
+        cand = prev_tab[cand];
+        tries = tries + 1;
+    }
+    return best_off * 32 + best_len;
+}
+
+/*
+ * The hot loop: hash-chain match search plus token emission, with the
+ * global counters live throughout.
+ */
+void compress() {
+    int pos;
+    int h;
+    int best;
+    int best_len;
+    int best_off;
+    int k;
+
+    for (k = 0; k < 256; k++)
+        head_tab[k] = -1;
+
+    pos = 0;
+    while (pos + 3 < in_len) {
+        h = hash_at(pos);
+        best = longest_match(pos, h);
+        best_len = best % 32;
+        best_off = best / 32;
+        if (best_len >= 4) {
+            /* match token: flag, offset, length */
+            put_byte(255);
+            put_byte(best_off % 256);
+            put_byte(best_off / 256 * 16 + best_len);
+            matches = matches + 1;
+            match_bytes = match_bytes + best_len;
+            pos = insert_hashes(pos, best_len);
+        } else {
+            put_byte(text[pos]);
+            literals = literals + 1;
+            prev_tab[pos] = head_tab[h];
+            head_tab[h] = pos;
+            pos = pos + 1;
+        }
+    }
+    while (pos < in_len) {
+        put_byte(text[pos]);
+        literals = literals + 1;
+        pos = pos + 1;
+    }
+}
+
+int main() {
+    synth_text();
+    out_pos = 0;
+    compress();
+
+    print_int(in_len);
+    print_char(' ');
+    print_int(out_pos);
+    print_char(' ');
+    print_int(literals);
+    print_char(' ');
+    print_int(matches);
+    print_char(' ');
+    print_int(match_bytes);
+    print_char('\n');
+    return (out_pos + matches) % 163;
+}

@@ -1,0 +1,108 @@
+/*
+ * mlink — genetic-linkage likelihood computation, standing in for the
+ * paper's 28,553-line mlink (the biggest winner in the evaluation).
+ *
+ * Shape: deep loop nests over pedigree members and locus genotypes that
+ * update global scalar accumulators on every iteration. The paper reports
+ * the largest effect of the whole suite here — 57% of stores and ~26% of
+ * loads removed ("register promotion removed 2.8 million loads from one
+ * function in mlink"), nearly identical under MOD/REF and points-to.
+ */
+
+int npeople;
+int nloci;
+int ngenotypes;
+
+float genefreq[8];
+float penetrance[8];
+int genotype[64];
+int parent1[64];
+int parent2[64];
+
+/* The promotable global state: referenced on every inner iteration. */
+float liketotal;
+float scale;
+int evaluations;
+int underflows;
+
+void init_pedigree() {
+    int i;
+    npeople = 48;
+    nloci = 6;
+    ngenotypes = 8;
+    for (i = 0; i < ngenotypes; i++) {
+        genefreq[i] = 1.0 / (float)(i + 2);
+        penetrance[i] = (float)(i + 1) / (float)(ngenotypes + 1);
+    }
+    for (i = 0; i < npeople; i++) {
+        genotype[i] = i % ngenotypes;
+        parent1[i] = i / 2;
+        parent2[i] = i / 3;
+    }
+}
+
+float transmission(int gp, int gc) {
+    if (gp == gc)
+        return 0.5;
+    return 0.5 / (float)ngenotypes;
+}
+
+/*
+ * The hot function: for every person, locus, and candidate genotype pair,
+ * fold a likelihood term into the global accumulators. liketotal, scale,
+ * and evaluations are explicit scalar references in the innermost loop and
+ * never aliased, so promotion keeps all three in registers across the
+ * whole nest.
+ */
+void peel_likelihood() {
+    int person;
+    int locus;
+    int g1;
+    int g2;
+    int gp1;
+    int gp2;
+    float term;
+
+    for (person = 0; person < npeople; person++) {
+        /* hand-hoisted parent lookups, as the original C would have */
+        gp1 = genotype[parent1[person]];
+        gp2 = genotype[parent2[person]];
+        for (locus = 0; locus < nloci; locus++) {
+            for (g1 = 0; g1 < ngenotypes; g1++) {
+                for (g2 = 0; g2 < ngenotypes; g2++) {
+                    term = genefreq[g1] * genefreq[g2] * penetrance[g2] *
+                           transmission(gp1, g1) *
+                           transmission(gp2, g2);
+                    liketotal = liketotal + term;
+                    evaluations = evaluations + 1;
+                    if (liketotal > 1000.0) {
+                        liketotal = liketotal / 1024.0;
+                        scale = scale + 1.0;
+                        underflows = underflows + 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+int main() {
+    int rep;
+
+    init_pedigree();
+    liketotal = 0.0;
+    scale = 0.0;
+    evaluations = 0;
+    underflows = 0;
+
+    for (rep = 0; rep < 3; rep++)
+        peel_likelihood();
+
+    print_int(evaluations);
+    print_char(' ');
+    print_int(underflows);
+    print_char(' ');
+    print_int((int)(liketotal * 1000.0));
+    print_char('\n');
+    return evaluations % 211;
+}

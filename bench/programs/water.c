@@ -1,0 +1,130 @@
+/*
+ * water — molecular-dynamics step in the SPEC/SPLASH "water" mold,
+ * standing in for the paper's 19,842-line water.
+ *
+ * Shape: the paper's register-pressure anecdote — "register promotion was
+ * able to promote twenty-eight values for one loop nest. Unfortunately,
+ * this caused the register allocator to spill values which resulted in a
+ * performance loss compared to no register promotion." The accumulate
+ * nest below references 28 global scalars (potential-energy partial sums,
+ * virial components, box bookkeeping) together with enough loop-local
+ * state to overflow a 32-register file once everything is promoted.
+ */
+
+float pos_x[64];
+float pos_y[64];
+float pos_z[64];
+float vel_x[64];
+float vel_y[64];
+float vel_z[64];
+
+/* The 28-value loop-nest state (paper's anecdote). */
+float pot_oo; float pot_oh; float pot_hh; float pot_intra;
+float vir_xx; float vir_yy; float vir_zz;
+float vir_xy; float vir_xz; float vir_yz;
+float kin_x;  float kin_y;  float kin_z;
+float com_x;  float com_y;  float com_z;
+float drift_x; float drift_y; float drift_z;
+float box_scale; float cutoff_acc; float shift_acc;
+int pair_count; int near_count; int far_count;
+int step_no; int accept_no; int reject_no;
+
+int nmol;
+
+void init_molecules() {
+    int i;
+    nmol = 56;
+    for (i = 0; i < nmol; i++) {
+        pos_x[i] = (float)(i % 8) * 1.1;
+        pos_y[i] = (float)(i / 8) * 0.9;
+        pos_z[i] = (float)(i % 5) * 1.3;
+        vel_x[i] = 0.01 * (float)(i % 3 - 1);
+        vel_y[i] = 0.02 * (float)(i % 5 - 2);
+        vel_z[i] = 0.015 * (float)(i % 7 - 3);
+    }
+}
+
+/*
+ * The pressure cooker: one O(n^2) pairwise sweep updating all 28 global
+ * scalars. Every one of them is explicitly referenced and never aliased,
+ * so the promoter lifts all of them; with K=32 the allocator then has to
+ * spill, exactly as the paper describes.
+ */
+void accumulate_forces() {
+    int i;
+    int j;
+    float dx;
+    float dy;
+    float dz;
+    float r2;
+    float inv;
+    float e;
+
+    for (i = 0; i < nmol; i++) {
+        for (j = i + 1; j < nmol; j++) {
+            dx = pos_x[i] - pos_x[j];
+            dy = pos_y[i] - pos_y[j];
+            dz = pos_z[i] - pos_z[j];
+            r2 = dx * dx + dy * dy + dz * dz + 0.25;
+            inv = 1.0 / r2;
+            e = inv * inv - inv;
+
+            pot_oo = pot_oo + e;
+            pot_oh = pot_oh + e * 0.5;
+            pot_hh = pot_hh + e * 0.25;
+            pot_intra = pot_intra + inv * 0.125;
+            vir_xx = vir_xx + dx * dx * inv;
+            vir_yy = vir_yy + dy * dy * inv;
+            vir_zz = vir_zz + dz * dz * inv;
+            vir_xy = vir_xy + dx * dy * inv;
+            vir_xz = vir_xz + dx * dz * inv;
+            vir_yz = vir_yz + dy * dz * inv;
+            kin_x = kin_x + vel_x[i] * vel_x[j];
+            kin_y = kin_y + vel_y[i] * vel_y[j];
+            kin_z = kin_z + vel_z[i] * vel_z[j];
+            com_x = com_x + dx;
+            com_y = com_y + dy;
+            com_z = com_z + dz;
+            drift_x = drift_x + dx * 0.001;
+            drift_y = drift_y + dy * 0.001;
+            drift_z = drift_z + dz * 0.001;
+            box_scale = box_scale + e * 0.0001;
+            cutoff_acc = cutoff_acc + inv * 0.01;
+            shift_acc = shift_acc + e * inv;
+            pair_count = pair_count + 1;
+            if (r2 < 1.5)
+                near_count = near_count + 1;
+            else
+                far_count = far_count + 1;
+            step_no = step_no + 1;
+            if (e < 0.0)
+                accept_no = accept_no + 1;
+            else
+                reject_no = reject_no + 1;
+        }
+    }
+}
+
+int main() {
+    int step;
+    float total;
+
+    init_molecules();
+    for (step = 0; step < 6; step++)
+        accumulate_forces();
+
+    total = pot_oo + pot_oh + pot_hh + pot_intra + vir_xx + vir_yy +
+            vir_zz + vir_xy + vir_xz + vir_yz + kin_x + kin_y + kin_z +
+            com_x + com_y + com_z + drift_x + drift_y + drift_z +
+            box_scale + cutoff_acc + shift_acc;
+
+    print_int(pair_count);
+    print_char(' ');
+    print_int(near_count);
+    print_char(' ');
+    print_int(accept_no);
+    print_char(' ');
+    print_int((int)total);
+    print_char('\n');
+    return (pair_count + near_count) % 233;
+}

@@ -1,0 +1,116 @@
+//===- examples/alias_explorer.cpp - Inspecting the analyses --------------===//
+//
+// Shows the interprocedural machinery the promoter stands on: MOD/REF
+// summaries per function, points-to sets for the pointer values, the tag
+// sets the two analyses attach to the same memory operations, and the
+// opcode strengthening that singleton tag sets enable.
+//
+// Build & run:  cmake --build build && ./build/examples/alias_explorer
+//
+//===----------------------------------------------------------------------===//
+
+#include "alias/ModRef.h"
+#include "alias/PointsTo.h"
+#include "alias/TagRefine.h"
+#include "frontend/Lowering.h"
+#include "ir/IRPrinter.h"
+
+#include <cstdio>
+
+using namespace rpcc;
+
+namespace {
+
+std::string names(const Module &M, const TagSet &S) {
+  std::string Out = "{";
+  bool First = true;
+  for (TagId T : S) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += M.tags().tag(T).Name;
+  }
+  return Out + "}";
+}
+
+} // namespace
+
+int main() {
+  // A program with the aliasing patterns the paper cares about: an
+  // address-taken global, pointer parameters, two heap sites, and a
+  // function pointer.
+  const char *Source =
+      "int counter;\n"
+      "int table[32];\n"
+      "void bump(int *cell) { *cell = *cell + 1; }\n"
+      "int sum(int *arr, int n) { int i; int s; s = 0;\n"
+      "  for (i = 0; i < n; i++) s = s + arr[i]; return s; }\n"
+      "int apply(int (*f)(int*, int), int *arr, int n) {\n"
+      "  return f(arr, n); }\n"
+      "int main() {\n"
+      "  int *heap_a; int *heap_b;\n"
+      "  heap_a = (int*)malloc(64); heap_b = (int*)malloc(64);\n"
+      "  heap_a[0] = 1; heap_b[0] = 2;\n"
+      "  bump(&counter);\n"
+      "  table[3] = 7;\n"
+      "  return apply(sum, table, 8) + counter + heap_a[0] + heap_b[0];\n"
+      "}\n";
+
+  Module M;
+  std::string Err;
+  if (!compileToIL(Source, M, Err)) {
+    std::fprintf(stderr, "compile error:\n%s", Err.c_str());
+    return 1;
+  }
+
+  std::printf("=== Tag table ===\n");
+  for (const Tag &T : M.tags()) {
+    const char *Kind = "?";
+    switch (T.Kind) {
+    case TagKind::Global: Kind = "global"; break;
+    case TagKind::Local: Kind = "local"; break;
+    case TagKind::Heap: Kind = "heap"; break;
+    case TagKind::Func: Kind = "func"; break;
+    case TagKind::Spill: Kind = "spill"; break;
+    }
+    std::printf("  %-16s %-7s %s%s\n", T.Name.c_str(), Kind,
+                T.AddressTaken ? "addressed " : "",
+                T.IsScalar ? "scalar" : "");
+  }
+
+  std::printf("\n=== Points-to sets ===\n");
+  PointsToResult PT = runPointsTo(M);
+  FuncId MainId = M.lookup("main");
+  const Function *Main = M.function(MainId);
+  for (const auto &B : Main->blocks())
+    for (const auto &IP : B->insts()) {
+      const Instruction &I = *IP;
+      if (I.Op != Opcode::Load && I.Op != Opcode::Store)
+        continue;
+      std::printf("  main: %-34s address may point to %s\n",
+                  printInst(M, *Main, I).c_str(),
+                  names(M, PT.regPts(MainId, I.Ops[0])).c_str());
+    }
+
+  std::printf("\n=== MOD/REF summaries (with points-to refinement) ===\n");
+  ModRefSummaries S = runModRef(M, &PT);
+  for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+    const Function *F = M.function(static_cast<FuncId>(FI));
+    if (F->isBuiltin() || !F->numBlocks())
+      continue;
+    std::printf("  %-8s MOD %s\n", F->name().c_str(),
+                names(M, S.Mod[FI]).c_str());
+    std::printf("  %-8s REF %s\n", "", names(M, S.Ref[FI]).c_str());
+  }
+
+  std::printf("\n=== Opcode strengthening (Table 1) ===\n");
+  StrengthenStats St = strengthenOpcodes(M);
+  std::printf("  %u pointer load(s) -> scalar loads, %u pointer store(s) "
+              "-> scalar stores,\n  %u load(s) -> constant loads\n",
+              St.LoadsToScalar, St.StoresToScalar, St.LoadsToConst);
+  std::printf("\nbump's *cell resolves to {counter}, so after "
+              "strengthening it is an explicit\nscalar access — exactly "
+              "what lets the promoter treat it like a named variable.\n");
+  std::printf("\n%s", printFunction(M, *M.function(M.lookup("bump"))).c_str());
+  return 0;
+}

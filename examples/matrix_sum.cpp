@@ -1,0 +1,101 @@
+//===- examples/matrix_sum.cpp - The paper's Figure 3, end to end ---------===//
+//
+// Demonstrates §3.3 pointer-based promotion on the paper's own motivating
+// kernel, `B[i] += A[i][j]`: B[i]'s address is invariant in the inner loop,
+// so the promoter keeps the element in a register and the inner loop runs
+// load/store-free — the paper's "code that might be expected of a good
+// assembly programmer".
+//
+// Build & run:  cmake --build build && ./build/examples/matrix_sum
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "ir/IRPrinter.h"
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace rpcc;
+
+namespace {
+
+/// Counts the memory operations inside the innermost loop body by scanning
+/// the final IL of main for the block with the FADD (the accumulate).
+unsigned memOpsNearAccumulate(const Module &M) {
+  const Function *F = M.function(M.lookup("main"));
+  for (const auto &B : F->blocks()) {
+    bool HasFAdd = false;
+    for (const auto &IP : B->insts())
+      HasFAdd |= IP->Op == Opcode::FAdd;
+    if (!HasFAdd)
+      continue;
+    unsigned N = 0;
+    for (const auto &IP : B->insts())
+      N += isMemOp(IP->Op);
+    return N;
+  }
+  return 0;
+}
+
+} // namespace
+
+int main() {
+  const char *Source =
+      "float A[16][32]; float B[16];\n"
+      "int main() {\n"
+      "  int i; int j;\n"
+      "  for (i = 0; i < 16; i++)\n"
+      "    for (j = 0; j < 32; j++)\n"
+      "      A[i][j] = (float)(i * j % 11);\n"
+      "  for (i = 0; i < 16; i++)\n"
+      "    for (j = 0; j < 32; j++)\n"
+      "      B[i] = B[i] + A[i][j];\n"
+      "  return (int)(B[3] + B[12]);\n"
+      "}\n";
+
+  std::printf("Figure 3 kernel: for (i) for (j) B[i] += A[i][j]\n\n");
+
+  uint64_t Loads[2], Stores[2];
+  for (int PtrPromo = 0; PtrPromo <= 1; ++PtrPromo) {
+    CompilerConfig Cfg;
+    Cfg.Analysis = AnalysisKind::PointsTo;
+    Cfg.ScalarPromotion = true;
+    Cfg.PointerPromotion = PtrPromo;
+    CompileOutput Out = compileProgram(Source, Cfg);
+    if (!Out.Ok) {
+      std::fprintf(stderr, "compile error:\n%s", Out.Errors.c_str());
+      return 1;
+    }
+    ExecResult R = interpret(*Out.M);
+    if (!R.Ok) {
+      std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
+      return 1;
+    }
+    Loads[PtrPromo] = R.Counters.Loads;
+    Stores[PtrPromo] = R.Counters.Stores;
+
+    std::printf("--- %s pointer-based promotion ---\n",
+                PtrPromo ? "with" : "without");
+    std::printf("memory ops in the accumulate block: %u\n",
+                memOpsNearAccumulate(*Out.M));
+    std::printf("dynamic loads %s, stores %s (exit code %lld)\n\n",
+                withCommas(R.Counters.Loads).c_str(),
+                withCommas(R.Counters.Stores).c_str(),
+                static_cast<long long>(R.ExitCode));
+    if (PtrPromo) {
+      std::printf("pointer promoter: %u reference group(s) promoted, %u "
+                  "ops rewritten\n\n",
+                  Out.Stats.PtrPromo.PromotedRefs,
+                  Out.Stats.PtrPromo.RewrittenOps);
+    }
+  }
+
+  std::printf("B[i]'s load and store left the inner loop: %s loads and %s "
+              "stores removed net\n(16*32 = 512 in-loop accesses removed, "
+              "minus one landing-pad load and one exit\nstore per outer "
+              "iteration = 496).\n",
+              withCommas(Loads[0] - Loads[1]).c_str(),
+              withCommas(Stores[0] - Stores[1]).c_str());
+  return 0;
+}

@@ -1,0 +1,137 @@
+//===- examples/opt_pipeline.cpp - Driving passes by hand -----------------===//
+//
+// Builds the paper's §5 pipeline pass by pass instead of through the
+// driver, reporting what each stage does to a small program: value
+// numbering, PRE, constant propagation, LICM, promotion, DCE, cleanup,
+// and register allocation. Useful as a template for experimenting with
+// pass ordering.
+//
+// Build & run:  cmake --build build && ./build/examples/opt_pipeline
+//
+//===----------------------------------------------------------------------===//
+
+#include "alias/ModRef.h"
+#include "alias/PointsTo.h"
+#include "alias/TagRefine.h"
+#include "analysis/CfgNormalize.h"
+#include "frontend/Lowering.h"
+#include "interp/Interpreter.h"
+#include "opt/Cleanup.h"
+#include "opt/CopyProp.h"
+#include "opt/Dce.h"
+#include "opt/Licm.h"
+#include "opt/Pre.h"
+#include "opt/Sccp.h"
+#include "opt/ValueNumbering.h"
+#include "promote/ScalarPromotion.h"
+#include "regalloc/GraphColoring.h"
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace rpcc;
+
+namespace {
+
+void report(const Module &M, const char *Stage) {
+  ExecResult R = interpret(M);
+  if (!R.Ok) {
+    std::fprintf(stderr, "%s broke the program: %s\n", Stage,
+                 R.Error.c_str());
+    std::exit(1);
+  }
+  std::printf("  after %-22s total %-10s loads %-8s stores %-8s (exit %lld)\n",
+              Stage, withCommas(R.Counters.Total).c_str(),
+              withCommas(R.Counters.Loads).c_str(),
+              withCommas(R.Counters.Stores).c_str(),
+              static_cast<long long>(R.ExitCode));
+}
+
+void normalizeAll(Module &M) {
+  for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+    Function *F = M.function(static_cast<FuncId>(FI));
+    if (!F->isBuiltin() && F->numBlocks())
+      normalizeLoops(*F);
+  }
+}
+
+} // namespace
+
+int main() {
+  const char *Source =
+      "int limit = 12; int acc;\n"
+      "int digits[10];\n"
+      "int classify(int v) { if (v > 100) return 2;\n"
+      "  if (v > 10) return 1; return 0; }\n"
+      "int main() {\n"
+      "  int i; int v; int bucket;\n"
+      "  for (i = 0; i < 200; i++) {\n"
+      "    v = (i * i + 3 * i) % 97;\n"
+      "    bucket = classify(v);\n"
+      "    digits[bucket * 2 + 1] = digits[bucket * 2 + 1] + 1;\n"
+      "    acc = acc + v + limit;\n"
+      "  }\n"
+      "  return acc % 251 + digits[1];\n"
+      "}\n";
+
+  Module M;
+  std::string Err;
+  if (!compileToIL(Source, M, Err)) {
+    std::fprintf(stderr, "compile error:\n%s", Err.c_str());
+    return 1;
+  }
+  std::printf("Hand-built pipeline (paper section 5 ordering):\n\n");
+  report(M, "frontend");
+
+  normalizeAll(M);
+  PointsToResult PT = runPointsTo(M);
+  runModRef(M, &PT);
+  StrengthenStats St = strengthenOpcodes(M);
+  std::printf("  [analysis: strengthened %u loads, %u stores]\n",
+              St.LoadsToScalar + St.LoadsToConst, St.StoresToScalar);
+  report(M, "analysis+strengthen");
+
+  PromotionStats PS = promoteScalars(M);
+  std::printf("  [promotion: %u tags lifted, %u refs rewritten]\n",
+              PS.PromotedTags, PS.RewrittenOps);
+  report(M, "register promotion");
+
+  VnStats VS = runValueNumbering(M);
+  std::printf("  [VN: folded %u, reused %u, forwarded %u loads, killed %u "
+              "dead stores]\n",
+              VS.Folded, VS.Reused, VS.LoadsForwarded, VS.DeadStores);
+  report(M, "value numbering");
+
+  PreStats PreS = runPre(M);
+  std::printf("  [PRE: %u exprs, %u loads made redundant]\n",
+              PreS.ExprsEliminated, PreS.LoadsEliminated);
+  propagateCopies(M);
+  report(M, "PRE + copy prop");
+
+  SccpStats CS = runSccp(M);
+  std::printf("  [SCCP: folded %u, resolved %u branches]\n", CS.Folded,
+              CS.BranchesResolved);
+  runCleanup(M);
+  normalizeAll(M);
+  report(M, "SCCP + cleanup");
+
+  LicmStats LS = runLicm(M);
+  std::printf("  [LICM: hoisted %u pure ops, %u invariant loads]\n",
+              LS.HoistedPure, LS.HoistedLoads);
+  report(M, "LICM");
+
+  unsigned Dead = runDce(M);
+  std::printf("  [DCE: removed %u instructions]\n", Dead);
+  report(M, "DCE");
+
+  RegAllocStats RS = allocateRegisters(M);
+  std::printf("  [regalloc: coalesced %u copies, spilled %u, "
+              "rematerialized %u]\n",
+              RS.CoalescedCopies, RS.SpilledRegs, RS.RematerializedRegs);
+  runCleanup(M);
+  report(M, "register allocation");
+
+  std::printf("\nEvery stage must preserve the exit code; the counts show "
+              "where the paper's\npipeline earns its keep.\n");
+  return 0;
+}

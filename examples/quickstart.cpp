@@ -1,0 +1,73 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library ----------===//
+//
+// Compiles a little MiniC program through the paper's pipeline twice —
+// without and with register promotion — prints the hot function's IL both
+// ways, runs each version in the counting interpreter, and reports the
+// memory traffic the promotion removed.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "ir/IRPrinter.h"
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace rpcc;
+
+int main() {
+  // A global accumulator in a loop: the bread-and-butter promotion case.
+  // `total` lives in memory (it is a global, and the compiler cannot prove
+  // anything about other translation units), so the unpromoted loop loads
+  // and stores it on every iteration.
+  const char *Source =
+      "int total;\n"
+      "int weights[64];\n"
+      "int main() {\n"
+      "  int i;\n"
+      "  for (i = 0; i < 64; i++) weights[i] = i % 7;\n"
+      "  for (i = 0; i < 64; i++) total = total + weights[i];\n"
+      "  return total;\n"
+      "}\n";
+
+  for (int Promote = 0; Promote <= 1; ++Promote) {
+    CompilerConfig Cfg;
+    Cfg.Analysis = AnalysisKind::PointsTo;
+    Cfg.ScalarPromotion = Promote;
+
+    CompileOutput Out = compileProgram(Source, Cfg);
+    if (!Out.Ok) {
+      std::fprintf(stderr, "compile error:\n%s", Out.Errors.c_str());
+      return 1;
+    }
+
+    ExecResult R = interpret(*Out.M);
+    if (!R.Ok) {
+      std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
+      return 1;
+    }
+
+    std::printf("=== %s register promotion ===\n",
+                Promote ? "WITH" : "WITHOUT");
+    std::printf("%s\n",
+                printFunction(*Out.M, *Out.M->function(Out.M->lookup("main")))
+                    .c_str());
+    std::printf("exit code: %lld\n", static_cast<long long>(R.ExitCode));
+    std::printf("total operations: %s\n",
+                withCommas(R.Counters.Total).c_str());
+    std::printf("loads executed:   %s\n",
+                withCommas(R.Counters.Loads).c_str());
+    std::printf("stores executed:  %s\n\n",
+                withCommas(R.Counters.Stores).c_str());
+    if (Promote)
+      std::printf("Promotion stats: %u tag(s) promoted, %u memory ops "
+                  "rewritten to copies,\n%u landing-pad loads and %u exit "
+                  "stores inserted.\n",
+                  Out.Stats.Promo.PromotedTags, Out.Stats.Promo.RewrittenOps,
+                  Out.Stats.Promo.LoadsInserted,
+                  Out.Stats.Promo.StoresInserted);
+  }
+  return 0;
+}

@@ -1,0 +1,262 @@
+//===- alias/ModRef.cpp ---------------------------------------------------===//
+
+#include "alias/ModRef.h"
+
+#include "analysis/CallGraph.h"
+
+#include <cassert>
+
+using namespace rpcc;
+
+namespace {
+
+class ModRefAnalyzer {
+public:
+  ModRefAnalyzer(Module &M, const PointsToResult *PT) : M(M), PT(PT) {}
+
+  ModRefSummaries run() {
+    buildUniverse();
+    if (PT)
+      resolveIndirectCallees();
+    fillPointerOpTagSets();
+
+    // The call graph is built after indirect-callee resolution so its edges
+    // benefit from the points-to refinement.
+    CallGraph CG(M);
+    computeVisibility(CG);
+    refillLocalVisibility();
+
+    summarize(CG);
+    annotateCallSites(CG);
+    return std::move(Result);
+  }
+
+private:
+  // -- Universes -------------------------------------------------------------
+  void buildUniverse() {
+    for (const Tag &T : M.tags())
+      if (T.AddressTaken && T.Kind != TagKind::Func)
+        Addressed.insert(T.Id);
+  }
+
+  /// Functions reachable from F (including F) in the call graph. Local tags
+  /// of F are visible exactly in this set.
+  void computeVisibility(const CallGraph &CG) {
+    const size_t N = M.numFunctions();
+    Reach.assign(N, std::vector<bool>(N, false));
+    for (FuncId F = 0; F != N; ++F) {
+      std::vector<FuncId> Work{F};
+      Reach[F][F] = true;
+      while (!Work.empty()) {
+        FuncId Cur = Work.back();
+        Work.pop_back();
+        for (FuncId C : CG.callees(Cur))
+          if (!Reach[F][C]) {
+            Reach[F][C] = true;
+            Work.push_back(C);
+          }
+      }
+    }
+  }
+
+  /// The conservative may-reference set for code inside function \p G:
+  /// addressed globals/heap plus addressed locals whose owner can (directly
+  /// or transitively) reach G.
+  TagSet visibleSet(FuncId G) {
+    TagSet Out;
+    for (TagId T : Addressed) {
+      const Tag &Tg = M.tags().tag(T);
+      if (Tg.Kind == TagKind::Local) {
+        if (Tg.Owner < Reach.size() && Reach[Tg.Owner][G])
+          Out.insert(T);
+      } else {
+        Out.insert(T);
+      }
+    }
+    return Out;
+  }
+
+  void resolveIndirectCallees() {
+    for (FuncId F = 0; F != M.numFunctions(); ++F) {
+      Function *Fn = M.function(F);
+      if (Fn->isBuiltin())
+        continue;
+      for (auto &B : Fn->blocks())
+        for (auto &IP : B->insts()) {
+          Instruction &I = *IP;
+          if (I.Op != Opcode::CallIndirect)
+            continue;
+          I.IndirectCallees.clear();
+          for (TagId T : PT->regPts(F, I.Ops[0])) {
+            const Tag &Tg = M.tags().tag(T);
+            if (Tg.Kind == TagKind::Func)
+              I.IndirectCallees.push_back(Tg.Fn);
+          }
+        }
+    }
+  }
+
+  /// Assigns tag sets to pointer-based memory operations. With points-to
+  /// information the set is pts(address); otherwise every op keeps whatever
+  /// exact set the front end produced or, failing that, the conservative
+  /// visible-addressed set (installed in refillLocalVisibility once
+  /// visibility is known).
+  void fillPointerOpTagSets() {
+    if (!PT)
+      return;
+    for (FuncId F = 0; F != M.numFunctions(); ++F) {
+      Function *Fn = M.function(F);
+      if (Fn->isBuiltin())
+        continue;
+      for (auto &B : Fn->blocks())
+        for (auto &IP : B->insts()) {
+          Instruction &I = *IP;
+          if (!isPointerMemOp(I.Op))
+            continue;
+          TagSet Refined = PT->derefTargets(F, I.Ops[0]);
+          if (I.Tags.empty() || Refined.size() < I.Tags.size())
+            I.Tags = std::move(Refined);
+        }
+    }
+  }
+
+  void refillLocalVisibility() {
+    for (FuncId F = 0; F != M.numFunctions(); ++F) {
+      Function *Fn = M.function(F);
+      if (Fn->isBuiltin())
+        continue;
+      TagSet Visible; // computed lazily per function
+      bool VisibleComputed = false;
+      for (auto &B : Fn->blocks())
+        for (auto &IP : B->insts()) {
+          Instruction &I = *IP;
+          if (!isPointerMemOp(I.Op) || !I.Tags.empty())
+            continue;
+          if (!VisibleComputed) {
+            Visible = visibleSet(F);
+            VisibleComputed = true;
+          }
+          I.Tags = Visible;
+        }
+    }
+  }
+
+  // -- Summaries ---------------------------------------------------------------
+  /// Local (intra-function) MOD/REF of one function, not counting calls.
+  void localEffects(FuncId F, TagSet &Mod, TagSet &Ref) {
+    const Function *Fn = M.function(F);
+    for (const auto &B : Fn->blocks())
+      for (const auto &IP : B->insts()) {
+        const Instruction &I = *IP;
+        switch (I.Op) {
+        case Opcode::ScalarLoad:
+          Ref.insert(I.Tag);
+          break;
+        case Opcode::ScalarStore:
+          Mod.insert(I.Tag);
+          break;
+        case Opcode::Load:
+        case Opcode::ConstLoad:
+          Ref.unionWith(I.Tags);
+          break;
+        case Opcode::Store:
+          Mod.unionWith(I.Tags);
+          break;
+        default:
+          break;
+        }
+      }
+  }
+
+  /// Effects of one call edge to a builtin, at call site \p I in caller G.
+  void builtinEffects(FuncId G, const Instruction &I, const Function &Callee,
+                      TagSet &Mod, TagSet &Ref) {
+    switch (Callee.builtin()) {
+    case BuiltinKind::PrintStr: {
+      // Reads the pointed-to bytes.
+      if (PT) {
+        Ref.unionWith(PT->derefTargets(G, I.Ops.back()));
+      } else {
+        Ref.unionWith(visibleSet(G));
+      }
+      break;
+    }
+    default:
+      // malloc/free/print_int/.../pow touch no named storage.
+      break;
+    }
+  }
+
+  void summarize(const CallGraph &CG) {
+    const size_t N = M.numFunctions();
+    Result.Mod.assign(N, TagSet());
+    Result.Ref.assign(N, TagSet());
+
+    // SCCs arrive callees-first.
+    for (const auto &Scc : CG.sccs()) {
+      TagSet Mod, Ref;
+      for (FuncId F : Scc) {
+        const Function *Fn = M.function(F);
+        if (Fn->isBuiltin())
+          continue;
+        localEffects(F, Mod, Ref);
+        for (FuncId C : CG.callees(F)) {
+          if (CG.sccOf(C) == CG.sccOf(F))
+            continue; // same SCC: shares this set
+          Mod.unionWith(Result.Mod[C]);
+          Ref.unionWith(Result.Ref[C]);
+        }
+      }
+      for (FuncId F : Scc) {
+        Result.Mod[F] = Mod;
+        Result.Ref[F] = Ref;
+      }
+    }
+  }
+
+  void annotateCallSites(const CallGraph &CG) {
+    for (FuncId F = 0; F != M.numFunctions(); ++F) {
+      Function *Fn = M.function(F);
+      if (Fn->isBuiltin())
+        continue;
+      for (auto &B : Fn->blocks())
+        for (auto &IP : B->insts()) {
+          Instruction &I = *IP;
+          if (!isCallOp(I.Op))
+            continue;
+          I.Mods.clear();
+          I.Refs.clear();
+          auto AddCallee = [&](FuncId C) {
+            const Function *CalleeF = M.function(C);
+            if (CalleeF->isBuiltin()) {
+              builtinEffects(F, I, *CalleeF, I.Mods, I.Refs);
+              return;
+            }
+            I.Mods.unionWith(Result.Mod[C]);
+            I.Refs.unionWith(Result.Ref[C]);
+          };
+          if (I.Op == Opcode::Call) {
+            AddCallee(I.Callee);
+          } else if (!I.IndirectCallees.empty()) {
+            for (FuncId C : I.IndirectCallees)
+              AddCallee(C);
+          } else {
+            for (FuncId C : CG.addressedFunctions())
+              AddCallee(C);
+          }
+        }
+    }
+  }
+
+  Module &M;
+  const PointsToResult *PT;
+  TagSet Addressed;
+  std::vector<std::vector<bool>> Reach;
+  ModRefSummaries Result;
+};
+
+} // namespace
+
+ModRefSummaries rpcc::runModRef(Module &M, const PointsToResult *PT) {
+  return ModRefAnalyzer(M, PT).run();
+}

@@ -1,0 +1,53 @@
+//===- alias/ModRef.h - Interprocedural MOD/REF analysis --------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's MOD/REF analyzer (§4). It limits the tag sets of pointer-
+/// based memory operations in two ways: "only tags that have had their
+/// address taken are placed in the tag sets", and "it only places the tag of
+/// a local variable into the tag sets of memory operations that appear in
+/// descendants of the function that creates the local variable. Indirect
+/// calls are conservatively assumed to target any addressed function."
+/// Call-site summaries are computed per call-graph SCC in reverse
+/// topological order, so "the tag set of any called function not in the
+/// current SCC has already been calculated."
+///
+/// When a PointsToResult is supplied, pointer-op tag sets and print_str
+/// reference sets come from the points-to solution instead of the
+/// conservative visible-addressed set, and indirect call edges use the
+/// resolved callee lists — this is the paper's "MOD/REF analysis is then
+/// repeated, using the new tag sets".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_ALIAS_MODREF_H
+#define RPCC_ALIAS_MODREF_H
+
+#include "alias/PointsTo.h"
+#include "ir/Module.h"
+
+#include <vector>
+
+namespace rpcc {
+
+/// Per-function side-effect summaries, exposed for tests and tools.
+struct ModRefSummaries {
+  /// Indexed by FuncId.
+  std::vector<TagSet> Mod, Ref;
+};
+
+/// Runs the analysis and rewrites \p M in place:
+///  * pointer-based memory ops with unknown (empty) tag sets receive their
+///    may-reference sets,
+///  * every call instruction receives MOD and REF tag lists,
+///  * indirect call sites receive their resolved callee lists when \p PT is
+///    supplied.
+ModRefSummaries runModRef(Module &M, const PointsToResult *PT = nullptr);
+
+} // namespace rpcc
+
+#endif // RPCC_ALIAS_MODREF_H

@@ -1,0 +1,183 @@
+//===- alias/PointsTo.cpp -------------------------------------------------===//
+
+#include "alias/PointsTo.h"
+
+#include <cassert>
+
+using namespace rpcc;
+
+TagSet PointsToResult::derefTargets(FuncId F, Reg R) const {
+  const TagSet &P = regPts(F, R);
+  if (P.empty())
+    return Universe; // unknown pointer: be conservative
+  TagSet Out;
+  for (TagId T : P)
+    if (!FuncTags.contains(T)) // data ops never touch code
+      Out.insert(T);
+  if (Out.empty())
+    return Universe; // only code targets: treat as unknown
+  return Out;
+}
+
+namespace rpcc {
+
+/// Flow-insensitive subset-constraint solver, resolved by sweeping all
+/// instructions to a fixed point. Program sizes in this project are small
+/// (thousands of instructions), so sweeps converge in a handful of passes.
+class PointsToSolver {
+public:
+  explicit PointsToSolver(const Module &M) : M(M) {}
+
+  PointsToResult solve() {
+    // Universe: every addressed non-function tag.
+    for (const Tag &T : M.tags()) {
+      if (T.AddressTaken && T.Kind != TagKind::Func)
+        R.Universe.insert(T.Id);
+      if (T.Kind == TagKind::Func)
+        R.FuncTags.insert(T.Id);
+    }
+
+    bool Changed = true;
+    unsigned Rounds = 0;
+    while (Changed) {
+      Changed = false;
+      ++Rounds;
+      assert(Rounds < 10000 && "points-to failed to converge");
+      for (FuncId F = 0; F != M.numFunctions(); ++F) {
+        const Function *Fn = M.function(F);
+        if (Fn->isBuiltin())
+          continue;
+        for (const auto &B : Fn->blocks())
+          for (const auto &IP : B->insts())
+            Changed |= apply(F, *IP);
+      }
+    }
+    return std::move(R);
+  }
+
+private:
+  TagSet &regSet(FuncId F, Reg Rg) {
+    return R.RegSets[PointsToResult::key(F, Rg)];
+  }
+  TagSet &memSet(TagId T) { return R.MemSets[T]; }
+  TagSet &retSet(FuncId F) { return RetSets[F]; }
+
+  /// Targets of a dereference through \p Rg (conservative on unknown).
+  /// Known targets include non-addressed tags reached via direct LoadAddr
+  /// chains (array indexing, struct fields).
+  TagSet targets(FuncId F, Reg Rg) {
+    const TagSet &P = regSet(F, Rg);
+    if (P.empty())
+      return R.Universe;
+    TagSet Out;
+    for (TagId T : P)
+      if (!R.FuncTags.contains(T))
+        Out.insert(T);
+    if (Out.empty())
+      return R.Universe;
+    return Out;
+  }
+
+  bool bindCall(FuncId Caller, const Instruction &I, FuncId Callee,
+                size_t ArgStart) {
+    const Function *CalleeF = M.function(Callee);
+    bool Changed = false;
+    if (CalleeF->isBuiltin()) {
+      if (CalleeF->builtin() == BuiltinKind::Malloc && I.hasResult() &&
+          I.Tag != NoTag)
+        Changed |= regSet(Caller, I.Result).insert(I.Tag);
+      return Changed;
+    }
+    const auto &Params = CalleeF->paramRegs();
+    for (size_t A = ArgStart; A != I.Ops.size(); ++A) {
+      size_t PIdx = A - ArgStart;
+      if (PIdx >= Params.size())
+        break;
+      Changed |=
+          regSet(Callee, Params[PIdx]).unionWith(regSet(Caller, I.Ops[A]));
+    }
+    if (I.hasResult())
+      Changed |= regSet(Caller, I.Result).unionWith(retSet(Callee));
+    return Changed;
+  }
+
+  bool apply(FuncId F, const Instruction &I) {
+    switch (I.Op) {
+    case Opcode::LoadAddr:
+      return regSet(F, I.Result).insert(I.Tag);
+    case Opcode::Copy:
+      return regSet(F, I.Result).unionWith(regSet(F, I.Ops[0]));
+    case Opcode::Add:
+    case Opcode::Sub: {
+      // Pointer arithmetic: the result points wherever either side points.
+      bool C = regSet(F, I.Result).unionWith(regSet(F, I.Ops[0]));
+      C |= regSet(F, I.Result).unionWith(regSet(F, I.Ops[1]));
+      return C;
+    }
+    case Opcode::ScalarLoad:
+      return regSet(F, I.Result).unionWith(memSet(I.Tag));
+    case Opcode::ScalarStore:
+      return memSet(I.Tag).unionWith(regSet(F, I.Ops[0]));
+    case Opcode::Load:
+    case Opcode::ConstLoad: {
+      bool C = false;
+      for (TagId T : targets(F, I.Ops[0]))
+        C |= regSet(F, I.Result).unionWith(memSet(T));
+      return C;
+    }
+    case Opcode::Store: {
+      const TagSet &Val = regSet(F, I.Ops[1]);
+      if (Val.empty())
+        return false;
+      bool C = false;
+      for (TagId T : targets(F, I.Ops[0]))
+        C |= memSet(T).unionWith(Val);
+      return C;
+    }
+    case Opcode::Call:
+      return bindCall(F, I, I.Callee, 0);
+    case Opcode::CallIndirect: {
+      bool C = false;
+      for (FuncId Callee : indirectTargets(F, I))
+        C |= bindCall(F, I, Callee, 1);
+      return C;
+    }
+    case Opcode::Ret:
+      if (!I.Ops.empty())
+        return retSet(F).unionWith(regSet(F, I.Ops[0]));
+      return false;
+    default:
+      return false;
+    }
+  }
+
+  std::vector<FuncId> indirectTargets(FuncId F, const Instruction &I) {
+    std::vector<FuncId> Out;
+    const TagSet &P = regSet(F, I.Ops[0]);
+    bool AnyFunc = false;
+    for (TagId T : P) {
+      const Tag &Tg = M.tags().tag(T);
+      if (Tg.Kind == TagKind::Func) {
+        AnyFunc = true;
+        Out.push_back(Tg.Fn);
+      }
+    }
+    if (!AnyFunc) {
+      // Unknown callee: any addressed function.
+      for (const Tag &T : M.tags())
+        if (T.Kind == TagKind::Func && T.AddressTaken)
+          Out.push_back(T.Fn);
+    }
+    return Out;
+  }
+
+  const Module &M;
+  PointsToResult R;
+  std::unordered_map<FuncId, TagSet> RetSets;
+};
+
+} // namespace rpcc
+
+PointsToResult rpcc::runPointsTo(const Module &M) {
+  return PointsToSolver(M).solve();
+}

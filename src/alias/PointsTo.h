@@ -1,0 +1,79 @@
+//===- alias/PointsTo.h - Whole-program points-to analysis ------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-program, context-insensitive points-to analysis in the style the
+/// paper describes (following Ruf [18]): "We analyze the entire program at
+/// once... For each name, the analyzer determines the set of tags to which
+/// it may point... Pointer values are propagated through the program using a
+/// worklist algorithm. Non-local memory is modeled with explicit names...
+/// Heap memory is modeled with a single name for each call-site... The
+/// analysis is context-insensitive. The effects of recursion are
+/// approximated."
+///
+/// Deliberate substitution (documented in DESIGN.md §3): the original runs
+/// flow-sensitively over SSA names; we run flow-insensitively over virtual
+/// registers. Frontend-generated expression temporaries are single-
+/// assignment names already, so precision loss is limited to multi-assigned
+/// user variables — and the paper's own result is that promotion is largely
+/// insensitive to this extra precision.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_ALIAS_POINTSTO_H
+#define RPCC_ALIAS_POINTSTO_H
+
+#include "ir/Module.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace rpcc {
+
+class PointsToResult {
+public:
+  /// Points-to set of register \p R in function \p F. May be empty for
+  /// non-pointer registers.
+  const TagSet &regPts(FuncId F, Reg R) const {
+    auto It = RegSets.find(key(F, R));
+    return It == RegSets.end() ? Empty : It->second;
+  }
+
+  /// Points-to set of the pointers stored in memory location \p T.
+  const TagSet &memPts(TagId T) const {
+    auto It = MemSets.find(T);
+    return It == MemSets.end() ? Empty : It->second;
+  }
+
+  /// Tags a dereference of \p R in \p F may touch: regPts with function
+  /// tags filtered out (data accesses cannot touch code), or the whole
+  /// addressed universe when the pointer is unknown. Note that known
+  /// targets may include tags that are not address-taken (direct array and
+  /// struct references reach here through LoadAddr-derived addresses).
+  TagSet derefTargets(FuncId F, Reg R) const;
+
+  /// All addressed, non-function tags (the conservative universe).
+  const TagSet &addressedUniverse() const { return Universe; }
+
+private:
+  friend class PointsToSolver;
+  static uint64_t key(FuncId F, Reg R) {
+    return (static_cast<uint64_t>(F) << 32) | R;
+  }
+  std::unordered_map<uint64_t, TagSet> RegSets;
+  std::unordered_map<TagId, TagSet> MemSets;
+  TagSet Universe;
+  TagSet FuncTags;
+  TagSet Empty;
+};
+
+/// Runs the analysis. \p M is not modified.
+PointsToResult runPointsTo(const Module &M);
+
+} // namespace rpcc
+
+#endif // RPCC_ALIAS_POINTSTO_H

@@ -1,0 +1,88 @@
+//===- alias/TagRefine.cpp ------------------------------------------------===//
+
+#include "alias/TagRefine.h"
+
+using namespace rpcc;
+
+StrengthenStats rpcc::strengthenOpcodes(Module &M) {
+  StrengthenStats Stats;
+  for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+    Function *Fn = M.function(static_cast<FuncId>(FI));
+    if (Fn->isBuiltin())
+      continue;
+    for (auto &B : Fn->blocks()) {
+      for (auto &IP : B->insts()) {
+        Instruction &I = *IP;
+        if (I.Op != Opcode::Load && I.Op != Opcode::Store)
+          continue;
+        TagId Single = I.Tags.singleton();
+        if (Single != NoTag) {
+          const Tag &T = M.tags().tag(Single);
+          // A singleton scalar object: the address can only be &T, so the
+          // general op is really a scalar op. The access width must agree
+          // with the scalar's own width.
+          if (T.IsScalar && T.Kind != TagKind::Heap && T.ValTy == I.MemTy) {
+            if (I.Op == Opcode::Load) {
+              I.Op = Opcode::ScalarLoad;
+              ++Stats.LoadsToScalar;
+            } else {
+              I.Op = Opcode::ScalarStore;
+              I.Ops.erase(I.Ops.begin()); // drop the address operand
+              ++Stats.StoresToScalar;
+            }
+            I.Tag = Single;
+            I.Tags.clear();
+            continue;
+          }
+        }
+        // All-read-only loads become cLoads (invariant but unknown value).
+        if (I.Op == Opcode::Load && !I.Tags.empty()) {
+          bool AllRO = true;
+          for (TagId T : I.Tags)
+            if (!M.tags().tag(T).ReadOnly)
+              AllRO = false;
+          if (AllRO) {
+            I.Op = Opcode::ConstLoad;
+            ++Stats.LoadsToConst;
+          }
+        }
+      }
+    }
+  }
+  return Stats;
+}
+
+OpcodeMix rpcc::countOpcodeMix(const Module &M) {
+  OpcodeMix Mix;
+  for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+    const Function *Fn = M.function(static_cast<FuncId>(FI));
+    if (Fn->isBuiltin())
+      continue;
+    for (const auto &B : Fn->blocks())
+      for (const auto &IP : B->insts())
+        switch (IP->Op) {
+        case Opcode::LoadI:
+        case Opcode::LoadF:
+          ++Mix.ILoad;
+          break;
+        case Opcode::ConstLoad:
+          ++Mix.CLoad;
+          break;
+        case Opcode::ScalarLoad:
+          ++Mix.SLoad;
+          break;
+        case Opcode::ScalarStore:
+          ++Mix.SStore;
+          break;
+        case Opcode::Load:
+          ++Mix.Load;
+          break;
+        case Opcode::Store:
+          ++Mix.Store;
+          break;
+        default:
+          break;
+        }
+  }
+  return Mix;
+}

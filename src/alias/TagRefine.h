@@ -1,0 +1,43 @@
+//===- alias/TagRefine.h - Opcode strengthening ------------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Moves memory operations up Table 1's hierarchy once analysis has shrunk
+/// their tag sets: a pointer-based load/store whose tag set is a single
+/// scalar object becomes an sLoad/sStore (the address can only be that
+/// scalar), and a load whose tags are all read-only storage becomes a cLoad.
+/// This is what makes the promotion equations see formerly pointer-based
+/// scalar references as explicit ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_ALIAS_TAGREFINE_H
+#define RPCC_ALIAS_TAGREFINE_H
+
+#include "ir/Module.h"
+
+namespace rpcc {
+
+struct StrengthenStats {
+  unsigned LoadsToScalar = 0;  ///< PLD -> SLD
+  unsigned StoresToScalar = 0; ///< PST -> SST
+  unsigned LoadsToConst = 0;   ///< PLD -> CLD
+};
+
+/// Rewrites opcodes in place. Requires tag sets to be populated (runModRef).
+StrengthenStats strengthenOpcodes(Module &M);
+
+/// Counts the static mix of memory opcodes in \p M (for the Table 1
+/// experiment): [iLoad, cLoad, sLoad, sStore, Load, Store].
+struct OpcodeMix {
+  uint64_t ILoad = 0, CLoad = 0, SLoad = 0, SStore = 0, Load = 0, Store = 0;
+};
+OpcodeMix countOpcodeMix(const Module &M);
+
+} // namespace rpcc
+
+#endif // RPCC_ALIAS_TAGREFINE_H

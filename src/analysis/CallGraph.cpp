@@ -1,0 +1,111 @@
+//===- analysis/CallGraph.cpp ---------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rpcc;
+
+CallGraph::CallGraph(const Module &M)
+    : Edges(M.numFunctions()), SccIndex(M.numFunctions(), -1),
+      Recursive(M.numFunctions(), false) {
+  // Addressed functions: any function with a Func tag whose address was
+  // taken by a LoadAddr (the frontend sets AddressTaken when lowering '&f'
+  // or a function name used as a value).
+  for (const Tag &T : M.tags())
+    if (T.Kind == TagKind::Func && T.AddressTaken)
+      Addressed.push_back(T.Fn);
+
+  for (FuncId F = 0; F != M.numFunctions(); ++F) {
+    const Function *Fn = M.function(F);
+    if (Fn->isBuiltin())
+      continue;
+    auto AddEdge = [&](FuncId Callee) {
+      auto &Out = Edges[F];
+      if (std::find(Out.begin(), Out.end(), Callee) == Out.end())
+        Out.push_back(Callee);
+    };
+    for (const auto &B : Fn->blocks()) {
+      for (const auto &IP : B->insts()) {
+        const Instruction &I = *IP;
+        if (I.Op == Opcode::Call) {
+          AddEdge(I.Callee);
+        } else if (I.Op == Opcode::CallIndirect) {
+          if (!I.IndirectCallees.empty()) {
+            for (FuncId C : I.IndirectCallees)
+              AddEdge(C);
+          } else {
+            for (FuncId C : Addressed)
+              AddEdge(C);
+          }
+        }
+      }
+    }
+  }
+
+  // Iterative Tarjan SCC. Output order is reverse topological (an SCC is
+  // emitted only after every SCC it can reach).
+  const size_t N = M.numFunctions();
+  std::vector<unsigned> Index(N, 0), Low(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<FuncId> SccStack;
+  unsigned NextIndex = 1;
+
+  struct Frame {
+    FuncId F;
+    size_t NextEdge;
+  };
+  std::vector<Frame> Stack;
+
+  for (FuncId Root = 0; Root != N; ++Root) {
+    if (Index[Root])
+      continue;
+    Stack.push_back({Root, 0});
+    Index[Root] = Low[Root] = NextIndex++;
+    SccStack.push_back(Root);
+    OnStack[Root] = true;
+
+    while (!Stack.empty()) {
+      Frame &Fr = Stack.back();
+      if (Fr.NextEdge < Edges[Fr.F].size()) {
+        FuncId C = Edges[Fr.F][Fr.NextEdge++];
+        if (!Index[C]) {
+          Index[C] = Low[C] = NextIndex++;
+          SccStack.push_back(C);
+          OnStack[C] = true;
+          Stack.push_back({C, 0});
+        } else if (OnStack[C]) {
+          Low[Fr.F] = std::min(Low[Fr.F], Index[C]);
+        }
+        continue;
+      }
+      // Finished F.
+      FuncId F = Fr.F;
+      Stack.pop_back();
+      if (!Stack.empty())
+        Low[Stack.back().F] = std::min(Low[Stack.back().F], Low[F]);
+      if (Low[F] == Index[F]) {
+        std::vector<FuncId> Scc;
+        FuncId V;
+        do {
+          V = SccStack.back();
+          SccStack.pop_back();
+          OnStack[V] = false;
+          SccIndex[V] = static_cast<int>(Sccs.size());
+          Scc.push_back(V);
+        } while (V != F);
+        Sccs.push_back(std::move(Scc));
+      }
+    }
+  }
+
+  // Recursion flags: multi-node SCCs, or self edges.
+  for (const auto &Scc : Sccs)
+    if (Scc.size() > 1)
+      for (FuncId F : Scc)
+        Recursive[F] = true;
+  for (FuncId F = 0; F != N; ++F)
+    if (std::find(Edges[F].begin(), Edges[F].end(), F) != Edges[F].end())
+      Recursive[F] = true;
+}

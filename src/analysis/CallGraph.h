@@ -1,0 +1,61 @@
+//===- analysis/CallGraph.h - Call graph and SCCs ---------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Call graph over the module plus Tarjan strongly-connected components.
+/// The MOD/REF analyzer follows the paper: it "identifies the strongly-
+/// connected components (SCC) of the call-graph, and calculates the tag set
+/// of each SCC... Processing the SCCs in reverse topological order ensures
+/// that the tag set of any called function not in the current SCC has
+/// already been calculated." Indirect calls are conservatively assumed to
+/// target any addressed function unless analysis has attached a refined
+/// callee list to the call site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_ANALYSIS_CALLGRAPH_H
+#define RPCC_ANALYSIS_CALLGRAPH_H
+
+#include "ir/Module.h"
+
+#include <vector>
+
+namespace rpcc {
+
+class CallGraph {
+public:
+  explicit CallGraph(const Module &M);
+
+  /// Direct + resolved-indirect callees of \p F (deduplicated).
+  const std::vector<FuncId> &callees(FuncId F) const { return Edges[F]; }
+
+  /// Functions whose address is taken somewhere in the module — the
+  /// conservative target set of unresolved indirect calls.
+  const std::vector<FuncId> &addressedFunctions() const { return Addressed; }
+
+  /// SCCs emitted in reverse topological order of the condensation:
+  /// callees appear before their callers, so a bottom-up summary pass can
+  /// iterate this list front to back.
+  const std::vector<std::vector<FuncId>> &sccs() const { return Sccs; }
+
+  /// SCC index of a function.
+  int sccOf(FuncId F) const { return SccIndex[F]; }
+
+  /// True if \p F sits on a call-graph cycle (including self-recursion).
+  bool isRecursive(FuncId F) const { return Recursive[F]; }
+
+private:
+  std::vector<std::vector<FuncId>> Edges;
+  std::vector<FuncId> Addressed;
+  std::vector<std::vector<FuncId>> Sccs;
+  std::vector<int> SccIndex;
+  std::vector<bool> Recursive;
+};
+
+} // namespace rpcc
+
+#endif // RPCC_ANALYSIS_CALLGRAPH_H

@@ -1,0 +1,87 @@
+//===- analysis/Cfg.cpp ---------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rpcc;
+
+void rpcc::recomputeCfg(Function &F) {
+  for (auto &B : F.blocks()) {
+    B->preds().clear();
+    B->succs().clear();
+  }
+  for (auto &B : F.blocks()) {
+    const Instruction *T = B->terminator();
+    assert(T && "block without terminator during CFG recompute");
+    auto AddEdge = [&](BlockId To) {
+      auto &S = B->succs();
+      if (std::find(S.begin(), S.end(), To) != S.end())
+        return;
+      S.push_back(To);
+      F.block(To)->preds().push_back(B->id());
+    };
+    switch (T->Op) {
+    case Opcode::Br:
+      AddEdge(T->Target0);
+      AddEdge(T->Target1);
+      break;
+    case Opcode::Jmp:
+      AddEdge(T->Target0);
+      break;
+    case Opcode::Ret:
+      break;
+    default:
+      assert(false && "unexpected terminator");
+    }
+  }
+}
+
+std::vector<bool> rpcc::reachableBlocks(const Function &F) {
+  std::vector<bool> Seen(F.numBlocks(), false);
+  if (F.numBlocks() == 0)
+    return Seen;
+  std::vector<BlockId> Stack{0};
+  Seen[0] = true;
+  while (!Stack.empty()) {
+    BlockId B = Stack.back();
+    Stack.pop_back();
+    for (BlockId S : F.block(B)->succs())
+      if (!Seen[S]) {
+        Seen[S] = true;
+        Stack.push_back(S);
+      }
+  }
+  return Seen;
+}
+
+std::vector<BlockId> rpcc::reversePostOrder(const Function &F) {
+  std::vector<BlockId> Post;
+  Post.reserve(F.numBlocks());
+  std::vector<uint8_t> State(F.numBlocks(), 0); // 0=unseen 1=open 2=done
+  if (F.numBlocks() == 0)
+    return Post;
+
+  // Iterative DFS storing (block, next successor index).
+  std::vector<std::pair<BlockId, size_t>> Stack;
+  Stack.emplace_back(0, 0);
+  State[0] = 1;
+  while (!Stack.empty()) {
+    auto &[B, Next] = Stack.back();
+    const auto &Succs = F.block(B)->succs();
+    if (Next < Succs.size()) {
+      BlockId S = Succs[Next++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.emplace_back(S, 0);
+      }
+      continue;
+    }
+    State[B] = 2;
+    Post.push_back(B);
+    Stack.pop_back();
+  }
+  std::reverse(Post.begin(), Post.end());
+  return Post;
+}

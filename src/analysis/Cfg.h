@@ -1,0 +1,32 @@
+//===- analysis/Cfg.h - CFG maintenance and traversal -----------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_ANALYSIS_CFG_H
+#define RPCC_ANALYSIS_CFG_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace rpcc {
+
+/// Rebuilds every block's predecessor/successor lists from terminators.
+/// Successor lists preserve branch order and may contain duplicates only when
+/// both branch targets coincide (they are deduplicated).
+void recomputeCfg(Function &F);
+
+/// Blocks reachable from the entry, as a flag vector indexed by block id.
+/// Requires up-to-date successor lists.
+std::vector<bool> reachableBlocks(const Function &F);
+
+/// Reverse post-order over reachable blocks (entry first). Requires
+/// up-to-date successor lists.
+std::vector<BlockId> reversePostOrder(const Function &F);
+
+} // namespace rpcc
+
+#endif // RPCC_ANALYSIS_CFG_H

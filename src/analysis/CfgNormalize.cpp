@@ -1,0 +1,98 @@
+//===- analysis/CfgNormalize.cpp ------------------------------------------===//
+
+#include "analysis/CfgNormalize.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/LoopInfo.h"
+
+#include <cassert>
+
+using namespace rpcc;
+
+bool rpcc::removeUnreachableBlocks(Function &F) {
+  recomputeCfg(F);
+  std::vector<bool> Reach = reachableBlocks(F);
+  std::vector<bool> Dead(F.numBlocks());
+  bool Any = false;
+  for (size_t B = 0; B != F.numBlocks(); ++B) {
+    Dead[B] = !Reach[B];
+    Any |= Dead[B];
+  }
+  if (Any) {
+    F.removeBlocks(Dead);
+    recomputeCfg(F);
+  }
+  return Any;
+}
+
+namespace {
+
+/// Retargets every branch in \p From that goes to \p OldTo so it goes to
+/// \p NewTo instead.
+void retarget(BasicBlock *From, BlockId OldTo, BlockId NewTo) {
+  Instruction *T = From->terminator();
+  assert(T && "retargeting a block without terminator");
+  if (T->Target0 == OldTo)
+    T->Target0 = NewTo;
+  if (T->Target1 == OldTo)
+    T->Target1 = NewTo;
+}
+
+/// Inserts a forwarding block on the edges Preds -> To. Returns the new
+/// block. CFG lists become stale.
+BasicBlock *insertForwarding(Function &F, const std::vector<BlockId> &Preds,
+                             BlockId To, const char *NameHint) {
+  BasicBlock *NB = F.newBlock(NameHint);
+  Instruction J(Opcode::Jmp);
+  J.Target0 = To;
+  NB->append(std::move(J));
+  for (BlockId P : Preds)
+    retarget(F.block(P), To, NB->id());
+  return NB;
+}
+
+/// One normalization sweep. Returns true if the CFG changed.
+bool normalizeOnce(Function &F) {
+  recomputeCfg(F);
+  LoopInfo LI(F);
+  for (const Loop &L : LI.loops()) {
+    // Landing pad.
+    if (L.Preheader == NoBlock) {
+      assert(L.Header != 0 && "entry block must not be a loop header");
+      std::vector<BlockId> Outside;
+      for (BlockId P : F.block(L.Header)->preds())
+        if (!L.Contains[P])
+          Outside.push_back(P);
+      insertForwarding(F, Outside, L.Header, "landing-pad");
+      return true;
+    }
+    // Dedicated exits.
+    for (BlockId E : L.ExitBlocks) {
+      bool HasOutsidePred = false;
+      std::vector<BlockId> InsidePreds;
+      for (BlockId P : F.block(E)->preds()) {
+        if (L.Contains[P])
+          InsidePreds.push_back(P);
+        else
+          HasOutsidePred = true;
+      }
+      if (!HasOutsidePred)
+        continue;
+      insertForwarding(F, InsidePreds, E, "loop-exit");
+      return true;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+void rpcc::normalizeLoops(Function &F) {
+  removeUnreachableBlocks(F);
+  while (normalizeOnce(F)) {
+    // Each sweep makes one structural change and restarts, because block
+    // insertion invalidates the loop forest. Loops are few; this converges
+    // quickly in practice.
+  }
+  recomputeCfg(F);
+}

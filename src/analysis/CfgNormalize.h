@@ -1,0 +1,39 @@
+//===- analysis/CfgNormalize.h - Loop landing pads & exits ------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Establishes the CFG shape the paper's compiler guarantees: "Our compiler
+/// automatically inserts landing pads and exits as part of constructing the
+/// control-flow graph". After normalizeLoops():
+///   * every natural loop has a unique preheader (landing pad) whose only
+///     successor is the loop header, and
+///   * every loop exit block has predecessors only inside that loop,
+/// so promotion can place its lifted loads in the landing pad and its
+/// demotion stores in the exit blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_ANALYSIS_CFGNORMALIZE_H
+#define RPCC_ANALYSIS_CFGNORMALIZE_H
+
+#include "ir/Function.h"
+
+namespace rpcc {
+
+/// Deletes blocks unreachable from the entry. Returns true if any were
+/// removed. Leaves pred/succ lists up to date.
+bool removeUnreachableBlocks(Function &F);
+
+/// Inserts landing pads and dedicated exit blocks for every natural loop,
+/// iterating to a fixed point. Requires (and preserves) valid terminators;
+/// leaves pred/succ lists up to date. The entry block must not be a loop
+/// header (the frontend always emits setup code before any loop).
+void normalizeLoops(Function &F);
+
+} // namespace rpcc
+
+#endif // RPCC_ANALYSIS_CFGNORMALIZE_H

@@ -1,0 +1,162 @@
+//===- analysis/Dominators.cpp --------------------------------------------===//
+//
+// Lengauer & Tarjan, "A Fast Algorithm for Finding Dominators in a
+// Flowgraph", TOPLAS 1(1), 1979. This is the "simple" variant with path
+// compression.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <cassert>
+
+using namespace rpcc;
+
+namespace {
+
+/// State for one Lengauer-Tarjan run. Vertex numbers are DFS numbers
+/// (1-based, 0 = unvisited), following the original paper's presentation.
+struct LengauerTarjan {
+  const Function &F;
+  std::vector<unsigned> Dfn;       // block -> dfs number (0 = unreachable)
+  std::vector<BlockId> Vertex;     // dfs number -> block
+  std::vector<unsigned> Parent;    // dfs parent, by dfs number
+  std::vector<unsigned> Semi;      // semidominator, by dfs number
+  std::vector<unsigned> Ancestor;  // forest link, by dfs number (0 = none)
+  std::vector<unsigned> Label;     // best label on forest path
+  std::vector<std::vector<unsigned>> Bucket;
+  std::vector<unsigned> IdomNum;   // by dfs number
+  unsigned N = 0;
+
+  explicit LengauerTarjan(const Function &F)
+      : F(F), Dfn(F.numBlocks(), 0), Vertex(F.numBlocks() + 1, NoBlock),
+        Parent(F.numBlocks() + 1, 0), Semi(F.numBlocks() + 1, 0),
+        Ancestor(F.numBlocks() + 1, 0), Label(F.numBlocks() + 1, 0),
+        Bucket(F.numBlocks() + 1), IdomNum(F.numBlocks() + 1, 0) {}
+
+  void dfs() {
+    // Iterative DFS with an explicit iterator stack so the spanning tree is
+    // a genuine depth-first tree (required by the semidominator theory).
+    auto Visit = [&](BlockId B, unsigned P) {
+      ++N;
+      Dfn[B] = N;
+      Vertex[N] = B;
+      Parent[N] = P;
+      Semi[N] = N;
+      Label[N] = N;
+    };
+    std::vector<std::pair<BlockId, size_t>> Stack; // (block, next succ index)
+    Visit(0, 0);
+    Stack.emplace_back(0, 0);
+    while (!Stack.empty()) {
+      auto &[B, Next] = Stack.back();
+      const auto &Succs = F.block(B)->succs();
+      if (Next == Succs.size()) {
+        Stack.pop_back();
+        continue;
+      }
+      BlockId S = Succs[Next++];
+      if (Dfn[S])
+        continue;
+      Visit(S, Dfn[B]);
+      Stack.emplace_back(S, 0);
+    }
+  }
+
+  /// Path-compressing eval: returns the label with minimal semidominator on
+  /// the forest path from the root of V's tree to V.
+  unsigned eval(unsigned V) {
+    if (Ancestor[V] == 0)
+      return Label[V];
+    compress(V);
+    return Label[V];
+  }
+
+  void compress(unsigned V) {
+    // Iterative compression to avoid deep recursion on long chains.
+    std::vector<unsigned> Path;
+    unsigned U = V;
+    while (Ancestor[Ancestor[U]] != 0) {
+      Path.push_back(U);
+      U = Ancestor[U];
+    }
+    for (auto It = Path.rbegin(); It != Path.rend(); ++It) {
+      unsigned W = *It;
+      unsigned A = Ancestor[W];
+      if (Semi[Label[A]] < Semi[Label[W]])
+        Label[W] = Label[A];
+      Ancestor[W] = Ancestor[A];
+    }
+  }
+
+  void run(std::vector<BlockId> &IdomOut) {
+    if (F.numBlocks() == 0)
+      return;
+    dfs();
+
+    for (unsigned W = N; W >= 2; --W) {
+      BlockId BW = Vertex[W];
+      // Step 2: semidominators.
+      for (BlockId PredB : F.block(BW)->preds()) {
+        unsigned V = Dfn[PredB];
+        if (V == 0)
+          continue; // unreachable predecessor
+        unsigned U = eval(V);
+        if (Semi[U] < Semi[W])
+          Semi[W] = Semi[U];
+      }
+      Bucket[Semi[W]].push_back(W);
+      Ancestor[W] = Parent[W];
+
+      // Step 3: implicit idoms for Parent[W]'s bucket.
+      for (unsigned V : Bucket[Parent[W]]) {
+        unsigned U = eval(V);
+        IdomNum[V] = Semi[U] < Semi[V] ? U : Parent[W];
+      }
+      Bucket[Parent[W]].clear();
+    }
+
+    // Step 4: explicit idoms in increasing dfs order.
+    for (unsigned W = 2; W <= N; ++W) {
+      if (IdomNum[W] != Semi[W])
+        IdomNum[W] = IdomNum[IdomNum[W]];
+      IdomOut[Vertex[W]] = Vertex[IdomNum[W]];
+    }
+  }
+};
+
+} // namespace
+
+DominatorTree::DominatorTree(const Function &F)
+    : Idom(F.numBlocks(), NoBlock), Children(F.numBlocks()),
+      Depth(F.numBlocks(), 0) {
+  LengauerTarjan LT(F);
+  LT.run(Idom);
+
+  for (BlockId B = 0; B != F.numBlocks(); ++B)
+    if (Idom[B] != NoBlock)
+      Children[Idom[B]].push_back(B);
+
+  // Depths via BFS over the dominator tree from the entry.
+  std::vector<BlockId> Work{0};
+  while (!Work.empty()) {
+    BlockId B = Work.back();
+    Work.pop_back();
+    for (BlockId C : Children[B]) {
+      Depth[C] = Depth[B] + 1;
+      Work.push_back(C);
+    }
+  }
+}
+
+bool DominatorTree::dominates(BlockId A, BlockId B) const {
+  if (A == B)
+    return true;
+  if (!isReachable(B) || !isReachable(A))
+    return false;
+  // Walk B up the tree until reaching A's depth.
+  BlockId Cur = B;
+  while (Cur != NoBlock && Depth[Cur] > Depth[A])
+    Cur = Idom[Cur];
+  return Cur == A;
+}

@@ -1,0 +1,56 @@
+//===- analysis/Dominators.h - Lengauer-Tarjan dominators -------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immediate dominators via the Lengauer-Tarjan algorithm, the method the
+/// paper cites ([15]) for step 3 of the promotion algorithm ("find loop
+/// structure"). Uses the simple O(E log B) eval-link with path compression.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_ANALYSIS_DOMINATORS_H
+#define RPCC_ANALYSIS_DOMINATORS_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace rpcc {
+
+/// Dominator tree over the reachable blocks of a function. Unreachable
+/// blocks have no idom and are reported as dominated by nothing.
+class DominatorTree {
+public:
+  /// Computes dominators; requires up-to-date pred/succ lists.
+  explicit DominatorTree(const Function &F);
+
+  /// Immediate dominator of \p B, or NoBlock for the entry and for
+  /// unreachable blocks.
+  BlockId idom(BlockId B) const { return Idom[B]; }
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(BlockId A, BlockId B) const;
+
+  bool isReachable(BlockId B) const { return B == 0 || Idom[B] != NoBlock; }
+
+  /// Children in the dominator tree.
+  const std::vector<BlockId> &children(BlockId B) const {
+    return Children[B];
+  }
+
+  /// Depth of \p B in the dominator tree (entry = 0).
+  unsigned depth(BlockId B) const { return Depth[B]; }
+
+private:
+  std::vector<BlockId> Idom;
+  std::vector<std::vector<BlockId>> Children;
+  std::vector<unsigned> Depth;
+};
+
+} // namespace rpcc
+
+#endif // RPCC_ANALYSIS_DOMINATORS_H

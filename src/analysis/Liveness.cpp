@@ -1,0 +1,59 @@
+//===- analysis/Liveness.cpp ----------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+#include <cassert>
+
+using namespace rpcc;
+
+Reg rpcc::instDefUses(const Instruction &I, std::vector<Reg> &Uses) {
+  assert(I.Op != Opcode::Phi && "liveness runs on phi-free IL");
+  for (Reg R : I.Ops)
+    Uses.push_back(R);
+  return I.Result;
+}
+
+Liveness::Liveness(const Function &F) {
+  const size_t NB = F.numBlocks();
+  const size_t NR = F.numRegs();
+  In.assign(NB, DenseBitSet(NR));
+  Out.assign(NB, DenseBitSet(NR));
+
+  // Block-local USE (upward exposed) and DEF sets.
+  std::vector<DenseBitSet> Use(NB, DenseBitSet(NR)),
+      Def(NB, DenseBitSet(NR));
+  std::vector<Reg> Tmp;
+  for (const auto &B : F.blocks()) {
+    DenseBitSet &U = Use[B->id()];
+    DenseBitSet &D = Def[B->id()];
+    for (const auto &IP : B->insts()) {
+      Tmp.clear();
+      Reg DefR = instDefUses(*IP, Tmp);
+      for (Reg R : Tmp)
+        if (!D.test(R))
+          U.set(R);
+      if (DefR != NoReg)
+        D.set(DefR);
+    }
+  }
+
+  // Round-robin iteration to fixpoint (backward problem).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t BI = NB; BI-- > 0;) {
+      const BasicBlock *B = F.block(static_cast<BlockId>(BI));
+      DenseBitSet NewOut(NR);
+      for (BlockId S : B->succs())
+        NewOut.unionWith(In[S]);
+      DenseBitSet NewIn = NewOut;
+      NewIn.subtract(Def[BI]);
+      NewIn.unionWith(Use[BI]);
+      if (NewOut != Out[BI] || NewIn != In[BI]) {
+        Out[BI] = std::move(NewOut);
+        In[BI] = std::move(NewIn);
+        Changed = true;
+      }
+    }
+  }
+}

@@ -1,0 +1,43 @@
+//===- analysis/Liveness.h - Register liveness ------------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward bit-vector liveness over virtual registers, feeding the
+/// interference graph of the Chaitin-Briggs allocator. Functions must be
+/// phi-free (the pipeline never materializes phis into the IL).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_ANALYSIS_LIVENESS_H
+#define RPCC_ANALYSIS_LIVENESS_H
+
+#include "ir/Function.h"
+#include "support/DenseBitSet.h"
+
+#include <vector>
+
+namespace rpcc {
+
+/// Appends the registers read by \p I to \p Uses and returns the register
+/// it defines (or NoReg).
+Reg instDefUses(const Instruction &I, std::vector<Reg> &Uses);
+
+class Liveness {
+public:
+  /// Requires up-to-date CFG lists.
+  explicit Liveness(const Function &F);
+
+  const DenseBitSet &liveIn(BlockId B) const { return In[B]; }
+  const DenseBitSet &liveOut(BlockId B) const { return Out[B]; }
+
+private:
+  std::vector<DenseBitSet> In, Out;
+};
+
+} // namespace rpcc
+
+#endif // RPCC_ANALYSIS_LIVENESS_H

@@ -1,0 +1,115 @@
+//===- analysis/LoopInfo.cpp ----------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace rpcc;
+
+LoopInfo::LoopInfo(const Function &F) : DT(F), InnerLoop(F.numBlocks(), -1) {
+  // Collect back edges (T -> H with H dominating T) grouped by header.
+  std::map<BlockId, std::vector<BlockId>> BackEdges;
+  for (const auto &B : F.blocks()) {
+    if (!DT.isReachable(B->id()))
+      continue;
+    for (BlockId S : B->succs())
+      if (DT.dominates(S, B->id()))
+        BackEdges[S].push_back(B->id());
+  }
+
+  // Build each loop body by backward reachability from the latches, stopping
+  // at the header (the classical natural-loop construction). Loops with the
+  // same header are merged.
+  for (auto &[Header, Latches] : BackEdges) {
+    Loop L;
+    L.Header = Header;
+    L.Contains.assign(F.numBlocks(), false);
+    L.Contains[Header] = true;
+    std::vector<BlockId> Work = Latches;
+    for (BlockId T : Work)
+      L.Contains[T] = true;
+    while (!Work.empty()) {
+      BlockId B = Work.back();
+      Work.pop_back();
+      if (B == Header)
+        continue;
+      for (BlockId P : F.block(B)->preds()) {
+        if (!DT.isReachable(P) || L.Contains[P])
+          continue;
+        L.Contains[P] = true;
+        Work.push_back(P);
+      }
+    }
+    for (BlockId B = 0; B != F.numBlocks(); ++B)
+      if (L.Contains[B])
+        L.Blocks.push_back(B);
+    Loops.push_back(std::move(L));
+  }
+
+  // Nesting: loop A is inside loop B iff B contains A's header and A != B.
+  // Sort by body size so parents (larger) can be found as the smallest
+  // strictly-containing loop.
+  std::vector<int> Order(Loops.size());
+  for (size_t I = 0; I != Loops.size(); ++I)
+    Order[I] = static_cast<int>(I);
+  std::sort(Order.begin(), Order.end(), [&](int A, int B) {
+    return Loops[A].Blocks.size() < Loops[B].Blocks.size();
+  });
+  for (size_t OI = 0; OI != Order.size(); ++OI) {
+    int A = Order[OI];
+    // The first larger loop containing A's header is A's parent.
+    for (size_t OJ = OI + 1; OJ != Order.size(); ++OJ) {
+      int B = Order[OJ];
+      if (Loops[B].Contains[Loops[A].Header] && B != A) {
+        Loops[A].Parent = B;
+        Loops[B].Children.push_back(A);
+        break;
+      }
+    }
+  }
+
+  // Depths and traversal orders (iterative preorder over roots).
+  std::vector<int> Roots;
+  for (size_t I = 0; I != Loops.size(); ++I)
+    if (Loops[I].Parent < 0)
+      Roots.push_back(static_cast<int>(I));
+  std::vector<int> Stack(Roots.rbegin(), Roots.rend());
+  while (!Stack.empty()) {
+    int L = Stack.back();
+    Stack.pop_back();
+    Loops[L].Depth = Loops[L].Parent < 0 ? 1 : Loops[Loops[L].Parent].Depth + 1;
+    Preorder.push_back(L);
+    for (auto It = Loops[L].Children.rbegin(); It != Loops[L].Children.rend();
+         ++It)
+      Stack.push_back(*It);
+  }
+  Postorder.assign(Preorder.rbegin(), Preorder.rend());
+
+  // Innermost-loop map: walk loops outermost-first so inner loops overwrite.
+  for (int L : Preorder)
+    for (BlockId B : Loops[L].Blocks)
+      InnerLoop[B] = L;
+
+  // Preheaders and exit blocks.
+  for (Loop &L : Loops) {
+    std::vector<BlockId> OutsidePreds;
+    for (BlockId P : F.block(L.Header)->preds())
+      if (!L.Contains[P])
+        OutsidePreds.push_back(P);
+    if (OutsidePreds.size() == 1) {
+      BlockId Cand = OutsidePreds[0];
+      // A landing pad must branch only to the header.
+      if (F.block(Cand)->succs().size() == 1)
+        L.Preheader = Cand;
+    }
+    std::vector<bool> SeenExit(F.numBlocks(), false);
+    for (BlockId B : L.Blocks)
+      for (BlockId S : F.block(B)->succs())
+        if (!L.Contains[S] && !SeenExit[S]) {
+          SeenExit[S] = true;
+          L.ExitBlocks.push_back(S);
+        }
+  }
+}

@@ -1,0 +1,80 @@
+//===- analysis/LoopInfo.h - Natural loop nesting forest --------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural loops discovered from back edges of the dominator tree, assembled
+/// into the nesting forest the promotion equations traverse ("analyze loop
+/// nests", paper step 4). After CfgNormalize each loop has a unique landing
+/// pad (preheader) and dedicated exit blocks, matching the paper's Figure 2
+/// ("each loop has an explicit landing pad before its header and an explicit
+/// exit block").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_ANALYSIS_LOOPINFO_H
+#define RPCC_ANALYSIS_LOOPINFO_H
+
+#include "analysis/Dominators.h"
+#include "ir/Function.h"
+
+#include <memory>
+#include <vector>
+
+namespace rpcc {
+
+/// One natural loop. Loops sharing a header are merged.
+struct Loop {
+  BlockId Header = NoBlock;
+  /// All blocks in the loop body (header included), ascending ids.
+  std::vector<BlockId> Blocks;
+  /// Membership flags indexed by block id (sized to the function).
+  std::vector<bool> Contains;
+  /// The unique predecessor of the header outside the loop; NoBlock if the
+  /// CFG has not been normalized. This is the paper's landing pad.
+  BlockId Preheader = NoBlock;
+  /// Blocks outside the loop that have a predecessor inside. After
+  /// normalization each has predecessors only inside this loop, so demotion
+  /// stores can be placed there.
+  std::vector<BlockId> ExitBlocks;
+  /// Nesting: index of the parent loop in LoopInfo::loops(), or -1.
+  int Parent = -1;
+  std::vector<int> Children;
+  /// 1 for outermost loops.
+  unsigned Depth = 1;
+};
+
+/// The loop forest of one function.
+class LoopInfo {
+public:
+  /// Requires up-to-date CFG lists; computes its own dominator tree.
+  explicit LoopInfo(const Function &F);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+  size_t numLoops() const { return Loops.size(); }
+  const Loop &loop(size_t I) const { return Loops[I]; }
+
+  /// Innermost loop containing \p B, or -1.
+  int innermostLoop(BlockId B) const { return InnerLoop[B]; }
+
+  /// Indices of loops ordered outermost-first (parents before children).
+  const std::vector<int> &preorder() const { return Preorder; }
+
+  /// Indices ordered innermost-first (children before parents).
+  const std::vector<int> &postorder() const { return Postorder; }
+
+  const DominatorTree &domTree() const { return DT; }
+
+private:
+  DominatorTree DT;
+  std::vector<Loop> Loops;
+  std::vector<int> InnerLoop;
+  std::vector<int> Preorder, Postorder;
+};
+
+} // namespace rpcc
+
+#endif // RPCC_ANALYSIS_LOOPINFO_H

@@ -1,0 +1,103 @@
+//===- driver/Compiler.cpp ------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include "alias/ModRef.h"
+#include "alias/PointsTo.h"
+#include "analysis/CfgNormalize.h"
+#include "frontend/Lowering.h"
+#include "ir/Verifier.h"
+#include "opt/Cleanup.h"
+#include "opt/CopyProp.h"
+#include "opt/Dce.h"
+
+using namespace rpcc;
+
+namespace {
+
+void normalizeAll(Module &M) {
+  for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+    Function *F = M.function(static_cast<FuncId>(FI));
+    if (!F->isBuiltin() && F->numBlocks())
+      normalizeLoops(*F);
+  }
+}
+
+} // namespace
+
+CompileOutput rpcc::compileProgram(const std::string &Source,
+                                   const CompilerConfig &Cfg) {
+  CompileOutput Out;
+  Out.M = std::make_unique<Module>();
+  if (!compileToIL(Source, *Out.M, Out.Errors))
+    return Out;
+  Module &M = *Out.M;
+
+  // Landing pads and dedicated exits, as the paper's CFG construction
+  // guarantees.
+  normalizeAll(M);
+
+  // Interprocedural analysis; encode results in tag sets and call
+  // summaries, then strengthen opcodes up Table 1's hierarchy.
+  if (Cfg.Analysis == AnalysisKind::PointsTo) {
+    PointsToResult PT = runPointsTo(M);
+    runModRef(M, &PT);
+  } else {
+    runModRef(M);
+  }
+  Out.Stats.Strengthen = strengthenOpcodes(M);
+
+  // Register promotion happens "in the early phases of optimization".
+  if (Cfg.ScalarPromotion)
+    Out.Stats.Promo = promoteScalars(M, Cfg.Promo);
+
+  if (Cfg.EnableOpts) {
+    Out.Stats.Vn = runValueNumbering(M);
+    Out.Stats.Pre = runPre(M);
+    propagateCopies(M);
+    Out.Stats.Sccp = runSccp(M);
+    runCleanup(M);
+    normalizeAll(M);
+    Out.Stats.Licm = runLicm(M);
+  }
+
+  // §3.3 pointer-based promotion runs after LICM has exposed invariant
+  // base addresses.
+  if (Cfg.PointerPromotion) {
+    normalizeAll(M);
+    Out.Stats.PtrPromo = promotePointers(M);
+  }
+
+  if (Cfg.EnableOpts)
+    Out.Stats.DceRemoved = runDce(M);
+
+  if (Cfg.RegisterAllocation) {
+    RegAllocOptions RA;
+    RA.NumRegisters = Cfg.NumRegisters;
+    RA.GeorgeCoalescing = !Cfg.ClassicAllocator;
+    RA.Rematerialization = !Cfg.ClassicAllocator;
+    Out.Stats.RegAlloc = allocateRegisters(M, RA);
+  }
+
+  runCleanup(M);
+
+  std::string VerifyErr;
+  if (!verifyModule(M, VerifyErr)) {
+    Out.Errors = "internal error: pipeline produced invalid IL:\n" + VerifyErr;
+    return Out;
+  }
+  Out.Ok = true;
+  return Out;
+}
+
+ExecResult rpcc::compileAndRun(const std::string &Source,
+                               const CompilerConfig &Cfg,
+                               const InterpOptions &IOpts) {
+  CompileOutput Out = compileProgram(Source, Cfg);
+  if (!Out.Ok) {
+    ExecResult R;
+    R.Error = Out.Errors;
+    return R;
+  }
+  return interpret(*Out.M, IOpts);
+}

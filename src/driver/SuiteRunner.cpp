@@ -1,0 +1,100 @@
+//===- driver/SuiteRunner.cpp ---------------------------------------------===//
+
+#include "driver/SuiteRunner.h"
+
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace rpcc;
+
+#ifndef RPCC_PROGRAMS_DIR
+#define RPCC_PROGRAMS_DIR "bench/programs"
+#endif
+
+ProgramResults rpcc::runAllConfigs(const std::string &Name,
+                                   const std::string &Source,
+                                   const SuiteOptions &Opts) {
+  ProgramResults PR;
+  PR.Name = Name;
+  for (int A = 0; A != 2; ++A) {
+    for (int P = 0; P != 2; ++P) {
+      CompilerConfig Cfg;
+      Cfg.Analysis = A == 0 ? AnalysisKind::ModRef : AnalysisKind::PointsTo;
+      Cfg.ScalarPromotion = P == 1;
+      Cfg.PointerPromotion = P == 1 && Opts.PointerPromotion;
+      Cfg.NumRegisters = Opts.NumRegisters;
+      ExecResult R = compileAndRun(Source, Cfg, Opts.Interp);
+      ConfigCounts &C = PR.R[A][P];
+      C.Ok = R.Ok;
+      C.Error = R.Error;
+      C.Total = R.Counters.Total;
+      C.Loads = R.Counters.Loads;
+      C.Stores = R.Counters.Stores;
+      C.Output = R.Output;
+    }
+  }
+  return PR;
+}
+
+std::string rpcc::formatPaperTable(const std::vector<ProgramResults> &Programs,
+                                   Metric Which) {
+  auto Pick = [&](const ConfigCounts &C) {
+    switch (Which) {
+    case Metric::TotalOps:
+      return C.Total;
+    case Metric::Stores:
+      return C.Stores;
+    case Metric::Loads:
+      return C.Loads;
+    }
+    return uint64_t(0);
+  };
+
+  TextTable T({"program", "analysis", "without", "with", "difference",
+               "% removed"});
+  for (const ProgramResults &PR : Programs) {
+    for (int A = 0; A != 2; ++A) {
+      const ConfigCounts &Without = PR.R[A][0];
+      const ConfigCounts &With = PR.R[A][1];
+      std::string Analysis = A == 0 ? "modref" : "pointer";
+      if (!Without.Ok || !With.Ok) {
+        T.addRow({A == 0 ? PR.Name : "", Analysis, "error", "error", "-",
+                  "-"});
+        continue;
+      }
+      uint64_t W0 = Pick(Without), W1 = Pick(With);
+      int64_t Diff = static_cast<int64_t>(W0) - static_cast<int64_t>(W1);
+      double Pct = W0 ? 100.0 * static_cast<double>(Diff) /
+                            static_cast<double>(W0)
+                      : 0.0;
+      T.addRow({A == 0 ? PR.Name : "", Analysis, withCommas(W0),
+                withCommas(W1), withCommasSigned(Diff), fixed(Pct, 2)});
+    }
+  }
+  return T.render();
+}
+
+std::string rpcc::loadBenchProgram(const std::string &Name) {
+  std::string Path = std::string(RPCC_PROGRAMS_DIR) + "/" + Name + ".c";
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open benchmark program %s\n",
+                 Path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+const std::vector<std::string> &rpcc::benchProgramNames() {
+  static const std::vector<std::string> Names = {
+      "tsp",    "mlink",     "fft",   "clean", "sim",
+      "dhrystone", "water",  "indent", "allroots", "bc",
+      "go",     "bison",     "gzip_enc", "gzip_dec"};
+  return Names;
+}

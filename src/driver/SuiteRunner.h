@@ -1,0 +1,69 @@
+//===- driver/SuiteRunner.h - Figure 5-7 experiment driver ------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a benchmark program through the paper's four configurations —
+/// {MOD/REF, points-to} × {without, with scalar promotion} — and formats
+/// the resulting dynamic counts exactly like Figures 5 (total operations),
+/// 6 (stores), and 7 (loads): program, analysis, without, with, difference,
+/// and percent removed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_DRIVER_SUITERUNNER_H
+#define RPCC_DRIVER_SUITERUNNER_H
+
+#include "driver/Compiler.h"
+
+#include <string>
+#include <vector>
+
+namespace rpcc {
+
+struct SuiteOptions {
+  /// Allocatable registers per class; see CompilerConfig::NumRegisters.
+  unsigned NumRegisters = 16;
+  bool PointerPromotion = false;
+  InterpOptions Interp;
+};
+
+struct ConfigCounts {
+  bool Ok = false;
+  std::string Error;
+  uint64_t Total = 0, Loads = 0, Stores = 0;
+  std::string Output; ///< program stdout, for cross-config equality checks
+};
+
+/// Results of one program across the 2x2 matrix:
+/// index [analysis][promotion], analysis 0 = modref / 1 = pointer,
+/// promotion 0 = without / 1 = with.
+struct ProgramResults {
+  std::string Name;
+  ConfigCounts R[2][2];
+};
+
+/// Compiles and executes under all four configurations.
+ProgramResults runAllConfigs(const std::string &Name,
+                             const std::string &Source,
+                             const SuiteOptions &Opts = {});
+
+enum class Metric { TotalOps, Stores, Loads };
+
+/// Renders the paper-style table for one metric over many programs.
+std::string formatPaperTable(const std::vector<ProgramResults> &Programs,
+                             Metric Which);
+
+/// Reads one of the repository's benchmark programs
+/// (bench/programs/<name>.c). Aborts with a clear message if missing.
+std::string loadBenchProgram(const std::string &Name);
+
+/// Names of the 14-program suite standing in for the paper's Figure 4.
+const std::vector<std::string> &benchProgramNames();
+
+} // namespace rpcc
+
+#endif // RPCC_DRIVER_SUITERUNNER_H

@@ -1,0 +1,4 @@
+//===- frontend/Ast.cpp ---------------------------------------------------===//
+// The AST is header-only; this file anchors the translation unit.
+
+#include "frontend/Ast.h"

@@ -1,0 +1,293 @@
+//===- frontend/Ast.h - MiniC abstract syntax tree --------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for MiniC. Nodes carry a Kind tag for LLVM-style manual dispatch (no
+/// RTTI). Sema annotates expressions with types and resolves names to
+/// Symbols; Lowering then consumes the annotated tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_FRONTEND_AST_H
+#define RPCC_FRONTEND_AST_H
+
+#include "frontend/Type.h"
+#include "ir/Instruction.h"
+#include "ir/Tag.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rpcc {
+
+struct FuncDecl;
+
+/// A named program entity. Owned by its declaration; referenced from
+/// VarRefExpr after name resolution.
+struct Symbol {
+  enum class Kind : uint8_t { GlobalVar, LocalVar, Param, Func } K;
+  std::string Name;
+  const Type *Ty = nullptr;
+  bool IsConst = false;
+  /// Set by Sema when '&sym' occurs (or, for functions, when the name is
+  /// used as a value). Lowering places addressed locals in memory.
+  bool AddressTaken = false;
+  /// Function symbols: the declaration.
+  FuncDecl *FD = nullptr;
+  // -- Filled in by Lowering --
+  TagId Tag = NoTag; ///< storage tag if memory-resident
+  Reg R = NoReg;     ///< register if enregistered
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : uint8_t {
+  IntLit, FloatLit, StrLit, VarRef, Unary, Binary, Assign, Call, Index,
+  Member, Cast, Cond, SizeofType
+};
+
+enum class UnOp : uint8_t {
+  Neg, LogNot, BitNot, Deref, AddrOf, PreInc, PreDec, PostInc, PostDec
+};
+
+enum class BinOp : uint8_t {
+  Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+  Lt, Le, Gt, Ge, Eq, Ne, LogAnd, LogOr
+};
+
+struct Expr {
+  explicit Expr(ExprKind K, unsigned Line, unsigned Col)
+      : K(K), Line(Line), Col(Col) {}
+  virtual ~Expr() = default;
+
+  ExprKind K;
+  unsigned Line, Col;
+  /// Semantic type; set by Sema. For expressions of array type this is the
+  /// array type itself; decay happens at use sites.
+  const Type *Ty = nullptr;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr {
+  IntLitExpr(int64_t V, unsigned L, unsigned C)
+      : Expr(ExprKind::IntLit, L, C), Value(V) {}
+  int64_t Value;
+};
+
+struct FloatLitExpr : Expr {
+  FloatLitExpr(double V, unsigned L, unsigned C)
+      : Expr(ExprKind::FloatLit, L, C), Value(V) {}
+  double Value;
+};
+
+struct StrLitExpr : Expr {
+  StrLitExpr(std::string V, unsigned L, unsigned C)
+      : Expr(ExprKind::StrLit, L, C), Value(std::move(V)) {}
+  std::string Value;
+  /// Tag of the interned read-only byte array; set by Lowering.
+  TagId Tag = NoTag;
+};
+
+struct VarRefExpr : Expr {
+  VarRefExpr(std::string N, unsigned L, unsigned C)
+      : Expr(ExprKind::VarRef, L, C), Name(std::move(N)) {}
+  std::string Name;
+  Symbol *Sym = nullptr; ///< resolved by Sema
+};
+
+struct UnaryExpr : Expr {
+  UnaryExpr(UnOp Op, ExprPtr Sub, unsigned L, unsigned C)
+      : Expr(ExprKind::Unary, L, C), Op(Op), Sub(std::move(Sub)) {}
+  UnOp Op;
+  ExprPtr Sub;
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr(BinOp Op, ExprPtr L0, ExprPtr R0, unsigned L, unsigned C)
+      : Expr(ExprKind::Binary, L, C), Op(Op), Lhs(std::move(L0)),
+        Rhs(std::move(R0)) {}
+  BinOp Op;
+  ExprPtr Lhs, Rhs;
+};
+
+struct AssignExpr : Expr {
+  /// \p Op is the arithmetic part of a compound assignment, or none.
+  AssignExpr(ExprPtr L0, ExprPtr R0, bool Compound, BinOp Op, unsigned L,
+             unsigned C)
+      : Expr(ExprKind::Assign, L, C), Lhs(std::move(L0)), Rhs(std::move(R0)),
+        IsCompound(Compound), Op(Op) {}
+  ExprPtr Lhs, Rhs;
+  bool IsCompound;
+  BinOp Op;
+};
+
+struct CallExpr : Expr {
+  CallExpr(ExprPtr Callee, std::vector<ExprPtr> Args, unsigned L, unsigned C)
+      : Expr(ExprKind::Call, L, C), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  ExprPtr Callee;
+  std::vector<ExprPtr> Args;
+  /// Direct-call target if the callee is a plain function name.
+  Symbol *DirectTarget = nullptr;
+};
+
+struct IndexExpr : Expr {
+  IndexExpr(ExprPtr B, ExprPtr I, unsigned L, unsigned C)
+      : Expr(ExprKind::Index, L, C), Base(std::move(B)), Idx(std::move(I)) {}
+  ExprPtr Base, Idx;
+};
+
+struct MemberExpr : Expr {
+  MemberExpr(ExprPtr B, std::string F, bool Arrow, unsigned L, unsigned C)
+      : Expr(ExprKind::Member, L, C), Base(std::move(B)),
+        FieldName(std::move(F)), IsArrow(Arrow) {}
+  ExprPtr Base;
+  std::string FieldName;
+  bool IsArrow;
+  const StructField *Field = nullptr; ///< resolved by Sema
+};
+
+struct CastExpr : Expr {
+  CastExpr(const Type *To, ExprPtr Sub, unsigned L, unsigned C)
+      : Expr(ExprKind::Cast, L, C), Target(To), Sub(std::move(Sub)) {}
+  const Type *Target;
+  ExprPtr Sub;
+};
+
+struct CondExpr : Expr {
+  CondExpr(ExprPtr C0, ExprPtr T0, ExprPtr F0, unsigned L, unsigned C)
+      : Expr(ExprKind::Cond, L, C), Cond(std::move(C0)), Then(std::move(T0)),
+        Else(std::move(F0)) {}
+  ExprPtr Cond, Then, Else;
+};
+
+struct SizeofTypeExpr : Expr {
+  SizeofTypeExpr(const Type *T, unsigned L, unsigned C)
+      : Expr(ExprKind::SizeofType, L, C), Target(T) {}
+  const Type *Target;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : uint8_t {
+  Expr, Decl, If, While, DoWhile, For, Return, Break, Continue, Block, Empty
+};
+
+struct Stmt {
+  explicit Stmt(StmtKind K, unsigned Line, unsigned Col)
+      : K(K), Line(Line), Col(Col) {}
+  virtual ~Stmt() = default;
+  StmtKind K;
+  unsigned Line, Col;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct ExprStmt : Stmt {
+  ExprStmt(ExprPtr E, unsigned L, unsigned C)
+      : Stmt(StmtKind::Expr, L, C), E(std::move(E)) {}
+  ExprPtr E;
+};
+
+struct DeclStmt : Stmt {
+  DeclStmt(unsigned L, unsigned C) : Stmt(StmtKind::Decl, L, C) {}
+  std::unique_ptr<Symbol> Sym;
+  ExprPtr Init; ///< optional scalar initializer
+};
+
+struct IfStmt : Stmt {
+  IfStmt(ExprPtr C0, StmtPtr T0, StmtPtr E0, unsigned L, unsigned C)
+      : Stmt(StmtKind::If, L, C), Cond(std::move(C0)), Then(std::move(T0)),
+        Else(std::move(E0)) {}
+  ExprPtr Cond;
+  StmtPtr Then, Else; ///< Else may be null
+};
+
+struct WhileStmt : Stmt {
+  WhileStmt(ExprPtr C0, StmtPtr B, unsigned L, unsigned C)
+      : Stmt(StmtKind::While, L, C), Cond(std::move(C0)), Body(std::move(B)) {}
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+struct DoWhileStmt : Stmt {
+  DoWhileStmt(StmtPtr B, ExprPtr C0, unsigned L, unsigned C)
+      : Stmt(StmtKind::DoWhile, L, C), Body(std::move(B)),
+        Cond(std::move(C0)) {}
+  StmtPtr Body;
+  ExprPtr Cond;
+};
+
+struct ForStmt : Stmt {
+  ForStmt(unsigned L, unsigned C) : Stmt(StmtKind::For, L, C) {}
+  ExprPtr Init, Cond, Step; ///< each may be null
+  StmtPtr Body;
+};
+
+struct ReturnStmt : Stmt {
+  ReturnStmt(ExprPtr V, unsigned L, unsigned C)
+      : Stmt(StmtKind::Return, L, C), Value(std::move(V)) {}
+  ExprPtr Value; ///< may be null
+};
+
+struct BreakStmt : Stmt {
+  BreakStmt(unsigned L, unsigned C) : Stmt(StmtKind::Break, L, C) {}
+};
+
+struct ContinueStmt : Stmt {
+  ContinueStmt(unsigned L, unsigned C) : Stmt(StmtKind::Continue, L, C) {}
+};
+
+struct BlockStmt : Stmt {
+  BlockStmt(unsigned L, unsigned C) : Stmt(StmtKind::Block, L, C) {}
+  std::vector<StmtPtr> Stmts;
+};
+
+struct EmptyStmt : Stmt {
+  EmptyStmt(unsigned L, unsigned C) : Stmt(StmtKind::Empty, L, C) {}
+};
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+/// A file-scope variable with optional initializer: a scalar constant
+/// expression, a string literal (char arrays), or a brace list of constant
+/// expressions (arrays).
+struct GlobalVarDecl {
+  std::unique_ptr<Symbol> Sym;
+  ExprPtr Init;                  ///< scalar initializer
+  std::vector<ExprPtr> InitList; ///< brace-list initializer
+  unsigned Line = 0, Col = 0;
+};
+
+struct FuncDecl {
+  std::string Name;
+  const Type *RetTy = nullptr;
+  std::vector<std::unique_ptr<Symbol>> Params;
+  std::unique_ptr<BlockStmt> Body;
+  std::unique_ptr<Symbol> Sym; ///< the function's own symbol
+  unsigned Line = 0, Col = 0;
+};
+
+/// A parsed translation unit. Owns the TypeContext so Type pointers in the
+/// tree stay valid.
+struct Program {
+  std::unique_ptr<TypeContext> Types;
+  std::vector<std::unique_ptr<GlobalVarDecl>> Globals;
+  std::vector<std::unique_ptr<FuncDecl>> Funcs;
+};
+
+} // namespace rpcc
+
+#endif // RPCC_FRONTEND_AST_H

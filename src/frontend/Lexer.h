@@ -1,0 +1,67 @@
+//===- frontend/Lexer.h - MiniC lexer ---------------------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_FRONTEND_LEXER_H
+#define RPCC_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rpcc {
+
+enum class Tok : uint8_t {
+  Eof,
+  Ident,
+  IntLit,
+  FloatLit,
+  StrLit,
+  // Keywords.
+  KwInt, KwChar, KwFloat, KwVoid, KwStruct, KwConst,
+  KwIf, KwElse, KwWhile, KwFor, KwDo, KwReturn, KwBreak, KwContinue,
+  KwSizeof,
+  // Punctuation and operators.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semi, Dot, Arrow, Question, Colon,
+  Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  Plus, Minus, Star, Slash, Percent,
+  PlusPlus, MinusMinus,
+  Amp, AmpAmp, Pipe, PipePipe, Caret, Tilde, Bang,
+  Shl, Shr,
+  Lt, Gt, Le, Ge, EqEq, Ne
+};
+
+/// One token with source position (1-based line/column).
+struct Token {
+  Tok Kind = Tok::Eof;
+  std::string Text;   ///< identifier spelling or string-literal bytes
+  int64_t IntVal = 0; ///< integer / char literal value
+  double FloatVal = 0.0;
+  unsigned Line = 0, Col = 0;
+};
+
+/// A diagnostic attached to a source position.
+struct Diag {
+  unsigned Line = 0, Col = 0;
+  std::string Message;
+};
+
+/// Renders diagnostics as "line:col: message" lines.
+std::string renderDiags(const std::vector<Diag> &Diags);
+
+/// Tokenizes MiniC source. Supports // and /* */ comments, decimal and hex
+/// integers, character literals with the usual escapes, floating literals,
+/// and string literals. Lexical errors are appended to \p Diags and yield a
+/// best-effort token stream ending in Eof.
+std::vector<Token> lex(const std::string &Source, std::vector<Diag> &Diags);
+
+/// Printable name of a token kind (for parser diagnostics).
+const char *tokName(Tok K);
+
+} // namespace rpcc
+
+#endif // RPCC_FRONTEND_LEXER_H

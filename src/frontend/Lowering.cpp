@@ -1,0 +1,1023 @@
+//===- frontend/Lowering.cpp ----------------------------------------------===//
+
+#include "frontend/Lowering.h"
+
+#include "frontend/Parser.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include <cassert>
+#include <cstring>
+#include <unordered_map>
+
+using namespace rpcc;
+
+namespace {
+
+MemType memTypeFor(const Type *T) {
+  if (T->isChar())
+    return MemType::I8;
+  if (T->isFloat())
+    return MemType::F64;
+  return MemType::I64;
+}
+
+RegType regTypeFor(const Type *T) {
+  return T->isFloat() ? RegType::Flt : RegType::Int;
+}
+
+/// A lowered storage location.
+struct LValue {
+  enum class Kind { ScalarTag, RegVar, Mem } K = Kind::Mem;
+  TagId Tag = NoTag;  ///< ScalarTag
+  Reg VarReg = NoReg; ///< RegVar
+  Reg Addr = NoReg;   ///< Mem: address register
+  MemType MT = MemType::I64;
+  TagSet Tags; ///< Mem: may-reference set; empty = unknown
+  bool ReadOnly = false;
+  const Type *Ty = nullptr; ///< the stored value's type
+};
+
+class Lowering {
+public:
+  Lowering(Program &P, Module &M, std::vector<Diag> &Diags)
+      : P(P), M(M), Diags(Diags) {}
+
+  bool run() {
+    M.declareBuiltins();
+
+    // Pass 1: create IL functions and global storage so references resolve.
+    for (auto &F : P.Funcs)
+      createFunction(*F);
+    for (auto &G : P.Globals)
+      createGlobal(*G);
+
+    // Pass 2: bodies.
+    for (auto &F : P.Funcs)
+      lowerFunction(*F);
+
+    return NumErrors == 0;
+  }
+
+private:
+  void error(unsigned L, unsigned C, const std::string &Msg) {
+    Diags.push_back({L, C, Msg});
+    ++NumErrors;
+  }
+
+  // -- Module-level ---------------------------------------------------------
+  void createFunction(FuncDecl &FD) {
+    if (M.lookup(FD.Name) != NoFunc) {
+      error(FD.Line, FD.Col,
+            "function '" + FD.Name + "' collides with a builtin");
+      return;
+    }
+    Function *F = M.addFunction(FD.Name);
+    for (auto &Prm : FD.Params)
+      F->paramRegs().push_back(F->newReg(regTypeFor(Prm->Ty)));
+    F->setReturn(!FD.RetTy->isVoid(), regTypeFor(FD.RetTy));
+    FuncOf[&FD] = F->id();
+    if (FD.Sym->AddressTaken) {
+      TagId T = M.tags().createFunc(FD.Name, F->id());
+      M.tags().tag(T).AddressTaken = true;
+      F->setFuncTag(T);
+    }
+  }
+
+  void createGlobal(GlobalVarDecl &G) {
+    const Type *T = G.Sym->Ty;
+    bool Scalar = T->isScalarValue();
+    TagId Tag = M.tags().createGlobal(G.Sym->Name, T->size(), Scalar,
+                                      memTypeFor(Scalar ? T : elemType(T)),
+                                      G.Sym->IsConst);
+    if (G.Sym->AddressTaken)
+      M.tags().tag(Tag).AddressTaken = true;
+    G.Sym->Tag = Tag;
+
+    // Build the initializer image.
+    std::vector<uint8_t> Bytes;
+    if (G.Init && G.Init->K == ExprKind::StrLit && T->isArray()) {
+      const auto &S = static_cast<const StrLitExpr &>(*G.Init);
+      Bytes.assign(S.Value.begin(), S.Value.end());
+      Bytes.push_back(0);
+      Bytes.resize(T->size(), 0);
+    } else if (G.Init) {
+      Bytes = encodeConst(*G.Init, T);
+    } else if (!G.InitList.empty()) {
+      const Type *ET = scalarElement(T);
+      uint32_t ESize = ET->size();
+      Bytes.assign(T->size(), 0);
+      for (size_t I = 0; I != G.InitList.size(); ++I) {
+        std::vector<uint8_t> One = encodeConst(*G.InitList[I], ET);
+        std::memcpy(Bytes.data() + I * ESize, One.data(),
+                    std::min<size_t>(One.size(), ESize));
+      }
+    }
+    M.addGlobal(Tag, std::move(Bytes));
+  }
+
+  static const Type *scalarElement(const Type *T) {
+    while (T->isArray())
+      T = T->element();
+    return T;
+  }
+
+  static const Type *elemType(const Type *T) { return scalarElement(T); }
+
+  /// Folds a constant expression into its byte encoding for type \p T.
+  std::vector<uint8_t> encodeConst(const Expr &E, const Type *T) {
+    double FV = 0;
+    int64_t IV = 0;
+    bool IsF = false;
+    if (!foldConst(E, IV, FV, IsF)) {
+      error(E.Line, E.Col, "unsupported constant initializer");
+      return std::vector<uint8_t>(std::max<uint32_t>(T->size(), 1), 0);
+    }
+    std::vector<uint8_t> Out(T->size(), 0);
+    if (T->isFloat()) {
+      double V = IsF ? FV : static_cast<double>(IV);
+      std::memcpy(Out.data(), &V, 8);
+    } else if (T->isChar()) {
+      Out[0] = static_cast<uint8_t>(IsF ? static_cast<int64_t>(FV) : IV);
+    } else {
+      int64_t V = IsF ? static_cast<int64_t>(FV) : IV;
+      std::memcpy(Out.data(), &V, 8);
+    }
+    return Out;
+  }
+
+  bool foldConst(const Expr &E, int64_t &IV, double &FV, bool &IsF) {
+    switch (E.K) {
+    case ExprKind::IntLit:
+      IV = static_cast<const IntLitExpr &>(E).Value;
+      IsF = false;
+      return true;
+    case ExprKind::FloatLit:
+      FV = static_cast<const FloatLitExpr &>(E).Value;
+      IsF = true;
+      return true;
+    case ExprKind::SizeofType:
+      IV = static_cast<const SizeofTypeExpr &>(E).Target->size();
+      IsF = false;
+      return true;
+    case ExprKind::Unary: {
+      const auto &U = static_cast<const UnaryExpr &>(E);
+      if (!foldConst(*U.Sub, IV, FV, IsF))
+        return false;
+      switch (U.Op) {
+      case UnOp::Neg:
+        if (IsF)
+          FV = -FV;
+        else
+          IV = -IV;
+        return true;
+      case UnOp::BitNot:
+        IV = ~IV;
+        return !IsF;
+      case UnOp::LogNot:
+        IV = IsF ? (FV == 0.0) : (IV == 0);
+        IsF = false;
+        return true;
+      default:
+        return false;
+      }
+    }
+    case ExprKind::Binary: {
+      const auto &B = static_cast<const BinaryExpr &>(E);
+      int64_t LI = 0, RI = 0;
+      double LF = 0, RF = 0;
+      bool LIsF = false, RIsF = false;
+      if (!foldConst(*B.Lhs, LI, LF, LIsF) ||
+          !foldConst(*B.Rhs, RI, RF, RIsF))
+        return false;
+      if (LIsF || RIsF) {
+        double A = LIsF ? LF : static_cast<double>(LI);
+        double C = RIsF ? RF : static_cast<double>(RI);
+        IsF = true;
+        switch (B.Op) {
+        case BinOp::Add: FV = A + C; return true;
+        case BinOp::Sub: FV = A - C; return true;
+        case BinOp::Mul: FV = A * C; return true;
+        case BinOp::Div: FV = C != 0 ? A / C : 0; return true;
+        default: return false;
+        }
+      }
+      IsF = false;
+      switch (B.Op) {
+      case BinOp::Add: IV = LI + RI; return true;
+      case BinOp::Sub: IV = LI - RI; return true;
+      case BinOp::Mul: IV = LI * RI; return true;
+      case BinOp::Div: IV = RI ? LI / RI : 0; return true;
+      case BinOp::Rem: IV = RI ? LI % RI : 0; return true;
+      case BinOp::And: IV = LI & RI; return true;
+      case BinOp::Or: IV = LI | RI; return true;
+      case BinOp::Xor: IV = LI ^ RI; return true;
+      case BinOp::Shl: IV = LI << (RI & 63); return true;
+      case BinOp::Shr: IV = LI >> (RI & 63); return true; // arithmetic
+      default: return false;
+      }
+    }
+    case ExprKind::Cast: {
+      const auto &Ca = static_cast<const CastExpr &>(E);
+      if (!foldConst(*Ca.Sub, IV, FV, IsF))
+        return false;
+      if (Ca.Target->isFloat() && !IsF) {
+        FV = static_cast<double>(IV);
+        IsF = true;
+      } else if (!Ca.Target->isFloat() && IsF) {
+        IV = static_cast<int64_t>(FV);
+        IsF = false;
+      }
+      if (Ca.Target->isChar())
+        IV &= 0xFF;
+      return true;
+    }
+    default:
+      return false;
+    }
+  }
+
+  TagId internString(const std::string &S) {
+    auto It = StringTags.find(S);
+    if (It != StringTags.end())
+      return It->second;
+    TagId T = M.tags().createGlobal(
+        "str." + std::to_string(StringTags.size()),
+        static_cast<uint32_t>(S.size() + 1), /*Scalar=*/false, MemType::I8,
+        /*ReadOnly=*/true);
+    // String literals are only ever reached through a pointer.
+    M.tags().tag(T).AddressTaken = true;
+    std::vector<uint8_t> Bytes(S.begin(), S.end());
+    Bytes.push_back(0);
+    M.addGlobal(T, std::move(Bytes));
+    StringTags.emplace(S, T);
+    return T;
+  }
+
+  // -- Function bodies -------------------------------------------------------
+  void lowerFunction(FuncDecl &FD) {
+    auto FIt = FuncOf.find(&FD);
+    if (FIt == FuncOf.end())
+      return;
+    F = M.function(FIt->second);
+    B = std::make_unique<IRBuilder>(M, F);
+    CurFD = &FD;
+    HeapSiteCounter = 0;
+
+    BasicBlock *Entry = F->newBlock("entry");
+    B->setBlock(Entry);
+
+    // Parameters: address-taken ones spill into local-tag storage.
+    for (size_t I = 0; I != FD.Params.size(); ++I) {
+      Symbol *S = FD.Params[I].get();
+      Reg PR = F->paramRegs()[I];
+      if (S->AddressTaken) {
+        S->Tag = M.tags().createLocal(FD.Name + "." + S->Name, F->id(),
+                                      S->Ty->size(), /*Scalar=*/true,
+                                      memTypeFor(S->Ty));
+        M.tags().tag(S->Tag).AddressTaken = true;
+        B->emitScalarStore(S->Tag, PR);
+      } else {
+        S->R = PR;
+      }
+    }
+
+    lowerBlock(*FD.Body);
+
+    // Terminate any open block with a default return.
+    finishOpenBlocks();
+  }
+
+  void finishOpenBlocks() {
+    for (auto &Blk : F->blocks()) {
+      if (Blk->terminator())
+        continue;
+      B->setBlock(Blk.get());
+      emitDefaultReturn();
+    }
+  }
+
+  void emitDefaultReturn() {
+    if (!F->returnsValue()) {
+      B->emitRet();
+      return;
+    }
+    Reg R = F->returnType() == RegType::Flt ? B->emitLoadF(0.0)
+                                            : B->emitLoadI(0);
+    B->emitRet(R);
+  }
+
+  /// If the current block is already terminated (code after return/break),
+  /// switch to a fresh unreachable block; it is removed later.
+  void ensureOpen() {
+    if (!B->blockClosed())
+      return;
+    B->setBlock(F->newBlock("dead"));
+  }
+
+  // -- Statements ------------------------------------------------------------
+  void lowerBlock(BlockStmt &Blk) {
+    for (auto &S : Blk.Stmts)
+      lowerStmt(*S);
+  }
+
+  void lowerStmt(Stmt &S) {
+    ensureOpen();
+    switch (S.K) {
+    case StmtKind::Expr:
+      lowerExpr(*static_cast<ExprStmt &>(S).E);
+      return;
+    case StmtKind::Decl: {
+      auto &D = static_cast<DeclStmt &>(S);
+      Symbol *Sym = D.Sym.get();
+      bool Aggregate = Sym->Ty->isArray() || Sym->Ty->isStruct();
+      if (Sym->AddressTaken || Aggregate) {
+        Sym->Tag = M.tags().createLocal(
+            CurFD->Name + "." + Sym->Name, F->id(), Sym->Ty->size(),
+            Sym->Ty->isScalarValue(), memTypeFor(scalarElement(Sym->Ty)));
+        if (Sym->AddressTaken)
+          M.tags().tag(Sym->Tag).AddressTaken = true;
+        if (D.Init) {
+          Reg V = lowerConverted(*D.Init, Sym->Ty);
+          B->emitScalarStore(Sym->Tag, V);
+        }
+      } else {
+        Sym->R = F->newReg(regTypeFor(Sym->Ty));
+        if (D.Init) {
+          Reg V = lowerConverted(*D.Init, Sym->Ty);
+          B->emitCopyTo(Sym->R, V);
+        }
+      }
+      return;
+    }
+    case StmtKind::If: {
+      auto &I = static_cast<IfStmt &>(S);
+      Reg C = lowerCond(*I.Cond);
+      BasicBlock *ThenB = F->newBlock("if.then");
+      BasicBlock *ElseB = I.Else ? F->newBlock("if.else") : nullptr;
+      BasicBlock *JoinB = F->newBlock("if.join");
+      B->emitBr(C, ThenB->id(), ElseB ? ElseB->id() : JoinB->id());
+      B->setBlock(ThenB);
+      lowerStmt(*I.Then);
+      if (!B->blockClosed())
+        B->emitJmp(JoinB->id());
+      if (ElseB) {
+        B->setBlock(ElseB);
+        lowerStmt(*I.Else);
+        if (!B->blockClosed())
+          B->emitJmp(JoinB->id());
+      }
+      B->setBlock(JoinB);
+      return;
+    }
+    case StmtKind::While: {
+      auto &W = static_cast<WhileStmt &>(S);
+      BasicBlock *CondB = F->newBlock("while.cond");
+      BasicBlock *BodyB = F->newBlock("while.body");
+      BasicBlock *AfterB = F->newBlock("while.end");
+      B->emitJmp(CondB->id());
+      B->setBlock(CondB);
+      Reg C = lowerCond(*W.Cond);
+      B->emitBr(C, BodyB->id(), AfterB->id());
+      LoopTargets.push_back({CondB->id(), AfterB->id()});
+      B->setBlock(BodyB);
+      lowerStmt(*W.Body);
+      if (!B->blockClosed())
+        B->emitJmp(CondB->id());
+      LoopTargets.pop_back();
+      B->setBlock(AfterB);
+      return;
+    }
+    case StmtKind::DoWhile: {
+      auto &W = static_cast<DoWhileStmt &>(S);
+      BasicBlock *BodyB = F->newBlock("do.body");
+      BasicBlock *CondB = F->newBlock("do.cond");
+      BasicBlock *AfterB = F->newBlock("do.end");
+      B->emitJmp(BodyB->id());
+      LoopTargets.push_back({CondB->id(), AfterB->id()});
+      B->setBlock(BodyB);
+      lowerStmt(*W.Body);
+      if (!B->blockClosed())
+        B->emitJmp(CondB->id());
+      LoopTargets.pop_back();
+      B->setBlock(CondB);
+      Reg C = lowerCond(*W.Cond);
+      B->emitBr(C, BodyB->id(), AfterB->id());
+      B->setBlock(AfterB);
+      return;
+    }
+    case StmtKind::For: {
+      auto &Fo = static_cast<ForStmt &>(S);
+      if (Fo.Init)
+        lowerExpr(*Fo.Init);
+      BasicBlock *CondB = F->newBlock("for.cond");
+      BasicBlock *BodyB = F->newBlock("for.body");
+      BasicBlock *StepB = F->newBlock("for.step");
+      BasicBlock *AfterB = F->newBlock("for.end");
+      B->emitJmp(CondB->id());
+      B->setBlock(CondB);
+      if (Fo.Cond) {
+        Reg C = lowerCond(*Fo.Cond);
+        B->emitBr(C, BodyB->id(), AfterB->id());
+      } else {
+        B->emitJmp(BodyB->id());
+      }
+      LoopTargets.push_back({StepB->id(), AfterB->id()});
+      B->setBlock(BodyB);
+      lowerStmt(*Fo.Body);
+      if (!B->blockClosed())
+        B->emitJmp(StepB->id());
+      LoopTargets.pop_back();
+      B->setBlock(StepB);
+      if (Fo.Step)
+        lowerExpr(*Fo.Step);
+      B->emitJmp(CondB->id());
+      B->setBlock(AfterB);
+      return;
+    }
+    case StmtKind::Return: {
+      auto &R = static_cast<ReturnStmt &>(S);
+      if (R.Value) {
+        Reg V = lowerConverted(*R.Value, CurFD->RetTy);
+        B->emitRet(V);
+      } else {
+        B->emitRet();
+      }
+      return;
+    }
+    case StmtKind::Break:
+      B->emitJmp(LoopTargets.back().BreakTo);
+      return;
+    case StmtKind::Continue:
+      B->emitJmp(LoopTargets.back().ContinueTo);
+      return;
+    case StmtKind::Block:
+      lowerBlock(static_cast<BlockStmt &>(S));
+      return;
+    case StmtKind::Empty:
+      return;
+    }
+  }
+
+  // -- Conversions -----------------------------------------------------------
+  /// Converts value \p R of type \p From for storage/use as type \p To.
+  Reg convert(Reg R, const Type *From, const Type *To) {
+    From = valueType(From);
+    To = valueType(To);
+    if (From == To)
+      return R;
+    if (To->isFloat() && !From->isFloat())
+      return B->emitUn(Opcode::IntToFp, R, RegType::Flt);
+    if (!To->isFloat() && From->isFloat())
+      return B->emitUn(Opcode::FpToInt, R, RegType::Int);
+    if (To->isChar() && !From->isChar()) {
+      Reg Mask = B->emitLoadI(0xFF);
+      return B->emitBin(Opcode::And, R, Mask, RegType::Int);
+    }
+    // char -> int, pointer <-> int, pointer <-> pointer: representation is
+    // identical.
+    return R;
+  }
+
+  /// Collapses array/function types to their decayed value types.
+  const Type *valueType(const Type *T) {
+    if (T->isArray())
+      return P.Types->pointerTo(T->element());
+    if (T->isFunc())
+      return P.Types->pointerTo(T);
+    return T;
+  }
+
+  Reg lowerConverted(Expr &E, const Type *To) {
+    Reg R = lowerExpr(E);
+    return convert(R, E.Ty, To);
+  }
+
+  /// Lowers a branch condition to a register whose zero/nonzero value
+  /// decides the branch. Floats compare against 0.0 first.
+  Reg lowerCond(Expr &E) {
+    Reg R = lowerExpr(E);
+    if (valueType(E.Ty)->isFloat()) {
+      Reg Z = B->emitLoadF(0.0);
+      return B->emitBin(Opcode::FCmpNe, R, Z, RegType::Int);
+    }
+    return R;
+  }
+
+  // -- LValues -----------------------------------------------------------------
+  LValue lowerLValue(Expr &E) {
+    switch (E.K) {
+    case ExprKind::VarRef: {
+      Symbol *S = static_cast<VarRefExpr &>(E).Sym;
+      LValue LV;
+      LV.Ty = S->Ty;
+      if (S->Ty->isArray() || S->Ty->isStruct()) {
+        // Aggregates denote their storage address with a known tag.
+        LV.K = LValue::Kind::Mem;
+        LV.Addr = B->emitLoadAddr(S->Tag);
+        LV.Tags.insert(S->Tag);
+        LV.ReadOnly = S->IsConst;
+        LV.MT = memTypeFor(scalarElement(S->Ty));
+        return LV;
+      }
+      if (S->R != NoReg) {
+        LV.K = LValue::Kind::RegVar;
+        LV.VarReg = S->R;
+        return LV;
+      }
+      LV.K = LValue::Kind::ScalarTag;
+      LV.Tag = S->Tag;
+      LV.ReadOnly = S->IsConst;
+      return LV;
+    }
+    case ExprKind::Unary: {
+      auto &U = static_cast<UnaryExpr &>(E);
+      assert(U.Op == UnOp::Deref && "not an lvalue unary");
+      LValue LV;
+      LV.K = LValue::Kind::Mem;
+      LV.Addr = lowerExpr(*U.Sub);
+      LV.Ty = E.Ty;
+      LV.MT = memTypeFor(E.Ty);
+      // Unknown pointer: empty tag set, to be filled by analysis.
+      return LV;
+    }
+    case ExprKind::Index: {
+      auto &I = static_cast<IndexExpr &>(E);
+      LValue Base = lowerArrayBase(*I.Base);
+      Reg Idx = lowerExpr(*I.Idx);
+      uint32_t ESize = E.Ty->size();
+      Reg Scaled = Idx;
+      if (ESize != 1) {
+        Reg SizeR = B->emitLoadI(ESize);
+        Scaled = B->emitBin(Opcode::Mul, Idx, SizeR, RegType::Int);
+      }
+      LValue LV;
+      LV.K = LValue::Kind::Mem;
+      LV.Addr = B->emitBin(Opcode::Add, Base.Addr, Scaled, RegType::Int);
+      LV.Tags = Base.Tags;
+      LV.ReadOnly = Base.ReadOnly;
+      LV.Ty = E.Ty;
+      LV.MT = memTypeFor(scalarElement(E.Ty));
+      return LV;
+    }
+    case ExprKind::Member: {
+      auto &Mb = static_cast<MemberExpr &>(E);
+      LValue LV;
+      LV.K = LValue::Kind::Mem;
+      if (Mb.IsArrow) {
+        Reg BaseP = lowerExpr(*Mb.Base);
+        LV.Addr = addOffset(BaseP, Mb.Field->Offset);
+        // Through a pointer: unknown tags.
+      } else {
+        LValue Base = lowerLValue(*Mb.Base);
+        assert(Base.K == LValue::Kind::Mem && "struct lvalue must be memory");
+        LV.Addr = addOffset(Base.Addr, Mb.Field->Offset);
+        LV.Tags = Base.Tags;
+        LV.ReadOnly = Base.ReadOnly;
+      }
+      LV.Ty = E.Ty;
+      LV.MT = memTypeFor(scalarElement(E.Ty));
+      return LV;
+    }
+    default:
+      assert(false && "not an lvalue expression");
+      return LValue();
+    }
+  }
+
+  Reg addOffset(Reg Base, uint32_t Off) {
+    if (!Off)
+      return Base;
+    Reg OffR = B->emitLoadI(Off);
+    return B->emitBin(Opcode::Add, Base, OffR, RegType::Int);
+  }
+
+  /// Lowers the base of a subscript to an address + tag info. Handles array
+  /// lvalues (direct tags) and pointer values (unknown tags).
+  LValue lowerArrayBase(Expr &E) {
+    if (E.Ty->isArray()) {
+      LValue LV = lowerLValue(E);
+      assert(LV.K == LValue::Kind::Mem && "array lvalue must be memory");
+      return LV;
+    }
+    // Pointer base: the value is the address.
+    LValue LV;
+    LV.K = LValue::Kind::Mem;
+    LV.Addr = lowerExpr(E);
+    LV.Ty = E.Ty;
+    return LV;
+  }
+
+  Reg loadLValue(const LValue &LV) {
+    switch (LV.K) {
+    case LValue::Kind::ScalarTag:
+      return B->emitScalarLoad(LV.Tag);
+    case LValue::Kind::RegVar:
+      return LV.VarReg;
+    case LValue::Kind::Mem:
+      if (LV.ReadOnly)
+        return B->emitConstLoad(LV.Addr, LV.MT, LV.Tags);
+      return B->emitLoad(LV.Addr, LV.MT, LV.Tags);
+    }
+    return NoReg;
+  }
+
+  void storeLValue(const LValue &LV, Reg V) {
+    switch (LV.K) {
+    case LValue::Kind::ScalarTag:
+      B->emitScalarStore(LV.Tag, V);
+      return;
+    case LValue::Kind::RegVar:
+      B->emitCopyTo(LV.VarReg, V);
+      return;
+    case LValue::Kind::Mem:
+      B->emitStore(LV.Addr, V, LV.MT, LV.Tags);
+      return;
+    }
+  }
+
+  // -- Expressions -----------------------------------------------------------
+  Reg lowerExpr(Expr &E) {
+    switch (E.K) {
+    case ExprKind::IntLit:
+      return B->emitLoadI(static_cast<IntLitExpr &>(E).Value);
+    case ExprKind::FloatLit:
+      return B->emitLoadF(static_cast<FloatLitExpr &>(E).Value);
+    case ExprKind::StrLit: {
+      auto &S = static_cast<StrLitExpr &>(E);
+      S.Tag = internString(S.Value);
+      return B->emitLoadAddr(S.Tag);
+    }
+    case ExprKind::SizeofType:
+      return B->emitLoadI(static_cast<SizeofTypeExpr &>(E).Target->size());
+    case ExprKind::VarRef: {
+      Symbol *S = static_cast<VarRefExpr &>(E).Sym;
+      if (S->K == Symbol::Kind::Func) {
+        Function *Target = M.function(M.lookup(S->Name));
+        ensureFuncTag(Target);
+        return B->emitLoadAddr(Target->funcTag());
+      }
+      if (S->Ty->isArray() || S->Ty->isStruct())
+        return lowerLValue(E).Addr; // decay to address
+      return loadLValue(lowerLValue(E));
+    }
+    case ExprKind::Unary:
+      return lowerUnary(static_cast<UnaryExpr &>(E));
+    case ExprKind::Binary:
+      return lowerBinary(static_cast<BinaryExpr &>(E));
+    case ExprKind::Assign: {
+      auto &A = static_cast<AssignExpr &>(E);
+      LValue LV = lowerLValue(*A.Lhs);
+      Reg V;
+      if (A.IsCompound) {
+        Reg Old = loadLValue(LV);
+        Reg Rhs = lowerExpr(*A.Rhs);
+        V = emitArith(A.Op, Old, A.Lhs->Ty, Rhs, A.Rhs->Ty, A.Lhs->Ty);
+        if (valueType(A.Lhs->Ty)->isFloat() &&
+            !valueType(A.Rhs->Ty)->isFloat()) {
+          // already handled inside emitArith's float promotion
+        }
+        V = convert(V, A.Lhs->Ty, A.Lhs->Ty);
+      } else {
+        V = lowerConverted(*A.Rhs, A.Lhs->Ty);
+      }
+      storeLValue(LV, V);
+      return V;
+    }
+    case ExprKind::Call:
+      return lowerCall(static_cast<CallExpr &>(E));
+    case ExprKind::Index:
+      if (E.Ty->isArray() || E.Ty->isStruct())
+        return lowerLValue(E).Addr; // sub-aggregate decays
+      return loadLValue(lowerLValue(E));
+    case ExprKind::Member:
+      if (E.Ty->isArray() || E.Ty->isStruct())
+        return lowerLValue(E).Addr;
+      return loadLValue(lowerLValue(E));
+    case ExprKind::Cast: {
+      auto &Ca = static_cast<CastExpr &>(E);
+      if (Ca.Target->isVoid()) {
+        lowerExpr(*Ca.Sub);
+        return B->emitLoadI(0);
+      }
+      return lowerConverted(*Ca.Sub, Ca.Target);
+    }
+    case ExprKind::Cond: {
+      auto &Co = static_cast<CondExpr &>(E);
+      Reg Result = F->newReg(regTypeFor(valueType(E.Ty)));
+      Reg C = lowerCond(*Co.Cond);
+      BasicBlock *ThenB = F->newBlock("sel.then");
+      BasicBlock *ElseB = F->newBlock("sel.else");
+      BasicBlock *JoinB = F->newBlock("sel.join");
+      B->emitBr(C, ThenB->id(), ElseB->id());
+      B->setBlock(ThenB);
+      B->emitCopyTo(Result, lowerConverted(*Co.Then, E.Ty));
+      B->emitJmp(JoinB->id());
+      B->setBlock(ElseB);
+      B->emitCopyTo(Result, lowerConverted(*Co.Else, E.Ty));
+      B->emitJmp(JoinB->id());
+      B->setBlock(JoinB);
+      return Result;
+    }
+    }
+    return NoReg;
+  }
+
+  void ensureFuncTag(Function *Target) {
+    if (Target->funcTag() != NoTag)
+      return;
+    TagId T = M.tags().createFunc(Target->name(), Target->id());
+    M.tags().tag(T).AddressTaken = true;
+    Target->setFuncTag(T);
+  }
+
+  Reg lowerUnary(UnaryExpr &U) {
+    switch (U.Op) {
+    case UnOp::Neg: {
+      Reg R = lowerExpr(*U.Sub);
+      if (valueType(U.Sub->Ty)->isFloat())
+        return B->emitUn(Opcode::FNeg, R, RegType::Flt);
+      return B->emitUn(Opcode::Neg, R, RegType::Int);
+    }
+    case UnOp::BitNot: {
+      Reg R = lowerExpr(*U.Sub);
+      return B->emitUn(Opcode::Not, R, RegType::Int);
+    }
+    case UnOp::LogNot: {
+      Reg R = lowerExpr(*U.Sub);
+      if (valueType(U.Sub->Ty)->isFloat()) {
+        Reg Z = B->emitLoadF(0.0);
+        return B->emitBin(Opcode::FCmpEq, R, Z, RegType::Int);
+      }
+      Reg Z = B->emitLoadI(0);
+      return B->emitBin(Opcode::CmpEq, R, Z, RegType::Int);
+    }
+    case UnOp::Deref:
+      return loadLValue(lowerLValue(U));
+    case UnOp::AddrOf: {
+      // &f for a function.
+      if (U.Sub->K == ExprKind::VarRef &&
+          static_cast<VarRefExpr &>(*U.Sub).Sym->K == Symbol::Kind::Func) {
+        Symbol *S = static_cast<VarRefExpr &>(*U.Sub).Sym;
+        Function *Target = M.function(M.lookup(S->Name));
+        ensureFuncTag(Target);
+        return B->emitLoadAddr(Target->funcTag());
+      }
+      LValue LV = lowerLValue(*U.Sub);
+      switch (LV.K) {
+      case LValue::Kind::ScalarTag:
+        return B->emitLoadAddr(LV.Tag);
+      case LValue::Kind::Mem:
+        return LV.Addr;
+      case LValue::Kind::RegVar:
+        assert(false && "address of register variable (Sema should have "
+                        "placed it in memory)");
+        return NoReg;
+      }
+      return NoReg;
+    }
+    case UnOp::PreInc:
+    case UnOp::PreDec:
+    case UnOp::PostInc:
+    case UnOp::PostDec: {
+      LValue LV = lowerLValue(*U.Sub);
+      Reg Old = loadLValue(LV);
+      bool IsInc = U.Op == UnOp::PreInc || U.Op == UnOp::PostInc;
+      const Type *T = valueType(U.Sub->Ty);
+      Reg New;
+      if (T->isFloat()) {
+        Reg One = B->emitLoadF(1.0);
+        New = B->emitBin(IsInc ? Opcode::FAdd : Opcode::FSub, Old, One,
+                         RegType::Flt);
+      } else {
+        int64_t Step = T->isPointer() ? T->pointee()->size() : 1;
+        Reg One = B->emitLoadI(Step);
+        New = B->emitBin(IsInc ? Opcode::Add : Opcode::Sub, Old, One,
+                         RegType::Int);
+        if (T->isChar()) {
+          Reg Mask = B->emitLoadI(0xFF);
+          New = B->emitBin(Opcode::And, New, Mask, RegType::Int);
+        }
+      }
+      storeLValue(LV, New);
+      bool IsPre = U.Op == UnOp::PreInc || U.Op == UnOp::PreDec;
+      return IsPre ? New : Old;
+    }
+    }
+    return NoReg;
+  }
+
+  /// Emits the arithmetic/comparison for \p Op over already-lowered operands
+  /// with the given source types, producing a value of \p ResultTy (for
+  /// arithmetic) after the usual conversions.
+  Reg emitArith(BinOp Op, Reg L, const Type *LTy, Reg R, const Type *RTy,
+                const Type *ResultTy) {
+    const Type *LV = valueType(LTy);
+    const Type *RV = valueType(RTy);
+
+    // Pointer arithmetic: scale the integer side by the pointee size.
+    if (LV->isPointer() && RV->isIntegral() &&
+        (Op == BinOp::Add || Op == BinOp::Sub)) {
+      uint32_t ES = std::max<uint32_t>(LV->pointee()->size(), 1);
+      if (ES != 1) {
+        Reg SizeR = B->emitLoadI(ES);
+        R = B->emitBin(Opcode::Mul, R, SizeR, RegType::Int);
+      }
+      return B->emitBin(Op == BinOp::Add ? Opcode::Add : Opcode::Sub, L, R,
+                        RegType::Int);
+    }
+    if (LV->isIntegral() && RV->isPointer() && Op == BinOp::Add)
+      return emitArith(Op, R, RTy, L, LTy, ResultTy);
+    if (LV->isPointer() && RV->isPointer() && Op == BinOp::Sub) {
+      Reg Diff = B->emitBin(Opcode::Sub, L, R, RegType::Int);
+      uint32_t ES = std::max<uint32_t>(LV->pointee()->size(), 1);
+      if (ES == 1)
+        return Diff;
+      Reg SizeR = B->emitLoadI(ES);
+      return B->emitBin(Opcode::Div, Diff, SizeR, RegType::Int);
+    }
+
+    bool FloatOp = LV->isFloat() || RV->isFloat();
+    if (FloatOp) {
+      if (!LV->isFloat())
+        L = B->emitUn(Opcode::IntToFp, L, RegType::Flt);
+      if (!RV->isFloat())
+        R = B->emitUn(Opcode::IntToFp, R, RegType::Flt);
+    }
+
+    auto Bin = [&](Opcode IntOp, Opcode FltOp, RegType RT) {
+      return B->emitBin(FloatOp ? FltOp : IntOp, L, R, RT);
+    };
+    Reg Res = NoReg;
+    switch (Op) {
+    case BinOp::Add:
+      Res = Bin(Opcode::Add, Opcode::FAdd,
+                FloatOp ? RegType::Flt : RegType::Int);
+      break;
+    case BinOp::Sub:
+      Res = Bin(Opcode::Sub, Opcode::FSub,
+                FloatOp ? RegType::Flt : RegType::Int);
+      break;
+    case BinOp::Mul:
+      Res = Bin(Opcode::Mul, Opcode::FMul,
+                FloatOp ? RegType::Flt : RegType::Int);
+      break;
+    case BinOp::Div:
+      Res = Bin(Opcode::Div, Opcode::FDiv,
+                FloatOp ? RegType::Flt : RegType::Int);
+      break;
+    case BinOp::Rem:
+      Res = B->emitBin(Opcode::Rem, L, R, RegType::Int);
+      break;
+    case BinOp::And:
+      Res = B->emitBin(Opcode::And, L, R, RegType::Int);
+      break;
+    case BinOp::Or:
+      Res = B->emitBin(Opcode::Or, L, R, RegType::Int);
+      break;
+    case BinOp::Xor:
+      Res = B->emitBin(Opcode::Xor, L, R, RegType::Int);
+      break;
+    case BinOp::Shl:
+      Res = B->emitBin(Opcode::Shl, L, R, RegType::Int);
+      break;
+    case BinOp::Shr:
+      Res = B->emitBin(Opcode::Shr, L, R, RegType::Int);
+      break;
+    case BinOp::Lt:
+      Res = Bin(Opcode::CmpLt, Opcode::FCmpLt, RegType::Int);
+      break;
+    case BinOp::Le:
+      Res = Bin(Opcode::CmpLe, Opcode::FCmpLe, RegType::Int);
+      break;
+    case BinOp::Gt:
+      Res = Bin(Opcode::CmpGt, Opcode::FCmpGt, RegType::Int);
+      break;
+    case BinOp::Ge:
+      Res = Bin(Opcode::CmpGe, Opcode::FCmpGe, RegType::Int);
+      break;
+    case BinOp::Eq:
+      Res = Bin(Opcode::CmpEq, Opcode::FCmpEq, RegType::Int);
+      break;
+    case BinOp::Ne:
+      Res = Bin(Opcode::CmpNe, Opcode::FCmpNe, RegType::Int);
+      break;
+    case BinOp::LogAnd:
+    case BinOp::LogOr:
+      assert(false && "short-circuit ops are lowered with control flow");
+      break;
+    }
+    // Truncate back into char range when the result is a char value.
+    if (ResultTy && ResultTy->isChar() && Res != NoReg && !FloatOp) {
+      Reg Mask = B->emitLoadI(0xFF);
+      Res = B->emitBin(Opcode::And, Res, Mask, RegType::Int);
+    }
+    return Res;
+  }
+
+  Reg lowerBinary(BinaryExpr &E) {
+    if (E.Op == BinOp::LogAnd || E.Op == BinOp::LogOr) {
+      // Short-circuit: result register assigned on both paths.
+      Reg Result = F->newReg(RegType::Int);
+      Reg L = lowerCond(*E.Lhs);
+      Reg Zero = B->emitLoadI(0);
+      Reg LBool = B->emitBin(Opcode::CmpNe, L, Zero, RegType::Int);
+      B->emitCopyTo(Result, LBool);
+      BasicBlock *RhsB = F->newBlock("sc.rhs");
+      BasicBlock *JoinB = F->newBlock("sc.join");
+      if (E.Op == BinOp::LogAnd)
+        B->emitBr(LBool, RhsB->id(), JoinB->id());
+      else
+        B->emitBr(LBool, JoinB->id(), RhsB->id());
+      B->setBlock(RhsB);
+      Reg R = lowerCond(*E.Rhs);
+      Reg Zero2 = B->emitLoadI(0);
+      Reg RBool = B->emitBin(Opcode::CmpNe, R, Zero2, RegType::Int);
+      B->emitCopyTo(Result, RBool);
+      B->emitJmp(JoinB->id());
+      B->setBlock(JoinB);
+      return Result;
+    }
+    Reg L = lowerExpr(*E.Lhs);
+    Reg R = lowerExpr(*E.Rhs);
+    return emitArith(E.Op, L, E.Lhs->Ty, R, E.Rhs->Ty, E.Ty);
+  }
+
+  Reg lowerCall(CallExpr &C) {
+    if (C.DirectTarget) {
+      FuncId Callee = M.lookup(C.DirectTarget->Name);
+      assert(Callee != NoFunc && "unresolved direct call");
+      Function *CalleeF = M.function(Callee);
+      std::vector<Reg> Args;
+      const auto &ParamTys = C.DirectTarget->Ty->paramTypes();
+      for (size_t I = 0; I != C.Args.size(); ++I)
+        Args.push_back(lowerConverted(*C.Args[I], ParamTys[I]));
+      Reg Res = B->emitCall(CalleeF, Args);
+      if (CalleeF->builtin() == BuiltinKind::Malloc) {
+        // One heap tag per allocation call site (the paper's heap model).
+        Instruction *CallI = B->blockPtr()->insts().back().get();
+        CallI->Tag = M.tags().createHeap("heap." + CurFD->Name + "." +
+                                         std::to_string(HeapSiteCounter++));
+      }
+      return Res;
+    }
+    Reg CalleeR = lowerExpr(*C.Callee);
+    const Type *FT = valueType(C.Callee->Ty)->pointee();
+    std::vector<Reg> Args;
+    for (size_t I = 0; I != C.Args.size(); ++I)
+      Args.push_back(lowerConverted(*C.Args[I], FT->paramTypes()[I]));
+    return B->emitCallIndirect(CalleeR, Args, !FT->returnType()->isVoid(),
+                               regTypeFor(FT->returnType()));
+  }
+
+  struct LoopTarget {
+    BlockId ContinueTo;
+    BlockId BreakTo;
+  };
+
+  Program &P;
+  Module &M;
+  std::vector<Diag> &Diags;
+  unsigned NumErrors = 0;
+
+  std::unordered_map<FuncDecl *, FuncId> FuncOf;
+  std::unordered_map<std::string, TagId> StringTags;
+
+  // Per-function state.
+  Function *F = nullptr;
+  std::unique_ptr<IRBuilder> B;
+  FuncDecl *CurFD = nullptr;
+  std::vector<LoopTarget> LoopTargets;
+  unsigned HeapSiteCounter = 0;
+};
+
+} // namespace
+
+bool rpcc::lowerProgram(Program &P, Module &M, std::vector<Diag> &Diags) {
+  return Lowering(P, M, Diags).run();
+}
+
+bool rpcc::compileToIL(const std::string &Source, Module &M,
+                       std::string &Errors) {
+  std::vector<Diag> Diags;
+  Program P = parseProgram(Source, Diags);
+  if (!Diags.empty()) {
+    Errors = renderDiags(Diags);
+    return false;
+  }
+  BuiltinSymbols Builtins;
+  if (!analyze(P, Builtins, Diags)) {
+    Errors = renderDiags(Diags);
+    return false;
+  }
+  if (!lowerProgram(P, M, Diags)) {
+    Errors = renderDiags(Diags);
+    return false;
+  }
+  std::string VerifyErr;
+  if (!verifyModule(M, VerifyErr)) {
+    Errors = "internal error: IL verification failed:\n" + VerifyErr;
+    return false;
+  }
+  return true;
+}

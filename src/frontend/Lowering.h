@@ -1,0 +1,42 @@
+//===- frontend/Lowering.h - AST to IL lowering -----------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the checked AST to IL. The storage policy mirrors the paper's
+/// front end: values the compiler can prove unaliased (locals and parameters
+/// whose address is never taken) live in virtual registers; everything else
+/// — globals, address-taken locals, arrays, structs, heap objects — lives in
+/// memory behind a tag, with explicit loads and stores at every reference.
+/// "When it emits the IL, the front end encodes the best information it has
+/// into the tag field and the opcode": direct array and struct accesses get
+/// singleton tag sets, loads from const storage become cLoad, and pointer
+/// dereferences get the unknown (empty) tag set for analysis to refine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_FRONTEND_LOWERING_H
+#define RPCC_FRONTEND_LOWERING_H
+
+#include "frontend/Ast.h"
+#include "frontend/Sema.h"
+#include "ir/Module.h"
+
+#include <string>
+
+namespace rpcc {
+
+/// Lowers a semantically valid program into \p M. Returns false and appends
+/// diagnostics on internal lowering limits (e.g. unsupported constructs).
+bool lowerProgram(Program &P, Module &M, std::vector<Diag> &Diags);
+
+/// One-call frontend: parse + analyze + lower + verify. On failure returns
+/// false with rendered diagnostics in \p Errors.
+bool compileToIL(const std::string &Source, Module &M, std::string &Errors);
+
+} // namespace rpcc
+
+#endif // RPCC_FRONTEND_LOWERING_H

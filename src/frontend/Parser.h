@@ -1,0 +1,30 @@
+//===- frontend/Parser.h - MiniC recursive-descent parser -------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_FRONTEND_PARSER_H
+#define RPCC_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Lexer.h"
+
+namespace rpcc {
+
+/// Parses MiniC source into an AST. Syntax errors are appended to \p Diags;
+/// the returned Program is best-effort and should be discarded if \p Diags
+/// is non-empty.
+///
+/// MiniC declarator notes (documented deviations from full C):
+///   * pointer stars written after the base type distribute over every
+///     declarator in a comma list ("int* p, q" makes two pointers); stars
+///     may also be written per-declarator in the usual C position.
+///   * function pointers use the C form "int (*f)(int, int)", including
+///     arrays of function pointers "int (*table[4])(int)".
+Program parseProgram(const std::string &Source, std::vector<Diag> &Diags);
+
+} // namespace rpcc
+
+#endif // RPCC_FRONTEND_PARSER_H

@@ -1,0 +1,757 @@
+//===- frontend/Sema.cpp --------------------------------------------------===//
+
+#include "frontend/Sema.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace rpcc;
+
+namespace {
+
+class Sema {
+public:
+  Sema(Program &P, BuiltinSymbols &Builtins, std::vector<Diag> &Diags)
+      : P(P), Builtins(Builtins), Diags(Diags), Types(*P.Types) {}
+
+  bool run() {
+    pushScope(); // global scope
+    declareBuiltins();
+
+    for (auto &G : P.Globals)
+      declareGlobal(*G);
+    for (auto &F : P.Funcs)
+      declare(F->Sym.get(), F->Line, F->Col);
+
+    for (auto &G : P.Globals)
+      checkGlobalInit(*G);
+    for (auto &F : P.Funcs)
+      checkFunction(*F);
+
+    popScope();
+    return NumErrors == 0;
+  }
+
+private:
+  // -- Infrastructure ------------------------------------------------------
+  void error(unsigned L, unsigned C, const std::string &Msg) {
+    Diags.push_back({L, C, Msg});
+    ++NumErrors;
+  }
+  void error(const Expr &E, const std::string &Msg) {
+    error(E.Line, E.Col, Msg);
+  }
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  void declare(Symbol *S, unsigned L, unsigned C) {
+    auto &Top = Scopes.back();
+    if (Top.count(S->Name)) {
+      error(L, C, "redefinition of '" + S->Name + "'");
+      return;
+    }
+    Top.emplace(S->Name, S);
+  }
+
+  Symbol *lookup(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto F = It->find(Name);
+      if (F != It->end())
+        return F->second;
+    }
+    return nullptr;
+  }
+
+  void declareBuiltins() {
+    const Type *I = Types.intTy();
+    const Type *F = Types.floatTy();
+    const Type *V = Types.voidTy();
+    const Type *VP = Types.pointerTo(V);
+    const Type *CP = Types.pointerTo(Types.charTy());
+    struct Row {
+      const char *Name;
+      const Type *Ret;
+      std::vector<const Type *> Params;
+    };
+    const Row Rows[] = {
+        {"malloc", VP, {I}},      {"free", V, {VP}},
+        {"print_int", V, {I}},    {"print_char", V, {I}},
+        {"print_float", V, {F}},  {"print_str", V, {CP}},
+        {"sqrt", F, {F}},         {"sin", F, {F}},
+        {"cos", F, {F}},          {"pow", F, {F, F}},
+    };
+    for (const Row &R : Rows) {
+      auto S = std::make_unique<Symbol>();
+      S->K = Symbol::Kind::Func;
+      S->Name = R.Name;
+      S->Ty = Types.funcTy(R.Ret, R.Params);
+      declare(S.get(), 0, 0);
+      Builtins.Syms.push_back(std::move(S));
+    }
+  }
+
+  // -- Type utilities ------------------------------------------------------
+  /// The type an expression takes when used as a value: arrays decay to
+  /// pointers, functions to function pointers.
+  const Type *decayed(const Type *T) {
+    if (T->isArray())
+      return Types.pointerTo(T->element());
+    if (T->isFunc())
+      return Types.pointerTo(T);
+    return T;
+  }
+
+  bool isNullConstant(const Expr &E) {
+    return E.K == ExprKind::IntLit &&
+           static_cast<const IntLitExpr &>(E).Value == 0;
+  }
+
+  /// C-style implicit assignability of a value of type \p From (already
+  /// decayed) to \p To.
+  bool assignable(const Type *To, const Type *From, const Expr &FromE) {
+    if (To == From)
+      return true;
+    if (To->isArithmetic() && From->isArithmetic())
+      return true;
+    if (To->isPointer() && From->isPointer()) {
+      // void* converts freely; identical pointee otherwise.
+      return To->pointee()->isVoid() || From->pointee()->isVoid() ||
+             To->pointee() == From->pointee();
+    }
+    if (To->isPointer() && isNullConstant(FromE))
+      return true;
+    return false;
+  }
+
+  /// Marks the storage root of lvalue \p E as address-taken.
+  void markAddressTaken(Expr &E) {
+    switch (E.K) {
+    case ExprKind::VarRef: {
+      auto &V = static_cast<VarRefExpr &>(E);
+      if (V.Sym)
+        V.Sym->AddressTaken = true;
+      return;
+    }
+    case ExprKind::Index:
+      // &a[i]: if the base is an array lvalue its storage escapes; if it is
+      // a pointer, the pointee is already memory.
+      markAddressTaken(*static_cast<IndexExpr &>(E).Base);
+      return;
+    case ExprKind::Member: {
+      auto &M = static_cast<MemberExpr &>(E);
+      if (!M.IsArrow)
+        markAddressTaken(*M.Base);
+      return;
+    }
+    case ExprKind::Unary: {
+      auto &U = static_cast<UnaryExpr &>(E);
+      if (U.Op == UnOp::Deref)
+        return; // already memory through a pointer
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  /// True if \p E denotes a storage location.
+  bool isLValue(const Expr &E) {
+    switch (E.K) {
+    case ExprKind::VarRef: {
+      const Symbol *S = static_cast<const VarRefExpr &>(E).Sym;
+      return S && S->K != Symbol::Kind::Func;
+    }
+    case ExprKind::Index:
+    case ExprKind::Member:
+      return true;
+    case ExprKind::Unary:
+      return static_cast<const UnaryExpr &>(E).Op == UnOp::Deref;
+    default:
+      return false;
+    }
+  }
+
+  /// If the expression has array or function type in a value context, mark
+  /// the decay escape (the object's address now flows into a pointer value).
+  void noteDecay(Expr &E) {
+    if (!E.Ty)
+      return;
+    if (E.Ty->isArray())
+      markAddressTaken(E);
+    if (E.Ty->isFunc() && E.K == ExprKind::VarRef) {
+      Symbol *S = static_cast<VarRefExpr &>(E).Sym;
+      if (S)
+        S->AddressTaken = true;
+    }
+  }
+
+  // -- Globals --------------------------------------------------------------
+  void declareGlobal(GlobalVarDecl &G) {
+    if (G.Sym->Ty->isVoid() || G.Sym->Ty->isFunc()) {
+      error(G.Line, G.Col, "invalid type for global '" + G.Sym->Name + "'");
+      return;
+    }
+    if (G.Sym->Ty->isStruct() && !G.Sym->Ty->structDecl()->Complete)
+      error(G.Line, G.Col, "global of incomplete struct type");
+    declare(G.Sym.get(), G.Line, G.Col);
+  }
+
+  /// Global initializers must be constant expressions (folded by Lowering);
+  /// here we only type-check them.
+  void checkGlobalInit(GlobalVarDecl &G) {
+    const Type *T = G.Sym->Ty;
+    if (G.Init) {
+      checkExpr(*G.Init);
+      const Type *IT = decayed(G.Init->Ty);
+      if (T->isArray() && T->element()->isChar() &&
+          G.Init->K == ExprKind::StrLit)
+        return; // char buf[N] = "..."
+      if (!assignable(decayed(T), IT, *G.Init))
+        error(*G.Init, "initializer type mismatch for '" + G.Sym->Name + "'");
+      if (!isConstExpr(*G.Init))
+        error(*G.Init, "global initializer must be a constant expression");
+    }
+    for (auto &E : G.InitList) {
+      checkExpr(*E);
+      if (!T->isArray()) {
+        error(*E, "brace initializer on non-array global");
+        break;
+      }
+      if (!assignable(scalarElement(T), decayed(E->Ty), *E))
+        error(*E, "element initializer type mismatch");
+      if (!isConstExpr(*E))
+        error(*E, "global initializer must be a constant expression");
+    }
+    if (!G.InitList.empty() && T->isArray() &&
+        G.InitList.size() > flatCount(T))
+      error(G.Line, G.Col, "too many initializers for '" + G.Sym->Name + "'");
+  }
+
+  static const Type *scalarElement(const Type *T) {
+    while (T->isArray())
+      T = T->element();
+    return T;
+  }
+
+  static uint64_t flatCount(const Type *T) {
+    uint64_t N = 1;
+    while (T->isArray()) {
+      N *= T->arrayCount();
+      T = T->element();
+    }
+    return N;
+  }
+
+  bool isConstExpr(const Expr &E) {
+    switch (E.K) {
+    case ExprKind::IntLit:
+    case ExprKind::FloatLit:
+    case ExprKind::StrLit:
+    case ExprKind::SizeofType:
+      return true;
+    case ExprKind::Unary: {
+      const auto &U = static_cast<const UnaryExpr &>(E);
+      return (U.Op == UnOp::Neg || U.Op == UnOp::BitNot ||
+              U.Op == UnOp::LogNot) &&
+             isConstExpr(*U.Sub);
+    }
+    case ExprKind::Binary: {
+      const auto &B = static_cast<const BinaryExpr &>(E);
+      return isConstExpr(*B.Lhs) && isConstExpr(*B.Rhs);
+    }
+    case ExprKind::Cast:
+      return isConstExpr(*static_cast<const CastExpr &>(E).Sub);
+    default:
+      return false;
+    }
+  }
+
+  // -- Functions -------------------------------------------------------------
+  void checkFunction(FuncDecl &F) {
+    CurFunc = &F;
+    LoopDepth = 0;
+    pushScope();
+    for (auto &Prm : F.Params) {
+      if (Prm->Ty->isStruct())
+        error(F.Line, F.Col, "struct parameters must be passed by pointer");
+      declare(Prm.get(), F.Line, F.Col);
+    }
+    checkBlock(*F.Body);
+    popScope();
+    CurFunc = nullptr;
+  }
+
+  void checkBlock(BlockStmt &B) {
+    pushScope();
+    for (auto &S : B.Stmts)
+      checkStmt(*S);
+    popScope();
+  }
+
+  void checkStmt(Stmt &S) {
+    switch (S.K) {
+    case StmtKind::Expr:
+      checkExpr(*static_cast<ExprStmt &>(S).E);
+      return;
+    case StmtKind::Decl: {
+      auto &D = static_cast<DeclStmt &>(S);
+      if (D.Sym->Ty->isVoid() || D.Sym->Ty->isFunc()) {
+        error(S.Line, S.Col, "invalid type for local '" + D.Sym->Name + "'");
+        return;
+      }
+      if (D.Sym->Ty->isStruct() && !D.Sym->Ty->structDecl()->Complete)
+        error(S.Line, S.Col, "local of incomplete struct type");
+      if (D.Init) {
+        checkExpr(*D.Init);
+        noteDecay(*D.Init);
+        if (D.Sym->Ty->isArray() || D.Sym->Ty->isStruct())
+          error(*D.Init, "aggregate locals cannot have initializers");
+        else if (!assignable(D.Sym->Ty, decayed(D.Init->Ty), *D.Init))
+          error(*D.Init, "initializer type mismatch for '" + D.Sym->Name +
+                             "'");
+      }
+      declare(D.Sym.get(), S.Line, S.Col);
+      return;
+    }
+    case StmtKind::If: {
+      auto &I = static_cast<IfStmt &>(S);
+      checkCond(*I.Cond);
+      checkStmt(*I.Then);
+      if (I.Else)
+        checkStmt(*I.Else);
+      return;
+    }
+    case StmtKind::While: {
+      auto &W = static_cast<WhileStmt &>(S);
+      checkCond(*W.Cond);
+      ++LoopDepth;
+      checkStmt(*W.Body);
+      --LoopDepth;
+      return;
+    }
+    case StmtKind::DoWhile: {
+      auto &W = static_cast<DoWhileStmt &>(S);
+      ++LoopDepth;
+      checkStmt(*W.Body);
+      --LoopDepth;
+      checkCond(*W.Cond);
+      return;
+    }
+    case StmtKind::For: {
+      auto &F = static_cast<ForStmt &>(S);
+      if (F.Init)
+        checkExpr(*F.Init);
+      if (F.Cond)
+        checkCond(*F.Cond);
+      if (F.Step)
+        checkExpr(*F.Step);
+      ++LoopDepth;
+      checkStmt(*F.Body);
+      --LoopDepth;
+      return;
+    }
+    case StmtKind::Return: {
+      auto &R = static_cast<ReturnStmt &>(S);
+      const Type *Want = CurFunc->RetTy;
+      if (R.Value) {
+        checkExpr(*R.Value);
+        noteDecay(*R.Value);
+        if (Want->isVoid())
+          error(*R.Value, "returning a value from a void function");
+        else if (!assignable(Want, decayed(R.Value->Ty), *R.Value))
+          error(*R.Value, "return type mismatch");
+      } else if (!Want->isVoid()) {
+        error(S.Line, S.Col, "non-void function must return a value");
+      }
+      return;
+    }
+    case StmtKind::Break:
+      if (!LoopDepth)
+        error(S.Line, S.Col, "'break' outside of a loop");
+      return;
+    case StmtKind::Continue:
+      if (!LoopDepth)
+        error(S.Line, S.Col, "'continue' outside of a loop");
+      return;
+    case StmtKind::Block:
+      checkBlock(static_cast<BlockStmt &>(S));
+      return;
+    case StmtKind::Empty:
+      return;
+    }
+  }
+
+  void checkCond(Expr &E) {
+    checkExpr(E);
+    noteDecay(E);
+    const Type *T = decayed(E.Ty);
+    if (!T->isScalarValue())
+      error(E, "condition must be a scalar value");
+  }
+
+  // -- Expressions -----------------------------------------------------------
+  void checkExpr(Expr &E) {
+    switch (E.K) {
+    case ExprKind::IntLit:
+      E.Ty = Types.intTy();
+      return;
+    case ExprKind::FloatLit:
+      E.Ty = Types.floatTy();
+      return;
+    case ExprKind::StrLit:
+      E.Ty = Types.pointerTo(Types.charTy());
+      return;
+    case ExprKind::SizeofType: {
+      auto &SE = static_cast<SizeofTypeExpr &>(E);
+      if (SE.Target && SE.Target->size() == 0)
+        error(E, "sizeof of an incomplete or sizeless type");
+      E.Ty = Types.intTy();
+      return;
+    }
+    case ExprKind::VarRef: {
+      auto &V = static_cast<VarRefExpr &>(E);
+      V.Sym = lookup(V.Name);
+      if (!V.Sym) {
+        error(E, "use of undeclared identifier '" + V.Name + "'");
+        E.Ty = Types.intTy();
+        return;
+      }
+      E.Ty = V.Sym->Ty;
+      return;
+    }
+    case ExprKind::Unary:
+      checkUnary(static_cast<UnaryExpr &>(E));
+      return;
+    case ExprKind::Binary:
+      checkBinary(static_cast<BinaryExpr &>(E));
+      return;
+    case ExprKind::Assign:
+      checkAssign(static_cast<AssignExpr &>(E));
+      return;
+    case ExprKind::Call:
+      checkCall(static_cast<CallExpr &>(E));
+      return;
+    case ExprKind::Index: {
+      auto &I = static_cast<IndexExpr &>(E);
+      checkExpr(*I.Base);
+      checkExpr(*I.Idx);
+      const Type *BT = I.Base->Ty;
+      if (BT->isArray()) {
+        E.Ty = BT->element();
+      } else if (BT->isPointer()) {
+        E.Ty = BT->pointee();
+      } else {
+        error(E, "subscript of non-array, non-pointer value");
+        E.Ty = Types.intTy();
+      }
+      if (!decayed(I.Idx->Ty)->isIntegral())
+        error(*I.Idx, "array subscript must be an integer");
+      return;
+    }
+    case ExprKind::Member: {
+      auto &M = static_cast<MemberExpr &>(E);
+      checkExpr(*M.Base);
+      const Type *BT = M.Base->Ty;
+      const StructDecl *S = nullptr;
+      if (M.IsArrow) {
+        if (BT->isPointer() && BT->pointee()->isStruct())
+          S = BT->pointee()->structDecl();
+        else
+          error(E, "'->' on non-pointer-to-struct value");
+      } else {
+        if (BT->isStruct())
+          S = BT->structDecl();
+        else
+          error(E, "'.' on non-struct value");
+      }
+      if (S) {
+        M.Field = S->field(M.FieldName);
+        if (!M.Field)
+          error(E, "no field '" + M.FieldName + "' in struct " + S->Name);
+      }
+      E.Ty = M.Field ? M.Field->Ty : Types.intTy();
+      return;
+    }
+    case ExprKind::Cast: {
+      auto &Ca = static_cast<CastExpr &>(E);
+      checkExpr(*Ca.Sub);
+      noteDecay(*Ca.Sub);
+      const Type *From = decayed(Ca.Sub->Ty);
+      const Type *To = Ca.Target;
+      bool Ok = (To->isScalarValue() && From->isScalarValue()) ||
+                To->isVoid();
+      // Float <-> pointer casts make no sense.
+      if ((To->isPointer() && From->isFloat()) ||
+          (To->isFloat() && From->isPointer()))
+        Ok = false;
+      if (!Ok)
+        error(E, "invalid cast from " + From->str() + " to " + To->str());
+      E.Ty = To;
+      return;
+    }
+    case ExprKind::Cond: {
+      auto &Co = static_cast<CondExpr &>(E);
+      checkCond(*Co.Cond);
+      checkExpr(*Co.Then);
+      checkExpr(*Co.Else);
+      noteDecay(*Co.Then);
+      noteDecay(*Co.Else);
+      const Type *T1 = decayed(Co.Then->Ty);
+      const Type *T2 = decayed(Co.Else->Ty);
+      if (T1 == T2)
+        E.Ty = T1;
+      else if (T1->isArithmetic() && T2->isArithmetic())
+        E.Ty = (T1->isFloat() || T2->isFloat()) ? Types.floatTy()
+                                                : Types.intTy();
+      else if (T1->isPointer() && isNullConstant(*Co.Else))
+        E.Ty = T1;
+      else if (T2->isPointer() && isNullConstant(*Co.Then))
+        E.Ty = T2;
+      else {
+        error(E, "incompatible arms in conditional expression");
+        E.Ty = T1;
+      }
+      return;
+    }
+    }
+  }
+
+  void checkUnary(UnaryExpr &U) {
+    checkExpr(*U.Sub);
+    const Type *ST = U.Sub->Ty;
+    switch (U.Op) {
+    case UnOp::Neg:
+      if (!decayed(ST)->isArithmetic())
+        error(U, "unary '-' needs an arithmetic operand");
+      U.Ty = decayed(ST)->isFloat() ? Types.floatTy() : Types.intTy();
+      return;
+    case UnOp::BitNot:
+      if (!decayed(ST)->isIntegral())
+        error(U, "'~' needs an integer operand");
+      U.Ty = Types.intTy();
+      return;
+    case UnOp::LogNot:
+      noteDecay(*U.Sub);
+      if (!decayed(ST)->isScalarValue())
+        error(U, "'!' needs a scalar operand");
+      U.Ty = Types.intTy();
+      return;
+    case UnOp::Deref: {
+      noteDecay(*U.Sub);
+      const Type *T = decayed(ST);
+      if (!T->isPointer()) {
+        error(U, "dereference of non-pointer value");
+        U.Ty = Types.intTy();
+        return;
+      }
+      if (T->pointee()->isVoid())
+        error(U, "dereference of void pointer");
+      U.Ty = T->pointee();
+      return;
+    }
+    case UnOp::AddrOf: {
+      if (U.Sub->K == ExprKind::VarRef &&
+          static_cast<VarRefExpr &>(*U.Sub).Sym &&
+          static_cast<VarRefExpr &>(*U.Sub).Sym->K == Symbol::Kind::Func) {
+        // &f: function pointer.
+        Symbol *FS = static_cast<VarRefExpr &>(*U.Sub).Sym;
+        FS->AddressTaken = true;
+        U.Ty = Types.pointerTo(FS->Ty);
+        return;
+      }
+      if (!isLValue(*U.Sub)) {
+        error(U, "'&' needs an lvalue operand");
+        U.Ty = Types.pointerTo(Types.intTy());
+        return;
+      }
+      markAddressTaken(*U.Sub);
+      U.Ty = Types.pointerTo(ST);
+      return;
+    }
+    case UnOp::PreInc:
+    case UnOp::PreDec:
+    case UnOp::PostInc:
+    case UnOp::PostDec: {
+      if (!isLValue(*U.Sub))
+        error(U, "increment/decrement needs an lvalue");
+      const Type *T = ST;
+      if (!T->isArithmetic() && !T->isPointer())
+        error(U, "increment/decrement needs arithmetic or pointer operand");
+      checkNotConst(*U.Sub);
+      U.Ty = T;
+      return;
+    }
+    }
+  }
+
+  void checkBinary(BinaryExpr &B) {
+    checkExpr(*B.Lhs);
+    checkExpr(*B.Rhs);
+    noteDecay(*B.Lhs);
+    noteDecay(*B.Rhs);
+    const Type *L = decayed(B.Lhs->Ty);
+    const Type *R = decayed(B.Rhs->Ty);
+    switch (B.Op) {
+    case BinOp::LogAnd:
+    case BinOp::LogOr:
+      if (!L->isScalarValue() || !R->isScalarValue())
+        error(B, "logical operator needs scalar operands");
+      B.Ty = Types.intTy();
+      return;
+    case BinOp::Eq:
+    case BinOp::Ne:
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge: {
+      bool Ok = (L->isArithmetic() && R->isArithmetic()) ||
+                (L->isPointer() && R->isPointer()) ||
+                (L->isPointer() && isNullConstant(*B.Rhs)) ||
+                (R->isPointer() && isNullConstant(*B.Lhs));
+      if (!Ok)
+        error(B, "invalid comparison between " + L->str() + " and " +
+                     R->str());
+      B.Ty = Types.intTy();
+      return;
+    }
+    case BinOp::Add:
+      if (L->isPointer() && R->isIntegral()) {
+        B.Ty = L;
+        return;
+      }
+      if (L->isIntegral() && R->isPointer()) {
+        B.Ty = R;
+        return;
+      }
+      break;
+    case BinOp::Sub:
+      if (L->isPointer() && R->isIntegral()) {
+        B.Ty = L;
+        return;
+      }
+      if (L->isPointer() && R->isPointer()) {
+        if (L != R)
+          error(B, "pointer difference between distinct types");
+        B.Ty = Types.intTy();
+        return;
+      }
+      break;
+    case BinOp::And:
+    case BinOp::Or:
+    case BinOp::Xor:
+    case BinOp::Shl:
+    case BinOp::Shr:
+    case BinOp::Rem:
+      if (!L->isIntegral() || !R->isIntegral())
+        error(B, "integer operator on non-integer operands");
+      B.Ty = Types.intTy();
+      return;
+    default:
+      break;
+    }
+    // Remaining arithmetic: +, -, *, /.
+    if (!L->isArithmetic() || !R->isArithmetic()) {
+      error(B, "invalid operands: " + L->str() + " and " + R->str());
+      B.Ty = Types.intTy();
+      return;
+    }
+    B.Ty = (L->isFloat() || R->isFloat()) ? Types.floatTy() : Types.intTy();
+  }
+
+  void checkNotConst(const Expr &E) {
+    if (E.K == ExprKind::VarRef) {
+      const Symbol *S = static_cast<const VarRefExpr &>(E).Sym;
+      if (S && S->IsConst)
+        error(E, "assignment to const '" + S->Name + "'");
+    }
+  }
+
+  void checkAssign(AssignExpr &A) {
+    checkExpr(*A.Lhs);
+    checkExpr(*A.Rhs);
+    noteDecay(*A.Rhs);
+    if (!isLValue(*A.Lhs)) {
+      error(A, "assignment target is not an lvalue");
+      A.Ty = A.Lhs->Ty;
+      return;
+    }
+    checkNotConst(*A.Lhs);
+    const Type *L = A.Lhs->Ty;
+    if (L->isArray() || L->isStruct()) {
+      error(A, "aggregate assignment is not supported");
+      A.Ty = L;
+      return;
+    }
+    const Type *R = decayed(A.Rhs->Ty);
+    if (A.IsCompound) {
+      bool Ok = (L->isArithmetic() && R->isArithmetic()) ||
+                (L->isPointer() && R->isIntegral() &&
+                 (A.Op == BinOp::Add || A.Op == BinOp::Sub));
+      if (!Ok)
+        error(A, "invalid compound assignment operands");
+    } else if (!assignable(L, R, *A.Rhs)) {
+      error(A, "cannot assign " + R->str() + " to " + L->str());
+    }
+    A.Ty = L;
+  }
+
+  void checkCall(CallExpr &C) {
+    // Direct call of a named function.
+    const Type *FT = nullptr;
+    if (C.Callee->K == ExprKind::VarRef) {
+      auto &V = static_cast<VarRefExpr &>(*C.Callee);
+      V.Sym = lookup(V.Name);
+      if (V.Sym && V.Sym->K == Symbol::Kind::Func) {
+        C.DirectTarget = V.Sym;
+        V.Ty = V.Sym->Ty;
+        FT = V.Sym->Ty;
+      }
+    }
+    if (!C.DirectTarget) {
+      checkExpr(*C.Callee);
+      const Type *T = decayed(C.Callee->Ty);
+      if (T->isPointer() && T->pointee()->isFunc()) {
+        FT = T->pointee();
+      } else {
+        error(C, "called value is not a function");
+        C.Ty = Types.intTy();
+        for (auto &A : C.Args)
+          checkExpr(*A);
+        return;
+      }
+    }
+    const auto &Params = FT->paramTypes();
+    if (C.Args.size() != Params.size())
+      error(C, "call arity mismatch: expected " +
+                   std::to_string(Params.size()) + " arguments, got " +
+                   std::to_string(C.Args.size()));
+    for (size_t I = 0; I != C.Args.size(); ++I) {
+      checkExpr(*C.Args[I]);
+      noteDecay(*C.Args[I]);
+      if (I < Params.size() &&
+          !assignable(Params[I], decayed(C.Args[I]->Ty), *C.Args[I]))
+        error(*C.Args[I], "argument " + std::to_string(I + 1) +
+                              " type mismatch: cannot pass " +
+                              decayed(C.Args[I]->Ty)->str() + " as " +
+                              Params[I]->str());
+    }
+    C.Ty = FT->returnType();
+  }
+
+  Program &P;
+  BuiltinSymbols &Builtins;
+  std::vector<Diag> &Diags;
+  TypeContext &Types;
+  std::vector<std::unordered_map<std::string, Symbol *>> Scopes;
+  FuncDecl *CurFunc = nullptr;
+  unsigned LoopDepth = 0;
+  unsigned NumErrors = 0;
+};
+
+} // namespace
+
+bool rpcc::analyze(Program &P, BuiltinSymbols &Builtins,
+                   std::vector<Diag> &Diags) {
+  return Sema(P, Builtins, Diags).run();
+}

@@ -1,0 +1,41 @@
+//===- frontend/Sema.h - MiniC semantic analysis ----------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and type checking. Annotates the AST in place: every
+/// expression receives a type, VarRefs bind to Symbols, members bind to
+/// fields, and AddressTaken is set on every symbol whose storage address
+/// escapes (the '&' operator, array decay, or using a function as a value).
+/// The AddressTaken bits are the ground truth the paper's MOD/REF analysis
+/// starts from ("only tags that have had their address taken are placed in
+/// the tag sets of pointer-based memory operations. The front end
+/// identifies these tags.").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_FRONTEND_SEMA_H
+#define RPCC_FRONTEND_SEMA_H
+
+#include "frontend/Ast.h"
+#include "frontend/Lexer.h"
+
+namespace rpcc {
+
+/// Builtin function symbols registered by Sema; Lowering maps them to the
+/// Module's builtin functions by name.
+struct BuiltinSymbols {
+  std::vector<std::unique_ptr<Symbol>> Syms;
+};
+
+/// Runs semantic analysis over \p P. Returns false (with diagnostics in
+/// \p Diags) if the program is ill-formed. \p Builtins receives the
+/// synthesized builtin symbols and must outlive the AST.
+bool analyze(Program &P, BuiltinSymbols &Builtins, std::vector<Diag> &Diags);
+
+} // namespace rpcc
+
+#endif // RPCC_FRONTEND_SEMA_H

@@ -1,0 +1,155 @@
+//===- frontend/Type.cpp --------------------------------------------------===//
+
+#include "frontend/Type.h"
+
+#include <cassert>
+
+using namespace rpcc;
+
+void StructDecl::finalize() {
+  uint32_t Off = 0;
+  Align = 1;
+  for (StructField &F : Fields) {
+    uint32_t A = F.Ty->align();
+    Off = (Off + A - 1) / A * A;
+    F.Offset = Off;
+    Off += F.Ty->size();
+    Align = std::max(Align, A);
+  }
+  Size = (Off + Align - 1) / Align * Align;
+  if (Size == 0)
+    Size = Align; // empty structs still occupy storage
+  Complete = true;
+}
+
+uint32_t Type::size() const {
+  switch (Kind) {
+  case TypeKind::Void:
+  case TypeKind::Func:
+    return 0;
+  case TypeKind::Char:
+    return 1;
+  case TypeKind::Int:
+  case TypeKind::Float:
+  case TypeKind::Pointer:
+    return 8;
+  case TypeKind::Array:
+    return Inner->size() * Count;
+  case TypeKind::Struct:
+    assert(Struct->Complete && "sizeof incomplete struct");
+    return Struct->Size;
+  }
+  return 0;
+}
+
+uint32_t Type::align() const {
+  switch (Kind) {
+  case TypeKind::Char:
+    return 1;
+  case TypeKind::Array:
+    return Inner->align();
+  case TypeKind::Struct:
+    return Struct->Align;
+  default:
+    return 8;
+  }
+}
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Char:
+    return "char";
+  case TypeKind::Float:
+    return "float";
+  case TypeKind::Pointer:
+    return Inner->str() + "*";
+  case TypeKind::Array:
+    return Inner->str() + "[" + std::to_string(Count) + "]";
+  case TypeKind::Struct:
+    return "struct " + Struct->Name;
+  case TypeKind::Func: {
+    std::string S = Inner->str() + "(";
+    for (size_t I = 0; I != Params.size(); ++I)
+      S += (I ? "," : "") + Params[I]->str();
+    return S + ")";
+  }
+  }
+  return "?";
+}
+
+TypeContext::TypeContext() {
+  auto Mk = [&](TypeKind K) {
+    Arena.push_back(std::unique_ptr<Type>(new Type()));
+    Arena.back()->Kind = K;
+    return Arena.back().get();
+  };
+  VoidTy = Mk(TypeKind::Void);
+  IntTy = Mk(TypeKind::Int);
+  CharTy = Mk(TypeKind::Char);
+  FloatTy = Mk(TypeKind::Float);
+}
+
+Type *TypeContext::make() {
+  Arena.push_back(std::unique_ptr<Type>(new Type()));
+  return Arena.back().get();
+}
+
+const Type *TypeContext::pointerTo(const Type *Pointee) {
+  for (const auto &T : Arena)
+    if (T->Kind == TypeKind::Pointer && T->Inner == Pointee)
+      return T.get();
+  Type *T = make();
+  T->Kind = TypeKind::Pointer;
+  T->Inner = Pointee;
+  return T;
+}
+
+const Type *TypeContext::arrayOf(const Type *Elem, uint32_t Count) {
+  for (const auto &T : Arena)
+    if (T->Kind == TypeKind::Array && T->Inner == Elem && T->Count == Count)
+      return T.get();
+  Type *T = make();
+  T->Kind = TypeKind::Array;
+  T->Inner = Elem;
+  T->Count = Count;
+  return T;
+}
+
+const Type *TypeContext::structTy(const StructDecl *S) {
+  for (const auto &T : Arena)
+    if (T->Kind == TypeKind::Struct && T->Struct == S)
+      return T.get();
+  Type *T = make();
+  T->Kind = TypeKind::Struct;
+  T->Struct = S;
+  return T;
+}
+
+const Type *TypeContext::funcTy(const Type *Ret,
+                                std::vector<const Type *> Params) {
+  for (const auto &T : Arena)
+    if (T->Kind == TypeKind::Func && T->Inner == Ret && T->Params == Params)
+      return T.get();
+  Type *T = make();
+  T->Kind = TypeKind::Func;
+  T->Inner = Ret;
+  T->Params = std::move(Params);
+  return T;
+}
+
+StructDecl *TypeContext::createStruct(std::string Name) {
+  Structs.push_back(std::make_unique<StructDecl>());
+  Structs.back()->Name = std::move(Name);
+  return Structs.back().get();
+}
+
+StructDecl *TypeContext::findStruct(const std::string &Name) {
+  for (const auto &S : Structs)
+    if (S->Name == Name)
+      return S.get();
+  return nullptr;
+}

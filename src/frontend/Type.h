@@ -1,0 +1,138 @@
+//===- frontend/Type.h - MiniC type system ----------------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types for MiniC, the C subset the frontend accepts:
+///   void, int (64-bit signed), char (8-bit unsigned), float (64-bit IEEE,
+///   'double' accepted as a synonym), pointers, fixed-size arrays (possibly
+///   multi-dimensional), structs (by reference only), and function types
+///   (for function pointers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_FRONTEND_TYPE_H
+#define RPCC_FRONTEND_TYPE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rpcc {
+
+class Type;
+
+/// One struct field, with its layout offset filled in by finalize().
+struct StructField {
+  std::string Name;
+  const Type *Ty = nullptr;
+  uint32_t Offset = 0;
+};
+
+/// A struct declaration; owned by the TypeContext.
+struct StructDecl {
+  std::string Name;
+  std::vector<StructField> Fields;
+  uint32_t Size = 0;
+  uint32_t Align = 1;
+  bool Complete = false;
+
+  /// Computes offsets, size, and alignment from the field list.
+  void finalize();
+
+  const StructField *field(const std::string &N) const {
+    for (const StructField &F : Fields)
+      if (F.Name == N)
+        return &F;
+    return nullptr;
+  }
+};
+
+enum class TypeKind : uint8_t {
+  Void,
+  Int,
+  Char,
+  Float,
+  Pointer,
+  Array,
+  Struct,
+  Func
+};
+
+/// A MiniC type. Instances are interned in a TypeContext, so pointer
+/// equality is type equality.
+class Type {
+public:
+  TypeKind kind() const { return Kind; }
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isInt() const { return Kind == TypeKind::Int; }
+  bool isChar() const { return Kind == TypeKind::Char; }
+  bool isFloat() const { return Kind == TypeKind::Float; }
+  bool isPointer() const { return Kind == TypeKind::Pointer; }
+  bool isArray() const { return Kind == TypeKind::Array; }
+  bool isStruct() const { return Kind == TypeKind::Struct; }
+  bool isFunc() const { return Kind == TypeKind::Func; }
+  /// int or char: integer-valued in a register.
+  bool isIntegral() const { return isInt() || isChar(); }
+  /// Usable in arithmetic.
+  bool isArithmetic() const { return isIntegral() || isFloat(); }
+  /// Fits in one register: arithmetic or pointer.
+  bool isScalarValue() const { return isArithmetic() || isPointer(); }
+
+  const Type *pointee() const { return Inner; }
+  const Type *element() const { return Inner; }
+  uint32_t arrayCount() const { return Count; }
+  const StructDecl *structDecl() const { return Struct; }
+  const Type *returnType() const { return Inner; }
+  const std::vector<const Type *> &paramTypes() const { return Params; }
+
+  /// Size in bytes (0 for void/func).
+  uint32_t size() const;
+  uint32_t align() const;
+
+  std::string str() const;
+
+private:
+  friend class TypeContext;
+  Type() = default;
+
+  TypeKind Kind = TypeKind::Void;
+  const Type *Inner = nullptr; ///< pointee / element / return type
+  uint32_t Count = 0;          ///< array element count
+  const StructDecl *Struct = nullptr;
+  std::vector<const Type *> Params;
+};
+
+/// Owns and interns all types of one translation unit.
+class TypeContext {
+public:
+  TypeContext();
+
+  const Type *voidTy() const { return VoidTy; }
+  const Type *intTy() const { return IntTy; }
+  const Type *charTy() const { return CharTy; }
+  const Type *floatTy() const { return FloatTy; }
+
+  const Type *pointerTo(const Type *Pointee);
+  const Type *arrayOf(const Type *Elem, uint32_t Count);
+  const Type *structTy(const StructDecl *S);
+  const Type *funcTy(const Type *Ret, std::vector<const Type *> Params);
+
+  /// Creates a new (initially incomplete) struct declaration.
+  StructDecl *createStruct(std::string Name);
+  StructDecl *findStruct(const std::string &Name);
+
+private:
+  Type *make();
+  std::vector<std::unique_ptr<Type>> Arena;
+  std::vector<std::unique_ptr<StructDecl>> Structs;
+  const Type *VoidTy, *IntTy, *CharTy, *FloatTy;
+};
+
+} // namespace rpcc
+
+#endif // RPCC_FRONTEND_TYPE_H

@@ -1,0 +1,511 @@
+//===- interp/Interpreter.cpp ---------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+
+using namespace rpcc;
+
+namespace {
+
+// Address-space layout of the simulated machine.
+constexpr uint64_t GlobalBase = 0x0000'0000'0000'1000ull;
+constexpr uint64_t StackBase = 0x0000'1000'0000'0000ull;
+constexpr uint64_t HeapBase = 0x0000'2000'0000'0000ull;
+constexpr uint64_t FuncBase = 0x7F00'0000'0000'0000ull;
+
+/// Sticky fault record; the first fault wins and unwinds execution through
+/// checked returns (the library builds without exceptions).
+struct Fault {
+  bool Active = false;
+  std::string Message;
+  void raise(const std::string &Msg) {
+    if (Active)
+      return;
+    Active = true;
+    Message = Msg;
+  }
+};
+
+/// Per-function frame layout: byte offsets of local/spill tags.
+struct FrameLayout {
+  std::unordered_map<TagId, uint32_t> Offsets;
+  uint32_t Size = 0;
+};
+
+class Machine {
+public:
+  Machine(const Module &M, const InterpOptions &Opts) : M(M), Opts(Opts) {}
+
+  ExecResult run() {
+    layoutGlobals();
+    PerFunc.assign(M.numFunctions(), FunctionCounters());
+
+    ExecResult R;
+    FuncId Main = M.lookup("main");
+    if (Main == NoFunc) {
+      R.Error = "no 'main' function";
+      return R;
+    }
+    uint64_t Ret = callFunction(Main, {});
+    R.Counters = Counters;
+    R.PerFunction = std::move(PerFunc);
+    R.Output = std::move(Output);
+    if (Err.Active) {
+      R.Error = Err.Message;
+      return R;
+    }
+    R.Ok = true;
+    R.ExitCode = static_cast<int64_t>(Ret);
+    return R;
+  }
+
+private:
+  // -- Memory ----------------------------------------------------------------
+  void layoutGlobals() {
+    // Assign each global tag an address, slots aligned to 8 bytes.
+    for (const GlobalInit &G : M.globals()) {
+      const Tag &T = M.tags().tag(G.Tag);
+      uint64_t Addr = GlobalBase + GlobalMem.size();
+      GlobalAddr[G.Tag] = Addr;
+      size_t Sz = std::max<size_t>(T.SizeBytes, 1);
+      size_t Aligned = (Sz + 7) / 8 * 8;
+      size_t Off = GlobalMem.size();
+      GlobalMem.resize(Off + Aligned, 0);
+      if (!G.Bytes.empty())
+        std::memcpy(GlobalMem.data() + Off, G.Bytes.data(),
+                    std::min(G.Bytes.size(), Sz));
+    }
+  }
+
+  const FrameLayout &frameLayout(FuncId F) {
+    auto It = Layouts.find(F);
+    if (It != Layouts.end())
+      return It->second;
+    FrameLayout L;
+    for (const Tag &T : M.tags()) {
+      if ((T.Kind != TagKind::Local && T.Kind != TagKind::Spill) ||
+          T.Owner != F)
+        continue;
+      L.Size = (L.Size + 7) / 8 * 8; // every slot 8-aligned
+      L.Offsets[T.Id] = L.Size;
+      L.Size += std::max<uint32_t>(T.SizeBytes, 1);
+    }
+    L.Size = (L.Size + 7) / 8 * 8;
+    return Layouts.emplace(F, std::move(L)).first->second;
+  }
+
+  uint8_t *decode(uint64_t Addr, size_t Len) {
+    if (Addr >= FuncBase) {
+      Err.raise("memory access to a function address");
+      return nullptr;
+    }
+    if (Addr >= HeapBase) {
+      uint64_t Off = Addr - HeapBase;
+      if (Off + Len > HeapMem.size()) {
+        Err.raise("heap access out of bounds at +" + std::to_string(Off));
+        return nullptr;
+      }
+      return HeapMem.data() + Off;
+    }
+    if (Addr >= StackBase) {
+      uint64_t Off = Addr - StackBase;
+      if (Off + Len > StackMem.size()) {
+        Err.raise("stack access out of bounds");
+        return nullptr;
+      }
+      return StackMem.data() + Off;
+    }
+    if (Addr >= GlobalBase) {
+      uint64_t Off = Addr - GlobalBase;
+      if (Off + Len > GlobalMem.size()) {
+        Err.raise("global access out of bounds");
+        return nullptr;
+      }
+      return GlobalMem.data() + Off;
+    }
+    Err.raise("null or invalid pointer dereference (address " +
+              std::to_string(Addr) + ")");
+    return nullptr;
+  }
+
+  uint64_t loadMem(uint64_t Addr, MemType T) {
+    size_t Len = memTypeSize(T);
+    uint8_t *P = decode(Addr, Len);
+    if (!P)
+      return 0;
+    if (T == MemType::I8)
+      return *P;
+    uint64_t V;
+    std::memcpy(&V, P, 8);
+    return V;
+  }
+
+  void storeMem(uint64_t Addr, MemType T, uint64_t V) {
+    size_t Len = memTypeSize(T);
+    uint8_t *P = decode(Addr, Len);
+    if (!P)
+      return;
+    if (T == MemType::I8) {
+      *P = static_cast<uint8_t>(V);
+      return;
+    }
+    std::memcpy(P, &V, 8);
+  }
+
+  uint64_t tagAddress(TagId T, uint64_t FrameBase) {
+    const Tag &Tg = M.tags().tag(T);
+    switch (Tg.Kind) {
+    case TagKind::Global:
+      return GlobalAddr.at(T);
+    case TagKind::Local:
+    case TagKind::Spill:
+      return FrameBase + CurLayout->Offsets.at(T);
+    case TagKind::Func:
+      return FuncBase | Tg.Fn;
+    case TagKind::Heap:
+      Err.raise("address of a heap summary tag");
+      return 0;
+    }
+    return 0;
+  }
+
+  // -- Value helpers -----------------------------------------------------------
+  static double asF(uint64_t V) {
+    double D;
+    std::memcpy(&D, &V, 8);
+    return D;
+  }
+  static uint64_t fromF(double D) {
+    uint64_t V;
+    std::memcpy(&V, &D, 8);
+    return V;
+  }
+  static int64_t asI(uint64_t V) { return static_cast<int64_t>(V); }
+
+  // -- Execution ----------------------------------------------------------------
+  uint64_t callFunction(FuncId FId, const std::vector<uint64_t> &Args) {
+    if (Err.Active)
+      return 0;
+    if (++CallDepth > Opts.MaxCallDepth) {
+      Err.raise("call depth limit exceeded (runaway recursion?)");
+      --CallDepth;
+      return 0;
+    }
+    const Function *F = M.function(FId);
+    uint64_t Result =
+        F->isBuiltin() ? callBuiltin(*F, Args) : executeBody(*F, Args);
+    --CallDepth;
+    return Result;
+  }
+
+  uint64_t callBuiltin(const Function &F, const std::vector<uint64_t> &Args) {
+    switch (F.builtin()) {
+    case BuiltinKind::Malloc: {
+      uint64_t Size = Args[0];
+      if (HeapMem.size() + Size > Opts.HeapLimit) {
+        Err.raise("heap limit exceeded");
+        return 0;
+      }
+      uint64_t Addr = HeapBase + HeapMem.size();
+      HeapMem.resize(HeapMem.size() + (Size + 7) / 8 * 8, 0);
+      return Addr;
+    }
+    case BuiltinKind::Free:
+      return 0; // bump allocator: free is a no-op
+    case BuiltinKind::PrintInt:
+      appendOutput(std::to_string(asI(Args[0])));
+      return 0;
+    case BuiltinKind::PrintChar:
+      appendOutput(std::string(1, static_cast<char>(Args[0])));
+      return 0;
+    case BuiltinKind::PrintFloat:
+      appendOutput(fixed(asF(Args[0]), 6));
+      return 0;
+    case BuiltinKind::PrintStr: {
+      uint64_t P = Args[0];
+      std::string S;
+      for (;;) {
+        uint8_t *B = decode(P++, 1);
+        if (!B || !*B)
+          break;
+        S.push_back(static_cast<char>(*B));
+        if (S.size() > (1 << 20)) {
+          Err.raise("unterminated string passed to print_str");
+          break;
+        }
+      }
+      appendOutput(S);
+      return 0;
+    }
+    case BuiltinKind::Sqrt:
+      return fromF(std::sqrt(asF(Args[0])));
+    case BuiltinKind::Sin:
+      return fromF(std::sin(asF(Args[0])));
+    case BuiltinKind::Cos:
+      return fromF(std::cos(asF(Args[0])));
+    case BuiltinKind::Pow:
+      return fromF(std::pow(asF(Args[0]), asF(Args[1])));
+    case BuiltinKind::None:
+      break;
+    }
+    Err.raise("call to builtin without implementation");
+    return 0;
+  }
+
+  void appendOutput(const std::string &S) {
+    if (Output.size() + S.size() > Opts.OutputLimit) {
+      Err.raise("output limit exceeded");
+      return;
+    }
+    Output += S;
+  }
+
+  uint64_t executeBody(const Function &F, const std::vector<uint64_t> &Args) {
+    const FrameLayout &Layout = frameLayout(F.id());
+    const FrameLayout *SavedLayout = CurLayout;
+    CurLayout = &Layout;
+
+    uint64_t FrameBase = StackBase + StackMem.size();
+    StackMem.resize(StackMem.size() + Layout.Size, 0);
+
+    std::vector<uint64_t> Regs(F.numRegs(), 0);
+    for (size_t I = 0; I != Args.size() && I != F.paramRegs().size(); ++I)
+      Regs[F.paramRegs()[I]] = Args[I];
+
+    uint64_t RetVal = 0;
+    BlockId BB = 0;
+    size_t PC = 0;
+    while (!Err.Active) {
+      if (++Counters.Total > Opts.MaxSteps) {
+        Err.raise("step limit exceeded (infinite loop?)");
+        break;
+      }
+      const BasicBlock *Blk = F.block(BB);
+      assert(PC < Blk->size() && "fell off the end of a block");
+      const Instruction &I = *Blk->insts()[PC];
+      ++Counters.ByOpcode[static_cast<size_t>(I.Op)];
+      FunctionCounters &FC = PerFunc[F.id()];
+      ++FC.Total;
+      if (isLoadOp(I.Op)) {
+        ++Counters.Loads;
+        ++FC.Loads;
+      }
+      if (isStoreOp(I.Op)) {
+        ++Counters.Stores;
+        ++FC.Stores;
+      }
+
+      switch (I.Op) {
+      case Opcode::Add: Regs[I.Result] = Regs[I.Ops[0]] + Regs[I.Ops[1]]; break;
+      case Opcode::Sub: Regs[I.Result] = Regs[I.Ops[0]] - Regs[I.Ops[1]]; break;
+      case Opcode::Mul: Regs[I.Result] = Regs[I.Ops[0]] * Regs[I.Ops[1]]; break;
+      case Opcode::Div: {
+        int64_t D = asI(Regs[I.Ops[1]]);
+        if (D == 0) {
+          Err.raise("integer division by zero");
+          break;
+        }
+        Regs[I.Result] = static_cast<uint64_t>(asI(Regs[I.Ops[0]]) / D);
+        break;
+      }
+      case Opcode::Rem: {
+        int64_t D = asI(Regs[I.Ops[1]]);
+        if (D == 0) {
+          Err.raise("integer remainder by zero");
+          break;
+        }
+        Regs[I.Result] = static_cast<uint64_t>(asI(Regs[I.Ops[0]]) % D);
+        break;
+      }
+      case Opcode::And: Regs[I.Result] = Regs[I.Ops[0]] & Regs[I.Ops[1]]; break;
+      case Opcode::Or: Regs[I.Result] = Regs[I.Ops[0]] | Regs[I.Ops[1]]; break;
+      case Opcode::Xor: Regs[I.Result] = Regs[I.Ops[0]] ^ Regs[I.Ops[1]]; break;
+      case Opcode::Shl:
+        Regs[I.Result] = Regs[I.Ops[0]] << (Regs[I.Ops[1]] & 63);
+        break;
+      case Opcode::Shr:
+        Regs[I.Result] =
+            static_cast<uint64_t>(asI(Regs[I.Ops[0]]) >> (Regs[I.Ops[1]] & 63));
+        break;
+      case Opcode::CmpEq:
+        Regs[I.Result] = Regs[I.Ops[0]] == Regs[I.Ops[1]];
+        break;
+      case Opcode::CmpNe:
+        Regs[I.Result] = Regs[I.Ops[0]] != Regs[I.Ops[1]];
+        break;
+      case Opcode::CmpLt:
+        Regs[I.Result] = asI(Regs[I.Ops[0]]) < asI(Regs[I.Ops[1]]);
+        break;
+      case Opcode::CmpLe:
+        Regs[I.Result] = asI(Regs[I.Ops[0]]) <= asI(Regs[I.Ops[1]]);
+        break;
+      case Opcode::CmpGt:
+        Regs[I.Result] = asI(Regs[I.Ops[0]]) > asI(Regs[I.Ops[1]]);
+        break;
+      case Opcode::CmpGe:
+        Regs[I.Result] = asI(Regs[I.Ops[0]]) >= asI(Regs[I.Ops[1]]);
+        break;
+      case Opcode::FAdd:
+        Regs[I.Result] = fromF(asF(Regs[I.Ops[0]]) + asF(Regs[I.Ops[1]]));
+        break;
+      case Opcode::FSub:
+        Regs[I.Result] = fromF(asF(Regs[I.Ops[0]]) - asF(Regs[I.Ops[1]]));
+        break;
+      case Opcode::FMul:
+        Regs[I.Result] = fromF(asF(Regs[I.Ops[0]]) * asF(Regs[I.Ops[1]]));
+        break;
+      case Opcode::FDiv:
+        Regs[I.Result] = fromF(asF(Regs[I.Ops[0]]) / asF(Regs[I.Ops[1]]));
+        break;
+      case Opcode::FCmpEq:
+        Regs[I.Result] = asF(Regs[I.Ops[0]]) == asF(Regs[I.Ops[1]]);
+        break;
+      case Opcode::FCmpNe:
+        Regs[I.Result] = asF(Regs[I.Ops[0]]) != asF(Regs[I.Ops[1]]);
+        break;
+      case Opcode::FCmpLt:
+        Regs[I.Result] = asF(Regs[I.Ops[0]]) < asF(Regs[I.Ops[1]]);
+        break;
+      case Opcode::FCmpLe:
+        Regs[I.Result] = asF(Regs[I.Ops[0]]) <= asF(Regs[I.Ops[1]]);
+        break;
+      case Opcode::FCmpGt:
+        Regs[I.Result] = asF(Regs[I.Ops[0]]) > asF(Regs[I.Ops[1]]);
+        break;
+      case Opcode::FCmpGe:
+        Regs[I.Result] = asF(Regs[I.Ops[0]]) >= asF(Regs[I.Ops[1]]);
+        break;
+      case Opcode::Neg:
+        Regs[I.Result] = static_cast<uint64_t>(-asI(Regs[I.Ops[0]]));
+        break;
+      case Opcode::Not:
+        Regs[I.Result] = ~Regs[I.Ops[0]];
+        break;
+      case Opcode::FNeg:
+        Regs[I.Result] = fromF(-asF(Regs[I.Ops[0]]));
+        break;
+      case Opcode::IntToFp:
+        Regs[I.Result] = fromF(static_cast<double>(asI(Regs[I.Ops[0]])));
+        break;
+      case Opcode::FpToInt: {
+        // Saturating conversion (plain casts of NaN / out-of-range doubles
+        // are UB in C++); must match opt/ValueNumbering's constant folder.
+        double V = asF(Regs[I.Ops[0]]);
+        int64_t Out;
+        if (std::isnan(V))
+          Out = 0;
+        else if (V >= 9.2233720368547748e18)
+          Out = INT64_MAX;
+        else if (V <= -9.2233720368547758e18)
+          Out = INT64_MIN;
+        else
+          Out = static_cast<int64_t>(V);
+        Regs[I.Result] = static_cast<uint64_t>(Out);
+        break;
+      }
+      case Opcode::LoadI:
+        Regs[I.Result] = static_cast<uint64_t>(I.Imm);
+        break;
+      case Opcode::LoadF:
+        Regs[I.Result] = fromF(I.FImm);
+        break;
+      case Opcode::Copy:
+        Regs[I.Result] = Regs[I.Ops[0]];
+        break;
+      case Opcode::LoadAddr:
+        Regs[I.Result] =
+            tagAddress(I.Tag, FrameBase) + static_cast<uint64_t>(I.Imm);
+        break;
+      case Opcode::ScalarLoad:
+        Regs[I.Result] = loadMem(tagAddress(I.Tag, FrameBase), I.MemTy);
+        break;
+      case Opcode::ScalarStore:
+        storeMem(tagAddress(I.Tag, FrameBase), I.MemTy, Regs[I.Ops[0]]);
+        break;
+      case Opcode::Load:
+      case Opcode::ConstLoad:
+        Regs[I.Result] = loadMem(Regs[I.Ops[0]], I.MemTy);
+        break;
+      case Opcode::Store:
+        storeMem(Regs[I.Ops[0]], I.MemTy, Regs[I.Ops[1]]);
+        break;
+      case Opcode::Call: {
+        std::vector<uint64_t> Args2;
+        Args2.reserve(I.Ops.size());
+        for (Reg R : I.Ops)
+          Args2.push_back(Regs[R]);
+        uint64_t V = callFunction(I.Callee, Args2);
+        CurLayout = &Layout; // restore after the callee switched layouts
+        if (I.hasResult())
+          Regs[I.Result] = V;
+        break;
+      }
+      case Opcode::CallIndirect: {
+        uint64_t Target = Regs[I.Ops[0]];
+        if (Target < FuncBase || (Target & ~FuncBase) >= M.numFunctions()) {
+          Err.raise("indirect call through a non-function value");
+          break;
+        }
+        std::vector<uint64_t> Args2;
+        for (size_t A = 1; A != I.Ops.size(); ++A)
+          Args2.push_back(Regs[I.Ops[A]]);
+        uint64_t V =
+            callFunction(static_cast<FuncId>(Target & ~FuncBase), Args2);
+        CurLayout = &Layout;
+        if (I.hasResult())
+          Regs[I.Result] = V;
+        break;
+      }
+      case Opcode::Br:
+        BB = Regs[I.Ops[0]] ? I.Target0 : I.Target1;
+        PC = 0;
+        continue;
+      case Opcode::Jmp:
+        BB = I.Target0;
+        PC = 0;
+        continue;
+      case Opcode::Ret:
+        if (!I.Ops.empty())
+          RetVal = Regs[I.Ops[0]];
+        StackMem.resize(FrameBase - StackBase);
+        CurLayout = SavedLayout;
+        return RetVal;
+      case Opcode::Phi:
+        Err.raise("phi reached the interpreter (SSA not destructed)");
+        break;
+      }
+      ++PC;
+    }
+
+    StackMem.resize(FrameBase - StackBase);
+    CurLayout = SavedLayout;
+    return RetVal;
+  }
+
+  const Module &M;
+  const InterpOptions &Opts;
+  Fault Err;
+  OpCounters Counters;
+  std::vector<FunctionCounters> PerFunc;
+  std::string Output;
+
+  std::vector<uint8_t> GlobalMem, StackMem, HeapMem;
+  std::unordered_map<TagId, uint64_t> GlobalAddr;
+  std::unordered_map<FuncId, FrameLayout> Layouts;
+  const FrameLayout *CurLayout = nullptr;
+  size_t CallDepth = 0;
+};
+
+} // namespace
+
+ExecResult rpcc::interpret(const Module &M, const InterpOptions &Opts) {
+  Machine Mch(M, Opts);
+  return Mch.run();
+}

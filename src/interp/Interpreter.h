@@ -1,0 +1,74 @@
+//===- interp/Interpreter.h - Counting IL interpreter -----------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a compiled module and counts executed operations, exactly the
+/// measurement the paper reports: "Each version was instrumented to record
+/// the total number of operations executed, stores executed, and loads
+/// executed" (Figures 5-7). Every frame owns a private register file, so no
+/// calling-convention memory traffic is modeled; all loads/stores counted
+/// come from the IL itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_INTERP_INTERPRETER_H
+#define RPCC_INTERP_INTERPRETER_H
+
+#include "ir/Module.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace rpcc {
+
+/// Dynamic operation counts, aggregated over the whole execution.
+struct OpCounters {
+  uint64_t Total = 0;
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  /// Per-opcode dynamic counts, indexed by static_cast<size_t>(Opcode).
+  std::array<uint64_t, 64> ByOpcode{};
+
+  uint64_t count(Opcode Op) const {
+    return ByOpcode[static_cast<size_t>(Op)];
+  }
+};
+
+/// Per-function totals, letting experiments attribute traffic the way the
+/// paper does ("register promotion removed 2.8 million loads from one
+/// function in mlink"). Indexed by FuncId.
+struct FunctionCounters {
+  uint64_t Total = 0;
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+};
+
+struct InterpOptions {
+  uint64_t MaxSteps = uint64_t(1) << 33;
+  size_t MaxCallDepth = 1 << 15;
+  size_t HeapLimit = size_t(1) << 30;
+  size_t OutputLimit = size_t(1) << 24;
+};
+
+struct ExecResult {
+  bool Ok = false;
+  std::string Error;
+  int64_t ExitCode = 0;
+  std::string Output;
+  OpCounters Counters;
+  /// One entry per module function (builtins stay zero).
+  std::vector<FunctionCounters> PerFunction;
+};
+
+/// Runs \p M from its "main" function (no arguments). Never throws; runtime
+/// faults (null/bounds/step-limit) are reported in the result.
+ExecResult interpret(const Module &M, const InterpOptions &Opts = {});
+
+} // namespace rpcc
+
+#endif // RPCC_INTERP_INTERPRETER_H

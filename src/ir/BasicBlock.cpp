@@ -1,0 +1,4 @@
+//===- ir/BasicBlock.cpp --------------------------------------------------===//
+// BasicBlock is header-only; this file anchors the translation unit.
+
+#include "ir/BasicBlock.h"

@@ -1,0 +1,49 @@
+//===- ir/Function.cpp ----------------------------------------------------===//
+
+#include "ir/Function.h"
+
+#include <cassert>
+
+using namespace rpcc;
+
+void Function::removeBlocks(const std::vector<bool> &Dead) {
+  assert(Dead.size() == Blocks.size() && "flag vector arity mismatch");
+  assert((Blocks.empty() || !Dead[0]) && "cannot remove the entry block");
+
+  std::vector<BlockId> Remap(Blocks.size(), NoBlock);
+  std::vector<std::unique_ptr<BasicBlock>> Kept;
+  Kept.reserve(Blocks.size());
+  for (size_t I = 0; I != Blocks.size(); ++I) {
+    if (Dead[I])
+      continue;
+    Remap[I] = static_cast<BlockId>(Kept.size());
+    Blocks[I]->setId(static_cast<BlockId>(Kept.size()));
+    Kept.push_back(std::move(Blocks[I]));
+  }
+  Blocks = std::move(Kept);
+
+  for (auto &B : Blocks) {
+    for (auto &IP : B->insts()) {
+      Instruction &I = *IP;
+      if (I.Target0 != NoBlock) {
+        assert(Remap[I.Target0] != NoBlock && "branch into removed block");
+        I.Target0 = Remap[I.Target0];
+      }
+      if (I.Target1 != NoBlock) {
+        assert(Remap[I.Target1] != NoBlock && "branch into removed block");
+        I.Target1 = Remap[I.Target1];
+      }
+      if (I.Op == Opcode::Phi) {
+        // Drop incoming entries from removed predecessors.
+        auto &Ins = I.PhiIns;
+        size_t Out = 0;
+        for (auto &P : Ins) {
+          if (Remap[P.first] == NoBlock)
+            continue;
+          Ins[Out++] = {Remap[P.first], P.second};
+        }
+        Ins.resize(Out);
+      }
+    }
+  }
+}

@@ -1,0 +1,139 @@
+//===- ir/Function.h - IL function ------------------------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_IR_FUNCTION_H
+#define RPCC_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rpcc {
+
+/// Intrinsic operations implemented by the interpreter rather than by IL
+/// bodies. Each has a fixed MOD/REF summary known to the analyzer.
+enum class BuiltinKind : uint8_t {
+  None,
+  Malloc,     ///< malloc(bytes) -> ptr; introduces a per-call-site heap tag
+  Free,       ///< free(ptr)
+  PrintInt,   ///< print_int(i)
+  PrintChar,  ///< print_char(c)
+  PrintFloat, ///< print_float(d)
+  PrintStr,   ///< print_str(ptr to NUL-terminated bytes)
+  Sqrt,       ///< sqrt(d) -> d
+  Sin,        ///< sin(d) -> d
+  Cos,        ///< cos(d) -> d
+  Pow         ///< pow(base, exp) -> d
+};
+
+/// A function: a register file description plus a list of basic blocks.
+/// Block ids always equal their index in blocks(); compactBlocks() restores
+/// this invariant after removals.
+class Function {
+public:
+  Function(FuncId Id, std::string Name) : Id(Id), Name(std::move(Name)) {}
+
+  FuncId id() const { return Id; }
+  const std::string &name() const { return Name; }
+
+  bool isBuiltin() const { return Builtin != BuiltinKind::None; }
+  BuiltinKind builtin() const { return Builtin; }
+  void setBuiltin(BuiltinKind B) { Builtin = B; }
+
+  /// Creates a fresh virtual register of type \p T.
+  Reg newReg(RegType T) {
+    RegTypes.push_back(T);
+    return static_cast<Reg>(RegTypes.size() - 1);
+  }
+
+  RegType regType(Reg R) const {
+    assert(R < RegTypes.size() && "invalid register");
+    return RegTypes[R];
+  }
+  size_t numRegs() const { return RegTypes.size(); }
+
+  /// Replaces the virtual register file with \p NumPhysical untyped slots;
+  /// called by the register allocator after rewriting to physical numbers.
+  void resetRegisters(unsigned NumPhysical) {
+    RegTypes.assign(NumPhysical, RegType::Int);
+  }
+
+  /// Grows the register file to at least \p N integer registers; used by
+  /// the IL parser, which discovers register numbers textually.
+  void ensureRegs(size_t N) {
+    if (RegTypes.size() < N)
+      RegTypes.resize(N, RegType::Int);
+  }
+
+  /// Reassigns one register's type (IL parser type inference).
+  void setRegType(Reg R, RegType T) {
+    assert(R < RegTypes.size() && "invalid register");
+    RegTypes[R] = T;
+  }
+
+  std::vector<Reg> &paramRegs() { return Params; }
+  const std::vector<Reg> &paramRegs() const { return Params; }
+
+  bool returnsValue() const { return HasRet; }
+  RegType returnType() const { return RetTy; }
+  void setReturn(bool Has, RegType T) {
+    HasRet = Has;
+    RetTy = T;
+  }
+
+  /// The tag naming this function when its address is taken.
+  TagId funcTag() const { return FnTag; }
+  void setFuncTag(TagId T) { FnTag = T; }
+
+  BasicBlock *newBlock(std::string BlockName) {
+    auto B = std::make_unique<BasicBlock>(
+        static_cast<BlockId>(Blocks.size()), std::move(BlockName));
+    Blocks.push_back(std::move(B));
+    return Blocks.back().get();
+  }
+
+  size_t numBlocks() const { return Blocks.size(); }
+  BasicBlock *block(BlockId Id) {
+    assert(Id < Blocks.size() && "invalid block id");
+    return Blocks[Id].get();
+  }
+  const BasicBlock *block(BlockId Id) const {
+    assert(Id < Blocks.size() && "invalid block id");
+    return Blocks[Id].get();
+  }
+  BasicBlock *entry() { return Blocks.empty() ? nullptr : Blocks[0].get(); }
+  const BasicBlock *entry() const {
+    return Blocks.empty() ? nullptr : Blocks[0].get();
+  }
+
+  std::vector<std::unique_ptr<BasicBlock>> &blocks() { return Blocks; }
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+
+  /// Removes the blocks whose ids are flagged in \p Dead (entry must stay),
+  /// renumbers survivors, and rewrites all branch targets and phi incoming
+  /// lists. Predecessor/successor lists must be recomputed afterwards.
+  void removeBlocks(const std::vector<bool> &Dead);
+
+private:
+  FuncId Id;
+  std::string Name;
+  BuiltinKind Builtin = BuiltinKind::None;
+  std::vector<RegType> RegTypes;
+  std::vector<Reg> Params;
+  bool HasRet = false;
+  RegType RetTy = RegType::Int;
+  TagId FnTag = NoTag;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+} // namespace rpcc
+
+#endif // RPCC_IR_FUNCTION_H

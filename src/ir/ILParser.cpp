@@ -1,0 +1,706 @@
+//===- ir/ILParser.cpp ----------------------------------------------------===//
+
+#include "ir/ILParser.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace rpcc;
+
+namespace {
+
+/// Opcode mnemonics for the generic register-to-register forms (memory,
+/// call, and control forms have dedicated syntax).
+const std::map<std::string, Opcode> &mnemonics() {
+  static const std::map<std::string, Opcode> Map = [] {
+    std::map<std::string, Opcode> Out;
+    for (int OpI = 0; OpI <= static_cast<int>(Opcode::Phi); ++OpI) {
+      Opcode Op = static_cast<Opcode>(OpI);
+      Out.emplace(opcodeName(Op), Op);
+    }
+    return Out;
+  }();
+  return Map;
+}
+
+class Parser {
+public:
+  Parser(const std::string &Text, Module &M, std::string &Err)
+      : M(M), Err(Err) {
+    std::istringstream SS(Text);
+    std::string Line;
+    while (std::getline(SS, Line))
+      Lines.push_back(Line);
+  }
+
+  bool run() {
+    M.declareBuiltins();
+
+    // Pass 1: function names (tags may reference functions defined later).
+    for (const std::string &L : Lines) {
+      std::string_view V = trimmed(L);
+      if (V.rfind("func ", 0) != 0)
+        continue;
+      size_t Paren = V.find('(');
+      if (Paren == std::string_view::npos)
+        continue;
+      std::string Name(V.substr(5, Paren - 5));
+      if (M.lookup(Name) == NoFunc)
+        M.addFunction(Name);
+    }
+
+    // Pass 2: directives and bodies.
+    while (LineNo < Lines.size()) {
+      std::string_view V = trimmed(Lines[LineNo]);
+      if (V.empty() || V[0] == ';') {
+        ++LineNo;
+        continue;
+      }
+      if (V.rfind("tag ", 0) == 0) {
+        if (!parseTag(V))
+          return false;
+        ++LineNo;
+      } else if (V.rfind("global ", 0) == 0) {
+        if (!parseGlobal(V))
+          return false;
+        ++LineNo;
+      } else if (V.rfind("func ", 0) == 0) {
+        if (!parseFunction(V))
+          return false;
+      } else {
+        return fail("unexpected line");
+      }
+    }
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    Err = "IL parse error, line " + std::to_string(LineNo + 1) + ": " + Msg;
+    return false;
+  }
+
+  static std::string_view trimmed(std::string_view S) {
+    while (!S.empty() && (S.front() == ' ' || S.front() == '\t'))
+      S.remove_prefix(1);
+    while (!S.empty() &&
+           (S.back() == ' ' || S.back() == '\t' || S.back() == '\r'))
+      S.remove_suffix(1);
+    return S;
+  }
+
+  /// Splits on single spaces, keeping bracketed/braced chunks whole enough
+  /// for the per-form parsers below.
+  static std::vector<std::string> words(std::string_view S) {
+    std::vector<std::string> Out;
+    std::string Cur;
+    for (char C : S) {
+      if (C == ' ') {
+        if (!Cur.empty())
+          Out.push_back(std::move(Cur));
+        Cur.clear();
+      } else {
+        Cur.push_back(C);
+      }
+    }
+    if (!Cur.empty())
+      Out.push_back(std::move(Cur));
+    return Out;
+  }
+
+  // -- Names and small pieces ----------------------------------------------
+  bool parseReg(std::string_view S, Reg &Out) {
+    // Strip trailing separators the printer attaches.
+    while (!S.empty() && (S.back() == ',' || S.back() == ')'))
+      S.remove_suffix(1);
+    if (S.size() < 2 || S[0] != 'r')
+      return false;
+    Out = static_cast<Reg>(std::strtoul(std::string(S.substr(1)).c_str(),
+                                        nullptr, 10));
+    return true;
+  }
+
+  bool tagByName(std::string_view Name, TagId &Out) {
+    auto It = TagsByName.find(std::string(Name));
+    if (It == TagsByName.end())
+      return false;
+    Out = It->second;
+    return true;
+  }
+
+  /// Parses "[name]" (optionally with "+off" after it in LDA).
+  bool parseBracketTag(std::string_view S, TagId &Out, int64_t *Off) {
+    if (S.empty() || S.front() != '[')
+      return false;
+    size_t Close = S.find(']');
+    if (Close == std::string_view::npos)
+      return false;
+    if (!tagByName(S.substr(1, Close - 1), Out))
+      return false;
+    if (Off) {
+      *Off = 0;
+      std::string_view Rest = S.substr(Close + 1);
+      if (!Rest.empty() && Rest.front() == '+')
+        *Off = std::strtoll(std::string(Rest.substr(1)).c_str(), nullptr, 10);
+    }
+    return true;
+  }
+
+  /// Parses "{a,b,c}" into a tag set.
+  bool parseTagSet(std::string_view S, TagSet &Out) {
+    if (S.size() < 2 || S.front() != '{' || S.back() != '}')
+      return false;
+    S = S.substr(1, S.size() - 2);
+    while (!S.empty()) {
+      size_t Comma = S.find(',');
+      std::string_view Name =
+          Comma == std::string_view::npos ? S : S.substr(0, Comma);
+      TagId T;
+      if (!tagByName(Name, T))
+        return false;
+      Out.insert(T);
+      if (Comma == std::string_view::npos)
+        break;
+      S = S.substr(Comma + 1);
+    }
+    return true;
+  }
+
+  MemType memTypeFromSuffix(std::string_view Mnemonic, bool &Ok) {
+    Ok = true;
+    if (Mnemonic.ends_with(".i8"))
+      return MemType::I8;
+    if (Mnemonic.ends_with(".i64"))
+      return MemType::I64;
+    if (Mnemonic.ends_with(".f64"))
+      return MemType::F64;
+    Ok = false;
+    return MemType::I64;
+  }
+
+  // -- Directives -----------------------------------------------------------
+  bool parseTag(std::string_view V) {
+    auto W = words(V);
+    if (W.size() < 2)
+      return fail("malformed tag directive");
+    Tag T;
+    T.Name = W[1];
+    for (size_t I = 2; I != W.size(); ++I) {
+      const std::string &A = W[I];
+      if (A.rfind("kind=", 0) == 0) {
+        std::string K = A.substr(5);
+        if (K == "global")
+          T.Kind = TagKind::Global;
+        else if (K == "local")
+          T.Kind = TagKind::Local;
+        else if (K == "heap")
+          T.Kind = TagKind::Heap;
+        else if (K == "func")
+          T.Kind = TagKind::Func;
+        else if (K == "spill")
+          T.Kind = TagKind::Spill;
+        else
+          return fail("unknown tag kind '" + K + "'");
+      } else if (A.rfind("size=", 0) == 0) {
+        T.SizeBytes = static_cast<uint32_t>(std::atoi(A.c_str() + 5));
+      } else if (A.rfind("val=", 0) == 0) {
+        std::string Ty = A.substr(4);
+        T.ValTy = Ty == "i8" ? MemType::I8
+                             : Ty == "f64" ? MemType::F64 : MemType::I64;
+      } else if (A.rfind("owner=", 0) == 0) {
+        FuncId F = M.lookup(A.substr(6));
+        if (F == NoFunc)
+          return fail("unknown owner function '" + A.substr(6) + "'");
+        T.Owner = F;
+      } else if (A.rfind("fn=", 0) == 0) {
+        FuncId F = M.lookup(A.substr(3));
+        if (F == NoFunc)
+          return fail("unknown function '" + A.substr(3) + "'");
+        T.Fn = F;
+      } else if (A == "scalar") {
+        T.IsScalar = true;
+      } else if (A == "addressed") {
+        T.AddressTaken = true;
+      } else if (A == "ro") {
+        T.ReadOnly = true;
+      } else {
+        return fail("unknown tag attribute '" + A + "'");
+      }
+    }
+    // Recreate through the table to keep ids dense.
+    TagId Id;
+    switch (T.Kind) {
+    case TagKind::Global:
+      Id = M.tags().createGlobal(T.Name, T.SizeBytes, T.IsScalar, T.ValTy,
+                                 T.ReadOnly);
+      break;
+    case TagKind::Local:
+      Id = M.tags().createLocal(T.Name, T.Owner, T.SizeBytes, T.IsScalar,
+                                T.ValTy);
+      break;
+    case TagKind::Heap:
+      Id = M.tags().createHeap(T.Name);
+      break;
+    case TagKind::Func:
+      Id = M.tags().createFunc(T.Name, T.Fn);
+      M.function(T.Fn)->setFuncTag(Id);
+      break;
+    case TagKind::Spill:
+      Id = M.tags().createSpill(T.Name, T.Owner, T.ValTy);
+      break;
+    }
+    Tag &Stored = M.tags().tag(Id);
+    Stored.AddressTaken = T.AddressTaken;
+    Stored.ReadOnly = T.ReadOnly;
+    Stored.IsScalar = T.IsScalar;
+    Stored.ValTy = T.ValTy;
+    Stored.SizeBytes = T.SizeBytes;
+    if (!TagsByName.emplace(T.Name, Id).second)
+      return fail("duplicate tag '" + T.Name + "'");
+    return true;
+  }
+
+  bool parseGlobal(std::string_view V) {
+    auto W = words(V);
+    if (W.size() < 2)
+      return fail("malformed global directive");
+    TagId T;
+    if (!tagByName(W[1], T))
+      return fail("unknown tag '" + W[1] + "'");
+    std::vector<uint8_t> Bytes;
+    for (size_t I = 2; I != W.size(); ++I) {
+      const std::string &A = W[I];
+      if (A.rfind("init=", 0) == 0) {
+        std::string Hex = A.substr(5);
+        if (Hex.size() % 2)
+          return fail("odd-length init string");
+        auto Nibble = [](char C) -> int {
+          if (C >= '0' && C <= '9')
+            return C - '0';
+          if (C >= 'a' && C <= 'f')
+            return C - 'a' + 10;
+          return -1;
+        };
+        for (size_t B = 0; B < Hex.size(); B += 2) {
+          int Hi = Nibble(Hex[B]), Lo = Nibble(Hex[B + 1]);
+          if (Hi < 0 || Lo < 0)
+            return fail("bad hex digit in init");
+          Bytes.push_back(static_cast<uint8_t>(Hi * 16 + Lo));
+        }
+      } else {
+        return fail("unknown global attribute '" + A + "'");
+      }
+    }
+    M.addGlobal(T, std::move(Bytes));
+    return true;
+  }
+
+  // -- Functions -------------------------------------------------------------
+  bool parseFunction(std::string_view Header) {
+    size_t Paren = Header.find('(');
+    size_t Close = Header.find(')', Paren);
+    if (Paren == std::string_view::npos || Close == std::string_view::npos)
+      return fail("malformed function header");
+    std::string Name(Header.substr(5, Paren - 5));
+    Function *F = M.function(M.lookup(Name));
+    CurF = F;
+
+    // Parameters: rN:i64 or rN:f64, comma separated.
+    std::string_view Params = Header.substr(Paren + 1, Close - Paren - 1);
+    std::vector<std::pair<Reg, RegType>> ParamList;
+    while (!Params.empty()) {
+      size_t Comma = Params.find(',');
+      std::string_view P =
+          Comma == std::string_view::npos ? Params : Params.substr(0, Comma);
+      size_t Colon = P.find(':');
+      if (Colon == std::string_view::npos)
+        return fail("parameter missing type annotation");
+      Reg R;
+      if (!parseReg(P.substr(0, Colon), R))
+        return fail("bad parameter register");
+      RegType T =
+          P.substr(Colon + 1) == "f64" ? RegType::Flt : RegType::Int;
+      ParamList.push_back({R, T});
+      if (Comma == std::string_view::npos)
+        break;
+      Params = Params.substr(Comma + 1);
+    }
+
+    std::string_view Rest = Header.substr(Close + 1);
+    bool HasRet = Rest.find("->") != std::string_view::npos;
+    RegType RetTy = Rest.find("f64") != std::string_view::npos
+                        ? RegType::Flt
+                        : RegType::Int;
+    F->setReturn(HasRet, RetTy);
+
+    // Body: scan ahead to create all blocks first (forward branch targets).
+    size_t BodyStart = LineNo + 1;
+    size_t End = BodyStart;
+    unsigned MaxBlock = 0;
+    bool AnyBlock = false;
+    while (End < Lines.size() && trimmed(Lines[End]) != "}") {
+      std::string_view L = trimmed(Lines[End]);
+      if (!L.empty() && L[0] == 'B' && L.find(':') != std::string_view::npos &&
+          L[1] >= '0' && L[1] <= '9') {
+        MaxBlock = std::max(
+            MaxBlock, static_cast<unsigned>(std::atoi(L.data() + 1)));
+        AnyBlock = true;
+      }
+      ++End;
+    }
+    if (End == Lines.size())
+      return fail("unterminated function body");
+    if (AnyBlock)
+      for (unsigned B = 0; B <= MaxBlock; ++B)
+        F->newBlock("");
+
+    for (auto [R, T] : ParamList) {
+      F->ensureRegs(R + 1);
+      F->setRegType(R, T);
+      F->paramRegs().push_back(R);
+    }
+
+    // Parse instructions.
+    BasicBlock *Cur = nullptr;
+    for (LineNo = BodyStart; LineNo != End; ++LineNo) {
+      std::string_view L = trimmed(Lines[LineNo]);
+      if (L.empty() || L[0] == ';')
+        continue;
+      if (L[0] == 'B' && L[1] >= '0' && L[1] <= '9') {
+        unsigned Id = static_cast<unsigned>(std::atoi(L.data() + 1));
+        // Optional "(name)" between id and colon.
+        size_t Open = L.find('(');
+        size_t CloseP = L.find(')');
+        if (Open != std::string_view::npos &&
+            CloseP != std::string_view::npos && CloseP > Open)
+          F->block(Id)->setName(
+              std::string(L.substr(Open + 1, CloseP - Open - 1)));
+        Cur = F->block(Id);
+        continue;
+      }
+      if (!Cur)
+        return fail("instruction before any block label");
+      if (!parseInst(L, *Cur))
+        return false;
+    }
+    LineNo = End + 1; // past "}"
+
+    inferTypes(*F);
+    CurF = nullptr;
+    return true;
+  }
+
+  /// Creates registers on sight.
+  void touchReg(Reg R) { CurF->ensureRegs(R + 1); }
+
+  bool parseInst(std::string_view L, BasicBlock &B) {
+    auto W = words(L);
+    if (W.empty())
+      return fail("empty instruction");
+
+    // Optional "rN <-" result prefix.
+    Reg Result = NoReg;
+    size_t Idx = 0;
+    if (W.size() >= 3 && W[1] == "<-") {
+      if (!parseReg(W[0], Result))
+        return fail("bad result register");
+      touchReg(Result);
+      Idx = 2;
+    }
+    if (Idx >= W.size())
+      return fail("missing mnemonic");
+    const std::string &Mn = W[Idx];
+
+    auto FinishOps = [&](Instruction &I) {
+      I.Result = Result;
+      B.append(std::move(I));
+      return true;
+    };
+
+    // Control flow.
+    if (Mn == "BR") {
+      // BR rC ? Bt : Bf   (six words including '?' and ':')
+      if (W.size() != Idx + 6 || W[Idx + 2] != "?" || W[Idx + 4] != ":")
+        return fail("malformed BR");
+      Instruction I(Opcode::Br);
+      Reg C;
+      if (!parseReg(W[Idx + 1], C))
+        return fail("bad BR condition");
+      touchReg(C);
+      I.Ops = {C};
+      I.Target0 = static_cast<BlockId>(std::atoi(W[Idx + 3].c_str() + 1));
+      I.Target1 = static_cast<BlockId>(std::atoi(W[Idx + 5].c_str() + 1));
+      return FinishOps(I);
+    }
+    if (Mn == "JMP") {
+      Instruction I(Opcode::Jmp);
+      I.Target0 = static_cast<BlockId>(std::atoi(W[Idx + 1].c_str() + 1));
+      return FinishOps(I);
+    }
+    if (Mn == "RET") {
+      Instruction I(Opcode::Ret);
+      if (W.size() > Idx + 1) {
+        Reg R;
+        if (!parseReg(W[Idx + 1], R))
+          return fail("bad RET operand");
+        touchReg(R);
+        I.Ops = {R};
+      }
+      return FinishOps(I);
+    }
+
+    // Immediates / addresses / scalar memory.
+    if (Mn == "LOADI") {
+      Instruction I(Opcode::LoadI);
+      I.Imm = std::strtoll(W[Idx + 1].c_str(), nullptr, 10);
+      return FinishOps(I);
+    }
+    if (Mn == "LOADF") {
+      Instruction I(Opcode::LoadF);
+      I.FImm = std::strtod(W[Idx + 1].c_str(), nullptr);
+      return FinishOps(I);
+    }
+    if (Mn == "LDA") {
+      Instruction I(Opcode::LoadAddr);
+      if (!parseBracketTag(W[Idx + 1], I.Tag, &I.Imm))
+        return fail("bad LDA tag");
+      return FinishOps(I);
+    }
+    if (Mn == "SLD") {
+      Instruction I(Opcode::ScalarLoad);
+      if (!parseBracketTag(W[Idx + 1], I.Tag, nullptr))
+        return fail("bad SLD tag");
+      I.MemTy = M.tags().tag(I.Tag).ValTy;
+      return FinishOps(I);
+    }
+    if (Mn == "SST") {
+      Instruction I(Opcode::ScalarStore);
+      if (!parseBracketTag(W[Idx + 1], I.Tag, nullptr))
+        return fail("bad SST tag");
+      I.MemTy = M.tags().tag(I.Tag).ValTy;
+      Reg V;
+      if (!parseReg(W[Idx + 2], V))
+        return fail("bad SST value");
+      touchReg(V);
+      I.Ops = {V};
+      return FinishOps(I);
+    }
+
+    // Pointer memory: PLD.x / CLD.x / PST.x
+    if (Mn.rfind("PLD", 0) == 0 || Mn.rfind("CLD", 0) == 0) {
+      bool Ok;
+      MemType MT = memTypeFromSuffix(Mn, Ok);
+      if (!Ok)
+        return fail("missing width suffix on load");
+      Instruction I(Mn[0] == 'P' ? Opcode::Load : Opcode::ConstLoad);
+      I.MemTy = MT;
+      std::string_view AddrW = W[Idx + 1];
+      if (AddrW.size() < 3 || AddrW.front() != '[')
+        return fail("bad load address");
+      Reg A;
+      if (!parseReg(AddrW.substr(1, AddrW.size() - 2), A))
+        return fail("bad load address register");
+      touchReg(A);
+      I.Ops = {A};
+      if (W.size() > Idx + 2 && !parseTagSet(W[Idx + 2], I.Tags))
+        return fail("bad load tag set");
+      return FinishOps(I);
+    }
+    if (Mn.rfind("PST", 0) == 0) {
+      bool Ok;
+      MemType MT = memTypeFromSuffix(Mn, Ok);
+      if (!Ok)
+        return fail("missing width suffix on store");
+      Instruction I(Opcode::Store);
+      I.MemTy = MT;
+      std::string_view AddrW = W[Idx + 1];
+      Reg A, V;
+      if (AddrW.size() < 3 || AddrW.front() != '[' ||
+          !parseReg(AddrW.substr(1, AddrW.size() - 2), A))
+        return fail("bad store address");
+      if (!parseReg(W[Idx + 2], V))
+        return fail("bad store value");
+      touchReg(A);
+      touchReg(V);
+      I.Ops = {A, V};
+      if (W.size() > Idx + 3 && !parseTagSet(W[Idx + 3], I.Tags))
+        return fail("bad store tag set");
+      return FinishOps(I);
+    }
+
+    // Calls: JSR name(args) mod{..} ref{..} [site=[tag]]
+    //        IJSR [rC](args) mod{..} ref{..}
+    if (Mn.rfind("JSR", 0) == 0 || Mn.rfind("IJSR", 0) == 0) {
+      bool Indirect = Mn[0] == 'I';
+      // Reassemble the full remainder: the arg list has no spaces, but the
+      // mnemonic word may already contain "name(".
+      std::string RestStr;
+      for (size_t WI = Idx + (Indirect || Mn == "JSR" ? 1 : 0); // see below
+           WI < W.size(); ++WI) {
+        if (!RestStr.empty())
+          RestStr += " ";
+        RestStr += W[WI];
+      }
+      // The printer emits "JSR name(r1,r2) mod{..} ref{..}" — name( is the
+      // next word after JSR.
+      std::string_view Rest = RestStr;
+      Instruction I(Indirect ? Opcode::CallIndirect : Opcode::Call);
+      size_t Open = Rest.find('(');
+      size_t Close = Rest.find(')');
+      if (Open == std::string_view::npos || Close == std::string_view::npos)
+        return fail("malformed call");
+      if (Indirect) {
+        // [rC](args)
+        std::string_view CalleeW = Rest.substr(0, Open);
+        Reg C;
+        if (CalleeW.size() < 3 || CalleeW.front() != '[' ||
+            !parseReg(CalleeW.substr(1, CalleeW.size() - 2), C))
+          return fail("bad indirect callee");
+        touchReg(C);
+        I.Ops.push_back(C);
+      } else {
+        std::string Name(Rest.substr(0, Open));
+        FuncId Callee = M.lookup(Name);
+        if (Callee == NoFunc)
+          return fail("unknown callee '" + Name + "'");
+        I.Callee = Callee;
+      }
+      // Arguments.
+      std::string_view Args = Rest.substr(Open + 1, Close - Open - 1);
+      while (!Args.empty()) {
+        size_t Comma = Args.find(',');
+        std::string_view AW =
+            Comma == std::string_view::npos ? Args : Args.substr(0, Comma);
+        Reg R;
+        if (!parseReg(AW, R))
+          return fail("bad call argument");
+        touchReg(R);
+        I.Ops.push_back(R);
+        if (Comma == std::string_view::npos)
+          break;
+        Args = Args.substr(Comma + 1);
+      }
+      // mod{...} ref{...} site=[tag]
+      std::string_view Tail = Rest.substr(Close + 1);
+      for (const std::string &WTail : words(Tail)) {
+        std::string_view TW = WTail;
+        if (TW.rfind("mod", 0) == 0) {
+          if (!parseTagSet(TW.substr(3), I.Mods))
+            return fail("bad mod set");
+        } else if (TW.rfind("ref", 0) == 0) {
+          if (!parseTagSet(TW.substr(3), I.Refs))
+            return fail("bad ref set");
+        } else if (TW.rfind("site=", 0) == 0) {
+          if (!parseBracketTag(TW.substr(5), I.Tag, nullptr))
+            return fail("bad allocation site tag");
+        } else {
+          return fail("unexpected call annotation '" + WTail + "'");
+        }
+      }
+      return FinishOps(I);
+    }
+
+    // Phi: PHI [B1:r2] [B3:r4]
+    if (Mn == "PHI") {
+      Instruction I(Opcode::Phi);
+      for (size_t WI = Idx + 1; WI < W.size(); ++WI) {
+        std::string_view P = W[WI];
+        if (P.size() < 6 || P.front() != '[' || P.back() != ']')
+          return fail("bad phi incoming");
+        P = P.substr(1, P.size() - 2);
+        size_t Colon = P.find(':');
+        BlockId BId = static_cast<BlockId>(
+            std::atoi(std::string(P.substr(1, Colon - 1)).c_str()));
+        Reg R;
+        if (!parseReg(P.substr(Colon + 1), R))
+          return fail("bad phi register");
+        touchReg(R);
+        I.PhiIns.push_back({BId, R});
+      }
+      return FinishOps(I);
+    }
+
+    // Generic register forms: "OP rA[, rB]".
+    auto It = mnemonics().find(Mn);
+    if (It == mnemonics().end())
+      return fail("unknown mnemonic '" + Mn + "'");
+    Instruction I(It->second);
+    for (size_t WI = Idx + 1; WI < W.size(); ++WI) {
+      Reg R;
+      if (!parseReg(W[WI], R))
+        return fail("bad operand '" + W[WI] + "'");
+      touchReg(R);
+      I.Ops.push_back(R);
+    }
+    return FinishOps(I);
+  }
+
+  /// Infers Flt register types from definitions, propagating through
+  /// copies and phis to a fixed point.
+  void inferTypes(Function &F) {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const auto &B : F.blocks()) {
+        for (const auto &IP : B->insts()) {
+          const Instruction &I = *IP;
+          if (!I.hasResult() || F.regType(I.Result) == RegType::Flt)
+            continue;
+          bool Flt = false;
+          switch (I.Op) {
+          case Opcode::LoadF:
+          case Opcode::FAdd:
+          case Opcode::FSub:
+          case Opcode::FMul:
+          case Opcode::FDiv:
+          case Opcode::FNeg:
+          case Opcode::IntToFp:
+            Flt = true;
+            break;
+          case Opcode::ScalarLoad:
+            Flt = M.tags().tag(I.Tag).ValTy == MemType::F64;
+            break;
+          case Opcode::Load:
+          case Opcode::ConstLoad:
+            Flt = I.MemTy == MemType::F64;
+            break;
+          case Opcode::Copy:
+            Flt = F.regType(I.Ops[0]) == RegType::Flt;
+            break;
+          case Opcode::Phi:
+            for (const auto &[Pred, R] : I.PhiIns)
+              Flt |= F.regType(R) == RegType::Flt;
+            break;
+          case Opcode::Call:
+            Flt = M.function(I.Callee)->returnsValue() &&
+                  M.function(I.Callee)->returnType() == RegType::Flt;
+            break;
+          default:
+            break;
+          }
+          if (Flt) {
+            F.setRegType(I.Result, RegType::Flt);
+            Changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  Module &M;
+  std::string &Err;
+  std::vector<std::string> Lines;
+  size_t LineNo = 0;
+  Function *CurF = nullptr;
+  std::map<std::string, TagId> TagsByName;
+};
+
+} // namespace
+
+bool rpcc::parseModule(const std::string &Text, Module &M,
+                       std::string &Err) {
+  return Parser(Text, M, Err).run();
+}

@@ -1,0 +1,36 @@
+//===- ir/ILParser.h - Textual IL parser -------------------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual IL emitted by printModule() back into a Module, so
+/// that IL-level test fixtures can be written as text and modules round-trip
+/// through files. Register types are inferred from definitions (LOADF,
+/// floating arithmetic, f64 memory accesses, copy/phi propagation);
+/// parameter types come from the `rN:f64` annotations in function headers.
+///
+/// Not preserved across a round-trip: resolved indirect-callee lists
+/// (rerun the alias analyses to recover them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_IR_ILPARSER_H
+#define RPCC_IR_ILPARSER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace rpcc {
+
+/// Parses \p Text into \p M (which must be freshly constructed; builtins
+/// are declared automatically). On failure returns false and describes the
+/// first error, with its line number, in \p Err.
+bool parseModule(const std::string &Text, Module &M, std::string &Err);
+
+} // namespace rpcc
+
+#endif // RPCC_IR_ILPARSER_H

@@ -1,0 +1,164 @@
+//===- ir/IRBuilder.cpp ---------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include <cassert>
+
+using namespace rpcc;
+
+Instruction *IRBuilder::append(Instruction I) {
+  assert(BB && "no insertion block set");
+  assert(!BB->terminator() && "appending past a terminator");
+  return BB->append(std::move(I));
+}
+
+Reg IRBuilder::emitBin(Opcode Op, Reg A, Reg B, RegType Ty) {
+  Instruction I(Op);
+  I.Ops = {A, B};
+  I.Result = F->newReg(Ty);
+  return append(std::move(I))->Result;
+}
+
+Reg IRBuilder::emitUn(Opcode Op, Reg A, RegType Ty) {
+  Instruction I(Op);
+  I.Ops = {A};
+  I.Result = F->newReg(Ty);
+  return append(std::move(I))->Result;
+}
+
+Reg IRBuilder::emitLoadI(int64_t V) {
+  Instruction I(Opcode::LoadI);
+  I.Imm = V;
+  I.Result = F->newReg(RegType::Int);
+  return append(std::move(I))->Result;
+}
+
+Reg IRBuilder::emitLoadF(double V) {
+  Instruction I(Opcode::LoadF);
+  I.FImm = V;
+  I.Result = F->newReg(RegType::Flt);
+  return append(std::move(I))->Result;
+}
+
+Reg IRBuilder::emitCopy(Reg Src) {
+  Instruction I(Opcode::Copy);
+  I.Ops = {Src};
+  I.Result = F->newReg(F->regType(Src));
+  return append(std::move(I))->Result;
+}
+
+void IRBuilder::emitCopyTo(Reg Dst, Reg Src) {
+  Instruction I(Opcode::Copy);
+  I.Ops = {Src};
+  I.Result = Dst;
+  append(std::move(I));
+}
+
+Reg IRBuilder::emitLoadAddr(TagId T, int64_t Offset) {
+  Instruction I(Opcode::LoadAddr);
+  I.Tag = T;
+  I.Imm = Offset;
+  I.Result = F->newReg(RegType::Int);
+  return append(std::move(I))->Result;
+}
+
+Reg IRBuilder::emitScalarLoad(TagId T) {
+  const Tag &Tg = M.tags().tag(T);
+  assert(Tg.IsScalar && "scalar load of a non-scalar tag");
+  Instruction I(Opcode::ScalarLoad);
+  I.Tag = T;
+  I.MemTy = Tg.ValTy;
+  I.Result =
+      F->newReg(Tg.ValTy == MemType::F64 ? RegType::Flt : RegType::Int);
+  return append(std::move(I))->Result;
+}
+
+void IRBuilder::emitScalarStore(TagId T, Reg V) {
+  const Tag &Tg = M.tags().tag(T);
+  assert(Tg.IsScalar && "scalar store to a non-scalar tag");
+  Instruction I(Opcode::ScalarStore);
+  I.Tag = T;
+  I.MemTy = Tg.ValTy;
+  I.Ops = {V};
+  append(std::move(I));
+}
+
+Reg IRBuilder::emitLoad(Reg Addr, MemType Ty, TagSet Tags) {
+  Instruction I(Opcode::Load);
+  I.Ops = {Addr};
+  I.MemTy = Ty;
+  I.Tags = std::move(Tags);
+  I.Result = F->newReg(Ty == MemType::F64 ? RegType::Flt : RegType::Int);
+  return append(std::move(I))->Result;
+}
+
+Reg IRBuilder::emitConstLoad(Reg Addr, MemType Ty, TagSet Tags) {
+  Instruction I(Opcode::ConstLoad);
+  I.Ops = {Addr};
+  I.MemTy = Ty;
+  I.Tags = std::move(Tags);
+  I.Result = F->newReg(Ty == MemType::F64 ? RegType::Flt : RegType::Int);
+  return append(std::move(I))->Result;
+}
+
+void IRBuilder::emitStore(Reg Addr, Reg V, MemType Ty, TagSet Tags) {
+  Instruction I(Opcode::Store);
+  I.Ops = {Addr, V};
+  I.MemTy = Ty;
+  I.Tags = std::move(Tags);
+  append(std::move(I));
+}
+
+Reg IRBuilder::emitCall(Function *Callee, const std::vector<Reg> &Args) {
+  Instruction I(Opcode::Call);
+  I.Callee = Callee->id();
+  I.Ops = Args;
+  if (Callee->returnsValue())
+    I.Result = F->newReg(Callee->returnType());
+  return append(std::move(I))->Result;
+}
+
+Reg IRBuilder::emitCallIndirect(Reg Callee, const std::vector<Reg> &Args,
+                                bool HasRet, RegType RetTy) {
+  Instruction I(Opcode::CallIndirect);
+  I.Ops.push_back(Callee);
+  for (Reg A : Args)
+    I.Ops.push_back(A);
+  if (HasRet)
+    I.Result = F->newReg(RetTy);
+  return append(std::move(I))->Result;
+}
+
+void IRBuilder::emitBr(Reg Cond, BlockId IfTrue, BlockId IfFalse) {
+  Instruction I(Opcode::Br);
+  I.Ops = {Cond};
+  I.Target0 = IfTrue;
+  I.Target1 = IfFalse;
+  append(std::move(I));
+}
+
+void IRBuilder::emitJmp(BlockId Target) {
+  Instruction I(Opcode::Jmp);
+  I.Target0 = Target;
+  append(std::move(I));
+}
+
+void IRBuilder::emitRet() { append(Instruction(Opcode::Ret)); }
+
+void IRBuilder::emitRet(Reg V) {
+  Instruction I(Opcode::Ret);
+  I.Ops = {V};
+  append(std::move(I));
+}
+
+Reg IRBuilder::emitPhi(RegType Ty, std::vector<std::pair<BlockId, Reg>> Ins) {
+  Instruction I(Opcode::Phi);
+  I.PhiIns = std::move(Ins);
+  I.Result = F->newReg(Ty);
+  // Phis go at the head of the block, before any already-appended code.
+  assert(BB && "no insertion block set");
+  size_t Idx = 0;
+  while (Idx < BB->size() && BB->insts()[Idx]->Op == Opcode::Phi)
+    ++Idx;
+  return BB->insertAt(Idx, std::move(I))->Result;
+}

@@ -1,0 +1,74 @@
+//===- ir/IRBuilder.h - Convenience instruction factory ---------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Appends instructions to a current block, allocating result registers with
+/// the right type. Used by the frontend lowering, by tests that hand-build
+/// IL (e.g. the Figure 2 replica), and by the examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_IR_IRBUILDER_H
+#define RPCC_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+namespace rpcc {
+
+class IRBuilder {
+public:
+  IRBuilder(Module &M, Function *F) : M(M), F(F) {}
+
+  Function *function() { return F; }
+
+  void setBlock(BasicBlock *B) { BB = B; }
+  BasicBlock *blockPtr() { return BB; }
+
+  /// True if the current block already ends in a terminator; further appends
+  /// would be unreachable and are rejected by append().
+  bool blockClosed() const { return BB && BB->terminator(); }
+
+  // -- Pure computation --------------------------------------------------
+  Reg emitBin(Opcode Op, Reg A, Reg B, RegType Ty);
+  Reg emitUn(Opcode Op, Reg A, RegType Ty);
+  Reg emitLoadI(int64_t V);
+  Reg emitLoadF(double V);
+  Reg emitCopy(Reg Src);
+  /// Copy into a specific existing register (for non-SSA variable updates).
+  void emitCopyTo(Reg Dst, Reg Src);
+  Reg emitLoadAddr(TagId T, int64_t Offset = 0);
+
+  // -- Memory ------------------------------------------------------------
+  Reg emitScalarLoad(TagId T);
+  void emitScalarStore(TagId T, Reg V);
+  Reg emitLoad(Reg Addr, MemType Ty, TagSet Tags);
+  Reg emitConstLoad(Reg Addr, MemType Ty, TagSet Tags);
+  void emitStore(Reg Addr, Reg V, MemType Ty, TagSet Tags);
+
+  // -- Calls and control -------------------------------------------------
+  /// Emits a direct call; returns the result register or NoReg.
+  Reg emitCall(Function *Callee, const std::vector<Reg> &Args);
+  Reg emitCallIndirect(Reg Callee, const std::vector<Reg> &Args, bool HasRet,
+                       RegType RetTy);
+  void emitBr(Reg Cond, BlockId IfTrue, BlockId IfFalse);
+  void emitJmp(BlockId Target);
+  void emitRet();
+  void emitRet(Reg V);
+  Reg emitPhi(RegType Ty, std::vector<std::pair<BlockId, Reg>> Ins);
+
+private:
+  Instruction *append(Instruction I);
+
+  Module &M;
+  Function *F;
+  BasicBlock *BB = nullptr;
+};
+
+} // namespace rpcc
+
+#endif // RPCC_IR_IRBUILDER_H

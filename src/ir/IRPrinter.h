@@ -1,0 +1,35 @@
+//===- ir/IRPrinter.h - Textual IL printer ----------------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_IR_IRPRINTER_H
+#define RPCC_IR_IRPRINTER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace rpcc {
+
+/// Renders one instruction in ILOC-flavored text, e.g.
+///   "r3 <- SLD [count]", "SST [count] r3", "r7 <- PLD.i64 [r6] {A,B}",
+///   "r9 <- JSR foo(r1) mod{g} ref{g,h}", "BR r2 ? B1 : B2".
+std::string printInst(const Module &M, const Function &F,
+                      const Instruction &I);
+
+/// Renders a whole function: header, blocks with labels, instructions.
+std::string printFunction(const Module &M, const Function &F);
+
+/// Renders the tag table and every non-builtin function.
+std::string printModule(const Module &M);
+
+/// Renders the function's CFG in Graphviz dot format, one record node per
+/// block with its instructions; loop back edges render like any other edge.
+std::string printCfgDot(const Module &M, const Function &F);
+
+} // namespace rpcc
+
+#endif // RPCC_IR_IRPRINTER_H

@@ -1,0 +1,57 @@
+//===- ir/Instruction.cpp -------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+using namespace rpcc;
+
+const char *rpcc::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add: return "ADD";
+  case Opcode::Sub: return "SUB";
+  case Opcode::Mul: return "MUL";
+  case Opcode::Div: return "DIV";
+  case Opcode::Rem: return "REM";
+  case Opcode::And: return "AND";
+  case Opcode::Or: return "OR";
+  case Opcode::Xor: return "XOR";
+  case Opcode::Shl: return "SHL";
+  case Opcode::Shr: return "SHR";
+  case Opcode::CmpEq: return "CMPEQ";
+  case Opcode::CmpNe: return "CMPNE";
+  case Opcode::CmpLt: return "CMPLT";
+  case Opcode::CmpLe: return "CMPLE";
+  case Opcode::CmpGt: return "CMPGT";
+  case Opcode::CmpGe: return "CMPGE";
+  case Opcode::FAdd: return "FADD";
+  case Opcode::FSub: return "FSUB";
+  case Opcode::FMul: return "FMUL";
+  case Opcode::FDiv: return "FDIV";
+  case Opcode::FCmpEq: return "FCMPEQ";
+  case Opcode::FCmpNe: return "FCMPNE";
+  case Opcode::FCmpLt: return "FCMPLT";
+  case Opcode::FCmpLe: return "FCMPLE";
+  case Opcode::FCmpGt: return "FCMPGT";
+  case Opcode::FCmpGe: return "FCMPGE";
+  case Opcode::Neg: return "NEG";
+  case Opcode::Not: return "NOT";
+  case Opcode::FNeg: return "FNEG";
+  case Opcode::IntToFp: return "I2D";
+  case Opcode::FpToInt: return "D2I";
+  case Opcode::LoadI: return "LOADI";
+  case Opcode::LoadF: return "LOADF";
+  case Opcode::Copy: return "CP";
+  case Opcode::LoadAddr: return "LDA";
+  case Opcode::ConstLoad: return "CLD";
+  case Opcode::ScalarLoad: return "SLD";
+  case Opcode::ScalarStore: return "SST";
+  case Opcode::Load: return "PLD";
+  case Opcode::Store: return "PST";
+  case Opcode::Call: return "JSR";
+  case Opcode::CallIndirect: return "IJSR";
+  case Opcode::Br: return "BR";
+  case Opcode::Jmp: return "JMP";
+  case Opcode::Ret: return "RET";
+  case Opcode::Phi: return "PHI";
+  }
+  return "?";
+}

@@ -1,0 +1,81 @@
+//===- ir/Instruction.h - IL instruction -----------------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single IL instruction. The representation is a tagged struct rather than
+/// a class hierarchy: the pass suite is small and every pass switches over
+/// opcodes anyway. Memory operations carry the tag information the paper's
+/// analyses consume; calls carry MOD/REF summaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_IR_INSTRUCTION_H
+#define RPCC_IR_INSTRUCTION_H
+
+#include "ir/Opcode.h"
+#include "ir/Tag.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rpcc {
+
+/// A virtual (or, after allocation, physical) register number.
+using Reg = uint32_t;
+inline constexpr Reg NoReg = ~Reg(0);
+
+/// Index of a basic block within its function.
+using BlockId = uint32_t;
+inline constexpr BlockId NoBlock = ~BlockId(0);
+
+/// Register value class.
+enum class RegType : uint8_t { Int, Flt };
+
+struct Instruction {
+  Opcode Op;
+  /// Defined register, or NoReg for instructions without a result.
+  Reg Result = NoReg;
+  /// Operand registers. For Store: [Addr, Value]. For ScalarStore: [Value].
+  /// For Br: [Cond]. For Call: the arguments. For CallIndirect: [Callee,
+  /// args...]. For Ret: [Value] if the function returns one.
+  std::vector<Reg> Ops;
+  /// Integer immediate (LoadI) or byte offset (LoadAddr).
+  int64_t Imm = 0;
+  /// Floating immediate (LoadF).
+  double FImm = 0.0;
+  /// Access width of memory operations.
+  MemType MemTy = MemType::I64;
+  /// The named location of ScalarLoad/ScalarStore/LoadAddr.
+  TagId Tag = NoTag;
+  /// May-reference tag set of pointer-based memory operations.
+  TagSet Tags;
+  /// Side-effect summaries of calls (the paper's "modified tags" and
+  /// "referenced tags" lists).
+  TagSet Mods, Refs;
+  /// Callee of a direct call.
+  FuncId Callee = NoFunc;
+  /// Possible callees of an indirect call (refined by analysis; empty means
+  /// "any addressed function").
+  std::vector<FuncId> IndirectCallees;
+  /// Branch targets: Br uses both (taken/fallthrough), Jmp uses Target0.
+  BlockId Target0 = NoBlock;
+  BlockId Target1 = NoBlock;
+  /// Phi incoming values as (predecessor block, register) pairs.
+  std::vector<std::pair<BlockId, Reg>> PhiIns;
+
+  explicit Instruction(Opcode Op) : Op(Op) {}
+
+  bool hasResult() const { return Result != NoReg; }
+
+  /// Deep copy (tag sets and operand lists included).
+  Instruction clone() const { return *this; }
+};
+
+} // namespace rpcc
+
+#endif // RPCC_IR_INSTRUCTION_H

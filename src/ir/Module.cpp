@@ -1,0 +1,46 @@
+//===- ir/Module.cpp ------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+using namespace rpcc;
+
+Function *Module::addFunction(std::string Name) {
+  assert(FuncByName.find(Name) == FuncByName.end() && "duplicate function");
+  FuncId Id = static_cast<FuncId>(Funcs.size());
+  Funcs.push_back(std::make_unique<Function>(Id, Name));
+  FuncByName.emplace(std::move(Name), Id);
+  return Funcs.back().get();
+}
+
+void Module::declareBuiltins() {
+  struct Desc {
+    const char *Name;
+    BuiltinKind Kind;
+    unsigned NumParams;
+    bool FloatParams;
+    bool HasRet;
+    RegType RetTy;
+  };
+  static const Desc Table[] = {
+      {"malloc", BuiltinKind::Malloc, 1, false, true, RegType::Int},
+      {"free", BuiltinKind::Free, 1, false, false, RegType::Int},
+      {"print_int", BuiltinKind::PrintInt, 1, false, false, RegType::Int},
+      {"print_char", BuiltinKind::PrintChar, 1, false, false, RegType::Int},
+      {"print_float", BuiltinKind::PrintFloat, 1, true, false, RegType::Int},
+      {"print_str", BuiltinKind::PrintStr, 1, false, false, RegType::Int},
+      {"sqrt", BuiltinKind::Sqrt, 1, true, true, RegType::Flt},
+      {"sin", BuiltinKind::Sin, 1, true, true, RegType::Flt},
+      {"cos", BuiltinKind::Cos, 1, true, true, RegType::Flt},
+      {"pow", BuiltinKind::Pow, 2, true, true, RegType::Flt},
+  };
+  for (const Desc &D : Table) {
+    if (lookup(D.Name) != NoFunc)
+      continue;
+    Function *F = addFunction(D.Name);
+    F->setBuiltin(D.Kind);
+    for (unsigned I = 0; I != D.NumParams; ++I)
+      F->paramRegs().push_back(
+          F->newReg(D.FloatParams ? RegType::Flt : RegType::Int));
+    F->setReturn(D.HasRet, D.RetTy);
+  }
+}

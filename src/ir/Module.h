@@ -1,0 +1,73 @@
+//===- ir/Module.h - Whole-program IL container -----------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_IR_MODULE_H
+#define RPCC_IR_MODULE_H
+
+#include "ir/Function.h"
+#include "ir/Tag.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rpcc {
+
+/// Initial contents of one global tag. Empty bytes mean zero-initialized.
+struct GlobalInit {
+  TagId Tag = NoTag;
+  std::vector<uint8_t> Bytes;
+};
+
+/// A whole program: functions, the tag table, and global initializers.
+/// The paper's analyses are whole-program ("We analyze the entire program at
+/// once"), so the module is the unit every interprocedural pass consumes.
+class Module {
+public:
+  Function *addFunction(std::string Name);
+
+  /// Registers the standard builtins (malloc, free, print_*, math). Called
+  /// by the frontend; harmless to call twice.
+  void declareBuiltins();
+
+  FuncId lookup(const std::string &Name) const {
+    auto It = FuncByName.find(Name);
+    return It == FuncByName.end() ? NoFunc : It->second;
+  }
+
+  Function *function(FuncId Id) {
+    assert(Id < Funcs.size() && "invalid function id");
+    return Funcs[Id].get();
+  }
+  const Function *function(FuncId Id) const {
+    assert(Id < Funcs.size() && "invalid function id");
+    return Funcs[Id].get();
+  }
+  size_t numFunctions() const { return Funcs.size(); }
+
+  TagTable &tags() { return Tags; }
+  const TagTable &tags() const { return Tags; }
+
+  std::vector<GlobalInit> &globals() { return Globals; }
+  const std::vector<GlobalInit> &globals() const { return Globals; }
+
+  /// Adds a zero- or byte-initialized global for \p Tag.
+  void addGlobal(TagId Tag, std::vector<uint8_t> Bytes = {}) {
+    Globals.push_back(GlobalInit{Tag, std::move(Bytes)});
+  }
+
+private:
+  std::vector<std::unique_ptr<Function>> Funcs;
+  std::unordered_map<std::string, FuncId> FuncByName;
+  TagTable Tags;
+  std::vector<GlobalInit> Globals;
+};
+
+} // namespace rpcc
+
+#endif // RPCC_IR_MODULE_H

@@ -1,0 +1,124 @@
+//===- ir/Opcode.h - ILOC-style opcode set ---------------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction set of the IL, including the paper's Table 1 hierarchy of
+/// memory operations:
+///
+///   iLoad           -> LoadI / LoadF   (load a known constant value)
+///   cLoad           -> ConstLoad       (load an invariant, unknown value)
+///   sLoad / sStore  -> ScalarLoad / ScalarStore (value known to be scalar)
+///   Load / Store    -> Load / Store    (general pointer-based form)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_IR_OPCODE_H
+#define RPCC_IR_OPCODE_H
+
+#include <cstdint>
+
+namespace rpcc {
+
+enum class Opcode : uint8_t {
+  // Integer arithmetic, register-to-register.
+  Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+  // Integer comparisons producing 0/1.
+  CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+  // Floating-point arithmetic and comparisons.
+  FAdd, FSub, FMul, FDiv,
+  FCmpEq, FCmpNe, FCmpLt, FCmpLe, FCmpGt, FCmpGe,
+  // Unary.
+  Neg, Not, FNeg, IntToFp, FpToInt,
+  // Immediates and copies.
+  LoadI,  ///< iLoad: integer immediate
+  LoadF,  ///< iLoad: floating immediate
+  Copy,   ///< CP: register copy (coalescable)
+  // Address formation.
+  LoadAddr, ///< LDA: address of a tag plus a constant byte offset
+  // Memory hierarchy (Table 1).
+  ConstLoad,   ///< cLoad: pointer-based load from read-only storage
+  ScalarLoad,  ///< sLoad: direct load of a named scalar
+  ScalarStore, ///< sStore: direct store of a named scalar
+  Load,        ///< general pointer-based load; carries a tag set
+  Store,       ///< general pointer-based store; carries a tag set
+  // Control.
+  Call,         ///< JSR: direct call; carries MOD/REF tag sets
+  CallIndirect, ///< IJSR: call through a register
+  Br,           ///< conditional branch on a register
+  Jmp,          ///< unconditional branch
+  Ret,          ///< return, with optional value
+  Phi           ///< SSA phi (only present while a function is in SSA form)
+};
+
+/// Printable mnemonic for \p Op (ILOC-flavored).
+const char *opcodeName(Opcode Op);
+
+inline bool isTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::Jmp || Op == Opcode::Ret;
+}
+
+inline bool isCallOp(Opcode Op) {
+  return Op == Opcode::Call || Op == Opcode::CallIndirect;
+}
+
+/// Dynamic "load executed" per the paper's Figure 7 metric.
+inline bool isLoadOp(Opcode Op) {
+  return Op == Opcode::ScalarLoad || Op == Opcode::Load ||
+         Op == Opcode::ConstLoad;
+}
+
+/// Dynamic "store executed" per the paper's Figure 6 metric.
+inline bool isStoreOp(Opcode Op) {
+  return Op == Opcode::ScalarStore || Op == Opcode::Store;
+}
+
+inline bool isMemOp(Opcode Op) { return isLoadOp(Op) || isStoreOp(Op); }
+
+/// Pointer-based memory operations: the ones that carry tag sets.
+inline bool isPointerMemOp(Opcode Op) {
+  return Op == Opcode::Load || Op == Opcode::Store || Op == Opcode::ConstLoad;
+}
+
+/// True for operations whose result is a pure function of their operands and
+/// that touch no memory; these are candidates for value numbering, PRE, LICM
+/// and dead-code elimination.
+inline bool isPureOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::Div:
+  case Opcode::Rem: case Opcode::And: case Opcode::Or: case Opcode::Xor:
+  case Opcode::Shl: case Opcode::Shr:
+  case Opcode::CmpEq: case Opcode::CmpNe: case Opcode::CmpLt:
+  case Opcode::CmpLe: case Opcode::CmpGt: case Opcode::CmpGe:
+  case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul: case Opcode::FDiv:
+  case Opcode::FCmpEq: case Opcode::FCmpNe: case Opcode::FCmpLt:
+  case Opcode::FCmpLe: case Opcode::FCmpGt: case Opcode::FCmpGe:
+  case Opcode::Neg: case Opcode::Not: case Opcode::FNeg:
+  case Opcode::IntToFp: case Opcode::FpToInt:
+  case Opcode::LoadI: case Opcode::LoadF: case Opcode::Copy:
+  case Opcode::LoadAddr:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True for commutative binary operators (used by value numbering).
+inline bool isCommutative(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add: case Opcode::Mul: case Opcode::And: case Opcode::Or:
+  case Opcode::Xor: case Opcode::CmpEq: case Opcode::CmpNe:
+  case Opcode::FAdd: case Opcode::FMul:
+  case Opcode::FCmpEq: case Opcode::FCmpNe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace rpcc
+
+#endif // RPCC_IR_OPCODE_H

@@ -1,0 +1,68 @@
+//===- ir/Tag.cpp ---------------------------------------------------------===//
+
+#include "ir/Tag.h"
+
+using namespace rpcc;
+
+TagId TagTable::append(Tag T) {
+  T.Id = static_cast<TagId>(Tags.size());
+  Tags.push_back(std::move(T));
+  return Tags.back().Id;
+}
+
+TagId TagTable::createGlobal(std::string Name, uint32_t Size, bool Scalar,
+                             MemType ValTy, bool ReadOnly) {
+  Tag T;
+  T.Name = std::move(Name);
+  T.Kind = TagKind::Global;
+  T.SizeBytes = Size;
+  T.IsScalar = Scalar;
+  T.ValTy = ValTy;
+  T.ReadOnly = ReadOnly;
+  return append(std::move(T));
+}
+
+TagId TagTable::createLocal(std::string Name, FuncId Owner, uint32_t Size,
+                            bool Scalar, MemType ValTy) {
+  Tag T;
+  T.Name = std::move(Name);
+  T.Kind = TagKind::Local;
+  T.Owner = Owner;
+  T.SizeBytes = Size;
+  T.IsScalar = Scalar;
+  T.ValTy = ValTy;
+  return append(std::move(T));
+}
+
+TagId TagTable::createHeap(std::string Name) {
+  Tag T;
+  T.Name = std::move(Name);
+  T.Kind = TagKind::Heap;
+  T.SizeBytes = 0; // size is dynamic; the interpreter tracks real extents
+  T.IsScalar = false;
+  // A heap tag summarizes every object made at one call site, so its address
+  // is considered exposed from birth.
+  T.AddressTaken = true;
+  return append(std::move(T));
+}
+
+TagId TagTable::createFunc(std::string Name, FuncId Fn) {
+  Tag T;
+  T.Name = std::move(Name);
+  T.Kind = TagKind::Func;
+  T.Fn = Fn;
+  T.SizeBytes = 0;
+  T.ReadOnly = true;
+  return append(std::move(T));
+}
+
+TagId TagTable::createSpill(std::string Name, FuncId Owner, MemType ValTy) {
+  Tag T;
+  T.Name = std::move(Name);
+  T.Kind = TagKind::Spill;
+  T.Owner = Owner;
+  T.IsScalar = true;
+  T.ValTy = ValTy;
+  T.SizeBytes = memTypeSize(ValTy);
+  return append(std::move(T));
+}

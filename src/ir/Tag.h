@@ -1,0 +1,153 @@
+//===- ir/Tag.h - Abstract memory location tags ----------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tags are textual names for abstract memory locations, exactly as in the
+/// paper's IL: "Each memory operation has an associated list of tags; these
+/// are textual names that identify the memory locations that can be used by
+/// the operation." A tag stands for a whole object: a global scalar, a global
+/// array, a local whose address escapes, one heap allocation site, a function
+/// (for function pointers), or an allocator-introduced spill slot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_IR_TAG_H
+#define RPCC_IR_TAG_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rpcc {
+
+using TagId = uint32_t;
+inline constexpr TagId NoTag = ~TagId(0);
+
+using FuncId = uint32_t;
+inline constexpr FuncId NoFunc = ~FuncId(0);
+
+/// Width of a memory access or scalar cell.
+enum class MemType : uint8_t { I8, I64, F64 };
+
+/// Size in bytes of a MemType cell.
+inline uint32_t memTypeSize(MemType T) { return T == MemType::I8 ? 1 : 8; }
+
+/// What kind of storage a tag names.
+enum class TagKind : uint8_t {
+  Global, ///< file-scope variable
+  Local,  ///< address-taken local or formal parameter storage
+  Heap,   ///< one allocation call site (the paper's heap model)
+  Func,   ///< a function whose address is taken
+  Spill   ///< spill slot introduced by the register allocator
+};
+
+/// One abstract memory location.
+struct Tag {
+  TagId Id = NoTag;
+  std::string Name;
+  TagKind Kind = TagKind::Global;
+  /// Owning function for Local/Spill tags; NoFunc otherwise.
+  FuncId Owner = NoFunc;
+  /// For Func tags, the function this tag names.
+  FuncId Fn = NoFunc;
+  /// True once some LoadAddr takes this tag's address. Only addressed tags
+  /// can appear in pointer-based tag sets (paper section 4).
+  bool AddressTaken = false;
+  /// True for read-only storage (const globals, string literals).
+  bool ReadOnly = false;
+  /// True if the tag names a single scalar cell (promotion candidate).
+  bool IsScalar = false;
+  /// Element type of a scalar cell, or of array elements.
+  MemType ValTy = MemType::I64;
+  /// Object size in bytes.
+  uint32_t SizeBytes = 8;
+};
+
+/// A sorted, duplicate-free set of tag ids; the "tag list" attached to
+/// pointer-based memory operations and to call-site MOD/REF summaries.
+class TagSet {
+public:
+  TagSet() = default;
+  TagSet(std::initializer_list<TagId> Ids) {
+    for (TagId T : Ids)
+      insert(T);
+  }
+
+  bool empty() const { return Ids.empty(); }
+  size_t size() const { return Ids.size(); }
+
+  bool contains(TagId T) const {
+    return std::binary_search(Ids.begin(), Ids.end(), T);
+  }
+
+  /// Inserts \p T; returns true if it was not already present.
+  bool insert(TagId T) {
+    auto It = std::lower_bound(Ids.begin(), Ids.end(), T);
+    if (It != Ids.end() && *It == T)
+      return false;
+    Ids.insert(It, T);
+    return true;
+  }
+
+  /// Union-assign; returns true if this set grew.
+  bool unionWith(const TagSet &O) {
+    bool Changed = false;
+    for (TagId T : O.Ids)
+      Changed |= insert(T);
+    return Changed;
+  }
+
+  void clear() { Ids.clear(); }
+
+  /// When the set is a singleton, returns its element; NoTag otherwise.
+  TagId singleton() const { return Ids.size() == 1 ? Ids[0] : NoTag; }
+
+  bool operator==(const TagSet &O) const { return Ids == O.Ids; }
+  bool operator!=(const TagSet &O) const { return !(*this == O); }
+
+  std::vector<TagId>::const_iterator begin() const { return Ids.begin(); }
+  std::vector<TagId>::const_iterator end() const { return Ids.end(); }
+
+private:
+  std::vector<TagId> Ids;
+};
+
+/// Owns all tags of a module and hands out dense ids.
+class TagTable {
+public:
+  TagId createGlobal(std::string Name, uint32_t Size, bool Scalar,
+                     MemType ValTy, bool ReadOnly = false);
+  TagId createLocal(std::string Name, FuncId Owner, uint32_t Size, bool Scalar,
+                    MemType ValTy);
+  TagId createHeap(std::string Name);
+  TagId createFunc(std::string Name, FuncId Fn);
+  TagId createSpill(std::string Name, FuncId Owner, MemType ValTy);
+
+  Tag &tag(TagId Id) {
+    assert(Id < Tags.size() && "invalid tag id");
+    return Tags[Id];
+  }
+  const Tag &tag(TagId Id) const {
+    assert(Id < Tags.size() && "invalid tag id");
+    return Tags[Id];
+  }
+
+  size_t size() const { return Tags.size(); }
+
+  std::vector<Tag>::const_iterator begin() const { return Tags.begin(); }
+  std::vector<Tag>::const_iterator end() const { return Tags.end(); }
+
+private:
+  TagId append(Tag T);
+  std::vector<Tag> Tags;
+};
+
+} // namespace rpcc
+
+#endif // RPCC_IR_TAG_H

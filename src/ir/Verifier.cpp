@@ -1,0 +1,172 @@
+//===- ir/Verifier.cpp ----------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/IRPrinter.h"
+
+#include <sstream>
+
+using namespace rpcc;
+
+namespace {
+
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Module &M, const Function &F, std::string &Err)
+      : M(M), F(F), Err(Err) {}
+
+  bool run() {
+    if (F.numBlocks() == 0) {
+      fail("function has no blocks");
+      return Ok;
+    }
+    for (const auto &B : F.blocks())
+      checkBlock(*B);
+    return Ok;
+  }
+
+private:
+  void fail(const std::string &Msg) {
+    std::ostringstream OS;
+    OS << "verify: " << F.name() << ": " << Msg << "\n";
+    Err += OS.str();
+    Ok = false;
+  }
+
+  void failInst(const BasicBlock &B, const Instruction &I,
+                const std::string &Msg) {
+    std::ostringstream OS;
+    OS << "B" << B.id() << ": '" << printInst(M, F, I) << "': " << Msg;
+    fail(OS.str());
+  }
+
+  void checkReg(const BasicBlock &B, const Instruction &I, Reg R) {
+    if (R == NoReg || R >= F.numRegs())
+      failInst(B, I, "register out of range");
+  }
+
+  void checkTarget(const BasicBlock &B, const Instruction &I, BlockId T) {
+    if (T == NoBlock || T >= F.numBlocks())
+      failInst(B, I, "branch target out of range");
+  }
+
+  void checkBlock(const BasicBlock &B) {
+    if (B.empty()) {
+      fail("block B" + std::to_string(B.id()) + " is empty");
+      return;
+    }
+    bool SeenNonPhi = false;
+    for (size_t Idx = 0; Idx != B.size(); ++Idx) {
+      const Instruction &I = *B.insts()[Idx];
+      bool Last = Idx + 1 == B.size();
+      if (isTerminator(I.Op) && !Last)
+        failInst(B, I, "terminator in the middle of a block");
+      if (Last && !isTerminator(I.Op))
+        failInst(B, I, "block does not end in a terminator");
+      if (I.Op == Opcode::Phi) {
+        if (SeenNonPhi)
+          failInst(B, I, "phi after non-phi instruction");
+      } else {
+        SeenNonPhi = true;
+      }
+      checkInst(B, I);
+    }
+  }
+
+  void checkInst(const BasicBlock &B, const Instruction &I) {
+    if (I.hasResult())
+      checkReg(B, I, I.Result);
+    for (Reg R : I.Ops)
+      checkReg(B, I, R);
+
+    switch (I.Op) {
+    case Opcode::ScalarLoad:
+    case Opcode::ScalarStore: {
+      if (I.Tag == NoTag || I.Tag >= M.tags().size()) {
+        failInst(B, I, "invalid tag");
+        break;
+      }
+      if (!M.tags().tag(I.Tag).IsScalar)
+        failInst(B, I, "scalar memory op on non-scalar tag");
+      if (I.Op == Opcode::ScalarStore && I.Ops.size() != 1)
+        failInst(B, I, "scalar store takes exactly one operand");
+      break;
+    }
+    case Opcode::LoadAddr:
+      if (I.Tag == NoTag || I.Tag >= M.tags().size())
+        failInst(B, I, "invalid tag");
+      break;
+    case Opcode::Load:
+    case Opcode::ConstLoad:
+      if (I.Ops.size() != 1)
+        failInst(B, I, "load takes exactly one address operand");
+      break;
+    case Opcode::Store:
+      if (I.Ops.size() != 2)
+        failInst(B, I, "store takes address and value operands");
+      break;
+    case Opcode::Call: {
+      if (I.Callee == NoFunc || I.Callee >= M.numFunctions()) {
+        failInst(B, I, "invalid callee");
+        break;
+      }
+      const Function *Callee = M.function(I.Callee);
+      if (I.Ops.size() != Callee->paramRegs().size())
+        failInst(B, I, "call arity mismatch");
+      if (Callee->returnsValue() != I.hasResult())
+        failInst(B, I, "call result mismatch with callee return type");
+      break;
+    }
+    case Opcode::CallIndirect:
+      if (I.Ops.empty())
+        failInst(B, I, "indirect call needs a callee operand");
+      break;
+    case Opcode::Br:
+      if (I.Ops.size() != 1)
+        failInst(B, I, "branch takes one condition operand");
+      checkTarget(B, I, I.Target0);
+      checkTarget(B, I, I.Target1);
+      break;
+    case Opcode::Jmp:
+      checkTarget(B, I, I.Target0);
+      break;
+    case Opcode::Ret:
+      if (F.returnsValue() && I.Ops.size() != 1)
+        failInst(B, I, "missing return value");
+      if (!F.returnsValue() && !I.Ops.empty())
+        failInst(B, I, "unexpected return value");
+      break;
+    case Opcode::Phi:
+      for (const auto &[Pred, R] : I.PhiIns) {
+        checkTarget(B, I, Pred);
+        checkReg(B, I, R);
+      }
+      break;
+    default:
+      break;
+    }
+  }
+
+  const Module &M;
+  const Function &F;
+  std::string &Err;
+  bool Ok = true;
+};
+
+} // namespace
+
+bool rpcc::verifyFunction(const Module &M, const Function &F,
+                          std::string &Err) {
+  return FunctionVerifier(M, F, Err).run();
+}
+
+bool rpcc::verifyModule(const Module &M, std::string &Err) {
+  bool Ok = true;
+  for (size_t I = 0; I != M.numFunctions(); ++I) {
+    const Function *F = M.function(static_cast<FuncId>(I));
+    if (F->isBuiltin())
+      continue;
+    Ok &= verifyFunction(M, *F, Err);
+  }
+  return Ok;
+}

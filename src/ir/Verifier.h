@@ -1,0 +1,28 @@
+//===- ir/Verifier.h - IL structural checker --------------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_IR_VERIFIER_H
+#define RPCC_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace rpcc {
+
+/// Checks structural invariants of \p F: every block ends in exactly one
+/// terminator, branch targets are in range, registers are allocated, scalar
+/// memory operations name scalar tags, call arities match callees, and phis
+/// sit at block heads. On failure appends diagnostics to \p Err.
+bool verifyFunction(const Module &M, const Function &F, std::string &Err);
+
+/// Verifies every non-builtin function in \p M.
+bool verifyModule(const Module &M, std::string &Err);
+
+} // namespace rpcc
+
+#endif // RPCC_IR_VERIFIER_H

@@ -1,0 +1,129 @@
+//===- opt/Cleanup.cpp ----------------------------------------------------===//
+
+#include "opt/Cleanup.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/CfgNormalize.h"
+
+using namespace rpcc;
+
+namespace {
+
+/// Br with both arms equal becomes Jmp. Returns true on change.
+bool simplifyBranches(Function &F) {
+  bool Changed = false;
+  for (auto &B : F.blocks()) {
+    Instruction *T = B->terminator();
+    if (T && T->Op == Opcode::Br && T->Target0 == T->Target1) {
+      Instruction J(Opcode::Jmp);
+      J.Target0 = T->Target0;
+      *T = std::move(J);
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+/// Retargets jumps to blocks that only forward (single Jmp instruction).
+bool threadForwarders(Function &F) {
+  // Forward[b] = final destination after skipping trivial forwarders.
+  std::vector<BlockId> Forward(F.numBlocks());
+  for (BlockId B = 0; B != F.numBlocks(); ++B) {
+    const BasicBlock *Blk = F.block(B);
+    Forward[B] = (Blk->size() == 1 && Blk->terminator() &&
+                  Blk->terminator()->Op == Opcode::Jmp)
+                     ? Blk->terminator()->Target0
+                     : B;
+  }
+  // Resolve chains (with cycle guard: a self-loop of forwarders stays put).
+  auto Resolve = [&](BlockId B) {
+    BlockId Cur = B;
+    for (unsigned Hops = 0; Hops < F.numBlocks(); ++Hops) {
+      BlockId Next = Forward[Cur];
+      if (Next == Cur)
+        return Cur;
+      Cur = Next;
+    }
+    return B; // cycle of empty blocks: leave alone
+  };
+
+  bool Changed = false;
+  for (auto &B : F.blocks()) {
+    Instruction *T = B->terminator();
+    if (!T)
+      continue;
+    if (T->Target0 != NoBlock) {
+      BlockId R = Resolve(T->Target0);
+      if (R != T->Target0 && R != B->id()) {
+        T->Target0 = R;
+        Changed = true;
+      }
+    }
+    if (T->Target1 != NoBlock) {
+      BlockId R = Resolve(T->Target1);
+      if (R != T->Target1 && R != B->id()) {
+        T->Target1 = R;
+        Changed = true;
+      }
+    }
+  }
+  return Changed;
+}
+
+/// Merges b with its unique successor s when s has b as unique predecessor.
+bool mergeChains(Function &F) {
+  recomputeCfg(F);
+  for (auto &B : F.blocks()) {
+    Instruction *T = B->terminator();
+    if (!T || T->Op != Opcode::Jmp)
+      continue;
+    BlockId SId = T->Target0;
+    if (SId == B->id())
+      continue;
+    BasicBlock *S = F.block(SId);
+    if (S->preds().size() != 1 || SId == 0)
+      continue;
+    // Splice s's instructions into b, replacing b's jump.
+    auto &BI = B->insts();
+    BI.pop_back(); // drop the Jmp
+    for (auto &IP : S->insts())
+      BI.push_back(std::move(IP));
+    S->insts().clear();
+    // s is now unreachable garbage; give it a terminator so the verifier
+    // stays happy until removal below.
+    Instruction R(Opcode::Ret);
+    if (F.returnsValue() && F.numRegs() > 0)
+      R.Ops = {0}; // unreachable placeholder, deleted just below
+    S->append(std::move(R));
+    removeUnreachableBlocks(F);
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+bool rpcc::runCleanup(Function &F) {
+  bool Any = false;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    Changed |= simplifyBranches(F);
+    Changed |= threadForwarders(F);
+    Changed |= removeUnreachableBlocks(F);
+    Changed |= mergeChains(F);
+    Any |= Changed;
+  }
+  recomputeCfg(F);
+  return Any;
+}
+
+bool rpcc::runCleanup(Module &M) {
+  bool Any = false;
+  for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+    Function *F = M.function(static_cast<FuncId>(FI));
+    if (!F->isBuiltin() && F->numBlocks())
+      Any |= runCleanup(*F);
+  }
+  return Any;
+}

@@ -1,0 +1,30 @@
+//===- opt/Cleanup.h - Basic-block cleaning ----------------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's "basic block cleaning pass": removes unreachable blocks,
+/// collapses trivial forwarding blocks ("empty blocks are automatically
+/// removed after optimization"), merges straight-line block pairs, and
+/// simplifies branches with identical targets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_OPT_CLEANUP_H
+#define RPCC_OPT_CLEANUP_H
+
+#include "ir/Module.h"
+
+namespace rpcc {
+
+/// Runs cleanup to a fixed point. Leaves CFG lists valid.
+/// \returns true if anything changed.
+bool runCleanup(Function &F);
+bool runCleanup(Module &M);
+
+} // namespace rpcc
+
+#endif // RPCC_OPT_CLEANUP_H

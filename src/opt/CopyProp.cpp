@@ -1,0 +1,61 @@
+//===- opt/CopyProp.cpp ---------------------------------------------------===//
+
+#include "opt/CopyProp.h"
+
+using namespace rpcc;
+
+unsigned rpcc::propagateCopies(Function &F) {
+  // Definition counts; parameters count as entry definitions.
+  std::vector<uint32_t> NumDefs(F.numRegs(), 0);
+  for (Reg P : F.paramRegs())
+    ++NumDefs[P];
+  std::vector<const Instruction *> OnlyDef(F.numRegs(), nullptr);
+  for (const auto &B : F.blocks())
+    for (const auto &IP : B->insts())
+      if (IP->hasResult()) {
+        ++NumDefs[IP->Result];
+        OnlyDef[IP->Result] = IP.get();
+      }
+
+  // r maps to s when r's only definition is "r <- CP s" and s itself has a
+  // single definition (so the value named s cannot change between the copy
+  // and r's uses).
+  std::vector<Reg> MapTo(F.numRegs(), NoReg);
+  for (Reg R = 0; R != F.numRegs(); ++R) {
+    if (NumDefs[R] != 1 || !OnlyDef[R] || OnlyDef[R]->Op != Opcode::Copy)
+      continue;
+    Reg S = OnlyDef[R]->Ops[0];
+    if (NumDefs[S] == 1)
+      MapTo[R] = S;
+  }
+
+  // Resolve chains with a cycle guard.
+  auto Resolve = [&](Reg R) {
+    Reg Cur = R;
+    for (size_t Hops = 0; Hops < F.numRegs() && MapTo[Cur] != NoReg; ++Hops)
+      Cur = MapTo[Cur];
+    return Cur;
+  };
+
+  unsigned Rewritten = 0;
+  for (auto &B : F.blocks())
+    for (auto &IP : B->insts())
+      for (Reg &U : IP->Ops) {
+        Reg New = Resolve(U);
+        if (New != U) {
+          U = New;
+          ++Rewritten;
+        }
+      }
+  return Rewritten;
+}
+
+unsigned rpcc::propagateCopies(Module &M) {
+  unsigned Total = 0;
+  for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+    Function *F = M.function(static_cast<FuncId>(FI));
+    if (!F->isBuiltin() && F->numBlocks())
+      Total += propagateCopies(*F);
+  }
+  return Total;
+}

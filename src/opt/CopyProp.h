@@ -1,0 +1,31 @@
+//===- opt/CopyProp.h - Copy propagation -------------------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rewrites uses of single-definition copy results to their sources, so
+/// that value-numbering/PRE copy chains collapse back to one name. This
+/// matters for the §3.3 pointer promoter, which groups references by base
+/// register: without propagation, a load and store of the same address can
+/// end up naming it through different copies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_OPT_COPYPROP_H
+#define RPCC_OPT_COPYPROP_H
+
+#include "ir/Module.h"
+
+namespace rpcc {
+
+/// Returns the number of operand references rewritten. Dead copies are
+/// left for DCE.
+unsigned propagateCopies(Function &F);
+unsigned propagateCopies(Module &M);
+
+} // namespace rpcc
+
+#endif // RPCC_OPT_COPYPROP_H

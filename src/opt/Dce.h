@@ -1,0 +1,23 @@
+//===- opt/Dce.h - Dead code elimination ------------------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_OPT_DCE_H
+#define RPCC_OPT_DCE_H
+
+#include "ir/Module.h"
+
+namespace rpcc {
+
+/// Deletes pure instructions (including loads) whose results are never
+/// used, iterating to a fixed point. Stores, calls, and terminators are
+/// always kept. Returns the number of instructions removed.
+unsigned runDce(Function &F);
+unsigned runDce(Module &M);
+
+} // namespace rpcc
+
+#endif // RPCC_OPT_DCE_H

@@ -1,0 +1,145 @@
+//===- opt/Licm.cpp -------------------------------------------------------===//
+
+#include "opt/Licm.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/LoopInfo.h"
+
+#include <cassert>
+
+using namespace rpcc;
+
+namespace {
+
+/// True for pure ops that can run speculatively in the landing pad (the
+/// pad executes whenever the loop is reached, even for zero iterations).
+bool isSpeculable(Opcode Op) {
+  if (!isPureOp(Op))
+    return false;
+  return Op != Opcode::Div && Op != Opcode::Rem;
+}
+
+class FunctionLicm {
+public:
+  FunctionLicm(Function &F, const Module &M, LicmStats &Stats)
+      : F(F), M(M), Stats(Stats) {}
+
+  void run() {
+    recomputeCfg(F);
+    LoopInfo LI(F);
+    countDefs();
+    // Innermost first: code hoisted to an inner pad can be hoisted again by
+    // the enclosing loop's pass.
+    for (int L : LI.postorder())
+      processLoop(LI.loop(static_cast<size_t>(L)));
+  }
+
+private:
+  void countDefs() {
+    NumDefs.assign(F.numRegs(), 0);
+    for (const auto &B : F.blocks())
+      for (const auto &IP : B->insts())
+        if (IP->hasResult())
+          ++NumDefs[IP->Result];
+  }
+
+  void processLoop(const Loop &Lp) {
+    if (Lp.Preheader == NoBlock)
+      return;
+
+    // Registers with a definition inside the loop.
+    std::vector<bool> DefInLoop(F.numRegs(), false);
+    for (BlockId B : Lp.Blocks)
+      for (const auto &IP : F.block(B)->insts())
+        if (IP->hasResult())
+          DefInLoop[IP->Result] = true;
+
+    // Tags possibly modified inside the loop (blocks invariant-load
+    // hoisting).
+    TagSet ModdedTags;
+    for (BlockId B : Lp.Blocks)
+      for (const auto &IP : F.block(B)->insts()) {
+        const Instruction &I = *IP;
+        if (I.Op == Opcode::ScalarStore)
+          ModdedTags.insert(I.Tag);
+        else if (I.Op == Opcode::Store)
+          ModdedTags.unionWith(I.Tags);
+        else if (isCallOp(I.Op))
+          ModdedTags.unionWith(I.Mods);
+      }
+
+    BasicBlock *Pad = F.block(Lp.Preheader);
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BlockId B : Lp.Blocks) {
+        auto &Insts = F.block(B)->insts();
+        for (size_t Idx = 0; Idx < Insts.size(); ++Idx) {
+          Instruction &I = *Insts[Idx];
+          if (!hoistable(I, DefInLoop, ModdedTags))
+            continue;
+          // Move to the pad, before its terminator.
+          DefInLoop[I.Result] = false;
+          if (isLoadOp(I.Op))
+            ++Stats.HoistedLoads;
+          else
+            ++Stats.HoistedPure;
+          Pad->insertAt(Pad->size() - 1, I.clone());
+          Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Idx));
+          --Idx;
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  bool hoistable(const Instruction &I,
+                 const std::vector<bool> &DefInLoop,
+                 const TagSet &ModdedTags) {
+    if (!I.hasResult())
+      return false;
+    // Only single-definition registers can move (the IL is not SSA; moving
+    // one definition of a multiply-defined register would reorder it
+    // against the others).
+    if (NumDefs[I.Result] != 1)
+      return false;
+    for (Reg R : I.Ops)
+      if (DefInLoop[R])
+        return false;
+
+    if (isSpeculable(I.Op))
+      return true;
+    // The paper's cLoad effect: an invariant scalar load may move to the
+    // landing pad when nothing in the loop can modify the tag. Scalar
+    // loads reference real objects, so the speculative load cannot fault.
+    if (I.Op == Opcode::ScalarLoad)
+      return !ModdedTags.contains(I.Tag);
+    return false;
+  }
+
+  Function &F;
+  const Module &M;
+  LicmStats &Stats;
+  std::vector<uint32_t> NumDefs;
+};
+
+} // namespace
+
+LicmStats rpcc::runLicm(Function &F, const Module &M) {
+  LicmStats Stats;
+  FunctionLicm(F, M, Stats).run();
+  return Stats;
+}
+
+LicmStats rpcc::runLicm(Module &M) {
+  LicmStats Total;
+  for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+    Function *F = M.function(static_cast<FuncId>(FI));
+    if (F->isBuiltin() || F->numBlocks() == 0)
+      continue;
+    LicmStats S = runLicm(*F, M);
+    Total.HoistedPure += S.HoistedPure;
+    Total.HoistedLoads += S.HoistedLoads;
+  }
+  return Total;
+}

@@ -1,0 +1,36 @@
+//===- opt/Licm.h - Loop-invariant code motion -------------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hoists loop-invariant pure computations and invariant scalar loads into
+/// loop landing pads. Per the paper, this pass both feeds the §3.3 pointer
+/// promoter (invariant base addresses end up outside the loop) and overlaps
+/// with promotion's benefit on loads ("loop invariant code motion can
+/// remove a load of a constant value out of a loop"). Faulting operations
+/// (integer division/remainder) are never speculated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_OPT_LICM_H
+#define RPCC_OPT_LICM_H
+
+#include "ir/Module.h"
+
+namespace rpcc {
+
+struct LicmStats {
+  unsigned HoistedPure = 0;
+  unsigned HoistedLoads = 0;
+};
+
+/// Requires a normalized CFG (landing pads present).
+LicmStats runLicm(Function &F, const Module &M);
+LicmStats runLicm(Module &M);
+
+} // namespace rpcc
+
+#endif // RPCC_OPT_LICM_H

@@ -1,0 +1,301 @@
+//===- opt/Pre.cpp --------------------------------------------------------===//
+
+#include "opt/Pre.h"
+
+#include "analysis/Cfg.h"
+#include "support/DenseBitSet.h"
+
+#include <map>
+#include <vector>
+
+using namespace rpcc;
+
+namespace {
+
+/// A lexical expression: a pure op over operand registers (killed when an
+/// operand is redefined) or a scalar load (killed when the tag may be
+/// modified).
+struct ExprKey {
+  uint32_t Op;
+  std::vector<Reg> Ops;
+  uint64_t Extra; // LoadAddr offset, or the tag of a scalar load
+
+  bool operator<(const ExprKey &O) const {
+    if (Op != O.Op)
+      return Op < O.Op;
+    if (Extra != O.Extra)
+      return Extra < O.Extra;
+    return Ops < O.Ops;
+  }
+};
+
+/// True if instruction \p I is an expression we track.
+bool isCandidate(const Instruction &I) {
+  if (I.Op == Opcode::ScalarLoad)
+    return true;
+  if (!isPureOp(I.Op) || !I.hasResult())
+    return false;
+  // Constants and copies are not worth holding registers for.
+  return I.Op != Opcode::LoadI && I.Op != Opcode::LoadF &&
+         I.Op != Opcode::Copy;
+}
+
+ExprKey keyOf(const Instruction &I) {
+  if (I.Op == Opcode::ScalarLoad)
+    return ExprKey{static_cast<uint32_t>(I.Op), {}, I.Tag};
+  if (I.Op == Opcode::LoadAddr)
+    // Both the tag and the constant offset identify the address.
+    return ExprKey{static_cast<uint32_t>(I.Op),
+                   {static_cast<Reg>(I.Tag)},
+                   static_cast<uint64_t>(I.Imm)};
+  std::vector<Reg> Ops = I.Ops;
+  if (isCommutative(I.Op) && Ops.size() == 2 && Ops[0] > Ops[1])
+    std::swap(Ops[0], Ops[1]);
+  return ExprKey{static_cast<uint32_t>(I.Op), Ops,
+                 static_cast<uint64_t>(I.Imm)};
+}
+
+class GlobalCse {
+public:
+  GlobalCse(Function &F, const Module &M, PreStats &Stats)
+      : F(F), M(M), Stats(Stats) {}
+
+  void run() {
+    recomputeCfg(F);
+    collectExprs();
+    if (Exprs.empty())
+      return;
+    computeLocalSets();
+    solveAvailability();
+    rewrite();
+  }
+
+private:
+  // -- Expression pool -----------------------------------------------------
+  void collectExprs() {
+    for (const auto &B : F.blocks())
+      for (const auto &IP : B->insts()) {
+        if (!isCandidate(*IP))
+          continue;
+        ExprKey K = keyOf(*IP);
+        if (!Index.count(K)) {
+          Index[K] = static_cast<unsigned>(Exprs.size());
+          Exprs.push_back(K);
+          IsLoad.push_back(IP->Op == Opcode::ScalarLoad);
+          ResultType.push_back(F.regType(IP->Result));
+        }
+      }
+    // Killed-by maps: expression lists per operand register and per tag.
+    // LoadAddr keys carry a tag in Ops (not a register) and are never
+    // killed: tag addresses are constants.
+    KilledByReg.assign(F.numRegs(), {});
+    for (unsigned E = 0; E != Exprs.size(); ++E) {
+      if (Exprs[E].Op != static_cast<uint32_t>(Opcode::LoadAddr))
+        for (Reg R : Exprs[E].Ops)
+          KilledByReg[R].push_back(E);
+      if (IsLoad[E])
+        KilledByTag[static_cast<TagId>(Exprs[E].Extra)].push_back(E);
+    }
+  }
+
+  /// Applies the kills of instruction \p I to the running set \p Live.
+  void applyKills(const Instruction &I, DenseBitSet &Live) {
+    // Holder registers created during rewrite() postdate KilledByReg; they
+    // are never operands of pool expressions, so they kill nothing.
+    if (I.hasResult() && I.Result < KilledByReg.size())
+      for (unsigned E : KilledByReg[I.Result])
+        Live.reset(E);
+    auto KillTag = [&](TagId T) {
+      auto It = KilledByTag.find(T);
+      if (It == KilledByTag.end())
+        return;
+      for (unsigned E : It->second)
+        Live.reset(E);
+    };
+    if (I.Op == Opcode::ScalarStore)
+      KillTag(I.Tag);
+    else if (I.Op == Opcode::Store)
+      for (TagId T : I.Tags)
+        KillTag(T);
+    else if (isCallOp(I.Op))
+      for (TagId T : I.Mods)
+        KillTag(T);
+  }
+
+  void computeLocalSets() {
+    const size_t NB = F.numBlocks();
+    const size_t NE = Exprs.size();
+    Gen.assign(NB, DenseBitSet(NE));
+    Kill.assign(NB, DenseBitSet(NE));
+    for (const auto &B : F.blocks()) {
+      DenseBitSet &G = Gen[B->id()];
+      DenseBitSet &K = Kill[B->id()];
+      for (const auto &IP : B->insts()) {
+        const Instruction &I = *IP;
+        // Kills first: a computation after a kill regenerates.
+        if (I.hasResult())
+          for (unsigned E : KilledByReg[I.Result]) {
+            G.reset(E);
+            K.set(E);
+          }
+        auto KillTag = [&](TagId T) {
+          auto It = KilledByTag.find(T);
+          if (It == KilledByTag.end())
+            return;
+          for (unsigned E : It->second) {
+            G.reset(E);
+            K.set(E);
+          }
+        };
+        if (I.Op == Opcode::ScalarStore)
+          KillTag(I.Tag);
+        else if (I.Op == Opcode::Store)
+          for (TagId T : I.Tags)
+            KillTag(T);
+        else if (isCallOp(I.Op))
+          for (TagId T : I.Mods)
+            KillTag(T);
+        // Generation after kills.
+        if (isCandidate(I)) {
+          unsigned E = Index[keyOf(I)];
+          G.set(E);
+          K.reset(E);
+        }
+      }
+    }
+  }
+
+  void solveAvailability() {
+    const size_t NB = F.numBlocks();
+    const size_t NE = Exprs.size();
+    AvailIn.assign(NB, DenseBitSet(NE));
+    std::vector<DenseBitSet> AvailOut(NB, DenseBitSet(NE));
+    // Standard forward all-paths problem: init OUT = all (except entry).
+    for (BlockId B = 0; B != NB; ++B)
+      if (B != 0)
+        AvailOut[B].setAll();
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BlockId B = 0; B != NB; ++B) {
+        DenseBitSet In(NE);
+        const auto &Preds = F.block(B)->preds();
+        if (!Preds.empty()) {
+          In.setAll();
+          for (BlockId P : Preds)
+            In.intersectWith(AvailOut[P]);
+        }
+        DenseBitSet Out = In;
+        Out.subtract(Kill[B]);
+        Out.unionWith(Gen[B]);
+        if (In != AvailIn[B] || Out != AvailOut[B]) {
+          AvailIn[B] = std::move(In);
+          AvailOut[B] = std::move(Out);
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  void rewrite() {
+    const size_t NE = Exprs.size();
+    // Pass 1: find expressions that are redundant somewhere.
+    DenseBitSet NeedHolder(NE);
+    for (const auto &B : F.blocks()) {
+      DenseBitSet Live = AvailIn[B->id()];
+      for (const auto &IP : B->insts()) {
+        const Instruction &I = *IP;
+        if (isCandidate(I)) {
+          unsigned E = Index[keyOf(I)];
+          if (Live.test(E))
+            NeedHolder.set(E);
+        }
+        applyKills(I, Live);
+        if (isCandidate(I))
+          Live.set(Index[keyOf(I)]);
+      }
+    }
+    if (NeedHolder.none())
+      return;
+
+    // Holder registers.
+    Holders.assign(NE, NoReg);
+    NeedHolder.forEach([&](size_t E) {
+      Holders[E] = F.newReg(ResultType[E]);
+    });
+
+    // Pass 2: rewrite. Every surviving computation of a held expression
+    // also copies into the holder; redundant computations read it.
+    for (auto &B : F.blocks()) {
+      DenseBitSet Live = AvailIn[B->id()];
+      auto &Insts = B->insts();
+      for (size_t Idx = 0; Idx < Insts.size(); ++Idx) {
+        Instruction &I = *Insts[Idx];
+        bool Cand = isCandidate(I);
+        unsigned E = Cand ? Index[keyOf(I)] : 0;
+        if (Cand && Holders[E] != NoReg && Live.test(E)) {
+          // Redundant: read the holder.
+          bool WasLoad = I.Op == Opcode::ScalarLoad;
+          Instruction NewI(Opcode::Copy);
+          NewI.Result = I.Result;
+          NewI.Ops = {Holders[E]};
+          I = std::move(NewI);
+          if (WasLoad)
+            ++Stats.LoadsEliminated;
+          else
+            ++Stats.ExprsEliminated;
+          // The copy defines I.Result; apply its kills normally below.
+          applyKills(*Insts[Idx], Live);
+          continue;
+        }
+        applyKills(I, Live);
+        if (Cand) {
+          Live.set(E);
+          if (Holders[E] != NoReg) {
+            // Keep the holder current.
+            Instruction Cp(Opcode::Copy);
+            Cp.Result = Holders[E];
+            Cp.Ops = {I.Result};
+            Insts.insert(Insts.begin() + static_cast<ptrdiff_t>(Idx) + 1,
+                         std::make_unique<Instruction>(std::move(Cp)));
+            ++Idx; // skip the inserted copy
+          }
+        }
+      }
+    }
+  }
+
+  Function &F;
+  const Module &M;
+  PreStats &Stats;
+
+  std::map<ExprKey, unsigned> Index;
+  std::vector<ExprKey> Exprs;
+  std::vector<bool> IsLoad;
+  std::vector<RegType> ResultType;
+  std::vector<std::vector<unsigned>> KilledByReg;
+  std::map<TagId, std::vector<unsigned>> KilledByTag;
+  std::vector<DenseBitSet> Gen, Kill, AvailIn;
+  std::vector<Reg> Holders;
+};
+
+} // namespace
+
+PreStats rpcc::runPre(Function &F, const Module &M) {
+  PreStats Stats;
+  GlobalCse(F, M, Stats).run();
+  return Stats;
+}
+
+PreStats rpcc::runPre(Module &M) {
+  PreStats Total;
+  for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+    Function *F = M.function(static_cast<FuncId>(FI));
+    if (F->isBuiltin() || F->numBlocks() == 0)
+      continue;
+    PreStats S = runPre(*F, M);
+    Total.ExprsEliminated += S.ExprsEliminated;
+    Total.LoadsEliminated += S.LoadsEliminated;
+  }
+  return Total;
+}

@@ -1,0 +1,43 @@
+//===- opt/Pre.h - Redundancy elimination over tags --------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Global redundancy elimination in the spirit of the paper's partial
+/// redundancy elimination (Morel & Renvoise [17]): "our implementation of
+/// partial redundancy elimination uses memory tag information to achieve
+/// most of the effects of promotion in straight-line code. It uses the tag
+/// fields to eliminate redundant loads. It must treat stores more
+/// conservatively."
+///
+/// This implementation solves the availability subset of PRE: an
+/// expression (pure computation or scalar load) that is available on every
+/// path is replaced by a copy from a holder register; tag information
+/// defines the kill sets of loads. Speculative code motion of partially
+/// redundant expressions is left to LICM (loops) — the paper's observation
+/// that promotion achieves what PRE cannot (single store at loop exit)
+/// survives unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_OPT_PRE_H
+#define RPCC_OPT_PRE_H
+
+#include "ir/Module.h"
+
+namespace rpcc {
+
+struct PreStats {
+  unsigned ExprsEliminated = 0;  ///< redundant pure computations removed
+  unsigned LoadsEliminated = 0;  ///< redundant scalar loads removed
+};
+
+PreStats runPre(Function &F, const Module &M);
+PreStats runPre(Module &M);
+
+} // namespace rpcc
+
+#endif // RPCC_OPT_PRE_H

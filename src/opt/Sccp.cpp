@@ -1,0 +1,258 @@
+//===- opt/Sccp.cpp -------------------------------------------------------===//
+
+#include "opt/Sccp.h"
+
+#include "analysis/Cfg.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+
+using namespace rpcc;
+
+namespace {
+
+enum class Height : uint8_t { Top, Const, Bottom };
+
+struct Lattice {
+  Height H = Height::Top;
+  uint64_t Bits = 0;
+  bool IsFloat = false;
+};
+
+/// Folds one pure op over constant inputs (division by zero and friends
+/// stay runtime events). Must agree with the interpreter.
+std::optional<Lattice> fold(const Instruction &I,
+                            const std::vector<Lattice> &In) {
+  auto IV = [&](size_t K) { return static_cast<int64_t>(In[K].Bits); };
+  auto DV = [&](size_t K) {
+    double D;
+    std::memcpy(&D, &In[K].Bits, 8);
+    return D;
+  };
+  auto CI = [](int64_t V) {
+    return Lattice{Height::Const, static_cast<uint64_t>(V), false};
+  };
+  auto CD = [](double D) {
+    uint64_t B;
+    std::memcpy(&B, &D, 8);
+    return Lattice{Height::Const, B, true};
+  };
+  switch (I.Op) {
+  case Opcode::Add: return CI(IV(0) + IV(1));
+  case Opcode::Sub: return CI(IV(0) - IV(1));
+  case Opcode::Mul: return CI(IV(0) * IV(1));
+  case Opcode::Div:
+    if (IV(1) == 0)
+      return std::nullopt;
+    return CI(IV(0) / IV(1));
+  case Opcode::Rem:
+    if (IV(1) == 0)
+      return std::nullopt;
+    return CI(IV(0) % IV(1));
+  case Opcode::And: return CI(IV(0) & IV(1));
+  case Opcode::Or: return CI(IV(0) | IV(1));
+  case Opcode::Xor: return CI(IV(0) ^ IV(1));
+  case Opcode::Shl: return CI(IV(0) << (IV(1) & 63));
+  case Opcode::Shr: return CI(IV(0) >> (IV(1) & 63));
+  case Opcode::CmpEq: return CI(In[0].Bits == In[1].Bits);
+  case Opcode::CmpNe: return CI(In[0].Bits != In[1].Bits);
+  case Opcode::CmpLt: return CI(IV(0) < IV(1));
+  case Opcode::CmpLe: return CI(IV(0) <= IV(1));
+  case Opcode::CmpGt: return CI(IV(0) > IV(1));
+  case Opcode::CmpGe: return CI(IV(0) >= IV(1));
+  case Opcode::FAdd: return CD(DV(0) + DV(1));
+  case Opcode::FSub: return CD(DV(0) - DV(1));
+  case Opcode::FMul: return CD(DV(0) * DV(1));
+  case Opcode::FDiv: return CD(DV(0) / DV(1));
+  case Opcode::FCmpEq: return CI(DV(0) == DV(1));
+  case Opcode::FCmpNe: return CI(DV(0) != DV(1));
+  case Opcode::FCmpLt: return CI(DV(0) < DV(1));
+  case Opcode::FCmpLe: return CI(DV(0) <= DV(1));
+  case Opcode::FCmpGt: return CI(DV(0) > DV(1));
+  case Opcode::FCmpGe: return CI(DV(0) >= DV(1));
+  case Opcode::Neg: return CI(-IV(0));
+  case Opcode::Not: return CI(~IV(0));
+  case Opcode::FNeg: return CD(-DV(0));
+  case Opcode::IntToFp: return CD(static_cast<double>(IV(0)));
+  case Opcode::FpToInt: {
+    double V = DV(0);
+    if (std::isnan(V))
+      return CI(0);
+    if (V >= 9.2233720368547748e18)
+      return CI(INT64_MAX);
+    if (V <= -9.2233720368547758e18)
+      return CI(INT64_MIN);
+    return CI(static_cast<int64_t>(V));
+  }
+  case Opcode::LoadI: return CI(I.Imm);
+  case Opcode::LoadF: return CD(I.FImm);
+  default:
+    return std::nullopt;
+  }
+}
+
+class SccpSolver {
+public:
+  SccpSolver(Function &F, SccpStats &Stats) : F(F), Stats(Stats) {}
+
+  void run() {
+    recomputeCfg(F);
+    Vals.assign(F.numRegs(), Lattice());
+    Executable.assign(F.numBlocks(), false);
+    // Parameters are runtime inputs.
+    for (Reg P : F.paramRegs())
+      Vals[P].H = Height::Bottom;
+
+    markExecutable(0);
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BlockId B = 0; B != F.numBlocks(); ++B) {
+        if (!Executable[B])
+          continue;
+        for (const auto &IP : F.block(B)->insts())
+          Changed |= visit(*IP);
+      }
+    }
+    rewrite();
+  }
+
+private:
+  void markExecutable(BlockId B) {
+    if (!Executable[B]) {
+      Executable[B] = true;
+      Dirty = true;
+    }
+  }
+
+  /// Meet \p New into the cell of \p R; returns true on lattice movement.
+  bool meet(Reg R, const Lattice &New) {
+    Lattice &Cell = Vals[R];
+    if (Cell.H == Height::Bottom || New.H == Height::Top)
+      return false;
+    if (Cell.H == Height::Top) {
+      Cell = New;
+      return true;
+    }
+    if (New.H == Height::Bottom ||
+        (New.H == Height::Const &&
+         (New.Bits != Cell.Bits || New.IsFloat != Cell.IsFloat))) {
+      Cell.H = Height::Bottom;
+      return true;
+    }
+    return false;
+  }
+
+  bool visit(const Instruction &I) {
+    Dirty = false;
+    switch (I.Op) {
+    case Opcode::Br: {
+      const Lattice &C = Vals[I.Ops[0]];
+      if (C.H == Height::Const) {
+        markExecutable(C.Bits ? I.Target0 : I.Target1);
+      } else if (C.H == Height::Bottom) {
+        markExecutable(I.Target0);
+        markExecutable(I.Target1);
+      }
+      return Dirty;
+    }
+    case Opcode::Jmp:
+      markExecutable(I.Target0);
+      return Dirty;
+    case Opcode::Ret:
+    case Opcode::ScalarStore:
+    case Opcode::Store:
+      return false;
+    case Opcode::Copy:
+      return meet(I.Result, Vals[I.Ops[0]]);
+    default:
+      break;
+    }
+    if (!I.hasResult())
+      return false;
+
+    // Memory, calls, addresses: runtime values.
+    if (isLoadOp(I.Op) || isCallOp(I.Op) || I.Op == Opcode::LoadAddr ||
+        I.Op == Opcode::Phi)
+      return meet(I.Result, Lattice{Height::Bottom, 0, false});
+
+    std::vector<Lattice> In;
+    In.reserve(I.Ops.size());
+    bool AnyTop = false, AnyBottom = false;
+    for (Reg R : I.Ops) {
+      In.push_back(Vals[R]);
+      AnyTop |= Vals[R].H == Height::Top;
+      AnyBottom |= Vals[R].H == Height::Bottom;
+    }
+    if (AnyTop)
+      return false; // wait for operands
+    if (AnyBottom && I.Op != Opcode::LoadI && I.Op != Opcode::LoadF)
+      return meet(I.Result, Lattice{Height::Bottom, 0, false});
+    if (auto Out = fold(I, In))
+      return meet(I.Result, *Out);
+    return meet(I.Result, Lattice{Height::Bottom, 0, false});
+  }
+
+  void rewrite() {
+    for (BlockId B = 0; B != F.numBlocks(); ++B) {
+      if (!Executable[B])
+        continue;
+      for (auto &IP : F.block(B)->insts()) {
+        Instruction &I = *IP;
+        // Fold conditional branches with known conditions.
+        if (I.Op == Opcode::Br && Vals[I.Ops[0]].H == Height::Const) {
+          Instruction J(Opcode::Jmp);
+          J.Target0 = Vals[I.Ops[0]].Bits ? I.Target0 : I.Target1;
+          I = std::move(J);
+          ++Stats.BranchesResolved;
+          continue;
+        }
+        // Materialize constant-valued pure computations.
+        if (!I.hasResult() || !isPureOp(I.Op) || I.Op == Opcode::LoadI ||
+            I.Op == Opcode::LoadF)
+          continue;
+        const Lattice &V = Vals[I.Result];
+        if (V.H != Height::Const)
+          continue;
+        Instruction NewI(V.IsFloat ? Opcode::LoadF : Opcode::LoadI);
+        NewI.Result = I.Result;
+        if (V.IsFloat)
+          std::memcpy(&NewI.FImm, &V.Bits, 8);
+        else
+          NewI.Imm = static_cast<int64_t>(V.Bits);
+        I = std::move(NewI);
+        ++Stats.Folded;
+      }
+    }
+    // Unreachable blocks are left for Cleanup to delete.
+  }
+
+  Function &F;
+  SccpStats &Stats;
+  std::vector<Lattice> Vals;
+  std::vector<bool> Executable;
+  bool Dirty = false;
+};
+
+} // namespace
+
+SccpStats rpcc::runSccp(Function &F) {
+  SccpStats Stats;
+  SccpSolver(F, Stats).run();
+  return Stats;
+}
+
+SccpStats rpcc::runSccp(Module &M) {
+  SccpStats Total;
+  for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+    Function *F = M.function(static_cast<FuncId>(FI));
+    if (F->isBuiltin() || F->numBlocks() == 0)
+      continue;
+    SccpStats S = runSccp(*F);
+    Total.Folded += S.Folded;
+    Total.BranchesResolved += S.BranchesResolved;
+  }
+  return Total;
+}

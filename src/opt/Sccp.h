@@ -1,0 +1,35 @@
+//===- opt/Sccp.h - Conditional constant propagation -------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conditional constant propagation in the Wegman-Zadeck style: block
+/// executability and register lattice values are solved together, so code
+/// behind branches that fold to constants contributes nothing. Registers
+/// are not in SSA form here, so each register carries a single lattice cell
+/// (the meet over its reachable definitions) — sound, and exact for the
+/// frontend's single-assignment temporaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_OPT_SCCP_H
+#define RPCC_OPT_SCCP_H
+
+#include "ir/Module.h"
+
+namespace rpcc {
+
+struct SccpStats {
+  unsigned Folded = 0;          ///< instructions replaced by constants
+  unsigned BranchesResolved = 0; ///< conditional branches made unconditional
+};
+
+SccpStats runSccp(Function &F);
+SccpStats runSccp(Module &M);
+
+} // namespace rpcc
+
+#endif // RPCC_OPT_SCCP_H

@@ -1,0 +1,417 @@
+//===- opt/ValueNumbering.cpp ---------------------------------------------===//
+
+#include "opt/ValueNumbering.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+using namespace rpcc;
+
+namespace {
+
+using VN = uint32_t;
+
+/// A constant lattice value: integer or double, both carried as bit
+/// patterns plus a float flag.
+struct ConstVal {
+  uint64_t Bits = 0;
+  bool IsFloat = false;
+
+  int64_t asInt() const { return static_cast<int64_t>(Bits); }
+  double asFloat() const {
+    double D;
+    std::memcpy(&D, &Bits, 8);
+    return D;
+  }
+  static ConstVal fromInt(int64_t V) {
+    return ConstVal{static_cast<uint64_t>(V), false};
+  }
+  static ConstVal fromFloat(double D) {
+    uint64_t B;
+    std::memcpy(&B, &D, 8);
+    return ConstVal{B, true};
+  }
+};
+
+/// Folds a pure operation over constants; nullopt when not foldable (e.g.
+/// division by zero must remain a runtime event).
+std::optional<ConstVal> foldOp(Opcode Op, const std::vector<ConstVal> &C) {
+  auto I = [&](size_t K) { return C[K].asInt(); };
+  auto D = [&](size_t K) { return C[K].asFloat(); };
+  switch (Op) {
+  case Opcode::Add: return ConstVal::fromInt(I(0) + I(1));
+  case Opcode::Sub: return ConstVal::fromInt(I(0) - I(1));
+  case Opcode::Mul: return ConstVal::fromInt(I(0) * I(1));
+  case Opcode::Div:
+    if (I(1) == 0)
+      return std::nullopt;
+    return ConstVal::fromInt(I(0) / I(1));
+  case Opcode::Rem:
+    if (I(1) == 0)
+      return std::nullopt;
+    return ConstVal::fromInt(I(0) % I(1));
+  case Opcode::And: return ConstVal::fromInt(I(0) & I(1));
+  case Opcode::Or: return ConstVal::fromInt(I(0) | I(1));
+  case Opcode::Xor: return ConstVal::fromInt(I(0) ^ I(1));
+  case Opcode::Shl: return ConstVal::fromInt(I(0) << (I(1) & 63));
+  case Opcode::Shr: return ConstVal::fromInt(I(0) >> (I(1) & 63));
+  case Opcode::CmpEq: return ConstVal::fromInt(I(0) == I(1));
+  case Opcode::CmpNe: return ConstVal::fromInt(I(0) != I(1));
+  case Opcode::CmpLt: return ConstVal::fromInt(I(0) < I(1));
+  case Opcode::CmpLe: return ConstVal::fromInt(I(0) <= I(1));
+  case Opcode::CmpGt: return ConstVal::fromInt(I(0) > I(1));
+  case Opcode::CmpGe: return ConstVal::fromInt(I(0) >= I(1));
+  case Opcode::FAdd: return ConstVal::fromFloat(D(0) + D(1));
+  case Opcode::FSub: return ConstVal::fromFloat(D(0) - D(1));
+  case Opcode::FMul: return ConstVal::fromFloat(D(0) * D(1));
+  case Opcode::FDiv: return ConstVal::fromFloat(D(0) / D(1));
+  case Opcode::FCmpEq: return ConstVal::fromInt(D(0) == D(1));
+  case Opcode::FCmpNe: return ConstVal::fromInt(D(0) != D(1));
+  case Opcode::FCmpLt: return ConstVal::fromInt(D(0) < D(1));
+  case Opcode::FCmpLe: return ConstVal::fromInt(D(0) <= D(1));
+  case Opcode::FCmpGt: return ConstVal::fromInt(D(0) > D(1));
+  case Opcode::FCmpGe: return ConstVal::fromInt(D(0) >= D(1));
+  case Opcode::Neg: return ConstVal::fromInt(-I(0));
+  case Opcode::Not: return ConstVal::fromInt(~I(0));
+  case Opcode::FNeg: return ConstVal::fromFloat(-D(0));
+  case Opcode::IntToFp: return ConstVal::fromFloat(static_cast<double>(I(0)));
+  case Opcode::FpToInt: {
+    // Saturating conversion, matching the interpreter (plain casts of NaN
+    // or out-of-range doubles are UB in C++).
+    double V = D(0);
+    if (std::isnan(V))
+      return ConstVal::fromInt(0);
+    if (V >= 9.2233720368547748e18)
+      return ConstVal::fromInt(INT64_MAX);
+    if (V <= -9.2233720368547758e18)
+      return ConstVal::fromInt(INT64_MIN);
+    return ConstVal::fromInt(static_cast<int64_t>(V));
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+/// One block's numbering state.
+class BlockNumberer {
+public:
+  BlockNumberer(Function &F, const Module &M, VnStats &Stats)
+      : F(F), M(M), Stats(Stats) {}
+
+  void run(BasicBlock &B) {
+    std::vector<size_t> ToErase;
+    for (size_t Idx = 0; Idx != B.size(); ++Idx)
+      visit(B, Idx, ToErase);
+    for (auto It = ToErase.rbegin(); It != ToErase.rend(); ++It)
+      B.eraseAt(*It);
+  }
+
+private:
+  // -- VN bookkeeping ---------------------------------------------------------
+  VN freshVn() { return NextVn++; }
+
+  VN vnOf(Reg R) {
+    auto It = VnOfReg.find(R);
+    if (It != VnOfReg.end())
+      return It->second;
+    VN V = freshVn();
+    VnOfReg[R] = V;
+    Holder[V] = R;
+    return V;
+  }
+
+  void setVn(Reg R, VN V) {
+    VnOfReg[R] = V;
+    if (!Holder.count(V))
+      Holder[V] = R;
+  }
+
+  /// Register currently carrying value \p V, or NoReg.
+  Reg holderOf(VN V) {
+    auto It = Holder.find(V);
+    if (It == Holder.end())
+      return NoReg;
+    Reg H = It->second;
+    auto RIt = VnOfReg.find(H);
+    if (RIt == VnOfReg.end() || RIt->second != V)
+      return NoReg; // holder was overwritten
+    return H;
+  }
+
+  VN vnOfConst(ConstVal C) {
+    uint64_t Key = C.Bits * 2 + (C.IsFloat ? 1 : 0);
+    auto It = ConstVn.find(Key);
+    if (It != ConstVn.end())
+      return It->second;
+    VN V = freshVn();
+    ConstVn[Key] = V;
+    ConstOf[V] = C;
+    return V;
+  }
+
+  std::optional<ConstVal> constOf(VN V) {
+    auto It = ConstOf.find(V);
+    if (It == ConstOf.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  // -- Kills ---------------------------------------------------------------------
+  void killTag(TagId T, bool KillsValue) {
+    if (KillsValue)
+      AvailScalar.erase(T);
+    LastScalarStore.erase(T);
+  }
+
+  void killTagSet(const TagSet &Tags, bool KillsValue) {
+    for (TagId T : Tags)
+      killTag(T, KillsValue);
+    if (KillsValue) {
+      // Pointer-load availability: drop entries whose sets intersect.
+      for (auto It = AvailPtr.begin(); It != AvailPtr.end();) {
+        bool Hit = false;
+        for (TagId T : Tags)
+          if (It->second.Tags.contains(T))
+            Hit = true;
+        It = Hit ? AvailPtr.erase(It) : ++It;
+      }
+    }
+  }
+
+  // -- Instruction dispatch ---------------------------------------------------
+  void replaceWithCopy(Instruction &I, Reg Src) {
+    Instruction NewI(Opcode::Copy);
+    NewI.Result = I.Result;
+    NewI.Ops = {Src};
+    I = std::move(NewI);
+  }
+
+  void replaceWithConst(Instruction &I, ConstVal C) {
+    Instruction NewI(C.IsFloat ? Opcode::LoadF : Opcode::LoadI);
+    NewI.Result = I.Result;
+    if (C.IsFloat)
+      NewI.FImm = C.asFloat();
+    else
+      NewI.Imm = C.asInt();
+    I = std::move(NewI);
+  }
+
+  void visit(BasicBlock &B, size_t Idx, std::vector<size_t> &ToErase) {
+    Instruction &I = *B.insts()[Idx];
+    switch (I.Op) {
+    case Opcode::LoadI:
+      setVn(I.Result, vnOfConst(ConstVal::fromInt(I.Imm)));
+      return;
+    case Opcode::LoadF:
+      setVn(I.Result, vnOfConst(ConstVal::fromFloat(I.FImm)));
+      return;
+    case Opcode::Copy:
+      setVn(I.Result, vnOf(I.Ops[0]));
+      return;
+    case Opcode::LoadAddr: {
+      ExprKey K{static_cast<uint32_t>(Opcode::LoadAddr),
+                {static_cast<VN>(I.Tag)},
+                static_cast<uint64_t>(I.Imm)};
+      numberExpr(I, K);
+      return;
+    }
+    case Opcode::ScalarLoad: {
+      auto It = AvailScalar.find(I.Tag);
+      if (It != AvailScalar.end()) {
+        if (Reg H = holderOf(It->second); H != NoReg) {
+          // A prior load or store already has the value in a register.
+          replaceWithCopy(I, H);
+          setVn(I.Result, It->second);
+          ++Stats.LoadsForwarded;
+          // The memory value was observed; earlier store is not dead,
+          // but it was the source of this value, so DSE state survives.
+          return;
+        }
+      }
+      VN V = freshVn();
+      setVn(I.Result, V);
+      AvailScalar[I.Tag] = V;
+      // The load observes memory, so the previous store is not dead.
+      LastScalarStore.erase(I.Tag);
+      return;
+    }
+    case Opcode::ScalarStore: {
+      // Block-local dead-store elimination: the previous store to this tag
+      // is dead if nothing observed the value in between.
+      auto LS = LastScalarStore.find(I.Tag);
+      if (LS != LastScalarStore.end()) {
+        ToErase.push_back(LS->second);
+        ++Stats.DeadStores;
+      }
+      LastScalarStore[I.Tag] = Idx;
+      // Store forwarding: the stored value is now the memory value.
+      // (I8 stores truncate; the frontend masks char values, so the
+      // register equals the stored byte. Conservatively skip forwarding
+      // for I8 anyway.)
+      if (I.MemTy != MemType::I8)
+        AvailScalar[I.Tag] = vnOf(I.Ops[0]);
+      else
+        AvailScalar.erase(I.Tag);
+      return;
+    }
+    case Opcode::Load:
+    case Opcode::ConstLoad: {
+      // A pointer load may observe any tag in its set.
+      for (TagId T : I.Tags)
+        LastScalarStore.erase(T);
+      PtrKey K{vnOf(I.Ops[0]), I.MemTy};
+      auto It = AvailPtr.find(K);
+      if (It != AvailPtr.end()) {
+        if (Reg H = holderOf(It->second.Value); H != NoReg) {
+          replaceWithCopy(I, H);
+          setVn(I.Result, It->second.Value);
+          ++Stats.LoadsForwarded;
+          return;
+        }
+      }
+      VN V = freshVn();
+      setVn(I.Result, V);
+      AvailPtr[K] = PtrAvail{V, I.Tags};
+      return;
+    }
+    case Opcode::Store: {
+      killTagSet(I.Tags, /*KillsValue=*/true);
+      // Forward the stored value to subsequent same-address loads.
+      if (I.MemTy != MemType::I8) {
+        PtrKey K{vnOf(I.Ops[0]), I.MemTy};
+        AvailPtr[K] = PtrAvail{vnOf(I.Ops[1]), I.Tags};
+      }
+      return;
+    }
+    case Opcode::Call:
+    case Opcode::CallIndirect: {
+      killTagSet(I.Mods, /*KillsValue=*/true);
+      // Referenced tags: stores before the call are observed.
+      for (TagId T : I.Refs)
+        LastScalarStore.erase(T);
+      if (I.hasResult())
+        setVn(I.Result, freshVn());
+      return;
+    }
+    case Opcode::Br:
+    case Opcode::Jmp:
+    case Opcode::Ret:
+    case Opcode::Phi:
+      return;
+    default:
+      break;
+    }
+
+    // Pure computation: fold or reuse.
+    std::vector<VN> OpVns;
+    OpVns.reserve(I.Ops.size());
+    std::vector<ConstVal> Consts;
+    bool AllConst = true;
+    for (Reg R : I.Ops) {
+      VN V = vnOf(R);
+      OpVns.push_back(V);
+      if (auto C = constOf(V); C && AllConst)
+        Consts.push_back(*C);
+      else
+        AllConst = false;
+    }
+    if (AllConst && !I.Ops.empty()) {
+      if (auto Folded = foldOp(I.Op, Consts)) {
+        replaceWithConst(I, *Folded);
+        setVn(I.Result, vnOfConst(*Folded));
+        ++Stats.Folded;
+        return;
+      }
+    }
+    if (isCommutative(I.Op) && OpVns.size() == 2 && OpVns[0] > OpVns[1])
+      std::swap(OpVns[0], OpVns[1]);
+    ExprKey K{static_cast<uint32_t>(I.Op), OpVns, 0};
+    numberExpr(I, K);
+  }
+
+  struct ExprKey {
+    uint32_t Op;
+    std::vector<VN> Ops;
+    uint64_t Imm;
+    bool operator<(const ExprKey &O) const {
+      if (Op != O.Op)
+        return Op < O.Op;
+      if (Imm != O.Imm)
+        return Imm < O.Imm;
+      return Ops < O.Ops;
+    }
+  };
+
+  void numberExpr(Instruction &I, const ExprKey &K) {
+    auto It = Exprs.find(K);
+    if (It != Exprs.end()) {
+      if (Reg H = holderOf(It->second); H != NoReg) {
+        replaceWithCopy(I, H);
+        setVn(I.Result, It->second);
+        ++Stats.Reused;
+        return;
+      }
+    }
+    VN V = freshVn();
+    setVn(I.Result, V);
+    Exprs[K] = V;
+  }
+
+  struct PtrKey {
+    VN Addr;
+    MemType MT;
+    bool operator<(const PtrKey &O) const {
+      if (Addr != O.Addr)
+        return Addr < O.Addr;
+      return static_cast<int>(MT) < static_cast<int>(O.MT);
+    }
+  };
+  struct PtrAvail {
+    VN Value;
+    TagSet Tags;
+  };
+
+  Function &F;
+  const Module &M;
+  VnStats &Stats;
+
+  VN NextVn = 0;
+  std::unordered_map<Reg, VN> VnOfReg;
+  std::unordered_map<VN, Reg> Holder;
+  std::unordered_map<uint64_t, VN> ConstVn;
+  std::unordered_map<VN, ConstVal> ConstOf;
+  std::map<ExprKey, VN> Exprs;
+  std::unordered_map<TagId, VN> AvailScalar;
+  std::unordered_map<TagId, size_t> LastScalarStore;
+  std::map<PtrKey, PtrAvail> AvailPtr;
+};
+
+} // namespace
+
+VnStats rpcc::runValueNumbering(Function &F, const Module &M) {
+  VnStats Stats;
+  for (auto &B : F.blocks()) {
+    BlockNumberer BN(F, M, Stats);
+    BN.run(*B);
+  }
+  return Stats;
+}
+
+VnStats rpcc::runValueNumbering(Module &M) {
+  VnStats Total;
+  for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+    Function *F = M.function(static_cast<FuncId>(FI));
+    if (F->isBuiltin() || F->numBlocks() == 0)
+      continue;
+    VnStats S = runValueNumbering(*F, M);
+    Total.Folded += S.Folded;
+    Total.Reused += S.Reused;
+    Total.LoadsForwarded += S.LoadsForwarded;
+    Total.DeadStores += S.DeadStores;
+  }
+  return Total;
+}

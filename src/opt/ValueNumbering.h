@@ -1,0 +1,35 @@
+//===- opt/ValueNumbering.h - Local value numbering --------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-local value numbering with constant folding, copy propagation,
+/// commutative canonicalization, store-to-load forwarding on scalar tags,
+/// and block-local dead-store elimination. Redundant computations become
+/// copies, which the allocator later coalesces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_OPT_VALUENUMBERING_H
+#define RPCC_OPT_VALUENUMBERING_H
+
+#include "ir/Module.h"
+
+namespace rpcc {
+
+struct VnStats {
+  unsigned Folded = 0;          ///< ops replaced by constants
+  unsigned Reused = 0;          ///< redundant ops replaced by copies
+  unsigned LoadsForwarded = 0;  ///< scalar loads served by earlier ops
+  unsigned DeadStores = 0;      ///< overwritten scalar stores removed
+};
+
+VnStats runValueNumbering(Function &F, const Module &M);
+VnStats runValueNumbering(Module &M);
+
+} // namespace rpcc
+
+#endif // RPCC_OPT_VALUENUMBERING_H

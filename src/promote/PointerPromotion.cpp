@@ -1,0 +1,187 @@
+//===- promote/PointerPromotion.cpp ---------------------------------------===//
+
+#include "promote/PointerPromotion.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/LoopInfo.h"
+
+#include <cassert>
+#include <map>
+
+using namespace rpcc;
+
+namespace {
+
+/// A group of same-address pointer references inside one loop, keyed by
+/// (base register, access width).
+struct RefGroup {
+  Reg Base = NoReg;
+  MemType MT = MemType::I64;
+  TagSet Tags;          ///< union of the group's may-reference sets
+  unsigned NumOps = 0;  ///< PLD/PST through this base
+  bool AnyStore = false;
+};
+
+/// Registers with at least one definition inside the loop.
+std::vector<bool> regsDefinedInLoop(const Function &F, const Loop &Lp) {
+  std::vector<bool> Defined(F.numRegs(), false);
+  for (BlockId B : Lp.Blocks)
+    for (const auto &IP : F.block(B)->insts())
+      if (IP->hasResult())
+        Defined[IP->Result] = true;
+  return Defined;
+}
+
+bool intersects(const TagSet &A, const TagSet &B) {
+  for (TagId T : A)
+    if (B.contains(T))
+      return true;
+  return false;
+}
+
+} // namespace
+
+PointerPromotionStats rpcc::promotePointersInFunction(Module &M,
+                                                      Function &F) {
+  PointerPromotionStats Stats;
+  recomputeCfg(F);
+  LoopInfo LI(F);
+
+  // Outermost-first: once a group is promoted its ops become copies, so
+  // inner loops naturally skip them.
+  for (int L : LI.preorder()) {
+    const Loop &Lp = LI.loop(static_cast<size_t>(L));
+    if (Lp.Preheader == NoBlock)
+      continue;
+    std::vector<bool> DefinedInLoop = regsDefinedInLoop(F, Lp);
+
+    // Gather candidate groups and, in the same sweep, the set of tags
+    // touched by anything else in the loop.
+    std::map<std::pair<Reg, MemType>, RefGroup> Groups;
+    for (BlockId B : Lp.Blocks) {
+      for (const auto &IP : F.block(B)->insts()) {
+        const Instruction &I = *IP;
+        if ((I.Op == Opcode::Load || I.Op == Opcode::Store) &&
+            !DefinedInLoop[I.Ops[0]] && !I.Tags.empty()) {
+          RefGroup &G = Groups[{I.Ops[0], I.MemTy}];
+          G.Base = I.Ops[0];
+          G.MT = I.MemTy;
+          G.Tags.unionWith(I.Tags);
+          ++G.NumOps;
+          G.AnyStore |= I.Op == Opcode::Store;
+        }
+      }
+    }
+    if (Groups.empty())
+      continue;
+
+    // Disqualify groups whose tags are touched by any other access in the
+    // loop: scalar ops, calls, const loads, pointer ops with a different
+    // base or width (including other candidate groups).
+    auto Disqualify = [&](const TagSet &Touched, Reg Base, MemType MT,
+                          bool IsGroupOp) {
+      for (auto &[Key, G] : Groups) {
+        if (IsGroupOp && Key.first == Base && Key.second == MT)
+          continue; // the group's own accesses
+        if (intersects(G.Tags, Touched))
+          G.NumOps = 0; // marked dead
+      }
+    };
+    for (BlockId B : Lp.Blocks) {
+      for (const auto &IP : F.block(B)->insts()) {
+        const Instruction &I = *IP;
+        switch (I.Op) {
+        case Opcode::ScalarLoad:
+        case Opcode::ScalarStore: {
+          TagSet One{I.Tag};
+          Disqualify(One, NoReg, MemType::I64, false);
+          break;
+        }
+        case Opcode::ConstLoad:
+          Disqualify(I.Tags, NoReg, MemType::I64, false);
+          break;
+        case Opcode::Load:
+        case Opcode::Store: {
+          bool IsCandidate = !DefinedInLoop[I.Ops[0]] && !I.Tags.empty();
+          Disqualify(I.Tags, I.Ops[0], I.MemTy, IsCandidate);
+          break;
+        }
+        case Opcode::Call:
+        case Opcode::CallIndirect: {
+          Disqualify(I.Mods, NoReg, MemType::I64, false);
+          Disqualify(I.Refs, NoReg, MemType::I64, false);
+          break;
+        }
+        default:
+          break;
+        }
+      }
+    }
+
+    // Promote the surviving groups.
+    for (auto &[Key, G] : Groups) {
+      if (G.NumOps == 0)
+        continue;
+      Reg V =
+          F.newReg(G.MT == MemType::F64 ? RegType::Flt : RegType::Int);
+
+      // Rewrite the group's references to copies.
+      for (BlockId B : Lp.Blocks) {
+        for (auto &IP : F.block(B)->insts()) {
+          Instruction &I = *IP;
+          if ((I.Op != Opcode::Load && I.Op != Opcode::Store) ||
+              I.Ops.empty() || I.Ops[0] != G.Base || I.MemTy != G.MT)
+            continue;
+          if (I.Op == Opcode::Load) {
+            Instruction NewI(Opcode::Copy);
+            NewI.Result = I.Result;
+            NewI.Ops = {V};
+            I = std::move(NewI);
+          } else {
+            Instruction NewI(Opcode::Copy);
+            NewI.Result = V;
+            NewI.Ops = {I.Ops[1]};
+            I = std::move(NewI);
+          }
+          ++Stats.RewrittenOps;
+        }
+      }
+
+      // Load before the loop, stores at the exits.
+      BasicBlock *Pad = F.block(Lp.Preheader);
+      Instruction LoadI(Opcode::Load);
+      LoadI.Ops = {G.Base};
+      LoadI.MemTy = G.MT;
+      LoadI.Tags = G.Tags;
+      LoadI.Result = V;
+      Pad->insertAt(Pad->size() - 1, std::move(LoadI));
+      ++Stats.LoadsInserted;
+
+      for (BlockId E : Lp.ExitBlocks) {
+        Instruction StoreI(Opcode::Store);
+        StoreI.Ops = {G.Base, V};
+        StoreI.MemTy = G.MT;
+        StoreI.Tags = G.Tags;
+        F.block(E)->insertAt(0, std::move(StoreI));
+        ++Stats.StoresInserted;
+      }
+      ++Stats.PromotedRefs;
+    }
+  }
+  return Stats;
+}
+
+PointerPromotionStats rpcc::promotePointers(Module &M) {
+  PointerPromotionStats Total;
+  for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+    Function *F = M.function(static_cast<FuncId>(FI));
+    if (F->isBuiltin() || F->numBlocks() == 0)
+      continue;
+    PointerPromotionStats S = promotePointersInFunction(M, *F);
+    Total.PromotedRefs += S.PromotedRefs;
+    Total.RewrittenOps += S.RewrittenOps;
+    Total.LoadsInserted += S.LoadsInserted;
+    Total.StoresInserted += S.StoresInserted;
+  }
+  return Total;
+}

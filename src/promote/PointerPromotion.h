@@ -1,0 +1,48 @@
+//===- promote/PointerPromotion.h - §3.3 pointer promotion ------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's second algorithm (§3.3), which promotes some pointer-based
+/// references to multiple locations: "it finds memory references r, where
+/// the base register b is invariant in a loop and the only accesses in the
+/// loop to the tags accessed by r are through the invariant base register
+/// b... When it finds memory references satisfying these conditions, it
+/// promotes the reference into a register using the same rewriting scheme as
+/// before — a load before each loop entry, a store at each loop exit, and a
+/// copy at each reference." It "relies on loop-invariant code motion to
+/// identify the loop-invariant base registers and place the computation of
+/// these registers outside a loop", so run LICM first.
+///
+/// This is what turns Figure 3's `B[i] += A[i][j]` inner loop into a loop
+/// over a scalar temporary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_PROMOTE_POINTERPROMOTION_H
+#define RPCC_PROMOTE_POINTERPROMOTION_H
+
+#include "ir/Module.h"
+
+namespace rpcc {
+
+struct PointerPromotionStats {
+  unsigned PromotedRefs = 0;   ///< (base register, loop) groups promoted
+  unsigned RewrittenOps = 0;   ///< pointer ops turned into copies
+  unsigned LoadsInserted = 0;
+  unsigned StoresInserted = 0;
+};
+
+/// Promotes loop-invariant pointer references in one function. Requires a
+/// normalized CFG and populated tag sets; most effective after LICM.
+PointerPromotionStats promotePointersInFunction(Module &M, Function &F);
+
+/// Runs over every non-builtin function.
+PointerPromotionStats promotePointers(Module &M);
+
+} // namespace rpcc
+
+#endif // RPCC_PROMOTE_POINTERPROMOTION_H

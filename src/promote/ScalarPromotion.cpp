@@ -1,0 +1,228 @@
+//===- promote/ScalarPromotion.cpp ----------------------------------------===//
+
+#include "promote/ScalarPromotion.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rpcc;
+
+namespace {
+
+/// Per-block Figure 1 base sets.
+struct BlockSets {
+  TagSet Explicit, Ambiguous;
+};
+
+BlockSets computeBlockSets(const BasicBlock &B) {
+  BlockSets S;
+  for (const auto &IP : B.insts()) {
+    const Instruction &I = *IP;
+    switch (I.Op) {
+    case Opcode::ScalarLoad:
+    case Opcode::ScalarStore:
+      S.Explicit.insert(I.Tag);
+      break;
+    case Opcode::Load:
+    case Opcode::ConstLoad:
+    case Opcode::Store:
+      S.Ambiguous.unionWith(I.Tags);
+      break;
+    case Opcode::Call:
+    case Opcode::CallIndirect:
+      S.Ambiguous.unionWith(I.Mods);
+      S.Ambiguous.unionWith(I.Refs);
+      break;
+    default:
+      break;
+    }
+  }
+  return S;
+}
+
+TagSet setMinus(const TagSet &A, const TagSet &B) {
+  TagSet Out;
+  for (TagId T : A)
+    if (!B.contains(T))
+      Out.insert(T);
+  return Out;
+}
+
+std::vector<LoopPromotionInfo> analyze(const Module &M, const Function &F,
+                                       const LoopInfo &LI) {
+  std::vector<BlockSets> Blocks;
+  Blocks.reserve(F.numBlocks());
+  for (const auto &B : F.blocks())
+    Blocks.push_back(computeBlockSets(*B));
+
+  std::vector<LoopPromotionInfo> Infos(LI.numLoops());
+  // Equations (1)-(3), any order.
+  for (size_t L = 0; L != LI.numLoops(); ++L) {
+    const Loop &Lp = LI.loop(L);
+    LoopPromotionInfo &Info = Infos[L];
+    Info.Header = Lp.Header;
+    Info.Depth = Lp.Depth;
+    for (BlockId B : Lp.Blocks) {
+      Info.Explicit.unionWith(Blocks[B].Explicit);
+      Info.Ambiguous.unionWith(Blocks[B].Ambiguous);
+    }
+    Info.Promotable = setMinus(Info.Explicit, Info.Ambiguous);
+  }
+  // Equation (4): parents must be computed, which they are since Promotable
+  // needs no ordering.
+  for (size_t L = 0; L != LI.numLoops(); ++L) {
+    const Loop &Lp = LI.loop(L);
+    if (Lp.Parent < 0)
+      Infos[L].Lift = Infos[L].Promotable;
+    else
+      Infos[L].Lift =
+          setMinus(Infos[L].Promotable, Infos[Lp.Parent].Promotable);
+  }
+  return Infos;
+}
+
+/// Rewrites references to \p T inside loop \p Lp to use register \p V.
+unsigned rewriteLoopRefs(Function &F, const Loop &Lp, TagId T, Reg V) {
+  unsigned N = 0;
+  for (BlockId BId : Lp.Blocks) {
+    for (auto &IP : F.block(BId)->insts()) {
+      Instruction &I = *IP;
+      if (I.Op == Opcode::ScalarLoad && I.Tag == T) {
+        // r <- SLD [T]   becomes   r <- CP V
+        Instruction NewI(Opcode::Copy);
+        NewI.Result = I.Result;
+        NewI.Ops = {V};
+        I = std::move(NewI);
+        ++N;
+      } else if (I.Op == Opcode::ScalarStore && I.Tag == T) {
+        // SST [T] x      becomes   V <- CP x
+        Instruction NewI(Opcode::Copy);
+        NewI.Result = V;
+        NewI.Ops = {I.Ops[0]};
+        I = std::move(NewI);
+        ++N;
+      }
+    }
+  }
+  return N;
+}
+
+/// True if any block of \p Lp contains a scalar store to \p T.
+bool loopStoresTag(const Function &F, const Loop &Lp, TagId T) {
+  for (BlockId BId : Lp.Blocks)
+    for (const auto &IP : F.block(BId)->insts())
+      if (IP->Op == Opcode::ScalarStore && IP->Tag == T)
+        return true;
+  return false;
+}
+
+/// Estimated dynamic benefit of promoting \p T in \p Lp: static reference
+/// count weighted by 10^nesting-depth, the same heuristic the allocator
+/// uses for spill costs. Used to rank candidates when a promotion budget
+/// (Carr-style bin packing) is in force.
+double promotionBenefit(const Function &F, const LoopInfo &LI,
+                        const Loop &Lp, TagId T) {
+  double Benefit = 0;
+  for (BlockId BId : Lp.Blocks) {
+    int Inner = LI.innermostLoop(BId);
+    unsigned Depth = Inner < 0 ? 1 : LI.loop(static_cast<size_t>(Inner)).Depth;
+    double Weight = 1;
+    for (unsigned D = 0; D != Depth; ++D)
+      Weight *= 10;
+    for (const auto &IP : F.block(BId)->insts())
+      if ((IP->Op == Opcode::ScalarLoad || IP->Op == Opcode::ScalarStore) &&
+          IP->Tag == T)
+        Benefit += Weight;
+  }
+  return Benefit;
+}
+
+} // namespace
+
+std::vector<LoopPromotionInfo>
+rpcc::analyzeScalarPromotion(const Module &M, const Function &F) {
+  LoopInfo LI(F);
+  return analyze(M, F, LI);
+}
+
+PromotionStats rpcc::promoteScalarsInFunction(Module &M, Function &F,
+                                              const PromotionOptions &Opts) {
+  PromotionStats Stats;
+  recomputeCfg(F);
+  LoopInfo LI(F);
+  if (LI.numLoops() == 0)
+    return Stats;
+  std::vector<LoopPromotionInfo> Infos = analyze(M, F, LI);
+
+  for (size_t L = 0; L != LI.numLoops(); ++L) {
+    const Loop &Lp = LI.loop(L);
+    const LoopPromotionInfo &Info = Infos[L];
+    if (Info.Lift.empty())
+      continue;
+    assert(Lp.Preheader != NoBlock &&
+           "promotion requires a normalized CFG (run normalizeLoops)");
+
+    // Under a promotion budget, spend it on the most profitable tags.
+    std::vector<TagId> Candidates(Info.Lift.begin(), Info.Lift.end());
+    if (Opts.MaxPromotedPerLoop &&
+        Candidates.size() > Opts.MaxPromotedPerLoop) {
+      std::stable_sort(Candidates.begin(), Candidates.end(),
+                       [&](TagId A, TagId B) {
+                         return promotionBenefit(F, LI, Lp, A) >
+                                promotionBenefit(F, LI, Lp, B);
+                       });
+      Candidates.resize(Opts.MaxPromotedPerLoop);
+    }
+    for (TagId T : Candidates) {
+      const Tag &Tg = M.tags().tag(T);
+      assert(Tg.IsScalar && "explicit ops only name scalar tags");
+      bool NeedStore =
+          !Opts.StoreOnlyIfModified || loopStoresTag(F, Lp, T);
+
+      Reg V =
+          F.newReg(Tg.ValTy == MemType::F64 ? RegType::Flt : RegType::Int);
+      Stats.RewrittenOps += rewriteLoopRefs(F, Lp, T, V);
+
+      // Landing-pad load, placed before the pad's terminator.
+      BasicBlock *Pad = F.block(Lp.Preheader);
+      Instruction LoadI(Opcode::ScalarLoad);
+      LoadI.Tag = T;
+      LoadI.MemTy = Tg.ValTy;
+      LoadI.Result = V;
+      Pad->insertAt(Pad->size() - 1, std::move(LoadI));
+      ++Stats.LoadsInserted;
+
+      // Demotion stores at the head of every exit block.
+      if (NeedStore) {
+        for (BlockId E : Lp.ExitBlocks) {
+          Instruction StoreI(Opcode::ScalarStore);
+          StoreI.Tag = T;
+          StoreI.MemTy = Tg.ValTy;
+          StoreI.Ops = {V};
+          F.block(E)->insertAt(0, std::move(StoreI));
+          ++Stats.StoresInserted;
+        }
+      }
+      ++Stats.PromotedTags;
+    }
+  }
+  return Stats;
+}
+
+PromotionStats rpcc::promoteScalars(Module &M, const PromotionOptions &Opts) {
+  PromotionStats Total;
+  for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+    Function *F = M.function(static_cast<FuncId>(FI));
+    if (F->isBuiltin() || F->numBlocks() == 0)
+      continue;
+    PromotionStats S = promoteScalarsInFunction(M, *F, Opts);
+    Total.PromotedTags += S.PromotedTags;
+    Total.RewrittenOps += S.RewrittenOps;
+    Total.LoadsInserted += S.LoadsInserted;
+    Total.StoresInserted += S.StoresInserted;
+  }
+  return Total;
+}

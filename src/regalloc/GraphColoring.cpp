@@ -1,0 +1,445 @@
+//===- regalloc/GraphColoring.cpp -----------------------------------------===//
+
+#include "regalloc/GraphColoring.h"
+
+#include "analysis/Cfg.h"
+#include "regalloc/Liverange.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rpcc;
+
+namespace {
+
+class Allocator {
+public:
+  Allocator(Module &M, Function &F, const RegAllocOptions &Opts,
+            RegAllocStats &Stats)
+      : M(M), F(F), Opts(Opts), K(effectiveK(F, Opts.NumRegisters)),
+        Stats(Stats) {}
+
+  /// Arguments are passed in registers, so an instruction with N operands
+  /// needs N simultaneous registers no matter how much we spill; likewise
+  /// a function's incoming parameters are all live at once on entry. Clamp
+  /// K up to that structural minimum (plus one for a defined result).
+  static unsigned effectiveK(const Function &F, unsigned K) {
+    unsigned MinK = 4;
+    for (const auto &B : F.blocks())
+      for (const auto &IP : B->insts())
+        MinK = std::max(MinK, static_cast<unsigned>(IP->Ops.size()) + 1);
+    unsigned IntParams = 0, FltParams = 0;
+    for (Reg P : F.paramRegs()) {
+      if (F.regType(P) == RegType::Flt)
+        ++FltParams;
+      else
+        ++IntParams;
+    }
+    MinK = std::max(MinK, IntParams + 1);
+    MinK = std::max(MinK, FltParams + 1);
+    return std::max(K, MinK);
+  }
+
+  void run() {
+    recomputeCfg(F);
+    for (unsigned Round = 0; Round < 100; ++Round) {
+      ++Stats.Rounds;
+      coalesce();
+      InterferenceGraph IG(F);
+      std::vector<Reg> SpillList;
+      if (color(IG, SpillList)) {
+        rewriteToColors();
+        return;
+      }
+      for (Reg V : SpillList)
+        spill(V);
+    }
+    assert(false && "register allocation failed to converge");
+  }
+
+private:
+  // -- Coalescing ---------------------------------------------------------
+  /// Degree within a node's own register class (colors are per-class, so
+  /// only same-class neighbors constrain coloring).
+  unsigned classDegree(const InterferenceGraph &IG, Reg R) {
+    unsigned D = 0;
+    for (Reg Nb : IG.neighbors(R))
+      if (F.regType(Nb) == F.regType(R))
+        ++D;
+    return D;
+  }
+
+  /// Briggs conservative test: merging is safe if the combined node has
+  /// fewer than K same-class neighbors of significant degree.
+  bool briggsSafe(const InterferenceGraph &IG, Reg A, Reg B) {
+    unsigned Significant = 0;
+    for (Reg Nb : IG.neighbors(A)) {
+      if (Nb == B || F.regType(Nb) != F.regType(A))
+        continue;
+      unsigned Deg = classDegree(IG, Nb);
+      if (IG.interfere(Nb, B))
+        --Deg; // merged node counts once
+      if (Deg >= K)
+        ++Significant;
+    }
+    // Neighbors of B not shared with A.
+    for (Reg Nb : IG.neighbors(B)) {
+      if (Nb == A || IG.interfere(Nb, A) || F.regType(Nb) != F.regType(B))
+        continue;
+      if (classDegree(IG, Nb) >= K)
+        ++Significant;
+    }
+    return Significant < K;
+  }
+
+  /// George's coalescing test: merging B into A is safe if every
+  /// same-class neighbor of B either already interferes with A or is of
+  /// insignificant degree. Catches the long-live-range copies (promotion's
+  /// accumulators) that the Briggs test rejects under pressure.
+  bool georgeSafe(const InterferenceGraph &IG, Reg A, Reg B) {
+    for (Reg Nb : IG.neighbors(B)) {
+      if (Nb == A || F.regType(Nb) != F.regType(B))
+        continue;
+      if (classDegree(IG, Nb) >= K && !IG.interfere(Nb, A))
+        return false;
+    }
+    return true;
+  }
+
+  void coalesce() {
+    bool MergedAny = true;
+    while (MergedAny) {
+      MergedAny = false;
+      InterferenceGraph IG(F);
+      std::vector<bool> Dirty(F.numRegs(), false);
+      std::vector<Reg> Remap(F.numRegs());
+      for (Reg R = 0; R != F.numRegs(); ++R)
+        Remap[R] = R;
+      bool NeedRewrite = false;
+
+      for (const auto &C : IG.copies()) {
+        Reg A = Remap[C.Dst], B = Remap[C.Src];
+        if (A == B)
+          continue;
+        if (Dirty[A] || Dirty[B] || IG.interfere(A, B))
+          continue;
+        if (F.regType(A) != F.regType(B))
+          continue;
+        bool Safe = briggsSafe(IG, A, B) ||
+                    (Opts.GeorgeCoalescing &&
+                     (georgeSafe(IG, A, B) || georgeSafe(IG, B, A)));
+        if (!Safe)
+          continue;
+        // Merge B into A. Degrees of the neighborhood are now stale; mark
+        // everything involved dirty for the rest of this sweep.
+        for (Reg R = 0; R != F.numRegs(); ++R)
+          if (Remap[R] == B)
+            Remap[R] = A;
+        Dirty[A] = true;
+        for (Reg Nb : IG.neighbors(A))
+          Dirty[Nb] = true;
+        for (Reg Nb : IG.neighbors(B))
+          Dirty[Nb] = true;
+        NeedRewrite = true;
+        MergedAny = true;
+        ++Stats.CoalescedCopies;
+      }
+      if (NeedRewrite)
+        applyRemap(Remap);
+    }
+  }
+
+  void applyRemap(const std::vector<Reg> &Remap) {
+    for (auto &B : F.blocks()) {
+      auto &Insts = B->insts();
+      for (size_t Idx = 0; Idx < Insts.size(); ++Idx) {
+        Instruction &I = *Insts[Idx];
+        if (I.hasResult())
+          I.Result = Remap[I.Result];
+        for (Reg &R : I.Ops)
+          R = Remap[R];
+        if (I.Op == Opcode::Copy && I.Result == I.Ops[0]) {
+          B->eraseAt(Idx);
+          --Idx;
+        }
+      }
+    }
+    for (Reg &P : F.paramRegs())
+      P = Remap[P];
+  }
+
+  // -- Coloring -------------------------------------------------------------
+  /// Colors both register classes; integer nodes draw from {0..K-1},
+  /// floats from {K..2K-1}. Only same-class neighbors constrain a node.
+  bool color(const InterferenceGraph &IG, std::vector<Reg> &SpillList) {
+    const size_t N = F.numRegs();
+    std::vector<unsigned> Degree(N);
+    std::vector<bool> Removed(N, true);
+    std::vector<Reg> Stack;
+    size_t Remaining = 0;
+    for (Reg R = 0; R != N; ++R) {
+      if (!IG.isLive(R))
+        continue;
+      Removed[R] = false;
+      Degree[R] = classDegree(IG, R);
+      ++Remaining;
+    }
+
+    // Simplify with optimistic spill candidates.
+    while (Remaining) {
+      Reg Pick = NoReg;
+      for (Reg R = 0; R != N; ++R)
+        if (!Removed[R] && Degree[R] < K) {
+          Pick = R;
+          break;
+        }
+      if (Pick == NoReg) {
+        // Optimistic spill: cheapest candidate, avoiding spiller temps.
+        double Best = 0;
+        for (Reg R = 0; R != N; ++R) {
+          if (Removed[R])
+            continue;
+          double Cost = IG.spillCosts()[R];
+          if (NoSpill.size() > R && NoSpill[R])
+            Cost += 1e12; // strongly avoid re-spilling reload temps
+          if (Pick == NoReg || Cost < Best) {
+            Pick = R;
+            Best = Cost;
+          }
+        }
+      }
+      Removed[Pick] = true;
+      --Remaining;
+      Stack.push_back(Pick);
+      for (Reg Nb : IG.neighbors(Pick))
+        if (!Removed[Nb] && Degree[Nb] > 0 &&
+            F.regType(Nb) == F.regType(Pick))
+          --Degree[Nb];
+    }
+
+    // Select.
+    Colors.assign(N, -1);
+    bool Success = true;
+    for (auto It = Stack.rbegin(); It != Stack.rend(); ++It) {
+      Reg R = *It;
+      std::vector<bool> Used(K, false);
+      for (Reg Nb : IG.neighbors(R))
+        if (Colors[Nb] >= 0 && F.regType(Nb) == F.regType(R))
+          Used[classColor(Nb)] = true;
+      int C = -1;
+      for (unsigned I = 0; I != K; ++I)
+        if (!Used[I]) {
+          C = static_cast<int>(I);
+          break;
+        }
+      if (C < 0) {
+        SpillList.push_back(R);
+        Success = false;
+      } else {
+        bool IsFlt = F.regType(R) == RegType::Flt;
+        Colors[R] = C + (IsFlt ? static_cast<int>(K) : 0);
+        Stats.ColorsUsed =
+            std::max(Stats.ColorsUsed, static_cast<unsigned>(C) + 1);
+      }
+    }
+    return Success;
+  }
+
+  /// The within-class color of an already-colored node.
+  unsigned classColor(Reg R) const {
+    int C = Colors[R];
+    return static_cast<unsigned>(C) >= K ? static_cast<unsigned>(C) - K
+                                         : static_cast<unsigned>(C);
+  }
+
+  // -- Spilling --------------------------------------------------------------
+  /// Briggs-style rematerialization: a register whose only definition is a
+  /// constant or tag address is recomputed at each use instead of being
+  /// stored and reloaded — hoisted loop invariants spill for free.
+  bool tryRematerialize(Reg V) {
+    const Instruction *Def = nullptr;
+    unsigned NumDefs = 0;
+    for (Reg P : F.paramRegs())
+      if (P == V)
+        return false;
+    for (const auto &B : F.blocks())
+      for (const auto &IP : B->insts())
+        if (IP->hasResult() && IP->Result == V) {
+          ++NumDefs;
+          Def = IP.get();
+        }
+    if (NumDefs != 1 || !Def)
+      return false;
+    if (Def->Op != Opcode::LoadI && Def->Op != Opcode::LoadF &&
+        Def->Op != Opcode::LoadAddr)
+      return false;
+
+    Instruction DefCopy = Def->clone();
+    for (auto &B : F.blocks()) {
+      auto &Insts = B->insts();
+      for (size_t Idx = 0; Idx < Insts.size(); ++Idx) {
+        Instruction &I = *Insts[Idx];
+        bool UsesV = false;
+        for (Reg R : I.Ops)
+          UsesV |= R == V;
+        if (!UsesV)
+          continue;
+        Reg Tmp = F.newReg(F.regType(V));
+        if (NoSpill.size() <= Tmp)
+          NoSpill.resize(Tmp + 1, false);
+        NoSpill[Tmp] = true;
+        Instruction Clone = DefCopy.clone();
+        Clone.Result = Tmp;
+        B->insertAt(Idx, std::move(Clone));
+        ++Idx;
+        Instruction &I2 = *Insts[Idx];
+        for (Reg &R : I2.Ops)
+          if (R == V)
+            R = Tmp;
+      }
+    }
+    // Delete the original definition; V is now dead.
+    for (auto &B : F.blocks()) {
+      auto &Insts = B->insts();
+      for (size_t Idx = 0; Idx < Insts.size(); ++Idx)
+        if (Insts[Idx]->hasResult() && Insts[Idx]->Result == V) {
+          B->eraseAt(Idx);
+          return true;
+        }
+    }
+    return true;
+  }
+
+  void spill(Reg V) {
+    if (Opts.Rematerialization && tryRematerialize(V)) {
+      ++Stats.RematerializedRegs;
+      return;
+    }
+    ++Stats.SpilledRegs;
+    MemType MT = F.regType(V) == RegType::Flt ? MemType::F64 : MemType::I64;
+    TagId SpillTag = M.tags().createSpill(
+        "spill." + F.name() + "." + std::to_string(Stats.SpilledRegs), F.id(),
+        MT);
+
+    auto MarkNoSpill = [&](Reg R) {
+      if (NoSpill.size() <= R)
+        NoSpill.resize(R + 1, false);
+      NoSpill[R] = true;
+    };
+
+    // Parameters arrive in V: store them on entry before any use.
+    bool IsParam = false;
+    for (Reg P : F.paramRegs())
+      IsParam |= P == V;
+    if (IsParam) {
+      Instruction St(Opcode::ScalarStore);
+      St.Tag = SpillTag;
+      St.MemTy = MT;
+      St.Ops = {V};
+      F.entry()->insertAt(0, std::move(St));
+      ++Stats.SpillStores;
+    }
+
+    for (auto &B : F.blocks()) {
+      auto &Insts = B->insts();
+      for (size_t Idx = 0; Idx < Insts.size(); ++Idx) {
+        Instruction &I = *Insts[Idx];
+        // Skip the entry store we just inserted.
+        if (I.Op == Opcode::ScalarStore && I.Tag == SpillTag)
+          continue;
+        bool UsesV = false;
+        for (Reg R : I.Ops)
+          UsesV |= R == V;
+        if (UsesV) {
+          Reg Tmp = F.newReg(F.regType(V));
+          MarkNoSpill(Tmp);
+          Instruction Ld(Opcode::ScalarLoad);
+          Ld.Tag = SpillTag;
+          Ld.MemTy = MT;
+          Ld.Result = Tmp;
+          B->insertAt(Idx, std::move(Ld));
+          ++Idx; // I moved one slot down
+          Instruction &I2 = *Insts[Idx];
+          for (Reg &R : I2.Ops)
+            if (R == V)
+              R = Tmp;
+          ++Stats.SpillLoads;
+        }
+        Instruction &ICur = *Insts[Idx];
+        if (ICur.hasResult() && ICur.Result == V) {
+          Reg Tmp = F.newReg(F.regType(V));
+          MarkNoSpill(Tmp);
+          ICur.Result = Tmp;
+          Instruction St(Opcode::ScalarStore);
+          St.Tag = SpillTag;
+          St.MemTy = MT;
+          St.Ops = {Tmp};
+          B->insertAt(Idx + 1, std::move(St));
+          ++Idx;
+          ++Stats.SpillStores;
+        }
+      }
+    }
+  }
+
+  // -- Final rewrite ------------------------------------------------------------
+  void rewriteToColors() {
+    for (auto &B : F.blocks()) {
+      auto &Insts = B->insts();
+      for (size_t Idx = 0; Idx < Insts.size(); ++Idx) {
+        Instruction &I = *Insts[Idx];
+        if (I.hasResult()) {
+          assert(Colors[I.Result] >= 0 && "uncolored defined register");
+          I.Result = static_cast<Reg>(Colors[I.Result]);
+        }
+        for (Reg &R : I.Ops) {
+          assert(Colors[R] >= 0 && "uncolored used register");
+          R = static_cast<Reg>(Colors[R]);
+        }
+        // Copies whose operands landed in the same register disappear.
+        if (I.Op == Opcode::Copy && I.Result == I.Ops[0]) {
+          B->eraseAt(Idx);
+          --Idx;
+        }
+      }
+    }
+    for (Reg &P : F.paramRegs())
+      P = static_cast<Reg>(Colors[P]);
+    F.resetRegisters(2 * K);
+  }
+
+  Module &M;
+  Function &F;
+  const RegAllocOptions &Opts;
+  const unsigned K;
+  RegAllocStats &Stats;
+  std::vector<int> Colors;
+  std::vector<bool> NoSpill;
+};
+
+} // namespace
+
+RegAllocStats rpcc::allocateRegisters(Module &M, Function &F,
+                                      const RegAllocOptions &Opts) {
+  RegAllocStats Stats;
+  Allocator(M, F, Opts, Stats).run();
+  return Stats;
+}
+
+RegAllocStats rpcc::allocateRegisters(Module &M, const RegAllocOptions &Opts) {
+  RegAllocStats Total;
+  for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+    Function *F = M.function(static_cast<FuncId>(FI));
+    if (F->isBuiltin() || F->numBlocks() == 0)
+      continue;
+    RegAllocStats S = allocateRegisters(M, *F, Opts);
+    Total.CoalescedCopies += S.CoalescedCopies;
+    Total.SpilledRegs += S.SpilledRegs;
+    Total.RematerializedRegs += S.RematerializedRegs;
+    Total.SpillLoads += S.SpillLoads;
+    Total.SpillStores += S.SpillStores;
+    Total.Rounds += S.Rounds;
+    Total.ColorsUsed = std::max(Total.ColorsUsed, S.ColorsUsed);
+  }
+  return Total;
+}

@@ -1,0 +1,79 @@
+//===- regalloc/Liverange.cpp ---------------------------------------------===//
+
+#include "regalloc/Liverange.h"
+
+#include "analysis/Liveness.h"
+#include "analysis/LoopInfo.h"
+
+#include <cmath>
+
+using namespace rpcc;
+
+void InterferenceGraph::addEdge(Reg A, Reg B) {
+  if (A == B || Matrix[A].test(B))
+    return;
+  Matrix[A].set(B);
+  Matrix[B].set(A);
+  Adj[A].push_back(B);
+  Adj[B].push_back(A);
+  ++Degrees[A];
+  ++Degrees[B];
+}
+
+InterferenceGraph::InterferenceGraph(const Function &F)
+    : N(F.numRegs()), Matrix(N, DenseBitSet(N)), Adj(N), Degrees(N, 0),
+      Live(N, false), Costs(N, 0.0) {
+  Liveness LV(F);
+  LoopInfo LI(F);
+
+  for (Reg P : F.paramRegs())
+    Live[P] = true;
+
+  for (const auto &B : F.blocks()) {
+    // Spill-cost weight grows with loop depth.
+    int LoopIdx = LI.innermostLoop(B->id());
+    unsigned Depth = LoopIdx < 0 ? 0 : LI.loop(LoopIdx).Depth;
+    double Weight = std::pow(10.0, static_cast<double>(Depth));
+
+    DenseBitSet LiveNow = LV.liveOut(B->id());
+    // Walk backward building interferences.
+    const auto &Insts = B->insts();
+    for (size_t Idx = Insts.size(); Idx-- > 0;) {
+      const Instruction &I = *Insts[Idx];
+      if (I.hasResult()) {
+        Live[I.Result] = true;
+        Costs[I.Result] += Weight;
+        if (I.Op == Opcode::Copy) {
+          Copies.push_back(CopyEdge{I.Result, I.Ops[0]});
+          // Chaitin's refinement: the copy source does not interfere with
+          // the destination (they may share a register).
+          LiveNow.reset(I.Ops[0]);
+        }
+        LiveNow.forEach([&](size_t Other) {
+          addEdge(I.Result, static_cast<Reg>(Other));
+        });
+        LiveNow.reset(I.Result);
+      }
+      for (Reg U : I.Ops) {
+        LiveNow.set(U);
+        Live[U] = true;
+        Costs[U] += Weight;
+      }
+    }
+    // Parameters are defined at entry: they interfere with everything live
+    // into the entry block.
+    if (B->id() == 0) {
+      const DenseBitSet &EntryIn = LV.liveIn(0);
+      for (Reg P : F.paramRegs())
+        EntryIn.forEach([&](size_t Other) {
+          if (static_cast<Reg>(Other) != P)
+            addEdge(P, static_cast<Reg>(Other));
+        });
+    }
+  }
+
+  // Normalize cost to cost/degree (classic Chaitin heuristic); guard the
+  // degree-zero case.
+  for (Reg R = 0; R != N; ++R)
+    Costs[R] = Degrees[R] ? Costs[R] / Degrees[R] : Costs[R];
+}

@@ -1,0 +1,64 @@
+//===- regalloc/Liverange.h - Interference graph -----------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interference graph and spill costs for the Chaitin-Briggs allocator
+/// (Briggs, Cooper & Torczon, TOPLAS 1994 — the paper's reference [1]).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_REGALLOC_LIVERANGE_H
+#define RPCC_REGALLOC_LIVERANGE_H
+
+#include "ir/Function.h"
+#include "support/DenseBitSet.h"
+
+#include <vector>
+
+namespace rpcc {
+
+/// Interference graph over virtual registers, built from backward liveness.
+/// Copy sources do not interfere with copy destinations (enables
+/// coalescing).
+class InterferenceGraph {
+public:
+  /// Requires up-to-date CFG lists; computes liveness internally.
+  explicit InterferenceGraph(const Function &F);
+
+  size_t numNodes() const { return N; }
+  bool interfere(Reg A, Reg B) const { return Matrix[A].test(B); }
+  unsigned degree(Reg A) const { return Degrees[A]; }
+  const std::vector<Reg> &neighbors(Reg A) const { return Adj[A]; }
+
+  /// True if the register is defined or used anywhere.
+  bool isLive(Reg A) const { return Live[A]; }
+
+  /// Copy instructions found during the build: (dst, src) pairs.
+  struct CopyEdge {
+    Reg Dst, Src;
+  };
+  const std::vector<CopyEdge> &copies() const { return Copies; }
+
+  /// Spill priority: dynamic-count estimate (uses+defs weighted by
+  /// 10^loop-depth) divided by degree. Lower is cheaper to spill.
+  const std::vector<double> &spillCosts() const { return Costs; }
+
+private:
+  void addEdge(Reg A, Reg B);
+
+  size_t N;
+  std::vector<DenseBitSet> Matrix;
+  std::vector<std::vector<Reg>> Adj;
+  std::vector<unsigned> Degrees;
+  std::vector<bool> Live;
+  std::vector<CopyEdge> Copies;
+  std::vector<double> Costs;
+};
+
+} // namespace rpcc
+
+#endif // RPCC_REGALLOC_LIVERANGE_H

@@ -1,0 +1,78 @@
+//===- support/Format.cpp -------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace rpcc;
+
+std::string rpcc::withCommas(uint64_t N) {
+  std::string Raw = std::to_string(N);
+  std::string Out;
+  Out.reserve(Raw.size() + Raw.size() / 3);
+  size_t Lead = Raw.size() % 3;
+  for (size_t I = 0; I != Raw.size(); ++I) {
+    if (I != 0 && (I % 3) == Lead % 3 && I >= Lead)
+      Out.push_back(',');
+    Out.push_back(Raw[I]);
+  }
+  return Out;
+}
+
+std::string rpcc::withCommasSigned(int64_t N) {
+  if (N < 0)
+    return "-" + withCommas(static_cast<uint64_t>(-N));
+  return withCommas(static_cast<uint64_t>(N));
+}
+
+std::string rpcc::fixed(double V, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, V);
+  return Buf;
+}
+
+TextTable::TextTable(std::vector<std::string> Header) {
+  Rows.push_back(std::move(Header));
+}
+
+void TextTable::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Rows.front().size() && "row arity mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths(Rows.front().size(), 0);
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  std::string Out;
+  auto EmitRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      if (C)
+        Out += "  ";
+      // Left-align the first column (names), right-align numbers.
+      const std::string &Cell = Row[C];
+      size_t Pad = Widths[C] - Cell.size();
+      if (C == 0) {
+        Out += Cell;
+        Out.append(Pad, ' ');
+      } else {
+        Out.append(Pad, ' ');
+        Out += Cell;
+      }
+    }
+    Out += '\n';
+  };
+
+  EmitRow(Rows.front());
+  size_t Total = 0;
+  for (size_t C = 0; C != Widths.size(); ++C)
+    Total += Widths[C] + (C ? 2 : 0);
+  Out.append(Total, '-');
+  Out += '\n';
+  for (size_t R = 1; R != Rows.size(); ++R)
+    EmitRow(Rows[R]);
+  return Out;
+}

@@ -1,0 +1,50 @@
+//===- support/Format.h - Output formatting helpers ------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small formatting helpers used by the IL printer, the experiment table
+/// writers, and the bench harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_SUPPORT_FORMAT_H
+#define RPCC_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rpcc {
+
+/// Formats \p N with thousands separators, e.g. 132386726 -> "132,386,726".
+std::string withCommas(uint64_t N);
+
+/// Formats a signed delta with thousands separators (keeps a leading '-').
+std::string withCommasSigned(int64_t N);
+
+/// Formats \p V with \p Decimals fractional digits (no locale dependence).
+std::string fixed(double V, int Decimals);
+
+/// A minimal plain-text table writer producing aligned columns, in the style
+/// of the paper's Figures 5-7.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header);
+
+  /// Appends one data row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the table with a separator line under the header.
+  std::string render() const;
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace rpcc
+
+#endif // RPCC_SUPPORT_FORMAT_H

@@ -1,0 +1,23 @@
+//===- support/StringInterner.cpp -----------------------------------------===//
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+
+using namespace rpcc;
+
+StrId StringInterner::intern(std::string_view S) {
+  std::string Key(S);
+  auto It = Ids.find(Key);
+  if (It != Ids.end())
+    return It->second;
+  Strings.push_back(Key);
+  StrId Id = static_cast<StrId>(Strings.size() - 1);
+  Ids.emplace(std::move(Key), Id);
+  return Id;
+}
+
+const std::string &StringInterner::str(StrId Id) const {
+  assert(Id < Strings.size() && "invalid string id");
+  return Strings[Id];
+}

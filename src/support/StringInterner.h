@@ -1,0 +1,51 @@
+//===- support/StringInterner.h - Unique string table ----------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple string interner mapping strings to dense 32-bit ids. Used for
+/// identifier names throughout the compiler so that name comparisons are
+/// integer comparisons.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_SUPPORT_STRINGINTERNER_H
+#define RPCC_SUPPORT_STRINGINTERNER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rpcc {
+
+/// Dense id assigned to an interned string. Ids are stable for the lifetime
+/// of the interner and count up from zero.
+using StrId = uint32_t;
+
+/// Maps strings to dense ids and back. Not thread-safe.
+class StringInterner {
+public:
+  /// Interns \p S, returning its id. Re-interning returns the same id.
+  StrId intern(std::string_view S);
+
+  /// Returns the string for a previously returned id.
+  const std::string &str(StrId Id) const;
+
+  /// Returns the number of distinct strings interned so far.
+  size_t size() const { return Strings.size(); }
+
+private:
+  std::vector<std::string> Strings;
+  // Keys are owned copies: short strings are stored inline (SSO), so views
+  // into Strings would dangle when the vector reallocates.
+  std::unordered_map<std::string, StrId> Ids;
+};
+
+} // namespace rpcc
+
+#endif // RPCC_SUPPORT_STRINGINTERNER_H

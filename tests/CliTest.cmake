@@ -1,0 +1,36 @@
+# Smoke tests for the rpcc command-line driver, run through ctest.
+# Included from tests/CMakeLists.txt.
+
+set(RPCC_BIN $<TARGET_FILE:rpcc-driver>)
+set(PROGS ${CMAKE_SOURCE_DIR}/bench/programs)
+
+add_test(NAME cli_counts
+         COMMAND ${RPCC_BIN} ${PROGS}/allroots.c --counts)
+set_tests_properties(cli_counts PROPERTIES
+  PASS_REGULAR_EXPRESSION "total ops:")
+
+add_test(NAME cli_dump_il
+         COMMAND ${RPCC_BIN} ${PROGS}/allroots.c --dump-il=main)
+set_tests_properties(cli_dump_il PROPERTIES
+  PASS_REGULAR_EXPRESSION "func main")
+
+add_test(NAME cli_dump_cfg
+         COMMAND ${RPCC_BIN} ${PROGS}/allroots.c --dump-cfg=newton)
+set_tests_properties(cli_dump_cfg PROPERTIES
+  PASS_REGULAR_EXPRESSION "digraph")
+
+add_test(NAME cli_stats
+         COMMAND ${RPCC_BIN} ${PROGS}/mlink.c --stats)
+set_tests_properties(cli_stats PROPERTIES
+  PASS_REGULAR_EXPRESSION "promotion:")
+
+add_test(NAME cli_per_function
+         COMMAND ${RPCC_BIN} ${PROGS}/mlink.c --counts --per-function)
+set_tests_properties(cli_per_function PROPERTIES
+  PASS_REGULAR_EXPRESSION "peel_likelihood")
+
+add_test(NAME cli_bad_file COMMAND ${RPCC_BIN} /nonexistent.c)
+set_tests_properties(cli_bad_file PROPERTIES WILL_FAIL TRUE)
+
+add_test(NAME cli_bad_flag COMMAND ${RPCC_BIN} ${PROGS}/allroots.c --bogus)
+set_tests_properties(cli_bad_flag PROPERTIES WILL_FAIL TRUE)

@@ -1,0 +1,153 @@
+//===- tests/ILParserTest.cpp - Textual IL round-trip tests ---------------===//
+
+#include "driver/Compiler.h"
+#include "driver/SuiteRunner.h"
+#include "frontend/Lowering.h"
+#include "interp/Interpreter.h"
+#include "ir/ILParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace rpcc;
+
+namespace {
+
+/// print -> parse -> print must be a fixed point, and the reparsed module
+/// must behave identically.
+void expectRoundTrip(const Module &M) {
+  std::string Text1 = printModule(M);
+  Module M2;
+  std::string Err;
+  ASSERT_TRUE(parseModule(Text1, M2, Err)) << Err << "\n--- text:\n" << Text1;
+  std::string VerifyErr;
+  EXPECT_TRUE(verifyModule(M2, VerifyErr)) << VerifyErr;
+  std::string Text2 = printModule(M2);
+  EXPECT_EQ(Text1, Text2);
+
+  ExecResult R1 = interpret(M);
+  ExecResult R2 = interpret(M2);
+  ASSERT_EQ(R1.Ok, R2.Ok) << R1.Error << " / " << R2.Error;
+  if (R1.Ok) {
+    EXPECT_EQ(R1.ExitCode, R2.ExitCode);
+    EXPECT_EQ(R1.Output, R2.Output);
+    EXPECT_EQ(R1.Counters.Total, R2.Counters.Total);
+    EXPECT_EQ(R1.Counters.Loads, R2.Counters.Loads);
+    EXPECT_EQ(R1.Counters.Stores, R2.Counters.Stores);
+  }
+}
+
+TEST(ILParserTest, SmallProgramRoundTrips) {
+  Module M;
+  std::string Err;
+  ASSERT_TRUE(compileToIL("int g = 41;\n"
+                          "int main() { g = g + 1; return g; }",
+                          M, Err))
+      << Err;
+  expectRoundTrip(M);
+}
+
+TEST(ILParserTest, FloatsHeapAndFunctionPointersRoundTrip) {
+  Module M;
+  std::string Err;
+  ASSERT_TRUE(compileToIL(
+                  "float scale = 2.5;\n"
+                  "int twice(int x) { return x * 2; }\n"
+                  "int thrice(int x) { return x * 3; }\n"
+                  "int (*op)(int);\n"
+                  "int main() { int *p; float f;\n"
+                  "  p = (int*)malloc(16); p[0] = 7; p[1] = 8;\n"
+                  "  op = twice; if (p[0] > 5) op = thrice;\n"
+                  "  f = scale * 0.333333333333333315;\n"
+                  "  return op(p[0]) + p[1] + (int)f; }",
+                  M, Err))
+      << Err;
+  expectRoundTrip(M);
+}
+
+TEST(ILParserTest, OptimizedModulesRoundTrip) {
+  // Round-trip after the full pipeline (promotion, optimization, register
+  // allocation with spill tags).
+  CompilerConfig Cfg;
+  Cfg.NumRegisters = 8; // force spill tags into the picture
+  CompileOutput Out = compileProgram(
+      "int a; int b; int c;\n"
+      "float acc;\n"
+      "int main() { int i;\n"
+      "  for (i = 0; i < 25; i++) { a += i; b += a % 7; c += b % 5;\n"
+      "    acc = acc + (float)a * 0.5; }\n"
+      "  return a + b + c + (int)acc; }",
+      Cfg);
+  ASSERT_TRUE(Out.Ok) << Out.Errors;
+  expectRoundTrip(*Out.M);
+}
+
+class SuiteRoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteRoundTripTest, BenchProgramRoundTrips) {
+  Module M;
+  std::string Err;
+  ASSERT_TRUE(compileToIL(loadBenchProgram(GetParam()), M, Err)) << Err;
+  expectRoundTrip(M);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, SuiteRoundTripTest,
+                         ::testing::ValuesIn(benchProgramNames()),
+                         [](const auto &Info) { return Info.param; });
+
+TEST(ILParserTest, ErrorsCarryLineNumbers) {
+  Module M;
+  std::string Err;
+  EXPECT_FALSE(parseModule("tag g kind=global size=8 val=i64 scalar\n"
+                           "func f() {\n"
+                           "B0:\n"
+                           "  r0 <- BOGUS r1\n"
+                           "}\n",
+                           M, Err));
+  EXPECT_NE(Err.find("line 4"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("BOGUS"), std::string::npos) << Err;
+}
+
+TEST(ILParserTest, UnknownTagRejected) {
+  Module M;
+  std::string Err;
+  EXPECT_FALSE(parseModule("func f() {\nB0:\n  r0 <- SLD [nope]\n}\n", M,
+                           Err));
+  EXPECT_NE(Err.find("SLD"), std::string::npos) << Err;
+}
+
+TEST(ILParserTest, HandWrittenFixture) {
+  // The parser's raison d'être: IL-level test fixtures as text.
+  const char *Text =
+      "tag counter kind=global size=8 val=i64 scalar\n"
+      "global counter\n"
+      "func main() -> i64 {\n"
+      "B0:\n"
+      "  r0 <- LOADI 0\n"
+      "  JMP B1\n"
+      "B1:\n"
+      "  r1 <- SLD [counter]\n"
+      "  r2 <- LOADI 1\n"
+      "  r3 <- ADD r1, r2\n"
+      "  SST [counter] r3\n"
+      "  r4 <- LOADI 1\n"
+      "  r0 <- ADD r0, r4\n"
+      "  r5 <- LOADI 10\n"
+      "  r6 <- CMPLT r0, r5\n"
+      "  BR r6 ? B1 : B2\n"
+      "B2:\n"
+      "  r7 <- SLD [counter]\n"
+      "  RET r7\n"
+      "}\n";
+  Module M;
+  std::string Err;
+  ASSERT_TRUE(parseModule(Text, M, Err)) << Err;
+  ExecResult R = interpret(M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 10);
+  EXPECT_EQ(R.Counters.Loads, 11u);
+  EXPECT_EQ(R.Counters.Stores, 10u);
+}
+
+} // namespace

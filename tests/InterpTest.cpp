@@ -1,0 +1,228 @@
+//===- tests/InterpTest.cpp - Counting interpreter tests ------------------===//
+
+#include "frontend/Lowering.h"
+#include "interp/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace rpcc;
+
+namespace {
+
+ExecResult runSrc(const std::string &Src) {
+  Module M;
+  std::string Err;
+  bool Ok = compileToIL(Src, M, Err);
+  EXPECT_TRUE(Ok) << Err;
+  if (!Ok)
+    return ExecResult{};
+  return interpret(M);
+}
+
+TEST(InterpTest, ReturnsExitCode) {
+  ExecResult R = runSrc("int main() { return 41 + 1; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 42);
+}
+
+TEST(InterpTest, ArithmeticAndLoops) {
+  ExecResult R = runSrc("int main() { int i; int s; s = 0;\n"
+                        "for (i = 1; i <= 100; i++) s += i;\n"
+                        "return s % 1000; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 50); // 5050 % 1000
+}
+
+TEST(InterpTest, GlobalStateAcrossCalls) {
+  ExecResult R = runSrc("int count;\n"
+                        "void bump() { count = count + 1; }\n"
+                        "int main() { int i; for (i = 0; i < 7; i++) bump();\n"
+                        "return count; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 7);
+}
+
+TEST(InterpTest, FloatsAndBuiltins) {
+  ExecResult R = runSrc(
+      "int main() { float x; x = sqrt(16.0) + pow(2.0, 3.0);\n"
+      "print_float(x); return (int)x; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 12);
+  EXPECT_EQ(R.Output, "12.000000");
+}
+
+TEST(InterpTest, PointersAndArrays) {
+  ExecResult R = runSrc(
+      "int A[10];\n"
+      "int sum(int *p, int n) { int i; int s; s = 0;\n"
+      "  for (i = 0; i < n; i++) s += p[i]; return s; }\n"
+      "int main() { int i; for (i = 0; i < 10; i++) A[i] = i * i;\n"
+      "  return sum(A, 10); }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 285);
+}
+
+TEST(InterpTest, MultiDimArrays) {
+  ExecResult R = runSrc(
+      "float A[4][5]; float B[4];\n"
+      "int main() { int i; int j;\n"
+      "  for (i = 0; i < 4; i++) for (j = 0; j < 5; j++) A[i][j] = i + j;\n"
+      "  for (i = 0; i < 4; i++) { B[i] = 0.0;\n"
+      "    for (j = 0; j < 5; j++) B[i] += A[i][j]; }\n"
+      "  return (int)(B[3]); }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 3 + 4 + 5 + 6 + 7);
+}
+
+TEST(InterpTest, MallocAndHeap) {
+  ExecResult R = runSrc(
+      "struct node { int v; struct node *next; };\n"
+      "int main() { int i; int s; struct node *head; struct node *n;\n"
+      "  head = 0;\n"
+      "  for (i = 0; i < 5; i++) {\n"
+      "    n = (struct node*)malloc(sizeof(struct node));\n"
+      "    n->v = i; n->next = head; head = n; }\n"
+      "  s = 0;\n"
+      "  for (n = head; n != 0; n = n->next) s += n->v;\n"
+      "  return s; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 10);
+}
+
+TEST(InterpTest, RecursionWithFrames) {
+  ExecResult R = runSrc("int fib(int n) { if (n < 2) return n;\n"
+                        "return fib(n - 1) + fib(n - 2); }\n"
+                        "int main() { return fib(15); }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 610);
+}
+
+TEST(InterpTest, AddressOfLocalAcrossCalls) {
+  ExecResult R = runSrc("void twice(int *p) { *p = *p * 2; }\n"
+                        "int main() { int x; x = 21; twice(&x); return x; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 42);
+}
+
+TEST(InterpTest, FunctionPointers) {
+  ExecResult R = runSrc(
+      "int add(int a, int b) { return a + b; }\n"
+      "int mul(int a, int b) { return a * b; }\n"
+      "int (*ops[2])(int, int);\n"
+      "int main() { ops[0] = add; ops[1] = mul;\n"
+      "  return ops[0](3, 4) + ops[1](3, 4); }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 19);
+}
+
+TEST(InterpTest, CharBuffersAndStrings) {
+  ExecResult R = runSrc(
+      "char buf[16];\n"
+      "int main() { int i; char c;\n"
+      "  for (i = 0; i < 5; i++) buf[i] = 'a' + i;\n"
+      "  buf[5] = 0; print_str(buf);\n"
+      "  c = buf[1]; return c; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, "abcde");
+  EXPECT_EQ(R.ExitCode, 'b');
+}
+
+TEST(InterpTest, CharWrapsAt256) {
+  ExecResult R = runSrc("int main() { char c; c = 250; c = c + 10;\n"
+                        "return c; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 4); // (250 + 10) & 0xFF
+}
+
+TEST(InterpTest, ShortCircuitSideEffects) {
+  ExecResult R = runSrc(
+      "int calls;\n"
+      "int bump() { calls = calls + 1; return 1; }\n"
+      "int main() { int r; r = 0;\n"
+      "  if (0 && bump()) r = 1;\n"   // bump not called
+      "  if (1 || bump()) r = r + 2;\n" // bump not called
+      "  if (1 && bump()) r = r + 4;\n" // bump called
+      "  return r * 10 + calls; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 61);
+}
+
+TEST(InterpTest, TernaryAndComparisonChains) {
+  ExecResult R = runSrc("int main() { int a; a = 5;\n"
+                        "return a > 3 ? (a < 10 ? 1 : 2) : 3; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 1);
+}
+
+TEST(InterpTest, DoWhileAndBreakContinue) {
+  ExecResult R = runSrc(
+      "int main() { int i; int s; i = 0; s = 0;\n"
+      "  do { i++; if (i == 3) continue; if (i > 6) break; s += i; }\n"
+      "  while (i < 100);\n"
+      "  return s; }"); // 1+2+4+5+6 = 18
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 18);
+}
+
+TEST(InterpTest, CountsLoadsAndStores) {
+  ExecResult R = runSrc("int g;\n"
+                        "int main() { int i;\n"
+                        "  for (i = 0; i < 10; i++) g = g + 1;\n"
+                        "  return g; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // Ten iterations: one SLD + one SST per iteration, plus the final return
+  // load. No other memory traffic exists in this program.
+  EXPECT_EQ(R.Counters.Loads, 11u);
+  EXPECT_EQ(R.Counters.Stores, 10u);
+  EXPECT_GT(R.Counters.Total, R.Counters.Loads + R.Counters.Stores);
+}
+
+TEST(InterpTest, NullDereferenceFaults) {
+  ExecResult R = runSrc("int main() { int *p; p = 0; return *p; }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("null"), std::string::npos) << R.Error;
+}
+
+TEST(InterpTest, DivisionByZeroFaults) {
+  ExecResult R = runSrc("int main() { int z; z = 0; return 5 / z; }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("division"), std::string::npos);
+}
+
+TEST(InterpTest, InfiniteLoopHitsStepLimit) {
+  Module M;
+  std::string Err;
+  ASSERT_TRUE(compileToIL("int main() { while (1) {} return 0; }", M, Err))
+      << Err;
+  InterpOptions Opts;
+  Opts.MaxSteps = 10000;
+  ExecResult R = interpret(M, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+}
+
+TEST(InterpTest, PointerArithmeticScaling) {
+  ExecResult R = runSrc("int A[5];\n"
+                        "int main() { int *p; A[2] = 99; p = A;\n"
+                        "  p = p + 2; return *p; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 99);
+}
+
+TEST(InterpTest, PointerDifference) {
+  ExecResult R = runSrc("int A[10];\n"
+                        "int main() { int *p; int *q; p = &A[2]; q = &A[7];\n"
+                        "  return q - p; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 5);
+}
+
+TEST(InterpTest, GlobalInitializersApplied) {
+  ExecResult R = runSrc("int x = 5;\nint T[4] = {10, 20, 30, 40};\n"
+                        "float f = 0.5;\n"
+                        "int main() { return x + T[2] + (int)(f * 10.0); }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 40);
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+//===- tests/IrTest.cpp - IR construction/printing/verifier tests ---------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace rpcc;
+
+namespace {
+
+TEST(TagTest, Creation) {
+  TagTable T;
+  TagId G = T.createGlobal("g", 8, true, MemType::I64);
+  TagId A = T.createGlobal("A", 80, false, MemType::I64);
+  TagId H = T.createHeap("heap.0");
+  EXPECT_TRUE(T.tag(G).IsScalar);
+  EXPECT_FALSE(T.tag(A).IsScalar);
+  EXPECT_TRUE(T.tag(H).AddressTaken);
+  EXPECT_EQ(T.tag(G).Kind, TagKind::Global);
+  EXPECT_EQ(T.size(), 3u);
+}
+
+TEST(TagSetTest, SortedUnique) {
+  TagSet S;
+  EXPECT_TRUE(S.insert(5));
+  EXPECT_TRUE(S.insert(1));
+  EXPECT_FALSE(S.insert(5));
+  EXPECT_TRUE(S.insert(3));
+  std::vector<TagId> V(S.begin(), S.end());
+  EXPECT_EQ(V, (std::vector<TagId>{1, 3, 5}));
+  EXPECT_TRUE(S.contains(3));
+  EXPECT_FALSE(S.contains(2));
+  EXPECT_EQ(S.singleton(), NoTag);
+  TagSet One{7};
+  EXPECT_EQ(One.singleton(), 7u);
+}
+
+TEST(TagSetTest, UnionWith) {
+  TagSet A{1, 2};
+  TagSet B{2, 3};
+  EXPECT_TRUE(A.unionWith(B));
+  EXPECT_EQ(A.size(), 3u);
+  EXPECT_FALSE(A.unionWith(B));
+}
+
+/// Builds: int f() { return g + g; } with g a global scalar.
+TEST(IRBuilderTest, BuildAndPrint) {
+  Module M;
+  TagId G = M.tags().createGlobal("g", 8, true, MemType::I64);
+  Function *F = M.addFunction("f");
+  F->setReturn(true, RegType::Int);
+  IRBuilder B(M, F);
+  B.setBlock(F->newBlock("entry"));
+  Reg A = B.emitScalarLoad(G);
+  Reg C = B.emitScalarLoad(G);
+  Reg S = B.emitBin(Opcode::Add, A, C, RegType::Int);
+  B.emitRet(S);
+
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(M, *F, Err)) << Err;
+  std::string Text = printFunction(M, *F);
+  EXPECT_NE(Text.find("SLD [g]"), std::string::npos);
+  EXPECT_NE(Text.find("ADD"), std::string::npos);
+  EXPECT_NE(Text.find("RET"), std::string::npos);
+}
+
+TEST(VerifierTest, CatchesMissingTerminator) {
+  Module M;
+  Function *F = M.addFunction("f");
+  F->setReturn(false, RegType::Int);
+  IRBuilder B(M, F);
+  B.setBlock(F->newBlock("entry"));
+  B.emitLoadI(1);
+  std::string Err;
+  EXPECT_FALSE(verifyFunction(M, *F, Err));
+  EXPECT_NE(Err.find("terminator"), std::string::npos);
+}
+
+TEST(VerifierTest, CatchesBadBranchTarget) {
+  Module M;
+  Function *F = M.addFunction("f");
+  IRBuilder B(M, F);
+  B.setBlock(F->newBlock("entry"));
+  Reg C = B.emitLoadI(1);
+  B.emitBr(C, 0, 7); // block 7 does not exist
+  std::string Err;
+  EXPECT_FALSE(verifyFunction(M, *F, Err));
+  EXPECT_NE(Err.find("target"), std::string::npos);
+}
+
+TEST(VerifierTest, CatchesScalarOpOnArrayTag) {
+  Module M;
+  TagId A = M.tags().createGlobal("A", 80, false, MemType::I64);
+  Function *F = M.addFunction("f");
+  BasicBlock *BB = F->newBlock("entry");
+  Instruction I(Opcode::ScalarLoad);
+  I.Tag = A;
+  I.Result = F->newReg(RegType::Int);
+  BB->append(std::move(I));
+  Instruction R(Opcode::Ret);
+  BB->append(std::move(R));
+  std::string Err;
+  EXPECT_FALSE(verifyFunction(M, *F, Err));
+  EXPECT_NE(Err.find("non-scalar"), std::string::npos);
+}
+
+TEST(FunctionTest, RemoveBlocksRemapsTargets) {
+  Module M;
+  Function *F = M.addFunction("f");
+  IRBuilder B(M, F);
+  BasicBlock *B0 = F->newBlock("b0");
+  BasicBlock *B1 = F->newBlock("dead");
+  BasicBlock *B2 = F->newBlock("b2");
+  B.setBlock(B0);
+  B.emitJmp(B2->id());
+  B.setBlock(B1);
+  B.emitRet();
+  B.setBlock(B2);
+  B.emitRet();
+
+  std::vector<bool> Dead = {false, true, false};
+  F->removeBlocks(Dead);
+  ASSERT_EQ(F->numBlocks(), 2u);
+  EXPECT_EQ(F->block(0)->terminator()->Target0, 1u);
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(M, *F, Err)) << Err;
+}
+
+TEST(ModuleTest, BuiltinsDeclared) {
+  Module M;
+  M.declareBuiltins();
+  FuncId Malloc = M.lookup("malloc");
+  ASSERT_NE(Malloc, NoFunc);
+  EXPECT_TRUE(M.function(Malloc)->isBuiltin());
+  EXPECT_TRUE(M.function(Malloc)->returnsValue());
+  EXPECT_NE(M.lookup("pow"), NoFunc);
+  EXPECT_EQ(M.function(M.lookup("pow"))->paramRegs().size(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,284 @@
+//===- tests/PipelineTest.cpp - End-to-end and property tests -------------===//
+//
+// Differential testing: every program must produce identical output and
+// exit code across all pipeline configurations — the optimizer and promoter
+// may only change operation counts, never observable behavior.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "driver/SuiteRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+using namespace rpcc;
+
+namespace {
+
+/// All eight interesting configurations.
+std::vector<CompilerConfig> allConfigs() {
+  std::vector<CompilerConfig> Out;
+  for (int A = 0; A != 2; ++A)
+    for (int P = 0; P != 2; ++P)
+      for (int PP = 0; PP != 2; ++PP) {
+        CompilerConfig C;
+        C.Analysis = A ? AnalysisKind::PointsTo : AnalysisKind::ModRef;
+        C.ScalarPromotion = P;
+        C.PointerPromotion = PP;
+        Out.push_back(C);
+      }
+  // Plus a no-opt baseline.
+  CompilerConfig Base;
+  Base.ScalarPromotion = false;
+  Base.EnableOpts = false;
+  Base.RegisterAllocation = false;
+  Out.push_back(Base);
+  return Out;
+}
+
+/// Runs \p Src through every configuration and checks observable equality.
+void expectAllConfigsAgree(const std::string &Src) {
+  ExecResult Ref;
+  bool HaveRef = false;
+  InterpOptions IOpts;
+  IOpts.MaxSteps = 50 * 1000 * 1000; // generated programs are small
+  for (const CompilerConfig &Cfg : allConfigs()) {
+    ExecResult R = compileAndRun(Src, Cfg, IOpts);
+    ASSERT_TRUE(R.Ok) << R.Error << "\nsource:\n" << Src;
+    if (!HaveRef) {
+      Ref = R;
+      HaveRef = true;
+      continue;
+    }
+    EXPECT_EQ(R.ExitCode, Ref.ExitCode) << "source:\n" << Src;
+    EXPECT_EQ(R.Output, Ref.Output) << "source:\n" << Src;
+  }
+}
+
+TEST(PipelineTest, MixedWorkloadAgreesAcrossConfigs) {
+  expectAllConfigsAgree(
+      "int hist[16]; int total; float mean;\n"
+      "int hash(int x) { return (x * 2654435761) % 16; }\n"
+      "void record(int x) { int h; h = hash(x); if (h < 0) h = -h;\n"
+      "  hist[h] = hist[h] + 1; total = total + 1; }\n"
+      "int main() { int i; int s;\n"
+      "  for (i = 0; i < 500; i++) record(i * 7 + 3);\n"
+      "  s = 0;\n"
+      "  for (i = 0; i < 16; i++) s = s + hist[i] * i;\n"
+      "  mean = (float)s / (float)total;\n"
+      "  print_int(s); print_char('\\n'); print_float(mean);\n"
+      "  return total % 256; }");
+}
+
+TEST(PipelineTest, LinkedListWorkloadAgrees) {
+  expectAllConfigsAgree(
+      "struct node { int v; struct node *next; };\n"
+      "struct node *head;\n"
+      "int count;\n"
+      "void push(int v) { struct node *n;\n"
+      "  n = (struct node*)malloc(sizeof(struct node));\n"
+      "  n->v = v; n->next = head; head = n; count = count + 1; }\n"
+      "int main() { int i; int s; struct node *p;\n"
+      "  for (i = 0; i < 40; i++) push(i * i % 23);\n"
+      "  s = 0;\n"
+      "  for (p = head; p != 0; p = p->next) s = s + p->v;\n"
+      "  print_int(s);\n"
+      "  return count; }");
+}
+
+TEST(PipelineTest, StringProcessingAgrees) {
+  expectAllConfigsAgree(
+      "char buf[128]; int nvowel;\n"
+      "int isvowel(int c) {\n"
+      "  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u'; }\n"
+      "int main() { int i; int len; char c;\n"
+      "  len = 0;\n"
+      "  for (i = 0; i < 120; i++) {\n"
+      "    c = 'a' + (i * 13 % 26);\n"
+      "    buf[len] = c; len = len + 1;\n"
+      "    if (isvowel(c)) nvowel = nvowel + 1;\n"
+      "  }\n"
+      "  buf[len] = 0;\n"
+      "  return nvowel; }");
+}
+
+// ---------------------------------------------------------------------------
+// Property-based differential testing with generated programs.
+// ---------------------------------------------------------------------------
+
+/// Generates random-but-well-defined MiniC programs: global and local
+/// integer scalars and a global array, nested loops with bounded trip
+/// counts, conditionals, helper calls, and pointer traffic through &globals.
+/// All variables are initialized before use and all arithmetic avoids
+/// division (no fault paths), so every configuration must agree exactly.
+class ProgramGenerator {
+public:
+  explicit ProgramGenerator(uint64_t Seed) : Rng(Seed) {}
+
+  std::string generate() {
+    Out.str("");
+    NextVar = 0;
+    Out << "int g0; int g1; int g2; int g3;\n";
+    Out << "int arr[32];\n";
+    Out << "int helper(int a, int b) { g" << pick(4)
+        << " = g" << pick(4) << " + a; return a * 3 - b + g" << pick(4)
+        << "; }\n";
+    Out << "void writer(int *p, int v) { *p = *p + v; }\n";
+    Out << "int main() {\n";
+    // Locals, all initialized.
+    for (int I = 0; I != 4; ++I)
+      Out << "  int v" << I << "; v" << I << " = " << pick(50) << ";\n";
+    Out << "  int i0; int i1; int i2;\n";
+    stmtList(2, 4);
+    Out << "  return (g0 + g1 * 3 + g2 * 5 + g3 * 7 + v0 + v1 + v2 + v3"
+        << " + arr[3] + arr[17]) % 251;\n";
+    Out << "}\n";
+    return Out.str();
+  }
+
+private:
+  unsigned pick(unsigned N) { return static_cast<unsigned>(Rng() % N); }
+
+  std::string rvalue() {
+    switch (pick(6)) {
+    case 0:
+      return "g" + std::to_string(pick(4));
+    case 1:
+      return "v" + std::to_string(pick(4));
+    case 2:
+      return std::to_string(pick(100));
+    case 3:
+      return "arr[" + std::to_string(pick(32)) + "]";
+    case 4:
+      return "(g" + std::to_string(pick(4)) + " + v" +
+             std::to_string(pick(4)) + ")";
+    default:
+      return "(v" + std::to_string(pick(4)) + " * " +
+             std::to_string(1 + pick(5)) + ")";
+    }
+  }
+
+  std::string lvalue() {
+    switch (pick(3)) {
+    case 0:
+      return "g" + std::to_string(pick(4));
+    case 1:
+      return "v" + std::to_string(pick(4));
+    default:
+      return "arr[" + std::to_string(pick(32)) + "]";
+    }
+  }
+
+  void stmt(int Depth) {
+    switch (pick(Depth > 0 ? 7 : 4)) {
+    case 0:
+      Out << "  " << lvalue() << " = " << rvalue() << " + " << rvalue()
+          << ";\n";
+      return;
+    case 1:
+      Out << "  " << lvalue() << " += " << rvalue() << ";\n";
+      return;
+    case 2:
+      Out << "  v" << pick(4) << " = helper(" << rvalue() << ", " << rvalue()
+          << ");\n";
+      return;
+    case 3:
+      Out << "  writer(&g" << pick(4) << ", " << rvalue() << ");\n";
+      return;
+    case 4: { // if
+      Out << "  if (" << rvalue() << " > " << rvalue() << ") {\n";
+      stmtList(Depth - 1, 2);
+      if (pick(2)) {
+        Out << "  } else {\n";
+        stmtList(Depth - 1, 2);
+      }
+      Out << "  }\n";
+      return;
+    }
+    case 5: { // bounded for loop; induction variable chosen by nesting
+      std::string IV = "i" + std::to_string(LoopDepth);
+      unsigned Trip = 1 + pick(12);
+      Out << "  for (" << IV << " = 0; " << IV << " < " << Trip << "; " << IV
+          << "++) {\n";
+      ++LoopDepth;
+      stmtList(Depth - 1, 2);
+      --LoopDepth;
+      Out << "  }\n";
+      return;
+    }
+    default: { // array sweep
+      std::string IV = "i" + std::to_string(LoopDepth);
+      Out << "  for (" << IV << " = 0; " << IV << " < 32; " << IV
+          << "++) arr[" << IV << "] = arr[" << IV << "] + " << rvalue()
+          << ";\n";
+      return;
+    }
+    }
+  }
+
+  void stmtList(int Depth, int Max) {
+    int N = 1 + static_cast<int>(pick(static_cast<unsigned>(Max)));
+    for (int I = 0; I != N; ++I)
+      stmt(Depth);
+  }
+
+  std::mt19937_64 Rng;
+  std::ostringstream Out;
+  int NextVar = 0;
+  int LoopDepth = 0;
+};
+
+class RandomProgramTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramTest, AllConfigsAgree) {
+  ProgramGenerator Gen(GetParam());
+  std::string Src = Gen.generate();
+  expectAllConfigsAgree(Src);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         ::testing::Range(uint64_t(1), uint64_t(33)));
+
+// ---------------------------------------------------------------------------
+// SuiteRunner plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(SuiteRunnerTest, FourConfigMatrix) {
+  const char *Src = "int g;\n"
+                    "int main() { int i;\n"
+                    "  for (i = 0; i < 200; i++) g = g + 2;\n"
+                    "  return g % 100; }";
+  ProgramResults PR = runAllConfigs("toy", Src);
+  for (int A = 0; A != 2; ++A)
+    for (int P = 0; P != 2; ++P) {
+      ASSERT_TRUE(PR.R[A][P].Ok) << PR.R[A][P].Error;
+      EXPECT_EQ(PR.R[A][P].Output, PR.R[0][0].Output);
+    }
+  // Promotion removes the in-loop loads/stores of g under both analyses.
+  EXPECT_LT(PR.R[0][1].Stores, PR.R[0][0].Stores);
+  EXPECT_LT(PR.R[1][1].Stores, PR.R[1][0].Stores);
+
+  std::string Table =
+      formatPaperTable({PR}, Metric::Stores);
+  EXPECT_NE(Table.find("toy"), std::string::npos);
+  EXPECT_NE(Table.find("modref"), std::string::npos);
+  EXPECT_NE(Table.find("pointer"), std::string::npos);
+}
+
+TEST(SuiteRunnerTest, TableFormatsPercentages) {
+  ProgramResults PR;
+  PR.Name = "demo";
+  for (int A = 0; A != 2; ++A) {
+    PR.R[A][0].Ok = PR.R[A][1].Ok = true;
+    PR.R[A][0].Stores = 1000;
+    PR.R[A][1].Stores = 900;
+  }
+  std::string T = formatPaperTable({PR}, Metric::Stores);
+  EXPECT_NE(T.find("10.00"), std::string::npos);
+  EXPECT_NE(T.find("1,000"), std::string::npos);
+}
+
+} // namespace

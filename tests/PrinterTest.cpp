@@ -1,0 +1,121 @@
+//===- tests/PrinterTest.cpp - IL printing and CFG dot tests --------------===//
+
+#include "frontend/Lowering.h"
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace rpcc;
+
+namespace {
+
+std::unique_ptr<Module> compileSrc(const std::string &Src) {
+  auto M = std::make_unique<Module>();
+  std::string Err;
+  EXPECT_TRUE(compileToIL(Src, *M, Err)) << Err;
+  return M;
+}
+
+TEST(PrinterTest, InstructionForms) {
+  Module M;
+  TagId G = M.tags().createGlobal("g", 8, true, MemType::I64);
+  TagId A = M.tags().createGlobal("A", 80, false, MemType::I64);
+  M.tags().tag(A).AddressTaken = true;
+  M.declareBuiltins();
+  Function *F = M.addFunction("f");
+  F->setReturn(true, RegType::Int);
+  IRBuilder B(M, F);
+  B.setBlock(F->newBlock("entry"));
+
+  Reg I5 = B.emitLoadI(5);
+  EXPECT_EQ(printInst(M, *F, *F->entry()->insts().back()), "r0 <- LOADI 5");
+
+  Reg D = B.emitLoadF(2.5);
+  EXPECT_NE(printInst(M, *F, *F->entry()->insts().back()).find("LOADF 2.5"),
+            std::string::npos);
+
+  B.emitScalarStore(G, I5);
+  EXPECT_EQ(printInst(M, *F, *F->entry()->insts().back()), "SST [g] r0");
+
+  Reg Addr = B.emitLoadAddr(A, 16);
+  EXPECT_EQ(printInst(M, *F, *F->entry()->insts().back()),
+            "r2 <- LDA [A]+16");
+
+  Reg L = B.emitLoad(Addr, MemType::I64, TagSet{A});
+  EXPECT_EQ(printInst(M, *F, *F->entry()->insts().back()),
+            "r3 <- PLD.i64 [r2] {A}");
+
+  // Tag sets render in tag-id order: g was created before A.
+  B.emitStore(Addr, L, MemType::I8, TagSet{A, G});
+  EXPECT_EQ(printInst(M, *F, *F->entry()->insts().back()),
+            "PST.i8 [r2] r3 {g,A}");
+
+  Function *Callee = M.function(M.lookup("print_int"));
+  B.emitCall(Callee, {I5});
+  EXPECT_NE(printInst(M, *F, *F->entry()->insts().back())
+                .find("JSR print_int(r0)"),
+            std::string::npos);
+
+  (void)D;
+  B.emitRet(I5);
+  EXPECT_EQ(printInst(M, *F, *F->entry()->insts().back()), "RET r0");
+}
+
+TEST(PrinterTest, ModulePrintIncludesTagsAndFunctions) {
+  auto M = compileSrc("int g = 2;\nint main() { return g; }");
+  std::string Text = printModule(*M);
+  EXPECT_NE(Text.find("tag g kind=global size=8 val=i64 scalar"),
+            std::string::npos)
+      << Text;
+  // The initializer bytes survive printing (2 little-endian).
+  EXPECT_NE(Text.find("global g init=0200000000000000"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("func main()"), std::string::npos);
+  // Builtins are not printed.
+  EXPECT_EQ(Text.find("func malloc"), std::string::npos);
+}
+
+TEST(PrinterTest, DotOutputIsWellFormed) {
+  auto M = compileSrc("int main() { int i; int s; s = 0;\n"
+                      "  for (i = 0; i < 4; i++) { if (i % 2) s += i; }\n"
+                      "  return s; }");
+  const Function *F = M->function(M->lookup("main"));
+  std::string Dot = printCfgDot(*M, *F);
+  EXPECT_EQ(Dot.find("digraph"), 0u);
+  EXPECT_NE(Dot.find("B0 ["), std::string::npos);
+  // Conditional branches get labeled edges.
+  EXPECT_NE(Dot.find("label=\"T\""), std::string::npos);
+  EXPECT_NE(Dot.find("label=\"F\""), std::string::npos);
+  // Balanced braces: exactly one digraph opener and a closing brace at end.
+  EXPECT_EQ(Dot.back(), '\n');
+  EXPECT_EQ(Dot[Dot.size() - 2], '}');
+  // Every block appears as a node.
+  for (const auto &B : F->blocks())
+    EXPECT_NE(Dot.find("B" + std::to_string(B->id()) + " ["),
+              std::string::npos);
+}
+
+TEST(PrinterTest, PerFunctionCountersAttributeTraffic) {
+  // The paper's mlink observation in miniature: the hot callee owns the
+  // loads, not main.
+  auto M = compileSrc("int g;\n"
+                      "void hot() { int i;\n"
+                      "  for (i = 0; i < 100; i++) g = g + 1; }\n"
+                      "int main() { hot(); return g % 100; }");
+  ExecResult R = interpret(*M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  FuncId Hot = M->lookup("hot");
+  FuncId Main = M->lookup("main");
+  ASSERT_LT(Hot, R.PerFunction.size());
+  EXPECT_GT(R.PerFunction[Hot].Loads, 90u);
+  EXPECT_LT(R.PerFunction[Main].Loads, 10u);
+  // Per-function totals sum to the global total.
+  uint64_t Sum = 0;
+  for (const auto &FC : R.PerFunction)
+    Sum += FC.Total;
+  EXPECT_EQ(Sum, R.Counters.Total);
+}
+
+} // namespace

@@ -1,0 +1,375 @@
+//===- tests/PromoteTest.cpp - Register promotion tests -------------------===//
+
+#include "alias/ModRef.h"
+#include "analysis/Cfg.h"
+#include "analysis/CfgNormalize.h"
+#include "driver/Compiler.h"
+#include "frontend/Lowering.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "promote/PointerPromotion.h"
+#include "promote/ScalarPromotion.h"
+
+#include <gtest/gtest.h>
+
+using namespace rpcc;
+
+namespace {
+
+/// Hand-built replica of the paper's Figure 2: a triply nested loop where
+///   * tag C is explicit in the outer loop and never ambiguous,
+///   * tag A is explicit in the inner loops but ambiguous in the outer loop
+///     (a JSR there references it), and
+///   * tag B is stored explicitly in the middle loop but also referenced
+///     ambiguously there by a JSR.
+/// Expected: L_PROMOTABLE(inner) = {A}, L_PROMOTABLE(middle) = {A},
+/// L_PROMOTABLE(outer) = {C}; L_LIFT(inner) = {}, L_LIFT(middle) = {A},
+/// L_LIFT(outer) = {C}.
+struct Figure2 {
+  Module M;
+  Function *F = nullptr;
+  TagId A, B, C, Z;
+  BlockId Pads[2];  // B0 (outer pad), B2 (middle pad)
+  BlockId Exits[2]; // B8 (middle exit), B9 (outer exit)
+
+  Figure2() {
+    A = M.tags().createGlobal("A", 8, true, MemType::I64);
+    B = M.tags().createGlobal("B", 8, true, MemType::I64);
+    C = M.tags().createGlobal("C", 8, true, MemType::I64);
+    Z = M.tags().createGlobal("Z", 8, true, MemType::I64);
+    for (TagId T : {A, B, C, Z})
+      M.tags().tag(T).AddressTaken = true;
+
+    Function *Foo = M.addFunction("foo"); // JSR in B1, refs {A}
+    {
+      IRBuilder FB(M, Foo);
+      FB.setBlock(Foo->newBlock("entry"));
+      FB.emitRet();
+    }
+    Function *Bar = M.addFunction("bar"); // JSR in B4, refs {B}
+    {
+      IRBuilder FB(M, Bar);
+      FB.setBlock(Bar->newBlock("entry"));
+      FB.emitRet();
+    }
+
+    F = M.addFunction("fig2");
+    IRBuilder Bld(M, F);
+    BasicBlock *B0 = F->newBlock("B0-outer-pad");
+    BasicBlock *B1 = F->newBlock("B1-outer-header");
+    BasicBlock *B2 = F->newBlock("B2-middle-pad");
+    BasicBlock *B3 = F->newBlock("B3-middle-header");
+    BasicBlock *B4 = F->newBlock("B4-inner-pad");
+    BasicBlock *B5 = F->newBlock("B5-inner-header");
+    BasicBlock *B6 = F->newBlock("B6-inner-latch");
+    BasicBlock *B7 = F->newBlock("B7-inner-exit");
+    BasicBlock *B8 = F->newBlock("B8-middle-exit");
+    BasicBlock *B9 = F->newBlock("B9-outer-exit");
+    Pads[0] = B0->id();
+    Pads[1] = B2->id();
+    Exits[0] = B8->id();
+    Exits[1] = B9->id();
+
+    Bld.setBlock(B0);
+    Bld.emitJmp(B1->id());
+
+    Bld.setBlock(B1); // SST [C]; JSR foo ref{A}; loop test
+    Reg R0 = Bld.emitLoadI(42);
+    Bld.emitScalarStore(C, R0);
+    Bld.emitCall(Foo, {});
+    B1->insts().back()->Refs.insert(A);
+    Reg C1 = Bld.emitLoadI(1);
+    Bld.emitBr(C1, B2->id(), B9->id());
+
+    Bld.setBlock(B2);
+    Bld.emitJmp(B3->id());
+
+    Bld.setBlock(B3); // SST [B] r2 — explicit, like the figure's "SST [B] r2"
+    Reg V = Bld.emitLoadI(7);
+    Bld.emitScalarStore(B, V);
+    Reg C2 = Bld.emitLoadI(1);
+    Bld.emitBr(C2, B4->id(), B8->id());
+
+    Bld.setBlock(B4); // JSR bar ref{B}
+    Bld.emitCall(Bar, {});
+    B4->insts().back()->Refs.insert(B);
+    Bld.emitJmp(B5->id());
+
+    Bld.setBlock(B5); // SLD [A]
+    Bld.emitScalarLoad(A);
+    Reg C3 = Bld.emitLoadI(1);
+    Bld.emitBr(C3, B6->id(), B7->id());
+
+    Bld.setBlock(B6);
+    Bld.emitJmp(B5->id());
+
+    Bld.setBlock(B7); // SST [A], latches the middle loop
+    Reg R4 = Bld.emitLoadI(9);
+    Bld.emitScalarStore(A, R4);
+    Bld.emitJmp(B3->id());
+
+    Bld.setBlock(B8);
+    Bld.emitJmp(B1->id());
+
+    Bld.setBlock(B9);
+    Bld.emitRet();
+
+    recomputeCfg(*F);
+  }
+};
+
+TEST(Figure2Test, EquationSetsMatchPaper) {
+  Figure2 Fig;
+  auto Infos = analyzeScalarPromotion(Fig.M, *Fig.F);
+  ASSERT_EQ(Infos.size(), 3u);
+
+  auto ByDepth = [&](unsigned D) -> const LoopPromotionInfo & {
+    for (const auto &I : Infos)
+      if (I.Depth == D)
+        return I;
+    static LoopPromotionInfo Dummy;
+    return Dummy;
+  };
+  const auto &Outer = ByDepth(1);
+  const auto &Middle = ByDepth(2);
+  const auto &Inner = ByDepth(3);
+
+  EXPECT_EQ(Inner.Promotable, (TagSet{Fig.A}));
+  EXPECT_EQ(Middle.Promotable, (TagSet{Fig.A}));
+  EXPECT_EQ(Outer.Promotable, (TagSet{Fig.C}));
+
+  EXPECT_TRUE(Inner.Lift.empty())
+      << "A lifts at the middle loop, not the inner one";
+  EXPECT_EQ(Middle.Lift, (TagSet{Fig.A}));
+  EXPECT_EQ(Outer.Lift, (TagSet{Fig.C}));
+
+  // B is explicit in the middle loop but ambiguous there too.
+  EXPECT_TRUE(Middle.Explicit.contains(Fig.B));
+  EXPECT_TRUE(Middle.Ambiguous.contains(Fig.B));
+  EXPECT_FALSE(Middle.Promotable.contains(Fig.B));
+}
+
+TEST(Figure2Test, RewritePlacesLoadsAndStoresLikeThePaper) {
+  Figure2 Fig;
+  PromotionStats S = promoteScalarsInFunction(Fig.M, *Fig.F);
+  EXPECT_EQ(S.PromotedTags, 2u);
+
+  auto CountIn = [&](BlockId B, Opcode Op, TagId T) {
+    unsigned N = 0;
+    for (const auto &IP : Fig.F->block(B)->insts())
+      if (IP->Op == Op && IP->Tag == T)
+        ++N;
+    return N;
+  };
+  // "it inserts a scalar load of C into rc in loop B1's landing pad (B0)
+  //  and a scalar store into loop B1's exit block (B9)".
+  EXPECT_EQ(CountIn(Fig.Pads[0], Opcode::ScalarLoad, Fig.C), 1u);
+  EXPECT_EQ(CountIn(Fig.Exits[1], Opcode::ScalarStore, Fig.C), 1u);
+  // "To promote A, it inserts a scalar load of A into ra in loop B3's
+  //  landing pad (B2), and a scalar store into loop B3's exit block (B8)".
+  EXPECT_EQ(CountIn(Fig.Pads[1], Opcode::ScalarLoad, Fig.A), 1u);
+  EXPECT_EQ(CountIn(Fig.Exits[0], Opcode::ScalarStore, Fig.A), 1u);
+
+  // The in-loop references became copies.
+  for (const auto &BB : Fig.F->blocks())
+    for (const auto &IP : BB->insts()) {
+      if (IP->Op == Opcode::ScalarLoad || IP->Op == Opcode::ScalarStore) {
+        bool IsInserted =
+            (BB->id() == Fig.Pads[0] || BB->id() == Fig.Pads[1] ||
+             BB->id() == Fig.Exits[0] || BB->id() == Fig.Exits[1]);
+        EXPECT_TRUE(IsInserted || IP->Tag == Fig.B)
+            << "unexpected residual memory op in block " << BB->id();
+      }
+    }
+
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(Fig.M, *Fig.F, Err)) << Err;
+}
+
+// ---------------------------------------------------------------------------
+// Source-level promotion behavior through the full pipeline.
+// ---------------------------------------------------------------------------
+
+ExecResult runCfg(const std::string &Src, bool Promote,
+                  AnalysisKind A = AnalysisKind::ModRef,
+                  bool PtrPromo = false) {
+  CompilerConfig Cfg;
+  Cfg.Analysis = A;
+  Cfg.ScalarPromotion = Promote;
+  Cfg.PointerPromotion = PtrPromo;
+  ExecResult R = compileAndRun(Src, Cfg);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R;
+}
+
+TEST(PromotionPipelineTest, GlobalCounterLoop) {
+  const char *Src = "int g;\n"
+                    "int main() { int i;\n"
+                    "  for (i = 0; i < 1000; i++) g = g + 1;\n"
+                    "  return g % 256; }";
+  ExecResult Off = runCfg(Src, false);
+  ExecResult On = runCfg(Src, true);
+  EXPECT_EQ(Off.ExitCode, On.ExitCode);
+  EXPECT_EQ(Off.ExitCode, 1000 % 256);
+  // Promotion turns ~1000 loads + 1000 stores into 1 + 1.
+  EXPECT_GT(Off.Counters.Stores, 900u);
+  EXPECT_LT(On.Counters.Stores, 20u);
+  EXPECT_LT(On.Counters.Loads, 20u);
+  EXPECT_LT(On.Counters.Total, Off.Counters.Total);
+}
+
+TEST(PromotionPipelineTest, CallInLoopBlocksPromotion) {
+  const char *Src = "int g;\n"
+                    "void touch() { g = g + 1; }\n"
+                    "int main() { int i;\n"
+                    "  for (i = 0; i < 100; i++) { g = g + 1; touch(); }\n"
+                    "  return g % 256; }";
+  ExecResult Off = runCfg(Src, false);
+  ExecResult On = runCfg(Src, true);
+  EXPECT_EQ(Off.ExitCode, On.ExitCode);
+  EXPECT_EQ(Off.ExitCode, 200 % 256);
+  // g is ambiguous in the loop (the call mods it): no promotion there, so
+  // stores stay within a small factor.
+  EXPECT_GT(On.Counters.Stores + 20, Off.Counters.Stores);
+}
+
+TEST(PromotionPipelineTest, PointerWritesBlockUnderModRefOnly) {
+  // A loop that writes through a pointer parameter: with MOD/REF only, the
+  // pointer may alias g, blocking promotion of g. Points-to proves
+  // otherwise, enabling it — the paper's precision comparison in miniature.
+  const char *Src =
+      "int g; int buf[64];\n"
+      "void fill(int *p, int n) { int i;\n"
+      "  for (i = 0; i < n; i++) { p[i] = i; g = g + 1; } }\n"
+      "int probe() { return (int)(&g != 0); }\n"
+      "int main() { fill(buf, 64); return g + probe(); }";
+  ExecResult MR1 = runCfg(Src, true, AnalysisKind::ModRef);
+  ExecResult PT1 = runCfg(Src, true, AnalysisKind::PointsTo);
+  EXPECT_EQ(MR1.ExitCode, PT1.ExitCode);
+  // Points-to promotes g in fill's loop; modref cannot.
+  EXPECT_LT(PT1.Counters.Stores, MR1.Counters.Stores);
+}
+
+TEST(PromotionPipelineTest, SemanticsPreservedWithAliasedAccess) {
+  // x is accessed both directly and through a may-alias pointer inside the
+  // loop: promotion must not fire, and results must stay correct.
+  const char *Src =
+      "int x; int y;\n"
+      "int main() { int i; int *p; int s;\n"
+      "  if (y > 0) p = &x; else p = &y;\n"
+      "  s = 0;\n"
+      "  for (i = 0; i < 10; i++) { x = x + 1; *p = *p + 2; }\n"
+      "  return x * 100 + y; }";
+  ExecResult Off = runCfg(Src, false, AnalysisKind::PointsTo);
+  ExecResult On = runCfg(Src, true, AnalysisKind::PointsTo);
+  EXPECT_EQ(Off.ExitCode, On.ExitCode);
+  // y starts 0 -> p = &y; x += 1 ten times; y += 2 ten times.
+  EXPECT_EQ(On.ExitCode, 10 * 100 + 20);
+}
+
+TEST(PromotionPipelineTest, DhrystoneStyleSingleIterationLoopStillCorrect) {
+  // The paper: "in dhrystone, values were promoted in a loop that always
+  // executed once" — a mild pessimization, never an error.
+  const char *Src = "int g;\n"
+                    "int main() { int i;\n"
+                    "  for (i = 0; i < 1; i++) g = g + 5;\n"
+                    "  return g; }";
+  ExecResult Off = runCfg(Src, false);
+  ExecResult On = runCfg(Src, true);
+  EXPECT_EQ(Off.ExitCode, 5);
+  EXPECT_EQ(On.ExitCode, 5);
+}
+
+TEST(PromotionOptionsTest, StoreOnlyIfModifiedSkipsReadOnlyLoops) {
+  const char *Src = "int g = 3;\n"
+                    "int main() { int i; int s; s = 0;\n"
+                    "  for (i = 0; i < 50; i++) s = s + g;\n"
+                    "  return s; }";
+  Module M;
+  std::string Err;
+  ASSERT_TRUE(compileToIL(Src, M, Err)) << Err;
+  Function *Main = M.function(M.lookup("main"));
+  normalizeLoops(*Main);
+  runModRef(M);
+
+  PromotionOptions Opts;
+  Opts.StoreOnlyIfModified = true;
+  PromotionStats S = promoteScalarsInFunction(M, *Main, Opts);
+  EXPECT_EQ(S.PromotedTags, 1u);
+  EXPECT_EQ(S.StoresInserted, 0u) << "read-only loop needs no demotion";
+}
+
+TEST(PromotionOptionsTest, ThrottleLimitsPerLoop) {
+  const char *Src = "int a; int b; int c; int d;\n"
+                    "int main() { int i;\n"
+                    "  for (i = 0; i < 9; i++) {\n"
+                    "    a = a + 1; b = b + 1; c = c + 1; d = d + 1; }\n"
+                    "  return a + b + c + d; }";
+  Module M;
+  std::string Err;
+  ASSERT_TRUE(compileToIL(Src, M, Err)) << Err;
+  Function *Main = M.function(M.lookup("main"));
+  normalizeLoops(*Main);
+  runModRef(M);
+
+  PromotionOptions Opts;
+  Opts.MaxPromotedPerLoop = 2;
+  PromotionStats S = promoteScalarsInFunction(M, *Main, Opts);
+  EXPECT_EQ(S.PromotedTags, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// §3.3 pointer-based promotion (Figure 3).
+// ---------------------------------------------------------------------------
+
+TEST(PointerPromotionTest, Figure3RowSum) {
+  // for (i...) for (j...) B[i] += A[i][j];  — B[i] has an invariant address
+  // in the inner loop and must be promoted to a register there.
+  const char *Src =
+      "float A[8][16]; float B[8];\n"
+      "int main() { int i; int j;\n"
+      "  for (i = 0; i < 8; i++)\n"
+      "    for (j = 0; j < 16; j++)\n"
+      "      B[i] = B[i] + A[i][j];\n"
+      "  return (int)B[7]; }";
+  ExecResult ScalarOnly = runCfg(Src, true, AnalysisKind::PointsTo, false);
+  ExecResult WithPtr = runCfg(Src, true, AnalysisKind::PointsTo, true);
+  ASSERT_TRUE(ScalarOnly.Ok && WithPtr.Ok);
+  EXPECT_EQ(ScalarOnly.ExitCode, WithPtr.ExitCode);
+  // Pointer promotion removes the per-inner-iteration load+store of B[i]:
+  // roughly 8*16 of each.
+  EXPECT_LT(WithPtr.Counters.Stores + 100, ScalarOnly.Counters.Stores);
+  EXPECT_LT(WithPtr.Counters.Loads + 100, ScalarOnly.Counters.Loads);
+}
+
+TEST(PointerPromotionTest, AliasedAccessBlocksIt) {
+  // Both B[i] and B[k] are live in the inner loop through different
+  // addresses of the same tag: the group must be disqualified.
+  const char *Src =
+      "int B[8];\n"
+      "int main() { int i; int j; int k;\n"
+      "  for (i = 0; i < 8; i++) {\n"
+      "    k = 7 - i;\n"
+      "    for (j = 0; j < 4; j++) { B[i] = B[i] + 1; B[k] = B[k] + 2; }\n"
+      "  }\n"
+      "  return B[0] + B[3] * 10; }";
+  ExecResult Off = runCfg(Src, true, AnalysisKind::PointsTo, false);
+  ExecResult On = runCfg(Src, true, AnalysisKind::PointsTo, true);
+  EXPECT_EQ(Off.ExitCode, On.ExitCode);
+}
+
+TEST(PointerPromotionTest, CallInLoopBlocksIt) {
+  const char *Src =
+      "int B[8]; int total;\n"
+      "void spy() { total = total + B[3]; }\n"
+      "int main() { int i; int j;\n"
+      "  for (i = 0; i < 8; i++)\n"
+      "    for (j = 0; j < 4; j++) { B[i] = B[i] + 1; spy(); }\n"
+      "  return B[3] + total % 97; }";
+  ExecResult Off = runCfg(Src, true, AnalysisKind::PointsTo, false);
+  ExecResult On = runCfg(Src, true, AnalysisKind::PointsTo, true);
+  EXPECT_EQ(Off.ExitCode, On.ExitCode);
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+//===- tests/PropertyTest.cpp - Invariants of the promotion equations -----===//
+//
+// Property-based checks of Figure 1's algebra over randomly generated
+// loop-nest programs:
+//
+//   P1  L_PROMOTABLE(l) = L_EXPLICIT(l) \ L_AMBIGUOUS(l)  (definition)
+//   P2  L_LIFT(l) ⊆ L_PROMOTABLE(l)
+//   P3  nesting monotonicity: inner EXPLICIT/AMBIGUOUS ⊆ outer
+//   P4  a tag lifts at most once along any root-to-leaf loop chain, and
+//       if it is promotable anywhere it lifts exactly once on that chain
+//   P5  promoting never changes observable behavior, and every remaining
+//       scalar access to a promoted tag lies outside the lifting loop
+//
+//===----------------------------------------------------------------------===//
+
+#include "alias/ModRef.h"
+#include "analysis/CfgNormalize.h"
+#include "analysis/LoopInfo.h"
+#include "driver/Compiler.h"
+#include "frontend/Lowering.h"
+#include "promote/ScalarPromotion.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+using namespace rpcc;
+
+namespace {
+
+/// Generates structured loop nests over a handful of globals, with calls
+/// and pointer stores sprinkled in to create ambiguity.
+class NestGenerator {
+public:
+  explicit NestGenerator(uint64_t Seed) : Rng(Seed) {}
+
+  std::string generate() {
+    Out.str("");
+    Out << "int a; int b; int c; int d; int e;\n";
+    Out << "int sink;\n";
+    Out << "void touch_a() { a = a + 1; }\n";
+    Out << "void touch_bc() { b = b + c; }\n";
+    Out << "void store_through(int *p) { *p = *p + 1; }\n";
+    Out << "int main() {\n  int i0; int i1; int i2; int i3;\n";
+    emitLoop(0);
+    Out << "  return a + b * 2 + c * 3 + d * 5 + e * 7 + sink;\n}\n";
+    return Out.str();
+  }
+
+private:
+  unsigned pick(unsigned N) { return static_cast<unsigned>(Rng() % N); }
+
+  void emitBodyStmt() {
+    switch (pick(8)) {
+    case 0: Out << "  a = a + 1;\n"; break;
+    case 1: Out << "  b = b + 2;\n"; break;
+    case 2: Out << "  c = c + a;\n"; break;
+    case 3: Out << "  d = d + 1;\n"; break;
+    case 4: Out << "  e = e + d;\n"; break;
+    case 5: Out << "  touch_a();\n"; break;
+    case 6: Out << "  touch_bc();\n"; break;
+    default: Out << "  store_through(&" << "abcde"[pick(5)] << ");\n"; break;
+    }
+  }
+
+  void emitLoop(int Depth) {
+    std::string IV = "i" + std::to_string(Depth);
+    Out << "  for (" << IV << " = 0; " << IV << " < " << (2 + pick(4))
+        << "; " << IV << "++) {\n";
+    unsigned Stmts = 1 + pick(3);
+    for (unsigned S = 0; S != Stmts; ++S)
+      emitBodyStmt();
+    if (Depth < 3 && pick(3) != 0)
+      emitLoop(Depth + 1);
+    if (Depth < 3 && pick(4) == 0)
+      emitLoop(Depth + 1); // sibling loop
+    unsigned Tail = 1 + pick(2); // bound fixed up front: pick() in the
+                                 // condition would re-randomize every test
+    for (unsigned S = 0; S != Tail; ++S)
+      emitBodyStmt();
+    Out << "  }\n";
+  }
+
+  std::mt19937_64 Rng;
+  std::ostringstream Out;
+};
+
+TagSet setMinus(const TagSet &A, const TagSet &B) {
+  TagSet Out;
+  for (TagId T : A)
+    if (!B.contains(T))
+      Out.insert(T);
+  return Out;
+}
+
+bool subset(const TagSet &A, const TagSet &B) {
+  for (TagId T : A)
+    if (!B.contains(T))
+      return false;
+  return true;
+}
+
+class EquationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EquationPropertyTest, Figure1Invariants) {
+  NestGenerator Gen(GetParam());
+  std::string Src = Gen.generate();
+
+  Module M;
+  std::string Err;
+  ASSERT_TRUE(compileToIL(Src, M, Err)) << Err << "\n" << Src;
+  Function *Main = M.function(M.lookup("main"));
+  normalizeLoops(*Main);
+  runModRef(M);
+
+  LoopInfo LI(*Main);
+  auto Infos = analyzeScalarPromotion(M, *Main);
+  ASSERT_EQ(Infos.size(), LI.numLoops());
+
+  for (size_t L = 0; L != Infos.size(); ++L) {
+    const LoopPromotionInfo &I = Infos[L];
+    const Loop &Lp = LI.loop(L);
+
+    // P1: the definition itself.
+    EXPECT_EQ(I.Promotable, setMinus(I.Explicit, I.Ambiguous));
+    // P2: lifting only what is promotable.
+    EXPECT_TRUE(subset(I.Lift, I.Promotable));
+
+    if (Lp.Parent >= 0) {
+      const LoopPromotionInfo &P = Infos[Lp.Parent];
+      // P3: loop bodies include nested loops' blocks, so the base sets are
+      // monotone going outward.
+      EXPECT_TRUE(subset(I.Explicit, P.Explicit));
+      EXPECT_TRUE(subset(I.Ambiguous, P.Ambiguous));
+      // P4a: nothing lifted here is promotable in the parent (equation 4).
+      for (TagId T : I.Lift)
+        EXPECT_FALSE(P.Promotable.contains(T));
+    }
+  }
+
+  // P4b: along any chain root..leaf, each promotable tag lifts exactly once
+  // (at the outermost loop of the chain where it is promotable).
+  for (size_t L = 0; L != Infos.size(); ++L) {
+    // Build the chain from loop L to its root.
+    std::vector<size_t> Chain;
+    for (int Cur = static_cast<int>(L); Cur >= 0;
+         Cur = LI.loop(static_cast<size_t>(Cur)).Parent)
+      Chain.push_back(static_cast<size_t>(Cur));
+    for (TagId T = 0; T != M.tags().size(); ++T) {
+      unsigned Lifts = 0;
+      bool PromotableSomewhere = false;
+      for (size_t C : Chain) {
+        Lifts += Infos[C].Lift.contains(T);
+        PromotableSomewhere |= Infos[C].Promotable.contains(T);
+      }
+      EXPECT_LE(Lifts, 1u);
+      if (PromotableSomewhere) {
+        EXPECT_EQ(Lifts, 1u);
+      }
+    }
+  }
+}
+
+TEST_P(EquationPropertyTest, RewritePreservesBehaviorAndClearsLoops) {
+  NestGenerator Gen(GetParam());
+  std::string Src = Gen.generate();
+
+  // Behavior check through the full pipeline.
+  CompilerConfig Off;
+  Off.ScalarPromotion = false;
+  CompilerConfig On;
+  On.ScalarPromotion = true;
+  ExecResult ROff = compileAndRun(Src, Off);
+  ExecResult ROn = compileAndRun(Src, On);
+  ASSERT_TRUE(ROff.Ok) << ROff.Error;
+  ASSERT_TRUE(ROn.Ok) << ROn.Error;
+  EXPECT_EQ(ROff.ExitCode, ROn.ExitCode) << Src;
+
+  // P5 structural half: after promotion (no other passes), the lifting
+  // loop's body contains no scalar access to the promoted tag.
+  Module M;
+  std::string Err;
+  ASSERT_TRUE(compileToIL(Src, M, Err));
+  Function *Main = M.function(M.lookup("main"));
+  normalizeLoops(*Main);
+  runModRef(M);
+  auto Infos = analyzeScalarPromotion(M, *Main);
+  LoopInfo Before(*Main);
+  // Record (loop blocks, lifted tags) pairs before rewriting.
+  std::vector<std::pair<std::vector<BlockId>, TagSet>> Lifted;
+  for (size_t L = 0; L != Infos.size(); ++L)
+    if (!Infos[L].Lift.empty())
+      Lifted.push_back({Before.loop(L).Blocks, Infos[L].Lift});
+
+  promoteScalarsInFunction(M, *Main);
+
+  for (const auto &[Blocks, Tags] : Lifted)
+    for (BlockId B : Blocks)
+      for (const auto &IP : Main->block(B)->insts()) {
+        const Instruction &I = *IP;
+        if (I.Op == Opcode::ScalarLoad || I.Op == Opcode::ScalarStore) {
+          EXPECT_FALSE(Tags.contains(I.Tag))
+              << "residual access to a promoted tag inside its loop";
+        }
+      }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquationPropertyTest,
+                         ::testing::Range(uint64_t(100), uint64_t(140)));
+
+} // namespace

@@ -1,0 +1,215 @@
+//===- tests/RegAllocTest.cpp - Chaitin-Briggs allocator tests ------------===//
+
+#include "alias/ModRef.h"
+#include "analysis/Cfg.h"
+#include "analysis/CfgNormalize.h"
+#include "frontend/Lowering.h"
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "promote/ScalarPromotion.h"
+#include "regalloc/GraphColoring.h"
+#include "regalloc/Liverange.h"
+
+#include <gtest/gtest.h>
+
+using namespace rpcc;
+
+namespace {
+
+std::unique_ptr<Module> compileSrc(const std::string &Src) {
+  auto M = std::make_unique<Module>();
+  std::string Err;
+  bool Ok = compileToIL(Src, *M, Err);
+  EXPECT_TRUE(Ok) << Err;
+  for (size_t FI = 0; FI != M->numFunctions(); ++FI) {
+    Function *F = M->function(static_cast<FuncId>(FI));
+    if (!F->isBuiltin() && F->numBlocks())
+      normalizeLoops(*F);
+  }
+  runModRef(*M);
+  return M;
+}
+
+/// Checks that all register indices are below the physical total
+/// (K integer + K float registers).
+void expectPhysical(const Module &M, unsigned TotalRegs) {
+  for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+    const Function *F = M.function(static_cast<FuncId>(FI));
+    if (F->isBuiltin() || !F->numBlocks())
+      continue;
+    for (const auto &B : F->blocks())
+      for (const auto &IP : B->insts()) {
+        if (IP->hasResult()) {
+          EXPECT_LT(IP->Result, TotalRegs);
+        }
+        for (Reg R : IP->Ops) {
+          EXPECT_LT(R, TotalRegs);
+        }
+      }
+  }
+}
+
+TEST(InterferenceTest, CopySourceDoesNotInterfere) {
+  Module M;
+  Function *F = M.addFunction("f");
+  F->setReturn(true, RegType::Int);
+  IRBuilder B(M, F);
+  B.setBlock(F->newBlock("entry"));
+  Reg A = B.emitLoadI(1);
+  Reg C = B.emitCopy(A); // A dies here
+  B.emitRet(C);
+  recomputeCfg(*F);
+  InterferenceGraph IG(*F);
+  EXPECT_FALSE(IG.interfere(A, C));
+  ASSERT_EQ(IG.copies().size(), 1u);
+  EXPECT_EQ(IG.copies()[0].Dst, C);
+  EXPECT_EQ(IG.copies()[0].Src, A);
+}
+
+TEST(InterferenceTest, OverlappingValuesInterfere) {
+  Module M;
+  Function *F = M.addFunction("f");
+  F->setReturn(true, RegType::Int);
+  IRBuilder B(M, F);
+  B.setBlock(F->newBlock("entry"));
+  Reg A = B.emitLoadI(1);
+  Reg C = B.emitLoadI(2);
+  Reg S = B.emitBin(Opcode::Add, A, C, RegType::Int);
+  B.emitRet(S);
+  recomputeCfg(*F);
+  InterferenceGraph IG(*F);
+  EXPECT_TRUE(IG.interfere(A, C));
+}
+
+TEST(RegAllocTest, ColorsSimpleFunctionWithoutSpills) {
+  auto M = compileSrc("int main() { int a; int b; a = 3; b = 4;\n"
+                      "  return a * b + a - b; }");
+  RegAllocStats S = allocateRegisters(*M);
+  expectPhysical(*M, 64);
+  EXPECT_EQ(S.SpilledRegs, 0u);
+  std::string Err;
+  EXPECT_TRUE(verifyModule(*M, Err)) << Err;
+  ExecResult R = interpret(*M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 11);
+}
+
+TEST(RegAllocTest, TinyRegisterFileForcesSpills) {
+  // Twelve simultaneously-live runtime values (not rematerializable
+  // constants) cannot fit in 6 registers.
+  auto M = compileSrc(
+      "int s = 1;\n"
+      "int main() {\n"
+      "  int a; int b; int c; int d; int e; int f;\n"
+      "  int g; int h; int i; int j; int k; int l;\n"
+      "  a=s+1; b=s+2; c=s+3; d=s+4; e=s+5; f=s+6;\n"
+      "  g=s+7; h=s+8; i=s+9; j=s+10; k=s+11; l=s+12;\n"
+      "  return ((a+b)*(c+d)+(e+f)*(g+h))*((i+j)*(k+l)+(a+l)*(b+k)); }");
+  ExecResult Before = interpret(*M);
+  RegAllocOptions Opts;
+  Opts.NumRegisters = 6;
+  RegAllocStats S = allocateRegisters(*M, Opts);
+  expectPhysical(*M, 12);
+  EXPECT_GT(S.SpilledRegs, 0u);
+  EXPECT_GT(S.SpillLoads, 0u);
+  ExecResult After = interpret(*M);
+  ASSERT_TRUE(After.Ok) << After.Error;
+  EXPECT_EQ(Before.ExitCode, After.ExitCode);
+  // Spilling adds real memory traffic.
+  EXPECT_GT(After.Counters.Loads, Before.Counters.Loads);
+}
+
+TEST(RegAllocTest, CoalescesPromotionCopies) {
+  auto M = compileSrc("int g;\n"
+                      "int main() { int i;\n"
+                      "  for (i = 0; i < 50; i++) g = g + 1;\n"
+                      "  return g; }");
+  promoteScalars(*M);
+  unsigned CopiesBefore = 0;
+  for (const auto &B : M->function(M->lookup("main"))->blocks())
+    for (const auto &IP : B->insts())
+      CopiesBefore += IP->Op == Opcode::Copy;
+  ASSERT_GT(CopiesBefore, 0u) << "promotion should introduce copies";
+
+  RegAllocStats S = allocateRegisters(*M);
+  EXPECT_GT(S.CoalescedCopies, 0u);
+  unsigned CopiesAfter = 0;
+  for (const auto &B : M->function(M->lookup("main"))->blocks())
+    for (const auto &IP : B->insts())
+      CopiesAfter += IP->Op == Opcode::Copy;
+  EXPECT_LT(CopiesAfter, CopiesBefore)
+      << "the allocator is 'quite effective at eliminating copies like "
+         "these' (paper, footnote 1)";
+  ExecResult R = interpret(*M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 50);
+}
+
+TEST(RegAllocTest, RecursiveFunctionSurvivesAllocation) {
+  auto M = compileSrc("int fact(int n) { if (n < 2) return 1;\n"
+                      "  return n * fact(n - 1); }\n"
+                      "int main() { return fact(6); }");
+  allocateRegisters(*M);
+  expectPhysical(*M, 64);
+  ExecResult R = interpret(*M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 720);
+}
+
+TEST(RegAllocTest, FloatsAndIntsShareTheFile) {
+  auto M = compileSrc("int main() { float a; float b; int c;\n"
+                      "  a = 1.5; b = 2.5; c = 3;\n"
+                      "  return (int)(a + b) + c; }");
+  allocateRegisters(*M);
+  ExecResult R = interpret(*M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 7);
+}
+
+TEST(RegAllocTest, SpilledParametersStoredOnEntry) {
+  // Force tiny K so parameters spill.
+  auto M = compileSrc(
+      "int f(int p0, int p1, int p2, int p3, int p4, int p5, int p6) {\n"
+      "  int a; int b; int c;\n"
+      "  a = p0 + p1; b = p2 + p3; c = p4 + p5;\n"
+      "  return (a * b + c) * p6 + p0 + p1 + p2 + p3 + p4 + p5; }\n"
+      "int main() { return f(1, 2, 3, 4, 5, 6, 2); }");
+  ExecResult Before = interpret(*M);
+  RegAllocOptions Opts;
+  Opts.NumRegisters = 5;
+  allocateRegisters(*M, Opts);
+  // Arguments travel in registers, so the 7-argument call clamps the
+  // effective per-class file to 8 (16 physical registers).
+  expectPhysical(*M, 16);
+  ExecResult After = interpret(*M);
+  ASSERT_TRUE(After.Ok) << After.Error;
+  EXPECT_EQ(Before.ExitCode, After.ExitCode);
+}
+
+TEST(RegAllocTest, PressureSweepPreservesSemantics) {
+  const char *Src =
+      "int A[16]; int g;\n"
+      "int main() { int i; int j; int s; s = 0;\n"
+      "  for (i = 0; i < 16; i++) A[i] = i * 3 % 7;\n"
+      "  for (i = 0; i < 16; i++)\n"
+      "    for (j = 0; j < 16; j++)\n"
+      "      s = s + A[i] * A[j] + (i - j);\n"
+      "  g = s; return g % 251; }";
+  int64_t Expected = -1;
+  for (unsigned K : {4u, 6u, 8u, 12u, 16u, 32u}) {
+    auto M = compileSrc(Src);
+    promoteScalars(*M);
+    RegAllocOptions Opts;
+    Opts.NumRegisters = K;
+    allocateRegisters(*M, Opts);
+    expectPhysical(*M, 2 * K);
+    ExecResult R = interpret(*M);
+    ASSERT_TRUE(R.Ok) << "K=" << K << ": " << R.Error;
+    if (Expected < 0)
+      Expected = R.ExitCode;
+    EXPECT_EQ(R.ExitCode, Expected) << "K=" << K;
+  }
+}
+
+} // namespace

@@ -1,0 +1,240 @@
+//===- tests/RobustnessTest.cpp - Edge cases and pass idempotency ---------===//
+
+#include "alias/ModRef.h"
+#include "analysis/CfgNormalize.h"
+#include "driver/Compiler.h"
+#include "frontend/Lowering.h"
+#include "interp/Interpreter.h"
+#include "ir/Verifier.h"
+#include "opt/Cleanup.h"
+#include "opt/Dce.h"
+#include "opt/Pre.h"
+#include "opt/Sccp.h"
+#include "opt/ValueNumbering.h"
+#include "promote/ScalarPromotion.h"
+
+#include <gtest/gtest.h>
+
+using namespace rpcc;
+
+namespace {
+
+std::unique_ptr<Module> prepared(const std::string &Src) {
+  auto M = std::make_unique<Module>();
+  std::string Err;
+  EXPECT_TRUE(compileToIL(Src, *M, Err)) << Err;
+  for (size_t FI = 0; FI != M->numFunctions(); ++FI) {
+    Function *F = M->function(static_cast<FuncId>(FI));
+    if (!F->isBuiltin() && F->numBlocks())
+      normalizeLoops(*F);
+  }
+  runModRef(*M);
+  return M;
+}
+
+// ---------------------------------------------------------------------------
+// Idempotency: running a pass twice must change nothing the second time.
+// ---------------------------------------------------------------------------
+
+const char *NestSrc = "int a; int b; int c;\n"
+                      "void spy() { c = c + 1; }\n"
+                      "int main() { int i; int j;\n"
+                      "  for (i = 0; i < 6; i++) {\n"
+                      "    a = a + i;\n"
+                      "    for (j = 0; j < 4; j++) b = b + a;\n"
+                      "    spy();\n"
+                      "  }\n"
+                      "  return a + b + c; }";
+
+TEST(IdempotencyTest, PromotionIsAFixpoint) {
+  auto M = prepared(NestSrc);
+  PromotionStats First = promoteScalars(*M);
+  EXPECT_GT(First.PromotedTags, 0u);
+  // The rewrite leaves only landing-pad/exit accesses, which are either
+  // outside all loops or ambiguous in their enclosing loop; a second run
+  // must find nothing.
+  PromotionStats Second = promoteScalars(*M);
+  EXPECT_EQ(Second.PromotedTags, 0u);
+  EXPECT_EQ(Second.RewrittenOps, 0u);
+  std::string Err;
+  EXPECT_TRUE(verifyModule(*M, Err)) << Err;
+}
+
+TEST(IdempotencyTest, VnAndPreConverge) {
+  auto M = prepared(NestSrc);
+  runValueNumbering(*M);
+  runPre(*M);
+  VnStats V2 = runValueNumbering(*M);
+  EXPECT_EQ(V2.Folded + V2.Reused + V2.LoadsForwarded + V2.DeadStores, 0u);
+  PreStats P2 = runPre(*M);
+  EXPECT_EQ(P2.ExprsEliminated + P2.LoadsEliminated, 0u);
+}
+
+TEST(IdempotencyTest, SccpAndCleanupConverge) {
+  auto M = prepared("int main() { int r;\n"
+                    "  if (3 > 2) r = 1; else r = 2;\n"
+                    "  if (r == 1) return 10;\n"
+                    "  return 20; }");
+  runSccp(*M);
+  runCleanup(*M);
+  SccpStats S2 = runSccp(*M);
+  EXPECT_EQ(S2.BranchesResolved, 0u);
+  EXPECT_FALSE(runCleanup(*M));
+  ExecResult R = interpret(*M);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.ExitCode, 10);
+}
+
+TEST(IdempotencyTest, DoublePipelinePreservesBehavior) {
+  // compileProgram output fed through the interpreter must match a module
+  // re-optimized by hand once more.
+  CompilerConfig Cfg;
+  CompileOutput Out = compileProgram(NestSrc, Cfg);
+  ASSERT_TRUE(Out.Ok);
+  ExecResult R1 = interpret(*Out.M);
+  runValueNumbering(*Out.M);
+  runDce(*Out.M);
+  runCleanup(*Out.M);
+  ExecResult R2 = interpret(*Out.M);
+  ASSERT_TRUE(R1.Ok && R2.Ok);
+  EXPECT_EQ(R1.ExitCode, R2.ExitCode);
+  EXPECT_LE(R2.Counters.Total, R1.Counters.Total);
+}
+
+// ---------------------------------------------------------------------------
+// Frontend / semantic edge cases.
+// ---------------------------------------------------------------------------
+
+std::string compileErr(const std::string &Src) {
+  Module M;
+  std::string Err;
+  EXPECT_FALSE(compileToIL(Src, M, Err)) << "should not compile:\n" << Src;
+  return Err;
+}
+
+TEST(FrontendEdgeTest, RejectsBadPrograms) {
+  EXPECT_NE(compileErr("int main() { int x; x = ; return 0; }").size(), 0u);
+  EXPECT_NE(compileErr("int main() { return 1 + \"s\"; }").size(), 0u);
+  EXPECT_NE(compileErr("struct s { int x; };\n"
+                       "int main() { struct s a; struct s b; a = b; "
+                       "return 0; }")
+                .size(),
+            0u); // aggregate assignment
+  EXPECT_NE(compileErr("int main() { int a[4]; a[0] = 1.5 ? 1 : 2.0 ? 3 : ; "
+                       "return 0; }")
+                .size(),
+            0u);
+  EXPECT_NE(compileErr("int f() { return 0; }\n"
+                       "int f() { return 1; }\n"
+                       "int main() { return f(); }")
+                .size(),
+            0u); // redefinition
+  EXPECT_NE(compileErr("int main() { continue; }").size(), 0u);
+  EXPECT_NE(compileErr("void v() {}\nint main() { return v(); }").size(),
+            0u); // void in arithmetic context... returns value from void call
+}
+
+TEST(FrontendEdgeTest, ShadowingWorks) {
+  ExecResult R = compileAndRun("int x = 5;\n"
+                               "int main() { int x; x = 2;\n"
+                               "  { int x; x = 9; }\n"
+                               "  return x; }",
+                               CompilerConfig{});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 2);
+}
+
+TEST(FrontendEdgeTest, DeeplyNestedExpressions) {
+  // Exercise parser recursion and the register allocator on a wide tree.
+  std::string E = "1";
+  for (int I = 0; I < 40; ++I)
+    E = "(" + E + " + " + std::to_string(I % 7) + ")";
+  ExecResult R = compileAndRun("int main() { return (" + E + ") % 100; }",
+                               CompilerConfig{});
+  ASSERT_TRUE(R.Ok) << R.Error;
+}
+
+TEST(FrontendEdgeTest, CommentsAndWhitespaceEverywhere) {
+  ExecResult R = compileAndRun("/* header */ int /*t*/ main /*n*/ ( ) {\n"
+                               "  // line comment\n"
+                               "  return /* mid */ 7; /* tail */ }\n",
+                               CompilerConfig{});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 7);
+}
+
+TEST(FrontendEdgeTest, NegativeModuloAndDivision) {
+  // Truncating division semantics, C-style.
+  ExecResult R = compileAndRun(
+      "int main() { int a; int b; a = -7; b = 2;\n"
+      "  return (a / b) * 100 + (a % b) * -1; }", // -3 * 100 + 1
+      CompilerConfig{});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, -299);
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter fault paths.
+// ---------------------------------------------------------------------------
+
+TEST(InterpFaultTest, IndirectCallThroughDataFaults) {
+  // A data address smuggled into a function pointer via void*.
+  ExecResult R = compileAndRun("int g;\n"
+                               "int main() { int (*f)(int); void *v;\n"
+                               "  v = &g; f = v;\n"
+                               "  return f(1); }",
+                               CompilerConfig{});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("indirect call"), std::string::npos) << R.Error;
+}
+
+TEST(InterpFaultTest, RunawayRecursionCaught) {
+  Module M;
+  std::string Err;
+  ASSERT_TRUE(compileToIL("int down(int n) { return down(n + 1); }\n"
+                          "int main() { return down(0); }",
+                          M, Err));
+  InterpOptions Opts;
+  Opts.MaxCallDepth = 500;
+  ExecResult R = interpret(M, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("depth"), std::string::npos);
+}
+
+TEST(InterpFaultTest, HeapLimitEnforced) {
+  Module M;
+  std::string Err;
+  ASSERT_TRUE(compileToIL("int main() { int i; int *p;\n"
+                          "  for (i = 0; i < 1000000; i++)\n"
+                          "    p = (int*)malloc(1024);\n"
+                          "  return p != 0; }",
+                          M, Err));
+  InterpOptions Opts;
+  Opts.HeapLimit = 1 << 20;
+  ExecResult R = interpret(M, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("heap limit"), std::string::npos);
+}
+
+TEST(InterpFaultTest, OutOfBoundsGlobalCaught) {
+  ExecResult R = compileAndRun("int A[4];\n"
+                               "int main() { int *p; p = A;\n"
+                               "  return p[100000]; }",
+                               CompilerConfig{});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("out of bounds"), std::string::npos) << R.Error;
+}
+
+TEST(InterpFaultTest, FaultsStillReportCounters) {
+  Module M;
+  std::string Err;
+  ASSERT_TRUE(compileToIL("int main() { int i; int s; s = 0;\n"
+                          "  for (i = 0; i < 100; i++) s = s + i;\n"
+                          "  return s / (s - 4950); }",
+                          M, Err));
+  ExecResult R = interpret(M);
+  EXPECT_FALSE(R.Ok); // division by zero at the end
+  EXPECT_GT(R.Counters.Total, 100u) << "partial counts must survive faults";
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+//===- tests/SuiteTest.cpp - Benchmark-suite integration tests ------------===//
+//
+// Runs all 14 Figure-4 stand-in programs through the paper's 2x2
+// configuration matrix and asserts (a) observable behavior never changes
+// and (b) the headline shapes of Figures 5-7 hold: who improves, who
+// degrades slightly, and where the two analyses separate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/SuiteRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace rpcc;
+
+namespace {
+
+/// One shared run of the whole suite (it takes ~1 second; recompiling per
+/// test would dominate).
+class SuiteResults {
+public:
+  static const SuiteResults &get() {
+    static SuiteResults R;
+    return R;
+  }
+
+  const ProgramResults &of(const std::string &Name) const {
+    auto It = Results.find(Name);
+    EXPECT_NE(It, Results.end()) << "no such program: " << Name;
+    return It->second;
+  }
+
+private:
+  SuiteResults() {
+    for (const std::string &Name : benchProgramNames())
+      Results.emplace(Name, runAllConfigs(Name, loadBenchProgram(Name)));
+  }
+  std::map<std::string, ProgramResults> Results;
+};
+
+double pctRemoved(uint64_t Without, uint64_t With) {
+  return 100.0 *
+         (static_cast<double>(Without) - static_cast<double>(With)) /
+         static_cast<double>(Without);
+}
+
+class SuiteProgramTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteProgramTest, AllConfigsSucceedAndAgree) {
+  const ProgramResults &PR = SuiteResults::get().of(GetParam());
+  for (int A = 0; A != 2; ++A)
+    for (int P = 0; P != 2; ++P) {
+      const ConfigCounts &C = PR.R[A][P];
+      ASSERT_TRUE(C.Ok) << GetParam() << " [" << A << "][" << P
+                        << "]: " << C.Error;
+      EXPECT_EQ(C.Output, PR.R[0][0].Output)
+          << GetParam() << ": observable output changed";
+      EXPECT_GT(C.Total, 0u);
+    }
+}
+
+TEST_P(SuiteProgramTest, PromotionNeverAddsWholesaleTraffic) {
+  // Promotion may cost a few percent (dhrystone/bison-style overheads) but
+  // must never blow up memory traffic; 15% is far beyond any legitimate
+  // pad/exit overhead in this suite.
+  const ProgramResults &PR = SuiteResults::get().of(GetParam());
+  for (int A = 0; A != 2; ++A) {
+    EXPECT_LT(PR.R[A][1].Total, PR.R[A][0].Total * 115 / 100) << GetParam();
+    EXPECT_LT(PR.R[A][1].Loads, PR.R[A][0].Loads * 115 / 100 + 300)
+        << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, SuiteProgramTest,
+                         ::testing::ValuesIn(benchProgramNames()),
+                         [](const auto &Info) { return Info.param; });
+
+// -- Figure 5-7 headline shapes -------------------------------------------
+
+TEST(SuiteShapeTest, MlinkIsTheBigStoreWin) {
+  const ProgramResults &PR = SuiteResults::get().of("mlink");
+  // Paper: 57% of stores removed; ours is even stronger. Require > 50%.
+  EXPECT_GT(pctRemoved(PR.R[0][0].Stores, PR.R[0][1].Stores), 50.0);
+  // And a >15% load reduction (paper: ~26%).
+  EXPECT_GT(pctRemoved(PR.R[0][0].Loads, PR.R[0][1].Loads), 15.0);
+}
+
+TEST(SuiteShapeTest, TspSimAllrootsAreFlat) {
+  for (const char *Name : {"tsp", "sim"}) {
+    const ProgramResults &PR = SuiteResults::get().of(Name);
+    double Pct = pctRemoved(PR.R[0][0].Total, PR.R[0][1].Total);
+    EXPECT_NEAR(Pct, 0.0, 0.5) << Name;
+  }
+  // allroots is so small that any fixed change is a large percentage; check
+  // absolutes instead.
+  const ProgramResults &AR = SuiteResults::get().of("allroots");
+  EXPECT_LT(AR.R[0][0].Total - AR.R[0][1].Total, 50u);
+}
+
+TEST(SuiteShapeTest, DhrystoneAndBisonDegradeSlightly) {
+  // The paper's two degradation anecdotes: promoted one-trip loops and
+  // error-path-only values. Total operations must get (slightly) worse.
+  for (const char *Name : {"dhrystone", "bison"}) {
+    const ProgramResults &PR = SuiteResults::get().of(Name);
+    EXPECT_GT(PR.R[0][1].Total, PR.R[0][0].Total) << Name;
+    // ...but only slightly: under 1%.
+    EXPECT_LT(pctRemoved(PR.R[0][0].Total, PR.R[0][1].Total), 0.0) << Name;
+    EXPECT_GT(pctRemoved(PR.R[0][0].Total, PR.R[0][1].Total), -1.0) << Name;
+  }
+}
+
+TEST(SuiteShapeTest, BcSeparatesTheAnalyses) {
+  // Paper: bc is where pointer analysis visibly beats MOD/REF (stores
+  // 8.83% vs 27.52% removed).
+  const ProgramResults &PR = SuiteResults::get().of("bc");
+  double ModrefStores = pctRemoved(PR.R[0][0].Stores, PR.R[0][1].Stores);
+  double PointerStores = pctRemoved(PR.R[1][0].Stores, PR.R[1][1].Stores);
+  EXPECT_GT(PointerStores, ModrefStores + 20.0)
+      << "pointer analysis should unlock far more of bc's stores";
+  double ModrefLoads = pctRemoved(PR.R[0][0].Loads, PR.R[0][1].Loads);
+  double PointerLoads = pctRemoved(PR.R[1][0].Loads, PR.R[1][1].Loads);
+  EXPECT_GT(PointerLoads, ModrefLoads + 10.0);
+}
+
+TEST(SuiteShapeTest, FftNeedsPointerAnalysis) {
+  // Paper: "An example where pointer analysis was required to promote a
+  // value arose in fft" — under MOD/REF the store reduction is ~0, under
+  // points-to it is positive.
+  const ProgramResults &PR = SuiteResults::get().of("fft");
+  double Modref = pctRemoved(PR.R[0][0].Stores, PR.R[0][1].Stores);
+  double Pointer = pctRemoved(PR.R[1][0].Stores, PR.R[1][1].Stores);
+  EXPECT_LT(Modref, 0.5);
+  EXPECT_GT(Pointer, 1.0);
+}
+
+TEST(SuiteShapeTest, GoIsLoadsDominated) {
+  // Paper: go improves loads (~15%) with essentially no store change.
+  const ProgramResults &PR = SuiteResults::get().of("go");
+  EXPECT_GT(pctRemoved(PR.R[0][0].Loads, PR.R[0][1].Loads), 5.0);
+  EXPECT_NEAR(pctRemoved(PR.R[0][0].Stores, PR.R[0][1].Stores), 0.0, 2.0);
+}
+
+TEST(SuiteShapeTest, MostProgramsInsensitiveToAnalysisPrecision) {
+  // The paper's central negative result: "the improved information derived
+  // from pointer analysis does not greatly improve the results of register
+  // promotion". Outside bc and fft, the two analyses must agree closely.
+  for (const std::string &Name : benchProgramNames()) {
+    if (Name == "bc" || Name == "fft")
+      continue;
+    const ProgramResults &PR = SuiteResults::get().of(Name);
+    double ModrefPct = pctRemoved(PR.R[0][0].Total, PR.R[0][1].Total);
+    double PointerPct = pctRemoved(PR.R[1][0].Total, PR.R[1][1].Total);
+    EXPECT_NEAR(ModrefPct, PointerPct, 0.5) << Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,4 @@
+#!/bin/sh
+cd /root/repo
+cmake --build build 2>&1 | grep -E "error|FAILED|warning" | head -40
+exit 0

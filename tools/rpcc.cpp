@@ -1,0 +1,245 @@
+//===- tools/rpcc.cpp - Command-line driver -------------------------------===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+// Compiles a MiniC file through the paper's pipeline, optionally dumping
+// the IL and/or executing the result in the counting interpreter.
+//
+//   rpcc prog.c --run                     # compile + execute, print counts
+//   rpcc prog.c --no-promotion --run      # the paper's "without" column
+//   rpcc prog.c --analysis=modref --dump-il=main
+//   rpcc prog.c --registers=8 --classic-alloc --run
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "ir/IRPrinter.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace rpcc;
+
+namespace {
+
+void usage() {
+  std::fputs(
+      "usage: rpcc <file.c> [options]\n"
+      "\n"
+      "pipeline options:\n"
+      "  --analysis=modref|pointer  interprocedural analysis (default: "
+      "pointer)\n"
+      "  --no-promotion             disable scalar register promotion\n"
+      "  --pointer-promotion        enable section-3.3 pointer promotion\n"
+      "  --no-opts                  disable VN/PRE/SCCP/LICM/DCE\n"
+      "  --no-regalloc              keep virtual registers\n"
+      "  --registers=K              allocatable registers per class "
+      "(default 16)\n"
+      "  --classic-alloc            1997-vintage allocator (no George "
+      "coalescing,\n"
+      "                             no rematerialization)\n"
+      "  --store-only-if-modified   skip demotion stores for read-only "
+      "loops\n"
+      "  --max-promoted=N           cap promoted tags per loop\n"
+      "\n"
+      "output options:\n"
+      "  --run                      execute and print exit code + output\n"
+      "  --counts                   print total/load/store counters "
+      "(implies --run)\n"
+      "  --stats                    print per-pass statistics\n"
+      "  --dump-il[=func]           print final IL (whole module or one "
+      "function)\n"
+      "  --dump-cfg=func            print the function's CFG in Graphviz "
+      "dot\n"
+      "  --per-function             with --counts, break counters down by "
+      "function\n",
+      stderr);
+}
+
+bool readFile(const char *Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *InputPath = nullptr;
+  CompilerConfig Cfg;
+  Cfg.Analysis = AnalysisKind::PointsTo;
+  bool Run = false, Counts = false, Stats = false, DumpIL = false;
+  bool PerFunction = false;
+  std::string DumpFunc, DumpCfgFunc;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *A = argv[I];
+    if (std::strncmp(A, "--analysis=", 11) == 0) {
+      if (std::strcmp(A + 11, "modref") == 0)
+        Cfg.Analysis = AnalysisKind::ModRef;
+      else if (std::strcmp(A + 11, "pointer") == 0)
+        Cfg.Analysis = AnalysisKind::PointsTo;
+      else {
+        std::fprintf(stderr, "error: unknown analysis '%s'\n", A + 11);
+        return 2;
+      }
+    } else if (std::strcmp(A, "--no-promotion") == 0) {
+      Cfg.ScalarPromotion = false;
+    } else if (std::strcmp(A, "--pointer-promotion") == 0) {
+      Cfg.PointerPromotion = true;
+    } else if (std::strcmp(A, "--no-opts") == 0) {
+      Cfg.EnableOpts = false;
+    } else if (std::strcmp(A, "--no-regalloc") == 0) {
+      Cfg.RegisterAllocation = false;
+    } else if (std::strncmp(A, "--registers=", 12) == 0) {
+      Cfg.NumRegisters = static_cast<unsigned>(std::atoi(A + 12));
+      if (Cfg.NumRegisters < 4) {
+        std::fprintf(stderr, "error: --registers must be at least 4\n");
+        return 2;
+      }
+    } else if (std::strcmp(A, "--classic-alloc") == 0) {
+      Cfg.ClassicAllocator = true;
+    } else if (std::strcmp(A, "--store-only-if-modified") == 0) {
+      Cfg.Promo.StoreOnlyIfModified = true;
+    } else if (std::strncmp(A, "--max-promoted=", 15) == 0) {
+      Cfg.Promo.MaxPromotedPerLoop =
+          static_cast<unsigned>(std::atoi(A + 15));
+    } else if (std::strcmp(A, "--run") == 0) {
+      Run = true;
+    } else if (std::strcmp(A, "--counts") == 0) {
+      Run = Counts = true;
+    } else if (std::strcmp(A, "--stats") == 0) {
+      Stats = true;
+    } else if (std::strcmp(A, "--dump-il") == 0) {
+      DumpIL = true;
+    } else if (std::strncmp(A, "--dump-il=", 10) == 0) {
+      DumpIL = true;
+      DumpFunc = A + 10;
+    } else if (std::strncmp(A, "--dump-cfg=", 11) == 0) {
+      DumpCfgFunc = A + 11;
+    } else if (std::strcmp(A, "--per-function") == 0) {
+      PerFunction = true;
+    } else if (std::strcmp(A, "--help") == 0 || std::strcmp(A, "-h") == 0) {
+      usage();
+      return 0;
+    } else if (A[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", A);
+      usage();
+      return 2;
+    } else if (!InputPath) {
+      InputPath = A;
+    } else {
+      std::fprintf(stderr, "error: multiple input files\n");
+      return 2;
+    }
+  }
+
+  if (!InputPath) {
+    usage();
+    return 2;
+  }
+  std::string Source;
+  if (!readFile(InputPath, Source)) {
+    std::fprintf(stderr, "error: cannot open %s\n", InputPath);
+    return 2;
+  }
+
+  CompileOutput Out = compileProgram(Source, Cfg);
+  if (!Out.Ok) {
+    std::fprintf(stderr, "%s: compile error:\n%s", InputPath,
+                 Out.Errors.c_str());
+    return 1;
+  }
+
+  if (Stats) {
+    const CompileStats &S = Out.Stats;
+    std::printf("strengthen: %u loads->scalar, %u stores->scalar, %u "
+                "loads->const\n",
+                S.Strengthen.LoadsToScalar, S.Strengthen.StoresToScalar,
+                S.Strengthen.LoadsToConst);
+    std::printf("promotion:  %u tags, %u refs rewritten, %u pad loads, %u "
+                "exit stores\n",
+                S.Promo.PromotedTags, S.Promo.RewrittenOps,
+                S.Promo.LoadsInserted, S.Promo.StoresInserted);
+    if (Cfg.PointerPromotion)
+      std::printf("ptr-promo:  %u groups, %u refs rewritten\n",
+                  S.PtrPromo.PromotedRefs, S.PtrPromo.RewrittenOps);
+    std::printf("vn:         %u folded, %u reused, %u loads forwarded, %u "
+                "dead stores\n",
+                S.Vn.Folded, S.Vn.Reused, S.Vn.LoadsForwarded,
+                S.Vn.DeadStores);
+    std::printf("pre:        %u exprs, %u loads eliminated\n",
+                S.Pre.ExprsEliminated, S.Pre.LoadsEliminated);
+    std::printf("sccp:       %u folded, %u branches resolved\n",
+                S.Sccp.Folded, S.Sccp.BranchesResolved);
+    std::printf("licm:       %u pure, %u loads hoisted\n",
+                S.Licm.HoistedPure, S.Licm.HoistedLoads);
+    std::printf("dce:        %u removed\n", S.DceRemoved);
+    std::printf("regalloc:   %u coalesced, %u spilled, %u rematerialized, "
+                "%u colors\n",
+                S.RegAlloc.CoalescedCopies, S.RegAlloc.SpilledRegs,
+                S.RegAlloc.RematerializedRegs, S.RegAlloc.ColorsUsed);
+  }
+
+  if (DumpIL) {
+    if (DumpFunc.empty()) {
+      std::fputs(printModule(*Out.M).c_str(), stdout);
+    } else {
+      FuncId F = Out.M->lookup(DumpFunc);
+      if (F == NoFunc) {
+        std::fprintf(stderr, "error: no function '%s'\n", DumpFunc.c_str());
+        return 1;
+      }
+      std::fputs(printFunction(*Out.M, *Out.M->function(F)).c_str(), stdout);
+    }
+  }
+
+  if (!DumpCfgFunc.empty()) {
+    FuncId F = Out.M->lookup(DumpCfgFunc);
+    if (F == NoFunc) {
+      std::fprintf(stderr, "error: no function '%s'\n", DumpCfgFunc.c_str());
+      return 1;
+    }
+    std::fputs(printCfgDot(*Out.M, *Out.M->function(F)).c_str(), stdout);
+  }
+
+  if (Run) {
+    ExecResult R = interpret(*Out.M);
+    if (!R.Ok) {
+      std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
+      return 1;
+    }
+    if (!R.Output.empty())
+      std::fputs(R.Output.c_str(), stdout);
+    if (Counts) {
+      std::printf("\n-- counters --\n");
+      std::printf("total ops: %s\n", withCommas(R.Counters.Total).c_str());
+      std::printf("loads:     %s\n", withCommas(R.Counters.Loads).c_str());
+      std::printf("stores:    %s\n", withCommas(R.Counters.Stores).c_str());
+      if (PerFunction) {
+        std::printf("\n-- per function --\n");
+        for (size_t FI = 0; FI != R.PerFunction.size(); ++FI) {
+          const FunctionCounters &FC = R.PerFunction[FI];
+          if (FC.Total == 0)
+            continue;
+          std::printf("%-20s total %-12s loads %-10s stores %s\n",
+                      Out.M->function(static_cast<FuncId>(FI))->name().c_str(),
+                      withCommas(FC.Total).c_str(),
+                      withCommas(FC.Loads).c_str(),
+                      withCommas(FC.Stores).c_str());
+        }
+      }
+    }
+    return static_cast<int>(R.ExitCode & 0xFF);
+  }
+  return 0;
+}
