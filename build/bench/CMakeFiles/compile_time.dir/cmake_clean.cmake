@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_time.dir/CompileTime.cpp.o"
+  "CMakeFiles/compile_time.dir/CompileTime.cpp.o.d"
+  "compile_time"
+  "compile_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

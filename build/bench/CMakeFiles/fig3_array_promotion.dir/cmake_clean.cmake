@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_array_promotion.dir/Fig3ArrayPromotion.cpp.o"
+  "CMakeFiles/fig3_array_promotion.dir/Fig3ArrayPromotion.cpp.o.d"
+  "fig3_array_promotion"
+  "fig3_array_promotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_array_promotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_programs.dir/Fig4Programs.cpp.o"
+  "CMakeFiles/fig4_programs.dir/Fig4Programs.cpp.o.d"
+  "fig4_programs"
+  "fig4_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

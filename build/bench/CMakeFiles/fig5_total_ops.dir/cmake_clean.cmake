@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_total_ops.dir/Fig5TotalOps.cpp.o"
+  "CMakeFiles/fig5_total_ops.dir/Fig5TotalOps.cpp.o.d"
+  "fig5_total_ops"
+  "fig5_total_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_total_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_stores.dir/Fig6Stores.cpp.o"
+  "CMakeFiles/fig6_stores.dir/Fig6Stores.cpp.o.d"
+  "fig6_stores"
+  "fig6_stores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_stores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_loads.dir/Fig7Loads.cpp.o"
+  "CMakeFiles/fig7_loads.dir/Fig7Loads.cpp.o.d"
+  "fig7_loads"
+  "fig7_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec33_pointer_promotion.dir/Sec33PointerPromotion.cpp.o"
+  "CMakeFiles/sec33_pointer_promotion.dir/Sec33PointerPromotion.cpp.o.d"
+  "sec33_pointer_promotion"
+  "sec33_pointer_promotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec33_pointer_promotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_opcode_hierarchy.dir/Tab1OpcodeHierarchy.cpp.o"
+  "CMakeFiles/tab1_opcode_hierarchy.dir/Tab1OpcodeHierarchy.cpp.o.d"
+  "tab1_opcode_hierarchy"
+  "tab1_opcode_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_opcode_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

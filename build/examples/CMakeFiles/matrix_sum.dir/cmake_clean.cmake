@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_sum.dir/matrix_sum.cpp.o"
+  "CMakeFiles/matrix_sum.dir/matrix_sum.cpp.o.d"
+  "matrix_sum"
+  "matrix_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alias/ModRef.cpp" "src/CMakeFiles/rpcc.dir/alias/ModRef.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/alias/ModRef.cpp.o.d"
+  "/root/repo/src/alias/PointsTo.cpp" "src/CMakeFiles/rpcc.dir/alias/PointsTo.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/alias/PointsTo.cpp.o.d"
+  "/root/repo/src/alias/TagRefine.cpp" "src/CMakeFiles/rpcc.dir/alias/TagRefine.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/alias/TagRefine.cpp.o.d"
+  "/root/repo/src/analysis/CallGraph.cpp" "src/CMakeFiles/rpcc.dir/analysis/CallGraph.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/analysis/CallGraph.cpp.o.d"
+  "/root/repo/src/analysis/Cfg.cpp" "src/CMakeFiles/rpcc.dir/analysis/Cfg.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/analysis/Cfg.cpp.o.d"
+  "/root/repo/src/analysis/CfgNormalize.cpp" "src/CMakeFiles/rpcc.dir/analysis/CfgNormalize.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/analysis/CfgNormalize.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/CMakeFiles/rpcc.dir/analysis/Dominators.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/analysis/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/Liveness.cpp" "src/CMakeFiles/rpcc.dir/analysis/Liveness.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/analysis/Liveness.cpp.o.d"
+  "/root/repo/src/analysis/LoopInfo.cpp" "src/CMakeFiles/rpcc.dir/analysis/LoopInfo.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/analysis/LoopInfo.cpp.o.d"
+  "/root/repo/src/driver/Compiler.cpp" "src/CMakeFiles/rpcc.dir/driver/Compiler.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/driver/Compiler.cpp.o.d"
+  "/root/repo/src/driver/SuiteRunner.cpp" "src/CMakeFiles/rpcc.dir/driver/SuiteRunner.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/driver/SuiteRunner.cpp.o.d"
+  "/root/repo/src/frontend/Ast.cpp" "src/CMakeFiles/rpcc.dir/frontend/Ast.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/frontend/Ast.cpp.o.d"
+  "/root/repo/src/frontend/Lexer.cpp" "src/CMakeFiles/rpcc.dir/frontend/Lexer.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/frontend/Lexer.cpp.o.d"
+  "/root/repo/src/frontend/Lowering.cpp" "src/CMakeFiles/rpcc.dir/frontend/Lowering.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/frontend/Lowering.cpp.o.d"
+  "/root/repo/src/frontend/Parser.cpp" "src/CMakeFiles/rpcc.dir/frontend/Parser.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/frontend/Parser.cpp.o.d"
+  "/root/repo/src/frontend/Sema.cpp" "src/CMakeFiles/rpcc.dir/frontend/Sema.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/frontend/Sema.cpp.o.d"
+  "/root/repo/src/frontend/Type.cpp" "src/CMakeFiles/rpcc.dir/frontend/Type.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/frontend/Type.cpp.o.d"
+  "/root/repo/src/interp/Interpreter.cpp" "src/CMakeFiles/rpcc.dir/interp/Interpreter.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/interp/Interpreter.cpp.o.d"
+  "/root/repo/src/ir/BasicBlock.cpp" "src/CMakeFiles/rpcc.dir/ir/BasicBlock.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/ir/BasicBlock.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/CMakeFiles/rpcc.dir/ir/Function.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/ir/Function.cpp.o.d"
+  "/root/repo/src/ir/ILParser.cpp" "src/CMakeFiles/rpcc.dir/ir/ILParser.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/ir/ILParser.cpp.o.d"
+  "/root/repo/src/ir/IRBuilder.cpp" "src/CMakeFiles/rpcc.dir/ir/IRBuilder.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/ir/IRBuilder.cpp.o.d"
+  "/root/repo/src/ir/IRPrinter.cpp" "src/CMakeFiles/rpcc.dir/ir/IRPrinter.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/ir/IRPrinter.cpp.o.d"
+  "/root/repo/src/ir/Instruction.cpp" "src/CMakeFiles/rpcc.dir/ir/Instruction.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/ir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/Module.cpp" "src/CMakeFiles/rpcc.dir/ir/Module.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/ir/Module.cpp.o.d"
+  "/root/repo/src/ir/Tag.cpp" "src/CMakeFiles/rpcc.dir/ir/Tag.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/ir/Tag.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/rpcc.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/ir/Verifier.cpp.o.d"
+  "/root/repo/src/opt/Cleanup.cpp" "src/CMakeFiles/rpcc.dir/opt/Cleanup.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/opt/Cleanup.cpp.o.d"
+  "/root/repo/src/opt/CopyProp.cpp" "src/CMakeFiles/rpcc.dir/opt/CopyProp.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/opt/CopyProp.cpp.o.d"
+  "/root/repo/src/opt/Dce.cpp" "src/CMakeFiles/rpcc.dir/opt/Dce.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/opt/Dce.cpp.o.d"
+  "/root/repo/src/opt/Licm.cpp" "src/CMakeFiles/rpcc.dir/opt/Licm.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/opt/Licm.cpp.o.d"
+  "/root/repo/src/opt/Pre.cpp" "src/CMakeFiles/rpcc.dir/opt/Pre.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/opt/Pre.cpp.o.d"
+  "/root/repo/src/opt/Sccp.cpp" "src/CMakeFiles/rpcc.dir/opt/Sccp.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/opt/Sccp.cpp.o.d"
+  "/root/repo/src/opt/ValueNumbering.cpp" "src/CMakeFiles/rpcc.dir/opt/ValueNumbering.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/opt/ValueNumbering.cpp.o.d"
+  "/root/repo/src/promote/PointerPromotion.cpp" "src/CMakeFiles/rpcc.dir/promote/PointerPromotion.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/promote/PointerPromotion.cpp.o.d"
+  "/root/repo/src/promote/ScalarPromotion.cpp" "src/CMakeFiles/rpcc.dir/promote/ScalarPromotion.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/promote/ScalarPromotion.cpp.o.d"
+  "/root/repo/src/regalloc/GraphColoring.cpp" "src/CMakeFiles/rpcc.dir/regalloc/GraphColoring.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/regalloc/GraphColoring.cpp.o.d"
+  "/root/repo/src/regalloc/Liverange.cpp" "src/CMakeFiles/rpcc.dir/regalloc/Liverange.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/regalloc/Liverange.cpp.o.d"
+  "/root/repo/src/support/Format.cpp" "src/CMakeFiles/rpcc.dir/support/Format.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/support/Format.cpp.o.d"
+  "/root/repo/src/support/StringInterner.cpp" "src/CMakeFiles/rpcc.dir/support/StringInterner.cpp.o" "gcc" "src/CMakeFiles/rpcc.dir/support/StringInterner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilparser_test.dir/ILParserTest.cpp.o"
+  "CMakeFiles/ilparser_test.dir/ILParserTest.cpp.o.d"
+  "ilparser_test"
+  "ilparser_test.pdb"
+  "ilparser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilparser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promote_test.dir/PromoteTest.cpp.o"
+  "CMakeFiles/promote_test.dir/PromoteTest.cpp.o.d"
+  "promote_test"
+  "promote_test.pdb"
+  "promote_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promote_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcc-driver.dir/rpcc.cpp.o"
+  "CMakeFiles/rpcc-driver.dir/rpcc.cpp.o.d"
+  "rpcc"
+  "rpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcc-driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
