@@ -20,10 +20,16 @@ StrengthenStats rpcc::strengthenOpcodes(Module &M) {
           const Tag &T = M.tags().tag(Single);
           // A singleton scalar object: the address can only be &T, so the
           // general op is really a scalar op. The access width must agree
-          // with the scalar's own width.
-          if (T.IsScalar && T.Kind != TagKind::Heap && T.ValTy == I.MemTy) {
+          // with the scalar's own width, and a local's scalar ops resolve
+          // against the executing function's frame, so another function's
+          // local must stay a pointer-based access.
+          bool ForeignLocal =
+              T.Kind == TagKind::Local && T.Owner != Fn->id();
+          if (T.IsScalar && T.Kind != TagKind::Heap && !ForeignLocal &&
+              T.ValTy == I.MemTy) {
             if (I.Op == Opcode::Load) {
               I.Op = Opcode::ScalarLoad;
+              I.Ops.clear(); // drop the address operand
               ++Stats.LoadsToScalar;
             } else {
               I.Op = Opcode::ScalarStore;

@@ -45,6 +45,8 @@ CompileOutput rpcc::compileProgram(const std::string &Source,
   } else {
     runModRef(M);
   }
+  if (Cfg.PostAnalysisHook)
+    Cfg.PostAnalysisHook(M);
   Out.Stats.Strengthen = strengthenOpcodes(M);
 
   // Register promotion happens "in the early phases of optimization".

@@ -29,6 +29,7 @@
 #include "promote/ScalarPromotion.h"
 #include "regalloc/GraphColoring.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -55,6 +56,12 @@ struct CompilerConfig {
   /// ("these allocators are known to over-spill in tight situations").
   bool ClassicAllocator = false;
   PromotionOptions Promo;
+  /// Invoked right after alias analysis annotates the module (tag lists and
+  /// call MOD/REF summaries) and before opcode strengthening and promotion
+  /// consume them. The fuzzer's fault injector uses this to conservatively
+  /// widen the analysis results in place; a correct pipeline must tolerate
+  /// any over-approximation without changing program behavior.
+  std::function<void(Module &)> PostAnalysisHook;
 };
 
 struct CompileStats {

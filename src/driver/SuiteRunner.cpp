@@ -34,7 +34,32 @@ ProgramResults rpcc::runAllConfigs(const std::string &Name,
       C.Total = R.Counters.Total;
       C.Loads = R.Counters.Loads;
       C.Stores = R.Counters.Stores;
+      C.ExitCode = R.ExitCode;
       C.Output = R.Output;
+    }
+  }
+
+  // Promotion and alias analysis may only change counts, never behavior.
+  const ConfigCounts &Base = PR.R[0][0];
+  for (int A = 0; A != 2; ++A) {
+    for (int P = 0; P != 2; ++P) {
+      if (A == 0 && P == 0)
+        continue;
+      ConfigCounts &C = PR.R[A][P];
+      if (!Base.Ok || !C.Ok)
+        continue;
+      if (C.ExitCode != Base.ExitCode || C.Output != Base.Output) {
+        C.Diverged = true;
+        C.Ok = false;
+        std::ostringstream OS;
+        OS << "behavior diverged from modref/no-promotion baseline: ";
+        if (C.ExitCode != Base.ExitCode)
+          OS << "exit code " << C.ExitCode << " vs " << Base.ExitCode;
+        else
+          OS << "stdout differs (" << C.Output.size() << " vs "
+             << Base.Output.size() << " bytes)";
+        C.Error = OS.str();
+      }
     }
   }
   return PR;
@@ -62,8 +87,9 @@ std::string rpcc::formatPaperTable(const std::vector<ProgramResults> &Programs,
       const ConfigCounts &With = PR.R[A][1];
       std::string Analysis = A == 0 ? "modref" : "pointer";
       if (!Without.Ok || !With.Ok) {
-        T.addRow({A == 0 ? PR.Name : "", Analysis, "error", "error", "-",
-                  "-"});
+        const char *Cell =
+            Without.Diverged || With.Diverged ? "diverged" : "error";
+        T.addRow({A == 0 ? PR.Name : "", Analysis, Cell, Cell, "-", "-"});
         continue;
       }
       uint64_t W0 = Pick(Without), W1 = Pick(With);

@@ -35,7 +35,9 @@ struct ConfigCounts {
   bool Ok = false;
   std::string Error;
   uint64_t Total = 0, Loads = 0, Stores = 0;
-  std::string Output; ///< program stdout, for cross-config equality checks
+  int64_t ExitCode = 0;
+  std::string Output;   ///< program stdout, for cross-config equality checks
+  bool Diverged = false; ///< behavior differs from the modref/no-promo cell
 };
 
 /// Results of one program across the 2x2 matrix:
@@ -46,7 +48,11 @@ struct ProgramResults {
   ConfigCounts R[2][2];
 };
 
-/// Compiles and executes under all four configurations.
+/// Compiles and executes under all four configurations. Every configuration
+/// compiles the same program, so observable behavior (exit code and stdout)
+/// must be identical across the matrix; any cell that disagrees with the
+/// modref/no-promotion baseline is flagged as diverged and demoted to an
+/// error so it cannot silently feed the paper tables.
 ProgramResults runAllConfigs(const std::string &Name,
                              const std::string &Source,
                              const SuiteOptions &Opts = {});

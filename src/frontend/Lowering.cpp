@@ -5,6 +5,7 @@
 #include "frontend/Parser.h"
 #include "ir/IRBuilder.h"
 #include "ir/Verifier.h"
+#include "support/Arith.h"
 
 #include <cassert>
 #include <cstring>
@@ -169,7 +170,7 @@ private:
         if (IsF)
           FV = -FV;
         else
-          IV = -IV;
+          IV = static_cast<int64_t>(wrapNeg(static_cast<uint64_t>(IV)));
         return true;
       case UnOp::BitNot:
         IV = ~IV;
@@ -203,17 +204,22 @@ private:
         }
       }
       IsF = false;
+      auto U = [](int64_t V) { return static_cast<uint64_t>(V); };
       switch (B.Op) {
-      case BinOp::Add: IV = LI + RI; return true;
-      case BinOp::Sub: IV = LI - RI; return true;
-      case BinOp::Mul: IV = LI * RI; return true;
-      case BinOp::Div: IV = RI ? LI / RI : 0; return true;
-      case BinOp::Rem: IV = RI ? LI % RI : 0; return true;
+      case BinOp::Add: IV = static_cast<int64_t>(wrapAdd(U(LI), U(RI))); return true;
+      case BinOp::Sub: IV = static_cast<int64_t>(wrapSub(U(LI), U(RI))); return true;
+      case BinOp::Mul: IV = static_cast<int64_t>(wrapMul(U(LI), U(RI))); return true;
+      case BinOp::Div: IV = divFaults(LI, RI) ? 0 : sdiv(LI, RI); return true;
+      case BinOp::Rem: IV = RI ? srem(LI, RI) : 0; return true;
       case BinOp::And: IV = LI & RI; return true;
       case BinOp::Or: IV = LI | RI; return true;
       case BinOp::Xor: IV = LI ^ RI; return true;
-      case BinOp::Shl: IV = LI << (RI & 63); return true;
-      case BinOp::Shr: IV = LI >> (RI & 63); return true; // arithmetic
+      case BinOp::Shl:
+        IV = static_cast<int64_t>(shiftLeft(U(LI), U(RI)));
+        return true;
+      case BinOp::Shr:
+        IV = static_cast<int64_t>(shiftRightArith(U(LI), U(RI)));
+        return true;
       default: return false;
       }
     }
@@ -225,7 +231,7 @@ private:
         FV = static_cast<double>(IV);
         IsF = true;
       } else if (!Ca.Target->isFloat() && IsF) {
-        IV = static_cast<int64_t>(FV);
+        IV = fpToIntSat(FV);
         IsF = false;
       }
       if (Ca.Target->isChar())

@@ -1,0 +1,127 @@
+//===- fuzz/DifferentialOracle.cpp ----------------------------------------===//
+
+#include "fuzz/DifferentialOracle.h"
+
+#include <sstream>
+
+using namespace rpcc;
+
+std::string FuzzConfig::name() const {
+  std::ostringstream OS;
+  OS << (Analysis == AnalysisKind::ModRef ? "modref" : "pointer");
+  OS << (Promo ? "/promo" : "/nopromo");
+  if (PtrPromo)
+    OS << "+ptr";
+  OS << (Opts ? "/opts" : "/noopts");
+  OS << (Classic ? "/classic" : "/modern");
+  OS << "/r" << Regs;
+  return OS.str();
+}
+
+CompilerConfig FuzzConfig::toCompilerConfig() const {
+  CompilerConfig Cfg;
+  Cfg.Analysis = Analysis;
+  Cfg.ScalarPromotion = Promo;
+  Cfg.PointerPromotion = PtrPromo;
+  Cfg.EnableOpts = Opts;
+  Cfg.ClassicAllocator = Classic;
+  Cfg.NumRegisters = Regs;
+  return Cfg;
+}
+
+std::vector<FuzzConfig> rpcc::fullMatrix() {
+  std::vector<FuzzConfig> M;
+  for (AnalysisKind A : {AnalysisKind::ModRef, AnalysisKind::PointsTo})
+    for (bool Promo : {false, true})
+      for (bool Opts : {false, true})
+        for (bool Classic : {false, true})
+          for (unsigned Regs : {8u, 16u, 32u})
+            M.push_back({A, Promo, false, Opts, Classic, Regs});
+  // Section 3.3 pointer promotion rides on top of scalar promotion.
+  for (AnalysisKind A : {AnalysisKind::ModRef, AnalysisKind::PointsTo})
+    for (unsigned Regs : {8u, 32u})
+      M.push_back({A, true, true, true, false, Regs});
+  return M;
+}
+
+std::vector<FuzzConfig> rpcc::quickMatrix() {
+  return {
+      {AnalysisKind::ModRef, false, false, false, false, 16},
+      {AnalysisKind::ModRef, true, false, true, false, 16},
+      {AnalysisKind::PointsTo, false, false, true, false, 16},
+      {AnalysisKind::PointsTo, true, false, true, false, 16},
+      {AnalysisKind::PointsTo, true, true, true, false, 32},
+      {AnalysisKind::ModRef, true, false, true, true, 8},
+  };
+}
+
+std::vector<std::pair<size_t, size_t>>
+rpcc::promotionPairs(const std::vector<FuzzConfig> &Matrix) {
+  std::vector<std::pair<size_t, size_t>> Pairs;
+  for (size_t I = 0; I != Matrix.size(); ++I) {
+    const FuzzConfig &A = Matrix[I];
+    if (A.Promo || A.Regs < 16)
+      continue;
+    for (size_t J = 0; J != Matrix.size(); ++J) {
+      const FuzzConfig &B = Matrix[J];
+      if (B.Promo && !B.PtrPromo && A.Analysis == B.Analysis &&
+          A.PtrPromo == B.PtrPromo && A.Opts == B.Opts &&
+          A.Classic == B.Classic && A.Regs == B.Regs) {
+        Pairs.emplace_back(I, J);
+        break;
+      }
+    }
+  }
+  return Pairs;
+}
+
+OracleResult rpcc::checkProgram(const std::string &Source,
+                                const std::vector<FuzzConfig> &Matrix,
+                                const InterpOptions &IO) {
+  OracleResult R;
+  R.Loads.assign(Matrix.size(), 0);
+  bool HaveBase = false;
+  int64_t BaseExit = 0;
+  std::string BaseOutput, BaseName;
+  for (size_t I = 0; I != Matrix.size(); ++I) {
+    const FuzzConfig &C = Matrix[I];
+    ExecResult E = compileAndRun(Source, C.toCompilerConfig(), IO);
+    if (!E.Ok) {
+      R.Ok = false;
+      R.FailingConfig = C.name();
+      R.Message = "compile or runtime failure: " + E.Error;
+      return R;
+    }
+    R.Loads[I] = E.Counters.Loads;
+    if (!HaveBase) {
+      HaveBase = true;
+      BaseExit = E.ExitCode;
+      BaseOutput = E.Output;
+      BaseName = C.name();
+      continue;
+    }
+    if (E.ExitCode != BaseExit) {
+      R.Ok = false;
+      R.FailingConfig = C.name();
+      std::ostringstream OS;
+      OS << "exit code " << E.ExitCode << " differs from " << BaseExit
+         << " under " << BaseName;
+      R.Message = OS.str();
+      return R;
+    }
+    if (E.Output != BaseOutput) {
+      R.Ok = false;
+      R.FailingConfig = C.name();
+      size_t N = 0;
+      while (N < E.Output.size() && N < BaseOutput.size() &&
+             E.Output[N] == BaseOutput[N])
+        ++N;
+      std::ostringstream OS;
+      OS << "stdout diverges from " << BaseName << " at byte " << N << " ("
+         << E.Output.size() << " vs " << BaseOutput.size() << " bytes)";
+      R.Message = OS.str();
+      return R;
+    }
+  }
+  return R;
+}

@@ -1,0 +1,176 @@
+//===- fuzz/FaultInjector.cpp ---------------------------------------------===//
+
+#include "fuzz/FaultInjector.h"
+
+#include <random>
+#include <sstream>
+#include <vector>
+
+using namespace rpcc;
+
+namespace {
+
+/// Every (function, block, instruction) coordinate in the module.
+struct Site {
+  FuncId F;
+  BlockId B;
+  size_t I;
+};
+
+std::vector<Site> allSites(Module &M) {
+  std::vector<Site> Sites;
+  for (FuncId F = 0; F != M.numFunctions(); ++F) {
+    Function *Fn = M.function(F);
+    if (Fn->isBuiltin())
+      continue;
+    for (auto &B : Fn->blocks())
+      for (size_t I = 0; I != B->size(); ++I)
+        Sites.push_back({F, B->id(), I});
+  }
+  return Sites;
+}
+
+} // namespace
+
+unsigned rpcc::widenAnalysis(Module &M, uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  auto Pick = [&](size_t N) { return static_cast<size_t>(Rng() % N); };
+
+  // Tags that already appear in some tag set are known-addressable, so
+  // adding them anywhere keeps the "only addressed tags in pointer tag
+  // sets" invariant intact.
+  TagSet Pool;
+  for (FuncId F = 0; F != M.numFunctions(); ++F) {
+    Function *Fn = M.function(F);
+    if (Fn->isBuiltin())
+      continue;
+    for (auto &B : Fn->blocks())
+      for (auto &IP : B->insts()) {
+        Pool.unionWith(IP->Tags);
+        Pool.unionWith(IP->Mods);
+        Pool.unionWith(IP->Refs);
+      }
+  }
+  if (Pool.empty())
+    return 0;
+  std::vector<TagId> PoolV(Pool.begin(), Pool.end());
+
+  unsigned Widened = 0;
+  auto Grow = [&](TagSet &S) {
+    unsigned Extra = 1 + static_cast<unsigned>(Rng() % 3);
+    bool Grew = false;
+    for (unsigned K = 0; K != Extra; ++K)
+      Grew |= S.insert(PoolV[Pick(PoolV.size())]);
+    Widened += Grew;
+  };
+
+  for (FuncId F = 0; F != M.numFunctions(); ++F) {
+    Function *Fn = M.function(F);
+    if (Fn->isBuiltin())
+      continue;
+    for (auto &B : Fn->blocks())
+      for (auto &IP : B->insts()) {
+        Instruction &I = *IP;
+        if (isPointerMemOp(I.Op) && !I.Tags.empty() && Rng() % 4 == 0)
+          Grow(I.Tags);
+        // MOD/REF summaries may grow even from empty: an empty summary
+        // means "no effects", and claiming more effects is conservative.
+        if (I.Op == Opcode::Call && Rng() % 4 == 0) {
+          Grow(I.Mods);
+          Grow(I.Refs);
+        }
+      }
+  }
+  return Widened;
+}
+
+bool rpcc::corruptModule(Module &M, uint64_t Seed, std::string &Desc) {
+  std::mt19937_64 Rng(Seed);
+  std::vector<Site> Sites = allSites(M);
+  if (Sites.empty())
+    return false;
+
+  TagId BadTag = static_cast<TagId>(M.tags().size()) + 3;
+  FuncId BadFunc = static_cast<FuncId>(M.numFunctions()) + 3;
+
+  // Try random (site, mutation) pairs until one applies; with ten mutation
+  // kinds over every instruction this terminates almost immediately.
+  for (unsigned Attempt = 0; Attempt != 256; ++Attempt) {
+    const Site &S = Sites[Rng() % Sites.size()];
+    Function *Fn = M.function(S.F);
+    BasicBlock *B = Fn->block(S.B);
+    Instruction &I = *B->insts()[S.I];
+    std::ostringstream OS;
+    OS << Fn->name() << " B" << S.B << " inst " << S.I << ": ";
+
+    switch (Rng() % 10) {
+    case 0: // dangling tag in a pointer tag list
+      if (!isPointerMemOp(I.Op))
+        continue;
+      I.Tags.insert(BadTag);
+      OS << "dangling tag in tag list";
+      break;
+    case 1: // dangling tag in a call MOD/REF summary
+      if (!isCallOp(I.Op))
+        continue;
+      (Rng() % 2 ? I.Mods : I.Refs).insert(BadTag);
+      OS << "dangling tag in MOD/REF summary";
+      break;
+    case 2: // dangling scalar tag
+      if (I.Op != Opcode::ScalarLoad && I.Op != Opcode::ScalarStore &&
+          I.Op != Opcode::LoadAddr)
+        continue;
+      I.Tag = BadTag;
+      OS << "dangling scalar tag";
+      break;
+    case 3: // out-of-range operand register
+      if (I.Ops.empty())
+        continue;
+      I.Ops[Rng() % I.Ops.size()] =
+          static_cast<Reg>(Fn->numRegs()) + 7;
+      OS << "out-of-range operand register";
+      break;
+    case 4: // missing operand
+      if (I.Ops.empty() || isCallOp(I.Op) || I.Op == Opcode::Ret)
+        continue; // calls/rets have variable arity
+      I.Ops.pop_back();
+      OS << "dropped operand";
+      break;
+    case 5: // branch into the void
+      if (I.Op != Opcode::Br && I.Op != Opcode::Jmp)
+        continue;
+      I.Target0 = static_cast<BlockId>(Fn->numBlocks()) + 2;
+      OS << "branch target out of range";
+      break;
+    case 6: // computation without a destination
+      if (!I.hasResult() || isCallOp(I.Op))
+        continue; // a call may legally return nothing
+      I.Result = NoReg;
+      OS << "stripped result register";
+      break;
+    case 7: // store pretending to define a register
+      if (I.Op != Opcode::Store && I.Op != Opcode::ScalarStore)
+        continue;
+      if (Fn->numRegs() == 0)
+        continue;
+      I.Result = 0;
+      OS << "result register on a store";
+      break;
+    case 8: // strip the terminator
+      if (B->size() < 2 || S.I + 1 != B->size() || !isTerminator(I.Op))
+        continue;
+      OS << "removed terminator";
+      B->insts().pop_back();
+      break;
+    default: // call to nowhere
+      if (I.Op != Opcode::Call)
+        continue;
+      I.Callee = BadFunc;
+      OS << "dangling callee";
+      break;
+    }
+    Desc = OS.str();
+    return true;
+  }
+  return false;
+}

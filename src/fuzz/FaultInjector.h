@@ -1,0 +1,50 @@
+//===- fuzz/FaultInjector.h - Analysis widening and IL corruption -*- C++ -*-=//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two distinct fault models over the IL:
+///
+/// **Widening** degrades alias-analysis precision without breaking it: tag
+/// lists on pointer memory operations and MOD/REF summaries on calls are
+/// randomly grown with other tags that already appear in some tag set.
+/// Every pass downstream treats tag lists as may-information, so a widened
+/// module must compile to a program with identical observable behavior —
+/// only the operation counts may regress. This is injected through
+/// CompilerConfig::PostAnalysisHook, i.e. it flows through the real
+/// pipeline exactly where real analysis results do.
+///
+/// **Corruption** breaks a structural invariant outright — a dangling tag
+/// id, an out-of-range register or branch target, a missing operand, a
+/// stripped terminator. The verifier must reject every corrupted module
+/// with a diagnostic; crashing (or accepting) is a bug.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_FUZZ_FAULTINJECTOR_H
+#define RPCC_FUZZ_FAULTINJECTOR_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <string>
+
+namespace rpcc {
+
+/// Grows tag lists and call MOD/REF summaries with extra already-addressed
+/// tags, seeded by \p Seed. Returns the number of sets widened. Sets are
+/// only ever grown and only when non-empty (an empty pointer tag list means
+/// "unanalyzed", and growing it to a singleton would *sharpen* it).
+unsigned widenAnalysis(Module &M, uint64_t Seed);
+
+/// Applies exactly one structural corruption to \p M, chosen by \p Seed,
+/// and describes it in \p Desc. Returns false if the module has no
+/// applicable site (e.g. no instructions at all).
+bool corruptModule(Module &M, uint64_t Seed, std::string &Desc);
+
+} // namespace rpcc
+
+#endif // RPCC_FUZZ_FAULTINJECTOR_H

@@ -1,0 +1,379 @@
+//===- fuzz/ProgramGenerator.cpp ------------------------------------------===//
+
+#include "fuzz/ProgramGenerator.h"
+
+#include <random>
+#include <sstream>
+#include <vector>
+
+using namespace rpcc;
+
+namespace {
+
+class Generator {
+public:
+  Generator(uint64_t Seed, const GeneratorOptions &Opts)
+      : Rng(Seed), Opts(Opts) {}
+
+  std::string run() {
+    emitGlobals();
+    emitFixedHelpers();
+    for (unsigned K = 0; K != Opts.NumHelpers; ++K)
+      emitHelper(K);
+    emitMain();
+    return Out.str();
+  }
+
+private:
+  unsigned pick(unsigned N) { return static_cast<unsigned>(Rng() % N); }
+  bool chance(unsigned Pct) { return pick(100) < Pct; }
+
+  void indent() {
+    for (unsigned I = 0; I != Depth; ++I)
+      Out << "  ";
+  }
+
+  // -- Expressions -----------------------------------------------------------
+
+  /// Any int lvalue that may legally be assigned right now (never an active
+  /// induction variable).
+  std::string intTarget() {
+    unsigned N = pick(10);
+    if (N < 5)
+      return "g" + std::to_string(pick(5));
+    if (N < 8 && !Locals.empty())
+      return Locals[pick(static_cast<unsigned>(Locals.size()))];
+    if (N < 9 && HaveLocs)
+      return "loc" + std::to_string(pick(2));
+    return "arr[(" + intExpr(1) + ") & 31]";
+  }
+
+  /// Something whose address a helper may write through.
+  std::string addressable() {
+    switch (pick(HaveLocs ? 4 : 3)) {
+    case 0: return "g" + std::to_string(pick(5));
+    case 3: return "loc" + std::to_string(pick(2));
+    case 1: return "arr[(" + intExpr(0) + ") & 31]";
+    default: return "arr2[(" + intExpr(0) + ") & 15]";
+    }
+  }
+
+  std::string intLeaf() {
+    unsigned N = pick(12);
+    if (N < 3)
+      return std::to_string(pick(100));
+    if (N < 6)
+      return "g" + std::to_string(pick(5));
+    if (N < 8 && !Locals.empty())
+      return Locals[pick(static_cast<unsigned>(Locals.size()))];
+    if (N < 9 && !ActiveIvs.empty())
+      return ActiveIvs[pick(static_cast<unsigned>(ActiveIvs.size()))];
+    if (N < 10 && HaveLocs)
+      return "loc" + std::to_string(pick(2));
+    if (N < 11)
+      return "arr[(" + intExpr(0) + ") & 31]";
+    return "arr2[(" + intExpr(0) + ") & 15]";
+  }
+
+  std::string intExpr(unsigned D) {
+    if (D == 0 || chance(35))
+      return intLeaf();
+    switch (pick(12)) {
+    case 0: return "(" + intExpr(D - 1) + " + " + intExpr(D - 1) + ")";
+    case 1: return "(" + intExpr(D - 1) + " - " + intExpr(D - 1) + ")";
+    case 2: return "(" + intExpr(D - 1) + " * " + intExpr(D - 1) + ")";
+    case 3: return "(" + intExpr(D - 1) + " & " + intExpr(D - 1) + ")";
+    case 4: return "(" + intExpr(D - 1) + " | " + intExpr(D - 1) + ")";
+    case 5: return "(" + intExpr(D - 1) + " ^ " + intExpr(D - 1) + ")";
+    case 6: // denominator always in [1,8]
+      return "(" + intExpr(D - 1) + " / ((" + intExpr(D - 1) + " & 7) + 1))";
+    case 7:
+      return "(" + intExpr(D - 1) + " % ((" + intExpr(D - 1) + " & 7) + 1))";
+    case 8: return "(-" + intLeaf() + ")";
+    case 9: return "(" + cond(D - 1) + " ? " + intLeaf() + " : " +
+                   intLeaf() + ")";
+    case 10:
+      if (Opts.UsePointers)
+        return "read_ptr(&" + addressable() + ")";
+      return intLeaf();
+    default:
+      if (CallBudget > 0 && MaxCallee > 0) {
+        --CallBudget;
+        unsigned H = pick(MaxCallee);
+        return "h" + std::to_string(H) + "(" + intExpr(D - 1) + ", " +
+               intLeaf() + ")";
+      }
+      return intLeaf();
+    }
+  }
+
+  std::string cond(unsigned D) {
+    static const char *Cmp[] = {" < ", " <= ", " > ", " >= ", " == ", " != "};
+    std::string C = "(" + intExpr(D) + Cmp[pick(6)] + intExpr(D) + ")";
+    if (D > 0 && chance(20))
+      return "(" + C + (chance(50) ? " && " : " || ") + cond(0) + ")";
+    return C;
+  }
+
+  std::string floatExpr(unsigned D) {
+    auto Leaf = [&]() -> std::string {
+      switch (pick(5)) {
+      case 0: return "fg" + std::to_string(pick(2));
+      case 1: return "farr[(" + intExpr(0) + ") & 15]";
+      case 2: return "1.5";
+      case 3: return "0.25";
+      default: return "(float)(" + intLeaf() + ")";
+      }
+    };
+    if (D == 0 || chance(40))
+      return Leaf();
+    static const char *Op[] = {" + ", " - ", " * "};
+    return "(" + floatExpr(D - 1) + Op[pick(3)] + floatExpr(D - 1) + ")";
+  }
+
+  // -- Statements ------------------------------------------------------------
+
+  void stmt(unsigned LoopDepth, bool InsideFor) {
+    unsigned N = pick(24);
+    indent();
+    if (N < 5) {
+      Out << intTarget() << " = " << intExpr(2) << ";\n";
+    } else if (N < 8) {
+      static const char *Op[] = {" += ", " -= ", " *= "};
+      Out << intTarget() << Op[pick(3)] << intExpr(1) << ";\n";
+    } else if (N < 10) {
+      Out << intTarget() << (chance(50) ? "++" : "--") << ";\n";
+    } else if (N < 12 && Opts.UseFloats) {
+      if (chance(50))
+        Out << "fg" << pick(2) << " = " << floatExpr(2) << ";\n";
+      else
+        Out << "farr[(" << intExpr(1) << ") & 15] = " << floatExpr(1)
+            << ";\n";
+    } else if (N < 14 && Opts.UsePointers) {
+      Out << "store_add(&" << addressable() << ", " << intExpr(1) << ");\n";
+    } else if (N < 16 && MaxCallee > 0 && CallBudget > 0) {
+      --CallBudget;
+      Out << intTarget() << " = h" << pick(MaxCallee) << "(" << intExpr(1)
+          << ", " << intExpr(1) << ");\n";
+    } else if (N < 17) {
+      Out << "print_int(" << intExpr(2) << ");\n";
+      indent();
+      Out << "print_char(10);\n";
+    } else if (N < 20) {
+      Out << "if " << cond(1) << " {\n";
+      ++Depth;
+      block(LoopDepth, InsideFor, 1 + pick(2));
+      --Depth;
+      indent();
+      if (chance(40)) {
+        Out << "} else {\n";
+        ++Depth;
+        block(LoopDepth, InsideFor, 1 + pick(2));
+        --Depth;
+        indent();
+      }
+      Out << "}\n";
+    } else if (N < 21 && LoopDepth > 0) {
+      Out << "if " << cond(0) << " break;\n";
+    } else if (N < 22 && InsideFor) {
+      Out << "if " << cond(0) << " continue;\n";
+    } else if (LoopDepth < Opts.MaxLoopDepth) {
+      loop(LoopDepth);
+    } else {
+      Out << intTarget() << " = " << intExpr(1) << ";\n";
+    }
+  }
+
+  void block(unsigned LoopDepth, bool InsideFor, unsigned Stmts) {
+    for (unsigned S = 0; S != Stmts; ++S)
+      stmt(LoopDepth, InsideFor);
+  }
+
+  void loop(unsigned LoopDepth) {
+    std::string IV = "i" + std::to_string(LoopDepth);
+    unsigned Bound = 2 + pick(5); // 2..6 iterations
+    unsigned Kind = pick(4);      // bias toward for-loops
+    unsigned Stmts = 1 + pick(Opts.MaxStmtsPerBlock);
+    ActiveIvs.push_back(IV);
+    if (Kind < 2) {
+      Out << "for (" << IV << " = 0; " << IV << " < " << Bound << "; " << IV
+          << "++) {\n";
+      ++Depth;
+      block(LoopDepth + 1, /*InsideFor=*/true, Stmts);
+      --Depth;
+      indent();
+      Out << "}\n";
+    } else if (Kind == 2) {
+      // Manual increment: `continue` would skip it, so bodies of while
+      // loops never get one (stmt() checks InsideFor).
+      Out << IV << " = 0;\n";
+      indent();
+      Out << "while (" << IV << " < " << Bound << ") {\n";
+      ++Depth;
+      block(LoopDepth + 1, /*InsideFor=*/false, Stmts);
+      indent();
+      Out << IV << "++;\n";
+      --Depth;
+      indent();
+      Out << "}\n";
+    } else {
+      Out << IV << " = 0;\n";
+      indent();
+      Out << "do {\n";
+      ++Depth;
+      block(LoopDepth + 1, /*InsideFor=*/false, Stmts);
+      indent();
+      Out << IV << "++;\n";
+      --Depth;
+      indent();
+      Out << "} while (" << IV << " < " << Bound << ");\n";
+    }
+    ActiveIvs.pop_back();
+  }
+
+  // -- Top-level structure ---------------------------------------------------
+
+  void emitGlobals() {
+    Out << "/* rpfuzz generated program */\n";
+    Out << "int g0; int g1; int g2; int g3; int g4;\n";
+    Out << "int ginit = " << (1 + pick(50)) << ";\n";
+    Out << "int arr[32];\n";
+    Out << "int arr2[16];\n";
+    if (Opts.UseFloats) {
+      Out << "float fg0; float fg1;\n";
+      Out << "float farr[16];\n";
+    } else {
+      // Keep names valid so expression pools need no special cases.
+      Out << "int fg0; int fg1;\n";
+      Out << "int farr[16];\n";
+    }
+    Out << "\n";
+  }
+
+  void emitFixedHelpers() {
+    if (Opts.UsePointers) {
+      Out << "void store_add(int *p, int v) { *p = *p + v; }\n";
+      Out << "int read_ptr(int *p) { return *p; }\n\n";
+    }
+  }
+
+  void emitHelper(unsigned K) {
+    MaxCallee = K; // may call h0..h(K-1)
+    CallBudget = 2;
+    Locals.clear();
+    Locals.push_back("a");
+    Locals.push_back("b");
+    Out << "int h" << K << "(int a, int b) {\n";
+    Depth = 1;
+    indent();
+    Out << "int t;\n";
+    indent();
+    Out << "t = " << intExpr(1) << ";\n";
+    Locals.push_back("t");
+    unsigned Stmts = 1 + pick(3);
+    if (chance(50)) {
+      // One small private loop; bound <= 4 keeps the call tree's dynamic
+      // cost polynomial even when every helper calls two lower ones.
+      indent();
+      Out << "int j;\n";
+      indent();
+      unsigned Bound = 2 + pick(3);
+      Out << "for (j = 0; j < " << Bound << "; j++) {\n";
+      ++Depth;
+      ActiveIvs.push_back("j");
+      for (unsigned S = 0; S != Stmts; ++S)
+        helperStmt();
+      ActiveIvs.pop_back();
+      --Depth;
+      indent();
+      Out << "}\n";
+    } else {
+      for (unsigned S = 0; S != Stmts; ++S)
+        helperStmt();
+    }
+    indent();
+    Out << "return " << intExpr(2) << ";\n";
+    Out << "}\n\n";
+    Locals.clear();
+  }
+
+  void helperStmt() {
+    indent();
+    switch (pick(6)) {
+    case 0: Out << "t = " << intExpr(2) << ";\n"; break;
+    case 1: Out << "g" << pick(5) << " = " << intExpr(2) << ";\n"; break;
+    case 2: Out << "g" << pick(5) << " += t;\n"; break;
+    case 3: Out << "arr[(" << intExpr(1) << ") & 31] = t;\n"; break;
+    case 4:
+      if (Opts.UsePointers) {
+        Out << "store_add(&g" << pick(5) << ", t);\n";
+        break;
+      }
+      [[fallthrough]];
+    default:
+      if (MaxCallee > 0 && CallBudget > 0) {
+        --CallBudget;
+        Out << "t = t + h" << pick(MaxCallee) << "(t, " << intLeaf()
+            << ");\n";
+      } else {
+        Out << "t = t + " << intLeaf() << ";\n";
+      }
+      break;
+    }
+  }
+
+  void emitMain() {
+    MaxCallee = Opts.NumHelpers;
+    CallBudget = 8;
+    Locals.clear();
+    HaveLocs = true;
+    Out << "int main() {\n";
+    Depth = 1;
+    for (unsigned V = 0; V != 4; ++V) {
+      indent();
+      Out << "int v" << V << "; v" << V << " = " << pick(50) << ";\n";
+      Locals.push_back("v" + std::to_string(V));
+    }
+    for (unsigned L = 0; L != 2; ++L) {
+      indent();
+      Out << "int loc" << L << "; loc" << L << " = " << pick(20) << ";\n";
+    }
+    for (unsigned I = 0; I <= Opts.MaxLoopDepth; ++I) {
+      indent();
+      Out << "int i" << I << ";\n";
+    }
+    Out << "\n";
+    unsigned TopStmts = 3 + pick(4);
+    block(/*LoopDepth=*/0, /*InsideFor=*/false, TopStmts);
+    Out << "\n";
+    indent();
+    Out << "print_int(g0 + g1 * 3 + g2 * 5 + g3 * 7 + g4 * 11 + ginit\n";
+    indent();
+    Out << "    + v0 + v1 + v2 + v3 + loc0 + loc1\n";
+    indent();
+    Out << "    + arr[3] + arr[17] + arr2[5] + (int)(fg0 + fg1 + farr[2]"
+        << (Opts.UseFloats ? " + 0.5" : "") << "));\n";
+    indent();
+    Out << "print_char(10);\n";
+    indent();
+    Out << "return (g0 + v0 + loc0 + arr[1]) & 255;\n";
+    Out << "}\n";
+  }
+
+  std::mt19937_64 Rng;
+  GeneratorOptions Opts;
+  std::ostringstream Out;
+  unsigned Depth = 0;
+  bool HaveLocs = false;   ///< loc0/loc1 (main's address-taken locals) in scope
+  unsigned MaxCallee = 0;  ///< callable helpers are h0..h(MaxCallee-1)
+  int CallBudget = 0;      ///< remaining calls in the current function
+  std::vector<std::string> Locals;
+  std::vector<std::string> ActiveIvs;
+};
+
+} // namespace
+
+std::string rpcc::generateProgram(uint64_t Seed,
+                                  const GeneratorOptions &Opts) {
+  return Generator(Seed, Opts).run();
+}

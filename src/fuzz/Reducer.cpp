@@ -1,0 +1,105 @@
+//===- fuzz/Reducer.cpp ---------------------------------------------------===//
+
+#include "fuzz/Reducer.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace rpcc;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &S) {
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos < S.size()) {
+    size_t NL = S.find('\n', Pos);
+    if (NL == std::string::npos) {
+      Lines.push_back(S.substr(Pos));
+      break;
+    }
+    Lines.push_back(S.substr(Pos, NL - Pos));
+    Pos = NL + 1;
+  }
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines,
+                      const std::vector<bool> &Keep) {
+  std::string Out;
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    if (!Keep[I])
+      continue;
+    Out += Lines[I];
+    Out += '\n';
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string rpcc::reduceProgram(const std::string &Source,
+                                const FailurePredicate &StillFails,
+                                ReduceStats *Stats) {
+  std::vector<std::string> Lines = splitLines(Source);
+  std::vector<bool> Keep(Lines.size(), true);
+  unsigned Runs = 0;
+  auto Test = [&](const std::vector<bool> &K) {
+    ++Runs;
+    return StillFails(joinLines(Lines, K));
+  };
+
+  size_t Alive = Lines.size();
+  if (Stats)
+    Stats->InitialLines = Alive;
+  if (!Test(Keep)) {
+    // The input doesn't reproduce; nothing to minimize.
+    if (Stats) {
+      Stats->PredicateRuns = Runs;
+      Stats->FinalLines = Alive;
+    }
+    return Source;
+  }
+
+  size_t Granularity = 2;
+  while (Alive >= 1) {
+    // Partition the currently-live lines into `Granularity` chunks.
+    std::vector<size_t> Live;
+    for (size_t I = 0; I != Lines.size(); ++I)
+      if (Keep[I])
+        Live.push_back(I);
+    if (Granularity > Live.size())
+      Granularity = Live.size();
+    if (Granularity < 2 && Live.size() > 1)
+      Granularity = 2;
+
+    bool Reduced = false;
+    for (size_t C = 0; C != Granularity && !Reduced; ++C) {
+      size_t Lo = Live.size() * C / Granularity;
+      size_t Hi = Live.size() * (C + 1) / Granularity;
+      if (Lo == Hi)
+        continue;
+      // Try deleting this chunk (i.e. keep its complement).
+      std::vector<bool> K = Keep;
+      for (size_t I = Lo; I != Hi; ++I)
+        K[Live[I]] = false;
+      if (Test(K)) {
+        Keep = std::move(K);
+        Alive = Live.size() - (Hi - Lo);
+        Granularity = Granularity > 2 ? Granularity - 1 : 2;
+        Reduced = true;
+      }
+    }
+    if (!Reduced) {
+      if (Granularity >= Live.size() || Live.size() <= 1)
+        break; // 1-minimal at line granularity
+      Granularity = std::min(Granularity * 2, Live.size());
+    }
+  }
+
+  if (Stats) {
+    Stats->PredicateRuns = Runs;
+    Stats->FinalLines = Alive;
+  }
+  return joinLines(Lines, Keep);
+}

@@ -1,0 +1,43 @@
+//===- fuzz/Reducer.h - Line-granular delta debugging -----------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic ddmin over source lines: repeatedly delete chunks (and chunk
+/// complements) while a caller-supplied predicate still reproduces the
+/// failure. The predicate owns the definition of "still failing" — usually
+/// "the differential oracle still reports a divergence" — so reduction can
+/// never drift to a different bug unless the predicate lets it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_FUZZ_REDUCER_H
+#define RPCC_FUZZ_REDUCER_H
+
+#include <functional>
+#include <string>
+
+namespace rpcc {
+
+/// Returns true when \p Source still exhibits the failure being chased.
+using FailurePredicate = std::function<bool(const std::string &)>;
+
+struct ReduceStats {
+  unsigned PredicateRuns = 0;
+  size_t InitialLines = 0;
+  size_t FinalLines = 0;
+};
+
+/// Shrinks \p Source to a 1-minimal set of lines under \p StillFails.
+/// \p Source must already satisfy the predicate; if it does not, it is
+/// returned unchanged.
+std::string reduceProgram(const std::string &Source,
+                          const FailurePredicate &StillFails,
+                          ReduceStats *Stats = nullptr);
+
+} // namespace rpcc
+
+#endif // RPCC_FUZZ_REDUCER_H

@@ -2,6 +2,7 @@
 
 #include "interp/Interpreter.h"
 
+#include "support/Arith.h"
 #include "support/Format.h"
 
 #include <cassert>
@@ -162,11 +163,24 @@ private:
   uint64_t tagAddress(TagId T, uint64_t FrameBase) {
     const Tag &Tg = M.tags().tag(T);
     switch (Tg.Kind) {
-    case TagKind::Global:
-      return GlobalAddr.at(T);
+    case TagKind::Global: {
+      auto It = GlobalAddr.find(T);
+      if (It == GlobalAddr.end()) {
+        Err.raise("scalar reference to unallocated global tag " +
+                  Tg.Name);
+        return 0;
+      }
+      return It->second;
+    }
     case TagKind::Local:
-    case TagKind::Spill:
-      return FrameBase + CurLayout->Offsets.at(T);
+    case TagKind::Spill: {
+      auto It = CurLayout->Offsets.find(T);
+      if (It == CurLayout->Offsets.end()) {
+        Err.raise("scalar reference to foreign frame local " + Tg.Name);
+        return 0;
+      }
+      return FrameBase + It->second;
+    }
     case TagKind::Func:
       return FuncBase | Tg.Fn;
     case TagKind::Heap:
@@ -303,36 +317,42 @@ private:
       }
 
       switch (I.Op) {
-      case Opcode::Add: Regs[I.Result] = Regs[I.Ops[0]] + Regs[I.Ops[1]]; break;
-      case Opcode::Sub: Regs[I.Result] = Regs[I.Ops[0]] - Regs[I.Ops[1]]; break;
-      case Opcode::Mul: Regs[I.Result] = Regs[I.Ops[0]] * Regs[I.Ops[1]]; break;
+      case Opcode::Add:
+        Regs[I.Result] = wrapAdd(Regs[I.Ops[0]], Regs[I.Ops[1]]);
+        break;
+      case Opcode::Sub:
+        Regs[I.Result] = wrapSub(Regs[I.Ops[0]], Regs[I.Ops[1]]);
+        break;
+      case Opcode::Mul:
+        Regs[I.Result] = wrapMul(Regs[I.Ops[0]], Regs[I.Ops[1]]);
+        break;
       case Opcode::Div: {
-        int64_t D = asI(Regs[I.Ops[1]]);
-        if (D == 0) {
-          Err.raise("integer division by zero");
+        int64_t N = asI(Regs[I.Ops[0]]), D = asI(Regs[I.Ops[1]]);
+        if (divFaults(N, D)) {
+          Err.raise(D == 0 ? "integer division by zero"
+                           : "integer division overflow (INT64_MIN / -1)");
           break;
         }
-        Regs[I.Result] = static_cast<uint64_t>(asI(Regs[I.Ops[0]]) / D);
+        Regs[I.Result] = static_cast<uint64_t>(sdiv(N, D));
         break;
       }
       case Opcode::Rem: {
-        int64_t D = asI(Regs[I.Ops[1]]);
+        int64_t N = asI(Regs[I.Ops[0]]), D = asI(Regs[I.Ops[1]]);
         if (D == 0) {
           Err.raise("integer remainder by zero");
           break;
         }
-        Regs[I.Result] = static_cast<uint64_t>(asI(Regs[I.Ops[0]]) % D);
+        Regs[I.Result] = static_cast<uint64_t>(srem(N, D));
         break;
       }
       case Opcode::And: Regs[I.Result] = Regs[I.Ops[0]] & Regs[I.Ops[1]]; break;
       case Opcode::Or: Regs[I.Result] = Regs[I.Ops[0]] | Regs[I.Ops[1]]; break;
       case Opcode::Xor: Regs[I.Result] = Regs[I.Ops[0]] ^ Regs[I.Ops[1]]; break;
       case Opcode::Shl:
-        Regs[I.Result] = Regs[I.Ops[0]] << (Regs[I.Ops[1]] & 63);
+        Regs[I.Result] = shiftLeft(Regs[I.Ops[0]], Regs[I.Ops[1]]);
         break;
       case Opcode::Shr:
-        Regs[I.Result] =
-            static_cast<uint64_t>(asI(Regs[I.Ops[0]]) >> (Regs[I.Ops[1]] & 63));
+        Regs[I.Result] = shiftRightArith(Regs[I.Ops[0]], Regs[I.Ops[1]]);
         break;
       case Opcode::CmpEq:
         Regs[I.Result] = Regs[I.Ops[0]] == Regs[I.Ops[1]];
@@ -383,7 +403,7 @@ private:
         Regs[I.Result] = asF(Regs[I.Ops[0]]) >= asF(Regs[I.Ops[1]]);
         break;
       case Opcode::Neg:
-        Regs[I.Result] = static_cast<uint64_t>(-asI(Regs[I.Ops[0]]));
+        Regs[I.Result] = wrapNeg(Regs[I.Ops[0]]);
         break;
       case Opcode::Not:
         Regs[I.Result] = ~Regs[I.Ops[0]];
@@ -394,22 +414,9 @@ private:
       case Opcode::IntToFp:
         Regs[I.Result] = fromF(static_cast<double>(asI(Regs[I.Ops[0]])));
         break;
-      case Opcode::FpToInt: {
-        // Saturating conversion (plain casts of NaN / out-of-range doubles
-        // are UB in C++); must match opt/ValueNumbering's constant folder.
-        double V = asF(Regs[I.Ops[0]]);
-        int64_t Out;
-        if (std::isnan(V))
-          Out = 0;
-        else if (V >= 9.2233720368547748e18)
-          Out = INT64_MAX;
-        else if (V <= -9.2233720368547758e18)
-          Out = INT64_MIN;
-        else
-          Out = static_cast<int64_t>(V);
-        Regs[I.Result] = static_cast<uint64_t>(Out);
+      case Opcode::FpToInt:
+        Regs[I.Result] = static_cast<uint64_t>(fpToIntSat(asF(Regs[I.Ops[0]])));
         break;
-      }
       case Opcode::LoadI:
         Regs[I.Result] = static_cast<uint64_t>(I.Imm);
         break;

@@ -27,6 +27,26 @@ std::string memSuffix(MemType T) {
   return "";
 }
 
+// The printer is called from the verifier's failure path, so it must render
+// *invalid* IL — dangling tag ids, out-of-range callees, missing operands —
+// without tripping an assert of its own. Anything out of range prints as a
+// clearly-marked placeholder instead.
+std::string tagName(const Module &M, TagId T) {
+  if (T == NoTag)
+    return "tag?";
+  if (T >= M.tags().size())
+    return "tag#" + std::to_string(T) + "?";
+  return M.tags().tag(T).Name;
+}
+
+std::string funcName(const Module &M, FuncId F) {
+  if (F == NoFunc)
+    return "func?";
+  if (F >= M.numFunctions())
+    return "func#" + std::to_string(F) + "?";
+  return M.function(F)->name();
+}
+
 std::string tagSetStr(const Module &M, const TagSet &S) {
   std::string Out = "{";
   bool First = true;
@@ -34,7 +54,7 @@ std::string tagSetStr(const Module &M, const TagSet &S) {
     if (!First)
       Out += ",";
     First = false;
-    Out += M.tags().tag(T).Name;
+    Out += tagName(M, T);
   }
   Out += "}";
   return Out;
@@ -45,7 +65,10 @@ std::string tagSetStr(const Module &M, const TagSet &S) {
 std::string rpcc::printInst(const Module &M, const Function &F,
                             const Instruction &I) {
   std::ostringstream OS;
-  auto Tag = [&](TagId T) { return "[" + M.tags().tag(T).Name + "]"; };
+  auto Tag = [&](TagId T) { return "[" + tagName(M, T) + "]"; };
+  auto Op = [&](size_t K) {
+    return K < I.Ops.size() ? regName(I.Ops[K]) : std::string("r?");
+  };
 
   switch (I.Op) {
   case Opcode::LoadI:
@@ -67,40 +90,39 @@ std::string rpcc::printInst(const Module &M, const Function &F,
     OS << regName(I.Result) << " <- SLD " << Tag(I.Tag);
     return OS.str();
   case Opcode::ScalarStore:
-    OS << "SST " << Tag(I.Tag) << " " << regName(I.Ops[0]);
+    OS << "SST " << Tag(I.Tag) << " " << Op(0);
     return OS.str();
   case Opcode::Load:
   case Opcode::ConstLoad:
     OS << regName(I.Result) << " <- " << opcodeName(I.Op) << memSuffix(I.MemTy)
-       << " [" << regName(I.Ops[0]) << "] " << tagSetStr(M, I.Tags);
+       << " [" << Op(0) << "] " << tagSetStr(M, I.Tags);
     return OS.str();
   case Opcode::Store:
-    OS << "PST" << memSuffix(I.MemTy) << " [" << regName(I.Ops[0]) << "] "
-       << regName(I.Ops[1]) << " " << tagSetStr(M, I.Tags);
+    OS << "PST" << memSuffix(I.MemTy) << " [" << Op(0) << "] " << Op(1) << " "
+       << tagSetStr(M, I.Tags);
     return OS.str();
   case Opcode::Call: {
     if (I.hasResult())
       OS << regName(I.Result) << " <- ";
-    OS << "JSR " << M.function(I.Callee)->name() << "(";
+    OS << "JSR " << funcName(M, I.Callee) << "(";
     for (size_t A = 0; A != I.Ops.size(); ++A)
       OS << (A ? "," : "") << regName(I.Ops[A]);
     OS << ") mod" << tagSetStr(M, I.Mods) << " ref" << tagSetStr(M, I.Refs);
     if (I.Tag != NoTag) // allocation call sites carry their heap tag
-      OS << " site=[" << M.tags().tag(I.Tag).Name << "]";
+      OS << " site=[" << tagName(M, I.Tag) << "]";
     return OS.str();
   }
   case Opcode::CallIndirect: {
     if (I.hasResult())
       OS << regName(I.Result) << " <- ";
-    OS << "IJSR [" << regName(I.Ops[0]) << "](";
-    for (size_t A = 1; A != I.Ops.size(); ++A)
+    OS << "IJSR [" << Op(0) << "](";
+    for (size_t A = 1; A < I.Ops.size(); ++A)
       OS << (A > 1 ? "," : "") << regName(I.Ops[A]);
     OS << ") mod" << tagSetStr(M, I.Mods) << " ref" << tagSetStr(M, I.Refs);
     return OS.str();
   }
   case Opcode::Br:
-    OS << "BR " << regName(I.Ops[0]) << " ? B" << I.Target0 << " : B"
-       << I.Target1;
+    OS << "BR " << Op(0) << " ? B" << I.Target0 << " : B" << I.Target1;
     return OS.str();
   case Opcode::Jmp:
     OS << "JMP B" << I.Target0;

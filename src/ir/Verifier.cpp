@@ -10,10 +10,56 @@ using namespace rpcc;
 
 namespace {
 
+/// Operand/result shape of an opcode: how many operand registers it takes
+/// (-1 = variable) and whether it defines a result. The interpreter indexes
+/// Ops[] blindly, so the verifier is the only thing standing between a
+/// malformed instruction and out-of-bounds reads.
+struct OpShape {
+  int NumOps;     ///< exact operand count, or -1 for variable
+  bool HasResult; ///< must define a register
+  bool NoResult;  ///< must NOT define a register
+};
+
+OpShape shapeOf(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::Div:
+  case Opcode::Rem: case Opcode::And: case Opcode::Or: case Opcode::Xor:
+  case Opcode::Shl: case Opcode::Shr:
+  case Opcode::CmpEq: case Opcode::CmpNe: case Opcode::CmpLt:
+  case Opcode::CmpLe: case Opcode::CmpGt: case Opcode::CmpGe:
+  case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul: case Opcode::FDiv:
+  case Opcode::FCmpEq: case Opcode::FCmpNe: case Opcode::FCmpLt:
+  case Opcode::FCmpLe: case Opcode::FCmpGt: case Opcode::FCmpGe:
+    return {2, true, false};
+  case Opcode::Neg: case Opcode::Not: case Opcode::FNeg:
+  case Opcode::IntToFp: case Opcode::FpToInt: case Opcode::Copy:
+    return {1, true, false};
+  case Opcode::LoadI: case Opcode::LoadF: case Opcode::LoadAddr:
+  case Opcode::ScalarLoad:
+    return {0, true, false};
+  case Opcode::ConstLoad: case Opcode::Load:
+    return {1, true, false};
+  case Opcode::ScalarStore:
+    return {1, false, true};
+  case Opcode::Store:
+    return {2, false, true};
+  case Opcode::Br:
+    return {1, false, true};
+  case Opcode::Jmp:
+    return {0, false, true};
+  case Opcode::Phi:
+    return {0, true, false};
+  case Opcode::Call: case Opcode::CallIndirect: case Opcode::Ret:
+    return {-1, false, false}; // checked specially
+  }
+  return {-1, false, false};
+}
+
 class FunctionVerifier {
 public:
-  FunctionVerifier(const Module &M, const Function &F, std::string &Err)
-      : M(M), F(F), Err(Err) {}
+  FunctionVerifier(const Module &M, const Function &F, std::string &Err,
+                   const VerifyOptions &Opts)
+      : M(M), F(F), Err(Err), Opts(Opts) {}
 
   bool run() {
     if (F.numBlocks() == 0) {
@@ -22,6 +68,8 @@ public:
     }
     for (const auto &B : F.blocks())
       checkBlock(*B);
+    if (Ok && Opts.CheckDefBeforeUse)
+      checkDefBeforeUse();
     return Ok;
   }
 
@@ -50,6 +98,18 @@ private:
       failInst(B, I, "branch target out of range");
   }
 
+  void checkTagId(const BasicBlock &B, const Instruction &I, TagId T,
+                  const char *What) {
+    if (T == NoTag || T >= M.tags().size())
+      failInst(B, I, std::string(What) + " names a nonexistent tag");
+  }
+
+  void checkTagSet(const BasicBlock &B, const Instruction &I, const TagSet &S,
+                   const char *What) {
+    for (TagId T : S)
+      checkTagId(B, I, T, What);
+  }
+
   void checkBlock(const BasicBlock &B) {
     if (B.empty()) {
       fail("block B" + std::to_string(B.id()) + " is empty");
@@ -74,6 +134,15 @@ private:
   }
 
   void checkInst(const BasicBlock &B, const Instruction &I) {
+    OpShape S = shapeOf(I.Op);
+    if (S.NumOps >= 0 && I.Ops.size() != static_cast<size_t>(S.NumOps))
+      failInst(B, I, "expected " + std::to_string(S.NumOps) +
+                         " operand(s), found " + std::to_string(I.Ops.size()));
+    if (S.HasResult && !I.hasResult())
+      failInst(B, I, "instruction must define a result register");
+    if (S.NoResult && I.hasResult())
+      failInst(B, I, "instruction must not define a result register");
+
     if (I.hasResult())
       checkReg(B, I, I.Result);
     for (Reg R : I.Ops)
@@ -88,8 +157,6 @@ private:
       }
       if (!M.tags().tag(I.Tag).IsScalar)
         failInst(B, I, "scalar memory op on non-scalar tag");
-      if (I.Op == Opcode::ScalarStore && I.Ops.size() != 1)
-        failInst(B, I, "scalar store takes exactly one operand");
       break;
     }
     case Opcode::LoadAddr:
@@ -98,12 +165,8 @@ private:
       break;
     case Opcode::Load:
     case Opcode::ConstLoad:
-      if (I.Ops.size() != 1)
-        failInst(B, I, "load takes exactly one address operand");
-      break;
     case Opcode::Store:
-      if (I.Ops.size() != 2)
-        failInst(B, I, "store takes address and value operands");
+      checkTagSet(B, I, I.Tags, "tag list");
       break;
     case Opcode::Call: {
       if (I.Callee == NoFunc || I.Callee >= M.numFunctions()) {
@@ -115,15 +178,22 @@ private:
         failInst(B, I, "call arity mismatch");
       if (Callee->returnsValue() != I.hasResult())
         failInst(B, I, "call result mismatch with callee return type");
+      checkTagSet(B, I, I.Mods, "call MOD list");
+      checkTagSet(B, I, I.Refs, "call REF list");
+      if (I.Tag != NoTag)
+        checkTagId(B, I, I.Tag, "allocation site");
       break;
     }
     case Opcode::CallIndirect:
       if (I.Ops.empty())
         failInst(B, I, "indirect call needs a callee operand");
+      checkTagSet(B, I, I.Mods, "call MOD list");
+      checkTagSet(B, I, I.Refs, "call REF list");
+      for (FuncId Target : I.IndirectCallees)
+        if (Target == NoFunc || Target >= M.numFunctions())
+          failInst(B, I, "resolved callee list names a nonexistent function");
       break;
     case Opcode::Br:
-      if (I.Ops.size() != 1)
-        failInst(B, I, "branch takes one condition operand");
       checkTarget(B, I, I.Target0);
       checkTarget(B, I, I.Target1);
       break;
@@ -147,26 +217,112 @@ private:
     }
   }
 
+  /// Forward must-define dataflow: a register may only be read if every path
+  /// from entry assigns it first. Runs only once the structural checks pass,
+  /// so every register index is known to be in range.
+  void checkDefBeforeUse() {
+    size_t NR = F.numRegs(), NB = F.numBlocks();
+    // Out[b] starts at "all defined" (top) and shrinks to a fixpoint.
+    std::vector<std::vector<bool>> Out(NB, std::vector<bool>(NR, true));
+    std::vector<bool> EntryIn(NR, false);
+    for (Reg P : F.paramRegs())
+      EntryIn[P] = true;
+
+    // Predecessor lists straight from the terminators (the analysis-layer
+    // CFG may be stale while verifying).
+    std::vector<std::vector<BlockId>> Preds(NB);
+    for (const auto &B : F.blocks()) {
+      const Instruction *T = B->terminator();
+      if (!T)
+        continue;
+      if (T->Op == Opcode::Br) {
+        Preds[T->Target0].push_back(B->id());
+        Preds[T->Target1].push_back(B->id());
+      } else if (T->Op == Opcode::Jmp) {
+        Preds[T->Target0].push_back(B->id());
+      }
+    }
+
+    auto blockIn = [&](BlockId Id) {
+      // The entry block executes first no matter what edges loop back into
+      // it, so only parameters are definitely assigned there. Unreachable
+      // blocks get the same weakest assumption rather than vacuous truth.
+      if (Id == 0 || Preds[Id].empty())
+        return EntryIn;
+      std::vector<bool> In(NR, true);
+      for (BlockId P : Preds[Id])
+        for (size_t R = 0; R != NR; ++R)
+          In[R] = In[R] && Out[P][R];
+      return In;
+    };
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BlockId Id = 0; Id != NB; ++Id) {
+        std::vector<bool> Cur = blockIn(Id);
+        for (const auto &I : F.block(Id)->insts())
+          if (I->hasResult())
+            Cur[I->Result] = true;
+        if (Cur != Out[Id]) {
+          Out[Id] = std::move(Cur);
+          Changed = true;
+        }
+      }
+    }
+
+    for (BlockId Id = 0; Id != NB; ++Id) {
+      const BasicBlock &B = *F.block(Id);
+      std::vector<bool> Defined = blockIn(Id);
+      // Phi results materialize at block entry, before any non-phi reads.
+      for (const auto &I : B.insts()) {
+        if (I->Op != Opcode::Phi)
+          break;
+        Defined[I->Result] = true;
+      }
+      for (const auto &IP : B.insts()) {
+        const Instruction &I = *IP;
+        if (I.Op == Opcode::Phi) {
+          // A phi reads its incoming register at the end of the predecessor.
+          for (const auto &[Pred, R] : I.PhiIns)
+            if (!Out[Pred][R])
+              failInst(B, I, "phi operand r" + std::to_string(R) +
+                                 " not defined on the edge from B" +
+                                 std::to_string(Pred));
+          continue;
+        }
+        for (Reg R : I.Ops)
+          if (!Defined[R])
+            failInst(B, I,
+                     "operand r" + std::to_string(R) + " used before def");
+        if (I.hasResult())
+          Defined[I.Result] = true;
+      }
+    }
+  }
+
   const Module &M;
   const Function &F;
   std::string &Err;
+  const VerifyOptions &Opts;
   bool Ok = true;
 };
 
 } // namespace
 
-bool rpcc::verifyFunction(const Module &M, const Function &F,
-                          std::string &Err) {
-  return FunctionVerifier(M, F, Err).run();
+bool rpcc::verifyFunction(const Module &M, const Function &F, std::string &Err,
+                          const VerifyOptions &Opts) {
+  return FunctionVerifier(M, F, Err, Opts).run();
 }
 
-bool rpcc::verifyModule(const Module &M, std::string &Err) {
+bool rpcc::verifyModule(const Module &M, std::string &Err,
+                        const VerifyOptions &Opts) {
   bool Ok = true;
   for (size_t I = 0; I != M.numFunctions(); ++I) {
     const Function *F = M.function(static_cast<FuncId>(I));
     if (F->isBuiltin())
       continue;
-    Ok &= verifyFunction(M, *F, Err);
+    Ok &= verifyFunction(M, *F, Err, Opts);
   }
   return Ok;
 }

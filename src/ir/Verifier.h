@@ -14,14 +14,28 @@
 
 namespace rpcc {
 
+struct VerifyOptions {
+  /// Also require every operand register to be definitely assigned (by a
+  /// param or an earlier instruction on every path) before use. Off by
+  /// default: the IL defines registers to start at 0, and the frontend
+  /// legitimately emits reads of never-written registers for uninitialized
+  /// locals ("int x; return x;"). The fuzzer's corruption oracle and
+  /// IL-fixture tests turn it on to catch dangling-operand rewrites.
+  bool CheckDefBeforeUse = false;
+};
+
 /// Checks structural invariants of \p F: every block ends in exactly one
-/// terminator, branch targets are in range, registers are allocated, scalar
-/// memory operations name scalar tags, call arities match callees, and phis
-/// sit at block heads. On failure appends diagnostics to \p Err.
-bool verifyFunction(const Module &M, const Function &F, std::string &Err);
+/// terminator, branch targets are in range, registers are allocated, operand
+/// and result arity matches each opcode, scalar memory operations name scalar
+/// tags, tag lists and call MOD/REF summaries name existing tags, call
+/// arities match callees, and phis sit at block heads. On failure appends
+/// diagnostics to \p Err.
+bool verifyFunction(const Module &M, const Function &F, std::string &Err,
+                    const VerifyOptions &Opts = {});
 
 /// Verifies every non-builtin function in \p M.
-bool verifyModule(const Module &M, std::string &Err);
+bool verifyModule(const Module &M, std::string &Err,
+                  const VerifyOptions &Opts = {});
 
 } // namespace rpcc
 

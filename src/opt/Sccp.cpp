@@ -3,6 +3,7 @@
 #include "opt/Sccp.h"
 
 #include "analysis/Cfg.h"
+#include "support/Arith.h"
 
 #include <cmath>
 #include <cstdint>
@@ -34,28 +35,29 @@ std::optional<Lattice> fold(const Instruction &I,
   auto CI = [](int64_t V) {
     return Lattice{Height::Const, static_cast<uint64_t>(V), false};
   };
+  auto CB = [](uint64_t B) { return Lattice{Height::Const, B, false}; };
   auto CD = [](double D) {
     uint64_t B;
     std::memcpy(&B, &D, 8);
     return Lattice{Height::Const, B, true};
   };
   switch (I.Op) {
-  case Opcode::Add: return CI(IV(0) + IV(1));
-  case Opcode::Sub: return CI(IV(0) - IV(1));
-  case Opcode::Mul: return CI(IV(0) * IV(1));
+  case Opcode::Add: return CB(wrapAdd(In[0].Bits, In[1].Bits));
+  case Opcode::Sub: return CB(wrapSub(In[0].Bits, In[1].Bits));
+  case Opcode::Mul: return CB(wrapMul(In[0].Bits, In[1].Bits));
   case Opcode::Div:
-    if (IV(1) == 0)
+    if (divFaults(IV(0), IV(1))) // stays a runtime fault, like / 0
       return std::nullopt;
-    return CI(IV(0) / IV(1));
+    return CI(sdiv(IV(0), IV(1)));
   case Opcode::Rem:
     if (IV(1) == 0)
       return std::nullopt;
-    return CI(IV(0) % IV(1));
+    return CI(srem(IV(0), IV(1)));
   case Opcode::And: return CI(IV(0) & IV(1));
   case Opcode::Or: return CI(IV(0) | IV(1));
   case Opcode::Xor: return CI(IV(0) ^ IV(1));
-  case Opcode::Shl: return CI(IV(0) << (IV(1) & 63));
-  case Opcode::Shr: return CI(IV(0) >> (IV(1) & 63));
+  case Opcode::Shl: return CB(shiftLeft(In[0].Bits, In[1].Bits));
+  case Opcode::Shr: return CB(shiftRightArith(In[0].Bits, In[1].Bits));
   case Opcode::CmpEq: return CI(In[0].Bits == In[1].Bits);
   case Opcode::CmpNe: return CI(In[0].Bits != In[1].Bits);
   case Opcode::CmpLt: return CI(IV(0) < IV(1));
@@ -72,20 +74,12 @@ std::optional<Lattice> fold(const Instruction &I,
   case Opcode::FCmpLe: return CI(DV(0) <= DV(1));
   case Opcode::FCmpGt: return CI(DV(0) > DV(1));
   case Opcode::FCmpGe: return CI(DV(0) >= DV(1));
-  case Opcode::Neg: return CI(-IV(0));
+  case Opcode::Neg: return CB(wrapNeg(In[0].Bits));
   case Opcode::Not: return CI(~IV(0));
   case Opcode::FNeg: return CD(-DV(0));
   case Opcode::IntToFp: return CD(static_cast<double>(IV(0)));
-  case Opcode::FpToInt: {
-    double V = DV(0);
-    if (std::isnan(V))
-      return CI(0);
-    if (V >= 9.2233720368547748e18)
-      return CI(INT64_MAX);
-    if (V <= -9.2233720368547758e18)
-      return CI(INT64_MIN);
-    return CI(static_cast<int64_t>(V));
-  }
+  case Opcode::FpToInt:
+    return CI(fpToIntSat(DV(0)));
   case Opcode::LoadI: return CI(I.Imm);
   case Opcode::LoadF: return CD(I.FImm);
   default:

@@ -2,6 +2,8 @@
 
 #include "opt/ValueNumbering.h"
 
+#include "support/Arith.h"
+
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -30,6 +32,7 @@ struct ConstVal {
   static ConstVal fromInt(int64_t V) {
     return ConstVal{static_cast<uint64_t>(V), false};
   }
+  static ConstVal fromBits(uint64_t B) { return ConstVal{B, false}; }
   static ConstVal fromFloat(double D) {
     uint64_t B;
     std::memcpy(&B, &D, 8);
@@ -43,22 +46,24 @@ std::optional<ConstVal> foldOp(Opcode Op, const std::vector<ConstVal> &C) {
   auto I = [&](size_t K) { return C[K].asInt(); };
   auto D = [&](size_t K) { return C[K].asFloat(); };
   switch (Op) {
-  case Opcode::Add: return ConstVal::fromInt(I(0) + I(1));
-  case Opcode::Sub: return ConstVal::fromInt(I(0) - I(1));
-  case Opcode::Mul: return ConstVal::fromInt(I(0) * I(1));
+  case Opcode::Add: return ConstVal::fromBits(wrapAdd(C[0].Bits, C[1].Bits));
+  case Opcode::Sub: return ConstVal::fromBits(wrapSub(C[0].Bits, C[1].Bits));
+  case Opcode::Mul: return ConstVal::fromBits(wrapMul(C[0].Bits, C[1].Bits));
   case Opcode::Div:
-    if (I(1) == 0)
+    if (divFaults(I(0), I(1))) // stays a runtime fault, like / 0
       return std::nullopt;
-    return ConstVal::fromInt(I(0) / I(1));
+    return ConstVal::fromInt(sdiv(I(0), I(1)));
   case Opcode::Rem:
     if (I(1) == 0)
       return std::nullopt;
-    return ConstVal::fromInt(I(0) % I(1));
+    return ConstVal::fromInt(srem(I(0), I(1)));
   case Opcode::And: return ConstVal::fromInt(I(0) & I(1));
   case Opcode::Or: return ConstVal::fromInt(I(0) | I(1));
   case Opcode::Xor: return ConstVal::fromInt(I(0) ^ I(1));
-  case Opcode::Shl: return ConstVal::fromInt(I(0) << (I(1) & 63));
-  case Opcode::Shr: return ConstVal::fromInt(I(0) >> (I(1) & 63));
+  case Opcode::Shl:
+    return ConstVal::fromBits(shiftLeft(C[0].Bits, C[1].Bits));
+  case Opcode::Shr:
+    return ConstVal::fromBits(shiftRightArith(C[0].Bits, C[1].Bits));
   case Opcode::CmpEq: return ConstVal::fromInt(I(0) == I(1));
   case Opcode::CmpNe: return ConstVal::fromInt(I(0) != I(1));
   case Opcode::CmpLt: return ConstVal::fromInt(I(0) < I(1));
@@ -75,22 +80,12 @@ std::optional<ConstVal> foldOp(Opcode Op, const std::vector<ConstVal> &C) {
   case Opcode::FCmpLe: return ConstVal::fromInt(D(0) <= D(1));
   case Opcode::FCmpGt: return ConstVal::fromInt(D(0) > D(1));
   case Opcode::FCmpGe: return ConstVal::fromInt(D(0) >= D(1));
-  case Opcode::Neg: return ConstVal::fromInt(-I(0));
+  case Opcode::Neg: return ConstVal::fromBits(wrapNeg(C[0].Bits));
   case Opcode::Not: return ConstVal::fromInt(~I(0));
   case Opcode::FNeg: return ConstVal::fromFloat(-D(0));
   case Opcode::IntToFp: return ConstVal::fromFloat(static_cast<double>(I(0)));
-  case Opcode::FpToInt: {
-    // Saturating conversion, matching the interpreter (plain casts of NaN
-    // or out-of-range doubles are UB in C++).
-    double V = D(0);
-    if (std::isnan(V))
-      return ConstVal::fromInt(0);
-    if (V >= 9.2233720368547748e18)
-      return ConstVal::fromInt(INT64_MAX);
-    if (V <= -9.2233720368547758e18)
-      return ConstVal::fromInt(INT64_MIN);
-    return ConstVal::fromInt(static_cast<int64_t>(V));
-  }
+  case Opcode::FpToInt:
+    return ConstVal::fromInt(fpToIntSat(D(0)));
   default:
     return std::nullopt;
   }

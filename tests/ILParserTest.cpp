@@ -117,6 +117,60 @@ TEST(ILParserTest, UnknownTagRejected) {
   EXPECT_NE(Err.find("SLD"), std::string::npos) << Err;
 }
 
+TEST(ILParserTest, VerifierRejectsBranchToMissingBlock) {
+  // The parser only materializes blocks for labels it sees, so a branch to
+  // an unlabeled block parses fine and must be caught by the verifier.
+  Module M;
+  std::string Err;
+  ASSERT_TRUE(parseModule("func main() -> i64 {\n"
+                          "B0:\n"
+                          "  JMP B5\n"
+                          "}\n",
+                          M, Err))
+      << Err;
+  std::string VerifyErr;
+  EXPECT_FALSE(verifyModule(M, VerifyErr));
+  EXPECT_NE(VerifyErr.find("target"), std::string::npos) << VerifyErr;
+}
+
+TEST(ILParserTest, VerifierRejectsUseBeforeDef) {
+  // Structurally valid IL whose RET consumes a register no path defines.
+  Module M;
+  std::string Err;
+  ASSERT_TRUE(parseModule("func main() -> i64 {\n"
+                          "B0:\n"
+                          "  r0 <- LOADI 1\n"
+                          "  BR r0 ? B1 : B2\n"
+                          "B1:\n"
+                          "  r1 <- LOADI 7\n"
+                          "  JMP B2\n"
+                          "B2:\n"
+                          "  RET r1\n"
+                          "}\n",
+                          M, Err))
+      << Err;
+  std::string VerifyErr;
+  EXPECT_TRUE(verifyModule(M, VerifyErr)) << VerifyErr;
+  VerifyOptions VO;
+  VO.CheckDefBeforeUse = true;
+  EXPECT_FALSE(verifyModule(M, VerifyErr, VO));
+  EXPECT_NE(VerifyErr.find("used before def"), std::string::npos) << VerifyErr;
+}
+
+TEST(ILParserTest, UnknownTagInCallModListRejected) {
+  Module M;
+  std::string Err;
+  EXPECT_FALSE(parseModule("func g() {\nB0:\n  RET\n}\n"
+                           "func main() -> i64 {\n"
+                           "B0:\n"
+                           "  JSR g() mod{zzz} ref{}\n"
+                           "  r0 <- LOADI 0\n"
+                           "  RET r0\n"
+                           "}\n",
+                           M, Err));
+  EXPECT_FALSE(Err.empty());
+}
+
 TEST(ILParserTest, HandWrittenFixture) {
   // The parser's raison d'être: IL-level test fixtures as text.
   const char *Text =

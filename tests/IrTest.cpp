@@ -106,6 +106,96 @@ TEST(VerifierTest, CatchesScalarOpOnArrayTag) {
   EXPECT_NE(Err.find("non-scalar"), std::string::npos);
 }
 
+TEST(VerifierTest, CatchesUndefinedTagOnMemoryOp) {
+  Module M;
+  TagId G = M.tags().createGlobal("g", 8, true, MemType::I64);
+  Function *F = M.addFunction("f");
+  F->setReturn(true, RegType::Int);
+  IRBuilder B(M, F);
+  B.setBlock(F->newBlock("entry"));
+  Reg A = B.emitLoadAddr(G);
+  Reg V = B.emitLoad(A, MemType::I64, TagSet{G});
+  B.emitRet(V);
+  // Point the load's tag list at a tag id the table never handed out.
+  F->block(0)->insts()[1]->Tags = TagSet{static_cast<TagId>(99)};
+  std::string Err;
+  EXPECT_FALSE(verifyFunction(M, *F, Err));
+  EXPECT_NE(Err.find("nonexistent tag"), std::string::npos) << Err;
+}
+
+TEST(VerifierTest, CatchesCallModRefNamingNonexistentTag) {
+  Module M;
+  M.declareBuiltins();
+  Function *Callee = M.addFunction("leaf");
+  Callee->setReturn(false, RegType::Int);
+  {
+    IRBuilder B(M, Callee);
+    B.setBlock(Callee->newBlock("entry"));
+    B.emitRet();
+  }
+  Function *F = M.addFunction("f");
+  F->setReturn(false, RegType::Int);
+  IRBuilder B(M, F);
+  B.setBlock(F->newBlock("entry"));
+  B.emitCall(Callee, {});
+  B.emitRet();
+  F->block(0)->insts()[0]->Mods = TagSet{static_cast<TagId>(123)};
+  std::string Err;
+  EXPECT_FALSE(verifyFunction(M, *F, Err));
+  EXPECT_NE(Err.find("MOD list"), std::string::npos) << Err;
+
+  F->block(0)->insts()[0]->Mods.clear();
+  F->block(0)->insts()[0]->Refs = TagSet{static_cast<TagId>(123)};
+  Err.clear();
+  EXPECT_FALSE(verifyFunction(M, *F, Err));
+  EXPECT_NE(Err.find("REF list"), std::string::npos) << Err;
+}
+
+TEST(VerifierTest, UseBeforeDefIsOptIn) {
+  Module M;
+  Function *F = M.addFunction("f");
+  F->setReturn(true, RegType::Int);
+  BasicBlock *BB = F->newBlock("entry");
+  Reg R = F->newReg(RegType::Int);
+  Instruction Ret(Opcode::Ret);
+  Ret.Ops.push_back(R); // returns a register nothing ever defined
+  BB->append(std::move(Ret));
+  std::string Err;
+  // Structurally fine: the register is in range.
+  EXPECT_TRUE(verifyFunction(M, *F, Err)) << Err;
+  // The dataflow check catches it.
+  VerifyOptions VO;
+  VO.CheckDefBeforeUse = true;
+  EXPECT_FALSE(verifyFunction(M, *F, Err, VO));
+  EXPECT_NE(Err.find("used before def"), std::string::npos) << Err;
+}
+
+TEST(VerifierTest, DefOnOnePathOnlyIsCaught) {
+  // r1 is defined on the then-path only, then used at the join.
+  Module M;
+  Function *F = M.addFunction("f");
+  F->setReturn(true, RegType::Int);
+  IRBuilder B(M, F);
+  BasicBlock *Entry = F->newBlock("entry");
+  BasicBlock *Then = F->newBlock("then");
+  BasicBlock *Join = F->newBlock("join");
+  B.setBlock(Entry);
+  Reg C = B.emitLoadI(1);
+  B.emitBr(C, Then->id(), Join->id());
+  B.setBlock(Then);
+  Reg V = B.emitLoadI(42);
+  B.emitJmp(Join->id());
+  B.setBlock(Join);
+  Instruction Ret(Opcode::Ret);
+  Ret.Ops.push_back(V);
+  Join->append(std::move(Ret));
+  std::string Err;
+  VerifyOptions VO;
+  VO.CheckDefBeforeUse = true;
+  EXPECT_FALSE(verifyFunction(M, *F, Err, VO));
+  EXPECT_NE(Err.find("used before def"), std::string::npos) << Err;
+}
+
 TEST(FunctionTest, RemoveBlocksRemapsTargets) {
   Module M;
   Function *F = M.addFunction("f");

@@ -71,6 +71,26 @@ bool readFile(const char *Path, std::string &Out) {
   return true;
 }
 
+/// Strict base-10 parse: non-empty, every character a digit, fits unsigned.
+/// Rejects the "12abc" and "" inputs that atoi silently accepts.
+bool parseUnsigned(const char *S, unsigned &Out) {
+  if (!*S)
+    return false;
+  uint64_t V = 0;
+  for (; *S; ++S) {
+    if (*S < '0' || *S > '9')
+      return false;
+    V = V * 10 + static_cast<uint64_t>(*S - '0');
+    if (V > 0xFFFFFFFFull)
+      return false;
+  }
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+// Exit codes: 0 success, 1 compile/runtime error, 2 usage error (unknown
+// flag, missing input), 3 malformed option value, 4 unreadable input file.
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -90,7 +110,7 @@ int main(int argc, char **argv) {
         Cfg.Analysis = AnalysisKind::PointsTo;
       else {
         std::fprintf(stderr, "error: unknown analysis '%s'\n", A + 11);
-        return 2;
+        return 3;
       }
     } else if (std::strcmp(A, "--no-promotion") == 0) {
       Cfg.ScalarPromotion = false;
@@ -101,18 +121,25 @@ int main(int argc, char **argv) {
     } else if (std::strcmp(A, "--no-regalloc") == 0) {
       Cfg.RegisterAllocation = false;
     } else if (std::strncmp(A, "--registers=", 12) == 0) {
-      Cfg.NumRegisters = static_cast<unsigned>(std::atoi(A + 12));
-      if (Cfg.NumRegisters < 4) {
-        std::fprintf(stderr, "error: --registers must be at least 4\n");
-        return 2;
+      if (!parseUnsigned(A + 12, Cfg.NumRegisters)) {
+        std::fprintf(stderr, "error: bad --registers value '%s'\n", A + 12);
+        return 3;
+      }
+      if (Cfg.NumRegisters < 4 || Cfg.NumRegisters > 1024) {
+        std::fprintf(stderr,
+                     "error: --registers must be between 4 and 1024\n");
+        return 3;
       }
     } else if (std::strcmp(A, "--classic-alloc") == 0) {
       Cfg.ClassicAllocator = true;
     } else if (std::strcmp(A, "--store-only-if-modified") == 0) {
       Cfg.Promo.StoreOnlyIfModified = true;
     } else if (std::strncmp(A, "--max-promoted=", 15) == 0) {
-      Cfg.Promo.MaxPromotedPerLoop =
-          static_cast<unsigned>(std::atoi(A + 15));
+      if (!parseUnsigned(A + 15, Cfg.Promo.MaxPromotedPerLoop)) {
+        std::fprintf(stderr, "error: bad --max-promoted value '%s'\n",
+                     A + 15);
+        return 3;
+      }
     } else if (std::strcmp(A, "--run") == 0) {
       Run = true;
     } else if (std::strcmp(A, "--counts") == 0) {
@@ -150,7 +177,7 @@ int main(int argc, char **argv) {
   std::string Source;
   if (!readFile(InputPath, Source)) {
     std::fprintf(stderr, "error: cannot open %s\n", InputPath);
-    return 2;
+    return 4;
   }
 
   CompileOutput Out = compileProgram(Source, Cfg);

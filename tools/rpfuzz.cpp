@@ -1,0 +1,357 @@
+//===- tools/rpfuzz.cpp - Differential fuzzing driver ---------------------===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+// Generates deterministic random MiniC programs and cross-checks the
+// pipeline three ways per seed:
+//
+//   diff     every matrix configuration must produce identical behavior
+//   widen    conservatively degraded alias analysis must preserve behavior
+//   corrupt  structurally broken IL must be rejected by the verifier
+//
+//   rpfuzz --runs=500 --seed=1                # full matrix, all modes
+//   rpfuzz --runs=200 --matrix=quick          # smoke configuration
+//   rpfuzz --emit=42                          # print seed 42's program
+//   rpfuzz --reduce=crash.c --predicate=diverge
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lowering.h"
+#include "fuzz/DifferentialOracle.h"
+#include "fuzz/FaultInjector.h"
+#include "fuzz/ProgramGenerator.h"
+#include "fuzz/Reducer.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace rpcc;
+
+namespace {
+
+void usage() {
+  std::fputs(
+      "usage: rpfuzz [options]\n"
+      "\n"
+      "fuzzing:\n"
+      "  --runs=N            seeds to try (default 100)\n"
+      "  --seed=S            first seed (default 1)\n"
+      "  --matrix=full|quick differential matrix size (default full)\n"
+      "  --mode=all|diff|widen|corrupt\n"
+      "                      which oracles to run per seed (default all)\n"
+      "  --emit=S            print the program for seed S and exit\n"
+      "\n"
+      "reduction:\n"
+      "  --reduce=FILE       shrink FILE with delta debugging\n"
+      "  --predicate=diverge|error|substr:TEXT\n"
+      "                      failure to preserve while shrinking\n"
+      "                      (default diverge, on the quick matrix)\n",
+      stderr);
+}
+
+/// Strict base-10 parse: every character a digit, value fits in uint64_t.
+bool parseU64(const char *S, uint64_t &Out) {
+  if (!*S)
+    return false;
+  uint64_t V = 0;
+  for (; *S; ++S) {
+    if (*S < '0' || *S > '9')
+      return false;
+    uint64_t D = static_cast<uint64_t>(*S - '0');
+    if (V > (UINT64_MAX - D) / 10)
+      return false;
+    V = V * 10 + D;
+  }
+  Out = V;
+  return true;
+}
+
+InterpOptions fuzzInterpOptions() {
+  InterpOptions IO;
+  // Generated programs are terminating by construction; a run that needs
+  // more than this is a generator bug worth flagging loudly.
+  IO.MaxSteps = uint64_t(1) << 26;
+  return IO;
+}
+
+int emitSeed(uint64_t Seed) {
+  std::fputs(generateProgram(Seed).c_str(), stdout);
+  return 0;
+}
+
+/// diff oracle for one seed; returns true on success. On success the
+/// per-cell dynamic load counts are accumulated into \p LoadTotals for the
+/// corpus-level promotion sanity check.
+bool checkDiff(uint64_t Seed, const std::string &Src,
+               const std::vector<FuzzConfig> &Matrix,
+               std::vector<uint64_t> &LoadTotals, std::string &Why) {
+  OracleResult R = checkProgram(Src, Matrix, fuzzInterpOptions());
+  if (R.Ok) {
+    for (size_t I = 0; I != R.Loads.size(); ++I)
+      LoadTotals[I] += R.Loads[I];
+    return true;
+  }
+  Why = "[diff] " + R.FailingConfig + ": " + R.Message;
+  return false;
+}
+
+/// widen oracle: behavior must survive conservative analysis degradation.
+bool checkWiden(uint64_t Seed, const std::string &Src, std::string &Why) {
+  CompilerConfig Base;
+  Base.Analysis = AnalysisKind::PointsTo;
+  ExecResult Ref = compileAndRun(Src, Base, fuzzInterpOptions());
+  if (!Ref.Ok) {
+    Why = "[widen] reference run failed: " + Ref.Error;
+    return false;
+  }
+  CompilerConfig Widened = Base;
+  Widened.PostAnalysisHook = [Seed](Module &M) { widenAnalysis(M, Seed); };
+  ExecResult Got = compileAndRun(Src, Widened, fuzzInterpOptions());
+  if (!Got.Ok) {
+    Why = "[widen] widened run failed: " + Got.Error;
+    return false;
+  }
+  if (Got.ExitCode != Ref.ExitCode || Got.Output != Ref.Output) {
+    std::ostringstream OS;
+    OS << "[widen] behavior changed: exit " << Got.ExitCode << " vs "
+       << Ref.ExitCode << ", stdout " << Got.Output.size() << " vs "
+       << Ref.Output.size() << " bytes";
+    Why = OS.str();
+    return false;
+  }
+  return true;
+}
+
+/// corrupt oracle: the verifier must reject, with a diagnostic, without
+/// crashing -- and the printer must render the broken IL safely too.
+bool checkCorrupt(uint64_t Seed, const std::string &Src, std::string &Why) {
+  Module M;
+  std::string Err;
+  if (!compileToIL(Src, M, Err)) {
+    Why = "[corrupt] generated program failed to lower: " + Err;
+    return false;
+  }
+  std::string PreErr;
+  if (!verifyModule(M, PreErr)) {
+    Why = "[corrupt] lowered IL failed verification before corruption:\n" +
+          PreErr;
+    return false;
+  }
+  std::string Desc;
+  if (!corruptModule(M, Seed, Desc)) {
+    Why = "[corrupt] no corruption site found";
+    return false;
+  }
+  (void)printModule(M); // must not crash on invalid IL
+  std::string PostErr;
+  VerifyOptions VO;
+  VO.CheckDefBeforeUse = true;
+  if (verifyModule(M, PostErr, VO)) {
+    Why = "[corrupt] verifier accepted corrupted IL (" + Desc + ")";
+    return false;
+  }
+  if (PostErr.empty()) {
+    Why = "[corrupt] verifier rejected without a diagnostic (" + Desc + ")";
+    return false;
+  }
+  return true;
+}
+
+int runFuzz(uint64_t Seed0, uint64_t Runs, bool Quick,
+            const std::string &Mode) {
+  std::vector<FuzzConfig> Matrix = Quick ? quickMatrix() : fullMatrix();
+  bool DoDiff = Mode == "all" || Mode == "diff";
+  bool DoWiden = Mode == "all" || Mode == "widen";
+  bool DoCorrupt = Mode == "all" || Mode == "corrupt";
+
+  uint64_t Failures = 0, Printed = 0;
+  std::vector<uint64_t> LoadTotals(Matrix.size(), 0);
+  for (uint64_t K = 0; K != Runs; ++K) {
+    uint64_t Seed = Seed0 + K;
+    std::string Src = generateProgram(Seed);
+    std::string Why;
+    bool Ok = (!DoDiff || checkDiff(Seed, Src, Matrix, LoadTotals, Why)) &&
+              (!DoWiden || checkWiden(Seed, Src, Why)) &&
+              (!DoCorrupt || checkCorrupt(Seed, Src, Why));
+    if (!Ok) {
+      ++Failures;
+      std::fprintf(stderr, "FAIL seed=%llu %s\n",
+                   static_cast<unsigned long long>(Seed), Why.c_str());
+      if (Printed < 3) {
+        ++Printed;
+        std::fprintf(stderr,
+                     "---- failing program (seed %llu) ----\n%s"
+                     "---- end program ----\n",
+                     static_cast<unsigned long long>(Seed), Src.c_str());
+      }
+    }
+    if ((K + 1) % 100 == 0)
+      std::fprintf(stderr, "rpfuzz: %llu/%llu seeds, %llu failure(s)\n",
+                   static_cast<unsigned long long>(K + 1),
+                   static_cast<unsigned long long>(Runs),
+                   static_cast<unsigned long long>(Failures));
+  }
+  // Corpus-level count sanity: a single program may legally load more with
+  // promotion (landing pads, spills), but across the whole corpus promotion
+  // must not add loads under otherwise-identical configuration.
+  if (DoDiff && Failures == 0) {
+    for (auto [Without, With] : promotionPairs(Matrix)) {
+      if (LoadTotals[With] > LoadTotals[Without]) {
+        ++Failures;
+        std::fprintf(stderr,
+                     "FAIL corpus load counts: %s ran %llu loads vs %llu "
+                     "under %s\n",
+                     Matrix[With].name().c_str(),
+                     static_cast<unsigned long long>(LoadTotals[With]),
+                     static_cast<unsigned long long>(LoadTotals[Without]),
+                     Matrix[Without].name().c_str());
+      }
+    }
+  }
+  if (Failures) {
+    std::fprintf(stderr, "rpfuzz: %llu failing seed(s)\n",
+                 static_cast<unsigned long long>(Failures));
+    return 1;
+  }
+  std::fprintf(stderr, "rpfuzz: %llu seeds clean\n",
+               static_cast<unsigned long long>(Runs));
+  return 0;
+}
+
+FailurePredicate makePredicate(const std::string &Spec) {
+  InterpOptions IO = fuzzInterpOptions();
+  if (Spec == "diverge") {
+    std::vector<FuzzConfig> Matrix = quickMatrix();
+    return [Matrix, IO](const std::string &Src) {
+      return !checkProgram(Src, Matrix, IO).Ok;
+    };
+  }
+  if (Spec == "error") {
+    // Compiles cleanly but faults at runtime. Counting compile errors as
+    // failures would let ddmin collapse the program to garbage, since almost
+    // any random subset of lines fails to parse.
+    return [IO](const std::string &Src) {
+      CompilerConfig Cfg;
+      Cfg.Analysis = AnalysisKind::PointsTo;
+      CompileOutput Out = compileProgram(Src, Cfg);
+      if (!Out.Ok)
+        return false;
+      return !interpret(*Out.M, IO).Ok;
+    };
+  }
+  if (Spec.rfind("substr:", 0) == 0) {
+    std::string Needle = Spec.substr(7);
+    return [Needle, IO](const std::string &Src) {
+      CompilerConfig Cfg;
+      Cfg.Analysis = AnalysisKind::PointsTo;
+      CompileOutput Out = compileProgram(Src, Cfg);
+      if (!Out.Ok)
+        return Out.Errors.find(Needle) != std::string::npos;
+      ExecResult R = interpret(*Out.M, IO);
+      return R.Output.find(Needle) != std::string::npos ||
+             R.Error.find(Needle) != std::string::npos;
+    };
+  }
+  return nullptr;
+}
+
+int runReduce(const char *Path, const std::string &PredicateSpec) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Path);
+    return 4;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  FailurePredicate Pred = makePredicate(PredicateSpec);
+  if (!Pred) {
+    std::fprintf(stderr, "error: bad predicate '%s'\n",
+                 PredicateSpec.c_str());
+    return 3;
+  }
+  ReduceStats Stats;
+  std::string Reduced = reduceProgram(SS.str(), Pred, &Stats);
+  if (Stats.FinalLines == Stats.InitialLines && Stats.PredicateRuns == 1) {
+    std::fprintf(stderr,
+                 "error: input does not satisfy predicate '%s'; nothing to "
+                 "reduce\n",
+                 PredicateSpec.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "rpfuzz: reduced %zu -> %zu lines in %u runs\n",
+               Stats.InitialLines, Stats.FinalLines, Stats.PredicateRuns);
+  std::fputs(Reduced.c_str(), stdout);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t Runs = 100, Seed = 1;
+  bool Quick = false;
+  std::string Mode = "all";
+  const char *ReducePath = nullptr;
+  std::string PredicateSpec = "diverge";
+  bool EmitOnly = false;
+  uint64_t EmitSeedVal = 0;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *A = argv[I];
+    if (std::strncmp(A, "--runs=", 7) == 0) {
+      if (!parseU64(A + 7, Runs) || Runs == 0) {
+        std::fprintf(stderr, "error: bad --runs value '%s'\n", A + 7);
+        return 3;
+      }
+    } else if (std::strncmp(A, "--seed=", 7) == 0) {
+      if (!parseU64(A + 7, Seed)) {
+        std::fprintf(stderr, "error: bad --seed value '%s'\n", A + 7);
+        return 3;
+      }
+    } else if (std::strncmp(A, "--matrix=", 9) == 0) {
+      if (std::strcmp(A + 9, "quick") == 0)
+        Quick = true;
+      else if (std::strcmp(A + 9, "full") == 0)
+        Quick = false;
+      else {
+        std::fprintf(stderr, "error: bad --matrix value '%s'\n", A + 9);
+        return 3;
+      }
+    } else if (std::strncmp(A, "--mode=", 7) == 0) {
+      Mode = A + 7;
+      if (Mode != "all" && Mode != "diff" && Mode != "widen" &&
+          Mode != "corrupt") {
+        std::fprintf(stderr, "error: bad --mode value '%s'\n", Mode.c_str());
+        return 3;
+      }
+    } else if (std::strncmp(A, "--emit=", 7) == 0) {
+      if (!parseU64(A + 7, EmitSeedVal)) {
+        std::fprintf(stderr, "error: bad --emit value '%s'\n", A + 7);
+        return 3;
+      }
+      EmitOnly = true;
+    } else if (std::strncmp(A, "--reduce=", 9) == 0) {
+      ReducePath = A + 9;
+    } else if (std::strncmp(A, "--predicate=", 12) == 0) {
+      PredicateSpec = A + 12;
+    } else if (std::strcmp(A, "--help") == 0 || std::strcmp(A, "-h") == 0) {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", A);
+      usage();
+      return 2;
+    }
+  }
+
+  if (EmitOnly)
+    return emitSeed(EmitSeedVal);
+  if (ReducePath)
+    return runReduce(ReducePath, PredicateSpec);
+  return runFuzz(Seed, Runs, Quick, Mode);
+}
