@@ -8,7 +8,8 @@
 
 #include "SuiteTable.h"
 
-int main() {
+int main(int argc, char **argv) {
   return rpcc::runSuiteTable(rpcc::Metric::TotalOps,
-                             "Figure 5: Total Operations");
+                             "Figure 5: Total Operations",
+                             rpcc::suiteTableJobs(argc, argv));
 }

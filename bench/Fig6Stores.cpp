@@ -2,6 +2,7 @@
 
 #include "SuiteTable.h"
 
-int main() {
-  return rpcc::runSuiteTable(rpcc::Metric::Stores, "Figure 6: Stores");
+int main(int argc, char **argv) {
+  return rpcc::runSuiteTable(rpcc::Metric::Stores, "Figure 6: Stores",
+                             rpcc::suiteTableJobs(argc, argv));
 }

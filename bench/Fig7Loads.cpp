@@ -2,6 +2,7 @@
 
 #include "SuiteTable.h"
 
-int main() {
-  return rpcc::runSuiteTable(rpcc::Metric::Loads, "Figure 7: Loads");
+int main(int argc, char **argv) {
+  return rpcc::runSuiteTable(rpcc::Metric::Loads, "Figure 7: Loads",
+                             rpcc::suiteTableJobs(argc, argv));
 }

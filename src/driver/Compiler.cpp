@@ -25,66 +25,107 @@ void normalizeAll(Module &M) {
 
 } // namespace
 
+namespace {
+
+/// Stamps CompileOutput::Timing with the whole-pipeline wall time on every
+/// exit path when timing collection is on.
+struct PipelineClock {
+  CompileOutput &Out;
+  bool Enabled;
+  double Start;
+  PipelineClock(CompileOutput &Out, bool Enabled)
+      : Out(Out), Enabled(Enabled), Start(Enabled ? timingNowMs() : 0) {}
+  ~PipelineClock() {
+    if (Enabled) {
+      Out.Timing.CompileMillis = timingNowMs() - Start;
+      Out.Timing.Compiles = 1;
+    }
+  }
+};
+
+} // namespace
+
 CompileOutput rpcc::compileProgram(const std::string &Source,
                                    const CompilerConfig &Cfg) {
   CompileOutput Out;
   Out.M = std::make_unique<Module>();
-  if (!compileToIL(Source, *Out.M, Out.Errors))
+  PipelineClock Clock(Out, Cfg.CollectTiming);
+
+  // Wraps one pass: records wall time and static op counts before/after
+  // when timing is on, otherwise just runs the pass.
+  auto Timed = [&](const char *Name, auto &&Body) {
+    if (!Cfg.CollectTiming) {
+      Body();
+      return;
+    }
+    uint64_t Before = countStaticOps(*Out.M);
+    double T0 = timingNowMs();
+    Body();
+    Out.Timing.addPass(Name, timingNowMs() - T0, Before,
+                       countStaticOps(*Out.M));
+  };
+
+  bool Lowered = false;
+  Timed("lower", [&] { Lowered = compileToIL(Source, *Out.M, Out.Errors); });
+  if (!Lowered)
     return Out;
   Module &M = *Out.M;
 
   // Landing pads and dedicated exits, as the paper's CFG construction
   // guarantees.
-  normalizeAll(M);
+  Timed("cfg-normalize", [&] { normalizeAll(M); });
 
   // Interprocedural analysis; encode results in tag sets and call
   // summaries, then strengthen opcodes up Table 1's hierarchy.
   if (Cfg.Analysis == AnalysisKind::PointsTo) {
-    PointsToResult PT = runPointsTo(M);
-    runModRef(M, &PT);
+    PointsToResult PT;
+    Timed("points-to", [&] { PT = runPointsTo(M); });
+    Timed("modref", [&] { runModRef(M, &PT); });
   } else {
-    runModRef(M);
+    Timed("modref", [&] { runModRef(M); });
   }
   if (Cfg.PostAnalysisHook)
     Cfg.PostAnalysisHook(M);
-  Out.Stats.Strengthen = strengthenOpcodes(M);
+  Timed("strengthen", [&] { Out.Stats.Strengthen = strengthenOpcodes(M); });
 
   // Register promotion happens "in the early phases of optimization".
   if (Cfg.ScalarPromotion)
-    Out.Stats.Promo = promoteScalars(M, Cfg.Promo);
+    Timed("promote", [&] { Out.Stats.Promo = promoteScalars(M, Cfg.Promo); });
 
   if (Cfg.EnableOpts) {
-    Out.Stats.Vn = runValueNumbering(M);
-    Out.Stats.Pre = runPre(M);
-    propagateCopies(M);
-    Out.Stats.Sccp = runSccp(M);
-    runCleanup(M);
-    normalizeAll(M);
-    Out.Stats.Licm = runLicm(M);
+    Timed("vn", [&] { Out.Stats.Vn = runValueNumbering(M); });
+    Timed("pre", [&] { Out.Stats.Pre = runPre(M); });
+    Timed("copy-prop", [&] { propagateCopies(M); });
+    Timed("sccp", [&] { Out.Stats.Sccp = runSccp(M); });
+    Timed("cleanup", [&] { runCleanup(M); });
+    Timed("cfg-normalize", [&] { normalizeAll(M); });
+    Timed("licm", [&] { Out.Stats.Licm = runLicm(M); });
   }
 
   // §3.3 pointer-based promotion runs after LICM has exposed invariant
   // base addresses.
   if (Cfg.PointerPromotion) {
-    normalizeAll(M);
-    Out.Stats.PtrPromo = promotePointers(M);
+    Timed("cfg-normalize", [&] { normalizeAll(M); });
+    Timed("ptr-promote", [&] { Out.Stats.PtrPromo = promotePointers(M); });
   }
 
   if (Cfg.EnableOpts)
-    Out.Stats.DceRemoved = runDce(M);
+    Timed("dce", [&] { Out.Stats.DceRemoved = runDce(M); });
 
   if (Cfg.RegisterAllocation) {
     RegAllocOptions RA;
     RA.NumRegisters = Cfg.NumRegisters;
     RA.GeorgeCoalescing = !Cfg.ClassicAllocator;
     RA.Rematerialization = !Cfg.ClassicAllocator;
-    Out.Stats.RegAlloc = allocateRegisters(M, RA);
+    Timed("regalloc", [&] { Out.Stats.RegAlloc = allocateRegisters(M, RA); });
   }
 
-  runCleanup(M);
+  Timed("cleanup", [&] { runCleanup(M); });
 
+  bool Verified = false;
   std::string VerifyErr;
-  if (!verifyModule(M, VerifyErr)) {
+  Timed("verify", [&] { Verified = verifyModule(M, VerifyErr); });
+  if (!Verified) {
     Out.Errors = "internal error: pipeline produced invalid IL:\n" + VerifyErr;
     return Out;
   }

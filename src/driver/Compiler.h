@@ -19,6 +19,7 @@
 #define RPCC_DRIVER_COMPILER_H
 
 #include "alias/TagRefine.h"
+#include "driver/PassTiming.h"
 #include "interp/Interpreter.h"
 #include "ir/Module.h"
 #include "opt/Licm.h"
@@ -62,6 +63,9 @@ struct CompilerConfig {
   /// widen the analysis results in place; a correct pipeline must tolerate
   /// any over-approximation without changing program behavior.
   std::function<void(Module &)> PostAnalysisHook;
+  /// Collect per-pass wall time and IL op counts into CompileOutput::Timing.
+  /// Off by default so fuzz/test hot paths pay nothing.
+  bool CollectTiming = false;
 };
 
 struct CompileStats {
@@ -81,6 +85,10 @@ struct CompileOutput {
   std::string Errors;
   std::unique_ptr<Module> M;
   CompileStats Stats;
+  /// Per-pass wall time and op counts; populated only when
+  /// CompilerConfig::CollectTiming is set (interpreter fields are filled by
+  /// whoever runs the module).
+  TimingReport Timing;
 };
 
 /// Compiles MiniC source through the configured pipeline. The returned

@@ -1,0 +1,101 @@
+//===- driver/PassTiming.cpp ----------------------------------------------===//
+
+#include "driver/PassTiming.h"
+
+#include "ir/Module.h"
+#include "support/Format.h"
+
+#include <chrono>
+#include <sstream>
+
+using namespace rpcc;
+
+void TimingReport::addPass(const std::string &Name, double Millis,
+                           uint64_t OpsBefore, uint64_t OpsAfter) {
+  for (PassTime &P : Passes)
+    if (P.Name == Name) {
+      P.Millis += Millis;
+      P.OpsBefore += OpsBefore;
+      P.OpsAfter += OpsAfter;
+      ++P.Invocations;
+      return;
+    }
+  Passes.push_back(PassTime{Name, Millis, OpsBefore, OpsAfter, 1});
+}
+
+void TimingReport::merge(const TimingReport &O) {
+  for (const PassTime &P : O.Passes) {
+    bool Found = false;
+    for (PassTime &Mine : Passes)
+      if (Mine.Name == P.Name) {
+        Mine.Millis += P.Millis;
+        Mine.OpsBefore += P.OpsBefore;
+        Mine.OpsAfter += P.OpsAfter;
+        Mine.Invocations += P.Invocations;
+        Found = true;
+        break;
+      }
+    if (!Found)
+      Passes.push_back(P);
+  }
+  CompileMillis += O.CompileMillis;
+  InterpMillis += O.InterpMillis;
+  InterpSteps += O.InterpSteps;
+  Compiles += O.Compiles;
+}
+
+uint64_t rpcc::countStaticOps(const Module &M) {
+  uint64_t N = 0;
+  for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+    const Function *F = M.function(static_cast<FuncId>(FI));
+    for (size_t BI = 0; BI != F->numBlocks(); ++BI)
+      N += F->block(static_cast<BlockId>(BI))->size();
+  }
+  return N;
+}
+
+double rpcc::timingNowMs() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+std::string rpcc::formatTimingReport(const TimingReport &R) {
+  TextTable T({"pass", "calls", "ms", "ops before", "ops after", "delta"});
+  for (const PassTime &P : R.Passes) {
+    int64_t Delta = static_cast<int64_t>(P.OpsAfter) -
+                    static_cast<int64_t>(P.OpsBefore);
+    T.addRow({P.Name, withCommas(P.Invocations), fixed(P.Millis, 3),
+              withCommas(P.OpsBefore), withCommas(P.OpsAfter),
+              withCommasSigned(Delta)});
+  }
+  std::ostringstream OS;
+  OS << T.render();
+  OS << "compile total: " << fixed(R.CompileMillis, 3) << " ms over "
+     << withCommas(R.Compiles) << " compile(s)\n";
+  OS << "interpret:     " << fixed(R.InterpMillis, 3) << " ms, "
+     << withCommas(R.InterpSteps) << " steps\n";
+  return OS.str();
+}
+
+std::string rpcc::formatTimingJson(const TimingReport &R) {
+  std::ostringstream OS;
+  OS << "{\"compiles\":" << R.Compiles;
+  OS << ",\"compile_ms\":" << fixed(R.CompileMillis, 3);
+  OS << ",\"interp_ms\":" << fixed(R.InterpMillis, 3);
+  OS << ",\"interp_steps\":" << R.InterpSteps;
+  OS << ",\"passes\":[";
+  for (size_t I = 0; I != R.Passes.size(); ++I) {
+    const PassTime &P = R.Passes[I];
+    if (I)
+      OS << ",";
+    OS << "{\"name\":\"" << P.Name << "\"";
+    OS << ",\"calls\":" << P.Invocations;
+    OS << ",\"ms\":" << fixed(P.Millis, 3);
+    OS << ",\"ops_before\":" << P.OpsBefore;
+    OS << ",\"ops_after\":" << P.OpsAfter << "}";
+  }
+  OS << "]}\n";
+  return OS.str();
+}

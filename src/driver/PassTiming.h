@@ -1,0 +1,81 @@
+//===- driver/PassTiming.h - Pass/phase timing and metrics -----*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-compile timing and metrics registry: wall time per pipeline pass,
+/// static IL operation counts before and after each pass, and interpreter
+/// time/steps. One TimingReport is produced per compile job; reports from
+/// many jobs (the suite's 56 cells, a fuzz campaign's seeds) merge into one
+/// aggregate, which renders either as a human-readable table (`--timing`)
+/// or as JSON (`--timing-json`).
+///
+/// Collection is off by default (CompilerConfig::CollectTiming) so the fuzz
+/// and test hot paths pay nothing; when on, the cost is one clock read and
+/// one O(module) instruction count per pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_DRIVER_PASSTIMING_H
+#define RPCC_DRIVER_PASSTIMING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rpcc {
+
+class Module;
+
+/// Wall time and IL size change of one pipeline pass (possibly summed over
+/// several invocations and several compile jobs).
+struct PassTime {
+  std::string Name;
+  double Millis = 0;
+  uint64_t OpsBefore = 0; ///< static IL operations when the pass started
+  uint64_t OpsAfter = 0;  ///< static IL operations when it finished
+  uint64_t Invocations = 1;
+};
+
+/// Timing for one compile-and-run job, or (after merge) an aggregate over
+/// many jobs.
+struct TimingReport {
+  /// Pipeline passes in first-execution order; same-named entries are
+  /// folded together (cleanup and CFG normalization run more than once).
+  std::vector<PassTime> Passes;
+  double CompileMillis = 0; ///< whole-pipeline wall time
+  double InterpMillis = 0;  ///< interpreter wall time
+  uint64_t InterpSteps = 0; ///< dynamic operations executed
+  uint64_t Compiles = 0;    ///< compile jobs folded into this report
+
+  /// Records one pass sample, folding into an existing same-named entry.
+  void addPass(const std::string &Name, double Millis, uint64_t OpsBefore,
+               uint64_t OpsAfter);
+
+  /// Folds \p O into this report: totals add up, same-named passes merge
+  /// (first-seen order is kept, new names append). Deterministic given the
+  /// merge order, which callers keep in job-submission order.
+  void merge(const TimingReport &O);
+};
+
+/// Counts static IL instructions across every function of \p M.
+uint64_t countStaticOps(const Module &M);
+
+/// Monotonic timestamp in milliseconds, for timing interpreter runs at the
+/// call site.
+double timingNowMs();
+
+/// Renders the aggregate as an aligned table plus compile/interpret totals.
+std::string formatTimingReport(const TimingReport &R);
+
+/// Renders the aggregate as a single JSON object:
+/// {"compiles":N,"compile_ms":..,"interp_ms":..,"interp_steps":..,
+///  "passes":[{"name":..,"calls":..,"ms":..,"ops_before":..,"ops_after":..}]}
+std::string formatTimingJson(const TimingReport &R);
+
+} // namespace rpcc
+
+#endif // RPCC_DRIVER_PASSTIMING_H

@@ -3,6 +3,7 @@
 #include "driver/SuiteRunner.h"
 
 #include "support/Format.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -15,39 +16,65 @@ using namespace rpcc;
 #define RPCC_PROGRAMS_DIR "bench/programs"
 #endif
 
-ProgramResults rpcc::runAllConfigs(const std::string &Name,
-                                   const std::string &Source,
-                                   const SuiteOptions &Opts) {
-  ProgramResults PR;
-  PR.Name = Name;
-  for (int A = 0; A != 2; ++A) {
-    for (int P = 0; P != 2; ++P) {
-      CompilerConfig Cfg;
-      Cfg.Analysis = A == 0 ? AnalysisKind::ModRef : AnalysisKind::PointsTo;
-      Cfg.ScalarPromotion = P == 1;
-      Cfg.PointerPromotion = P == 1 && Opts.PointerPromotion;
-      Cfg.NumRegisters = Opts.NumRegisters;
-      ExecResult R = compileAndRun(Source, Cfg, Opts.Interp);
-      ConfigCounts &C = PR.R[A][P];
-      C.Ok = R.Ok;
-      C.Error = R.Error;
-      C.Total = R.Counters.Total;
-      C.Loads = R.Counters.Loads;
-      C.Stores = R.Counters.Stores;
-      C.ExitCode = R.ExitCode;
-      C.Output = R.Output;
-    }
-  }
+namespace {
 
-  // Promotion and alias analysis may only change counts, never behavior.
+/// Compiles and runs one matrix cell. Fully self-contained — builds its own
+/// Module/TagTable from the source text — so any number of cells may run on
+/// different threads concurrently.
+ConfigCounts runOneCell(const std::string &Source, int A, int P,
+                        const SuiteOptions &Opts, TimingReport &Timing) {
+  CompilerConfig Cfg;
+  Cfg.Analysis = A == 0 ? AnalysisKind::ModRef : AnalysisKind::PointsTo;
+  Cfg.ScalarPromotion = P == 1;
+  Cfg.PointerPromotion = P == 1 && Opts.PointerPromotion;
+  Cfg.NumRegisters = Opts.NumRegisters;
+  Cfg.CollectTiming = Opts.CollectTiming;
+
+  ConfigCounts C;
+  CompileOutput Out = compileProgram(Source, Cfg);
+  if (!Out.Ok) {
+    C.Error = Out.Errors;
+    Timing = std::move(Out.Timing);
+    return C;
+  }
+  double T0 = Opts.CollectTiming ? timingNowMs() : 0;
+  ExecResult R = interpret(*Out.M, Opts.Interp);
+  if (Opts.CollectTiming) {
+    Timing = std::move(Out.Timing);
+    Timing.InterpMillis = timingNowMs() - T0;
+    Timing.InterpSteps = R.Counters.Total;
+  }
+  C.Ok = R.Ok;
+  C.Error = R.Error;
+  C.Total = R.Counters.Total;
+  C.Loads = R.Counters.Loads;
+  C.Stores = R.Counters.Stores;
+  C.ExitCode = R.ExitCode;
+  C.Output = R.Output;
+  return C;
+}
+
+/// Cross-checks the three non-baseline cells against the modref/no-promotion
+/// cell: promotion and alias analysis may only change counts, never
+/// behavior. When the baseline itself failed, surviving cells are flagged as
+/// having no baseline instead of silently skipping the check — their counts
+/// must not reach the paper tables as if they were comparable.
+void applyBaselineChecks(ProgramResults &PR) {
   const ConfigCounts &Base = PR.R[0][0];
   for (int A = 0; A != 2; ++A) {
     for (int P = 0; P != 2; ++P) {
       if (A == 0 && P == 0)
         continue;
       ConfigCounts &C = PR.R[A][P];
-      if (!Base.Ok || !C.Ok)
+      if (!C.Ok)
         continue;
+      if (!Base.Ok) {
+        C.BaselineFailed = true;
+        C.Ok = false;
+        C.Error = "modref/no-promotion baseline failed (" + Base.Error +
+                  "); counts are not comparable";
+        continue;
+      }
       if (C.ExitCode != Base.ExitCode || C.Output != Base.Output) {
         C.Diverged = true;
         C.Ok = false;
@@ -62,7 +89,58 @@ ProgramResults rpcc::runAllConfigs(const std::string &Name,
       }
     }
   }
+}
+
+/// Merges the four cells' timing into PR.Timing in fixed matrix order, so
+/// the aggregate is identical no matter which threads ran which cell.
+void mergeCellTimings(ProgramResults &PR, const TimingReport Cells[4]) {
+  for (int Cell = 0; Cell != 4; ++Cell)
+    PR.Timing.merge(Cells[Cell]);
+}
+
+} // namespace
+
+ProgramResults rpcc::runAllConfigs(const std::string &Name,
+                                   const std::string &Source,
+                                   const SuiteOptions &Opts) {
+  ProgramResults PR;
+  PR.Name = Name;
+  TimingReport CellTiming[4];
+  parallelFor(Opts.Jobs, 4, [&](size_t Cell) {
+    int A = static_cast<int>(Cell) / 2, P = static_cast<int>(Cell) % 2;
+    PR.R[A][P] = runOneCell(Source, A, P, Opts, CellTiming[Cell]);
+  });
+  if (Opts.CollectTiming)
+    mergeCellTimings(PR, CellTiming);
+  applyBaselineChecks(PR);
   return PR;
+}
+
+std::vector<ProgramResults> rpcc::runSuite(const std::vector<std::string> &Names,
+                                           const SuiteOptions &Opts) {
+  std::vector<ProgramResults> All(Names.size());
+  std::vector<std::string> Sources(Names.size());
+  for (size_t I = 0; I != Names.size(); ++I) {
+    All[I].Name = Names[I];
+    Sources[I] = loadBenchProgram(Names[I]);
+  }
+
+  // One job per (program, cell): 56 for the paper's 14x4 matrix. Finer
+  // granularity than per-program keeps all workers busy even when one
+  // program (go, bison) dominates the wall clock.
+  std::vector<TimingReport> CellTiming(Names.size() * 4);
+  parallelFor(Opts.Jobs, Names.size() * 4, [&](size_t Job) {
+    size_t I = Job / 4;
+    int A = static_cast<int>(Job % 4) / 2, P = static_cast<int>(Job % 2);
+    All[I].R[A][P] = runOneCell(Sources[I], A, P, Opts, CellTiming[Job]);
+  });
+
+  for (size_t I = 0; I != All.size(); ++I) {
+    if (Opts.CollectTiming)
+      mergeCellTimings(All[I], &CellTiming[I * 4]);
+    applyBaselineChecks(All[I]);
+  }
+  return All;
 }
 
 std::string rpcc::formatPaperTable(const std::vector<ProgramResults> &Programs,
@@ -87,8 +165,11 @@ std::string rpcc::formatPaperTable(const std::vector<ProgramResults> &Programs,
       const ConfigCounts &With = PR.R[A][1];
       std::string Analysis = A == 0 ? "modref" : "pointer";
       if (!Without.Ok || !With.Ok) {
-        const char *Cell =
-            Without.Diverged || With.Diverged ? "diverged" : "error";
+        const char *Cell = "error";
+        if (Without.Diverged || With.Diverged)
+          Cell = "diverged";
+        else if (Without.BaselineFailed || With.BaselineFailed)
+          Cell = "baseline failed";
         T.addRow({A == 0 ? PR.Name : "", Analysis, Cell, Cell, "-", "-"});
         continue;
       }

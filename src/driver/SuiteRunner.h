@@ -29,6 +29,13 @@ struct SuiteOptions {
   unsigned NumRegisters = 16;
   bool PointerPromotion = false;
   InterpOptions Interp;
+  /// Worker threads fanning out over config cells (and, in runSuite, over
+  /// programs x cells). 1 = serial. Every cell compiles its own Module, so
+  /// results — and therefore the rendered tables — are byte-identical to a
+  /// serial run regardless of Jobs.
+  unsigned Jobs = 1;
+  /// Collect per-pass timing into ProgramResults::Timing.
+  bool CollectTiming = false;
 };
 
 struct ConfigCounts {
@@ -38,6 +45,10 @@ struct ConfigCounts {
   int64_t ExitCode = 0;
   std::string Output;   ///< program stdout, for cross-config equality checks
   bool Diverged = false; ///< behavior differs from the modref/no-promo cell
+  /// The modref/no-promotion cell failed, so this cell's counts have no
+  /// baseline to be compared against; they must not appear in the paper
+  /// tables as if they were comparable.
+  bool BaselineFailed = false;
 };
 
 /// Results of one program across the 2x2 matrix:
@@ -46,6 +57,9 @@ struct ConfigCounts {
 struct ProgramResults {
   std::string Name;
   ConfigCounts R[2][2];
+  /// Aggregate of the four cells' pass timings (cells merged in matrix
+  /// order); empty unless SuiteOptions::CollectTiming.
+  TimingReport Timing;
 };
 
 /// Compiles and executes under all four configurations. Every configuration
@@ -56,6 +70,13 @@ struct ProgramResults {
 ProgramResults runAllConfigs(const std::string &Name,
                              const std::string &Source,
                              const SuiteOptions &Opts = {});
+
+/// Compiles and executes every named benchmark program under all four
+/// configurations, fanning the programs-x-cells job list across
+/// SuiteOptions::Jobs workers. Results come back in program order and are
+/// byte-identical to a serial run.
+std::vector<ProgramResults> runSuite(const std::vector<std::string> &Names,
+                                     const SuiteOptions &Opts = {});
 
 enum class Metric { TotalOps, Stores, Loads };
 

@@ -1,0 +1,210 @@
+//===- fuzz/Campaign.cpp --------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+
+#include "frontend/Lowering.h"
+#include "fuzz/DifferentialOracle.h"
+#include "fuzz/FaultInjector.h"
+#include "fuzz/ProgramGenerator.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+using namespace rpcc;
+
+namespace {
+
+InterpOptions fuzzInterpOptions() {
+  InterpOptions IO;
+  // Generated programs are terminating by construction; a run that needs
+  // more than this is a generator bug worth flagging loudly.
+  IO.MaxSteps = uint64_t(1) << 26;
+  return IO;
+}
+
+/// Everything one seed produced, computed on any worker thread and reported
+/// later, in seed order, on the campaign thread.
+struct SeedOutcome {
+  bool Ok = true;
+  bool DiffOk = false;
+  std::string Why;
+  std::string Src;            ///< kept only for failing seeds
+  std::vector<uint64_t> Loads; ///< per-cell dynamic loads when DiffOk
+};
+
+/// diff oracle: every matrix cell must agree on behavior. Records per-cell
+/// load counts for the corpus-level promotion check.
+bool checkDiff(const std::string &Src, const std::vector<FuzzConfig> &Matrix,
+               SeedOutcome &Out) {
+  OracleResult R = checkProgram(Src, Matrix, fuzzInterpOptions());
+  if (R.Ok) {
+    Out.DiffOk = true;
+    Out.Loads = std::move(R.Loads);
+    return true;
+  }
+  Out.Why = "[diff] " + R.FailingConfig + ": " + R.Message;
+  return false;
+}
+
+/// widen oracle: behavior must survive conservative analysis degradation.
+bool checkWiden(uint64_t Seed, const std::string &Src, std::string &Why) {
+  CompilerConfig Base;
+  Base.Analysis = AnalysisKind::PointsTo;
+  ExecResult Ref = compileAndRun(Src, Base, fuzzInterpOptions());
+  if (!Ref.Ok) {
+    Why = "[widen] reference run failed: " + Ref.Error;
+    return false;
+  }
+  CompilerConfig Widened = Base;
+  Widened.PostAnalysisHook = [Seed](Module &M) { widenAnalysis(M, Seed); };
+  ExecResult Got = compileAndRun(Src, Widened, fuzzInterpOptions());
+  if (!Got.Ok) {
+    Why = "[widen] widened run failed: " + Got.Error;
+    return false;
+  }
+  if (Got.ExitCode != Ref.ExitCode || Got.Output != Ref.Output) {
+    std::ostringstream OS;
+    OS << "[widen] behavior changed: exit " << Got.ExitCode << " vs "
+       << Ref.ExitCode << ", stdout " << Got.Output.size() << " vs "
+       << Ref.Output.size() << " bytes";
+    Why = OS.str();
+    return false;
+  }
+  return true;
+}
+
+/// corrupt oracle: the verifier must reject, with a diagnostic, without
+/// crashing -- and the printer must render the broken IL safely too.
+bool checkCorrupt(uint64_t Seed, const std::string &Src, std::string &Why) {
+  Module M;
+  std::string Err;
+  if (!compileToIL(Src, M, Err)) {
+    Why = "[corrupt] generated program failed to lower: " + Err;
+    return false;
+  }
+  std::string PreErr;
+  if (!verifyModule(M, PreErr)) {
+    Why = "[corrupt] lowered IL failed verification before corruption:\n" +
+          PreErr;
+    return false;
+  }
+  std::string Desc;
+  if (!corruptModule(M, Seed, Desc)) {
+    Why = "[corrupt] no corruption site found";
+    return false;
+  }
+  (void)printModule(M); // must not crash on invalid IL
+  std::string PostErr;
+  VerifyOptions VO;
+  VO.CheckDefBeforeUse = true;
+  if (verifyModule(M, PostErr, VO)) {
+    Why = "[corrupt] verifier accepted corrupted IL (" + Desc + ")";
+    return false;
+  }
+  if (PostErr.empty()) {
+    Why = "[corrupt] verifier rejected without a diagnostic (" + Desc + ")";
+    return false;
+  }
+  return true;
+}
+
+/// Runs every enabled oracle for one seed. Self-contained: builds private
+/// modules for each compile, touches no shared state.
+SeedOutcome checkSeed(uint64_t Seed, const CampaignOptions &Opts,
+                      const std::vector<FuzzConfig> &Matrix) {
+  SeedOutcome Out;
+  std::string Src = generateProgram(Seed);
+  std::string Why;
+  bool Ok = (!Opts.DoDiff || checkDiff(Src, Matrix, Out)) &&
+            (!Opts.DoWiden || checkWiden(Seed, Src, Why)) &&
+            (!Opts.DoCorrupt || checkCorrupt(Seed, Src, Why));
+  if (!Ok) {
+    Out.Ok = false;
+    if (Out.Why.empty())
+      Out.Why = Why;
+    Out.Src = std::move(Src);
+  }
+  return Out;
+}
+
+void emit(CampaignResult &R, std::FILE *Live, const std::string &Text) {
+  R.Log += Text;
+  if (Live)
+    std::fputs(Text.c_str(), Live);
+}
+
+} // namespace
+
+CampaignResult rpcc::runCampaign(const CampaignOptions &Opts,
+                                 std::FILE *Live) {
+  std::vector<FuzzConfig> Matrix = Opts.Quick ? quickMatrix() : fullMatrix();
+  CampaignResult R;
+  std::vector<uint64_t> LoadTotals(Matrix.size(), 0);
+  uint64_t Printed = 0;
+
+  // Seeds are checked in blocks (parallel, any order) and reported in seed
+  // order, so the log is byte-identical for any Jobs. Serial runs use a
+  // block of one, preserving the old check-then-report streaming cadence.
+  uint64_t BlockSize = Opts.Jobs <= 1 ? 1 : uint64_t(Opts.Jobs) * 8;
+  std::vector<SeedOutcome> Block;
+  for (uint64_t Base = 0; Base < Opts.Runs; Base += BlockSize) {
+    uint64_t N = std::min(BlockSize, Opts.Runs - Base);
+    Block.assign(N, SeedOutcome());
+    parallelFor(Opts.Jobs, N, [&](size_t I) {
+      Block[I] = checkSeed(Opts.Seed0 + Base + I, Opts, Matrix);
+    });
+
+    for (uint64_t I = 0; I != N; ++I) {
+      uint64_t K = Base + I;
+      uint64_t Seed = Opts.Seed0 + K;
+      SeedOutcome &Out = Block[I];
+      if (Out.DiffOk)
+        for (size_t Cell = 0; Cell != Out.Loads.size(); ++Cell)
+          LoadTotals[Cell] += Out.Loads[Cell];
+      if (!Out.Ok) {
+        ++R.Failures;
+        std::ostringstream OS;
+        OS << "FAIL seed=" << Seed << " " << Out.Why << "\n";
+        if (Printed < Opts.MaxPrintedPrograms) {
+          ++Printed;
+          OS << "---- failing program (seed " << Seed << ") ----\n"
+             << Out.Src << "---- end program ----\n";
+        }
+        emit(R, Live, OS.str());
+      }
+      if (Opts.ProgressInterval && (K + 1) % Opts.ProgressInterval == 0) {
+        std::ostringstream OS;
+        OS << "rpfuzz: " << (K + 1) << "/" << Opts.Runs << " seeds, "
+           << R.Failures << " failure(s)\n";
+        emit(R, Live, OS.str());
+      }
+    }
+  }
+
+  // Corpus-level count sanity: a single program may legally load more with
+  // promotion (landing pads, spills), but across the whole corpus promotion
+  // must not add loads under otherwise-identical configuration.
+  if (Opts.DoDiff && R.Failures == 0) {
+    for (auto [Without, With] : promotionPairs(Matrix)) {
+      if (LoadTotals[With] > LoadTotals[Without]) {
+        ++R.Failures;
+        std::ostringstream OS;
+        OS << "FAIL corpus load counts: " << Matrix[With].name() << " ran "
+           << LoadTotals[With] << " loads vs " << LoadTotals[Without]
+           << " under " << Matrix[Without].name() << "\n";
+        emit(R, Live, OS.str());
+      }
+    }
+  }
+  std::ostringstream OS;
+  if (R.Failures)
+    OS << "rpfuzz: " << R.Failures << " failing seed(s)\n";
+  else
+    OS << "rpfuzz: " << Opts.Runs << " seeds clean\n";
+  emit(R, Live, OS.str());
+  return R;
+}

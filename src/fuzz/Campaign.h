@@ -1,0 +1,58 @@
+//===- fuzz/Campaign.h - Parallel differential fuzz campaigns --*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seed loop behind `rpfuzz`: generate a deterministic program per seed,
+/// run the diff / widen / corrupt oracles, and render a verdict log. Seeds
+/// are embarrassingly parallel — every oracle run builds its own modules —
+/// so the campaign fans seeds across CampaignOptions::Jobs workers while
+/// still emitting the log in strict seed order: the log (and the failure
+/// count) is byte-identical for any worker count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_FUZZ_CAMPAIGN_H
+#define RPCC_FUZZ_CAMPAIGN_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace rpcc {
+
+struct CampaignOptions {
+  uint64_t Seed0 = 1;
+  uint64_t Runs = 100;
+  bool Quick = false; ///< quickMatrix() instead of fullMatrix()
+  bool DoDiff = true;
+  bool DoWiden = true;
+  bool DoCorrupt = true;
+  /// Worker threads across seeds; 1 = serial. Seeds are checked in blocks
+  /// and reported in seed order, so the log does not depend on Jobs.
+  unsigned Jobs = 1;
+  /// Seeds between "N/M seeds" progress lines (0 disables them).
+  uint64_t ProgressInterval = 100;
+  /// How many failing programs to print in full.
+  uint64_t MaxPrintedPrograms = 3;
+};
+
+struct CampaignResult {
+  uint64_t Failures = 0;
+  /// The full verdict log: FAIL lines, failing programs, progress lines,
+  /// the corpus-level promotion check, and the summary line. Byte-identical
+  /// for equal options regardless of CampaignOptions::Jobs.
+  std::string Log;
+};
+
+/// Runs the campaign. When \p Live is non-null, log text is also streamed
+/// there (block by block, in seed order) as the campaign progresses.
+CampaignResult runCampaign(const CampaignOptions &Opts,
+                           std::FILE *Live = nullptr);
+
+} // namespace rpcc
+
+#endif // RPCC_FUZZ_CAMPAIGN_H

@@ -487,6 +487,9 @@ private:
       case Opcode::Phi:
         Err.raise("phi reached the interpreter (SSA not destructed)");
         break;
+      case Opcode::kNumOpcodes:
+        Err.raise("sentinel opcode reached the interpreter");
+        break;
       }
       ++PC;
     }

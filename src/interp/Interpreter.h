@@ -32,9 +32,13 @@ struct OpCounters {
   uint64_t Loads = 0;
   uint64_t Stores = 0;
   /// Per-opcode dynamic counts, indexed by static_cast<size_t>(Opcode).
-  std::array<uint64_t, 64> ByOpcode{};
+  /// Sized by the enum's sentinel so a new opcode can never silently index
+  /// out of bounds.
+  std::array<uint64_t, NumOpcodes> ByOpcode{};
 
   uint64_t count(Opcode Op) const {
+    static_assert(sizeof(ByOpcode) == NumOpcodes * sizeof(uint64_t),
+                  "ByOpcode must cover every opcode");
     return ByOpcode[static_cast<size_t>(Op)];
   }
 };

@@ -52,6 +52,7 @@ const char *rpcc::opcodeName(Opcode Op) {
   case Opcode::Jmp: return "JMP";
   case Opcode::Ret: return "RET";
   case Opcode::Phi: return "PHI";
+  case Opcode::kNumOpcodes: break; // sentinel, never an instruction
   }
   return "?";
 }

@@ -19,6 +19,7 @@
 #ifndef RPCC_IR_OPCODE_H
 #define RPCC_IR_OPCODE_H
 
+#include <cstddef>
 #include <cstdint>
 
 namespace rpcc {
@@ -51,8 +52,18 @@ enum class Opcode : uint8_t {
   Br,           ///< conditional branch on a register
   Jmp,          ///< unconditional branch
   Ret,          ///< return, with optional value
-  Phi           ///< SSA phi (only present while a function is in SSA form)
+  Phi,          ///< SSA phi (only present while a function is in SSA form)
+  // Sentinel: number of real opcodes. Must stay last; per-opcode counter
+  // arrays are sized by it so adding an opcode can never index out of
+  // bounds.
+  kNumOpcodes
 };
+
+/// Number of real opcodes, for sizing per-opcode tables.
+inline constexpr size_t NumOpcodes = static_cast<size_t>(Opcode::kNumOpcodes);
+
+static_assert(static_cast<size_t>(Opcode::Phi) + 1 == NumOpcodes,
+              "kNumOpcodes must remain the last enumerator");
 
 /// Printable mnemonic for \p Op (ILOC-flavored).
 const char *opcodeName(Opcode Op);

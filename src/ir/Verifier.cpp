@@ -51,6 +51,8 @@ OpShape shapeOf(Opcode Op) {
     return {0, true, false};
   case Opcode::Call: case Opcode::CallIndirect: case Opcode::Ret:
     return {-1, false, false}; // checked specially
+  case Opcode::kNumOpcodes:
+    break; // sentinel, never an instruction
   }
   return {-1, false, false};
 }

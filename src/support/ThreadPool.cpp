@@ -1,0 +1,132 @@
+//===- support/ThreadPool.cpp ---------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+
+using namespace rpcc;
+
+ThreadPool::ThreadPool(unsigned Workers) {
+  Threads.reserve(Workers);
+  for (unsigned I = 0; I != Workers; ++I)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    // Let queued work drain so a destructor without an explicit wait()
+    // still runs everything that was submitted.
+    AllDone.wait(L, [this] { return Pending == 0; });
+    Stopping = true;
+  }
+  HaveWork.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+unsigned ThreadPool::defaultConcurrency() {
+  unsigned H = std::thread::hardware_concurrency();
+  return H ? H : 4;
+}
+
+void ThreadPool::runTask(std::function<void()> &Task) {
+  try {
+    Task();
+  } catch (...) {
+    std::lock_guard<std::mutex> L(Mu);
+    if (!FirstError)
+      FirstError = std::current_exception();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  if (Threads.empty()) {
+    // Inline mode: run now, on the caller. Pending bookkeeping is still
+    // kept consistent for wait().
+    runTask(Task);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Queue.push_back(std::move(Task));
+    ++Pending;
+  }
+  HaveWork.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::exception_ptr Err;
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    AllDone.wait(L, [this] { return Pending == 0; });
+    Err = FirstError;
+    FirstError = nullptr;
+  }
+  if (Err)
+    std::rethrow_exception(Err);
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      HaveWork.wait(L, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    runTask(Task);
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      if (--Pending == 0)
+        AllDone.notify_all();
+    }
+  }
+}
+
+void rpcc::parallelFor(unsigned Jobs, size_t N,
+                       const std::function<void(size_t)> &Body) {
+  if (N == 0)
+    return;
+  unsigned Workers =
+      Jobs > N ? static_cast<unsigned>(N) : Jobs;
+  if (Workers <= 1) {
+    for (size_t I = 0; I != N; ++I)
+      Body(I);
+    return;
+  }
+
+  std::atomic<size_t> NextIdx{0};
+  std::atomic<bool> Failed{false};
+  std::mutex ErrMu;
+  std::exception_ptr Err;
+
+  ThreadPool Pool(Workers);
+  for (unsigned W = 0; W != Workers; ++W)
+    Pool.submit([&] {
+      for (;;) {
+        if (Failed.load(std::memory_order_relaxed))
+          return;
+        size_t I = NextIdx.fetch_add(1, std::memory_order_relaxed);
+        if (I >= N)
+          return;
+        try {
+          Body(I);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> L(ErrMu);
+            if (!Err)
+              Err = std::current_exception();
+          }
+          Failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  Pool.wait();
+  if (Err)
+    std::rethrow_exception(Err);
+}

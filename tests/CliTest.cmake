@@ -29,6 +29,16 @@ add_test(NAME cli_per_function
 set_tests_properties(cli_per_function PROPERTIES
   PASS_REGULAR_EXPRESSION "peel_likelihood")
 
+add_test(NAME cli_timing
+         COMMAND ${RPCC_BIN} ${PROGS}/allroots.c --run --timing)
+set_tests_properties(cli_timing PROPERTIES
+  PASS_REGULAR_EXPRESSION "compile total:")
+
+add_test(NAME cli_timing_json
+         COMMAND ${RPCC_BIN} ${PROGS}/allroots.c --run --timing-json)
+set_tests_properties(cli_timing_json PROPERTIES
+  PASS_REGULAR_EXPRESSION "\"interp_steps\":[1-9]")
+
 add_test(NAME cli_bad_file COMMAND ${RPCC_BIN} /nonexistent.c)
 set_tests_properties(cli_bad_file PROPERTIES WILL_FAIL TRUE)
 

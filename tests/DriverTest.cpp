@@ -132,4 +132,105 @@ TEST(DriverTest, StatsArePopulated) {
   EXPECT_GE(Out.Stats.RegAlloc.Rounds, 1u);
 }
 
+// -- Pass timing ----------------------------------------------------------
+
+bool hasPass(const TimingReport &T, const std::string &Name) {
+  for (const PassTime &P : T.Passes)
+    if (P.Name == Name)
+      return true;
+  return false;
+}
+
+TEST(TimingTest, OffByDefault) {
+  CompileOutput Out = compileProgram(Counter);
+  ASSERT_TRUE(Out.Ok);
+  EXPECT_TRUE(Out.Timing.Passes.empty());
+  EXPECT_EQ(Out.Timing.Compiles, 0u);
+}
+
+TEST(TimingTest, CollectsEveryPipelineStage) {
+  CompilerConfig Cfg;
+  Cfg.CollectTiming = true;
+  CompileOutput Out = compileProgram(Counter, Cfg);
+  ASSERT_TRUE(Out.Ok);
+  EXPECT_EQ(Out.Timing.Compiles, 1u);
+  EXPECT_GT(Out.Timing.CompileMillis, 0.0);
+  ASSERT_FALSE(Out.Timing.Passes.empty());
+  for (const char *Name : {"lower", "modref", "promote", "vn", "regalloc"})
+    EXPECT_TRUE(hasPass(Out.Timing, Name)) << Name;
+  // Op counts bracket each pass: lower starts from nothing, promotion adds
+  // its landing-pad ops, and every count is coherent.
+  for (const PassTime &P : Out.Timing.Passes) {
+    EXPECT_GE(P.Invocations, 1u) << P.Name;
+    EXPECT_GE(P.Millis, 0.0) << P.Name;
+    if (P.Name == "lower") {
+      EXPECT_EQ(P.OpsBefore, 0u);
+      EXPECT_GT(P.OpsAfter, 0u);
+    }
+  }
+}
+
+TEST(TimingTest, MergeFoldsByPassName) {
+  CompilerConfig Cfg;
+  Cfg.CollectTiming = true;
+  CompileOutput A = compileProgram(Counter, Cfg);
+  CompileOutput B = compileProgram(Counter, Cfg);
+  ASSERT_TRUE(A.Ok && B.Ok);
+  TimingReport Total;
+  Total.merge(A.Timing);
+  Total.merge(B.Timing);
+  EXPECT_EQ(Total.Compiles, 2u);
+  EXPECT_EQ(Total.Passes.size(), A.Timing.Passes.size());
+  for (size_t I = 0; I != Total.Passes.size(); ++I) {
+    EXPECT_EQ(Total.Passes[I].Name, A.Timing.Passes[I].Name);
+    EXPECT_EQ(Total.Passes[I].Invocations,
+              A.Timing.Passes[I].Invocations + B.Timing.Passes[I].Invocations);
+  }
+}
+
+TEST(TimingTest, ReportsRenderBothFormats) {
+  CompilerConfig Cfg;
+  Cfg.CollectTiming = true;
+  CompileOutput Out = compileProgram(Counter, Cfg);
+  ASSERT_TRUE(Out.Ok);
+  Out.Timing.InterpSteps = 512;
+
+  std::string Human = formatTimingReport(Out.Timing);
+  EXPECT_NE(Human.find("regalloc"), std::string::npos) << Human;
+  EXPECT_NE(Human.find("compile total:"), std::string::npos) << Human;
+
+  std::string Json = formatTimingJson(Out.Timing);
+  EXPECT_EQ(Json.front(), '{');
+  EXPECT_EQ(Json.back(), '\n');
+  EXPECT_EQ(Json[Json.size() - 2], '}');
+  EXPECT_NE(Json.find("\"compiles\":1"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"interp_steps\":512"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"name\":\"promote\""), std::string::npos) << Json;
+  // Balanced braces/brackets — cheap well-formedness net for consumers.
+  int Depth = 0;
+  for (char C : Json) {
+    if (C == '{' || C == '[')
+      ++Depth;
+    if (C == '}' || C == ']')
+      --Depth;
+    EXPECT_GE(Depth, 0);
+  }
+  EXPECT_EQ(Depth, 0);
+}
+
+TEST(TimingTest, SuiteAggregatesAcrossCells) {
+  SuiteOptions Opts;
+  Opts.CollectTiming = true;
+  ProgramResults PR =
+      runAllConfigs("counter", Counter, Opts);
+  for (int A = 0; A != 2; ++A)
+    for (int P = 0; P != 2; ++P)
+      ASSERT_TRUE(PR.R[A][P].Ok) << PR.R[A][P].Error;
+  EXPECT_EQ(PR.Timing.Compiles, 4u);
+  EXPECT_EQ(PR.Timing.InterpSteps,
+            PR.R[0][0].Total + PR.R[0][1].Total + PR.R[1][0].Total +
+                PR.R[1][1].Total);
+  EXPECT_TRUE(hasPass(PR.Timing, "regalloc"));
+}
+
 } // namespace

@@ -9,6 +9,7 @@
 
 #include "driver/Compiler.h"
 #include "frontend/Lowering.h"
+#include "fuzz/Campaign.h"
 #include "fuzz/DifferentialOracle.h"
 #include "fuzz/FaultInjector.h"
 #include "fuzz/ProgramGenerator.h"
@@ -205,6 +206,42 @@ TEST(DifferentialTest, PromotionReducesLoadsAcrossCorpus) {
   for (auto [Without, With] : Pairs)
     EXPECT_LE(Totals[With], Totals[Without])
         << Matrix[With].name() << " vs " << Matrix[Without].name();
+}
+
+TEST(CampaignTest, ParallelLogMatchesSerialByteForByte) {
+  // The tentpole determinism guarantee for rpfuzz --jobs=N: identical
+  // verdict log and failure count for any worker count. Progress lines
+  // every 10 seeds make the interleaving-sensitive path do real work.
+  CampaignOptions Opts;
+  Opts.Runs = 24;
+  Opts.Quick = true;
+  Opts.ProgressInterval = 10;
+  Opts.Jobs = 1;
+  CampaignResult Serial = runCampaign(Opts);
+  Opts.Jobs = 4;
+  CampaignResult Par = runCampaign(Opts);
+  EXPECT_EQ(Serial.Failures, Par.Failures);
+  EXPECT_EQ(Serial.Log, Par.Log);
+  // 24 clean seeds: two progress lines plus the summary.
+  EXPECT_EQ(Serial.Failures, 0u) << Serial.Log;
+  EXPECT_NE(Serial.Log.find("rpfuzz: 10/24 seeds"), std::string::npos)
+      << Serial.Log;
+  EXPECT_NE(Serial.Log.find("rpfuzz: 24 seeds clean"), std::string::npos)
+      << Serial.Log;
+}
+
+TEST(CampaignTest, ModeFlagsRespected) {
+  // corrupt-only campaigns never run the diff oracle, so no corpus-level
+  // load check and no Loads accumulation; they still summarize cleanly.
+  CampaignOptions Opts;
+  Opts.Runs = 5;
+  Opts.Quick = true;
+  Opts.DoDiff = false;
+  Opts.DoWiden = false;
+  Opts.ProgressInterval = 0;
+  CampaignResult R = runCampaign(Opts);
+  EXPECT_EQ(R.Failures, 0u) << R.Log;
+  EXPECT_EQ(R.Log, "rpfuzz: 5 seeds clean\n");
 }
 
 TEST(MatrixTest, ConfigNamesAreUnique) {

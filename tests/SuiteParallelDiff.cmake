@@ -1,0 +1,35 @@
+# Runs `rpcc --suite` serially and with four workers and requires the two
+# stdout streams to be byte-identical — the CLI-level face of the
+# determinism guarantee the parallel suite makes.
+#
+# Invoked by ctest as:
+#   cmake -DRPCC_BIN=<path-to-rpcc> -P SuiteParallelDiff.cmake
+
+if(NOT RPCC_BIN)
+  message(FATAL_ERROR "RPCC_BIN not set")
+endif()
+
+execute_process(COMMAND ${RPCC_BIN} --suite --jobs=1
+                OUTPUT_VARIABLE SERIAL_OUT
+                ERROR_VARIABLE SERIAL_ERR
+                RESULT_VARIABLE SERIAL_RC)
+if(NOT SERIAL_RC EQUAL 0)
+  message(FATAL_ERROR "serial --suite failed (rc=${SERIAL_RC}):\n${SERIAL_ERR}")
+endif()
+
+execute_process(COMMAND ${RPCC_BIN} --suite --jobs=4
+                OUTPUT_VARIABLE PARALLEL_OUT
+                ERROR_VARIABLE PARALLEL_ERR
+                RESULT_VARIABLE PARALLEL_RC)
+if(NOT PARALLEL_RC EQUAL 0)
+  message(FATAL_ERROR
+          "parallel --suite failed (rc=${PARALLEL_RC}):\n${PARALLEL_ERR}")
+endif()
+
+if(NOT SERIAL_OUT STREQUAL PARALLEL_OUT)
+  message(FATAL_ERROR "--suite output differs between --jobs=1 and --jobs=4")
+endif()
+
+if(NOT SERIAL_OUT MATCHES "Figure 7: dynamic loads executed")
+  message(FATAL_ERROR "--suite output is missing the Figure 7 table")
+endif()

@@ -142,6 +142,70 @@ TEST(SuiteShapeTest, GoIsLoadsDominated) {
   EXPECT_NEAR(pctRemoved(PR.R[0][0].Stores, PR.R[0][1].Stores), 0.0, 2.0);
 }
 
+// -- Parallel execution determinism ---------------------------------------
+
+TEST(SuiteParallelTest, ParallelMatchesSerialByteForByte) {
+  SuiteOptions Serial;
+  Serial.Jobs = 1;
+  SuiteOptions Par;
+  Par.Jobs = 4;
+  std::vector<ProgramResults> A = runSuite(benchProgramNames(), Serial);
+  std::vector<ProgramResults> B = runSuite(benchProgramNames(), Par);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].Name, B[I].Name);
+    for (int An = 0; An != 2; ++An)
+      for (int P = 0; P != 2; ++P) {
+        const ConfigCounts &CA = A[I].R[An][P];
+        const ConfigCounts &CB = B[I].R[An][P];
+        EXPECT_EQ(CA.Ok, CB.Ok) << A[I].Name;
+        EXPECT_EQ(CA.Error, CB.Error) << A[I].Name;
+        EXPECT_EQ(CA.Total, CB.Total) << A[I].Name;
+        EXPECT_EQ(CA.Loads, CB.Loads) << A[I].Name;
+        EXPECT_EQ(CA.Stores, CB.Stores) << A[I].Name;
+        EXPECT_EQ(CA.ExitCode, CB.ExitCode) << A[I].Name;
+        EXPECT_EQ(CA.Output, CB.Output) << A[I].Name;
+        EXPECT_EQ(CA.Diverged, CB.Diverged) << A[I].Name;
+        EXPECT_EQ(CA.BaselineFailed, CB.BaselineFailed) << A[I].Name;
+      }
+  }
+  for (Metric M : {Metric::TotalOps, Metric::Stores, Metric::Loads})
+    EXPECT_EQ(formatPaperTable(A, M), formatPaperTable(B, M));
+}
+
+// -- Baseline-failure reporting -------------------------------------------
+
+TEST(SuiteBaselineTest, FailedBaselineFlagsSurvivingCells) {
+  // Pick a step limit between the promoted and unpromoted dynamic totals of
+  // a classic counter loop: the modref/no-promotion baseline then dies on
+  // the limit while the promoted cells finish. The survivors' counts have
+  // nothing to be compared against and must be flagged, not reported.
+  const char *Counter = "int g;\n"
+                        "int main() { int i;\n"
+                        "  for (i = 0; i < 1000; i++) g = g + 3;\n"
+                        "  return g % 256; }";
+  ProgramResults Ref = runAllConfigs("counter", Counter);
+  ASSERT_TRUE(Ref.R[0][0].Ok && Ref.R[0][1].Ok);
+  ASSERT_GT(Ref.R[0][0].Total, Ref.R[0][1].Total)
+      << "promotion should shrink the counter loop";
+
+  SuiteOptions Opts;
+  Opts.Interp.MaxSteps = (Ref.R[0][0].Total + Ref.R[0][1].Total) / 2;
+  ProgramResults PR = runAllConfigs("counter", Counter, Opts);
+
+  EXPECT_FALSE(PR.R[0][0].Ok);
+  EXPECT_NE(PR.R[0][0].Error.find("step limit"), std::string::npos);
+  for (int An = 0; An != 2; ++An) {
+    const ConfigCounts &C = PR.R[An][1];
+    EXPECT_FALSE(C.Ok);
+    EXPECT_TRUE(C.BaselineFailed);
+    EXPECT_FALSE(C.Diverged);
+    EXPECT_NE(C.Error.find("baseline failed"), std::string::npos) << C.Error;
+  }
+  std::string Table = formatPaperTable({PR}, Metric::TotalOps);
+  EXPECT_NE(Table.find("baseline failed"), std::string::npos) << Table;
+}
+
 TEST(SuiteShapeTest, MostProgramsInsensitiveToAnalysisPrecision) {
   // The paper's central negative result: "the improved information derived
   // from pointer analysis does not greatly improve the results of register

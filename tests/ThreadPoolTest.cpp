@@ -1,0 +1,146 @@
+//===- tests/ThreadPoolTest.cpp - Work-queue pool + parallelFor tests -----===//
+//
+// The pool underpins every determinism guarantee the parallel suite and
+// fuzz paths make, so the edge cases — zero workers, one worker, more jobs
+// than items, exceptions mid-flight — get direct coverage here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+using namespace rpcc;
+
+namespace {
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInlineInSubmitOrder) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.numWorkers(), 0u);
+  std::vector<int> Order;
+  for (int I = 0; I != 8; ++I)
+    Pool.submit([&Order, I] { Order.push_back(I); });
+  // Inline mode executes inside submit(); nothing is pending by now.
+  Pool.wait();
+  std::vector<int> Expected(8);
+  std::iota(Expected.begin(), Expected.end(), 0);
+  EXPECT_EQ(Order, Expected);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesFifoOrder) {
+  ThreadPool Pool(1);
+  std::vector<int> Order;
+  for (int I = 0; I != 64; ++I)
+    Pool.submit([&Order, I] { Order.push_back(I); });
+  Pool.wait();
+  std::vector<int> Expected(64);
+  std::iota(Expected.begin(), Expected.end(), 0);
+  EXPECT_EQ(Order, Expected);
+}
+
+TEST(ThreadPoolTest, ManyTasksAcrossWorkersAllRun) {
+  ThreadPool Pool(4);
+  std::atomic<int> Sum{0};
+  for (int I = 1; I <= 1000; ++I)
+    Pool.submit([&Sum, I] { Sum.fetch_add(I); });
+  Pool.wait();
+  EXPECT_EQ(Sum.load(), 1000 * 1001 / 2);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstException) {
+  ThreadPool Pool(2);
+  for (int I = 0; I != 8; ++I)
+    Pool.submit([I] {
+      if (I == 3)
+        throw std::runtime_error("task 3 failed");
+    });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  // The error is consumed: a second wait() is clean.
+  Pool.wait();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
+  std::atomic<int> Ran{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I != 100; ++I)
+      Pool.submit([&Ran] { Ran.fetch_add(1); });
+    // No wait(): the destructor must run everything before joining.
+  }
+  EXPECT_EQ(Ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, DefaultConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::defaultConcurrency(), 1u);
+}
+
+TEST(ParallelForTest, SerialRunsInIndexOrder) {
+  std::vector<size_t> Order;
+  parallelFor(1, 16, [&Order](size_t I) { Order.push_back(I); });
+  ASSERT_EQ(Order.size(), 16u);
+  for (size_t I = 0; I != 16; ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (unsigned Jobs : {2u, 4u, 8u}) {
+    std::vector<std::atomic<int>> Hits(777);
+    parallelFor(Jobs, Hits.size(),
+                [&Hits](size_t I) { Hits[I].fetch_add(1); });
+    for (size_t I = 0; I != Hits.size(); ++I)
+      EXPECT_EQ(Hits[I].load(), 1) << "jobs=" << Jobs << " index=" << I;
+  }
+}
+
+TEST(ParallelForTest, MoreJobsThanItems) {
+  std::vector<std::atomic<int>> Hits(3);
+  parallelFor(16, Hits.size(), [&Hits](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I != Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1);
+}
+
+TEST(ParallelForTest, ZeroItemsIsANoop) {
+  bool Ran = false;
+  parallelFor(4, 0, [&Ran](size_t) { Ran = true; });
+  EXPECT_FALSE(Ran);
+}
+
+TEST(ParallelForTest, PropagatesBodyException) {
+  EXPECT_THROW(parallelFor(4, 100,
+                           [](size_t I) {
+                             if (I == 42)
+                               throw std::runtime_error("index 42");
+                           }),
+               std::runtime_error);
+  // Serial path throws too, at the exact index.
+  size_t Reached = 0;
+  try {
+    parallelFor(1, 100, [&Reached](size_t I) {
+      Reached = I;
+      if (I == 7)
+        throw std::logic_error("index 7");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::logic_error &) {
+    EXPECT_EQ(Reached, 7u);
+  }
+}
+
+TEST(ParallelForTest, ParallelMatchesSerialResults) {
+  // The property the suite and fuzz paths rely on: per-index slots filled
+  // in parallel equal the serial fill.
+  auto Compute = [](size_t I) { return I * I + 3 * I + 1; };
+  std::vector<size_t> Serial(500), Parallel(500);
+  parallelFor(1, Serial.size(),
+              [&](size_t I) { Serial[I] = Compute(I); });
+  parallelFor(4, Parallel.size(),
+              [&](size_t I) { Parallel[I] = Compute(I); });
+  EXPECT_EQ(Serial, Parallel);
+}
+
+} // namespace

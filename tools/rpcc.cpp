@@ -10,10 +10,14 @@
 //   rpcc prog.c --no-promotion --run      # the paper's "without" column
 //   rpcc prog.c --analysis=modref --dump-il=main
 //   rpcc prog.c --registers=8 --classic-alloc --run
+//   rpcc --suite --jobs=4                 # Figures 5-7 over the 14-program
+//                                         # suite, four compile workers
+//   rpcc prog.c --run --timing            # per-pass wall time + op counts
 //
 //===----------------------------------------------------------------------===//
 
 #include "driver/Compiler.h"
+#include "driver/SuiteRunner.h"
 #include "ir/IRPrinter.h"
 #include "support/Format.h"
 
@@ -57,7 +61,18 @@ void usage() {
       "  --dump-cfg=func            print the function's CFG in Graphviz "
       "dot\n"
       "  --per-function             with --counts, break counters down by "
-      "function\n",
+      "function\n"
+      "  --timing                   per-pass wall time + IL op counts, to "
+      "stderr\n"
+      "  --timing-json              same report as a JSON object, to "
+      "stderr\n"
+      "\n"
+      "suite mode (no input file):\n"
+      "  --suite                    run the 14-program suite through the "
+      "paper's\n"
+      "                             four configurations; print Figures 5-7\n"
+      "  --jobs=N                   worker threads for --suite (default 1);\n"
+      "                             stdout is identical for any N\n",
       stderr);
 }
 
@@ -91,6 +106,59 @@ bool parseUnsigned(const char *S, unsigned &Out) {
 // Exit codes: 0 success, 1 compile/runtime error, 2 usage error (unknown
 // flag, missing input), 3 malformed option value, 4 unreadable input file.
 
+/// Emits the collected timing report to stderr in the requested formats.
+void reportTiming(const TimingReport &T, bool Human, bool Json) {
+  if (Human)
+    std::fputs(formatTimingReport(T).c_str(), stderr);
+  if (Json)
+    std::fputs(formatTimingJson(T).c_str(), stderr);
+}
+
+/// --suite: the paper's whole evaluation — 14 programs x 4 configurations —
+/// with all three figure tables on stdout. Cell failures go to stderr and
+/// turn into exit code 1; the tables still render, with the failing cells
+/// marked, so partial runs stay inspectable.
+int runSuiteMode(unsigned Jobs, bool Timing, bool TimingJson) {
+  SuiteOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.CollectTiming = Timing || TimingJson;
+  std::vector<ProgramResults> All = runSuite(benchProgramNames(), Opts);
+
+  bool AnyFailed = false;
+  for (const ProgramResults &PR : All)
+    for (int A = 0; A != 2; ++A)
+      for (int P = 0; P != 2; ++P)
+        if (!PR.R[A][P].Ok) {
+          AnyFailed = true;
+          std::fprintf(stderr, "error: %s [%s/%s]: %s\n", PR.Name.c_str(),
+                       A == 0 ? "modref" : "pointer",
+                       P == 0 ? "without" : "with",
+                       PR.R[A][P].Error.c_str());
+        }
+
+  struct {
+    Metric Which;
+    const char *Title;
+  } Figures[] = {
+      {Metric::TotalOps, "Figure 5: dynamic operations executed"},
+      {Metric::Stores, "Figure 6: dynamic stores executed"},
+      {Metric::Loads, "Figure 7: dynamic loads executed"},
+  };
+  for (const auto &Fig : Figures) {
+    std::printf("%s\n\n", Fig.Title);
+    std::fputs(formatPaperTable(All, Fig.Which).c_str(), stdout);
+    std::printf("\n");
+  }
+
+  if (Opts.CollectTiming) {
+    TimingReport Total;
+    for (const ProgramResults &PR : All)
+      Total.merge(PR.Timing);
+    reportTiming(Total, Timing, TimingJson);
+  }
+  return AnyFailed ? 1 : 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -99,6 +167,8 @@ int main(int argc, char **argv) {
   Cfg.Analysis = AnalysisKind::PointsTo;
   bool Run = false, Counts = false, Stats = false, DumpIL = false;
   bool PerFunction = false;
+  bool Suite = false, Timing = false, TimingJson = false;
+  unsigned Jobs = 1;
   std::string DumpFunc, DumpCfgFunc;
 
   for (int I = 1; I < argc; ++I) {
@@ -155,6 +225,17 @@ int main(int argc, char **argv) {
       DumpCfgFunc = A + 11;
     } else if (std::strcmp(A, "--per-function") == 0) {
       PerFunction = true;
+    } else if (std::strcmp(A, "--suite") == 0) {
+      Suite = true;
+    } else if (std::strncmp(A, "--jobs=", 7) == 0) {
+      if (!parseUnsigned(A + 7, Jobs) || Jobs == 0 || Jobs > 1024) {
+        std::fprintf(stderr, "error: bad --jobs value '%s'\n", A + 7);
+        return 3;
+      }
+    } else if (std::strcmp(A, "--timing") == 0) {
+      Timing = true;
+    } else if (std::strcmp(A, "--timing-json") == 0) {
+      TimingJson = true;
     } else if (std::strcmp(A, "--help") == 0 || std::strcmp(A, "-h") == 0) {
       usage();
       return 0;
@@ -170,6 +251,14 @@ int main(int argc, char **argv) {
     }
   }
 
+  if (Suite) {
+    if (InputPath) {
+      std::fprintf(stderr, "error: --suite does not take an input file\n");
+      return 2;
+    }
+    return runSuiteMode(Jobs, Timing, TimingJson);
+  }
+
   if (!InputPath) {
     usage();
     return 2;
@@ -180,6 +269,7 @@ int main(int argc, char **argv) {
     return 4;
   }
 
+  Cfg.CollectTiming = Timing || TimingJson;
   CompileOutput Out = compileProgram(Source, Cfg);
   if (!Out.Ok) {
     std::fprintf(stderr, "%s: compile error:\n%s", InputPath,
@@ -240,7 +330,13 @@ int main(int argc, char **argv) {
   }
 
   if (Run) {
+    double T0 = Cfg.CollectTiming ? timingNowMs() : 0;
     ExecResult R = interpret(*Out.M);
+    if (Cfg.CollectTiming) {
+      Out.Timing.InterpMillis = timingNowMs() - T0;
+      Out.Timing.InterpSteps = R.Counters.Total;
+      reportTiming(Out.Timing, Timing, TimingJson);
+    }
     if (!R.Ok) {
       std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
       return 1;
@@ -268,5 +364,7 @@ int main(int argc, char **argv) {
     }
     return static_cast<int>(R.ExitCode & 0xFF);
   }
+  if (Cfg.CollectTiming)
+    reportTiming(Out.Timing, Timing, TimingJson);
   return 0;
 }

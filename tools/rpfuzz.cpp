@@ -11,19 +11,20 @@
 //   corrupt  structurally broken IL must be rejected by the verifier
 //
 //   rpfuzz --runs=500 --seed=1                # full matrix, all modes
+//   rpfuzz --runs=500 --jobs=8                # same verdicts, 8 workers
 //   rpfuzz --runs=200 --matrix=quick          # smoke configuration
 //   rpfuzz --emit=42                          # print seed 42's program
 //   rpfuzz --reduce=crash.c --predicate=diverge
 //
+// The seed loop itself lives in src/fuzz/Campaign.{h,cpp}; the campaign log
+// is byte-identical for any --jobs value.
+//
 //===----------------------------------------------------------------------===//
 
-#include "frontend/Lowering.h"
+#include "fuzz/Campaign.h"
 #include "fuzz/DifferentialOracle.h"
-#include "fuzz/FaultInjector.h"
 #include "fuzz/ProgramGenerator.h"
 #include "fuzz/Reducer.h"
-#include "ir/IRPrinter.h"
-#include "ir/Verifier.h"
 
 #include <cstdio>
 #include <cstring>
@@ -42,6 +43,8 @@ void usage() {
       "fuzzing:\n"
       "  --runs=N            seeds to try (default 100)\n"
       "  --seed=S            first seed (default 1)\n"
+      "  --jobs=N            worker threads across seeds (default 1);\n"
+      "                      verdict output is identical for any N\n"
       "  --matrix=full|quick differential matrix size (default full)\n"
       "  --mode=all|diff|widen|corrupt\n"
       "                      which oracles to run per seed (default all)\n"
@@ -74,153 +77,12 @@ bool parseU64(const char *S, uint64_t &Out) {
 
 InterpOptions fuzzInterpOptions() {
   InterpOptions IO;
-  // Generated programs are terminating by construction; a run that needs
-  // more than this is a generator bug worth flagging loudly.
   IO.MaxSteps = uint64_t(1) << 26;
   return IO;
 }
 
 int emitSeed(uint64_t Seed) {
   std::fputs(generateProgram(Seed).c_str(), stdout);
-  return 0;
-}
-
-/// diff oracle for one seed; returns true on success. On success the
-/// per-cell dynamic load counts are accumulated into \p LoadTotals for the
-/// corpus-level promotion sanity check.
-bool checkDiff(uint64_t Seed, const std::string &Src,
-               const std::vector<FuzzConfig> &Matrix,
-               std::vector<uint64_t> &LoadTotals, std::string &Why) {
-  OracleResult R = checkProgram(Src, Matrix, fuzzInterpOptions());
-  if (R.Ok) {
-    for (size_t I = 0; I != R.Loads.size(); ++I)
-      LoadTotals[I] += R.Loads[I];
-    return true;
-  }
-  Why = "[diff] " + R.FailingConfig + ": " + R.Message;
-  return false;
-}
-
-/// widen oracle: behavior must survive conservative analysis degradation.
-bool checkWiden(uint64_t Seed, const std::string &Src, std::string &Why) {
-  CompilerConfig Base;
-  Base.Analysis = AnalysisKind::PointsTo;
-  ExecResult Ref = compileAndRun(Src, Base, fuzzInterpOptions());
-  if (!Ref.Ok) {
-    Why = "[widen] reference run failed: " + Ref.Error;
-    return false;
-  }
-  CompilerConfig Widened = Base;
-  Widened.PostAnalysisHook = [Seed](Module &M) { widenAnalysis(M, Seed); };
-  ExecResult Got = compileAndRun(Src, Widened, fuzzInterpOptions());
-  if (!Got.Ok) {
-    Why = "[widen] widened run failed: " + Got.Error;
-    return false;
-  }
-  if (Got.ExitCode != Ref.ExitCode || Got.Output != Ref.Output) {
-    std::ostringstream OS;
-    OS << "[widen] behavior changed: exit " << Got.ExitCode << " vs "
-       << Ref.ExitCode << ", stdout " << Got.Output.size() << " vs "
-       << Ref.Output.size() << " bytes";
-    Why = OS.str();
-    return false;
-  }
-  return true;
-}
-
-/// corrupt oracle: the verifier must reject, with a diagnostic, without
-/// crashing -- and the printer must render the broken IL safely too.
-bool checkCorrupt(uint64_t Seed, const std::string &Src, std::string &Why) {
-  Module M;
-  std::string Err;
-  if (!compileToIL(Src, M, Err)) {
-    Why = "[corrupt] generated program failed to lower: " + Err;
-    return false;
-  }
-  std::string PreErr;
-  if (!verifyModule(M, PreErr)) {
-    Why = "[corrupt] lowered IL failed verification before corruption:\n" +
-          PreErr;
-    return false;
-  }
-  std::string Desc;
-  if (!corruptModule(M, Seed, Desc)) {
-    Why = "[corrupt] no corruption site found";
-    return false;
-  }
-  (void)printModule(M); // must not crash on invalid IL
-  std::string PostErr;
-  VerifyOptions VO;
-  VO.CheckDefBeforeUse = true;
-  if (verifyModule(M, PostErr, VO)) {
-    Why = "[corrupt] verifier accepted corrupted IL (" + Desc + ")";
-    return false;
-  }
-  if (PostErr.empty()) {
-    Why = "[corrupt] verifier rejected without a diagnostic (" + Desc + ")";
-    return false;
-  }
-  return true;
-}
-
-int runFuzz(uint64_t Seed0, uint64_t Runs, bool Quick,
-            const std::string &Mode) {
-  std::vector<FuzzConfig> Matrix = Quick ? quickMatrix() : fullMatrix();
-  bool DoDiff = Mode == "all" || Mode == "diff";
-  bool DoWiden = Mode == "all" || Mode == "widen";
-  bool DoCorrupt = Mode == "all" || Mode == "corrupt";
-
-  uint64_t Failures = 0, Printed = 0;
-  std::vector<uint64_t> LoadTotals(Matrix.size(), 0);
-  for (uint64_t K = 0; K != Runs; ++K) {
-    uint64_t Seed = Seed0 + K;
-    std::string Src = generateProgram(Seed);
-    std::string Why;
-    bool Ok = (!DoDiff || checkDiff(Seed, Src, Matrix, LoadTotals, Why)) &&
-              (!DoWiden || checkWiden(Seed, Src, Why)) &&
-              (!DoCorrupt || checkCorrupt(Seed, Src, Why));
-    if (!Ok) {
-      ++Failures;
-      std::fprintf(stderr, "FAIL seed=%llu %s\n",
-                   static_cast<unsigned long long>(Seed), Why.c_str());
-      if (Printed < 3) {
-        ++Printed;
-        std::fprintf(stderr,
-                     "---- failing program (seed %llu) ----\n%s"
-                     "---- end program ----\n",
-                     static_cast<unsigned long long>(Seed), Src.c_str());
-      }
-    }
-    if ((K + 1) % 100 == 0)
-      std::fprintf(stderr, "rpfuzz: %llu/%llu seeds, %llu failure(s)\n",
-                   static_cast<unsigned long long>(K + 1),
-                   static_cast<unsigned long long>(Runs),
-                   static_cast<unsigned long long>(Failures));
-  }
-  // Corpus-level count sanity: a single program may legally load more with
-  // promotion (landing pads, spills), but across the whole corpus promotion
-  // must not add loads under otherwise-identical configuration.
-  if (DoDiff && Failures == 0) {
-    for (auto [Without, With] : promotionPairs(Matrix)) {
-      if (LoadTotals[With] > LoadTotals[Without]) {
-        ++Failures;
-        std::fprintf(stderr,
-                     "FAIL corpus load counts: %s ran %llu loads vs %llu "
-                     "under %s\n",
-                     Matrix[With].name().c_str(),
-                     static_cast<unsigned long long>(LoadTotals[With]),
-                     static_cast<unsigned long long>(LoadTotals[Without]),
-                     Matrix[Without].name().c_str());
-      }
-    }
-  }
-  if (Failures) {
-    std::fprintf(stderr, "rpfuzz: %llu failing seed(s)\n",
-                 static_cast<unsigned long long>(Failures));
-    return 1;
-  }
-  std::fprintf(stderr, "rpfuzz: %llu seeds clean\n",
-               static_cast<unsigned long long>(Runs));
   return 0;
 }
 
@@ -293,31 +155,36 @@ int runReduce(const char *Path, const std::string &PredicateSpec) {
 } // namespace
 
 int main(int argc, char **argv) {
-  uint64_t Runs = 100, Seed = 1;
-  bool Quick = false;
+  CampaignOptions Campaign;
   std::string Mode = "all";
   const char *ReducePath = nullptr;
   std::string PredicateSpec = "diverge";
   bool EmitOnly = false;
   uint64_t EmitSeedVal = 0;
+  uint64_t Jobs = 1;
 
   for (int I = 1; I < argc; ++I) {
     const char *A = argv[I];
     if (std::strncmp(A, "--runs=", 7) == 0) {
-      if (!parseU64(A + 7, Runs) || Runs == 0) {
+      if (!parseU64(A + 7, Campaign.Runs) || Campaign.Runs == 0) {
         std::fprintf(stderr, "error: bad --runs value '%s'\n", A + 7);
         return 3;
       }
     } else if (std::strncmp(A, "--seed=", 7) == 0) {
-      if (!parseU64(A + 7, Seed)) {
+      if (!parseU64(A + 7, Campaign.Seed0)) {
         std::fprintf(stderr, "error: bad --seed value '%s'\n", A + 7);
+        return 3;
+      }
+    } else if (std::strncmp(A, "--jobs=", 7) == 0) {
+      if (!parseU64(A + 7, Jobs) || Jobs == 0 || Jobs > 1024) {
+        std::fprintf(stderr, "error: bad --jobs value '%s'\n", A + 7);
         return 3;
       }
     } else if (std::strncmp(A, "--matrix=", 9) == 0) {
       if (std::strcmp(A + 9, "quick") == 0)
-        Quick = true;
+        Campaign.Quick = true;
       else if (std::strcmp(A + 9, "full") == 0)
-        Quick = false;
+        Campaign.Quick = false;
       else {
         std::fprintf(stderr, "error: bad --matrix value '%s'\n", A + 9);
         return 3;
@@ -353,5 +220,11 @@ int main(int argc, char **argv) {
     return emitSeed(EmitSeedVal);
   if (ReducePath)
     return runReduce(ReducePath, PredicateSpec);
-  return runFuzz(Seed, Runs, Quick, Mode);
+
+  Campaign.Jobs = static_cast<unsigned>(Jobs);
+  Campaign.DoDiff = Mode == "all" || Mode == "diff";
+  Campaign.DoWiden = Mode == "all" || Mode == "widen";
+  Campaign.DoCorrupt = Mode == "all" || Mode == "corrupt";
+  CampaignResult R = runCampaign(Campaign, stderr);
+  return R.Failures ? 1 : 0;
 }
