@@ -7,6 +7,9 @@
 #include "analysis/CfgNormalize.h"
 #include "frontend/Lowering.h"
 #include "ir/Verifier.h"
+#include "obs/Remark.h"
+#include "obs/ResidualAudit.h"
+#include "obs/Trace.h"
 #include "opt/Cleanup.h"
 #include "opt/CopyProp.h"
 #include "opt/Dce.h"
@@ -52,17 +55,25 @@ CompileOutput rpcc::compileProgram(const std::string &Source,
   PipelineClock Clock(Out, Cfg.CollectTiming);
 
   // Wraps one pass: records wall time and static op counts before/after
-  // when timing is on, otherwise just runs the pass.
+  // when timing is on, adds a trace span when tracing is on, otherwise just
+  // runs the pass.
   auto Timed = [&](const char *Name, auto &&Body) {
-    if (!Cfg.CollectTiming) {
+    if (!Cfg.CollectTiming && !Cfg.Trace) {
       Body();
       return;
     }
-    uint64_t Before = countStaticOps(*Out.M);
+    uint64_t Before = Cfg.CollectTiming ? countStaticOps(*Out.M) : 0;
     double T0 = timingNowMs();
     Body();
-    Out.Timing.addPass(Name, timingNowMs() - T0, Before,
-                       countStaticOps(*Out.M));
+    double T1 = timingNowMs();
+    if (Cfg.CollectTiming)
+      Out.Timing.addPass(Name, T1 - T0, Before, countStaticOps(*Out.M));
+    if (Cfg.Trace) {
+      std::vector<std::pair<std::string, std::string>> Args;
+      if (!Cfg.TraceLabel.empty())
+        Args.push_back({"job", Cfg.TraceLabel});
+      Cfg.Trace->addSpan(Name, "pass", T0, T1 - T0, std::move(Args));
+    }
   };
 
   bool Lowered = false;
@@ -90,23 +101,27 @@ CompileOutput rpcc::compileProgram(const std::string &Source,
 
   // Register promotion happens "in the early phases of optimization".
   if (Cfg.ScalarPromotion)
-    Timed("promote", [&] { Out.Stats.Promo = promoteScalars(M, Cfg.Promo); });
+    Timed("promote", [&] {
+      Out.Stats.Promo = promoteScalars(M, Cfg.Promo, Cfg.Remarks);
+    });
 
   if (Cfg.EnableOpts) {
     Timed("vn", [&] { Out.Stats.Vn = runValueNumbering(M); });
-    Timed("pre", [&] { Out.Stats.Pre = runPre(M); });
+    Timed("pre", [&] { Out.Stats.Pre = runPre(M, Cfg.Remarks); });
     Timed("copy-prop", [&] { propagateCopies(M); });
     Timed("sccp", [&] { Out.Stats.Sccp = runSccp(M); });
     Timed("cleanup", [&] { runCleanup(M); });
     Timed("cfg-normalize", [&] { normalizeAll(M); });
-    Timed("licm", [&] { Out.Stats.Licm = runLicm(M); });
+    Timed("licm", [&] { Out.Stats.Licm = runLicm(M, Cfg.Remarks); });
   }
 
   // §3.3 pointer-based promotion runs after LICM has exposed invariant
   // base addresses.
   if (Cfg.PointerPromotion) {
     Timed("cfg-normalize", [&] { normalizeAll(M); });
-    Timed("ptr-promote", [&] { Out.Stats.PtrPromo = promotePointers(M); });
+    Timed("ptr-promote", [&] {
+      Out.Stats.PtrPromo = promotePointers(M, Cfg.Remarks);
+    });
   }
 
   if (Cfg.EnableOpts)
@@ -129,6 +144,18 @@ CompileOutput rpcc::compileProgram(const std::string &Source,
     Out.Errors = "internal error: pipeline produced invalid IL:\n" + VerifyErr;
     return Out;
   }
+
+  // Residual audit on the final IL: every surviving in-loop memory op gets
+  // a remark with a concrete reason code, so dynamic profiles always join.
+  if (Cfg.Remarks && Cfg.ResidualAudit)
+    Timed("residual-audit", [&] {
+      ResidualAuditOptions AO;
+      AO.ScalarPromotion = Cfg.ScalarPromotion;
+      AO.PointerPromotion = Cfg.PointerPromotion;
+      AO.PromotionBudget = Cfg.Promo.MaxPromotedPerLoop != 0;
+      auditResidualMemOps(M, AO, *Cfg.Remarks);
+    });
+
   Out.Ok = true;
   return Out;
 }

@@ -36,6 +36,9 @@
 
 namespace rpcc {
 
+class RemarkEngine;
+class TraceCollector;
+
 enum class AnalysisKind {
   ModRef,  ///< interprocedural MOD/REF only
   PointsTo ///< points-to analysis feeding a MOD/REF refresh
@@ -66,6 +69,19 @@ struct CompilerConfig {
   /// Collect per-pass wall time and IL op counts into CompileOutput::Timing.
   /// Off by default so fuzz/test hot paths pay nothing.
   bool CollectTiming = false;
+  /// When non-null, the promotion passes, LICM and PRE emit optimization
+  /// remarks into this engine, and a residual audit of the final IL runs at
+  /// the end of the pipeline. One engine per compile job (not thread-safe).
+  RemarkEngine *Remarks = nullptr;
+  /// Run the end-of-pipeline residual audit when Remarks is set. The fuzz
+  /// oracle turns this off: it only compares promotion-decision remarks and
+  /// the audit's per-function loop analysis would tax every cell.
+  bool ResidualAudit = true;
+  /// When non-null, every pipeline pass adds a span (category "pass") to
+  /// this shared, thread-safe collector.
+  TraceCollector *Trace = nullptr;
+  /// Identifies this compile job in trace span args (program or cell name).
+  std::string TraceLabel;
 };
 
 struct CompileStats {

@@ -5,10 +5,45 @@
 #include "ir/Module.h"
 #include "support/Format.h"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 
 using namespace rpcc;
+
+namespace {
+
+/// Canonical pipeline order for rendered reports. Merged aggregates collect
+/// passes in first-seen order, which depends on which job finished first
+/// when cells run in parallel; sorting by this table (unknown names after,
+/// alphabetically) makes `--timing` and `--timing-json` output independent
+/// of the merge order.
+int passRank(const std::string &Name) {
+  static const char *Order[] = {
+      "lower",     "cfg-normalize", "points-to", "modref",
+      "strengthen", "promote",      "vn",        "pre",
+      "copy-prop", "sccp",          "cleanup",   "licm",
+      "ptr-promote", "dce",         "regalloc",  "verify",
+      "residual-audit"};
+  for (size_t I = 0; I != sizeof(Order) / sizeof(Order[0]); ++I)
+    if (Name == Order[I])
+      return static_cast<int>(I);
+  return static_cast<int>(sizeof(Order) / sizeof(Order[0]));
+}
+
+std::vector<PassTime> canonicalOrder(const std::vector<PassTime> &Passes) {
+  std::vector<PassTime> Sorted = Passes;
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const PassTime &A, const PassTime &B) {
+                     int RA = passRank(A.Name), RB = passRank(B.Name);
+                     if (RA != RB)
+                       return RA < RB;
+                     return A.Name < B.Name;
+                   });
+  return Sorted;
+}
+
+} // namespace
 
 void TimingReport::addPass(const std::string &Name, double Millis,
                            uint64_t OpsBefore, uint64_t OpsAfter) {
@@ -63,7 +98,7 @@ double rpcc::timingNowMs() {
 
 std::string rpcc::formatTimingReport(const TimingReport &R) {
   TextTable T({"pass", "calls", "ms", "ops before", "ops after", "delta"});
-  for (const PassTime &P : R.Passes) {
+  for (const PassTime &P : canonicalOrder(R.Passes)) {
     int64_t Delta = static_cast<int64_t>(P.OpsAfter) -
                     static_cast<int64_t>(P.OpsBefore);
     T.addRow({P.Name, withCommas(P.Invocations), fixed(P.Millis, 3),
@@ -86,11 +121,12 @@ std::string rpcc::formatTimingJson(const TimingReport &R) {
   OS << ",\"interp_ms\":" << fixed(R.InterpMillis, 3);
   OS << ",\"interp_steps\":" << R.InterpSteps;
   OS << ",\"passes\":[";
-  for (size_t I = 0; I != R.Passes.size(); ++I) {
-    const PassTime &P = R.Passes[I];
+  std::vector<PassTime> Sorted = canonicalOrder(R.Passes);
+  for (size_t I = 0; I != Sorted.size(); ++I) {
+    const PassTime &P = Sorted[I];
     if (I)
       OS << ",";
-    OS << "{\"name\":\"" << P.Name << "\"";
+    OS << "{\"name\":\"" << jsonEscape(P.Name) << "\"";
     OS << ",\"calls\":" << P.Invocations;
     OS << ",\"ms\":" << fixed(P.Millis, 3);
     OS << ",\"ops_before\":" << P.OpsBefore;

@@ -69,9 +69,13 @@ uint64_t countStaticOps(const Module &M);
 double timingNowMs();
 
 /// Renders the aggregate as an aligned table plus compile/interpret totals.
+/// Passes print in canonical pipeline order (unknown names last, sorted by
+/// name), so the rendering is independent of the job-completion order that
+/// fed the merge.
 std::string formatTimingReport(const TimingReport &R);
 
-/// Renders the aggregate as a single JSON object:
+/// Renders the aggregate as a single JSON object, passes in the same
+/// canonical order as formatTimingReport:
 /// {"compiles":N,"compile_ms":..,"interp_ms":..,"interp_steps":..,
 ///  "passes":[{"name":..,"calls":..,"ms":..,"ops_before":..,"ops_after":..}]}
 std::string formatTimingJson(const TimingReport &R);

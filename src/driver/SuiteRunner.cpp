@@ -2,6 +2,9 @@
 
 #include "driver/SuiteRunner.h"
 
+#include "obs/Remark.h"
+#include "obs/TagProfile.h"
+#include "obs/Trace.h"
 #include "support/Format.h"
 #include "support/ThreadPool.h"
 
@@ -19,26 +22,47 @@ using namespace rpcc;
 namespace {
 
 /// Compiles and runs one matrix cell. Fully self-contained — builds its own
-/// Module/TagTable from the source text — so any number of cells may run on
-/// different threads concurrently.
-ConfigCounts runOneCell(const std::string &Source, int A, int P,
-                        const SuiteOptions &Opts, TimingReport &Timing) {
+/// Module/TagTable/RemarkEngine from the source text — so any number of
+/// cells may run on different threads concurrently.
+ConfigCounts runOneCell(const std::string &Name, const std::string &Source,
+                        int A, int P, const SuiteOptions &Opts,
+                        TimingReport &Timing) {
   CompilerConfig Cfg;
   Cfg.Analysis = A == 0 ? AnalysisKind::ModRef : AnalysisKind::PointsTo;
   Cfg.ScalarPromotion = P == 1;
   Cfg.PointerPromotion = P == 1 && Opts.PointerPromotion;
   Cfg.NumRegisters = Opts.NumRegisters;
   Cfg.CollectTiming = Opts.CollectTiming;
+  Cfg.Trace = Opts.Trace;
+  if (Opts.Trace)
+    Cfg.TraceLabel = Name + "/" + suiteCellName(A, P);
 
+  // The explain report joins the profile against remarks, so the profiled
+  // cell needs an engine even when the caller only asked for --profile-tags.
+  bool ProfileThisCell = Opts.ProfileTags && A == 0 && P == 1;
+  RemarkEngine Re;
+  if (Opts.Remarks || ProfileThisCell)
+    Cfg.Remarks = &Re;
+
+  double CellT0 = Opts.Trace ? timingNowMs() : 0;
   ConfigCounts C;
   CompileOutput Out = compileProgram(Source, Cfg);
   if (!Out.Ok) {
     C.Error = Out.Errors;
     Timing = std::move(Out.Timing);
+    if (Opts.Trace)
+      Opts.Trace->addSpan(Cfg.TraceLabel, "cell", CellT0,
+                          timingNowMs() - CellT0);
     return C;
   }
+  ProfileMeta Meta;
+  InterpOptions IOpts = Opts.Interp;
+  if (ProfileThisCell) {
+    Meta = ProfileMeta::build(*Out.M);
+    IOpts.Profile = &Meta;
+  }
   double T0 = Opts.CollectTiming ? timingNowMs() : 0;
-  ExecResult R = interpret(*Out.M, Opts.Interp);
+  ExecResult R = interpret(*Out.M, IOpts);
   if (Opts.CollectTiming) {
     Timing = std::move(Out.Timing);
     Timing.InterpMillis = timingNowMs() - T0;
@@ -51,6 +75,27 @@ ConfigCounts runOneCell(const std::string &Source, int A, int P,
   C.Stores = R.Counters.Stores;
   C.ExitCode = R.ExitCode;
   C.Output = R.Output;
+
+  if (Cfg.Remarks) {
+    C.RemarksPromoted = Re.count(RemarkKind::Promoted, Opts.RemarkPass);
+    C.RemarksMissed = Re.count(RemarkKind::Missed, Opts.RemarkPass);
+    C.RemarksHoisted = Re.count(RemarkKind::Hoisted, Opts.RemarkPass);
+    C.RemarksResidual = Re.count(RemarkKind::Residual, Opts.RemarkPass);
+    if (Opts.Remarks) {
+      C.RemarksText = Re.toText(Opts.RemarkPass);
+      C.RemarksJson = Re.toJsonLines({{"program", Name},
+                                      {"cell", suiteCellName(A, P)}});
+    }
+  }
+  if (ProfileThisCell && C.Ok) {
+    C.HotTags = formatHotTagTable(*Out.M, Meta, R.Profile);
+    C.Explain =
+        formatExplainReport(buildExplainReport(*Out.M, Meta, R.Profile, Re));
+    C.ProfileJson = profileToJson(*Out.M, Meta, R.Profile);
+  }
+  if (Opts.Trace)
+    Opts.Trace->addSpan(Cfg.TraceLabel, "cell", CellT0,
+                        timingNowMs() - CellT0);
   return C;
 }
 
@@ -108,7 +153,7 @@ ProgramResults rpcc::runAllConfigs(const std::string &Name,
   TimingReport CellTiming[4];
   parallelFor(Opts.Jobs, 4, [&](size_t Cell) {
     int A = static_cast<int>(Cell) / 2, P = static_cast<int>(Cell) % 2;
-    PR.R[A][P] = runOneCell(Source, A, P, Opts, CellTiming[Cell]);
+    PR.R[A][P] = runOneCell(Name, Source, A, P, Opts, CellTiming[Cell]);
   });
   if (Opts.CollectTiming)
     mergeCellTimings(PR, CellTiming);
@@ -132,7 +177,8 @@ std::vector<ProgramResults> rpcc::runSuite(const std::vector<std::string> &Names
   parallelFor(Opts.Jobs, Names.size() * 4, [&](size_t Job) {
     size_t I = Job / 4;
     int A = static_cast<int>(Job % 4) / 2, P = static_cast<int>(Job % 2);
-    All[I].R[A][P] = runOneCell(Sources[I], A, P, Opts, CellTiming[Job]);
+    All[I].R[A][P] =
+        runOneCell(Names[I], Sources[I], A, P, Opts, CellTiming[Job]);
   });
 
   for (size_t I = 0; I != All.size(); ++I) {
@@ -181,6 +227,28 @@ std::string rpcc::formatPaperTable(const std::vector<ProgramResults> &Programs,
       T.addRow({A == 0 ? PR.Name : "", Analysis, withCommas(W0),
                 withCommas(W1), withCommasSigned(Diff), fixed(Pct, 2)});
     }
+  }
+  return T.render();
+}
+
+std::string rpcc::suiteCellName(int Analysis, int Promotion) {
+  return std::string(Analysis == 0 ? "modref" : "pointer") +
+         (Promotion ? "/with" : "/without");
+}
+
+std::string rpcc::formatSuiteRemarkSummary(
+    const std::vector<ProgramResults> &Programs) {
+  TextTable T({"program", "cell", "promoted", "missed", "hoisted",
+               "residual"});
+  for (const ProgramResults &PR : Programs) {
+    for (int A = 0; A != 2; ++A)
+      for (int P = 0; P != 2; ++P) {
+        const ConfigCounts &C = PR.R[A][P];
+        T.addRow({A == 0 && P == 0 ? PR.Name : "", suiteCellName(A, P),
+                  withCommas(C.RemarksPromoted), withCommas(C.RemarksMissed),
+                  withCommas(C.RemarksHoisted),
+                  withCommas(C.RemarksResidual)});
+      }
   }
   return T.render();
 }

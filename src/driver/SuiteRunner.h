@@ -24,6 +24,8 @@
 
 namespace rpcc {
 
+class TraceCollector;
+
 struct SuiteOptions {
   /// Allocatable registers per class; see CompilerConfig::NumRegisters.
   unsigned NumRegisters = 16;
@@ -36,6 +38,19 @@ struct SuiteOptions {
   unsigned Jobs = 1;
   /// Collect per-pass timing into ProgramResults::Timing.
   bool CollectTiming = false;
+  /// Collect optimization remarks in every cell: per-cell counts feed the
+  /// suite's stderr summary, and each cell keeps its rendered text/JSON
+  /// streams (formatted in-cell, while its Module is alive) so parallel
+  /// runs stay byte-identical to serial ones.
+  bool Remarks = false;
+  /// Restricts remark text/counts to one emitting pass; "" = all passes.
+  std::string RemarkPass;
+  /// Profile dynamic loads/stores per tag in the modref/with-promotion
+  /// cell and build its hot-tag table and explain report.
+  bool ProfileTags = false;
+  /// When non-null, every cell's compile passes add spans to this shared
+  /// collector, labeled "program/analysis+promo".
+  TraceCollector *Trace = nullptr;
 };
 
 struct ConfigCounts {
@@ -49,6 +64,19 @@ struct ConfigCounts {
   /// baseline to be compared against; they must not appear in the paper
   /// tables as if they were comparable.
   bool BaselineFailed = false;
+
+  /// Observability payloads, filled only under the corresponding
+  /// SuiteOptions flags. Pre-rendered inside the cell so the per-module
+  /// state (tag names, loop forest) does not have to outlive the cell.
+  uint64_t RemarksPromoted = 0; ///< promote + ptr-promote promotions
+  uint64_t RemarksMissed = 0;   ///< missed-promotion remarks
+  uint64_t RemarksHoisted = 0;  ///< LICM hoists
+  uint64_t RemarksResidual = 0; ///< residual-audit records
+  std::string RemarksText;      ///< human remark stream (pass-filtered)
+  std::string RemarksJson;      ///< JSON lines with program/cell keys
+  std::string HotTags;          ///< hot-tag table (profiled cell only)
+  std::string Explain;          ///< explain report (profiled cell only)
+  std::string ProfileJson;      ///< tag-profile JSON (profiled cell only)
 };
 
 /// Results of one program across the 2x2 matrix:
@@ -83,6 +111,14 @@ enum class Metric { TotalOps, Stores, Loads };
 /// Renders the paper-style table for one metric over many programs.
 std::string formatPaperTable(const std::vector<ProgramResults> &Programs,
                              Metric Which);
+
+/// Display name of one matrix cell: "modref/without" ... "pointer/with".
+std::string suiteCellName(int Analysis, int Promotion);
+
+/// Renders the per-cell remark-count summary table (program, cell,
+/// promoted, missed, hoisted, residual) for `--suite --remarks`.
+std::string
+formatSuiteRemarkSummary(const std::vector<ProgramResults> &Programs);
 
 /// Reads one of the repository's benchmark programs
 /// (bench/programs/<name>.c). Aborts with a clear message if missing.

@@ -2,12 +2,14 @@
 
 #include "fuzz/Campaign.h"
 
+#include "driver/PassTiming.h"
 #include "frontend/Lowering.h"
 #include "fuzz/DifferentialOracle.h"
 #include "fuzz/FaultInjector.h"
 #include "fuzz/ProgramGenerator.h"
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
+#include "obs/Trace.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -116,6 +118,7 @@ bool checkCorrupt(uint64_t Seed, const std::string &Src, std::string &Why) {
 /// modules for each compile, touches no shared state.
 SeedOutcome checkSeed(uint64_t Seed, const CampaignOptions &Opts,
                       const std::vector<FuzzConfig> &Matrix) {
+  double T0 = Opts.Trace ? timingNowMs() : 0;
   SeedOutcome Out;
   std::string Src = generateProgram(Seed);
   std::string Why;
@@ -128,6 +131,10 @@ SeedOutcome checkSeed(uint64_t Seed, const CampaignOptions &Opts,
       Out.Why = Why;
     Out.Src = std::move(Src);
   }
+  if (Opts.Trace)
+    Opts.Trace->addSpan("seed " + std::to_string(Seed), "seed", T0,
+                        timingNowMs() - T0,
+                        {{"verdict", Out.Ok ? "ok" : "fail"}});
   return Out;
 }
 

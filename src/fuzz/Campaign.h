@@ -24,6 +24,8 @@
 
 namespace rpcc {
 
+class TraceCollector;
+
 struct CampaignOptions {
   uint64_t Seed0 = 1;
   uint64_t Runs = 100;
@@ -38,6 +40,9 @@ struct CampaignOptions {
   uint64_t ProgressInterval = 100;
   /// How many failing programs to print in full.
   uint64_t MaxPrintedPrograms = 3;
+  /// When non-null, every seed adds a span (category "seed", track = the
+  /// worker that checked it) to this shared collector.
+  TraceCollector *Trace = nullptr;
 };
 
 struct CampaignResult {

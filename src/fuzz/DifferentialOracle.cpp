@@ -2,6 +2,8 @@
 
 #include "fuzz/DifferentialOracle.h"
 
+#include "obs/Remark.h"
+
 #include <sstream>
 
 using namespace rpcc;
@@ -83,14 +85,53 @@ OracleResult rpcc::checkProgram(const std::string &Source,
   bool HaveBase = false;
   int64_t BaseExit = 0;
   std::string BaseOutput, BaseName;
+  // Scalar promotion decides before register allocation and the scalar
+  // optimizations run, from the alias analysis alone — so the promote-pass
+  // remark stream must be byte-identical across every promoting cell with
+  // the same analysis, whatever the register count, allocator vintage, or
+  // optimization level. A difference means promotion consulted state it
+  // must not depend on. Index 0 = modref, 1 = points-to.
+  std::string PromoRemarks[2], PromoRemarksName[2];
+  bool HavePromoRemarks[2] = {false, false};
   for (size_t I = 0; I != Matrix.size(); ++I) {
     const FuzzConfig &C = Matrix[I];
-    ExecResult E = compileAndRun(Source, C.toCompilerConfig(), IO);
+    RemarkEngine Re;
+    CompilerConfig Cfg = C.toCompilerConfig();
+    if (C.Promo) {
+      Cfg.Remarks = &Re;
+      Cfg.ResidualAudit = false;
+    }
+    ExecResult E;
+    {
+      CompileOutput Out = compileProgram(Source, Cfg);
+      if (!Out.Ok) {
+        E.Error = Out.Errors;
+      } else {
+        E = interpret(*Out.M, IO);
+      }
+    }
     if (!E.Ok) {
       R.Ok = false;
       R.FailingConfig = C.name();
       R.Message = "compile or runtime failure: " + E.Error;
       return R;
+    }
+    if (C.Promo) {
+      size_t AI = C.Analysis == AnalysisKind::ModRef ? 0 : 1;
+      std::string Stream = Re.toText("promote");
+      if (!HavePromoRemarks[AI]) {
+        HavePromoRemarks[AI] = true;
+        PromoRemarks[AI] = std::move(Stream);
+        PromoRemarksName[AI] = C.name();
+      } else if (Stream != PromoRemarks[AI]) {
+        R.Ok = false;
+        R.FailingConfig = C.name();
+        R.Message = "promotion remark stream differs from " +
+                    PromoRemarksName[AI] +
+                    " (promotion decisions must not depend on register "
+                    "count, allocator, or optimization level)";
+        return R;
+      }
     }
     R.Loads[I] = E.Counters.Loads;
     if (!HaveBase) {

@@ -5,6 +5,7 @@
 #include "support/Arith.h"
 #include "support/Format.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdint>
@@ -34,15 +35,19 @@ struct Fault {
   }
 };
 
-/// Per-function frame layout: byte offsets of local/spill tags.
+/// Per-function frame layout: byte offsets of local/spill tags. Spans is
+/// the reverse mapping (ascending start offsets), used by the tag profiler
+/// to resolve a runtime stack address back to the tag that owns it.
 struct FrameLayout {
   std::unordered_map<TagId, uint32_t> Offsets;
+  std::vector<std::pair<uint32_t, TagId>> Spans;
   uint32_t Size = 0;
 };
 
 class Machine {
 public:
-  Machine(const Module &M, const InterpOptions &Opts) : M(M), Opts(Opts) {}
+  Machine(const Module &M, const InterpOptions &Opts)
+      : M(M), Opts(Opts), Prof(Opts.Profile) {}
 
   ExecResult run() {
     layoutGlobals();
@@ -58,6 +63,8 @@ public:
     R.Counters = Counters;
     R.PerFunction = std::move(PerFunc);
     R.Output = std::move(Output);
+    if (Prof)
+      R.Profile.finalize(RawProfile);
     if (Err.Active) {
       R.Error = Err.Message;
       return R;
@@ -75,6 +82,8 @@ private:
       const Tag &T = M.tags().tag(G.Tag);
       uint64_t Addr = GlobalBase + GlobalMem.size();
       GlobalAddr[G.Tag] = Addr;
+      if (Prof)
+        GlobalSpans.push_back({Addr, G.Tag}); // ascending by construction
       size_t Sz = std::max<size_t>(T.SizeBytes, 1);
       size_t Aligned = (Sz + 7) / 8 * 8;
       size_t Off = GlobalMem.size();
@@ -96,6 +105,7 @@ private:
         continue;
       L.Size = (L.Size + 7) / 8 * 8; // every slot 8-aligned
       L.Offsets[T.Id] = L.Size;
+      L.Spans.push_back({L.Size, T.Id}); // ascending by construction
       L.Size += std::max<uint32_t>(T.SizeBytes, 1);
     }
     L.Size = (L.Size + 7) / 8 * 8;
@@ -188,6 +198,64 @@ private:
       return 0;
     }
     return 0;
+  }
+
+  // -- Tag profiling -----------------------------------------------------------
+  /// Maps a runtime address back to the tag that owns it: globals via the
+  /// sorted interval table, stack addresses via the live frame stack plus
+  /// the owning frame's span table. Heap, function, and unresolvable
+  /// addresses fall into the NoTag summary bucket.
+  TagId resolveAddress(uint64_t Addr) const {
+    if (Addr >= HeapBase) // heap and function address ranges
+      return NoTag;
+    if (Addr >= StackBase) {
+      auto It = std::upper_bound(
+          FrameStack.begin(), FrameStack.end(), Addr,
+          [](uint64_t A, const std::pair<uint64_t, FuncId> &F) {
+            return A < F.first;
+          });
+      if (It == FrameStack.begin())
+        return NoTag;
+      --It;
+      auto LIt = Layouts.find(It->second);
+      if (LIt == Layouts.end() || LIt->second.Spans.empty())
+        return NoTag;
+      const auto &Spans = LIt->second.Spans;
+      uint32_t Off = static_cast<uint32_t>(Addr - It->first);
+      auto SIt = std::upper_bound(
+          Spans.begin(), Spans.end(), Off,
+          [](uint32_t O, const std::pair<uint32_t, TagId> &S) {
+            return O < S.first;
+          });
+      if (SIt == Spans.begin())
+        return NoTag;
+      return std::prev(SIt)->second;
+    }
+    if (Addr >= GlobalBase) {
+      auto It = std::upper_bound(
+          GlobalSpans.begin(), GlobalSpans.end(), Addr,
+          [](uint64_t A, const std::pair<uint64_t, TagId> &S) {
+            return A < S.first;
+          });
+      if (It == GlobalSpans.begin())
+        return NoTag;
+      return std::prev(It)->second;
+    }
+    return NoTag;
+  }
+
+  void profileMemOp(const Function &F, BlockId BB, const Instruction &I,
+                    const std::vector<uint64_t> &Regs) {
+    TagId T = (I.Op == Opcode::ScalarLoad || I.Op == Opcode::ScalarStore)
+                  ? I.Tag
+                  : resolveAddress(Regs[I.Ops[0]]);
+    const std::vector<int32_t> &LoopMap = Prof->LoopOfBlock[F.id()];
+    int32_t L = BB < LoopMap.size() ? LoopMap[BB] : -1;
+    auto &Slot = RawProfile[TagProfile::key(F.id(), L, T)];
+    if (isStoreOp(I.Op))
+      ++Slot.second;
+    else
+      ++Slot.first;
   }
 
   // -- Value helpers -----------------------------------------------------------
@@ -288,6 +356,10 @@ private:
 
     uint64_t FrameBase = StackBase + StackMem.size();
     StackMem.resize(StackMem.size() + Layout.Size, 0);
+    // Zero-sized frames own no stack bytes: keeping them off the frame
+    // stack keeps its bases strictly increasing for binary search.
+    if (Prof && Layout.Size)
+      FrameStack.push_back({FrameBase, F.id()});
 
     std::vector<uint64_t> Regs(F.numRegs(), 0);
     for (size_t I = 0; I != Args.size() && I != F.paramRegs().size(); ++I)
@@ -315,6 +387,8 @@ private:
         ++Counters.Stores;
         ++FC.Stores;
       }
+      if (Prof && isMemOp(I.Op))
+        profileMemOp(F, BB, I, Regs);
 
       switch (I.Op) {
       case Opcode::Add:
@@ -481,6 +555,8 @@ private:
       case Opcode::Ret:
         if (!I.Ops.empty())
           RetVal = Regs[I.Ops[0]];
+        if (Prof && Layout.Size)
+          FrameStack.pop_back();
         StackMem.resize(FrameBase - StackBase);
         CurLayout = SavedLayout;
         return RetVal;
@@ -494,6 +570,8 @@ private:
       ++PC;
     }
 
+    if (Prof && Layout.Size)
+      FrameStack.pop_back();
     StackMem.resize(FrameBase - StackBase);
     CurLayout = SavedLayout;
     return RetVal;
@@ -501,6 +579,7 @@ private:
 
   const Module &M;
   const InterpOptions &Opts;
+  const ProfileMeta *Prof;
   Fault Err;
   OpCounters Counters;
   std::vector<FunctionCounters> PerFunc;
@@ -511,6 +590,10 @@ private:
   std::unordered_map<FuncId, FrameLayout> Layouts;
   const FrameLayout *CurLayout = nullptr;
   size_t CallDepth = 0;
+
+  std::vector<std::pair<uint64_t, TagId>> GlobalSpans;
+  std::vector<std::pair<uint64_t, FuncId>> FrameStack;
+  std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> RawProfile;
 };
 
 } // namespace

@@ -19,6 +19,7 @@
 #define RPCC_INTERP_INTERPRETER_H
 
 #include "ir/Module.h"
+#include "obs/TagProfile.h"
 
 #include <array>
 #include <string>
@@ -57,6 +58,11 @@ struct InterpOptions {
   size_t MaxCallDepth = 1 << 15;
   size_t HeapLimit = size_t(1) << 30;
   size_t OutputLimit = size_t(1) << 24;
+  /// When non-null, every executed load/store is attributed to its
+  /// (function, innermost loop, tag) and collected in ExecResult::Profile.
+  /// Build the meta from the same module being interpreted (it snapshots the
+  /// final IL's loop forest). Null keeps the hot path overhead-free.
+  const ProfileMeta *Profile = nullptr;
 };
 
 struct ExecResult {
@@ -67,6 +73,10 @@ struct ExecResult {
   OpCounters Counters;
   /// One entry per module function (builtins stay zero).
   std::vector<FunctionCounters> PerFunction;
+  /// Per-(function, loop, tag) dynamic counts; populated only when
+  /// InterpOptions::Profile was set. Invariant: the per-tag loads/stores sum
+  /// exactly to Counters.Loads/Counters.Stores.
+  TagProfile Profile;
 };
 
 /// Runs \p M from its "main" function (no arguments). Never throws; runtime

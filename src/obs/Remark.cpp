@@ -1,0 +1,138 @@
+//===- obs/Remark.cpp -----------------------------------------------------===//
+
+#include "obs/Remark.h"
+
+#include "ir/Module.h"
+#include "support/Format.h"
+
+#include <sstream>
+
+using namespace rpcc;
+
+void RemarkEngine::emit(const char *Pass, RemarkKind K, RemarkReason R,
+                        const std::string &Function,
+                        const std::string &LoopHeader, unsigned LoopDepth,
+                        const std::string &Tag, std::string Message) {
+  Remark Rm;
+  Rm.Pass = Pass;
+  Rm.Kind = K;
+  Rm.Reason = R;
+  Rm.Function = Function;
+  Rm.LoopHeader = LoopHeader;
+  Rm.LoopDepth = LoopDepth;
+  Rm.Tag = Tag;
+  Rm.Message = std::move(Message);
+  Remarks.push_back(std::move(Rm));
+}
+
+size_t RemarkEngine::count(RemarkKind K, const std::string &PassFilter) const {
+  size_t N = 0;
+  for (const Remark &R : Remarks)
+    if (R.Kind == K && (PassFilter.empty() || R.Pass == PassFilter))
+      ++N;
+  return N;
+}
+
+const char *RemarkEngine::kindName(RemarkKind K) {
+  switch (K) {
+  case RemarkKind::Promoted:
+    return "promoted";
+  case RemarkKind::Missed:
+    return "missed";
+  case RemarkKind::Hoisted:
+    return "hoisted";
+  case RemarkKind::Residual:
+    return "residual";
+  case RemarkKind::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+const char *RemarkEngine::reasonCode(RemarkReason R) {
+  switch (R) {
+  case RemarkReason::None:
+    return "none";
+  case RemarkReason::CallModRef:
+    return "call-modref";
+  case RemarkReason::AliasedPointerOp:
+    return "aliased-pointer-op";
+  case RemarkReason::RegPressure:
+    return "reg-pressure";
+  case RemarkReason::NoLandingPad:
+    return "no-landing-pad";
+  case RemarkReason::LoopVariantAddress:
+    return "loop-variant-address";
+  case RemarkReason::GroupConflict:
+    return "group-conflict";
+  case RemarkReason::MultiTagPointer:
+    return "multi-tag-pointer";
+  case RemarkReason::TagModified:
+    return "tag-modified";
+  case RemarkReason::MultipleDefs:
+    return "multiple-defs";
+  case RemarkReason::SpillSlot:
+    return "spill-slot";
+  case RemarkReason::PromotionOff:
+    return "promotion-off";
+  case RemarkReason::LatePromotable:
+    return "late-promotable";
+  case RemarkReason::HeapOrUnknown:
+    return "heap-or-unknown";
+  }
+  return "unknown";
+}
+
+std::string rpcc::formatRemark(const Remark &R) {
+  std::ostringstream OS;
+  OS << "[" << R.Pass << "] " << RemarkEngine::kindName(R.Kind);
+  if (R.Reason != RemarkReason::None)
+    OS << "(" << RemarkEngine::reasonCode(R.Reason) << ")";
+  OS << " func=" << R.Function;
+  if (!R.LoopHeader.empty())
+    OS << " loop=" << R.LoopHeader << " depth=" << R.LoopDepth;
+  if (!R.Tag.empty())
+    OS << " tag=" << R.Tag;
+  if (!R.Message.empty())
+    OS << ": " << R.Message;
+  return OS.str();
+}
+
+std::string RemarkEngine::toText(const std::string &PassFilter) const {
+  std::string Out;
+  for (const Remark &R : Remarks) {
+    if (!PassFilter.empty() && R.Pass != PassFilter)
+      continue;
+    Out += formatRemark(R);
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string RemarkEngine::toJsonLines(
+    const std::vector<std::pair<std::string, std::string>> &Extra) const {
+  std::ostringstream OS;
+  for (const Remark &R : Remarks) {
+    OS << "{";
+    for (const auto &[K, V] : Extra)
+      OS << "\"" << jsonEscape(K) << "\":\"" << jsonEscape(V) << "\",";
+    OS << "\"pass\":\"" << jsonEscape(R.Pass) << "\"";
+    OS << ",\"kind\":\"" << kindName(R.Kind) << "\"";
+    OS << ",\"reason\":\"" << reasonCode(R.Reason) << "\"";
+    OS << ",\"function\":\"" << jsonEscape(R.Function) << "\"";
+    OS << ",\"loop\":\"" << jsonEscape(R.LoopHeader) << "\"";
+    OS << ",\"depth\":" << R.LoopDepth;
+    OS << ",\"tag\":\"" << jsonEscape(R.Tag) << "\"";
+    OS << ",\"message\":\"" << jsonEscape(R.Message) << "\"";
+    OS << "}\n";
+  }
+  return OS.str();
+}
+
+std::string rpcc::tagDisplayName(const Module &M, uint32_t TagId) {
+  const Tag &T = M.tags().tag(TagId);
+  if ((T.Kind == TagKind::Local || T.Kind == TagKind::Spill) &&
+      T.Owner != NoFunc)
+    return T.Name + "@" + M.function(T.Owner)->name();
+  return T.Name;
+}

@@ -1,0 +1,130 @@
+//===- obs/Remark.h - Optimization remark records ---------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style optimization remarks for the promotion pipeline: a typed,
+/// machine-readable record for every candidate a pass looked at — promoted,
+/// or missed with the blocking reason. The paper's §5 discussion ("calls
+/// inside loops were the dominant reason promotion failed", the water
+/// anecdote) is exactly this stream, rendered after the fact; the remark
+/// engine makes it a first-class output instead of a by-hand diff of IL
+/// dumps.
+///
+/// Remarks are plain data (strings, not IR pointers), so they survive the
+/// module they describe and can be compared across configurations: the
+/// differential fuzzer asserts that promotion-decision remarks are
+/// identical across register counts and worker counts.
+///
+/// One RemarkEngine belongs to one compile job; it is not thread-safe.
+/// Parallel drivers give every job its own engine and merge the collected
+/// streams in job order, which keeps all rendered output byte-identical to
+/// a serial run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_OBS_REMARK_H
+#define RPCC_OBS_REMARK_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rpcc {
+
+class Module;
+
+/// What the pass did (or could not do) with the candidate.
+enum class RemarkKind : uint8_t {
+  Promoted, ///< the candidate was rewritten to a register
+  Missed,   ///< the candidate was legal IL but blocked; Reason says why
+  Hoisted,  ///< LICM moved the operation to the landing pad
+  Residual, ///< post-pipeline audit: this memory op survived, Reason says why
+  Note      ///< informational (PRE elimination counts, shape warnings)
+};
+
+/// Why a candidate stayed in memory. The catalog is documented in
+/// docs/OBSERVABILITY.md; codes are stable strings for tooling.
+enum class RemarkReason : uint8_t {
+  None,               ///< not blocked (Promoted/Hoisted/Note remarks)
+  CallModRef,         ///< a call in the loop may modify or reference the tag
+  AliasedPointerOp,   ///< a pointer-based memory op in the loop may touch it
+  RegPressure,        ///< dropped by the per-loop promotion budget
+  NoLandingPad,       ///< loop shape unsupported (no unique landing pad)
+  LoopVariantAddress, ///< pointer promotion: base address redefined in loop
+  GroupConflict,      ///< pointer promotion: another access overlaps the group
+  MultiTagPointer,    ///< pointer op with a multi-tag (ambiguous) tag set
+  TagModified,        ///< LICM: something in the loop may store the tag
+  MultipleDefs,       ///< LICM: result register has several definitions
+  SpillSlot,          ///< residual op is allocator spill traffic
+  PromotionOff,       ///< scalar promotion was disabled in this configuration
+  LatePromotable,     ///< promotable on final IL but missed by phase ordering
+  HeapOrUnknown       ///< heap object or unresolvable address
+};
+
+/// One remark. All location information is carried as names, not ids, so a
+/// remark can be joined against the dynamic tag profile even though block
+/// ids shift between the emitting pass and the final IL.
+struct Remark {
+  std::string Pass;       ///< emitting pass: promote, ptr-promote, licm, ...
+  RemarkKind Kind = RemarkKind::Note;
+  RemarkReason Reason = RemarkReason::None;
+  std::string Function;   ///< enclosing function
+  std::string LoopHeader; ///< loop header block name + "#" + id; "" = no loop
+  unsigned LoopDepth = 0; ///< 1 = outermost; 0 = not in a loop
+  std::string Tag;        ///< display name of the memory location; "" = none
+  std::string Message;    ///< free-form human detail (may be empty)
+};
+
+/// Collects the remark stream of one compile job and renders it as human
+/// text or JSON lines.
+class RemarkEngine {
+public:
+  void add(Remark R) { Remarks.push_back(std::move(R)); }
+
+  /// Convenience emitter used by the passes.
+  void emit(const char *Pass, RemarkKind K, RemarkReason R,
+            const std::string &Function, const std::string &LoopHeader,
+            unsigned LoopDepth, const std::string &Tag,
+            std::string Message = {});
+
+  const std::vector<Remark> &remarks() const { return Remarks; }
+  bool empty() const { return Remarks.empty(); }
+  size_t size() const { return Remarks.size(); }
+
+  /// Counts remarks of kind \p K (optionally restricted to one pass).
+  size_t count(RemarkKind K, const std::string &PassFilter = {}) const;
+
+  /// Human-readable stream, one line per remark, in emission order.
+  /// \p PassFilter restricts to one pass when non-empty.
+  std::string toText(const std::string &PassFilter = {}) const;
+
+  /// Machine-readable stream: one JSON object per line. \p Extra key/value
+  /// pairs (e.g. program and configuration in suite mode) are prepended to
+  /// every object.
+  std::string toJsonLines(
+      const std::vector<std::pair<std::string, std::string>> &Extra =
+          {}) const;
+
+  static const char *kindName(RemarkKind K);
+  static const char *reasonCode(RemarkReason R);
+
+private:
+  std::vector<Remark> Remarks;
+};
+
+/// Formats one remark the way toText does (exposed for golden tests).
+std::string formatRemark(const Remark &R);
+
+/// Stable display name for a tag: locals and spill slots are qualified with
+/// their owning function ("name@func") so the (function, tag) join key used
+/// by the explain report is unambiguous.
+std::string tagDisplayName(const Module &M, uint32_t TagId);
+
+} // namespace rpcc
+
+#endif // RPCC_OBS_REMARK_H

@@ -1,0 +1,175 @@
+//===- obs/ResidualAudit.cpp ----------------------------------------------===//
+
+#include "obs/ResidualAudit.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Module.h"
+#include "obs/Remark.h"
+#include "obs/TagProfile.h"
+#include "promote/ScalarPromotion.h"
+
+#include <map>
+#include <string>
+
+using namespace rpcc;
+
+namespace {
+
+/// Aggregated static counts of one (loop, tag, reason) class.
+struct OpCount {
+  unsigned Loads = 0;
+  unsigned Stores = 0;
+};
+
+/// Classifies one residual scalar op on tag \p T inside loop \p L.
+RemarkReason classifyScalar(const Module &M, TagId T,
+                            const LoopPromotionInfo &Info,
+                            const ResidualAuditOptions &Opts) {
+  if (M.tags().tag(T).Kind == TagKind::Spill)
+    return RemarkReason::SpillSlot;
+  if (!Opts.ScalarPromotion)
+    return RemarkReason::PromotionOff;
+  if (Info.AmbiguousCall.contains(T))
+    return RemarkReason::CallModRef;
+  if (Info.AmbiguousPtr.contains(T))
+    return RemarkReason::AliasedPointerOp;
+  // Promotable on the final IL. Either the budget trimmed it, or later
+  // passes (SCCP removing a blocking call, promotion's own landing-pad
+  // loads for an inner loop) exposed it after the promoter already ran.
+  return Opts.PromotionBudget ? RemarkReason::RegPressure
+                              : RemarkReason::LatePromotable;
+}
+
+/// Classifies one residual pointer op tag inside a loop.
+RemarkReason classifyPointer(const Module &M, TagId T, size_t NumTags,
+                             bool BaseVariant,
+                             const ResidualAuditOptions &Opts) {
+  if (T == NoTag || M.tags().tag(T).Kind == TagKind::Heap)
+    return RemarkReason::HeapOrUnknown;
+  if (BaseVariant)
+    return RemarkReason::LoopVariantAddress;
+  if (NumTags > 1)
+    return RemarkReason::MultiTagPointer;
+  if (!Opts.PointerPromotion)
+    return RemarkReason::PromotionOff;
+  return RemarkReason::GroupConflict;
+}
+
+const char *reasonDetail(RemarkReason R) {
+  switch (R) {
+  case RemarkReason::SpillSlot:
+    return "register-allocator spill traffic";
+  case RemarkReason::PromotionOff:
+    return "the promoting pass is disabled in this configuration";
+  case RemarkReason::CallModRef:
+    return "a call in the loop may mod/ref the tag";
+  case RemarkReason::AliasedPointerOp:
+    return "a pointer-based op in the loop may touch the tag";
+  case RemarkReason::RegPressure:
+    return "candidate exceeded the per-loop promotion budget";
+  case RemarkReason::LatePromotable:
+    return "promotable on the final IL; exposed after the promoter ran";
+  case RemarkReason::HeapOrUnknown:
+    return "heap object or unresolvable address";
+  case RemarkReason::LoopVariantAddress:
+    return "base address is recomputed inside the loop";
+  case RemarkReason::MultiTagPointer:
+    return "pointer may reference several objects";
+  case RemarkReason::GroupConflict:
+    return "an overlapping access disqualified the reference group";
+  default:
+    return "";
+  }
+}
+
+void auditFunction(Module &M, Function &F, const ResidualAuditOptions &Opts,
+                   RemarkEngine &Re) {
+  recomputeCfg(F);
+  LoopInfo LI(F);
+  if (LI.numLoops() == 0)
+    return;
+  std::vector<LoopPromotionInfo> Infos = analyzeScalarPromotion(M, F, LI);
+
+  // Registers defined per loop, for the loop-variant-address test. Physical
+  // registers after allocation make this conservative, which is the right
+  // direction for an audit.
+  std::vector<std::vector<bool>> DefInLoop(LI.numLoops());
+  for (size_t L = 0; L != LI.numLoops(); ++L) {
+    DefInLoop[L].assign(F.numRegs(), false);
+    for (BlockId B : LI.loop(L).Blocks)
+      for (const auto &IP : F.block(B)->insts())
+        if (IP->hasResult())
+          DefInLoop[L][IP->Result] = true;
+  }
+
+  // (loop, tag, reason) -> static counts, ordered for deterministic output.
+  std::map<std::tuple<int, TagId, int>, OpCount> Agg;
+  auto Bump = [&](int L, TagId T, RemarkReason R, bool IsStore) {
+    OpCount &C = Agg[{L, T, static_cast<int>(R)}];
+    if (IsStore)
+      ++C.Stores;
+    else
+      ++C.Loads;
+  };
+
+  for (const auto &BP : F.blocks()) {
+    int L = LI.innermostLoop(BP->id());
+    if (L < 0)
+      continue;
+    for (const auto &IP : BP->insts()) {
+      const Instruction &I = *IP;
+      switch (I.Op) {
+      case Opcode::ScalarLoad:
+      case Opcode::ScalarStore:
+        Bump(L, I.Tag,
+             classifyScalar(M, I.Tag, Infos[static_cast<size_t>(L)], Opts),
+             I.Op == Opcode::ScalarStore);
+        break;
+      case Opcode::Load:
+      case Opcode::ConstLoad:
+      case Opcode::Store: {
+        bool BaseVariant =
+            !I.Ops.empty() && DefInLoop[static_cast<size_t>(L)][I.Ops[0]];
+        bool IsStore = I.Op == Opcode::Store;
+        if (I.Tags.empty()) {
+          Bump(L, NoTag, RemarkReason::HeapOrUnknown, IsStore);
+          break;
+        }
+        // One record per tag so whichever object the address resolves to
+        // at run time joins a remark.
+        for (TagId T : I.Tags)
+          Bump(L, T, classifyPointer(M, T, I.Tags.size(), BaseVariant, Opts),
+               IsStore);
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+
+  for (const auto &[Key, C] : Agg) {
+    auto [L, T, RInt] = Key;
+    RemarkReason R = static_cast<RemarkReason>(RInt);
+    const Loop &Lp = LI.loop(static_cast<size_t>(L));
+    std::string TagName =
+        T == NoTag ? std::string("(heap)") : tagDisplayName(M, T);
+    Re.emit("residual", RemarkKind::Residual, R, F.name(),
+            loopDisplayName(F, Lp.Header), Lp.Depth, TagName,
+            std::string(reasonDetail(R)) + " (" + std::to_string(C.Loads) +
+                " load(s), " + std::to_string(C.Stores) + " store(s))");
+  }
+}
+
+} // namespace
+
+void rpcc::auditResidualMemOps(Module &M, const ResidualAuditOptions &Opts,
+                               RemarkEngine &Re) {
+  for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+    Function *F = M.function(static_cast<FuncId>(FI));
+    if (F->isBuiltin() || F->numBlocks() == 0)
+      continue;
+    auditFunction(M, *F, Opts, Re);
+  }
+}

@@ -1,0 +1,47 @@
+//===- obs/ResidualAudit.h - Explain every surviving memory op --*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A post-pipeline reporting pass that classifies every memory operation
+/// still inside a loop of the *final* IL and emits a residual remark with a
+/// concrete reason code. In-pass remarks describe decisions at the point a
+/// pass ran; later passes reshape the IL (inner-loop landing pads sit inside
+/// outer loops, the allocator adds spill slots), so the audit is what
+/// guarantees the invariant the tooling relies on: every residual in-loop
+/// dynamic load or store joins a remark explaining it. It runs on the same
+/// IL the interpreter executes, so its (function, loop, tag) keys line up
+/// with the dynamic tag profile exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_OBS_RESIDUALAUDIT_H
+#define RPCC_OBS_RESIDUALAUDIT_H
+
+namespace rpcc {
+
+class Module;
+class RemarkEngine;
+
+struct ResidualAuditOptions {
+  /// Whether scalar promotion ran in this configuration; when off, residual
+  /// scalar ops are classified promotion-off rather than late-promotable.
+  bool ScalarPromotion = true;
+  /// Whether §3.3 pointer promotion ran.
+  bool PointerPromotion = false;
+  /// Whether a per-loop promotion budget was in force (MaxPromotedPerLoop).
+  bool PromotionBudget = false;
+};
+
+/// Emits one residual remark (pass "residual") per (loop, tag, reason) with
+/// static load/store counts, covering every in-loop memory operation of the
+/// final IL. Recomputes CFG lists; call after the pipeline has finished.
+void auditResidualMemOps(Module &M, const ResidualAuditOptions &Opts,
+                         RemarkEngine &Re);
+
+} // namespace rpcc
+
+#endif // RPCC_OBS_RESIDUALAUDIT_H

@@ -1,0 +1,246 @@
+//===- obs/TagProfile.cpp -------------------------------------------------===//
+
+#include "obs/TagProfile.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Module.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace rpcc;
+
+std::string rpcc::loopDisplayName(const Function &F, uint32_t HeaderBlock) {
+  return F.block(HeaderBlock)->name() + "#" + std::to_string(HeaderBlock);
+}
+
+ProfileMeta ProfileMeta::build(Module &M) {
+  ProfileMeta Meta;
+  Meta.LoopOfBlock.resize(M.numFunctions());
+  for (FuncId FI = 0; FI != M.numFunctions(); ++FI) {
+    Function &F = *M.function(FI);
+    if (F.isBuiltin() || F.numBlocks() == 0)
+      continue;
+    recomputeCfg(F);
+    LoopInfo LI(F);
+    // Preorder guarantees a parent is appended before its children, so
+    // parent links can be resolved while appending.
+    std::vector<int> GlobalIdx(LI.numLoops(), -1);
+    for (int L : LI.preorder()) {
+      const Loop &Lp = LI.loop(static_cast<size_t>(L));
+      ProfileLoop PL;
+      PL.Func = FI;
+      PL.Header = loopDisplayName(F, Lp.Header);
+      PL.Depth = Lp.Depth;
+      PL.Parent = Lp.Parent < 0 ? -1 : GlobalIdx[Lp.Parent];
+      GlobalIdx[L] = static_cast<int>(Meta.Loops.size());
+      Meta.Loops.push_back(std::move(PL));
+    }
+    std::vector<int32_t> &Inner = Meta.LoopOfBlock[FI];
+    Inner.resize(F.numBlocks(), -1);
+    for (BlockId B = 0; B != F.numBlocks(); ++B) {
+      int L = LI.innermostLoop(B);
+      Inner[B] = L < 0 ? -1 : GlobalIdx[L];
+    }
+  }
+  return Meta;
+}
+
+uint64_t TagProfile::sumLoads() const {
+  uint64_t N = 0;
+  for (const TagLoopCount &C : Counts)
+    N += C.Loads;
+  return N;
+}
+
+uint64_t TagProfile::sumStores() const {
+  uint64_t N = 0;
+  for (const TagLoopCount &C : Counts)
+    N += C.Stores;
+  return N;
+}
+
+void TagProfile::finalize(
+    const std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> &Raw) {
+  Counts.clear();
+  Counts.reserve(Raw.size());
+  for (const auto &[K, LS] : Raw) {
+    TagLoopCount C;
+    C.Func = static_cast<FuncId>(K >> 48);
+    C.Loop = static_cast<int32_t>((K >> 32) & 0xFFFF) - 1;
+    C.Tag = static_cast<TagId>(K & 0xFFFFFFFF);
+    C.Loads = LS.first;
+    C.Stores = LS.second;
+    Counts.push_back(C);
+  }
+  std::sort(Counts.begin(), Counts.end(),
+            [](const TagLoopCount &A, const TagLoopCount &B) {
+              if (A.Func != B.Func)
+                return A.Func < B.Func;
+              if (A.Loop != B.Loop)
+                return A.Loop < B.Loop;
+              return A.Tag < B.Tag;
+            });
+}
+
+namespace {
+
+const char *tagKindName(TagKind K) {
+  switch (K) {
+  case TagKind::Global:
+    return "global";
+  case TagKind::Local:
+    return "local";
+  case TagKind::Heap:
+    return "heap";
+  case TagKind::Func:
+    return "func";
+  case TagKind::Spill:
+    return "spill";
+  }
+  return "unknown";
+}
+
+std::string countTagName(const Module &M, const TagLoopCount &C) {
+  return C.Tag == NoTag ? std::string("(heap)") : tagDisplayName(M, C.Tag);
+}
+
+std::string countLoopName(const ProfileMeta &Meta, const TagLoopCount &C) {
+  return C.Loop < 0 ? std::string("-")
+                    : Meta.Loops[static_cast<size_t>(C.Loop)].Header;
+}
+
+/// Counts ranked hottest-first with a deterministic tie-break on the
+/// already-sorted (Func, Loop, Tag) order.
+std::vector<size_t> rankByTraffic(const TagProfile &P) {
+  std::vector<size_t> Order(P.Counts.size());
+  for (size_t I = 0; I != Order.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    uint64_t TA = P.Counts[A].Loads + P.Counts[A].Stores;
+    uint64_t TB = P.Counts[B].Loads + P.Counts[B].Stores;
+    return TA > TB;
+  });
+  return Order;
+}
+
+} // namespace
+
+std::string rpcc::formatHotTagTable(const Module &M, const ProfileMeta &Meta,
+                                    const TagProfile &P, size_t Limit) {
+  TextTable T({"function", "loop", "tag", "kind", "loads", "stores", "total"});
+  std::vector<size_t> Order = rankByTraffic(P);
+  if (Limit && Order.size() > Limit)
+    Order.resize(Limit);
+  for (size_t I : Order) {
+    const TagLoopCount &C = P.Counts[I];
+    const char *Kind =
+        C.Tag == NoTag ? "heap" : tagKindName(M.tags().tag(C.Tag).Kind);
+    T.addRow({M.function(C.Func)->name(), countLoopName(Meta, C),
+              countTagName(M, C), Kind, withCommas(C.Loads),
+              withCommas(C.Stores), withCommas(C.Loads + C.Stores)});
+  }
+  return T.render();
+}
+
+std::string rpcc::profileToJson(const Module &M, const ProfileMeta &Meta,
+                                const TagProfile &P) {
+  std::ostringstream OS;
+  OS << "{\"loops\":[";
+  for (size_t I = 0; I != Meta.Loops.size(); ++I) {
+    const ProfileLoop &L = Meta.Loops[I];
+    if (I)
+      OS << ",";
+    OS << "{\"function\":\"" << jsonEscape(M.function(L.Func)->name())
+       << "\",\"header\":\"" << jsonEscape(L.Header)
+       << "\",\"depth\":" << L.Depth << ",\"parent\":" << L.Parent << "}";
+  }
+  OS << "],\"counts\":[";
+  for (size_t I = 0; I != P.Counts.size(); ++I) {
+    const TagLoopCount &C = P.Counts[I];
+    const char *Kind =
+        C.Tag == NoTag ? "heap" : tagKindName(M.tags().tag(C.Tag).Kind);
+    if (I)
+      OS << ",";
+    OS << "{\"function\":\"" << jsonEscape(M.function(C.Func)->name())
+       << "\",\"loop\":" << C.Loop << ",\"tag\":\""
+       << jsonEscape(countTagName(M, C)) << "\",\"kind\":\"" << Kind
+       << "\",\"loads\":" << C.Loads << ",\"stores\":" << C.Stores << "}";
+  }
+  OS << "],\"total_loads\":" << P.sumLoads()
+     << ",\"total_stores\":" << P.sumStores() << "}\n";
+  return OS.str();
+}
+
+std::vector<ExplainRow> rpcc::buildExplainReport(const Module &M,
+                                                 const ProfileMeta &Meta,
+                                                 const TagProfile &P,
+                                                 const RemarkEngine &Re) {
+  // Index missed/residual remarks by (function, tag display name). Reasons
+  // keep first-emission order, deduplicated.
+  struct ReasonList {
+    std::vector<RemarkReason> Reasons;
+  };
+  std::unordered_map<std::string, ReasonList> ByKey;
+  for (const Remark &R : Re.remarks()) {
+    if (R.Kind != RemarkKind::Missed && R.Kind != RemarkKind::Residual)
+      continue;
+    if (R.Tag.empty())
+      continue;
+    ReasonList &RL = ByKey[R.Function + "\x1f" + R.Tag];
+    if (std::find(RL.Reasons.begin(), RL.Reasons.end(), R.Reason) ==
+        RL.Reasons.end())
+      RL.Reasons.push_back(R.Reason);
+  }
+
+  std::vector<ExplainRow> Rows;
+  for (size_t I : rankByTraffic(P)) {
+    const TagLoopCount &C = P.Counts[I];
+    if (C.Loop < 0 || C.Tag == NoTag)
+      continue; // only residual *in-loop* traffic is left on the table
+    const Tag &T = M.tags().tag(C.Tag);
+    // Promotable-class storage per the paper: globals and address-taken
+    // locals. Spill traffic and heap objects are outside the model.
+    if (T.Kind != TagKind::Global && T.Kind != TagKind::Local)
+      continue;
+    ExplainRow Row;
+    Row.Function = M.function(C.Func)->name();
+    const ProfileLoop &L = Meta.Loops[static_cast<size_t>(C.Loop)];
+    Row.Loop = L.Header;
+    Row.Depth = L.Depth;
+    Row.Tag = tagDisplayName(M, C.Tag);
+    Row.Loads = C.Loads;
+    Row.Stores = C.Stores;
+    auto It = ByKey.find(Row.Function + "\x1f" + Row.Tag);
+    if (It != ByKey.end()) {
+      Row.Joined = true;
+      Row.Reasons = It->second.Reasons;
+    }
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}
+
+std::string rpcc::formatExplainReport(const std::vector<ExplainRow> &Rows,
+                                      size_t Limit) {
+  TextTable T({"function", "loop", "tag", "loads", "stores", "why"});
+  size_t N = Limit && Rows.size() > Limit ? Limit : Rows.size();
+  for (size_t I = 0; I != N; ++I) {
+    const ExplainRow &R = Rows[I];
+    std::string Why;
+    if (!R.Joined) {
+      Why = "(unexplained)";
+    } else {
+      for (size_t J = 0; J != R.Reasons.size(); ++J) {
+        if (J)
+          Why += ",";
+        Why += RemarkEngine::reasonCode(R.Reasons[J]);
+      }
+    }
+    T.addRow({R.Function, R.Loop + "(d" + std::to_string(R.Depth) + ")", R.Tag,
+              withCommas(R.Loads), withCommas(R.Stores), Why});
+  }
+  return T.render();
+}

@@ -1,0 +1,141 @@
+//===- obs/TagProfile.h - Dynamic per-tag/per-loop profiler -----*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Attributes the interpreter's dynamic load/store counts to individual
+/// memory tags and their enclosing loops — the measurement behind the
+/// paper's §5 discussion of *which* locations stayed memory-resident and
+/// why. OpCounters says promotion removed N operations; the tag profile
+/// says which tags account for the residue, loop by loop, and — joined
+/// against the missed-promotion remark stream (obs/Remark.h) — produces the
+/// ranked "promotion left on the table" report: dynamic operations each
+/// missed candidate still costs, with the blocking reason code attached.
+///
+/// The pipeline: ProfileMeta::build() snapshots the final IL's loop forest
+/// (the same IL the interpreter executes, so attribution is exact); the
+/// interpreter, when InterpOptions::Profile points at that meta, resolves
+/// every executed memory operation to (function, innermost loop, tag) —
+/// scalar ops by their tag field, pointer ops by decoding the runtime
+/// address against the global/stack layout (heap stays a summary bucket).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_OBS_TAGPROFILE_H
+#define RPCC_OBS_TAGPROFILE_H
+
+#include "ir/Tag.h"
+#include "obs/Remark.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rpcc {
+
+class Module;
+class Function;
+
+/// Display name of a loop: header block name + "#" + header block id.
+/// Shared by the profiler and the residual audit so their loop keys agree.
+std::string loopDisplayName(const Function &F, uint32_t HeaderBlock);
+
+/// One loop of the final IL, in a module-wide table.
+struct ProfileLoop {
+  FuncId Func = NoFunc;
+  std::string Header; ///< loopDisplayName of the header
+  unsigned Depth = 1; ///< 1 = outermost
+  int Parent = -1;    ///< index into ProfileMeta::Loops, -1 for roots
+};
+
+/// Loop-structure snapshot of a compiled module, built once before
+/// interpretation and consulted per executed memory operation.
+struct ProfileMeta {
+  std::vector<ProfileLoop> Loops;
+  /// Per function, per block: index into Loops of the innermost enclosing
+  /// loop, or -1. Indexed [FuncId][BlockId]; builtins get empty vectors.
+  std::vector<std::vector<int32_t>> LoopOfBlock;
+
+  /// Builds the snapshot from \p M's current IL. Recomputes CFG lists, so
+  /// it needs a mutable module; call it after the pipeline, before
+  /// interpret().
+  static ProfileMeta build(Module &M);
+};
+
+/// Dynamic load/store counts of one (function, loop, tag) triple.
+struct TagLoopCount {
+  FuncId Func = NoFunc;
+  int32_t Loop = -1; ///< index into ProfileMeta::Loops; -1 = not in a loop
+  TagId Tag = NoTag; ///< NoTag = heap or unresolvable address
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+};
+
+/// The dynamic tag profile of one execution.
+struct TagProfile {
+  /// Finalized counts, sorted by (Func, Loop, Tag) so the profile is
+  /// deterministic and byte-identical across worker counts.
+  std::vector<TagLoopCount> Counts;
+
+  uint64_t sumLoads() const;
+  uint64_t sumStores() const;
+
+  /// Accumulation key used by the interpreter's hot path.
+  static uint64_t key(FuncId F, int32_t Loop, TagId T) {
+    return (static_cast<uint64_t>(F) << 48) |
+           ((static_cast<uint64_t>(Loop + 1) & 0xFFFF) << 32) |
+           static_cast<uint64_t>(T);
+  }
+
+  /// Converts the interpreter's raw accumulator (key -> loads/stores) into
+  /// sorted Counts.
+  void finalize(
+      const std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>>
+          &Raw);
+};
+
+/// The hot-tag table: every profiled (function, loop, tag) triple ranked by
+/// dynamic loads+stores. \p Limit > 0 keeps only the hottest rows.
+std::string formatHotTagTable(const Module &M, const ProfileMeta &Meta,
+                              const TagProfile &P, size_t Limit = 0);
+
+/// The profile as one deterministic JSON object:
+/// {"loops":[...],"counts":[...],"total_loads":..,"total_stores":..}.
+std::string profileToJson(const Module &M, const ProfileMeta &Meta,
+                          const TagProfile &P);
+
+/// One row of the "promotion left on the table" report: a promotable-class
+/// tag (global or address-taken local) with residual in-loop dynamic
+/// traffic, joined against the remark stream's blocking reasons.
+struct ExplainRow {
+  std::string Function;
+  std::string Loop;  ///< loop display name
+  unsigned Depth = 1;
+  std::string Tag;   ///< tagDisplayName
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  /// Blocking reason codes from missed/residual remarks for this
+  /// (function, tag), in first-emission order; empty when Joined is false.
+  std::vector<RemarkReason> Reasons;
+  bool Joined = false; ///< a missed/residual remark explains this row
+};
+
+/// Joins in-loop residual counts of promotable-class tags against the
+/// missed/residual remarks in \p Re. Rows come back ranked by dynamic
+/// loads+stores (descending, deterministic tie-break).
+std::vector<ExplainRow> buildExplainReport(const Module &M,
+                                           const ProfileMeta &Meta,
+                                           const TagProfile &P,
+                                           const RemarkEngine &Re);
+
+/// Renders the report as an aligned table. \p Limit > 0 keeps only the
+/// hottest rows.
+std::string formatExplainReport(const std::vector<ExplainRow> &Rows,
+                                size_t Limit = 0);
+
+} // namespace rpcc
+
+#endif // RPCC_OBS_TAGPROFILE_H

@@ -1,0 +1,74 @@
+//===- obs/Trace.cpp ------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "driver/PassTiming.h"
+#include "support/Format.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace rpcc;
+
+TraceCollector::TraceCollector() : OriginMs(timingNowMs()) {}
+
+void TraceCollector::addSpan(
+    const std::string &Name, const std::string &Cat, double TsMs,
+    double DurMs, std::vector<std::pair<std::string, std::string>> Args) {
+  TraceEvent E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.TsMs = TsMs - OriginMs;
+  E.DurMs = DurMs;
+  E.Tid = ThreadPool::currentWorker();
+  E.Args = std::move(Args);
+  std::lock_guard<std::mutex> L(Mu);
+  Events.push_back(std::move(E));
+}
+
+size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Events.size();
+}
+
+std::string TraceCollector::toJson() const {
+  std::vector<TraceEvent> Sorted;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Sorted = Events;
+  }
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     if (A.TsMs != B.TsMs)
+                       return A.TsMs < B.TsMs;
+                     if (A.Tid != B.Tid)
+                       return A.Tid < B.Tid;
+                     return A.Name < B.Name;
+                   });
+  std::ostringstream OS;
+  OS << "{\"traceEvents\":[";
+  for (size_t I = 0; I != Sorted.size(); ++I) {
+    const TraceEvent &E = Sorted[I];
+    if (I)
+      OS << ",\n";
+    // Chrome expects microseconds.
+    OS << "{\"name\":\"" << jsonEscape(E.Name) << "\",\"cat\":\""
+       << jsonEscape(E.Cat) << "\",\"ph\":\"X\",\"ts\":"
+       << fixed(E.TsMs * 1000.0, 1) << ",\"dur\":"
+       << fixed(E.DurMs * 1000.0, 1) << ",\"pid\":1,\"tid\":" << E.Tid;
+    if (!E.Args.empty()) {
+      OS << ",\"args\":{";
+      for (size_t A = 0; A != E.Args.size(); ++A) {
+        if (A)
+          OS << ",";
+        OS << "\"" << jsonEscape(E.Args[A].first) << "\":\""
+           << jsonEscape(E.Args[A].second) << "\"";
+      }
+      OS << "}";
+    }
+    OS << "}";
+  }
+  OS << "],\"displayTimeUnit\":\"ms\"}\n";
+  return OS.str();
+}

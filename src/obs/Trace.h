@@ -1,0 +1,68 @@
+//===- obs/Trace.h - Chrome trace-event JSON emitter ------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide span collector rendering the Chrome trace-event JSON
+/// format (load the file in chrome://tracing or Perfetto). Spans cover
+/// compile-pipeline passes (via the driver's Timed wrapper), suite cells,
+/// and fuzz seeds; the track id is the ThreadPool worker that executed the
+/// span, so the suite's parallel fan-out is visible as one lane per worker.
+///
+/// Timestamps and durations are wall-clock and therefore volatile; tooling
+/// that compares traces across runs (the rpjson validator's canon command)
+/// strips ts/dur/tid and sorts, leaving the deterministic skeleton of names,
+/// categories and args.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_OBS_TRACE_H
+#define RPCC_OBS_TRACE_H
+
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rpcc {
+
+/// One complete ("ph":"X") span.
+struct TraceEvent {
+  std::string Name;
+  std::string Cat;  ///< "pass", "cell", "seed", "phase"
+  double TsMs = 0;  ///< start, relative to collector construction
+  double DurMs = 0;
+  int Tid = 0;      ///< ThreadPool worker id (0 = main thread)
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+/// Thread-safe collector shared by every job of a run.
+class TraceCollector {
+public:
+  TraceCollector();
+
+  /// Records one span. \p TsMs is an absolute timingNowMs() timestamp; the
+  /// collector rebases it onto its own origin. The track id is taken from
+  /// the calling thread's ThreadPool worker id.
+  void addSpan(const std::string &Name, const std::string &Cat, double TsMs,
+               double DurMs,
+               std::vector<std::pair<std::string, std::string>> Args = {});
+
+  size_t size() const;
+
+  /// The full trace as one Chrome trace-event JSON object. Events are
+  /// ordered by (start time, track, name).
+  std::string toJson() const;
+
+private:
+  mutable std::mutex Mu;
+  std::vector<TraceEvent> Events;
+  double OriginMs;
+};
+
+} // namespace rpcc
+
+#endif // RPCC_OBS_TRACE_H

@@ -4,8 +4,11 @@
 
 #include "analysis/Cfg.h"
 #include "analysis/LoopInfo.h"
+#include "obs/Remark.h"
+#include "obs/TagProfile.h"
 
 #include <cassert>
+#include <map>
 
 using namespace rpcc;
 
@@ -21,8 +24,9 @@ bool isSpeculable(Opcode Op) {
 
 class FunctionLicm {
 public:
-  FunctionLicm(Function &F, const Module &M, LicmStats &Stats)
-      : F(F), M(M), Stats(Stats) {}
+  FunctionLicm(Function &F, const Module &M, LicmStats &Stats,
+               RemarkEngine *Re)
+      : F(F), M(M), Stats(Stats), Re(Re) {}
 
   void run() {
     recomputeCfg(F);
@@ -80,15 +84,49 @@ private:
             continue;
           // Move to the pad, before its terminator.
           DefInLoop[I.Result] = false;
-          if (isLoadOp(I.Op))
+          if (isLoadOp(I.Op)) {
             ++Stats.HoistedLoads;
-          else
+            if (Re)
+              Re->emit("licm", RemarkKind::Hoisted, RemarkReason::None,
+                       F.name(), loopDisplayName(F, Lp.Header), Lp.Depth,
+                       tagDisplayName(M, I.Tag),
+                       "invariant load moved to the landing pad");
+          } else {
             ++Stats.HoistedPure;
+          }
           Pad->insertAt(Pad->size() - 1, I.clone());
           Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Idx));
           --Idx;
           Changed = true;
         }
+      }
+    }
+
+    // Post-fixpoint reporting sweep: every scalar load still inside the
+    // loop was blocked — name the blocker, deduplicated per (tag, reason)
+    // with a static count.
+    if (Re) {
+      std::map<std::pair<TagId, int>, unsigned> Blocked;
+      for (BlockId B : Lp.Blocks)
+        for (const auto &IP : F.block(B)->insts()) {
+          const Instruction &I = *IP;
+          if (I.Op != Opcode::ScalarLoad)
+            continue;
+          RemarkReason R = ModdedTags.contains(I.Tag)
+                               ? RemarkReason::TagModified
+                               : RemarkReason::MultipleDefs;
+          ++Blocked[{I.Tag, static_cast<int>(R)}];
+        }
+      for (const auto &[Key, N] : Blocked) {
+        RemarkReason R = static_cast<RemarkReason>(Key.second);
+        Re->emit("licm", RemarkKind::Missed, R, F.name(),
+                 loopDisplayName(F, Lp.Header), Lp.Depth,
+                 tagDisplayName(M, Key.first),
+                 (R == RemarkReason::TagModified
+                      ? std::string("the loop may modify the tag")
+                      : std::string(
+                            "result register has several definitions")) +
+                     " (" + std::to_string(N) + " load(s))");
       }
     }
   }
@@ -120,24 +158,25 @@ private:
   Function &F;
   const Module &M;
   LicmStats &Stats;
+  RemarkEngine *Re;
   std::vector<uint32_t> NumDefs;
 };
 
 } // namespace
 
-LicmStats rpcc::runLicm(Function &F, const Module &M) {
+LicmStats rpcc::runLicm(Function &F, const Module &M, RemarkEngine *Re) {
   LicmStats Stats;
-  FunctionLicm(F, M, Stats).run();
+  FunctionLicm(F, M, Stats, Re).run();
   return Stats;
 }
 
-LicmStats rpcc::runLicm(Module &M) {
+LicmStats rpcc::runLicm(Module &M, RemarkEngine *Re) {
   LicmStats Total;
   for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
     Function *F = M.function(static_cast<FuncId>(FI));
     if (F->isBuiltin() || F->numBlocks() == 0)
       continue;
-    LicmStats S = runLicm(*F, M);
+    LicmStats S = runLicm(*F, M, Re);
     Total.HoistedPure += S.HoistedPure;
     Total.HoistedLoads += S.HoistedLoads;
   }

@@ -22,14 +22,19 @@
 
 namespace rpcc {
 
+class RemarkEngine;
+
 struct LicmStats {
   unsigned HoistedPure = 0;
   unsigned HoistedLoads = 0;
 };
 
-/// Requires a normalized CFG (landing pads present).
-LicmStats runLicm(Function &F, const Module &M);
-LicmStats runLicm(Module &M);
+/// Requires a normalized CFG (landing pads present). When \p Re is non-null,
+/// every hoisted scalar load yields a hoisted remark and every scalar load
+/// still in a loop after the fixpoint yields a missed remark naming the
+/// blocker (tag modified in loop, or multiply-defined result register).
+LicmStats runLicm(Function &F, const Module &M, RemarkEngine *Re = nullptr);
+LicmStats runLicm(Module &M, RemarkEngine *Re = nullptr);
 
 } // namespace rpcc
 

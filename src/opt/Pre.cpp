@@ -3,6 +3,7 @@
 #include "opt/Pre.h"
 
 #include "analysis/Cfg.h"
+#include "obs/Remark.h"
 #include "support/DenseBitSet.h"
 
 #include <map>
@@ -57,8 +58,8 @@ ExprKey keyOf(const Instruction &I) {
 
 class GlobalCse {
 public:
-  GlobalCse(Function &F, const Module &M, PreStats &Stats)
-      : F(F), M(M), Stats(Stats) {}
+  GlobalCse(Function &F, const Module &M, PreStats &Stats, RemarkEngine *Re)
+      : F(F), M(M), Stats(Stats), Re(Re) {}
 
   void run() {
     recomputeCfg(F);
@@ -68,6 +69,12 @@ public:
     computeLocalSets();
     solveAvailability();
     rewrite();
+    if (Re)
+      for (const auto &[T, N] : ElimByTag)
+        Re->emit("pre", RemarkKind::Note, RemarkReason::None, F.name(), "",
+                 0, tagDisplayName(M, T),
+                 std::to_string(N) +
+                     " redundant load(s) replaced by holder register");
   }
 
 private:
@@ -240,10 +247,12 @@ private:
           NewI.Result = I.Result;
           NewI.Ops = {Holders[E]};
           I = std::move(NewI);
-          if (WasLoad)
+          if (WasLoad) {
             ++Stats.LoadsEliminated;
-          else
+            ++ElimByTag[static_cast<TagId>(Exprs[E].Extra)];
+          } else {
             ++Stats.ExprsEliminated;
+          }
           // The copy defines I.Result; apply its kills normally below.
           applyKills(*Insts[Idx], Live);
           continue;
@@ -268,6 +277,8 @@ private:
   Function &F;
   const Module &M;
   PreStats &Stats;
+  RemarkEngine *Re;
+  std::map<TagId, unsigned> ElimByTag;
 
   std::map<ExprKey, unsigned> Index;
   std::vector<ExprKey> Exprs;
@@ -281,19 +292,19 @@ private:
 
 } // namespace
 
-PreStats rpcc::runPre(Function &F, const Module &M) {
+PreStats rpcc::runPre(Function &F, const Module &M, RemarkEngine *Re) {
   PreStats Stats;
-  GlobalCse(F, M, Stats).run();
+  GlobalCse(F, M, Stats, Re).run();
   return Stats;
 }
 
-PreStats rpcc::runPre(Module &M) {
+PreStats rpcc::runPre(Module &M, RemarkEngine *Re) {
   PreStats Total;
   for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
     Function *F = M.function(static_cast<FuncId>(FI));
     if (F->isBuiltin() || F->numBlocks() == 0)
       continue;
-    PreStats S = runPre(*F, M);
+    PreStats S = runPre(*F, M, Re);
     Total.ExprsEliminated += S.ExprsEliminated;
     Total.LoadsEliminated += S.LoadsEliminated;
   }

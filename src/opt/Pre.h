@@ -30,13 +30,17 @@
 
 namespace rpcc {
 
+class RemarkEngine;
+
 struct PreStats {
   unsigned ExprsEliminated = 0;  ///< redundant pure computations removed
   unsigned LoadsEliminated = 0;  ///< redundant scalar loads removed
 };
 
-PreStats runPre(Function &F, const Module &M);
-PreStats runPre(Module &M);
+/// When \p Re is non-null, a note remark is emitted per tag whose redundant
+/// loads were replaced by holder-register copies (with the count).
+PreStats runPre(Function &F, const Module &M, RemarkEngine *Re = nullptr);
+PreStats runPre(Module &M, RemarkEngine *Re = nullptr);
 
 } // namespace rpcc
 

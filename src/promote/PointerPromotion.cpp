@@ -4,6 +4,8 @@
 
 #include "analysis/Cfg.h"
 #include "analysis/LoopInfo.h"
+#include "obs/Remark.h"
+#include "obs/TagProfile.h"
 
 #include <cassert>
 #include <map>
@@ -20,6 +22,7 @@ struct RefGroup {
   TagSet Tags;          ///< union of the group's may-reference sets
   unsigned NumOps = 0;  ///< PLD/PST through this base
   bool AnyStore = false;
+  bool Dead = false;    ///< disqualified by an overlapping access
 };
 
 /// Registers with at least one definition inside the loop.
@@ -41,8 +44,8 @@ bool intersects(const TagSet &A, const TagSet &B) {
 
 } // namespace
 
-PointerPromotionStats rpcc::promotePointersInFunction(Module &M,
-                                                      Function &F) {
+PointerPromotionStats rpcc::promotePointersInFunction(Module &M, Function &F,
+                                                      RemarkEngine *Re) {
   PointerPromotionStats Stats;
   recomputeCfg(F);
   LoopInfo LI(F);
@@ -84,7 +87,7 @@ PointerPromotionStats rpcc::promotePointersInFunction(Module &M,
         if (IsGroupOp && Key.first == Base && Key.second == MT)
           continue; // the group's own accesses
         if (intersects(G.Tags, Touched))
-          G.NumOps = 0; // marked dead
+          G.Dead = true;
       }
     };
     for (BlockId B : Lp.Blocks) {
@@ -120,8 +123,19 @@ PointerPromotionStats rpcc::promotePointersInFunction(Module &M,
 
     // Promote the surviving groups.
     for (auto &[Key, G] : Groups) {
-      if (G.NumOps == 0)
+      std::string LoopName =
+          Re ? loopDisplayName(F, Lp.Header) : std::string();
+      if (G.Dead) {
+        if (Re)
+          for (TagId T : G.Tags)
+            Re->emit("ptr-promote", RemarkKind::Missed,
+                     RemarkReason::GroupConflict, F.name(), LoopName,
+                     Lp.Depth, tagDisplayName(M, T),
+                     "another access in the loop overlaps the reference "
+                     "group (" +
+                         std::to_string(G.NumOps) + " op(s))");
         continue;
+      }
       Reg V =
           F.newReg(G.MT == MemType::F64 ? RegType::Flt : RegType::Int);
 
@@ -166,18 +180,24 @@ PointerPromotionStats rpcc::promotePointersInFunction(Module &M,
         ++Stats.StoresInserted;
       }
       ++Stats.PromotedRefs;
+      if (Re)
+        for (TagId T : G.Tags)
+          Re->emit("ptr-promote", RemarkKind::Promoted, RemarkReason::None,
+                   F.name(), LoopName, Lp.Depth, tagDisplayName(M, T),
+                   "invariant-base reference group promoted (" +
+                       std::to_string(G.NumOps) + " op(s))");
     }
   }
   return Stats;
 }
 
-PointerPromotionStats rpcc::promotePointers(Module &M) {
+PointerPromotionStats rpcc::promotePointers(Module &M, RemarkEngine *Re) {
   PointerPromotionStats Total;
   for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
     Function *F = M.function(static_cast<FuncId>(FI));
     if (F->isBuiltin() || F->numBlocks() == 0)
       continue;
-    PointerPromotionStats S = promotePointersInFunction(M, *F);
+    PointerPromotionStats S = promotePointersInFunction(M, *F, Re);
     Total.PromotedRefs += S.PromotedRefs;
     Total.RewrittenOps += S.RewrittenOps;
     Total.LoadsInserted += S.LoadsInserted;

@@ -29,6 +29,8 @@
 
 namespace rpcc {
 
+class RemarkEngine;
+
 struct PointerPromotionStats {
   unsigned PromotedRefs = 0;   ///< (base register, loop) groups promoted
   unsigned RewrittenOps = 0;   ///< pointer ops turned into copies
@@ -37,11 +39,14 @@ struct PointerPromotionStats {
 };
 
 /// Promotes loop-invariant pointer references in one function. Requires a
-/// normalized CFG and populated tag sets; most effective after LICM.
-PointerPromotionStats promotePointersInFunction(Module &M, Function &F);
+/// normalized CFG and populated tag sets; most effective after LICM. When
+/// \p Re is non-null, each candidate reference group yields a promoted or
+/// missed (group-conflict) remark.
+PointerPromotionStats promotePointersInFunction(Module &M, Function &F,
+                                                RemarkEngine *Re = nullptr);
 
 /// Runs over every non-builtin function.
-PointerPromotionStats promotePointers(Module &M);
+PointerPromotionStats promotePointers(Module &M, RemarkEngine *Re = nullptr);
 
 } // namespace rpcc
 

@@ -4,6 +4,8 @@
 
 #include "analysis/Cfg.h"
 #include "analysis/LoopInfo.h"
+#include "obs/Remark.h"
+#include "obs/TagProfile.h"
 
 #include <algorithm>
 #include <cassert>
@@ -12,9 +14,10 @@ using namespace rpcc;
 
 namespace {
 
-/// Per-block Figure 1 base sets.
+/// Per-block Figure 1 base sets. Ambiguous is kept partitioned by cause so
+/// missed-promotion remarks can name the blocking construct.
 struct BlockSets {
-  TagSet Explicit, Ambiguous;
+  TagSet Explicit, AmbiguousCall, AmbiguousPtr;
 };
 
 BlockSets computeBlockSets(const BasicBlock &B) {
@@ -29,12 +32,12 @@ BlockSets computeBlockSets(const BasicBlock &B) {
     case Opcode::Load:
     case Opcode::ConstLoad:
     case Opcode::Store:
-      S.Ambiguous.unionWith(I.Tags);
+      S.AmbiguousPtr.unionWith(I.Tags);
       break;
     case Opcode::Call:
     case Opcode::CallIndirect:
-      S.Ambiguous.unionWith(I.Mods);
-      S.Ambiguous.unionWith(I.Refs);
+      S.AmbiguousCall.unionWith(I.Mods);
+      S.AmbiguousCall.unionWith(I.Refs);
       break;
     default:
       break;
@@ -67,8 +70,11 @@ std::vector<LoopPromotionInfo> analyze(const Module &M, const Function &F,
     Info.Depth = Lp.Depth;
     for (BlockId B : Lp.Blocks) {
       Info.Explicit.unionWith(Blocks[B].Explicit);
-      Info.Ambiguous.unionWith(Blocks[B].Ambiguous);
+      Info.AmbiguousCall.unionWith(Blocks[B].AmbiguousCall);
+      Info.AmbiguousPtr.unionWith(Blocks[B].AmbiguousPtr);
     }
+    Info.Ambiguous = Info.AmbiguousCall;
+    Info.Ambiguous.unionWith(Info.AmbiguousPtr);
     Info.Promotable = setMinus(Info.Explicit, Info.Ambiguous);
   }
   // Equation (4): parents must be computed, which they are since Promotable
@@ -148,8 +154,15 @@ rpcc::analyzeScalarPromotion(const Module &M, const Function &F) {
   return analyze(M, F, LI);
 }
 
+std::vector<LoopPromotionInfo>
+rpcc::analyzeScalarPromotion(const Module &M, const Function &F,
+                             const LoopInfo &LI) {
+  return analyze(M, F, LI);
+}
+
 PromotionStats rpcc::promoteScalarsInFunction(Module &M, Function &F,
-                                              const PromotionOptions &Opts) {
+                                              const PromotionOptions &Opts,
+                                              RemarkEngine *Re) {
   PromotionStats Stats;
   recomputeCfg(F);
   LoopInfo LI(F);
@@ -160,10 +173,37 @@ PromotionStats rpcc::promoteScalarsInFunction(Module &M, Function &F,
   for (size_t L = 0; L != LI.numLoops(); ++L) {
     const Loop &Lp = LI.loop(L);
     const LoopPromotionInfo &Info = Infos[L];
+    std::string LoopName = Re ? loopDisplayName(F, Lp.Header) : std::string();
+
+    // A candidate blocked by ambiguity: in the Figure 1 terms, explicitly
+    // referenced AND ambiguously referenced in this loop. Calls are reported
+    // as the dominant cause (the paper's §5 observation).
+    if (Re) {
+      for (TagId T : Info.Explicit) {
+        if (!Info.Ambiguous.contains(T))
+          continue;
+        bool ByCall = Info.AmbiguousCall.contains(T);
+        Re->emit("promote", RemarkKind::Missed,
+                 ByCall ? RemarkReason::CallModRef
+                        : RemarkReason::AliasedPointerOp,
+                 F.name(), LoopName, Info.Depth, tagDisplayName(M, T),
+                 ByCall ? "a call in the loop may mod/ref the tag"
+                        : "a pointer-based op in the loop may touch the tag");
+      }
+    }
+
     if (Info.Lift.empty())
       continue;
-    assert(Lp.Preheader != NoBlock &&
-           "promotion requires a normalized CFG (run normalizeLoops)");
+    if (Lp.Preheader == NoBlock) {
+      // Unreachable after normalizeLoops; kept graceful so analysis-only
+      // callers on raw CFGs get a remark instead of corrupt IL.
+      if (Re)
+        for (TagId T : Info.Lift)
+          Re->emit("promote", RemarkKind::Missed, RemarkReason::NoLandingPad,
+                   F.name(), LoopName, Info.Depth, tagDisplayName(M, T),
+                   "loop has no unique landing pad");
+      continue;
+    }
 
     // Under a promotion budget, spend it on the most profitable tags.
     std::vector<TagId> Candidates(Info.Lift.begin(), Info.Lift.end());
@@ -174,6 +214,14 @@ PromotionStats rpcc::promoteScalarsInFunction(Module &M, Function &F,
                          return promotionBenefit(F, LI, Lp, A) >
                                 promotionBenefit(F, LI, Lp, B);
                        });
+      if (Re)
+        for (size_t I = Opts.MaxPromotedPerLoop; I != Candidates.size(); ++I)
+          Re->emit("promote", RemarkKind::Missed, RemarkReason::RegPressure,
+                   F.name(), LoopName, Info.Depth,
+                   tagDisplayName(M, Candidates[I]),
+                   "dropped by promotion budget (max " +
+                       std::to_string(Opts.MaxPromotedPerLoop) +
+                       " per loop)");
       Candidates.resize(Opts.MaxPromotedPerLoop);
     }
     for (TagId T : Candidates) {
@@ -196,6 +244,7 @@ PromotionStats rpcc::promoteScalarsInFunction(Module &M, Function &F,
       ++Stats.LoadsInserted;
 
       // Demotion stores at the head of every exit block.
+      unsigned ExitStores = 0;
       if (NeedStore) {
         for (BlockId E : Lp.ExitBlocks) {
           Instruction StoreI(Opcode::ScalarStore);
@@ -204,21 +253,28 @@ PromotionStats rpcc::promoteScalarsInFunction(Module &M, Function &F,
           StoreI.Ops = {V};
           F.block(E)->insertAt(0, std::move(StoreI));
           ++Stats.StoresInserted;
+          ++ExitStores;
         }
       }
       ++Stats.PromotedTags;
+      if (Re)
+        Re->emit("promote", RemarkKind::Promoted, RemarkReason::None,
+                 F.name(), LoopName, Info.Depth, tagDisplayName(M, T),
+                 "landing-pad load + " + std::to_string(ExitStores) +
+                     " exit store(s)");
     }
   }
   return Stats;
 }
 
-PromotionStats rpcc::promoteScalars(Module &M, const PromotionOptions &Opts) {
+PromotionStats rpcc::promoteScalars(Module &M, const PromotionOptions &Opts,
+                                    RemarkEngine *Re) {
   PromotionStats Total;
   for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
     Function *F = M.function(static_cast<FuncId>(FI));
     if (F->isBuiltin() || F->numBlocks() == 0)
       continue;
-    PromotionStats S = promoteScalarsInFunction(M, *F, Opts);
+    PromotionStats S = promoteScalarsInFunction(M, *F, Opts, Re);
     Total.PromotedTags += S.PromotedTags;
     Total.RewrittenOps += S.RewrittenOps;
     Total.LoadsInserted += S.LoadsInserted;

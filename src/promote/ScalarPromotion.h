@@ -43,6 +43,9 @@
 
 namespace rpcc {
 
+class LoopInfo;
+class RemarkEngine;
+
 struct PromotionOptions {
   /// Extension (off = paper behavior): omit the demotion store when the
   /// loop contains no store to the tag.
@@ -59,6 +62,10 @@ struct LoopPromotionInfo {
   BlockId Header = NoBlock;
   unsigned Depth = 1;
   TagSet Explicit, Ambiguous, Promotable, Lift;
+  /// Partition of Ambiguous by cause, for remark reason codes: tags made
+  /// ambiguous by call MOD/REF summaries vs by pointer-based memory ops.
+  /// A tag can be in both; remarks report the call as the (dominant) cause.
+  TagSet AmbiguousCall, AmbiguousPtr;
 };
 
 struct PromotionStats {
@@ -73,12 +80,22 @@ struct PromotionStats {
 std::vector<LoopPromotionInfo> analyzeScalarPromotion(const Module &M,
                                                       const Function &F);
 
-/// Promotes scalars in one function. Requirements as above.
+/// Same, against a caller-provided loop forest so the result indices line up
+/// with \p LI's loop order (used by the residual audit).
+std::vector<LoopPromotionInfo> analyzeScalarPromotion(const Module &M,
+                                                      const Function &F,
+                                                      const LoopInfo &LI);
+
+/// Promotes scalars in one function. Requirements as above. When \p Re is
+/// non-null, one remark is emitted per (loop, candidate tag): promoted, or
+/// missed with the blocking reason.
 PromotionStats promoteScalarsInFunction(Module &M, Function &F,
-                                        const PromotionOptions &Opts = {});
+                                        const PromotionOptions &Opts = {},
+                                        RemarkEngine *Re = nullptr);
 
 /// Promotes scalars in every non-builtin function of \p M.
-PromotionStats promoteScalars(Module &M, const PromotionOptions &Opts = {});
+PromotionStats promoteScalars(Module &M, const PromotionOptions &Opts = {},
+                              RemarkEngine *Re = nullptr);
 
 } // namespace rpcc
 

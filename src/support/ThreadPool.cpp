@@ -6,10 +6,19 @@
 
 using namespace rpcc;
 
+namespace {
+/// 0 outside pool workers; workers are numbered from 1 so the main thread
+/// keeps a distinct trace track.
+thread_local int CurrentWorkerId = 0;
+} // namespace
+
+int ThreadPool::currentWorker() { return CurrentWorkerId; }
+
 ThreadPool::ThreadPool(unsigned Workers) {
   Threads.reserve(Workers);
   for (unsigned I = 0; I != Workers; ++I)
-    Threads.emplace_back([this] { workerLoop(); });
+    Threads.emplace_back(
+        [this, I] { workerLoop(static_cast<int>(I) + 1); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -67,7 +76,8 @@ void ThreadPool::wait() {
     std::rethrow_exception(Err);
 }
 
-void ThreadPool::workerLoop() {
+void ThreadPool::workerLoop(int WorkerId) {
+  CurrentWorkerId = WorkerId;
   for (;;) {
     std::function<void()> Task;
     {

@@ -60,8 +60,13 @@ public:
   /// runtime reports zero.
   static unsigned defaultConcurrency();
 
+  /// Worker id of the calling thread: 1..N inside a pool worker, 0 on any
+  /// other thread (including the main thread and inline-mode execution).
+  /// Used as the track id by the trace emitter.
+  static int currentWorker();
+
 private:
-  void workerLoop();
+  void workerLoop(int WorkerId);
   void runTask(std::function<void()> &Task);
 
   std::mutex Mu;

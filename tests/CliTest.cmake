@@ -39,8 +39,33 @@ add_test(NAME cli_timing_json
 set_tests_properties(cli_timing_json PROPERTIES
   PASS_REGULAR_EXPRESSION "\"interp_steps\":[1-9]")
 
+add_test(NAME cli_remarks
+         COMMAND ${RPCC_BIN} ${PROGS}/tsp.c --remarks)
+set_tests_properties(cli_remarks PROPERTIES
+  PASS_REGULAR_EXPRESSION "\\[promote\\] (promoted|missed)")
+
+add_test(NAME cli_remarks_pass_filter
+         COMMAND ${RPCC_BIN} ${PROGS}/mlink.c --remarks=licm)
+set_tests_properties(cli_remarks_pass_filter PROPERTIES
+  PASS_REGULAR_EXPRESSION "\\[licm\\] "
+  FAIL_REGULAR_EXPRESSION "\\[promote\\] ")
+
+add_test(NAME cli_profile_tags
+         COMMAND ${RPCC_BIN} ${PROGS}/tsp.c --profile-tags)
+set_tests_properties(cli_profile_tags PROPERTIES
+  PASS_REGULAR_EXPRESSION "promotion left on the table")
+
 add_test(NAME cli_bad_file COMMAND ${RPCC_BIN} /nonexistent.c)
 set_tests_properties(cli_bad_file PROPERTIES WILL_FAIL TRUE)
 
 add_test(NAME cli_bad_flag COMMAND ${RPCC_BIN} ${PROGS}/allroots.c --bogus)
 set_tests_properties(cli_bad_flag PROPERTIES WILL_FAIL TRUE)
+
+# File-valued observability flags reject a missing argument.
+add_test(NAME cli_remarks_json_no_arg
+         COMMAND ${RPCC_BIN} ${PROGS}/allroots.c --remarks-json)
+set_tests_properties(cli_remarks_json_no_arg PROPERTIES WILL_FAIL TRUE)
+
+add_test(NAME cli_programs_without_suite
+         COMMAND ${RPCC_BIN} --programs=tsp)
+set_tests_properties(cli_programs_without_suite PROPERTIES WILL_FAIL TRUE)

@@ -70,6 +70,33 @@ TEST(DifferentialTest, QuickMatrixAgrees) {
   }
 }
 
+TEST(DifferentialTest, RemarkStreamStableAcrossBackendKnobs) {
+  // The oracle also asserts that promotion-decision remarks are identical
+  // across promoting cells sharing an analysis; give it a matrix that
+  // varies every backend knob remarks must ignore.
+  std::vector<FuzzConfig> Matrix;
+  for (unsigned Regs : {8u, 16u, 32u}) {
+    FuzzConfig C;
+    C.Promo = true;
+    C.Opts = true;
+    C.Regs = Regs;
+    Matrix.push_back(C);
+  }
+  FuzzConfig Classic = Matrix.front();
+  Classic.Classic = true;
+  Matrix.push_back(Classic);
+  FuzzConfig NoOpts = Matrix.front();
+  NoOpts.Opts = false;
+  Matrix.push_back(NoOpts);
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    std::string Src = generateProgram(Seed);
+    OracleResult R = checkProgram(Src, Matrix, testInterpOptions());
+    ASSERT_TRUE(R.Ok) << "seed " << Seed << " in " << R.FailingConfig << ": "
+                      << R.Message << "\n"
+                      << Src;
+  }
+}
+
 TEST(DifferentialTest, DetectsIntroducedDivergence) {
   // A config whose behavior genuinely differs must be flagged: drive the
   // matrix against a program, then corrupt the baseline comparison by

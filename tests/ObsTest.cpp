@@ -1,0 +1,380 @@
+//===- tests/ObsTest.cpp - Observability subsystem tests ------------------===//
+//
+// Pins the remark streams (exact lines, exact reason codes) for the
+// canonical blocking shapes, checks the dynamic tag profiler's counting
+// invariants, and proves the headline property of the subsystem: every
+// residual in-loop load/store of a promotable-class tag joins a remark
+// with a concrete reason code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "driver/PassTiming.h"
+#include "driver/SuiteRunner.h"
+#include "obs/Remark.h"
+#include "obs/TagProfile.h"
+#include "obs/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <tuple>
+
+using namespace rpcc;
+
+namespace {
+
+/// A loop whose global is blocked by a call that modifies it.
+const char *CallBlockedSrc = "int g;\n"
+                             "\n"
+                             "void bump() { g = g + 1; }\n"
+                             "\n"
+                             "int main() {\n"
+                             "  int i;\n"
+                             "  for (i = 0; i < 10; i = i + 1) {\n"
+                             "    g = g + 2;\n"
+                             "    bump();\n"
+                             "  }\n"
+                             "  return g;\n"
+                             "}\n";
+
+/// A loop whose global is blocked by a two-target pointer store.
+const char *AliasBlockedSrc = "int g;\n"
+                              "int h;\n"
+                              "\n"
+                              "int main(int argc) {\n"
+                              "  int *p;\n"
+                              "  int i;\n"
+                              "  int s;\n"
+                              "  if (argc > 1) {\n"
+                              "    p = &g;\n"
+                              "  } else {\n"
+                              "    p = &h;\n"
+                              "  }\n"
+                              "  s = 0;\n"
+                              "  for (i = 0; i < 10; i = i + 1) {\n"
+                              "    s = s + g;\n"
+                              "    *p = i;\n"
+                              "  }\n"
+                              "  return s;\n"
+                              "}\n";
+
+/// With promotion off, LICM faces a load of a tag the loop also stores.
+const char *HoistBlockedSrc = "int g;\n"
+                              "int h;\n"
+                              "\n"
+                              "int main() {\n"
+                              "  int i;\n"
+                              "  int s;\n"
+                              "  s = 0;\n"
+                              "  for (i = 0; i < 10; i = i + 1) {\n"
+                              "    s = s + h;\n"
+                              "    g = g + i;\n"
+                              "    if (s > 100) { g = g + h; }\n"
+                              "  }\n"
+                              "  return s + g;\n"
+                              "}\n";
+
+/// Compiles \p Src with remarks attached; returns the collected stream.
+/// Fails the test on compile errors.
+void compileWithRemarks(const std::string &Src, CompilerConfig Cfg,
+                        RemarkEngine &Re) {
+  Cfg.Remarks = &Re;
+  CompileOutput Out = compileProgram(Src, Cfg);
+  ASSERT_TRUE(Out.Ok) << Out.Errors;
+}
+
+/// All formatted lines of one pass, in emission order.
+std::vector<std::string> passLines(const RemarkEngine &Re,
+                                   const std::string &Pass) {
+  std::vector<std::string> Lines;
+  for (const Remark &R : Re.remarks())
+    if (R.Pass == Pass)
+      Lines.push_back(formatRemark(R));
+  return Lines;
+}
+
+//===----------------------------------------------------------------------===//
+// Golden remark sets
+//===----------------------------------------------------------------------===//
+
+TEST(RemarkGolden, CallBlockedScalarPromotion) {
+  CompilerConfig Cfg;
+  Cfg.Analysis = AnalysisKind::ModRef;
+  RemarkEngine Re;
+  compileWithRemarks(CallBlockedSrc, Cfg, Re);
+
+  EXPECT_EQ(passLines(Re, "promote"),
+            std::vector<std::string>(
+                {"[promote] missed(call-modref) func=main loop=for.cond#1 "
+                 "depth=1 tag=g: a call in the loop may mod/ref the tag"}));
+  // The audit explains the surviving in-loop traffic with the same reason.
+  EXPECT_EQ(passLines(Re, "residual"),
+            std::vector<std::string>(
+                {"[residual] residual(call-modref) func=main "
+                 "loop=for.cond#1 depth=1 tag=g: a call in the loop may "
+                 "mod/ref the tag (1 load(s), 1 store(s))"}));
+}
+
+TEST(RemarkGolden, AliasBlockedScalarPromotion) {
+  CompilerConfig Cfg;
+  Cfg.Analysis = AnalysisKind::ModRef;
+  RemarkEngine Re;
+  compileWithRemarks(AliasBlockedSrc, Cfg, Re);
+
+  EXPECT_EQ(passLines(Re, "promote"),
+            std::vector<std::string>(
+                {"[promote] missed(aliased-pointer-op) func=main "
+                 "loop=for.cond#4 depth=1 tag=g: a pointer-based op in the "
+                 "loop may touch the tag"}));
+  EXPECT_EQ(
+      passLines(Re, "residual"),
+      std::vector<std::string>(
+          {"[residual] residual(aliased-pointer-op) func=main "
+           "loop=for.cond#4 depth=1 tag=g: a pointer-based op in the loop "
+           "may touch the tag (1 load(s), 0 store(s))",
+           "[residual] residual(multi-tag-pointer) func=main "
+           "loop=for.cond#4 depth=1 tag=g: pointer may reference several "
+           "objects (0 load(s), 1 store(s))",
+           "[residual] residual(multi-tag-pointer) func=main "
+           "loop=for.cond#4 depth=1 tag=h: pointer may reference several "
+           "objects (0 load(s), 1 store(s))"}));
+}
+
+TEST(RemarkGolden, HoistBlockedLicm) {
+  CompilerConfig Cfg;
+  Cfg.Analysis = AnalysisKind::ModRef;
+  Cfg.ScalarPromotion = false;
+  RemarkEngine Re;
+  compileWithRemarks(HoistBlockedSrc, Cfg, Re);
+
+  EXPECT_EQ(passLines(Re, "licm"),
+            std::vector<std::string>(
+                {"[licm] hoisted func=main loop=for.cond#1 depth=1 tag=h: "
+                 "invariant load moved to the landing pad",
+                 "[licm] missed(tag-modified) func=main loop=for.cond#1 "
+                 "depth=1 tag=g: the loop may modify the tag (2 load(s))"}));
+  EXPECT_EQ(passLines(Re, "residual"),
+            std::vector<std::string>(
+                {"[residual] residual(promotion-off) func=main "
+                 "loop=for.cond#1 depth=1 tag=g: the promoting pass is "
+                 "disabled in this configuration (2 load(s), 2 store(s))"}));
+}
+
+TEST(RemarkGolden, PromotedRemarkAndJsonShape) {
+  CompilerConfig Cfg;
+  Cfg.Analysis = AnalysisKind::ModRef;
+  RemarkEngine Re;
+  compileWithRemarks(HoistBlockedSrc, Cfg, Re); // promotes g and h
+
+  size_t Promoted = Re.count(RemarkKind::Promoted, "promote");
+  EXPECT_EQ(Promoted, 2u); // g and h both promotable here
+  std::string Json = Re.toJsonLines({{"program", "hoistblk"}});
+  EXPECT_NE(Json.find("{\"program\":\"hoistblk\",\"pass\":\"promote\","
+                      "\"kind\":\"promoted\",\"reason\":\"none\""),
+            std::string::npos)
+      << Json;
+  // One object per remark, every line newline-terminated.
+  EXPECT_EQ(static_cast<size_t>(
+                std::count(Json.begin(), Json.end(), '\n')),
+            Re.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Dynamic tag profile
+//===----------------------------------------------------------------------===//
+
+/// Compiles + interprets with profiling; returns (result, meta kept alive
+/// by caller).
+ExecResult runProfiled(const std::string &Src, const CompilerConfig &Cfg,
+                       RemarkEngine &Re, ProfileMeta &Meta,
+                       std::unique_ptr<Module> &KeepM) {
+  CompilerConfig WithRemarks = Cfg;
+  WithRemarks.Remarks = &Re;
+  CompileOutput Out = compileProgram(Src, WithRemarks);
+  EXPECT_TRUE(Out.Ok) << Out.Errors;
+  Meta = ProfileMeta::build(*Out.M);
+  InterpOptions IO;
+  IO.Profile = &Meta;
+  ExecResult R = interpret(*Out.M, IO);
+  KeepM = std::move(Out.M);
+  return R;
+}
+
+TEST(TagProfile, CountsPartitionTheTotals) {
+  for (const char *Name : {"tsp", "dhrystone", "allroots"}) {
+    CompilerConfig Cfg;
+    Cfg.Analysis = AnalysisKind::ModRef;
+    RemarkEngine Re;
+    ProfileMeta Meta;
+    std::unique_ptr<Module> M;
+    ExecResult R = runProfiled(loadBenchProgram(Name), Cfg, Re, Meta, M);
+    ASSERT_TRUE(R.Ok) << Name << ": " << R.Error;
+    // The profiler must attribute every executed load and store — no
+    // drops, no double counting.
+    EXPECT_EQ(R.Profile.sumLoads(), R.Counters.Loads) << Name;
+    EXPECT_EQ(R.Profile.sumStores(), R.Counters.Stores) << Name;
+    // Counts are sorted by (function, loop, tag) — deterministic output.
+    EXPECT_TRUE(std::is_sorted(
+        R.Profile.Counts.begin(), R.Profile.Counts.end(),
+        [](const TagLoopCount &A, const TagLoopCount &B) {
+          return std::make_tuple(A.Func, A.Loop, A.Tag) <
+                 std::make_tuple(B.Func, B.Loop, B.Tag);
+        }))
+        << Name;
+  }
+}
+
+TEST(TagProfile, EveryResidualInLoopOpJoinsARemark) {
+  // The acceptance property, on two real benchmark programs: every
+  // residual in-loop dynamic load/store of a promotable-class tag (global
+  // or address-taken local) joins a missed/residual remark with a concrete
+  // reason code.
+  for (const char *Name : {"tsp", "mlink"}) {
+    CompilerConfig Cfg;
+    Cfg.Analysis = AnalysisKind::ModRef;
+    RemarkEngine Re;
+    ProfileMeta Meta;
+    std::unique_ptr<Module> M;
+    ExecResult R = runProfiled(loadBenchProgram(Name), Cfg, Re, Meta, M);
+    ASSERT_TRUE(R.Ok) << Name << ": " << R.Error;
+    std::vector<ExplainRow> Rows = buildExplainReport(*M, Meta, R.Profile, Re);
+    EXPECT_FALSE(Rows.empty()) << Name;
+    for (const ExplainRow &Row : Rows) {
+      EXPECT_TRUE(Row.Joined)
+          << Name << ": unexplained residual traffic on tag " << Row.Tag
+          << " in loop " << Row.Loop << " of " << Row.Function;
+      if (Row.Joined) {
+        EXPECT_FALSE(Row.Reasons.empty());
+        for (RemarkReason Reason : Row.Reasons)
+          EXPECT_STRNE(RemarkEngine::reasonCode(Reason), "none");
+      }
+    }
+  }
+}
+
+TEST(TagProfile, ProfileJsonIsDeterministic) {
+  CompilerConfig Cfg;
+  Cfg.Analysis = AnalysisKind::ModRef;
+  std::string Json[2];
+  for (int Round = 0; Round != 2; ++Round) {
+    RemarkEngine Re;
+    ProfileMeta Meta;
+    std::unique_ptr<Module> M;
+    ExecResult R =
+        runProfiled(loadBenchProgram("dhrystone"), Cfg, Re, Meta, M);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    Json[Round] = profileToJson(*M, Meta, R.Profile);
+  }
+  EXPECT_EQ(Json[0], Json[1]);
+  EXPECT_NE(Json[0].find("\"total_loads\":"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism of promotion decisions
+//===----------------------------------------------------------------------===//
+
+TEST(RemarkDeterminism, PromoteStreamIgnoresBackendKnobs) {
+  // Register count, allocator vintage, and the later scalar optimizations
+  // must not leak into promotion decisions. Same property the fuzz oracle
+  // asserts per seed; pinned here on a real program.
+  std::string Src = loadBenchProgram("tsp");
+  std::string Base;
+  bool HaveBase = false;
+  for (unsigned Regs : {8u, 16u, 32u}) {
+    for (bool Classic : {false, true}) {
+      CompilerConfig Cfg;
+      Cfg.Analysis = AnalysisKind::ModRef;
+      Cfg.NumRegisters = Regs;
+      Cfg.ClassicAllocator = Classic;
+      RemarkEngine Re;
+      compileWithRemarks(Src, Cfg, Re);
+      std::string Stream = Re.toText("promote");
+      EXPECT_FALSE(Stream.empty());
+      if (!HaveBase) {
+        HaveBase = true;
+        Base = Stream;
+      } else {
+        EXPECT_EQ(Stream, Base) << "regs=" << Regs
+                                << " classic=" << Classic;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Trace collector
+//===----------------------------------------------------------------------===//
+
+TEST(Trace, SpansRenderAndEscape) {
+  TraceCollector T;
+  T.addSpan("pass \"x\"\n", "pass", timingNowMs(), 1.25,
+            {{"job", "a\\b"}});
+  T.addSpan("plain", "cell", timingNowMs(), 0.5);
+  EXPECT_EQ(T.size(), 2u);
+  std::string Json = T.toJson();
+  EXPECT_NE(Json.find("\"pass \\\"x\\\"\\n\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"job\":\"a\\\\b\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Timing report hardening
+//===----------------------------------------------------------------------===//
+
+TEST(Timing, CanonicalPassOrderSurvivesMergeOrder) {
+  // Two reports whose passes arrive in different first-seen orders (as
+  // parallel cells produce) must render identically.
+  TimingReport A, B;
+  A.addPass("dce", 1.0, 10, 8);
+  A.addPass("lower", 2.0, 0, 10);
+  B.addPass("lower", 2.0, 0, 10);
+  B.addPass("dce", 1.0, 10, 8);
+  EXPECT_EQ(formatTimingJson(A), formatTimingJson(B));
+  EXPECT_EQ(formatTimingReport(A), formatTimingReport(B));
+  std::string Json = A.Passes.empty() ? "" : formatTimingJson(A);
+  size_t Lower = Json.find("\"name\":\"lower\"");
+  size_t Dce = Json.find("\"name\":\"dce\"");
+  ASSERT_NE(Lower, std::string::npos);
+  ASSERT_NE(Dce, std::string::npos);
+  EXPECT_LT(Lower, Dce);
+}
+
+TEST(Timing, JsonEscapesPassNames) {
+  TimingReport R;
+  R.addPass("weird\"pass\\name", 1.0, 0, 0);
+  std::string Json = formatTimingJson(R);
+  EXPECT_NE(Json.find("\"name\":\"weird\\\"pass\\\\name\""),
+            std::string::npos)
+      << Json;
+}
+
+//===----------------------------------------------------------------------===//
+// Suite integration
+//===----------------------------------------------------------------------===//
+
+TEST(SuiteObs, CellsCollectRemarksAndProfile) {
+  SuiteOptions Opts;
+  Opts.Remarks = true;
+  Opts.ProfileTags = true;
+  ProgramResults PR = runAllConfigs(
+      "dhrystone", loadBenchProgram("dhrystone"), Opts);
+  for (int A = 0; A != 2; ++A)
+    for (int P = 0; P != 2; ++P)
+      ASSERT_TRUE(PR.R[A][P].Ok) << PR.R[A][P].Error;
+  // The with-promotion cells promote; the without cells log the misses.
+  EXPECT_GT(PR.R[0][1].RemarksPromoted, 0u);
+  EXPECT_GT(PR.R[0][0].RemarksMissed + PR.R[0][0].RemarksResidual, 0u);
+  // Only the modref/with cell profiles.
+  EXPECT_FALSE(PR.R[0][1].HotTags.empty());
+  EXPECT_FALSE(PR.R[0][1].ProfileJson.empty());
+  EXPECT_TRUE(PR.R[0][0].ProfileJson.empty());
+  // Remark JSON lines carry the program/cell join keys.
+  EXPECT_NE(PR.R[1][1].RemarksJson.find(
+                "{\"program\":\"dhrystone\",\"cell\":\"pointer/with\""),
+            std::string::npos);
+}
+
+} // namespace

@@ -19,6 +19,9 @@
 #include "driver/Compiler.h"
 #include "driver/SuiteRunner.h"
 #include "ir/IRPrinter.h"
+#include "obs/Remark.h"
+#include "obs/TagProfile.h"
+#include "obs/Trace.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -26,6 +29,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace rpcc;
 
@@ -64,13 +68,31 @@ void usage() {
       "function\n"
       "  --timing                   per-pass wall time + IL op counts, to "
       "stderr\n"
-      "  --timing-json              same report as a JSON object, to "
-      "stderr\n"
+      "  --timing-json[=FILE]       same report as a JSON object, to "
+      "stderr or FILE\n"
+      "\n"
+      "observability options (all output on stderr or in files; stdout is\n"
+      "never touched):\n"
+      "  --remarks[=pass]           print optimization remarks to stderr,\n"
+      "                             optionally only one pass (promote,\n"
+      "                             ptr-promote, licm, pre, residual)\n"
+      "  --remarks-json FILE        write the remark stream as JSON lines\n"
+      "  --profile-tags             profile dynamic loads/stores per tag "
+      "and\n"
+      "                             loop; print the hot-tag table and the\n"
+      "                             'promotion left on the table' report\n"
+      "                             (implies --run)\n"
+      "  --profile-json FILE        write the tag profile as JSON\n"
+      "  --trace FILE               write a Chrome trace-event JSON file\n"
+      "                             covering compile passes and suite "
+      "cells\n"
       "\n"
       "suite mode (no input file):\n"
       "  --suite                    run the 14-program suite through the "
       "paper's\n"
       "                             four configurations; print Figures 5-7\n"
+      "  --programs=a,b,...         restrict --suite to a subset of the "
+      "suite\n"
       "  --jobs=N                   worker threads for --suite (default 1);\n"
       "                             stdout is identical for any N\n",
       stderr);
@@ -104,25 +126,76 @@ bool parseUnsigned(const char *S, unsigned &Out) {
 }
 
 // Exit codes: 0 success, 1 compile/runtime error, 2 usage error (unknown
-// flag, missing input), 3 malformed option value, 4 unreadable input file.
+// flag, missing input), 3 malformed option value, 4 unreadable input or
+// unwritable output file.
 
-/// Emits the collected timing report to stderr in the requested formats.
-void reportTiming(const TimingReport &T, bool Human, bool Json) {
-  if (Human)
+/// Writes \p Content to \p Path; complains on stderr when that fails.
+bool writeOutputFile(const std::string &Path, const std::string &Content) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  Out << Content;
+  return true;
+}
+
+/// Observability flags, shared by single-file and suite mode.
+struct ObsOptions {
+  bool Remarks = false;        ///< human remark stream on stderr
+  std::string RemarkPass;      ///< "" = all passes
+  std::string RemarksJsonFile; ///< "" = off
+  bool ProfileTags = false;    ///< hot-tag + explain reports on stderr
+  std::string ProfileJsonFile; ///< "" = off
+  std::string TraceFile;       ///< "" = off
+
+  bool wantRemarks() const { return Remarks || !RemarksJsonFile.empty(); }
+  bool wantProfile() const {
+    return ProfileTags || !ProfileJsonFile.empty();
+  }
+};
+
+/// Timing destinations: human table and/or JSON, each to stderr; JSON may
+/// go to a file instead.
+struct TimingOptions {
+  bool Human = false;
+  bool Json = false;           ///< JSON on stderr
+  std::string JsonFile;        ///< "" = off
+  bool collect() const { return Human || Json || !JsonFile.empty(); }
+};
+
+/// Emits the collected timing report to its configured destinations.
+/// Returns false when a file write failed.
+bool reportTiming(const TimingReport &T, const TimingOptions &Opts) {
+  if (Opts.Human)
     std::fputs(formatTimingReport(T).c_str(), stderr);
-  if (Json)
+  if (Opts.Json)
     std::fputs(formatTimingJson(T).c_str(), stderr);
+  if (!Opts.JsonFile.empty())
+    return writeOutputFile(Opts.JsonFile, formatTimingJson(T));
+  return true;
 }
 
 /// --suite: the paper's whole evaluation — 14 programs x 4 configurations —
 /// with all three figure tables on stdout. Cell failures go to stderr and
 /// turn into exit code 1; the tables still render, with the failing cells
-/// marked, so partial runs stay inspectable.
-int runSuiteMode(unsigned Jobs, bool Timing, bool TimingJson) {
+/// marked, so partial runs stay inspectable. All observability output goes
+/// to stderr or files, so stdout stays byte-identical no matter which
+/// observability flags are set.
+int runSuiteMode(unsigned Jobs, const TimingOptions &Timing,
+                 const std::vector<std::string> &Programs,
+                 const ObsOptions &Obs) {
   SuiteOptions Opts;
   Opts.Jobs = Jobs;
-  Opts.CollectTiming = Timing || TimingJson;
-  std::vector<ProgramResults> All = runSuite(benchProgramNames(), Opts);
+  Opts.CollectTiming = Timing.collect();
+  Opts.Remarks = Obs.wantRemarks();
+  Opts.RemarkPass = Obs.RemarkPass;
+  Opts.ProfileTags = Obs.wantProfile();
+  TraceCollector Trace;
+  if (!Obs.TraceFile.empty())
+    Opts.Trace = &Trace;
+
+  std::vector<ProgramResults> All = runSuite(Programs, Opts);
 
   bool AnyFailed = false;
   for (const ProgramResults &PR : All)
@@ -130,9 +203,8 @@ int runSuiteMode(unsigned Jobs, bool Timing, bool TimingJson) {
       for (int P = 0; P != 2; ++P)
         if (!PR.R[A][P].Ok) {
           AnyFailed = true;
-          std::fprintf(stderr, "error: %s [%s/%s]: %s\n", PR.Name.c_str(),
-                       A == 0 ? "modref" : "pointer",
-                       P == 0 ? "without" : "with",
+          std::fprintf(stderr, "error: %s [%s]: %s\n", PR.Name.c_str(),
+                       suiteCellName(A, P).c_str(),
                        PR.R[A][P].Error.c_str());
         }
 
@@ -150,13 +222,96 @@ int runSuiteMode(unsigned Jobs, bool Timing, bool TimingJson) {
     std::printf("\n");
   }
 
+  // Per-cell remark counts and the per-program hot-tag/explain reports from
+  // the modref/with-promotion cell. Cells pre-render their payloads, so
+  // everything below is a deterministic concatenation in matrix order,
+  // byte-identical for any --jobs value.
+  if (Obs.Remarks) {
+    std::fputs("-- remarks per cell --\n", stderr);
+    std::fputs(formatSuiteRemarkSummary(All).c_str(), stderr);
+  }
+  if (Obs.ProfileTags)
+    for (const ProgramResults &PR : All) {
+      const ConfigCounts &C = PR.R[0][1];
+      if (C.HotTags.empty() && C.Explain.empty())
+        continue;
+      std::fprintf(stderr, "-- hot tags: %s (modref/with) --\n",
+                   PR.Name.c_str());
+      std::fputs(C.HotTags.c_str(), stderr);
+      std::fprintf(stderr, "-- promotion left on the table: %s --\n",
+                   PR.Name.c_str());
+      std::fputs(C.Explain.c_str(), stderr);
+    }
+
+  bool WriteFailed = false;
+  if (!Obs.RemarksJsonFile.empty()) {
+    std::string JoinedRemarks;
+    for (const ProgramResults &PR : All)
+      for (int A = 0; A != 2; ++A)
+        for (int P = 0; P != 2; ++P)
+          JoinedRemarks += PR.R[A][P].RemarksJson;
+    WriteFailed |= !writeOutputFile(Obs.RemarksJsonFile, JoinedRemarks);
+  }
+  if (!Obs.ProfileJsonFile.empty()) {
+    // One profile object per program (JSON lines), from the profiled cell.
+    std::string JoinedProfiles;
+    for (const ProgramResults &PR : All)
+      JoinedProfiles += PR.R[0][1].ProfileJson;
+    WriteFailed |= !writeOutputFile(Obs.ProfileJsonFile, JoinedProfiles);
+  }
+  if (!Obs.TraceFile.empty())
+    WriteFailed |= !writeOutputFile(Obs.TraceFile, Trace.toJson());
+
   if (Opts.CollectTiming) {
     TimingReport Total;
     for (const ProgramResults &PR : All)
       Total.merge(PR.Timing);
-    reportTiming(Total, Timing, TimingJson);
+    WriteFailed |= !reportTiming(Total, Timing);
   }
+  if (WriteFailed)
+    return 4;
   return AnyFailed ? 1 : 0;
+}
+
+} // namespace
+
+namespace {
+
+/// Matches a mandatory-value flag in both its "--flag=V" and "--flag V"
+/// spellings. Returns 0 on no match, 1 on match (Val filled, I advanced in
+/// the space form), -1 on a match with the value missing.
+int matchValueFlag(int argc, char **argv, int &I, const char *Name,
+                   std::string &Val) {
+  const char *A = argv[I];
+  size_t N = std::strlen(Name);
+  if (std::strncmp(A, Name, N) != 0)
+    return 0;
+  if (A[N] == '=') {
+    Val = A + N + 1;
+    return Val.empty() ? -1 : 1;
+  }
+  if (A[N] == '\0') {
+    if (I + 1 >= argc)
+      return -1;
+    Val = argv[++I];
+    return 1;
+  }
+  return 0;
+}
+
+/// Splits a comma-separated list, rejecting empty items.
+bool splitList(const std::string &S, std::vector<std::string> &Out) {
+  size_t Pos = 0;
+  while (Pos <= S.size()) {
+    size_t Comma = S.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = S.size();
+    if (Comma == Pos)
+      return false;
+    Out.push_back(S.substr(Pos, Comma - Pos));
+    Pos = Comma + 1;
+  }
+  return !Out.empty();
 }
 
 } // namespace
@@ -167,12 +322,36 @@ int main(int argc, char **argv) {
   Cfg.Analysis = AnalysisKind::PointsTo;
   bool Run = false, Counts = false, Stats = false, DumpIL = false;
   bool PerFunction = false;
-  bool Suite = false, Timing = false, TimingJson = false;
+  bool Suite = false;
+  TimingOptions Timing;
+  ObsOptions Obs;
   unsigned Jobs = 1;
-  std::string DumpFunc, DumpCfgFunc;
+  std::string DumpFunc, DumpCfgFunc, ProgramsList;
 
   for (int I = 1; I < argc; ++I) {
     const char *A = argv[I];
+
+    // Mandatory-value file flags, accepted as "--flag FILE" or
+    // "--flag=FILE".
+    struct {
+      const char *Name;
+      std::string *Dest;
+    } FileFlags[] = {{"--remarks-json", &Obs.RemarksJsonFile},
+                     {"--profile-json", &Obs.ProfileJsonFile},
+                     {"--trace", &Obs.TraceFile}};
+    int VF = 0;
+    for (const auto &FF : FileFlags)
+      if ((VF = matchValueFlag(argc, argv, I, FF.Name, *FF.Dest)) != 0) {
+        if (VF < 0) {
+          std::fprintf(stderr, "error: %s needs a file argument\n",
+                       FF.Name);
+          return 3;
+        }
+        break;
+      }
+    if (VF > 0)
+      continue;
+
     if (std::strncmp(A, "--analysis=", 11) == 0) {
       if (std::strcmp(A + 11, "modref") == 0)
         Cfg.Analysis = AnalysisKind::ModRef;
@@ -233,9 +412,32 @@ int main(int argc, char **argv) {
         return 3;
       }
     } else if (std::strcmp(A, "--timing") == 0) {
-      Timing = true;
+      Timing.Human = true;
     } else if (std::strcmp(A, "--timing-json") == 0) {
-      TimingJson = true;
+      Timing.Json = true;
+    } else if (std::strncmp(A, "--timing-json=", 14) == 0) {
+      Timing.JsonFile = A + 14;
+      if (Timing.JsonFile.empty()) {
+        std::fprintf(stderr, "error: --timing-json= needs a file\n");
+        return 3;
+      }
+    } else if (std::strcmp(A, "--remarks") == 0) {
+      Obs.Remarks = true;
+    } else if (std::strncmp(A, "--remarks=", 10) == 0) {
+      Obs.Remarks = true;
+      Obs.RemarkPass = A + 10;
+      if (Obs.RemarkPass.empty()) {
+        std::fprintf(stderr, "error: --remarks= needs a pass name\n");
+        return 3;
+      }
+    } else if (std::strcmp(A, "--profile-tags") == 0) {
+      Obs.ProfileTags = true;
+    } else if (std::strncmp(A, "--programs=", 11) == 0) {
+      ProgramsList = A + 11;
+      if (ProgramsList.empty()) {
+        std::fprintf(stderr, "error: --programs= needs a list\n");
+        return 3;
+      }
     } else if (std::strcmp(A, "--help") == 0 || std::strcmp(A, "-h") == 0) {
       usage();
       return 0;
@@ -256,7 +458,30 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "error: --suite does not take an input file\n");
       return 2;
     }
-    return runSuiteMode(Jobs, Timing, TimingJson);
+    std::vector<std::string> Programs = benchProgramNames();
+    if (!ProgramsList.empty()) {
+      Programs.clear();
+      if (!splitList(ProgramsList, Programs)) {
+        std::fprintf(stderr, "error: bad --programs list '%s'\n",
+                     ProgramsList.c_str());
+        return 3;
+      }
+      for (const std::string &P : Programs) {
+        bool Known = false;
+        for (const std::string &N : benchProgramNames())
+          Known |= N == P;
+        if (!Known) {
+          std::fprintf(stderr, "error: unknown suite program '%s'\n",
+                       P.c_str());
+          return 3;
+        }
+      }
+    }
+    return runSuiteMode(Jobs, Timing, Programs, Obs);
+  }
+  if (!ProgramsList.empty()) {
+    std::fprintf(stderr, "error: --programs only applies to --suite\n");
+    return 2;
   }
 
   if (!InputPath) {
@@ -269,13 +494,36 @@ int main(int argc, char **argv) {
     return 4;
   }
 
-  Cfg.CollectTiming = Timing || TimingJson;
+  // --profile-tags needs an execution to profile.
+  if (Obs.wantProfile())
+    Run = true;
+
+  RemarkEngine Remarks;
+  if (Obs.wantRemarks() || Obs.wantProfile())
+    Cfg.Remarks = &Remarks;
+  TraceCollector Trace;
+  if (!Obs.TraceFile.empty()) {
+    Cfg.Trace = &Trace;
+    Cfg.TraceLabel = InputPath;
+  }
+
+  Cfg.CollectTiming = Timing.collect();
   CompileOutput Out = compileProgram(Source, Cfg);
   if (!Out.Ok) {
     std::fprintf(stderr, "%s: compile error:\n%s", InputPath,
                  Out.Errors.c_str());
+    if (!Obs.TraceFile.empty())
+      writeOutputFile(Obs.TraceFile, Trace.toJson());
     return 1;
   }
+
+  // Remarks are complete once compilation (including the residual audit)
+  // finishes; flush them before any execution output.
+  if (Obs.Remarks)
+    std::fputs(Remarks.toText(Obs.RemarkPass).c_str(), stderr);
+  if (!Obs.RemarksJsonFile.empty() &&
+      !writeOutputFile(Obs.RemarksJsonFile, Remarks.toJsonLines()))
+    return 4;
 
   if (Stats) {
     const CompileStats &S = Out.Stats;
@@ -330,17 +578,41 @@ int main(int argc, char **argv) {
   }
 
   if (Run) {
+    ProfileMeta Meta;
+    InterpOptions IOpts;
+    if (Obs.wantProfile()) {
+      Meta = ProfileMeta::build(*Out.M);
+      IOpts.Profile = &Meta;
+    }
     double T0 = Cfg.CollectTiming ? timingNowMs() : 0;
-    ExecResult R = interpret(*Out.M);
+    ExecResult R = interpret(*Out.M, IOpts);
     if (Cfg.CollectTiming) {
       Out.Timing.InterpMillis = timingNowMs() - T0;
       Out.Timing.InterpSteps = R.Counters.Total;
-      reportTiming(Out.Timing, Timing, TimingJson);
+      if (!reportTiming(Out.Timing, Timing))
+        return 4;
     }
+    if (!Obs.TraceFile.empty() &&
+        !writeOutputFile(Obs.TraceFile, Trace.toJson()))
+      return 4;
     if (!R.Ok) {
       std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
       return 1;
     }
+    if (Obs.ProfileTags) {
+      std::fputs("-- hot tags --\n", stderr);
+      std::fputs(formatHotTagTable(*Out.M, Meta, R.Profile).c_str(),
+                 stderr);
+      std::fputs("-- promotion left on the table --\n", stderr);
+      std::fputs(formatExplainReport(
+                     buildExplainReport(*Out.M, Meta, R.Profile, Remarks))
+                     .c_str(),
+                 stderr);
+    }
+    if (!Obs.ProfileJsonFile.empty() &&
+        !writeOutputFile(Obs.ProfileJsonFile,
+                         profileToJson(*Out.M, Meta, R.Profile)))
+      return 4;
     if (!R.Output.empty())
       std::fputs(R.Output.c_str(), stdout);
     if (Counts) {
@@ -364,7 +636,10 @@ int main(int argc, char **argv) {
     }
     return static_cast<int>(R.ExitCode & 0xFF);
   }
-  if (Cfg.CollectTiming)
-    reportTiming(Out.Timing, Timing, TimingJson);
+  if (Cfg.CollectTiming && !reportTiming(Out.Timing, Timing))
+    return 4;
+  if (!Obs.TraceFile.empty() &&
+      !writeOutputFile(Obs.TraceFile, Trace.toJson()))
+    return 4;
   return 0;
 }

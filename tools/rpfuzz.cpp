@@ -25,6 +25,7 @@
 #include "fuzz/DifferentialOracle.h"
 #include "fuzz/ProgramGenerator.h"
 #include "fuzz/Reducer.h"
+#include "obs/Trace.h"
 
 #include <cstdio>
 #include <cstring>
@@ -49,6 +50,8 @@ void usage() {
       "  --mode=all|diff|widen|corrupt\n"
       "                      which oracles to run per seed (default all)\n"
       "  --emit=S            print the program for seed S and exit\n"
+      "  --trace=FILE        write a Chrome trace-event JSON file with one\n"
+      "                      span per seed (track = worker thread)\n"
       "\n"
       "reduction:\n"
       "  --reduce=FILE       shrink FILE with delta debugging\n"
@@ -162,6 +165,7 @@ int main(int argc, char **argv) {
   bool EmitOnly = false;
   uint64_t EmitSeedVal = 0;
   uint64_t Jobs = 1;
+  std::string TraceFile;
 
   for (int I = 1; I < argc; ++I) {
     const char *A = argv[I];
@@ -202,6 +206,12 @@ int main(int argc, char **argv) {
         return 3;
       }
       EmitOnly = true;
+    } else if (std::strncmp(A, "--trace=", 8) == 0) {
+      TraceFile = A + 8;
+      if (TraceFile.empty()) {
+        std::fprintf(stderr, "error: --trace= needs a file\n");
+        return 3;
+      }
     } else if (std::strncmp(A, "--reduce=", 9) == 0) {
       ReducePath = A + 9;
     } else if (std::strncmp(A, "--predicate=", 12) == 0) {
@@ -225,6 +235,17 @@ int main(int argc, char **argv) {
   Campaign.DoDiff = Mode == "all" || Mode == "diff";
   Campaign.DoWiden = Mode == "all" || Mode == "widen";
   Campaign.DoCorrupt = Mode == "all" || Mode == "corrupt";
+  TraceCollector Trace;
+  if (!TraceFile.empty())
+    Campaign.Trace = &Trace;
   CampaignResult R = runCampaign(Campaign, stderr);
+  if (!TraceFile.empty()) {
+    std::ofstream Out(TraceFile, std::ios::binary);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", TraceFile.c_str());
+      return 4;
+    }
+    Out << Trace.toJson();
+  }
   return R.Failures ? 1 : 0;
 }

@@ -1,0 +1,615 @@
+//===- tools/rpjson.cpp - Observability JSON validator --------------------===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+// Schema-checks the JSON the toolchain emits, with no external
+// dependencies: a hand-rolled recursive-descent JSON parser plus one
+// checker per format. Wired into ctest so a malformed emitter fails the
+// build, not a downstream dashboard.
+//
+//   rpjson remarks FILE    JSON-lines remark stream (--remarks-json)
+//   rpjson profile FILE    tag-profile object(s), one per line
+//                          (--profile-json; suite mode emits one per
+//                          program)
+//   rpjson trace FILE      Chrome trace-event object (--trace)
+//   rpjson timing FILE     timing report object (--timing-json=FILE)
+//   rpjson canon FILE      parse a trace file and print its deterministic
+//                          skeleton: volatile fields (ts/dur/tid) removed,
+//                          events sorted — byte-comparable across runs and
+//                          worker counts
+//
+// Exit codes: 0 valid, 1 invalid or unreadable input, 2 usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Minimal JSON value + parser
+//===----------------------------------------------------------------------===//
+
+struct JValue {
+  enum Kind { Null, Bool, Number, String, Array, Object } K = Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JValue> Items; ///< Array elements
+  std::vector<std::pair<std::string, JValue>> Members; ///< Object members
+
+  const JValue *field(const std::string &Name) const {
+    for (const auto &M : Members)
+      if (M.first == Name)
+        return &M.second;
+    return nullptr;
+  }
+};
+
+class JParser {
+public:
+  JParser(const std::string &Text) : S(Text) {}
+
+  /// Parses one JSON value. Returns false with Error set on malformed
+  /// input. \p Pos advances past the value and any trailing whitespace.
+  bool parse(JValue &Out) {
+    skipWs();
+    if (!value(Out))
+      return false;
+    skipWs();
+    return true;
+  }
+
+  bool atEnd() const { return Pos == S.size(); }
+  std::string Error;
+
+private:
+  const std::string &S;
+  size_t Pos = 0;
+
+  bool fail(const std::string &Why) {
+    std::ostringstream OS;
+    OS << Why << " at offset " << Pos;
+    Error = OS.str();
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool lit(const char *Word) {
+    size_t N = std::strlen(Word);
+    if (S.compare(Pos, N, Word) != 0)
+      return fail(std::string("expected '") + Word + "'");
+    Pos += N;
+    return true;
+  }
+
+  bool value(JValue &Out) {
+    if (Pos >= S.size())
+      return fail("unexpected end of input");
+    switch (S[Pos]) {
+    case '{':
+      return object(Out);
+    case '[':
+      return array(Out);
+    case '"':
+      Out.K = JValue::String;
+      return string(Out.Str);
+    case 't':
+      Out.K = JValue::Bool;
+      Out.B = true;
+      return lit("true");
+    case 'f':
+      Out.K = JValue::Bool;
+      Out.B = false;
+      return lit("false");
+    case 'n':
+      Out.K = JValue::Null;
+      return lit("null");
+    default:
+      return number(Out);
+    }
+  }
+
+  bool object(JValue &Out) {
+    Out.K = JValue::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < S.size() && S[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      std::string Key;
+      if (Pos >= S.size() || S[Pos] != '"')
+        return fail("expected object key");
+      if (!string(Key))
+        return false;
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != ':')
+        return fail("expected ':'");
+      ++Pos;
+      skipWs();
+      JValue V;
+      if (!value(V))
+        return false;
+      Out.Members.emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (Pos >= S.size())
+        return fail("unterminated object");
+      if (S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (S[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(JValue &Out) {
+    Out.K = JValue::Array;
+    ++Pos; // '['
+    skipWs();
+    if (Pos < S.size() && S[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      JValue V;
+      if (!value(V))
+        return false;
+      Out.Items.push_back(std::move(V));
+      skipWs();
+      if (Pos >= S.size())
+        return fail("unterminated array");
+      if (S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (S[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string(std::string &Out) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (Pos < S.size()) {
+      char C = S[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        Out += C;
+        ++Pos;
+        continue;
+      }
+      if (++Pos >= S.size())
+        return fail("unterminated escape");
+      char E = S[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > S.size())
+          return fail("truncated \\u escape");
+        unsigned V = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = S[Pos++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            V |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            V |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad hex digit in \\u escape");
+        }
+        // The emitters only escape control characters; decode the BMP
+        // code point as UTF-8.
+        if (V < 0x80) {
+          Out += static_cast<char>(V);
+        } else if (V < 0x800) {
+          Out += static_cast<char>(0xC0 | (V >> 6));
+          Out += static_cast<char>(0x80 | (V & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (V >> 12));
+          Out += static_cast<char>(0x80 | ((V >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (V & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("bad escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JValue &Out) {
+    size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    while (Pos < S.size() && S[Pos] >= '0' && S[Pos] <= '9')
+      ++Pos;
+    if (Pos < S.size() && S[Pos] == '.') {
+      ++Pos;
+      while (Pos < S.size() && S[Pos] >= '0' && S[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos < S.size() && (S[Pos] == 'e' || S[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < S.size() && (S[Pos] == '+' || S[Pos] == '-'))
+        ++Pos;
+      while (Pos < S.size() && S[Pos] >= '0' && S[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos == Start || (Pos == Start + 1 && S[Start] == '-'))
+      return fail("malformed number");
+    Out.K = JValue::Number;
+    Out.Num = std::strtod(S.c_str() + Start, nullptr);
+    return true;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Checkers
+//===----------------------------------------------------------------------===//
+
+/// Collects schema violations; the first few are reported with context.
+struct Checker {
+  std::vector<std::string> Problems;
+
+  void problem(const std::string &Where, const std::string &What) {
+    Problems.push_back(Where + ": " + What);
+  }
+
+  bool need(const JValue &O, const std::string &Where, const char *Key,
+            JValue::Kind K, const JValue **Out = nullptr) {
+    const JValue *F = O.field(Key);
+    if (!F) {
+      problem(Where, std::string("missing key '") + Key + "'");
+      return false;
+    }
+    if (F->K != K) {
+      problem(Where, std::string("key '") + Key + "' has wrong type");
+      return false;
+    }
+    if (Out)
+      *Out = F;
+    return true;
+  }
+
+  bool oneOf(const std::string &Where, const char *Key,
+             const std::string &Val, const std::vector<const char *> &Set) {
+    for (const char *S : Set)
+      if (Val == S)
+        return true;
+    problem(Where, std::string("key '") + Key + "' has unknown value '" +
+                       Val + "'");
+    return false;
+  }
+};
+
+const std::vector<const char *> &remarkKinds() {
+  static const std::vector<const char *> Kinds = {
+      "promoted", "missed", "hoisted", "residual", "note"};
+  return Kinds;
+}
+
+const std::vector<const char *> &remarkReasons() {
+  static const std::vector<const char *> Reasons = {
+      "none",           "call-modref",       "aliased-pointer-op",
+      "reg-pressure",   "no-landing-pad",    "loop-variant-address",
+      "group-conflict", "multi-tag-pointer", "tag-modified",
+      "multiple-defs",  "spill-slot",        "promotion-off",
+      "late-promotable", "heap-or-unknown"};
+  return Reasons;
+}
+
+void checkRemarkObject(const JValue &O, const std::string &Where,
+                       Checker &C) {
+  const JValue *F = nullptr;
+  C.need(O, Where, "pass", JValue::String);
+  if (C.need(O, Where, "kind", JValue::String, &F))
+    C.oneOf(Where, "kind", F->Str, remarkKinds());
+  if (C.need(O, Where, "reason", JValue::String, &F))
+    C.oneOf(Where, "reason", F->Str, remarkReasons());
+  C.need(O, Where, "function", JValue::String);
+  C.need(O, Where, "loop", JValue::String);
+  C.need(O, Where, "depth", JValue::Number);
+  C.need(O, Where, "tag", JValue::String);
+  C.need(O, Where, "message", JValue::String);
+}
+
+/// Validates a JSON-lines file: every non-empty line one object checked by
+/// \p CheckOne. \p What names the format in diagnostics.
+int checkJsonLines(const std::string &Text, const char *What,
+                   void (*CheckOne)(const JValue &, const std::string &,
+                                    Checker &)) {
+  Checker C;
+  size_t LineNo = 0, Objects = 0, Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Text.size();
+    std::string Line = Text.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    ++LineNo;
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    std::ostringstream WS;
+    WS << What << " line " << LineNo;
+    std::string Where = WS.str();
+    JParser P(Line);
+    JValue V;
+    if (!P.parse(V) || !P.atEnd()) {
+      C.problem(Where, P.Error.empty() ? "trailing garbage" : P.Error);
+      continue;
+    }
+    if (V.K != JValue::Object) {
+      C.problem(Where, "line is not a JSON object");
+      continue;
+    }
+    ++Objects;
+    CheckOne(V, Where, C);
+  }
+  if (Objects == 0)
+    C.Problems.push_back(std::string(What) + ": no objects found");
+  for (size_t I = 0; I != C.Problems.size() && I != 10; ++I)
+    std::fprintf(stderr, "rpjson: %s\n", C.Problems[I].c_str());
+  if (C.Problems.size() > 10)
+    std::fprintf(stderr, "rpjson: ... and %zu more problem(s)\n",
+                 C.Problems.size() - 10);
+  if (!C.Problems.empty())
+    return 1;
+  std::fprintf(stderr, "rpjson: %s ok (%zu object(s))\n", What, Objects);
+  return 0;
+}
+
+void checkProfileObject(const JValue &O, const std::string &Where,
+                        Checker &C) {
+  const JValue *Loops = nullptr, *Counts = nullptr;
+  const JValue *TotalLoads = nullptr, *TotalStores = nullptr;
+  C.need(O, Where, "loops", JValue::Array, &Loops);
+  C.need(O, Where, "counts", JValue::Array, &Counts);
+  C.need(O, Where, "total_loads", JValue::Number, &TotalLoads);
+  C.need(O, Where, "total_stores", JValue::Number, &TotalStores);
+  if (Loops)
+    for (size_t I = 0; I != Loops->Items.size(); ++I) {
+      std::ostringstream WS;
+      WS << Where << " loops[" << I << "]";
+      const JValue &L = Loops->Items[I];
+      if (L.K != JValue::Object) {
+        C.problem(WS.str(), "not an object");
+        continue;
+      }
+      C.need(L, WS.str(), "function", JValue::String);
+      C.need(L, WS.str(), "header", JValue::String);
+      C.need(L, WS.str(), "depth", JValue::Number);
+      const JValue *Parent = nullptr;
+      if (C.need(L, WS.str(), "parent", JValue::Number, &Parent) &&
+          Parent->Num >= static_cast<double>(I))
+        C.problem(WS.str(), "parent must precede the loop (preorder)");
+    }
+  double Loads = 0, Stores = 0;
+  if (Counts)
+    for (size_t I = 0; I != Counts->Items.size(); ++I) {
+      std::ostringstream WS;
+      WS << Where << " counts[" << I << "]";
+      const JValue &E = Counts->Items[I];
+      if (E.K != JValue::Object) {
+        C.problem(WS.str(), "not an object");
+        continue;
+      }
+      C.need(E, WS.str(), "function", JValue::String);
+      C.need(E, WS.str(), "tag", JValue::String);
+      C.need(E, WS.str(), "kind", JValue::String);
+      const JValue *F = nullptr;
+      if (C.need(E, WS.str(), "loop", JValue::Number, &F) && Loops &&
+          F->Num >= static_cast<double>(Loops->Items.size()))
+        C.problem(WS.str(), "loop index out of range");
+      if (C.need(E, WS.str(), "loads", JValue::Number, &F))
+        Loads += F->Num;
+      if (C.need(E, WS.str(), "stores", JValue::Number, &F))
+        Stores += F->Num;
+    }
+  // The profiler's core invariant: per-tag counts partition the totals.
+  if (TotalLoads && Loads != TotalLoads->Num)
+    C.problem(Where, "counts' loads do not sum to total_loads");
+  if (TotalStores && Stores != TotalStores->Num)
+    C.problem(Where, "counts' stores do not sum to total_stores");
+}
+
+/// Reads and parses a whole-file JSON object (trace, timing).
+int parseWholeFile(const std::string &Text, const char *What, JValue &V) {
+  JParser P(Text);
+  if (!P.parse(V) || !P.atEnd()) {
+    std::fprintf(stderr, "rpjson: %s: %s\n", What,
+                 P.Error.empty() ? "trailing garbage after value"
+                                 : P.Error.c_str());
+    return 1;
+  }
+  if (V.K != JValue::Object) {
+    std::fprintf(stderr, "rpjson: %s: top-level value is not an object\n",
+                 What);
+    return 1;
+  }
+  return 0;
+}
+
+int finish(Checker &C, const char *What, size_t N) {
+  for (size_t I = 0; I != C.Problems.size() && I != 10; ++I)
+    std::fprintf(stderr, "rpjson: %s\n", C.Problems[I].c_str());
+  if (C.Problems.size() > 10)
+    std::fprintf(stderr, "rpjson: ... and %zu more problem(s)\n",
+                 C.Problems.size() - 10);
+  if (!C.Problems.empty())
+    return 1;
+  std::fprintf(stderr, "rpjson: %s ok (%zu object(s))\n", What, N);
+  return 0;
+}
+
+int checkTrace(const std::string &Text, bool Canon) {
+  JValue V;
+  if (int Rc = parseWholeFile(Text, "trace", V))
+    return Rc;
+  Checker C;
+  const JValue *Events = nullptr;
+  C.need(V, "trace", "traceEvents", JValue::Array, &Events);
+  C.need(V, "trace", "displayTimeUnit", JValue::String);
+  std::vector<std::string> CanonLines;
+  if (Events)
+    for (size_t I = 0; I != Events->Items.size(); ++I) {
+      std::ostringstream WS;
+      WS << "trace event " << I;
+      const JValue &E = Events->Items[I];
+      if (E.K != JValue::Object) {
+        C.problem(WS.str(), "not an object");
+        continue;
+      }
+      const JValue *Name = nullptr, *Cat = nullptr, *Ph = nullptr;
+      const JValue *Args = nullptr;
+      C.need(E, WS.str(), "name", JValue::String, &Name);
+      C.need(E, WS.str(), "cat", JValue::String, &Cat);
+      if (C.need(E, WS.str(), "ph", JValue::String, &Ph) &&
+          Ph->Str != "X")
+        C.problem(WS.str(), "ph must be \"X\" (complete span)");
+      C.need(E, WS.str(), "ts", JValue::Number);
+      C.need(E, WS.str(), "dur", JValue::Number);
+      C.need(E, WS.str(), "pid", JValue::Number);
+      C.need(E, WS.str(), "tid", JValue::Number);
+      std::string Flat;
+      if ((Args = E.field("args"))) {
+        if (Args->K != JValue::Object) {
+          C.problem(WS.str(), "args is not an object");
+        } else {
+          for (const auto &M : Args->Members) {
+            if (M.second.K != JValue::String)
+              C.problem(WS.str(),
+                        "args value for '" + M.first + "' is not a string");
+            else
+              Flat += "\x1f" + M.first + "=" + M.second.Str;
+          }
+        }
+      }
+      if (Canon && Name && Cat)
+        CanonLines.push_back(Cat->Str + "\x1e" + Name->Str + Flat);
+    }
+  if (Canon && C.Problems.empty()) {
+    // The deterministic skeleton: wall-clock fields dropped, events
+    // sorted. Two runs of the same workload canonicalize identically no
+    // matter the timing or worker count.
+    std::sort(CanonLines.begin(), CanonLines.end());
+    for (const std::string &L : CanonLines) {
+      std::string Printable = L;
+      std::replace(Printable.begin(), Printable.end(), '\x1e', '|');
+      std::replace(Printable.begin(), Printable.end(), '\x1f', ';');
+      std::printf("%s\n", Printable.c_str());
+    }
+    return 0;
+  }
+  return finish(C, "trace", Events ? Events->Items.size() : 0);
+}
+
+int checkTiming(const std::string &Text) {
+  JValue V;
+  if (int Rc = parseWholeFile(Text, "timing", V))
+    return Rc;
+  Checker C;
+  C.need(V, "timing", "compiles", JValue::Number);
+  C.need(V, "timing", "compile_ms", JValue::Number);
+  C.need(V, "timing", "interp_ms", JValue::Number);
+  C.need(V, "timing", "interp_steps", JValue::Number);
+  const JValue *Passes = nullptr;
+  if (C.need(V, "timing", "passes", JValue::Array, &Passes))
+    for (size_t I = 0; I != Passes->Items.size(); ++I) {
+      std::ostringstream WS;
+      WS << "timing passes[" << I << "]";
+      const JValue &P = Passes->Items[I];
+      if (P.K != JValue::Object) {
+        C.problem(WS.str(), "not an object");
+        continue;
+      }
+      C.need(P, WS.str(), "name", JValue::String);
+      C.need(P, WS.str(), "calls", JValue::Number);
+      C.need(P, WS.str(), "ms", JValue::Number);
+      C.need(P, WS.str(), "ops_before", JValue::Number);
+      C.need(P, WS.str(), "ops_after", JValue::Number);
+    }
+  return finish(C, "timing", Passes ? Passes->Items.size() : 0);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc != 3) {
+    std::fputs("usage: rpjson remarks|profile|trace|timing|canon FILE\n",
+               stderr);
+    return 2;
+  }
+  const char *Cmd = argv[1];
+  std::ifstream In(argv[2], std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "rpjson: cannot open %s\n", argv[2]);
+    return 1;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Text = SS.str();
+
+  if (std::strcmp(Cmd, "remarks") == 0)
+    return checkJsonLines(Text, "remarks", checkRemarkObject);
+  if (std::strcmp(Cmd, "profile") == 0)
+    return checkJsonLines(Text, "profile", checkProfileObject);
+  if (std::strcmp(Cmd, "trace") == 0)
+    return checkTrace(Text, false);
+  if (std::strcmp(Cmd, "canon") == 0)
+    return checkTrace(Text, true);
+  if (std::strcmp(Cmd, "timing") == 0)
+    return checkTiming(Text);
+  std::fprintf(stderr, "rpjson: unknown command '%s'\n", Cmd);
+  return 2;
+}
