@@ -77,6 +77,8 @@ void TimingReport::merge(const TimingReport &O) {
   InterpMillis += O.InterpMillis;
   InterpSteps += O.InterpSteps;
   Compiles += O.Compiles;
+  if (Engine.empty())
+    Engine = O.Engine;
 }
 
 uint64_t rpcc::countStaticOps(const Module &M) {
@@ -110,7 +112,10 @@ std::string rpcc::formatTimingReport(const TimingReport &R) {
   OS << "compile total: " << fixed(R.CompileMillis, 3) << " ms over "
      << withCommas(R.Compiles) << " compile(s)\n";
   OS << "interpret:     " << fixed(R.InterpMillis, 3) << " ms, "
-     << withCommas(R.InterpSteps) << " steps\n";
+     << withCommas(R.InterpSteps) << " steps";
+  if (!R.Engine.empty())
+    OS << " (engine " << R.Engine << ")";
+  OS << "\n";
   return OS.str();
 }
 
@@ -120,6 +125,7 @@ std::string rpcc::formatTimingJson(const TimingReport &R) {
   OS << ",\"compile_ms\":" << fixed(R.CompileMillis, 3);
   OS << ",\"interp_ms\":" << fixed(R.InterpMillis, 3);
   OS << ",\"interp_steps\":" << R.InterpSteps;
+  OS << ",\"engine\":\"" << jsonEscape(R.Engine) << "\"";
   OS << ",\"passes\":[";
   std::vector<PassTime> Sorted = canonicalOrder(R.Passes);
   for (size_t I = 0; I != Sorted.size(); ++I) {

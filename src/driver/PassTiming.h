@@ -50,6 +50,10 @@ struct TimingReport {
   double InterpMillis = 0;  ///< interpreter wall time
   uint64_t InterpSteps = 0; ///< dynamic operations executed
   uint64_t Compiles = 0;    ///< compile jobs folded into this report
+  /// interpEngineName of the engine the run(s) used; empty when nothing was
+  /// interpreted. Merging keeps the first non-empty name (one aggregate is
+  /// always produced by one engine; the suite never mixes them).
+  std::string Engine;
 
   /// Records one pass sample, folding into an existing same-named entry.
   void addPass(const std::string &Name, double Millis, uint64_t OpsBefore,

@@ -67,6 +67,7 @@ ConfigCounts runOneCell(const std::string &Name, const std::string &Source,
     Timing = std::move(Out.Timing);
     Timing.InterpMillis = timingNowMs() - T0;
     Timing.InterpSteps = R.Counters.Total;
+    Timing.Engine = interpEngineName(IOpts.Engine);
   }
   C.Ok = R.Ok;
   C.Error = R.Error;

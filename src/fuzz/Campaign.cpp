@@ -20,8 +20,9 @@ using namespace rpcc;
 
 namespace {
 
-InterpOptions fuzzInterpOptions() {
+InterpOptions fuzzInterpOptions(InterpEngine Engine) {
   InterpOptions IO;
+  IO.Engine = Engine;
   // Generated programs are terminating by construction; a run that needs
   // more than this is a generator bug worth flagging loudly.
   IO.MaxSteps = uint64_t(1) << 26;
@@ -41,8 +42,8 @@ struct SeedOutcome {
 /// diff oracle: every matrix cell must agree on behavior. Records per-cell
 /// load counts for the corpus-level promotion check.
 bool checkDiff(const std::string &Src, const std::vector<FuzzConfig> &Matrix,
-               SeedOutcome &Out) {
-  OracleResult R = checkProgram(Src, Matrix, fuzzInterpOptions());
+               InterpEngine Engine, SeedOutcome &Out) {
+  OracleResult R = checkProgram(Src, Matrix, fuzzInterpOptions(Engine));
   if (R.Ok) {
     Out.DiffOk = true;
     Out.Loads = std::move(R.Loads);
@@ -53,17 +54,18 @@ bool checkDiff(const std::string &Src, const std::vector<FuzzConfig> &Matrix,
 }
 
 /// widen oracle: behavior must survive conservative analysis degradation.
-bool checkWiden(uint64_t Seed, const std::string &Src, std::string &Why) {
+bool checkWiden(uint64_t Seed, const std::string &Src, InterpEngine Engine,
+                std::string &Why) {
   CompilerConfig Base;
   Base.Analysis = AnalysisKind::PointsTo;
-  ExecResult Ref = compileAndRun(Src, Base, fuzzInterpOptions());
+  ExecResult Ref = compileAndRun(Src, Base, fuzzInterpOptions(Engine));
   if (!Ref.Ok) {
     Why = "[widen] reference run failed: " + Ref.Error;
     return false;
   }
   CompilerConfig Widened = Base;
   Widened.PostAnalysisHook = [Seed](Module &M) { widenAnalysis(M, Seed); };
-  ExecResult Got = compileAndRun(Src, Widened, fuzzInterpOptions());
+  ExecResult Got = compileAndRun(Src, Widened, fuzzInterpOptions(Engine));
   if (!Got.Ok) {
     Why = "[widen] widened run failed: " + Got.Error;
     return false;
@@ -122,8 +124,8 @@ SeedOutcome checkSeed(uint64_t Seed, const CampaignOptions &Opts,
   SeedOutcome Out;
   std::string Src = generateProgram(Seed);
   std::string Why;
-  bool Ok = (!Opts.DoDiff || checkDiff(Src, Matrix, Out)) &&
-            (!Opts.DoWiden || checkWiden(Seed, Src, Why)) &&
+  bool Ok = (!Opts.DoDiff || checkDiff(Src, Matrix, Opts.Engine, Out)) &&
+            (!Opts.DoWiden || checkWiden(Seed, Src, Opts.Engine, Why)) &&
             (!Opts.DoCorrupt || checkCorrupt(Seed, Src, Why));
   if (!Ok) {
     Out.Ok = false;

@@ -18,6 +18,8 @@
 #ifndef RPCC_FUZZ_CAMPAIGN_H
 #define RPCC_FUZZ_CAMPAIGN_H
 
+#include "interp/Interpreter.h"
+
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -43,6 +45,9 @@ struct CampaignOptions {
   /// When non-null, every seed adds a span (category "seed", track = the
   /// worker that checked it) to this shared collector.
   TraceCollector *Trace = nullptr;
+  /// Interpreter engine for every oracle execution. Campaigns pinned to
+  /// each engine must produce identical verdict logs.
+  InterpEngine Engine = DefaultInterpEngine;
 };
 
 struct CampaignResult {

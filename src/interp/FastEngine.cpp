@@ -1,0 +1,663 @@
+//===- interp/FastEngine.cpp - Pre-decoded fast-path engine ---------------===//
+//
+// The tight dispatch loop over the decoded instruction stream. Counting
+// order is the contract: it replicates the reference switch engine's step
+// prologue exactly (Total incremented and checked against the step limit
+// first, then ByOpcode/per-function/load/store counters, then the profile
+// attribution, then the operation) so every counter, profile, output byte,
+// fault message, and exit code is bit-identical across engines.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Machine.h"
+
+#include "support/Arith.h"
+
+#include <cassert>
+
+using namespace rpcc;
+
+// Feature macro for the dispatch strategy: computed goto on compilers that
+// support labels-as-values (GCC/Clang), otherwise a portable switch over the
+// same handler bodies. Define RPCC_INTERP_THREADED=0 to force the switch.
+#ifndef RPCC_INTERP_THREADED
+#if defined(__GNUC__) || defined(__clang__)
+#define RPCC_INTERP_THREADED 1
+#else
+#define RPCC_INTERP_THREADED 0
+#endif
+#endif
+
+uint64_t Machine::runFast(FuncId Main) {
+  return Prof ? callDecoded<true>(Main, 0, 0) : callDecoded<false>(Main, 0, 0);
+}
+
+void Machine::profileDecoded(const DecodedInst &DI, uint32_t BaseSlot,
+                             const uint64_t *Regs) {
+  size_t Slot = BaseSlot;
+  if (DI.Flags & DIFlagPtrProf) {
+    // Pointer ops carry their row base; the tag comes from the runtime
+    // address, exactly like the switch engine's profileMemOp.
+    TagId T = resolveAddress(Regs[DI.A]);
+    if (T != NoTag)
+      Slot += size_t(T) + 1;
+  }
+  if (DI.Flags & DIFlagStore)
+    Sink.countStore(Slot);
+  else
+    Sink.countLoad(Slot);
+}
+
+template <bool Profiled>
+uint64_t Machine::callDecoded(FuncId FId, size_t ArgBase, size_t NArgs) {
+  if (Err.Active)
+    return 0;
+  if (++CallDepth > Opts.MaxCallDepth) {
+    Err.raise("call depth limit exceeded (runaway recursion?)");
+    --CallDepth;
+    return 0;
+  }
+  const DecodedFunction &DF = DM->Funcs[FId];
+  uint64_t Result =
+      DF.HasBody ? execDecoded<Profiled>(DF, ArgBase, NArgs)
+                 : callBuiltin(DF.Builtin, ArgArena.data() + ArgBase, NArgs);
+  --CallDepth;
+  return Result;
+}
+
+template <bool Profiled>
+uint64_t Machine::execDecoded(const DecodedFunction &DF, size_t ArgBase,
+                              size_t NArgs) {
+  const uint64_t FrameBase = InterpStackBase + StackMem.size();
+  StackMem.resize(StackMem.size() + DF.FrameSize, 0);
+  if (Profiled && DF.FrameSize)
+    FrameStack.push_back({FrameBase, DF.Id});
+
+  const size_t RegBase = RegArena.size();
+  RegArena.resize(RegBase + DF.NumRegs, 0);
+  {
+    uint64_t *Regs = RegArena.data() + RegBase;
+    const uint64_t *Args = ArgArena.data() + ArgBase;
+    const size_t NParams = DF.ParamRegs.size();
+    for (size_t I = 0; I != NArgs && I != NParams; ++I)
+      Regs[DF.ParamRegs[I]] = Args[I];
+  }
+
+  uint64_t RetVal = 0;
+  uint64_t *R = RegArena.data() + RegBase;
+  const DecodedInst *const IP = DF.Insts.data();
+  const uint32_t *const PS = DF.ProfSlots.data(); // empty unless Profiled
+  (void)PS;
+  FunctionCounters &FC = PerFunc[DF.Id];
+  const uint64_t MaxSteps = Opts.MaxSteps;
+  const DecodedInst *DI;
+  size_t PC = 0;
+
+  // The shared counters live in locals across the loop: the compiler cannot
+  // keep the members in registers itself, because the memory helpers called
+  // from handlers might alias them. Locals are flushed back at every exit
+  // and around calls (the callee bumps the same Total, and recursion reaches
+  // the same FunctionCounters), so observable state is always exact.
+  uint64_t TotalLoc = Counters.Total;
+  uint64_t LoadsLoc = Counters.Loads, StoresLoc = Counters.Stores;
+  uint64_t FCTotalLoc = FC.Total;
+  uint64_t FCLoadsLoc = FC.Loads, FCStoresLoc = FC.Stores;
+
+#define RPCC_FLUSH_COUNTERS()                                                  \
+  do {                                                                         \
+    Counters.Total = TotalLoc;                                                 \
+    Counters.Loads = LoadsLoc;                                                 \
+    Counters.Stores = StoresLoc;                                               \
+    FC.Total = FCTotalLoc;                                                     \
+    FC.Loads = FCLoadsLoc;                                                     \
+    FC.Stores = FCStoresLoc;                                                   \
+  } while (0)
+#define RPCC_RELOAD_COUNTERS()                                                 \
+  do {                                                                         \
+    TotalLoc = Counters.Total;                                                 \
+    LoadsLoc = Counters.Loads;                                                 \
+    StoresLoc = Counters.Stores;                                               \
+    FCTotalLoc = FC.Total;                                                     \
+    FCLoadsLoc = FC.Loads;                                                     \
+    FCStoresLoc = FC.Stores;                                                   \
+  } while (0)
+
+// Counting prologue of one step; mirrors the switch engine line for line.
+// The load/store tallies live in the memory handlers (which know their
+// opcode statically), keeping the common-path prologue to three counters.
+#define RPCC_STEP_PROLOGUE()                                                   \
+  do {                                                                         \
+    if (++TotalLoc > MaxSteps) {                                               \
+      Err.raise("step limit exceeded (infinite loop?)");                       \
+      goto fast_done;                                                          \
+    }                                                                          \
+    ++Counters.ByOpcode[static_cast<size_t>(DI->Op)];                          \
+    ++FCTotalLoc;                                                              \
+    if constexpr (Profiled)                                                    \
+      if (DI->Flags & DIFlagMem)                                               \
+        profileDecoded(*DI, PS[PC], R);                                        \
+  } while (0)
+
+// Figure 7 / Figure 6 tallies; before the access, like the switch engine's
+// prologue, so a faulting access still counts.
+#define RPCC_TALLY_LOAD()                                                      \
+  do {                                                                         \
+    ++LoadsLoc;                                                                \
+    ++FCLoadsLoc;                                                              \
+  } while (0)
+#define RPCC_TALLY_STORE()                                                     \
+  do {                                                                         \
+    ++StoresLoc;                                                               \
+    ++FCStoresLoc;                                                             \
+  } while (0)
+
+// Counting prologue of the second operation of a fused pair. Fused second
+// ops are never profiled (mem-consuming fusions are disabled when a sink is
+// attached); the opcode is implied by the handler.
+#define RPCC_COUNT_STEP(OPC)                                                   \
+  do {                                                                         \
+    if (++TotalLoc > MaxSteps) {                                               \
+      Err.raise("step limit exceeded (infinite loop?)");                       \
+      goto fast_done;                                                          \
+    }                                                                          \
+    ++Counters.ByOpcode[static_cast<size_t>(OPC)];                             \
+    ++FCTotalLoc;                                                              \
+  } while (0)
+
+// Same, for a fused second op that is a pointer load or store.
+#define RPCC_COUNT_STEP_LOAD(OPC)                                              \
+  do {                                                                         \
+    RPCC_COUNT_STEP(OPC);                                                      \
+    RPCC_TALLY_LOAD();                                                         \
+  } while (0)
+#define RPCC_COUNT_STEP_STORE(OPC)                                             \
+  do {                                                                         \
+    RPCC_COUNT_STEP(OPC);                                                      \
+    RPCC_TALLY_STORE();                                                        \
+  } while (0)
+
+#if RPCC_INTERP_THREADED
+#define RPCC_DISPATCH()                                                        \
+  do {                                                                         \
+    DI = IP + PC;                                                              \
+    RPCC_STEP_PROLOGUE();                                                      \
+    goto *DispatchTable[static_cast<size_t>(DI->D)];                           \
+  } while (0)
+#define RPCC_CASE(name) Lbl_##name
+#define RPCC_NEXT()                                                            \
+  do {                                                                         \
+    ++PC;                                                                      \
+    RPCC_DISPATCH();                                                           \
+  } while (0)
+#define RPCC_NEXT2()                                                           \
+  do {                                                                         \
+    PC += 2;                                                                   \
+    RPCC_DISPATCH();                                                           \
+  } while (0)
+#define RPCC_JUMP() RPCC_DISPATCH()
+
+  static const void *DispatchTable[] = {
+      &&Lbl_Add,       &&Lbl_Sub,       &&Lbl_Mul,
+      &&Lbl_Div,       &&Lbl_Rem,       &&Lbl_And,
+      &&Lbl_Or,        &&Lbl_Xor,       &&Lbl_Shl,
+      &&Lbl_Shr,       &&Lbl_CmpEq,     &&Lbl_CmpNe,
+      &&Lbl_CmpLt,     &&Lbl_CmpLe,     &&Lbl_CmpGt,
+      &&Lbl_CmpGe,     &&Lbl_FAdd,      &&Lbl_FSub,
+      &&Lbl_FMul,      &&Lbl_FDiv,      &&Lbl_FCmpEq,
+      &&Lbl_FCmpNe,    &&Lbl_FCmpLt,    &&Lbl_FCmpLe,
+      &&Lbl_FCmpGt,    &&Lbl_FCmpGe,    &&Lbl_Neg,
+      &&Lbl_Not,       &&Lbl_FNeg,      &&Lbl_IntToFp,
+      &&Lbl_FpToInt,   &&Lbl_LoadI,     &&Lbl_LoadF,
+      &&Lbl_Copy,      &&Lbl_LoadAddrAbs, &&Lbl_LoadAddrFrame,
+      &&Lbl_ScalarLoadAbs, &&Lbl_ScalarLoadFrame, &&Lbl_ScalarStoreAbs,
+      &&Lbl_ScalarStoreFrame, &&Lbl_PtrLoad, &&Lbl_PtrStore,
+      &&Lbl_Call,      &&Lbl_CallIndirect, &&Lbl_Br,
+      &&Lbl_Jmp,       &&Lbl_RetVal,    &&Lbl_RetVoid,
+      &&Lbl_Fault,
+      &&Lbl_CmpEqBr,   &&Lbl_CmpNeBr,   &&Lbl_CmpLtBr,
+      &&Lbl_CmpLeBr,   &&Lbl_CmpGtBr,   &&Lbl_CmpGeBr,
+      &&Lbl_FCmpEqBr,  &&Lbl_FCmpNeBr,  &&Lbl_FCmpLtBr,
+      &&Lbl_FCmpLeBr,  &&Lbl_FCmpGtBr,  &&Lbl_FCmpGeBr,
+      &&Lbl_LoadIAdd,  &&Lbl_LoadIMul,  &&Lbl_LoadISub,
+      &&Lbl_LoadICmpEq, &&Lbl_LoadICmpNe, &&Lbl_LoadICmpLt,
+      &&Lbl_AddAdd,    &&Lbl_MulAdd,
+      &&Lbl_AddLoad,   &&Lbl_AddConstLoad,
+      &&Lbl_AddStore,
+      &&Lbl_FMulFAddA, &&Lbl_FMulFAddB,
+      &&Lbl_FMulFSubA, &&Lbl_FMulFSubB,
+      &&Lbl_LoadIJmp,  &&Lbl_CopyJmp,
+  };
+  assert(sizeof(DispatchTable) / sizeof(void *) ==
+             static_cast<size_t>(DecodedOp::kNumDecodedOps) &&
+         "dispatch table must cover every DecodedOp");
+  RPCC_DISPATCH();
+#else
+#define RPCC_CASE(name) case DecodedOp::name
+#define RPCC_NEXT()                                                            \
+  {                                                                            \
+    ++PC;                                                                      \
+    break;                                                                     \
+  }
+#define RPCC_NEXT2()                                                           \
+  {                                                                            \
+    PC += 2;                                                                   \
+    break;                                                                     \
+  }
+#define RPCC_JUMP() break
+
+  for (;;) {
+    DI = IP + PC;
+    RPCC_STEP_PROLOGUE();
+    switch (DI->D) {
+#endif
+
+  RPCC_CASE(Add):
+    R[DI->Result] = wrapAdd(R[DI->A], R[DI->B]);
+    RPCC_NEXT();
+  RPCC_CASE(Sub):
+    R[DI->Result] = wrapSub(R[DI->A], R[DI->B]);
+    RPCC_NEXT();
+  RPCC_CASE(Mul):
+    R[DI->Result] = wrapMul(R[DI->A], R[DI->B]);
+    RPCC_NEXT();
+  RPCC_CASE(Div): {
+    int64_t N = asI(R[DI->A]), D = asI(R[DI->B]);
+    if (divFaults(N, D)) {
+      Err.raise(D == 0 ? "integer division by zero"
+                       : "integer division overflow (INT64_MIN / -1)");
+      goto fast_done;
+    }
+    R[DI->Result] = static_cast<uint64_t>(sdiv(N, D));
+    RPCC_NEXT();
+  }
+  RPCC_CASE(Rem): {
+    int64_t N = asI(R[DI->A]), D = asI(R[DI->B]);
+    if (D == 0) {
+      Err.raise("integer remainder by zero");
+      goto fast_done;
+    }
+    R[DI->Result] = static_cast<uint64_t>(srem(N, D));
+    RPCC_NEXT();
+  }
+  RPCC_CASE(And):
+    R[DI->Result] = R[DI->A] & R[DI->B];
+    RPCC_NEXT();
+  RPCC_CASE(Or):
+    R[DI->Result] = R[DI->A] | R[DI->B];
+    RPCC_NEXT();
+  RPCC_CASE(Xor):
+    R[DI->Result] = R[DI->A] ^ R[DI->B];
+    RPCC_NEXT();
+  RPCC_CASE(Shl):
+    R[DI->Result] = shiftLeft(R[DI->A], R[DI->B]);
+    RPCC_NEXT();
+  RPCC_CASE(Shr):
+    R[DI->Result] = shiftRightArith(R[DI->A], R[DI->B]);
+    RPCC_NEXT();
+  RPCC_CASE(CmpEq):
+    R[DI->Result] = R[DI->A] == R[DI->B];
+    RPCC_NEXT();
+  RPCC_CASE(CmpNe):
+    R[DI->Result] = R[DI->A] != R[DI->B];
+    RPCC_NEXT();
+  RPCC_CASE(CmpLt):
+    R[DI->Result] = asI(R[DI->A]) < asI(R[DI->B]);
+    RPCC_NEXT();
+  RPCC_CASE(CmpLe):
+    R[DI->Result] = asI(R[DI->A]) <= asI(R[DI->B]);
+    RPCC_NEXT();
+  RPCC_CASE(CmpGt):
+    R[DI->Result] = asI(R[DI->A]) > asI(R[DI->B]);
+    RPCC_NEXT();
+  RPCC_CASE(CmpGe):
+    R[DI->Result] = asI(R[DI->A]) >= asI(R[DI->B]);
+    RPCC_NEXT();
+  RPCC_CASE(FAdd):
+    R[DI->Result] = fromF(asF(R[DI->A]) + asF(R[DI->B]));
+    RPCC_NEXT();
+  RPCC_CASE(FSub):
+    R[DI->Result] = fromF(asF(R[DI->A]) - asF(R[DI->B]));
+    RPCC_NEXT();
+  RPCC_CASE(FMul):
+    R[DI->Result] = fromF(asF(R[DI->A]) * asF(R[DI->B]));
+    RPCC_NEXT();
+  RPCC_CASE(FDiv):
+    R[DI->Result] = fromF(asF(R[DI->A]) / asF(R[DI->B]));
+    RPCC_NEXT();
+  RPCC_CASE(FCmpEq):
+    R[DI->Result] = asF(R[DI->A]) == asF(R[DI->B]);
+    RPCC_NEXT();
+  RPCC_CASE(FCmpNe):
+    R[DI->Result] = asF(R[DI->A]) != asF(R[DI->B]);
+    RPCC_NEXT();
+  RPCC_CASE(FCmpLt):
+    R[DI->Result] = asF(R[DI->A]) < asF(R[DI->B]);
+    RPCC_NEXT();
+  RPCC_CASE(FCmpLe):
+    R[DI->Result] = asF(R[DI->A]) <= asF(R[DI->B]);
+    RPCC_NEXT();
+  RPCC_CASE(FCmpGt):
+    R[DI->Result] = asF(R[DI->A]) > asF(R[DI->B]);
+    RPCC_NEXT();
+  RPCC_CASE(FCmpGe):
+    R[DI->Result] = asF(R[DI->A]) >= asF(R[DI->B]);
+    RPCC_NEXT();
+  RPCC_CASE(Neg):
+    R[DI->Result] = wrapNeg(R[DI->A]);
+    RPCC_NEXT();
+  RPCC_CASE(Not):
+    R[DI->Result] = ~R[DI->A];
+    RPCC_NEXT();
+  RPCC_CASE(FNeg):
+    R[DI->Result] = fromF(-asF(R[DI->A]));
+    RPCC_NEXT();
+  RPCC_CASE(IntToFp):
+    R[DI->Result] = fromF(static_cast<double>(asI(R[DI->A])));
+    RPCC_NEXT();
+  RPCC_CASE(FpToInt):
+    R[DI->Result] = static_cast<uint64_t>(fpToIntSat(asF(R[DI->A])));
+    RPCC_NEXT();
+  RPCC_CASE(LoadI):
+    R[DI->Result] = static_cast<uint64_t>(DI->Imm);
+    RPCC_NEXT();
+  RPCC_CASE(LoadF):
+    // The double's bit pattern was baked verbatim at decode time.
+    R[DI->Result] = static_cast<uint64_t>(DI->Imm);
+    RPCC_NEXT();
+  RPCC_CASE(Copy):
+    R[DI->Result] = R[DI->A];
+    RPCC_NEXT();
+  RPCC_CASE(LoadAddrAbs):
+    R[DI->Result] = static_cast<uint64_t>(DI->Imm);
+    RPCC_NEXT();
+  RPCC_CASE(LoadAddrFrame):
+    R[DI->Result] = FrameBase + static_cast<uint64_t>(DI->Imm);
+    RPCC_NEXT();
+  RPCC_CASE(ScalarLoadAbs):
+    RPCC_TALLY_LOAD();
+    R[DI->Result] = loadMem(static_cast<uint64_t>(DI->Imm), DI->MemTy);
+    if (Err.Active)
+      goto fast_done;
+    RPCC_NEXT();
+  RPCC_CASE(ScalarLoadFrame):
+    RPCC_TALLY_LOAD();
+    R[DI->Result] =
+        loadMem(FrameBase + static_cast<uint64_t>(DI->Imm), DI->MemTy);
+    if (Err.Active)
+      goto fast_done;
+    RPCC_NEXT();
+  RPCC_CASE(ScalarStoreAbs):
+    RPCC_TALLY_STORE();
+    storeMem(static_cast<uint64_t>(DI->Imm), DI->MemTy, R[DI->A]);
+    if (Err.Active)
+      goto fast_done;
+    RPCC_NEXT();
+  RPCC_CASE(ScalarStoreFrame):
+    RPCC_TALLY_STORE();
+    storeMem(FrameBase + static_cast<uint64_t>(DI->Imm), DI->MemTy, R[DI->A]);
+    if (Err.Active)
+      goto fast_done;
+    RPCC_NEXT();
+  RPCC_CASE(PtrLoad):
+    RPCC_TALLY_LOAD();
+    R[DI->Result] = loadMem(R[DI->A], DI->MemTy);
+    if (Err.Active)
+      goto fast_done;
+    RPCC_NEXT();
+  RPCC_CASE(PtrStore):
+    RPCC_TALLY_STORE();
+    storeMem(R[DI->A], DI->MemTy, R[DI->B]);
+    if (Err.Active)
+      goto fast_done;
+    RPCC_NEXT();
+  RPCC_CASE(Call): {
+    const size_t AB = ArgArena.size();
+    const Reg *AR = DF.ArgPool.data() + DI->T1;
+    const size_t N = DI->A;
+    for (size_t I = 0; I != N; ++I)
+      ArgArena.push_back(R[AR[I]]);
+    RPCC_FLUSH_COUNTERS();
+    const uint64_t V = callDecoded<Profiled>(DI->T0, AB, N);
+    RPCC_RELOAD_COUNTERS();
+    ArgArena.resize(AB);
+    R = RegArena.data() + RegBase; // the callee may have grown the arena
+    if (Err.Active)
+      goto fast_done;
+    if (DI->Result != NoReg)
+      R[DI->Result] = V;
+    RPCC_NEXT();
+  }
+  RPCC_CASE(CallIndirect): {
+    const uint64_t Target = R[DI->A];
+    if (Target < InterpFuncBase ||
+        (Target & ~InterpFuncBase) >= M.numFunctions()) {
+      Err.raise("indirect call through a non-function value");
+      goto fast_done;
+    }
+    const size_t AB = ArgArena.size();
+    const Reg *AR = DF.ArgPool.data() + DI->T0;
+    const size_t N = DI->T1;
+    for (size_t I = 0; I != N; ++I)
+      ArgArena.push_back(R[AR[I]]);
+    RPCC_FLUSH_COUNTERS();
+    const uint64_t V = callDecoded<Profiled>(
+        static_cast<FuncId>(Target & ~InterpFuncBase), AB, N);
+    RPCC_RELOAD_COUNTERS();
+    ArgArena.resize(AB);
+    R = RegArena.data() + RegBase;
+    if (Err.Active)
+      goto fast_done;
+    if (DI->Result != NoReg)
+      R[DI->Result] = V;
+    RPCC_NEXT();
+  }
+  RPCC_CASE(Br):
+    PC = R[DI->A] ? DI->T0 : DI->T1;
+    RPCC_JUMP();
+  RPCC_CASE(Jmp):
+    PC = DI->T0;
+    RPCC_JUMP();
+  RPCC_CASE(RetVal):
+    RetVal = R[DI->A];
+    goto fast_done;
+  RPCC_CASE(RetVoid):
+    goto fast_done;
+  RPCC_CASE(Fault):
+    Err.raise(DF.FaultMsgs[static_cast<size_t>(DI->Imm)]);
+    goto fast_done;
+
+// Fused compare-and-branch: the compare's result register is still written
+// (it may have other readers), then the Br is counted and taken directly.
+#define RPCC_CMP_BR(CMP)                                                       \
+  do {                                                                         \
+    const uint64_t C = (CMP);                                                  \
+    R[DI->Result] = C;                                                         \
+    RPCC_COUNT_STEP(Opcode::Br);                                               \
+    PC = C ? DI->T0 : DI->T1;                                                  \
+  } while (0)
+
+  RPCC_CASE(CmpEqBr):
+    RPCC_CMP_BR(R[DI->A] == R[DI->B]);
+    RPCC_JUMP();
+  RPCC_CASE(CmpNeBr):
+    RPCC_CMP_BR(R[DI->A] != R[DI->B]);
+    RPCC_JUMP();
+  RPCC_CASE(CmpLtBr):
+    RPCC_CMP_BR(asI(R[DI->A]) < asI(R[DI->B]));
+    RPCC_JUMP();
+  RPCC_CASE(CmpLeBr):
+    RPCC_CMP_BR(asI(R[DI->A]) <= asI(R[DI->B]));
+    RPCC_JUMP();
+  RPCC_CASE(CmpGtBr):
+    RPCC_CMP_BR(asI(R[DI->A]) > asI(R[DI->B]));
+    RPCC_JUMP();
+  RPCC_CASE(CmpGeBr):
+    RPCC_CMP_BR(asI(R[DI->A]) >= asI(R[DI->B]));
+    RPCC_JUMP();
+  RPCC_CASE(FCmpEqBr):
+    RPCC_CMP_BR(asF(R[DI->A]) == asF(R[DI->B]));
+    RPCC_JUMP();
+  RPCC_CASE(FCmpNeBr):
+    RPCC_CMP_BR(asF(R[DI->A]) != asF(R[DI->B]));
+    RPCC_JUMP();
+  RPCC_CASE(FCmpLtBr):
+    RPCC_CMP_BR(asF(R[DI->A]) < asF(R[DI->B]));
+    RPCC_JUMP();
+  RPCC_CASE(FCmpLeBr):
+    RPCC_CMP_BR(asF(R[DI->A]) <= asF(R[DI->B]));
+    RPCC_JUMP();
+  RPCC_CASE(FCmpGtBr):
+    RPCC_CMP_BR(asF(R[DI->A]) > asF(R[DI->B]));
+    RPCC_JUMP();
+  RPCC_CASE(FCmpGeBr):
+    RPCC_CMP_BR(asF(R[DI->A]) >= asF(R[DI->B]));
+    RPCC_JUMP();
+
+// Fused constant-load-and-consume: the constant's register is written first
+// (later readers and the both-operands case behave exactly as unfused),
+// then the consumer is counted and executed over the register file.
+#define RPCC_LOADI_THEN(OPC, EXPR)                                             \
+  do {                                                                         \
+    R[DI->T0] = static_cast<uint64_t>(DI->Imm);                                \
+    RPCC_COUNT_STEP(OPC);                                                      \
+    R[DI->Result] = (EXPR);                                                    \
+  } while (0)
+
+  RPCC_CASE(LoadIAdd):
+    RPCC_LOADI_THEN(Opcode::Add, wrapAdd(R[DI->A], R[DI->B]));
+    RPCC_NEXT2();
+  RPCC_CASE(LoadIMul):
+    RPCC_LOADI_THEN(Opcode::Mul, wrapMul(R[DI->A], R[DI->B]));
+    RPCC_NEXT2();
+  RPCC_CASE(LoadISub):
+    RPCC_LOADI_THEN(Opcode::Sub, wrapSub(R[DI->A], R[DI->B]));
+    RPCC_NEXT2();
+  RPCC_CASE(LoadICmpEq):
+    RPCC_LOADI_THEN(Opcode::CmpEq, uint64_t(R[DI->A] == R[DI->B]));
+    RPCC_NEXT2();
+  RPCC_CASE(LoadICmpNe):
+    RPCC_LOADI_THEN(Opcode::CmpNe, uint64_t(R[DI->A] != R[DI->B]));
+    RPCC_NEXT2();
+  RPCC_CASE(LoadICmpLt):
+    RPCC_LOADI_THEN(Opcode::CmpLt, uint64_t(asI(R[DI->A]) < asI(R[DI->B])));
+    RPCC_NEXT2();
+
+// Fused address-arithmetic chain: first Add/Mul writes its register, then
+// the outer Add (operands T1 and the fresh result, read back through R so
+// register aliasing behaves exactly as unfused) is counted and executed.
+#define RPCC_BIN_THEN_ADD(EXPR)                                                \
+  do {                                                                         \
+    R[DI->T0] = (EXPR);                                                        \
+    RPCC_COUNT_STEP(Opcode::Add);                                              \
+    R[DI->Result] = wrapAdd(R[DI->T1], R[DI->T0]);                             \
+  } while (0)
+
+  RPCC_CASE(AddAdd):
+    RPCC_BIN_THEN_ADD(wrapAdd(R[DI->A], R[DI->B]));
+    RPCC_NEXT2();
+  RPCC_CASE(MulAdd):
+    RPCC_BIN_THEN_ADD(wrapMul(R[DI->A], R[DI->B]));
+    RPCC_NEXT2();
+
+// Fused address-then-load: the Add's register is written before the load
+// so a faulting load leaves the same (unobservable) register state as the
+// unfused pair, then the pointer load is counted and executed.
+#define RPCC_ADD_THEN_LOAD(OPC)                                                \
+  do {                                                                         \
+    const uint64_t Addr = wrapAdd(R[DI->A], R[DI->B]);                         \
+    R[DI->T0] = Addr;                                                          \
+    RPCC_COUNT_STEP_LOAD(OPC);                                                 \
+    R[DI->Result] = loadMem(Addr, DI->MemTy);                                  \
+    if (Err.Active)                                                            \
+      goto fast_done;                                                          \
+  } while (0)
+
+  RPCC_CASE(AddLoad):
+    RPCC_ADD_THEN_LOAD(Opcode::Load);
+    RPCC_NEXT2();
+  RPCC_CASE(AddConstLoad):
+    RPCC_ADD_THEN_LOAD(Opcode::ConstLoad);
+    RPCC_NEXT2();
+  RPCC_CASE(AddStore): {
+    // As AddLoad, but the stored value rides in Result; it is read after
+    // the address register is written, exactly as the unfused pair would.
+    const uint64_t Addr = wrapAdd(R[DI->A], R[DI->B]);
+    R[DI->T0] = Addr;
+    RPCC_COUNT_STEP_STORE(Opcode::Store);
+    storeMem(Addr, DI->MemTy, R[DI->Result]);
+    if (Err.Active)
+      goto fast_done;
+    RPCC_NEXT2();
+  }
+
+// Fused multiply-accumulate: the product's register is written first, then
+// the outer FAdd/FSub is counted and executed reading back through R, with
+// the operand order the variant recorded at decode time.
+#define RPCC_FMUL_THEN(OPC, EXPR)                                              \
+  do {                                                                         \
+    R[DI->T0] = fromF(asF(R[DI->A]) * asF(R[DI->B]));                          \
+    RPCC_COUNT_STEP(OPC);                                                      \
+    R[DI->Result] = fromF(EXPR);                                               \
+  } while (0)
+
+  RPCC_CASE(FMulFAddA):
+    RPCC_FMUL_THEN(Opcode::FAdd, asF(R[DI->T0]) + asF(R[DI->T1]));
+    RPCC_NEXT2();
+  RPCC_CASE(FMulFAddB):
+    RPCC_FMUL_THEN(Opcode::FAdd, asF(R[DI->T1]) + asF(R[DI->T0]));
+    RPCC_NEXT2();
+  RPCC_CASE(FMulFSubA):
+    RPCC_FMUL_THEN(Opcode::FSub, asF(R[DI->T0]) - asF(R[DI->T1]));
+    RPCC_NEXT2();
+  RPCC_CASE(FMulFSubB):
+    RPCC_FMUL_THEN(Opcode::FSub, asF(R[DI->T1]) - asF(R[DI->T0]));
+    RPCC_NEXT2();
+  RPCC_CASE(LoadIJmp):
+    R[DI->Result] = static_cast<uint64_t>(DI->Imm);
+    RPCC_COUNT_STEP(Opcode::Jmp);
+    PC = DI->T0;
+    RPCC_JUMP();
+  RPCC_CASE(CopyJmp):
+    R[DI->Result] = R[DI->A];
+    RPCC_COUNT_STEP(Opcode::Jmp);
+    PC = DI->T0;
+    RPCC_JUMP();
+
+#if !RPCC_INTERP_THREADED
+    case DecodedOp::kNumDecodedOps:
+      assert(false && "sentinel DecodedOp reached the fast engine");
+      goto fast_done;
+    }
+  }
+#endif
+
+fast_done:
+  RPCC_FLUSH_COUNTERS();
+
+#undef RPCC_STEP_PROLOGUE
+#undef RPCC_COUNT_STEP
+#undef RPCC_COUNT_STEP_LOAD
+#undef RPCC_COUNT_STEP_STORE
+#undef RPCC_TALLY_LOAD
+#undef RPCC_TALLY_STORE
+#undef RPCC_CMP_BR
+#undef RPCC_LOADI_THEN
+#undef RPCC_BIN_THEN_ADD
+#undef RPCC_ADD_THEN_LOAD
+#undef RPCC_FMUL_THEN
+#undef RPCC_FLUSH_COUNTERS
+#undef RPCC_RELOAD_COUNTERS
+#undef RPCC_CASE
+#undef RPCC_NEXT
+#undef RPCC_NEXT2
+#undef RPCC_JUMP
+#if RPCC_INTERP_THREADED
+#undef RPCC_DISPATCH
+#endif
+
+  if (Profiled && DF.FrameSize)
+    FrameStack.pop_back();
+  StackMem.resize(FrameBase - InterpStackBase);
+  RegArena.resize(RegBase);
+  return RetVal;
+}

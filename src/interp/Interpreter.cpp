@@ -1,7 +1,15 @@
 //===- interp/Interpreter.cpp ---------------------------------------------===//
+//
+// Shared machine services plus the reference switch engine. The pre-decoded
+// fast path lives in FastEngine.cpp; the two must stay observationally
+// identical step for step (counters, profiles, output bytes, faults), and
+// the engine-parity tests assert it.
+//
+//===----------------------------------------------------------------------===//
 
 #include "interp/Interpreter.h"
 
+#include "interp/Machine.h"
 #include "support/Arith.h"
 #include "support/Format.h"
 
@@ -10,593 +18,518 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
-#include <unordered_map>
 
 using namespace rpcc;
 
-namespace {
+const char *rpcc::interpEngineName(InterpEngine E) {
+  return E == InterpEngine::Switch ? "switch" : "fastpath";
+}
 
-// Address-space layout of the simulated machine.
-constexpr uint64_t GlobalBase = 0x0000'0000'0000'1000ull;
-constexpr uint64_t StackBase = 0x0000'1000'0000'0000ull;
-constexpr uint64_t HeapBase = 0x0000'2000'0000'0000ull;
-constexpr uint64_t FuncBase = 0x7F00'0000'0000'0000ull;
-
-/// Sticky fault record; the first fault wins and unwinds execution through
-/// checked returns (the library builds without exceptions).
-struct Fault {
-  bool Active = false;
-  std::string Message;
-  void raise(const std::string &Msg) {
-    if (Active)
-      return;
-    Active = true;
-    Message = Msg;
+bool rpcc::parseInterpEngine(const std::string &Name, InterpEngine &Out) {
+  if (Name == "switch") {
+    Out = InterpEngine::Switch;
+    return true;
   }
-};
+  if (Name == "fastpath") {
+    Out = InterpEngine::FastPath;
+    return true;
+  }
+  return false;
+}
 
-/// Per-function frame layout: byte offsets of local/spill tags. Spans is
-/// the reverse mapping (ascending start offsets), used by the tag profiler
-/// to resolve a runtime stack address back to the tag that owns it.
-struct FrameLayout {
-  std::unordered_map<TagId, uint32_t> Offsets;
-  std::vector<std::pair<uint32_t, TagId>> Spans;
-  uint32_t Size = 0;
-};
+ExecResult Machine::run() {
+  GlobalLayout GL = computeGlobalLayout(M);
+  Layouts = computeFrameLayouts(M);
+  PerFunc.assign(M.numFunctions(), FunctionCounters());
+  if (Prof)
+    Sink.init(*Prof, M.numFunctions(), M.tags().size());
 
-class Machine {
-public:
-  Machine(const Module &M, const InterpOptions &Opts)
-      : M(M), Opts(Opts), Prof(Opts.Profile) {}
+  // Decode against the layout before its pieces move into machine state;
+  // baked addresses and machine addresses come from the same computation.
+  DecodedModule Decoded;
+  if (Opts.Engine == InterpEngine::FastPath)
+    Decoded = decodeModule(M, GL, Layouts, Prof ? &Sink : nullptr);
 
-  ExecResult run() {
-    layoutGlobals();
-    PerFunc.assign(M.numFunctions(), FunctionCounters());
+  GlobalMem = std::move(GL.Image);
+  GlobalAddr = std::move(GL.AddrOfTag);
+  GlobalSpans = std::move(GL.Spans);
 
-    ExecResult R;
-    FuncId Main = M.lookup("main");
-    if (Main == NoFunc) {
-      R.Error = "no 'main' function";
-      return R;
-    }
-    uint64_t Ret = callFunction(Main, {});
-    R.Counters = Counters;
-    R.PerFunction = std::move(PerFunc);
-    R.Output = std::move(Output);
-    if (Prof)
-      R.Profile.finalize(RawProfile);
-    if (Err.Active) {
-      R.Error = Err.Message;
-      return R;
-    }
-    R.Ok = true;
-    R.ExitCode = static_cast<int64_t>(Ret);
+  ExecResult R;
+  FuncId Main = M.lookup("main");
+  if (Main == NoFunc) {
+    R.Error = "no 'main' function";
     return R;
   }
-
-private:
-  // -- Memory ----------------------------------------------------------------
-  void layoutGlobals() {
-    // Assign each global tag an address, slots aligned to 8 bytes.
-    for (const GlobalInit &G : M.globals()) {
-      const Tag &T = M.tags().tag(G.Tag);
-      uint64_t Addr = GlobalBase + GlobalMem.size();
-      GlobalAddr[G.Tag] = Addr;
-      if (Prof)
-        GlobalSpans.push_back({Addr, G.Tag}); // ascending by construction
-      size_t Sz = std::max<size_t>(T.SizeBytes, 1);
-      size_t Aligned = (Sz + 7) / 8 * 8;
-      size_t Off = GlobalMem.size();
-      GlobalMem.resize(Off + Aligned, 0);
-      if (!G.Bytes.empty())
-        std::memcpy(GlobalMem.data() + Off, G.Bytes.data(),
-                    std::min(G.Bytes.size(), Sz));
-    }
+  uint64_t Ret;
+  if (Opts.Engine == InterpEngine::FastPath) {
+    DM = &Decoded;
+    Ret = runFast(Main);
+  } else {
+    Ret = callFunction(Main, {});
   }
-
-  const FrameLayout &frameLayout(FuncId F) {
-    auto It = Layouts.find(F);
-    if (It != Layouts.end())
-      return It->second;
-    FrameLayout L;
-    for (const Tag &T : M.tags()) {
-      if ((T.Kind != TagKind::Local && T.Kind != TagKind::Spill) ||
-          T.Owner != F)
-        continue;
-      L.Size = (L.Size + 7) / 8 * 8; // every slot 8-aligned
-      L.Offsets[T.Id] = L.Size;
-      L.Spans.push_back({L.Size, T.Id}); // ascending by construction
-      L.Size += std::max<uint32_t>(T.SizeBytes, 1);
-    }
-    L.Size = (L.Size + 7) / 8 * 8;
-    return Layouts.emplace(F, std::move(L)).first->second;
+  R.Counters = Counters;
+  R.PerFunction = std::move(PerFunc);
+  R.Output = std::move(Output);
+  if (Prof)
+    R.Profile.finalize(Sink);
+  if (Err.Active) {
+    R.Error = Err.Message;
+    return R;
   }
+  R.Ok = true;
+  R.ExitCode = static_cast<int64_t>(Ret);
+  return R;
+}
 
-  uint8_t *decode(uint64_t Addr, size_t Len) {
-    if (Addr >= FuncBase) {
-      Err.raise("memory access to a function address");
-      return nullptr;
-    }
-    if (Addr >= HeapBase) {
-      uint64_t Off = Addr - HeapBase;
-      if (Off + Len > HeapMem.size()) {
-        Err.raise("heap access out of bounds at +" + std::to_string(Off));
-        return nullptr;
-      }
-      return HeapMem.data() + Off;
-    }
-    if (Addr >= StackBase) {
-      uint64_t Off = Addr - StackBase;
-      if (Off + Len > StackMem.size()) {
-        Err.raise("stack access out of bounds");
-        return nullptr;
-      }
-      return StackMem.data() + Off;
-    }
-    if (Addr >= GlobalBase) {
-      uint64_t Off = Addr - GlobalBase;
-      if (Off + Len > GlobalMem.size()) {
-        Err.raise("global access out of bounds");
-        return nullptr;
-      }
-      return GlobalMem.data() + Off;
-    }
-    Err.raise("null or invalid pointer dereference (address " +
-              std::to_string(Addr) + ")");
+// -- Memory -------------------------------------------------------------------
+uint8_t *Machine::decodeAddr(uint64_t Addr, size_t Len) {
+  if (Addr >= InterpFuncBase) {
+    Err.raise("memory access to a function address");
     return nullptr;
   }
-
-  uint64_t loadMem(uint64_t Addr, MemType T) {
-    size_t Len = memTypeSize(T);
-    uint8_t *P = decode(Addr, Len);
-    if (!P)
-      return 0;
-    if (T == MemType::I8)
-      return *P;
-    uint64_t V;
-    std::memcpy(&V, P, 8);
-    return V;
+  if (Addr >= InterpHeapBase) {
+    uint64_t Off = Addr - InterpHeapBase;
+    if (Off + Len > HeapMem.size()) {
+      Err.raise("heap access out of bounds at +" + std::to_string(Off));
+      return nullptr;
+    }
+    return HeapMem.data() + Off;
   }
-
-  void storeMem(uint64_t Addr, MemType T, uint64_t V) {
-    size_t Len = memTypeSize(T);
-    uint8_t *P = decode(Addr, Len);
-    if (!P)
-      return;
-    if (T == MemType::I8) {
-      *P = static_cast<uint8_t>(V);
-      return;
+  if (Addr >= InterpStackBase) {
+    uint64_t Off = Addr - InterpStackBase;
+    if (Off + Len > StackMem.size()) {
+      Err.raise("stack access out of bounds");
+      return nullptr;
     }
-    std::memcpy(P, &V, 8);
+    return StackMem.data() + Off;
   }
+  if (Addr >= InterpGlobalBase) {
+    uint64_t Off = Addr - InterpGlobalBase;
+    if (Off + Len > GlobalMem.size()) {
+      Err.raise("global access out of bounds");
+      return nullptr;
+    }
+    return GlobalMem.data() + Off;
+  }
+  Err.raise("null or invalid pointer dereference (address " +
+            std::to_string(Addr) + ")");
+  return nullptr;
+}
 
-  uint64_t tagAddress(TagId T, uint64_t FrameBase) {
-    const Tag &Tg = M.tags().tag(T);
-    switch (Tg.Kind) {
-    case TagKind::Global: {
-      auto It = GlobalAddr.find(T);
-      if (It == GlobalAddr.end()) {
-        Err.raise("scalar reference to unallocated global tag " +
-                  Tg.Name);
-        return 0;
-      }
-      return It->second;
-    }
-    case TagKind::Local:
-    case TagKind::Spill: {
-      auto It = CurLayout->Offsets.find(T);
-      if (It == CurLayout->Offsets.end()) {
-        Err.raise("scalar reference to foreign frame local " + Tg.Name);
-        return 0;
-      }
-      return FrameBase + It->second;
-    }
-    case TagKind::Func:
-      return FuncBase | Tg.Fn;
-    case TagKind::Heap:
-      Err.raise("address of a heap summary tag");
+uint64_t Machine::loadMem(uint64_t Addr, MemType T) {
+  size_t Len = memTypeSize(T);
+  uint8_t *P = decodeAddr(Addr, Len);
+  if (!P)
+    return 0;
+  if (T == MemType::I8)
+    return *P;
+  uint64_t V;
+  std::memcpy(&V, P, 8);
+  return V;
+}
+
+void Machine::storeMem(uint64_t Addr, MemType T, uint64_t V) {
+  size_t Len = memTypeSize(T);
+  uint8_t *P = decodeAddr(Addr, Len);
+  if (!P)
+    return;
+  if (T == MemType::I8) {
+    *P = static_cast<uint8_t>(V);
+    return;
+  }
+  std::memcpy(P, &V, 8);
+}
+
+uint64_t Machine::tagAddress(TagId T, uint64_t FrameBase) {
+  const Tag &Tg = M.tags().tag(T);
+  switch (Tg.Kind) {
+  case TagKind::Global: {
+    uint64_t Addr = T < GlobalAddr.size() ? GlobalAddr[T] : GlobalLayout::NoAddr;
+    if (Addr == GlobalLayout::NoAddr) {
+      Err.raise("scalar reference to unallocated global tag " + Tg.Name);
       return 0;
     }
+    return Addr;
+  }
+  case TagKind::Local:
+  case TagKind::Spill: {
+    const uint32_t *Off = CurLayout->offsetOf(T);
+    if (!Off) {
+      Err.raise("scalar reference to foreign frame local " + Tg.Name);
+      return 0;
+    }
+    return FrameBase + *Off;
+  }
+  case TagKind::Func:
+    return InterpFuncBase | Tg.Fn;
+  case TagKind::Heap:
+    Err.raise("address of a heap summary tag");
     return 0;
   }
+  return 0;
+}
 
-  // -- Tag profiling -----------------------------------------------------------
-  /// Maps a runtime address back to the tag that owns it: globals via the
-  /// sorted interval table, stack addresses via the live frame stack plus
-  /// the owning frame's span table. Heap, function, and unresolvable
-  /// addresses fall into the NoTag summary bucket.
-  TagId resolveAddress(uint64_t Addr) const {
-    if (Addr >= HeapBase) // heap and function address ranges
-      return NoTag;
-    if (Addr >= StackBase) {
-      auto It = std::upper_bound(
-          FrameStack.begin(), FrameStack.end(), Addr,
-          [](uint64_t A, const std::pair<uint64_t, FuncId> &F) {
-            return A < F.first;
-          });
-      if (It == FrameStack.begin())
-        return NoTag;
-      --It;
-      auto LIt = Layouts.find(It->second);
-      if (LIt == Layouts.end() || LIt->second.Spans.empty())
-        return NoTag;
-      const auto &Spans = LIt->second.Spans;
-      uint32_t Off = static_cast<uint32_t>(Addr - It->first);
-      auto SIt = std::upper_bound(
-          Spans.begin(), Spans.end(), Off,
-          [](uint32_t O, const std::pair<uint32_t, TagId> &S) {
-            return O < S.first;
-          });
-      if (SIt == Spans.begin())
-        return NoTag;
-      return std::prev(SIt)->second;
-    }
-    if (Addr >= GlobalBase) {
-      auto It = std::upper_bound(
-          GlobalSpans.begin(), GlobalSpans.end(), Addr,
-          [](uint64_t A, const std::pair<uint64_t, TagId> &S) {
-            return A < S.first;
-          });
-      if (It == GlobalSpans.begin())
-        return NoTag;
-      return std::prev(It)->second;
-    }
+// -- Tag profiling ------------------------------------------------------------
+TagId Machine::resolveAddress(uint64_t Addr) const {
+  if (Addr >= InterpHeapBase) // heap and function address ranges
     return NoTag;
+  if (Addr >= InterpStackBase) {
+    auto It = std::upper_bound(
+        FrameStack.begin(), FrameStack.end(), Addr,
+        [](uint64_t A, const std::pair<uint64_t, FuncId> &F) {
+          return A < F.first;
+        });
+    if (It == FrameStack.begin())
+      return NoTag;
+    --It;
+    const FrameLayout &L = Layouts[It->second];
+    if (L.Spans.empty())
+      return NoTag;
+    uint32_t Off = static_cast<uint32_t>(Addr - It->first);
+    auto SIt = std::upper_bound(
+        L.Spans.begin(), L.Spans.end(), Off,
+        [](uint32_t O, const std::pair<uint32_t, TagId> &S) {
+          return O < S.first;
+        });
+    if (SIt == L.Spans.begin())
+      return NoTag;
+    return std::prev(SIt)->second;
   }
+  if (Addr >= InterpGlobalBase) {
+    auto It = std::upper_bound(
+        GlobalSpans.begin(), GlobalSpans.end(), Addr,
+        [](uint64_t A, const std::pair<uint64_t, TagId> &S) {
+          return A < S.first;
+        });
+    if (It == GlobalSpans.begin())
+      return NoTag;
+    return std::prev(It)->second;
+  }
+  return NoTag;
+}
 
-  void profileMemOp(const Function &F, BlockId BB, const Instruction &I,
-                    const std::vector<uint64_t> &Regs) {
-    TagId T = (I.Op == Opcode::ScalarLoad || I.Op == Opcode::ScalarStore)
-                  ? I.Tag
-                  : resolveAddress(Regs[I.Ops[0]]);
-    const std::vector<int32_t> &LoopMap = Prof->LoopOfBlock[F.id()];
-    int32_t L = BB < LoopMap.size() ? LoopMap[BB] : -1;
-    auto &Slot = RawProfile[TagProfile::key(F.id(), L, T)];
-    if (isStoreOp(I.Op))
-      ++Slot.second;
-    else
-      ++Slot.first;
-  }
+void Machine::profileMemOp(const Function &F, BlockId BB, const Instruction &I,
+                           const std::vector<uint64_t> &Regs) {
+  TagId T = (I.Op == Opcode::ScalarLoad || I.Op == Opcode::ScalarStore)
+                ? I.Tag
+                : resolveAddress(Regs[I.Ops[0]]);
+  size_t Slot = Sink.slot(Sink.pairOf(F.id(), BB), T);
+  if (isStoreOp(I.Op))
+    Sink.countStore(Slot);
+  else
+    Sink.countLoad(Slot);
+}
 
-  // -- Value helpers -----------------------------------------------------------
-  static double asF(uint64_t V) {
-    double D;
-    std::memcpy(&D, &V, 8);
-    return D;
-  }
-  static uint64_t fromF(double D) {
-    uint64_t V;
-    std::memcpy(&V, &D, 8);
-    return V;
-  }
-  static int64_t asI(uint64_t V) { return static_cast<int64_t>(V); }
-
-  // -- Execution ----------------------------------------------------------------
-  uint64_t callFunction(FuncId FId, const std::vector<uint64_t> &Args) {
-    if (Err.Active)
-      return 0;
-    if (++CallDepth > Opts.MaxCallDepth) {
-      Err.raise("call depth limit exceeded (runaway recursion?)");
-      --CallDepth;
-      return 0;
-    }
-    const Function *F = M.function(FId);
-    uint64_t Result =
-        F->isBuiltin() ? callBuiltin(*F, Args) : executeBody(*F, Args);
+// -- Calls and builtins -------------------------------------------------------
+uint64_t Machine::callFunction(FuncId FId, const std::vector<uint64_t> &Args) {
+  if (Err.Active)
+    return 0;
+  if (++CallDepth > Opts.MaxCallDepth) {
+    Err.raise("call depth limit exceeded (runaway recursion?)");
     --CallDepth;
-    return Result;
+    return 0;
   }
+  const Function *F = M.function(FId);
+  uint64_t Result = F->isBuiltin()
+                        ? callBuiltin(F->builtin(), Args.data(), Args.size())
+                        : executeBody(*F, Args);
+  --CallDepth;
+  return Result;
+}
 
-  uint64_t callBuiltin(const Function &F, const std::vector<uint64_t> &Args) {
-    switch (F.builtin()) {
-    case BuiltinKind::Malloc: {
-      uint64_t Size = Args[0];
-      if (HeapMem.size() + Size > Opts.HeapLimit) {
-        Err.raise("heap limit exceeded");
-        return 0;
-      }
-      uint64_t Addr = HeapBase + HeapMem.size();
-      HeapMem.resize(HeapMem.size() + (Size + 7) / 8 * 8, 0);
-      return Addr;
-    }
-    case BuiltinKind::Free:
-      return 0; // bump allocator: free is a no-op
-    case BuiltinKind::PrintInt:
-      appendOutput(std::to_string(asI(Args[0])));
-      return 0;
-    case BuiltinKind::PrintChar:
-      appendOutput(std::string(1, static_cast<char>(Args[0])));
-      return 0;
-    case BuiltinKind::PrintFloat:
-      appendOutput(fixed(asF(Args[0]), 6));
-      return 0;
-    case BuiltinKind::PrintStr: {
-      uint64_t P = Args[0];
-      std::string S;
-      for (;;) {
-        uint8_t *B = decode(P++, 1);
-        if (!B || !*B)
-          break;
-        S.push_back(static_cast<char>(*B));
-        if (S.size() > (1 << 20)) {
-          Err.raise("unterminated string passed to print_str");
-          break;
-        }
-      }
-      appendOutput(S);
+uint64_t Machine::callBuiltin(BuiltinKind K, const uint64_t *Args, size_t N) {
+  (void)N; // arity is verifier-checked; builtins index their fixed params
+  switch (K) {
+  case BuiltinKind::Malloc: {
+    uint64_t Size = Args[0];
+    if (HeapMem.size() + Size > Opts.HeapLimit) {
+      Err.raise("heap limit exceeded");
       return 0;
     }
-    case BuiltinKind::Sqrt:
-      return fromF(std::sqrt(asF(Args[0])));
-    case BuiltinKind::Sin:
-      return fromF(std::sin(asF(Args[0])));
-    case BuiltinKind::Cos:
-      return fromF(std::cos(asF(Args[0])));
-    case BuiltinKind::Pow:
-      return fromF(std::pow(asF(Args[0]), asF(Args[1])));
-    case BuiltinKind::None:
+    uint64_t Addr = InterpHeapBase + HeapMem.size();
+    HeapMem.resize(HeapMem.size() + (Size + 7) / 8 * 8, 0);
+    return Addr;
+  }
+  case BuiltinKind::Free:
+    return 0; // bump allocator: free is a no-op
+  case BuiltinKind::PrintInt:
+    appendOutput(std::to_string(asI(Args[0])));
+    return 0;
+  case BuiltinKind::PrintChar:
+    appendOutput(std::string(1, static_cast<char>(Args[0])));
+    return 0;
+  case BuiltinKind::PrintFloat:
+    appendOutput(fixed(asF(Args[0]), 6));
+    return 0;
+  case BuiltinKind::PrintStr: {
+    uint64_t P = Args[0];
+    std::string S;
+    for (;;) {
+      uint8_t *B = decodeAddr(P++, 1);
+      if (!B || !*B)
+        break;
+      S.push_back(static_cast<char>(*B));
+      if (S.size() > (1 << 20)) {
+        Err.raise("unterminated string passed to print_str");
+        break;
+      }
+    }
+    appendOutput(S);
+    return 0;
+  }
+  case BuiltinKind::Sqrt:
+    return fromF(std::sqrt(asF(Args[0])));
+  case BuiltinKind::Sin:
+    return fromF(std::sin(asF(Args[0])));
+  case BuiltinKind::Cos:
+    return fromF(std::cos(asF(Args[0])));
+  case BuiltinKind::Pow:
+    return fromF(std::pow(asF(Args[0]), asF(Args[1])));
+  case BuiltinKind::None:
+    break;
+  }
+  Err.raise("call to builtin without implementation");
+  return 0;
+}
+
+void Machine::appendOutput(const std::string &S) {
+  if (Output.size() + S.size() > Opts.OutputLimit) {
+    Err.raise("output limit exceeded");
+    return;
+  }
+  Output += S;
+}
+
+// -- Reference switch engine --------------------------------------------------
+uint64_t Machine::executeBody(const Function &F,
+                              const std::vector<uint64_t> &Args) {
+  const FrameLayout &Layout = Layouts[F.id()];
+  const FrameLayout *SavedLayout = CurLayout;
+  CurLayout = &Layout;
+
+  uint64_t FrameBase = InterpStackBase + StackMem.size();
+  StackMem.resize(StackMem.size() + Layout.Size, 0);
+  // Zero-sized frames own no stack bytes: keeping them off the frame
+  // stack keeps its bases strictly increasing for binary search.
+  if (Prof && Layout.Size)
+    FrameStack.push_back({FrameBase, F.id()});
+
+  std::vector<uint64_t> Regs(F.numRegs(), 0);
+  for (size_t I = 0; I != Args.size() && I != F.paramRegs().size(); ++I)
+    Regs[F.paramRegs()[I]] = Args[I];
+
+  uint64_t RetVal = 0;
+  BlockId BB = 0;
+  size_t PC = 0;
+  while (!Err.Active) {
+    if (++Counters.Total > Opts.MaxSteps) {
+      Err.raise("step limit exceeded (infinite loop?)");
       break;
     }
-    Err.raise("call to builtin without implementation");
-    return 0;
-  }
-
-  void appendOutput(const std::string &S) {
-    if (Output.size() + S.size() > Opts.OutputLimit) {
-      Err.raise("output limit exceeded");
-      return;
+    const BasicBlock *Blk = F.block(BB);
+    assert(PC < Blk->size() && "fell off the end of a block");
+    const Instruction &I = *Blk->insts()[PC];
+    ++Counters.ByOpcode[static_cast<size_t>(I.Op)];
+    FunctionCounters &FC = PerFunc[F.id()];
+    ++FC.Total;
+    if (isLoadOp(I.Op)) {
+      ++Counters.Loads;
+      ++FC.Loads;
     }
-    Output += S;
-  }
-
-  uint64_t executeBody(const Function &F, const std::vector<uint64_t> &Args) {
-    const FrameLayout &Layout = frameLayout(F.id());
-    const FrameLayout *SavedLayout = CurLayout;
-    CurLayout = &Layout;
-
-    uint64_t FrameBase = StackBase + StackMem.size();
-    StackMem.resize(StackMem.size() + Layout.Size, 0);
-    // Zero-sized frames own no stack bytes: keeping them off the frame
-    // stack keeps its bases strictly increasing for binary search.
-    if (Prof && Layout.Size)
-      FrameStack.push_back({FrameBase, F.id()});
-
-    std::vector<uint64_t> Regs(F.numRegs(), 0);
-    for (size_t I = 0; I != Args.size() && I != F.paramRegs().size(); ++I)
-      Regs[F.paramRegs()[I]] = Args[I];
-
-    uint64_t RetVal = 0;
-    BlockId BB = 0;
-    size_t PC = 0;
-    while (!Err.Active) {
-      if (++Counters.Total > Opts.MaxSteps) {
-        Err.raise("step limit exceeded (infinite loop?)");
-        break;
-      }
-      const BasicBlock *Blk = F.block(BB);
-      assert(PC < Blk->size() && "fell off the end of a block");
-      const Instruction &I = *Blk->insts()[PC];
-      ++Counters.ByOpcode[static_cast<size_t>(I.Op)];
-      FunctionCounters &FC = PerFunc[F.id()];
-      ++FC.Total;
-      if (isLoadOp(I.Op)) {
-        ++Counters.Loads;
-        ++FC.Loads;
-      }
-      if (isStoreOp(I.Op)) {
-        ++Counters.Stores;
-        ++FC.Stores;
-      }
-      if (Prof && isMemOp(I.Op))
-        profileMemOp(F, BB, I, Regs);
-
-      switch (I.Op) {
-      case Opcode::Add:
-        Regs[I.Result] = wrapAdd(Regs[I.Ops[0]], Regs[I.Ops[1]]);
-        break;
-      case Opcode::Sub:
-        Regs[I.Result] = wrapSub(Regs[I.Ops[0]], Regs[I.Ops[1]]);
-        break;
-      case Opcode::Mul:
-        Regs[I.Result] = wrapMul(Regs[I.Ops[0]], Regs[I.Ops[1]]);
-        break;
-      case Opcode::Div: {
-        int64_t N = asI(Regs[I.Ops[0]]), D = asI(Regs[I.Ops[1]]);
-        if (divFaults(N, D)) {
-          Err.raise(D == 0 ? "integer division by zero"
-                           : "integer division overflow (INT64_MIN / -1)");
-          break;
-        }
-        Regs[I.Result] = static_cast<uint64_t>(sdiv(N, D));
-        break;
-      }
-      case Opcode::Rem: {
-        int64_t N = asI(Regs[I.Ops[0]]), D = asI(Regs[I.Ops[1]]);
-        if (D == 0) {
-          Err.raise("integer remainder by zero");
-          break;
-        }
-        Regs[I.Result] = static_cast<uint64_t>(srem(N, D));
-        break;
-      }
-      case Opcode::And: Regs[I.Result] = Regs[I.Ops[0]] & Regs[I.Ops[1]]; break;
-      case Opcode::Or: Regs[I.Result] = Regs[I.Ops[0]] | Regs[I.Ops[1]]; break;
-      case Opcode::Xor: Regs[I.Result] = Regs[I.Ops[0]] ^ Regs[I.Ops[1]]; break;
-      case Opcode::Shl:
-        Regs[I.Result] = shiftLeft(Regs[I.Ops[0]], Regs[I.Ops[1]]);
-        break;
-      case Opcode::Shr:
-        Regs[I.Result] = shiftRightArith(Regs[I.Ops[0]], Regs[I.Ops[1]]);
-        break;
-      case Opcode::CmpEq:
-        Regs[I.Result] = Regs[I.Ops[0]] == Regs[I.Ops[1]];
-        break;
-      case Opcode::CmpNe:
-        Regs[I.Result] = Regs[I.Ops[0]] != Regs[I.Ops[1]];
-        break;
-      case Opcode::CmpLt:
-        Regs[I.Result] = asI(Regs[I.Ops[0]]) < asI(Regs[I.Ops[1]]);
-        break;
-      case Opcode::CmpLe:
-        Regs[I.Result] = asI(Regs[I.Ops[0]]) <= asI(Regs[I.Ops[1]]);
-        break;
-      case Opcode::CmpGt:
-        Regs[I.Result] = asI(Regs[I.Ops[0]]) > asI(Regs[I.Ops[1]]);
-        break;
-      case Opcode::CmpGe:
-        Regs[I.Result] = asI(Regs[I.Ops[0]]) >= asI(Regs[I.Ops[1]]);
-        break;
-      case Opcode::FAdd:
-        Regs[I.Result] = fromF(asF(Regs[I.Ops[0]]) + asF(Regs[I.Ops[1]]));
-        break;
-      case Opcode::FSub:
-        Regs[I.Result] = fromF(asF(Regs[I.Ops[0]]) - asF(Regs[I.Ops[1]]));
-        break;
-      case Opcode::FMul:
-        Regs[I.Result] = fromF(asF(Regs[I.Ops[0]]) * asF(Regs[I.Ops[1]]));
-        break;
-      case Opcode::FDiv:
-        Regs[I.Result] = fromF(asF(Regs[I.Ops[0]]) / asF(Regs[I.Ops[1]]));
-        break;
-      case Opcode::FCmpEq:
-        Regs[I.Result] = asF(Regs[I.Ops[0]]) == asF(Regs[I.Ops[1]]);
-        break;
-      case Opcode::FCmpNe:
-        Regs[I.Result] = asF(Regs[I.Ops[0]]) != asF(Regs[I.Ops[1]]);
-        break;
-      case Opcode::FCmpLt:
-        Regs[I.Result] = asF(Regs[I.Ops[0]]) < asF(Regs[I.Ops[1]]);
-        break;
-      case Opcode::FCmpLe:
-        Regs[I.Result] = asF(Regs[I.Ops[0]]) <= asF(Regs[I.Ops[1]]);
-        break;
-      case Opcode::FCmpGt:
-        Regs[I.Result] = asF(Regs[I.Ops[0]]) > asF(Regs[I.Ops[1]]);
-        break;
-      case Opcode::FCmpGe:
-        Regs[I.Result] = asF(Regs[I.Ops[0]]) >= asF(Regs[I.Ops[1]]);
-        break;
-      case Opcode::Neg:
-        Regs[I.Result] = wrapNeg(Regs[I.Ops[0]]);
-        break;
-      case Opcode::Not:
-        Regs[I.Result] = ~Regs[I.Ops[0]];
-        break;
-      case Opcode::FNeg:
-        Regs[I.Result] = fromF(-asF(Regs[I.Ops[0]]));
-        break;
-      case Opcode::IntToFp:
-        Regs[I.Result] = fromF(static_cast<double>(asI(Regs[I.Ops[0]])));
-        break;
-      case Opcode::FpToInt:
-        Regs[I.Result] = static_cast<uint64_t>(fpToIntSat(asF(Regs[I.Ops[0]])));
-        break;
-      case Opcode::LoadI:
-        Regs[I.Result] = static_cast<uint64_t>(I.Imm);
-        break;
-      case Opcode::LoadF:
-        Regs[I.Result] = fromF(I.FImm);
-        break;
-      case Opcode::Copy:
-        Regs[I.Result] = Regs[I.Ops[0]];
-        break;
-      case Opcode::LoadAddr:
-        Regs[I.Result] =
-            tagAddress(I.Tag, FrameBase) + static_cast<uint64_t>(I.Imm);
-        break;
-      case Opcode::ScalarLoad:
-        Regs[I.Result] = loadMem(tagAddress(I.Tag, FrameBase), I.MemTy);
-        break;
-      case Opcode::ScalarStore:
-        storeMem(tagAddress(I.Tag, FrameBase), I.MemTy, Regs[I.Ops[0]]);
-        break;
-      case Opcode::Load:
-      case Opcode::ConstLoad:
-        Regs[I.Result] = loadMem(Regs[I.Ops[0]], I.MemTy);
-        break;
-      case Opcode::Store:
-        storeMem(Regs[I.Ops[0]], I.MemTy, Regs[I.Ops[1]]);
-        break;
-      case Opcode::Call: {
-        std::vector<uint64_t> Args2;
-        Args2.reserve(I.Ops.size());
-        for (Reg R : I.Ops)
-          Args2.push_back(Regs[R]);
-        uint64_t V = callFunction(I.Callee, Args2);
-        CurLayout = &Layout; // restore after the callee switched layouts
-        if (I.hasResult())
-          Regs[I.Result] = V;
-        break;
-      }
-      case Opcode::CallIndirect: {
-        uint64_t Target = Regs[I.Ops[0]];
-        if (Target < FuncBase || (Target & ~FuncBase) >= M.numFunctions()) {
-          Err.raise("indirect call through a non-function value");
-          break;
-        }
-        std::vector<uint64_t> Args2;
-        for (size_t A = 1; A != I.Ops.size(); ++A)
-          Args2.push_back(Regs[I.Ops[A]]);
-        uint64_t V =
-            callFunction(static_cast<FuncId>(Target & ~FuncBase), Args2);
-        CurLayout = &Layout;
-        if (I.hasResult())
-          Regs[I.Result] = V;
-        break;
-      }
-      case Opcode::Br:
-        BB = Regs[I.Ops[0]] ? I.Target0 : I.Target1;
-        PC = 0;
-        continue;
-      case Opcode::Jmp:
-        BB = I.Target0;
-        PC = 0;
-        continue;
-      case Opcode::Ret:
-        if (!I.Ops.empty())
-          RetVal = Regs[I.Ops[0]];
-        if (Prof && Layout.Size)
-          FrameStack.pop_back();
-        StackMem.resize(FrameBase - StackBase);
-        CurLayout = SavedLayout;
-        return RetVal;
-      case Opcode::Phi:
-        Err.raise("phi reached the interpreter (SSA not destructed)");
-        break;
-      case Opcode::kNumOpcodes:
-        Err.raise("sentinel opcode reached the interpreter");
-        break;
-      }
-      ++PC;
+    if (isStoreOp(I.Op)) {
+      ++Counters.Stores;
+      ++FC.Stores;
     }
+    if (Prof && isMemOp(I.Op))
+      profileMemOp(F, BB, I, Regs);
 
-    if (Prof && Layout.Size)
-      FrameStack.pop_back();
-    StackMem.resize(FrameBase - StackBase);
-    CurLayout = SavedLayout;
-    return RetVal;
+    switch (I.Op) {
+    case Opcode::Add:
+      Regs[I.Result] = wrapAdd(Regs[I.Ops[0]], Regs[I.Ops[1]]);
+      break;
+    case Opcode::Sub:
+      Regs[I.Result] = wrapSub(Regs[I.Ops[0]], Regs[I.Ops[1]]);
+      break;
+    case Opcode::Mul:
+      Regs[I.Result] = wrapMul(Regs[I.Ops[0]], Regs[I.Ops[1]]);
+      break;
+    case Opcode::Div: {
+      int64_t N = asI(Regs[I.Ops[0]]), D = asI(Regs[I.Ops[1]]);
+      if (divFaults(N, D)) {
+        Err.raise(D == 0 ? "integer division by zero"
+                         : "integer division overflow (INT64_MIN / -1)");
+        break;
+      }
+      Regs[I.Result] = static_cast<uint64_t>(sdiv(N, D));
+      break;
+    }
+    case Opcode::Rem: {
+      int64_t N = asI(Regs[I.Ops[0]]), D = asI(Regs[I.Ops[1]]);
+      if (D == 0) {
+        Err.raise("integer remainder by zero");
+        break;
+      }
+      Regs[I.Result] = static_cast<uint64_t>(srem(N, D));
+      break;
+    }
+    case Opcode::And: Regs[I.Result] = Regs[I.Ops[0]] & Regs[I.Ops[1]]; break;
+    case Opcode::Or: Regs[I.Result] = Regs[I.Ops[0]] | Regs[I.Ops[1]]; break;
+    case Opcode::Xor: Regs[I.Result] = Regs[I.Ops[0]] ^ Regs[I.Ops[1]]; break;
+    case Opcode::Shl:
+      Regs[I.Result] = shiftLeft(Regs[I.Ops[0]], Regs[I.Ops[1]]);
+      break;
+    case Opcode::Shr:
+      Regs[I.Result] = shiftRightArith(Regs[I.Ops[0]], Regs[I.Ops[1]]);
+      break;
+    case Opcode::CmpEq:
+      Regs[I.Result] = Regs[I.Ops[0]] == Regs[I.Ops[1]];
+      break;
+    case Opcode::CmpNe:
+      Regs[I.Result] = Regs[I.Ops[0]] != Regs[I.Ops[1]];
+      break;
+    case Opcode::CmpLt:
+      Regs[I.Result] = asI(Regs[I.Ops[0]]) < asI(Regs[I.Ops[1]]);
+      break;
+    case Opcode::CmpLe:
+      Regs[I.Result] = asI(Regs[I.Ops[0]]) <= asI(Regs[I.Ops[1]]);
+      break;
+    case Opcode::CmpGt:
+      Regs[I.Result] = asI(Regs[I.Ops[0]]) > asI(Regs[I.Ops[1]]);
+      break;
+    case Opcode::CmpGe:
+      Regs[I.Result] = asI(Regs[I.Ops[0]]) >= asI(Regs[I.Ops[1]]);
+      break;
+    case Opcode::FAdd:
+      Regs[I.Result] = fromF(asF(Regs[I.Ops[0]]) + asF(Regs[I.Ops[1]]));
+      break;
+    case Opcode::FSub:
+      Regs[I.Result] = fromF(asF(Regs[I.Ops[0]]) - asF(Regs[I.Ops[1]]));
+      break;
+    case Opcode::FMul:
+      Regs[I.Result] = fromF(asF(Regs[I.Ops[0]]) * asF(Regs[I.Ops[1]]));
+      break;
+    case Opcode::FDiv:
+      Regs[I.Result] = fromF(asF(Regs[I.Ops[0]]) / asF(Regs[I.Ops[1]]));
+      break;
+    case Opcode::FCmpEq:
+      Regs[I.Result] = asF(Regs[I.Ops[0]]) == asF(Regs[I.Ops[1]]);
+      break;
+    case Opcode::FCmpNe:
+      Regs[I.Result] = asF(Regs[I.Ops[0]]) != asF(Regs[I.Ops[1]]);
+      break;
+    case Opcode::FCmpLt:
+      Regs[I.Result] = asF(Regs[I.Ops[0]]) < asF(Regs[I.Ops[1]]);
+      break;
+    case Opcode::FCmpLe:
+      Regs[I.Result] = asF(Regs[I.Ops[0]]) <= asF(Regs[I.Ops[1]]);
+      break;
+    case Opcode::FCmpGt:
+      Regs[I.Result] = asF(Regs[I.Ops[0]]) > asF(Regs[I.Ops[1]]);
+      break;
+    case Opcode::FCmpGe:
+      Regs[I.Result] = asF(Regs[I.Ops[0]]) >= asF(Regs[I.Ops[1]]);
+      break;
+    case Opcode::Neg:
+      Regs[I.Result] = wrapNeg(Regs[I.Ops[0]]);
+      break;
+    case Opcode::Not:
+      Regs[I.Result] = ~Regs[I.Ops[0]];
+      break;
+    case Opcode::FNeg:
+      Regs[I.Result] = fromF(-asF(Regs[I.Ops[0]]));
+      break;
+    case Opcode::IntToFp:
+      Regs[I.Result] = fromF(static_cast<double>(asI(Regs[I.Ops[0]])));
+      break;
+    case Opcode::FpToInt:
+      Regs[I.Result] = static_cast<uint64_t>(fpToIntSat(asF(Regs[I.Ops[0]])));
+      break;
+    case Opcode::LoadI:
+      Regs[I.Result] = static_cast<uint64_t>(I.Imm);
+      break;
+    case Opcode::LoadF:
+      Regs[I.Result] = fromF(I.FImm);
+      break;
+    case Opcode::Copy:
+      Regs[I.Result] = Regs[I.Ops[0]];
+      break;
+    case Opcode::LoadAddr:
+      Regs[I.Result] =
+          tagAddress(I.Tag, FrameBase) + static_cast<uint64_t>(I.Imm);
+      break;
+    case Opcode::ScalarLoad:
+      Regs[I.Result] = loadMem(tagAddress(I.Tag, FrameBase), I.MemTy);
+      break;
+    case Opcode::ScalarStore:
+      storeMem(tagAddress(I.Tag, FrameBase), I.MemTy, Regs[I.Ops[0]]);
+      break;
+    case Opcode::Load:
+    case Opcode::ConstLoad:
+      Regs[I.Result] = loadMem(Regs[I.Ops[0]], I.MemTy);
+      break;
+    case Opcode::Store:
+      storeMem(Regs[I.Ops[0]], I.MemTy, Regs[I.Ops[1]]);
+      break;
+    case Opcode::Call: {
+      std::vector<uint64_t> Args2;
+      Args2.reserve(I.Ops.size());
+      for (Reg R : I.Ops)
+        Args2.push_back(Regs[R]);
+      uint64_t V = callFunction(I.Callee, Args2);
+      CurLayout = &Layout; // restore after the callee switched layouts
+      if (I.hasResult())
+        Regs[I.Result] = V;
+      break;
+    }
+    case Opcode::CallIndirect: {
+      uint64_t Target = Regs[I.Ops[0]];
+      if (Target < InterpFuncBase ||
+          (Target & ~InterpFuncBase) >= M.numFunctions()) {
+        Err.raise("indirect call through a non-function value");
+        break;
+      }
+      std::vector<uint64_t> Args2;
+      for (size_t A = 1; A != I.Ops.size(); ++A)
+        Args2.push_back(Regs[I.Ops[A]]);
+      uint64_t V =
+          callFunction(static_cast<FuncId>(Target & ~InterpFuncBase), Args2);
+      CurLayout = &Layout;
+      if (I.hasResult())
+        Regs[I.Result] = V;
+      break;
+    }
+    case Opcode::Br:
+      BB = Regs[I.Ops[0]] ? I.Target0 : I.Target1;
+      PC = 0;
+      continue;
+    case Opcode::Jmp:
+      BB = I.Target0;
+      PC = 0;
+      continue;
+    case Opcode::Ret:
+      if (!I.Ops.empty())
+        RetVal = Regs[I.Ops[0]];
+      if (Prof && Layout.Size)
+        FrameStack.pop_back();
+      StackMem.resize(FrameBase - InterpStackBase);
+      CurLayout = SavedLayout;
+      return RetVal;
+    case Opcode::Phi:
+      Err.raise("phi reached the interpreter (SSA not destructed)");
+      break;
+    case Opcode::kNumOpcodes:
+      Err.raise("sentinel opcode reached the interpreter");
+      break;
+    }
+    ++PC;
   }
 
-  const Module &M;
-  const InterpOptions &Opts;
-  const ProfileMeta *Prof;
-  Fault Err;
-  OpCounters Counters;
-  std::vector<FunctionCounters> PerFunc;
-  std::string Output;
-
-  std::vector<uint8_t> GlobalMem, StackMem, HeapMem;
-  std::unordered_map<TagId, uint64_t> GlobalAddr;
-  std::unordered_map<FuncId, FrameLayout> Layouts;
-  const FrameLayout *CurLayout = nullptr;
-  size_t CallDepth = 0;
-
-  std::vector<std::pair<uint64_t, TagId>> GlobalSpans;
-  std::vector<std::pair<uint64_t, FuncId>> FrameStack;
-  std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> RawProfile;
-};
-
-} // namespace
+  if (Prof && Layout.Size)
+    FrameStack.pop_back();
+  StackMem.resize(FrameBase - InterpStackBase);
+  CurLayout = SavedLayout;
+  return RetVal;
+}
 
 ExecResult rpcc::interpret(const Module &M, const InterpOptions &Opts) {
   Machine Mch(M, Opts);

@@ -53,6 +53,29 @@ struct FunctionCounters {
   uint64_t Stores = 0;
 };
 
+/// Which execute loop runs the program. Both engines are observationally
+/// identical — same counters, profiles, output bytes, faults, and exit codes
+/// (the engine-parity tests assert it bit for bit). Switch is the readable
+/// reference implementation; FastPath pre-decodes the module into flat
+/// instruction streams and dispatches with zero hash lookups (see
+/// docs/INTERPRETER.md).
+enum class InterpEngine : uint8_t { Switch, FastPath };
+
+/// FastPath everywhere except sanitizer builds (RPCC_SANITIZE), which keep
+/// the reference engine as their default so instrumented runs cover the
+/// plain loop; the parity tests still exercise the fast path explicitly.
+#ifdef RPCC_SANITIZER_BUILD
+inline constexpr InterpEngine DefaultInterpEngine = InterpEngine::Switch;
+#else
+inline constexpr InterpEngine DefaultInterpEngine = InterpEngine::FastPath;
+#endif
+
+/// CLI-stable engine name: "switch" or "fastpath".
+const char *interpEngineName(InterpEngine E);
+
+/// Parses an interpEngineName spelling; returns false on anything else.
+bool parseInterpEngine(const std::string &Name, InterpEngine &Out);
+
 struct InterpOptions {
   uint64_t MaxSteps = uint64_t(1) << 33;
   size_t MaxCallDepth = 1 << 15;
@@ -63,6 +86,8 @@ struct InterpOptions {
   /// Build the meta from the same module being interpreted (it snapshots the
   /// final IL's loop forest). Null keeps the hot path overhead-free.
   const ProfileMeta *Profile = nullptr;
+  /// Execute loop selection; observationally irrelevant by construction.
+  InterpEngine Engine = DefaultInterpEngine;
 };
 
 struct ExecResult {

@@ -1,0 +1,120 @@
+//===- interp/Machine.h - Shared interpreter machine state ------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal header: the Machine owns all execution state shared by the two
+/// engines — simulated memory, counters, profiler state, the fault record.
+/// Interpreter.cpp implements the shared services plus the reference switch
+/// engine; FastEngine.cpp implements the pre-decoded fast path. Both must
+/// stay observationally identical (the parity suite asserts it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_INTERP_MACHINE_H
+#define RPCC_INTERP_MACHINE_H
+
+#include "interp/Decode.h"
+#include "interp/Interpreter.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace rpcc {
+
+/// Sticky fault record; the first fault wins and unwinds execution through
+/// checked returns (the library builds without exceptions).
+struct InterpFault {
+  bool Active = false;
+  std::string Message;
+  void raise(const std::string &Msg) {
+    if (Active)
+      return;
+    Active = true;
+    Message = Msg;
+  }
+};
+
+class Machine {
+public:
+  Machine(const Module &M, const InterpOptions &Opts)
+      : M(M), Opts(Opts), Prof(Opts.Profile) {}
+
+  ExecResult run();
+
+private:
+  // -- Shared services (Interpreter.cpp) --------------------------------------
+  uint8_t *decodeAddr(uint64_t Addr, size_t Len);
+  uint64_t loadMem(uint64_t Addr, MemType T);
+  void storeMem(uint64_t Addr, MemType T, uint64_t V);
+  /// Maps a runtime address back to the tag that owns it (profiler only).
+  TagId resolveAddress(uint64_t Addr) const;
+  uint64_t callBuiltin(BuiltinKind K, const uint64_t *Args, size_t N);
+  void appendOutput(const std::string &S);
+
+  // -- Reference switch engine (Interpreter.cpp) ------------------------------
+  uint64_t tagAddress(TagId T, uint64_t FrameBase);
+  void profileMemOp(const Function &F, BlockId BB, const Instruction &I,
+                    const std::vector<uint64_t> &Regs);
+  uint64_t callFunction(FuncId FId, const std::vector<uint64_t> &Args);
+  uint64_t executeBody(const Function &F, const std::vector<uint64_t> &Args);
+
+  // -- Pre-decoded fast path (FastEngine.cpp) ---------------------------------
+  uint64_t runFast(FuncId Main);
+  template <bool Profiled>
+  uint64_t callDecoded(FuncId FId, size_t ArgBase, size_t NArgs);
+  template <bool Profiled>
+  uint64_t execDecoded(const DecodedFunction &DF, size_t ArgBase,
+                       size_t NArgs);
+  void profileDecoded(const DecodedInst &DI, uint32_t BaseSlot,
+                      const uint64_t *Regs);
+
+  // -- Value helpers -----------------------------------------------------------
+  static double asF(uint64_t V) {
+    double D;
+    std::memcpy(&D, &V, 8);
+    return D;
+  }
+  static uint64_t fromF(double D) {
+    uint64_t V;
+    std::memcpy(&V, &D, 8);
+    return V;
+  }
+  static int64_t asI(uint64_t V) { return static_cast<int64_t>(V); }
+
+  // -- State -------------------------------------------------------------------
+  const Module &M;
+  const InterpOptions &Opts;
+  const ProfileMeta *Prof;
+  InterpFault Err;
+  OpCounters Counters;
+  std::vector<FunctionCounters> PerFunc;
+  std::string Output;
+
+  std::vector<uint8_t> GlobalMem, StackMem, HeapMem;
+  /// TagId-indexed global addresses (GlobalLayout::NoAddr when unallocated).
+  std::vector<uint64_t> GlobalAddr;
+  /// FuncId-indexed frame layouts, precomputed before execution starts.
+  std::vector<FrameLayout> Layouts;
+  const FrameLayout *CurLayout = nullptr;
+  size_t CallDepth = 0;
+
+  /// Ascending (address, tag) intervals of the global segment.
+  std::vector<std::pair<uint64_t, TagId>> GlobalSpans;
+  /// Live frames with nonzero layouts, ascending bases (profiler only).
+  std::vector<std::pair<uint64_t, FuncId>> FrameStack;
+  DenseProfileSink Sink;
+
+  /// Fast path only: the decoded program plus frame-free register/argument
+  /// arenas (grown and shrunk per call, never hashed).
+  const DecodedModule *DM = nullptr;
+  std::vector<uint64_t> RegArena, ArgArena;
+};
+
+} // namespace rpcc
+
+#endif // RPCC_INTERP_MACHINE_H

@@ -53,6 +53,12 @@ public:
   TagTable &tags() { return Tags; }
   const TagTable &tags() const { return Tags; }
 
+  /// Local/Spill tags owned by function \p F, ascending by tag id (see
+  /// TagTable::ownedBy).
+  const std::vector<TagId> &tagsOwnedBy(FuncId F) const {
+    return Tags.ownedBy(F);
+  }
+
   std::vector<GlobalInit> &globals() { return Globals; }
   const std::vector<GlobalInit> &globals() const { return Globals; }
 

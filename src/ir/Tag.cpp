@@ -6,6 +6,12 @@ using namespace rpcc;
 
 TagId TagTable::append(Tag T) {
   T.Id = static_cast<TagId>(Tags.size());
+  if ((T.Kind == TagKind::Local || T.Kind == TagKind::Spill) &&
+      T.Owner != NoFunc) {
+    if (OwnerIndex.size() <= T.Owner)
+      OwnerIndex.resize(T.Owner + 1);
+    OwnerIndex[T.Owner].push_back(T.Id);
+  }
   Tags.push_back(std::move(T));
   return Tags.back().Id;
 }

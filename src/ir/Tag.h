@@ -143,9 +143,20 @@ public:
   std::vector<Tag>::const_iterator begin() const { return Tags.begin(); }
   std::vector<Tag>::const_iterator end() const { return Tags.end(); }
 
+  /// Local/Spill tags owned by function \p F, in ascending tag-id order.
+  /// Maintained as tags are created, so per-frame consumers (the
+  /// interpreter's frame layouts, most prominently) never rescan the whole
+  /// module table.
+  const std::vector<TagId> &ownedBy(FuncId F) const {
+    static const std::vector<TagId> Empty;
+    return F < OwnerIndex.size() ? OwnerIndex[F] : Empty;
+  }
+
 private:
   TagId append(Tag T);
   std::vector<Tag> Tags;
+  /// Per-function list of owned Local/Spill tag ids (see ownedBy).
+  std::vector<std::vector<TagId>> OwnerIndex;
 };
 
 } // namespace rpcc

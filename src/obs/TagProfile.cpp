@@ -62,18 +62,64 @@ uint64_t TagProfile::sumStores() const {
   return N;
 }
 
-void TagProfile::finalize(
-    const std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> &Raw) {
+void DenseProfileSink::init(const ProfileMeta &Meta, size_t NumFunctions,
+                            size_t NumTags) {
+  Stride = static_cast<uint32_t>(NumTags + 1);
+  Pairs.clear();
+  PairOfBlock.assign(NumFunctions, {});
+  NoLoopPair.assign(NumFunctions, 0);
+  static const std::vector<int32_t> NoBlocks;
+  for (FuncId F = 0; F != NumFunctions; ++F) {
+    const std::vector<int32_t> &LoopMap =
+        F < Meta.LoopOfBlock.size() ? Meta.LoopOfBlock[F] : NoBlocks;
+    // Rows are created in (no-loop first, then block order) so the table is
+    // deterministic; every function gets its (F, -1) fallback row even when
+    // all of its blocks sit inside loops, because the interpreter falls back
+    // to it for blocks past the snapshot.
+    NoLoopPair[F] = static_cast<uint32_t>(Pairs.size());
+    Pairs.push_back({F, -1});
+    std::vector<uint32_t> &PB = PairOfBlock[F];
+    PB.resize(LoopMap.size());
+    for (size_t B = 0; B != LoopMap.size(); ++B) {
+      int32_t L = LoopMap[B];
+      if (L < 0) {
+        PB[B] = NoLoopPair[F];
+        continue;
+      }
+      uint32_t Row = ~0u;
+      for (size_t P = NoLoopPair[F] + 1; P != Pairs.size(); ++P)
+        if (Pairs[P].Loop == L) {
+          Row = static_cast<uint32_t>(P);
+          break;
+        }
+      if (Row == ~0u) {
+        Row = static_cast<uint32_t>(Pairs.size());
+        Pairs.push_back({F, L});
+      }
+      PB[B] = Row;
+    }
+  }
+  Loads.assign(Pairs.size() * size_t(Stride), 0);
+  Stores.assign(Pairs.size() * size_t(Stride), 0);
+}
+
+void TagProfile::finalize(const DenseProfileSink &Sink) {
   Counts.clear();
-  Counts.reserve(Raw.size());
-  for (const auto &[K, LS] : Raw) {
-    TagLoopCount C;
-    C.Func = static_cast<FuncId>(K >> 48);
-    C.Loop = static_cast<int32_t>((K >> 32) & 0xFFFF) - 1;
-    C.Tag = static_cast<TagId>(K & 0xFFFFFFFF);
-    C.Loads = LS.first;
-    C.Stores = LS.second;
-    Counts.push_back(C);
+  for (uint32_t P = 0; P != Sink.pairs().size(); ++P) {
+    const DenseProfileSink::Pair &Row = Sink.pairs()[P];
+    for (uint32_t T = 0; T != Sink.stride(); ++T) {
+      size_t S = size_t(P) * Sink.stride() + T;
+      uint64_t L = Sink.loads(S), St = Sink.stores(S);
+      if (!L && !St)
+        continue;
+      TagLoopCount C;
+      C.Func = Row.Func;
+      C.Loop = Row.Loop;
+      C.Tag = T == 0 ? NoTag : static_cast<TagId>(T - 1);
+      C.Loads = L;
+      C.Stores = St;
+      Counts.push_back(C);
+    }
   }
   std::sort(Counts.begin(), Counts.end(),
             [](const TagLoopCount &A, const TagLoopCount &B) {

@@ -74,6 +74,52 @@ struct TagLoopCount {
   uint64_t Stores = 0;
 };
 
+/// The interpreter's profile accumulator: dense load/store counters indexed
+/// by a packed (function, loop) x (tag) slot id, so the hot path pays one
+/// add instead of a hash lookup per memory operation. Slot 0 of every
+/// (function, loop) row is the NoTag summary bucket (heap / unresolvable
+/// addresses); tag T lives at slot T+1.
+class DenseProfileSink {
+public:
+  /// One (function, innermost loop) row of the counter matrix.
+  struct Pair {
+    FuncId Func = NoFunc;
+    int32_t Loop = -1; ///< index into ProfileMeta::Loops; -1 = not in a loop
+  };
+
+  /// Sizes the matrix for \p NumTags tags and builds the block -> row map
+  /// from \p Meta (which must snapshot the same module being interpreted).
+  void init(const ProfileMeta &Meta, size_t NumFunctions, size_t NumTags);
+
+  /// Row of the innermost loop enclosing block \p B of function \p F.
+  uint32_t pairOf(FuncId F, uint32_t B) const {
+    const std::vector<uint32_t> &PB = PairOfBlock[F];
+    return B < PB.size() ? PB[B] : NoLoopPair[F];
+  }
+
+  /// Counter slot of tag \p T within row \p Pair.
+  size_t slot(uint32_t Pair, TagId T) const {
+    return size_t(Pair) * Stride + (T == NoTag ? 0 : size_t(T) + 1);
+  }
+
+  uint32_t stride() const { return Stride; }
+  const std::vector<Pair> &pairs() const { return Pairs; }
+
+  void countLoad(size_t Slot) { ++Loads[Slot]; }
+  void countStore(size_t Slot) { ++Stores[Slot]; }
+
+  uint64_t loads(size_t Slot) const { return Loads[Slot]; }
+  uint64_t stores(size_t Slot) const { return Stores[Slot]; }
+
+private:
+  uint32_t Stride = 1; ///< NumTags + 1 counters per row
+  std::vector<Pair> Pairs;
+  /// [FuncId][BlockId] -> row index; NoLoopPair is the fallback (F, -1) row.
+  std::vector<std::vector<uint32_t>> PairOfBlock;
+  std::vector<uint32_t> NoLoopPair;
+  std::vector<uint64_t> Loads, Stores;
+};
+
 /// The dynamic tag profile of one execution.
 struct TagProfile {
   /// Finalized counts, sorted by (Func, Loop, Tag) so the profile is
@@ -83,18 +129,9 @@ struct TagProfile {
   uint64_t sumLoads() const;
   uint64_t sumStores() const;
 
-  /// Accumulation key used by the interpreter's hot path.
-  static uint64_t key(FuncId F, int32_t Loop, TagId T) {
-    return (static_cast<uint64_t>(F) << 48) |
-           ((static_cast<uint64_t>(Loop + 1) & 0xFFFF) << 32) |
-           static_cast<uint64_t>(T);
-  }
-
-  /// Converts the interpreter's raw accumulator (key -> loads/stores) into
-  /// sorted Counts.
-  void finalize(
-      const std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>>
-          &Raw);
+  /// Converts the interpreter's dense accumulator into sorted Counts,
+  /// dropping all-zero slots.
+  void finalize(const DenseProfileSink &Sink);
 };
 
 /// The hot-tag table: every profiled (function, loop, tag) triple ranked by

@@ -1,0 +1,157 @@
+//===- tests/EngineParityTest.cpp - Switch vs fast-path bit parity --------===//
+//
+// The fast-path engine must be observationally indistinguishable from the
+// reference switch engine: identical counters (total, loads, stores,
+// per-opcode), per-function attribution, tag profiles, output bytes, exit
+// codes, and fault messages — on every suite program, on generated fuzz
+// programs, and on faulting executions, with profiling on and off. Any
+// mismatch here means a decode or superinstruction bug, not noise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "driver/SuiteRunner.h"
+#include "frontend/Lowering.h"
+#include "fuzz/ProgramGenerator.h"
+#include "interp/Interpreter.h"
+#include "obs/TagProfile.h"
+
+#include <gtest/gtest.h>
+
+using namespace rpcc;
+
+namespace {
+
+/// Runs \p M under both engines with the same options and asserts every
+/// observable of the two results is bitwise equal.
+void expectParity(Module &M, const InterpOptions &Base,
+                  const std::string &What) {
+  InterpOptions SwOpts = Base, FpOpts = Base;
+  SwOpts.Engine = InterpEngine::Switch;
+  FpOpts.Engine = InterpEngine::FastPath;
+  ExecResult Sw = interpret(M, SwOpts);
+  ExecResult Fp = interpret(M, FpOpts);
+
+  EXPECT_EQ(Sw.Ok, Fp.Ok) << What;
+  EXPECT_EQ(Sw.Error, Fp.Error) << What;
+  EXPECT_EQ(Sw.ExitCode, Fp.ExitCode) << What;
+  EXPECT_EQ(Sw.Output, Fp.Output) << What;
+
+  EXPECT_EQ(Sw.Counters.Total, Fp.Counters.Total) << What;
+  EXPECT_EQ(Sw.Counters.Loads, Fp.Counters.Loads) << What;
+  EXPECT_EQ(Sw.Counters.Stores, Fp.Counters.Stores) << What;
+  for (size_t Op = 0; Op != NumOpcodes; ++Op)
+    EXPECT_EQ(Sw.Counters.ByOpcode[Op], Fp.Counters.ByOpcode[Op])
+        << What << " opcode " << opcodeName(static_cast<Opcode>(Op));
+
+  ASSERT_EQ(Sw.PerFunction.size(), Fp.PerFunction.size()) << What;
+  for (size_t F = 0; F != Sw.PerFunction.size(); ++F) {
+    EXPECT_EQ(Sw.PerFunction[F].Total, Fp.PerFunction[F].Total)
+        << What << " func " << F;
+    EXPECT_EQ(Sw.PerFunction[F].Loads, Fp.PerFunction[F].Loads)
+        << What << " func " << F;
+    EXPECT_EQ(Sw.PerFunction[F].Stores, Fp.PerFunction[F].Stores)
+        << What << " func " << F;
+  }
+
+  ASSERT_EQ(Sw.Profile.Counts.size(), Fp.Profile.Counts.size()) << What;
+  for (size_t I = 0; I != Sw.Profile.Counts.size(); ++I) {
+    const TagLoopCount &A = Sw.Profile.Counts[I];
+    const TagLoopCount &B = Fp.Profile.Counts[I];
+    EXPECT_EQ(A.Func, B.Func) << What << " profile row " << I;
+    EXPECT_EQ(A.Loop, B.Loop) << What << " profile row " << I;
+    EXPECT_EQ(A.Tag, B.Tag) << What << " profile row " << I;
+    EXPECT_EQ(A.Loads, B.Loads) << What << " profile row " << I;
+    EXPECT_EQ(A.Stores, B.Stores) << What << " profile row " << I;
+  }
+}
+
+/// Parity with and without a profile sink attached (profiled decodes fuse
+/// fewer pairs, so both shapes of the fast path get exercised).
+void expectParityBothProfiles(Module &M, const std::string &What) {
+  expectParity(M, InterpOptions{}, What + " [unprofiled]");
+  ProfileMeta Meta = ProfileMeta::build(M);
+  InterpOptions Prof;
+  Prof.Profile = &Meta;
+  expectParity(M, Prof, What + " [profiled]");
+}
+
+// -- Suite programs -----------------------------------------------------------
+
+class SuiteParity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteParity, FullPipelineProgramMatches) {
+  CompilerConfig Cfg;
+  Cfg.Analysis = AnalysisKind::PointsTo;
+  CompileOutput Out = compileProgram(loadBenchProgram(GetParam()), Cfg);
+  ASSERT_TRUE(Out.Ok) << Out.Errors;
+  expectParityBothProfiles(*Out.M, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, SuiteParity,
+                         ::testing::ValuesIn(benchProgramNames()),
+                         [](const auto &Info) { return Info.param; });
+
+// -- Generated programs -------------------------------------------------------
+
+TEST(EngineParityTest, GeneratedProgramsMatch) {
+  for (uint64_t Seed = 1; Seed <= 50; ++Seed) {
+    Module M;
+    std::string Err;
+    ASSERT_TRUE(compileToIL(generateProgram(Seed), M, Err)) << Err;
+    expectParityBothProfiles(M, "fuzz seed " + std::to_string(Seed));
+  }
+}
+
+// -- Faulting executions ------------------------------------------------------
+
+Module compileOrDie(const std::string &Src) {
+  Module M;
+  std::string Err;
+  EXPECT_TRUE(compileToIL(Src, M, Err)) << Err;
+  return M;
+}
+
+TEST(EngineParityTest, DivisionByZeroFaultMatches) {
+  Module M = compileOrDie("int main() { int a; int b; a = 7; b = 0;\n"
+                          "return a / b; }");
+  expectParityBothProfiles(M, "div by zero");
+}
+
+TEST(EngineParityTest, NullDereferenceFaultMatches) {
+  Module M = compileOrDie("int main() { int *p; p = (int *)0;\n"
+                          "return *p; }");
+  expectParityBothProfiles(M, "null deref");
+}
+
+TEST(EngineParityTest, CallDepthFaultMatches) {
+  Module M = compileOrDie("int f(int n) { return f(n + 1); }\n"
+                          "int main() { return f(0); }");
+  InterpOptions O;
+  O.MaxCallDepth = 64;
+  expectParity(M, O, "call depth");
+}
+
+// The step limit can strike anywhere, including between the two halves of a
+// fused superinstruction; sweeping every cutoff through a loop body checks
+// that the fast path counts each half as a distinct step exactly like the
+// reference engine does.
+TEST(EngineParityTest, StepLimitSweepMatches) {
+  Module M = compileOrDie(
+      "int A[8]; float x;\n"
+      "int main() { int i; int s; s = 0; x = 1.0;\n"
+      "  for (i = 0; i < 1000000; i++) { A[i % 8] = s; s += A[(i + 1) % 8];\n"
+      "    x = x * 1.0000001 + 0.5; }\n"
+      "  return s; }");
+  ProfileMeta Meta = ProfileMeta::build(M);
+  for (uint64_t Limit = 1; Limit <= 120; ++Limit) {
+    InterpOptions O;
+    O.MaxSteps = Limit;
+    expectParity(M, O, "step limit " + std::to_string(Limit));
+    InterpOptions P = O;
+    P.Profile = &Meta;
+    expectParity(M, P, "profiled step limit " + std::to_string(Limit));
+  }
+}
+
+} // namespace

@@ -1,0 +1,60 @@
+# Runs the full `rpcc --suite` evaluation once per interpreter engine and
+# requires the Figure 5/6/7 tables, the remark stream, and the tag profile
+# to be byte-identical — the CLI-level face of the engine-parity guarantee.
+# Both engines are also crossed with --jobs to catch any engine-by-worker
+# interaction.
+#
+# Invoked by ctest as:
+#   cmake -DRPCC_BIN=<path-to-rpcc> -DWORK_DIR=<scratch-dir>
+#         -P EngineSuiteDiff.cmake
+
+if(NOT RPCC_BIN)
+  message(FATAL_ERROR "RPCC_BIN not set")
+endif()
+if(NOT WORK_DIR)
+  message(FATAL_ERROR "WORK_DIR not set")
+endif()
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_suite engine jobs stdout_var)
+  execute_process(COMMAND ${RPCC_BIN} --suite --engine=${engine}
+                          --jobs=${jobs}
+                          --remarks-json ${WORK_DIR}/remarks_${engine}_${jobs}.json
+                          --profile-json ${WORK_DIR}/profile_${engine}_${jobs}.json
+                  OUTPUT_VARIABLE OUT
+                  ERROR_VARIABLE ERR
+                  RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR
+            "--suite --engine=${engine} --jobs=${jobs} failed (rc=${RC}):\n${ERR}")
+  endif()
+  set(${stdout_var} "${OUT}" PARENT_SCOPE)
+endfunction()
+
+run_suite(switch 1 SW1_OUT)
+run_suite(fastpath 1 FP1_OUT)
+run_suite(fastpath 4 FP4_OUT)
+
+if(NOT SW1_OUT STREQUAL FP1_OUT)
+  message(FATAL_ERROR "--suite stdout differs between engines")
+endif()
+if(NOT FP1_OUT STREQUAL FP4_OUT)
+  message(FATAL_ERROR
+          "--suite --engine=fastpath stdout differs between --jobs=1 and 4")
+endif()
+if(NOT SW1_OUT MATCHES "Figure 7: dynamic loads executed")
+  message(FATAL_ERROR "--suite output is missing the Figure 7 table")
+endif()
+
+foreach(kind remarks profile)
+  file(READ ${WORK_DIR}/${kind}_switch_1.json SW_JSON)
+  file(READ ${WORK_DIR}/${kind}_fastpath_1.json FP1_JSON)
+  file(READ ${WORK_DIR}/${kind}_fastpath_4.json FP4_JSON)
+  if(NOT SW_JSON STREQUAL FP1_JSON)
+    message(FATAL_ERROR "${kind} JSON differs between engines")
+  endif()
+  if(NOT FP1_JSON STREQUAL FP4_JSON)
+    message(FATAL_ERROR
+            "${kind} JSON differs between fastpath --jobs=1 and 4")
+  endif()
+endforeach()

@@ -57,6 +57,9 @@ void usage() {
       "\n"
       "output options:\n"
       "  --run                      execute and print exit code + output\n"
+      "  --engine=switch|fastpath   interpreter engine (default: fastpath,\n"
+      "                             or switch in sanitizer builds); both\n"
+      "                             produce identical counts and output\n"
       "  --counts                   print total/load/store counters "
       "(implies --run)\n"
       "  --stats                    print per-pass statistics\n"
@@ -184,9 +187,10 @@ bool reportTiming(const TimingReport &T, const TimingOptions &Opts) {
 /// observability flags are set.
 int runSuiteMode(unsigned Jobs, const TimingOptions &Timing,
                  const std::vector<std::string> &Programs,
-                 const ObsOptions &Obs) {
+                 const ObsOptions &Obs, InterpEngine Engine) {
   SuiteOptions Opts;
   Opts.Jobs = Jobs;
+  Opts.Interp.Engine = Engine;
   Opts.CollectTiming = Timing.collect();
   Opts.Remarks = Obs.wantRemarks();
   Opts.RemarkPass = Obs.RemarkPass;
@@ -326,6 +330,7 @@ int main(int argc, char **argv) {
   TimingOptions Timing;
   ObsOptions Obs;
   unsigned Jobs = 1;
+  InterpEngine Engine = DefaultInterpEngine;
   std::string DumpFunc, DumpCfgFunc, ProgramsList;
 
   for (int I = 1; I < argc; ++I) {
@@ -387,6 +392,13 @@ int main(int argc, char **argv) {
       if (!parseUnsigned(A + 15, Cfg.Promo.MaxPromotedPerLoop)) {
         std::fprintf(stderr, "error: bad --max-promoted value '%s'\n",
                      A + 15);
+        return 3;
+      }
+    } else if (std::strncmp(A, "--engine=", 9) == 0) {
+      if (!parseInterpEngine(A + 9, Engine)) {
+        std::fprintf(stderr, "error: bad --engine value '%s' (expected "
+                             "switch or fastpath)\n",
+                     A + 9);
         return 3;
       }
     } else if (std::strcmp(A, "--run") == 0) {
@@ -477,7 +489,7 @@ int main(int argc, char **argv) {
         }
       }
     }
-    return runSuiteMode(Jobs, Timing, Programs, Obs);
+    return runSuiteMode(Jobs, Timing, Programs, Obs, Engine);
   }
   if (!ProgramsList.empty()) {
     std::fprintf(stderr, "error: --programs only applies to --suite\n");
@@ -580,6 +592,7 @@ int main(int argc, char **argv) {
   if (Run) {
     ProfileMeta Meta;
     InterpOptions IOpts;
+    IOpts.Engine = Engine;
     if (Obs.wantProfile()) {
       Meta = ProfileMeta::build(*Out.M);
       IOpts.Profile = &Meta;
@@ -589,6 +602,7 @@ int main(int argc, char **argv) {
     if (Cfg.CollectTiming) {
       Out.Timing.InterpMillis = timingNowMs() - T0;
       Out.Timing.InterpSteps = R.Counters.Total;
+      Out.Timing.Engine = interpEngineName(IOpts.Engine);
       if (!reportTiming(Out.Timing, Timing))
         return 4;
     }

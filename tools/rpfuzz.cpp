@@ -78,8 +78,9 @@ bool parseU64(const char *S, uint64_t &Out) {
   return true;
 }
 
-InterpOptions fuzzInterpOptions() {
+InterpOptions fuzzInterpOptions(InterpEngine Engine) {
   InterpOptions IO;
+  IO.Engine = Engine;
   IO.MaxSteps = uint64_t(1) << 26;
   return IO;
 }
@@ -89,8 +90,8 @@ int emitSeed(uint64_t Seed) {
   return 0;
 }
 
-FailurePredicate makePredicate(const std::string &Spec) {
-  InterpOptions IO = fuzzInterpOptions();
+FailurePredicate makePredicate(const std::string &Spec, InterpEngine Engine) {
+  InterpOptions IO = fuzzInterpOptions(Engine);
   if (Spec == "diverge") {
     std::vector<FuzzConfig> Matrix = quickMatrix();
     return [Matrix, IO](const std::string &Src) {
@@ -126,7 +127,8 @@ FailurePredicate makePredicate(const std::string &Spec) {
   return nullptr;
 }
 
-int runReduce(const char *Path, const std::string &PredicateSpec) {
+int runReduce(const char *Path, const std::string &PredicateSpec,
+              InterpEngine Engine) {
   std::ifstream In(Path);
   if (!In) {
     std::fprintf(stderr, "error: cannot open %s\n", Path);
@@ -134,7 +136,7 @@ int runReduce(const char *Path, const std::string &PredicateSpec) {
   }
   std::ostringstream SS;
   SS << In.rdbuf();
-  FailurePredicate Pred = makePredicate(PredicateSpec);
+  FailurePredicate Pred = makePredicate(PredicateSpec, Engine);
   if (!Pred) {
     std::fprintf(stderr, "error: bad predicate '%s'\n",
                  PredicateSpec.c_str());
@@ -166,6 +168,7 @@ int main(int argc, char **argv) {
   uint64_t EmitSeedVal = 0;
   uint64_t Jobs = 1;
   std::string TraceFile;
+  InterpEngine Engine = DefaultInterpEngine;
 
   for (int I = 1; I < argc; ++I) {
     const char *A = argv[I];
@@ -206,6 +209,13 @@ int main(int argc, char **argv) {
         return 3;
       }
       EmitOnly = true;
+    } else if (std::strncmp(A, "--engine=", 9) == 0) {
+      if (!parseInterpEngine(A + 9, Engine)) {
+        std::fprintf(stderr, "error: bad --engine value '%s' (expected "
+                             "switch or fastpath)\n",
+                     A + 9);
+        return 3;
+      }
     } else if (std::strncmp(A, "--trace=", 8) == 0) {
       TraceFile = A + 8;
       if (TraceFile.empty()) {
@@ -229,9 +239,10 @@ int main(int argc, char **argv) {
   if (EmitOnly)
     return emitSeed(EmitSeedVal);
   if (ReducePath)
-    return runReduce(ReducePath, PredicateSpec);
+    return runReduce(ReducePath, PredicateSpec, Engine);
 
   Campaign.Jobs = static_cast<unsigned>(Jobs);
+  Campaign.Engine = Engine;
   Campaign.DoDiff = Mode == "all" || Mode == "diff";
   Campaign.DoWiden = Mode == "all" || Mode == "widen";
   Campaign.DoCorrupt = Mode == "all" || Mode == "corrupt";

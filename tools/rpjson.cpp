@@ -563,6 +563,7 @@ int checkTiming(const std::string &Text) {
   C.need(V, "timing", "compile_ms", JValue::Number);
   C.need(V, "timing", "interp_ms", JValue::Number);
   C.need(V, "timing", "interp_steps", JValue::Number);
+  C.need(V, "timing", "engine", JValue::String);
   const JValue *Passes = nullptr;
   if (C.need(V, "timing", "passes", JValue::Array, &Passes))
     for (size_t I = 0; I != Passes->Items.size(); ++I) {
