@@ -29,6 +29,14 @@ public:
   explicit PointsToSolver(const Module &M) : M(M) {}
 
   PointsToResult solve() {
+    // Size the dense tables up front: both id spaces are fixed for the
+    // whole solve, so every later access is a plain index.
+    R.RegSets.resize(M.numFunctions());
+    for (FuncId F = 0; F != M.numFunctions(); ++F)
+      R.RegSets[F].resize(M.function(F)->numRegs());
+    R.MemSets.resize(M.tags().size());
+    RetSets.resize(M.numFunctions());
+
     // Universe: every addressed non-function tag.
     for (const Tag &T : M.tags()) {
       if (T.AddressTaken && T.Kind != TagKind::Func)
@@ -57,9 +65,13 @@ public:
 
 private:
   TagSet &regSet(FuncId F, Reg Rg) {
-    return R.RegSets[PointsToResult::key(F, Rg)];
+    assert(Rg < R.RegSets[F].size() && "register out of range");
+    return R.RegSets[F][Rg];
   }
-  TagSet &memSet(TagId T) { return R.MemSets[T]; }
+  TagSet &memSet(TagId T) {
+    assert(T < R.MemSets.size() && "tag out of range");
+    return R.MemSets[T];
+  }
   TagSet &retSet(FuncId F) { return RetSets[F]; }
 
   /// Targets of a dereference through \p Rg (conservative on unknown).
@@ -173,7 +185,7 @@ private:
 
   const Module &M;
   PointsToResult R;
-  std::unordered_map<FuncId, TagSet> RetSets;
+  std::vector<TagSet> RetSets; ///< [FuncId]
 };
 
 } // namespace rpcc

@@ -29,7 +29,6 @@
 
 #include "ir/Module.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace rpcc {
@@ -37,16 +36,19 @@ namespace rpcc {
 class PointsToResult {
 public:
   /// Points-to set of register \p R in function \p F. May be empty for
-  /// non-pointer registers.
+  /// non-pointer registers. Sets live in dense per-function tables indexed
+  /// by register number (and MemSets by tag id): both id spaces are dense
+  /// and known up front, so the solver's inner loop indexes vectors instead
+  /// of hashing (function, register) keys.
   const TagSet &regPts(FuncId F, Reg R) const {
-    auto It = RegSets.find(key(F, R));
-    return It == RegSets.end() ? Empty : It->second;
+    if (F >= RegSets.size() || R >= RegSets[F].size())
+      return Empty;
+    return RegSets[F][R];
   }
 
   /// Points-to set of the pointers stored in memory location \p T.
   const TagSet &memPts(TagId T) const {
-    auto It = MemSets.find(T);
-    return It == MemSets.end() ? Empty : It->second;
+    return T < MemSets.size() ? MemSets[T] : Empty;
   }
 
   /// Tags a dereference of \p R in \p F may touch: regPts with function
@@ -61,11 +63,8 @@ public:
 
 private:
   friend class PointsToSolver;
-  static uint64_t key(FuncId F, Reg R) {
-    return (static_cast<uint64_t>(F) << 32) | R;
-  }
-  std::unordered_map<uint64_t, TagSet> RegSets;
-  std::unordered_map<TagId, TagSet> MemSets;
+  std::vector<std::vector<TagSet>> RegSets; ///< [FuncId][Reg]
+  std::vector<TagSet> MemSets;              ///< [TagId]
   TagSet Universe;
   TagSet FuncTags;
   TagSet Empty;

@@ -37,23 +37,36 @@ Liveness::Liveness(const Function &F) {
     }
   }
 
-  // Round-robin iteration to fixpoint (backward problem).
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (size_t BI = NB; BI-- > 0;) {
-      const BasicBlock *B = F.block(static_cast<BlockId>(BI));
-      DenseBitSet NewOut(NR);
-      for (BlockId S : B->succs())
-        NewOut.unionWith(In[S]);
-      DenseBitSet NewIn = NewOut;
-      NewIn.subtract(Def[BI]);
-      NewIn.unionWith(Use[BI]);
-      if (NewOut != Out[BI] || NewIn != In[BI]) {
-        Out[BI] = std::move(NewOut);
-        In[BI] = std::move(NewIn);
-        Changed = true;
-      }
-    }
+  // Worklist iteration to the (unique) fixpoint of the backward problem.
+  // Only a block whose successors' IN changed is revisited, and the two
+  // scratch sets are reused across visits instead of reallocated.
+  std::vector<char> Queued(NB, 1);
+  std::vector<BlockId> Work;
+  Work.reserve(NB);
+  for (size_t BI = 0; BI != NB; ++BI)
+    Work.push_back(static_cast<BlockId>(BI)); // popped back-to-front
+  DenseBitSet NewOut(NR), NewIn(NR);
+  while (!Work.empty()) {
+    BlockId BI = Work.back();
+    Work.pop_back();
+    Queued[BI] = 0;
+    const BasicBlock *B = F.block(BI);
+    NewOut.clear();
+    for (BlockId S : B->succs())
+      NewOut.unionWith(In[S]);
+    NewIn = NewOut;
+    NewIn.subtract(Def[BI]);
+    NewIn.unionWith(Use[BI]);
+    bool InChanged = NewIn != In[BI];
+    if (InChanged)
+      std::swap(In[BI], NewIn);
+    if (NewOut != Out[BI])
+      std::swap(Out[BI], NewOut);
+    if (InChanged)
+      for (BlockId P : B->preds())
+        if (!Queued[P]) {
+          Queued[P] = 1;
+          Work.push_back(P);
+        }
   }
 }

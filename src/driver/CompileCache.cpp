@@ -1,0 +1,62 @@
+//===- driver/CompileCache.cpp --------------------------------------------===//
+
+#include "driver/CompileCache.h"
+
+using namespace rpcc;
+
+CompileCache::Entry &CompileCache::entryFor(const std::string &Key) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto &Slot = Entries[Key];
+  if (!Slot)
+    Slot = std::make_unique<Entry>();
+  return *Slot;
+}
+
+CompileOutput CompileCache::compile(const std::string &Key,
+                                    const std::string &Source,
+                                    const CompilerConfig &Cfg) {
+  Entry &E = entryFor(Key);
+  size_t Kind = Cfg.Analysis == AnalysisKind::PointsTo ? 1 : 0;
+
+  bool Missed = false;
+  std::call_once(E.FrontendOnce, [&] {
+    StageOptions SO;
+    SO.CollectTiming = Opts.CollectTiming;
+    SO.Trace = Opts.Trace;
+    SO.TraceLabel = Key;
+    E.FA = runFrontend(Source, SO);
+    Missed = true;
+  });
+  std::call_once(E.AnalyzedOnce[Kind], [&] {
+    StageOptions SO;
+    SO.CollectTiming = Opts.CollectTiming;
+    SO.Trace = Opts.Trace;
+    SO.TraceLabel = Key + "/" + (Kind ? "points-to" : "modref");
+    E.AM[Kind] = analyzeFrontend(E.FA, Cfg.Analysis, SO);
+    Missed = true;
+  });
+  (Missed ? Misses : Hits).fetch_add(1, std::memory_order_relaxed);
+
+  CompileOutput Out = compileSuffix(E.AM[Kind], Cfg);
+  if (Missed)
+    Out.Timing.CacheMisses = 1;
+  else
+    Out.Timing.CacheHits = 1;
+  return Out;
+}
+
+TimingReport CompileCache::sharedTiming(const std::string &Key) const {
+  TimingReport R;
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Entries.find(Key);
+  if (It == Entries.end())
+    return R;
+  const Entry &E = *It->second;
+  R.merge(E.FA.Timing);
+  R.FrontendMillis += E.FA.WallMillis;
+  for (const AnalyzedModule &AM : E.AM) {
+    R.merge(AM.Timing);
+    R.FrontendMillis += AM.WallMillis;
+  }
+  return R;
+}

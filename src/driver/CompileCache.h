@@ -1,0 +1,98 @@
+//===- driver/CompileCache.h - Shared-prefix compile cache ------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cache over the configuration-independent pipeline prefix. The suite
+/// compiles each benchmark under four (or, with ablations, more)
+/// configurations that differ only in the suffix: promotion switches,
+/// optimization levels, allocator variants. The frontend (lex/parse/sema/
+/// lowering/CFG normalization) depends only on the source text, and alias
+/// analysis only on (source, analysis kind) — so the cache runs the
+/// frontend once per program and the analysis once per (program, kind),
+/// then hands every compile job a private Module::clone() fork of the
+/// cached analyzed module. Cached artifacts are immutable after
+/// construction and are never handed out directly: fork-never-share is the
+/// invariant that makes concurrent cells safe.
+///
+/// Thread-safe: entry creation is mutex-guarded and stage construction runs
+/// under std::call_once, so any number of suite/fuzz workers may compile
+/// through one cache concurrently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_DRIVER_COMPILECACHE_H
+#define RPCC_DRIVER_COMPILECACHE_H
+
+#include "driver/Compiler.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace rpcc {
+
+class CompileCache {
+public:
+  struct Options {
+    /// Collect per-pass timing for the cached prefix stages; retrieve the
+    /// accumulated report with sharedTiming() after all compiles finish.
+    bool CollectTiming = false;
+    /// When non-null, prefix passes add trace spans here. Span labels use
+    /// the cache key (program name), not any cell name, so the trace
+    /// skeleton is independent of which cell populated the cache.
+    TraceCollector *Trace = nullptr;
+  };
+
+  CompileCache() = default;
+  explicit CompileCache(Options O) : Opts(O) {}
+
+  CompileCache(const CompileCache &) = delete;
+  CompileCache &operator=(const CompileCache &) = delete;
+
+  /// Compiles \p Source under \p Cfg, reusing the cached (program,
+  /// analysis) prefix when present and building it exactly once when not.
+  /// \p Key identifies the program; every call sharing a Key must pass the
+  /// same Source. Byte-identical to compileProgram(Source, Cfg) in output
+  /// module, stats, remarks, and errors.
+  CompileOutput compile(const std::string &Key, const std::string &Source,
+                        const CompilerConfig &Cfg);
+
+  /// Timing accumulated by \p Key's cached prefix stages (pass samples plus
+  /// FrontendMillis). Merge once into that program's aggregate alongside
+  /// its per-cell suffix reports. Call only after all compiles of \p Key
+  /// have finished; empty report for an unknown key.
+  TimingReport sharedTiming(const std::string &Key) const;
+
+  /// A hit reused a fully-built analyzed module; a miss built the frontend
+  /// artifact, the analyzed module, or both.
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+
+private:
+  /// One program's artifacts: the frontend output plus one analyzed module
+  /// per AnalysisKind (index 0 = ModRef, 1 = PointsTo). Entries are
+  /// heap-allocated so map rehashes never move the once-flags.
+  struct Entry {
+    std::once_flag FrontendOnce;
+    FrontendArtifact FA;
+    std::once_flag AnalyzedOnce[2];
+    AnalyzedModule AM[2];
+  };
+
+  Entry &entryFor(const std::string &Key);
+
+  Options Opts;
+  mutable std::mutex Mu; ///< guards Entries (the map, not entry contents)
+  std::unordered_map<std::string, std::unique_ptr<Entry>> Entries;
+  std::atomic<uint64_t> Hits{0}, Misses{0};
+};
+
+} // namespace rpcc
+
+#endif // RPCC_DRIVER_COMPILECACHE_H

@@ -46,109 +46,119 @@ struct PipelineClock {
   }
 };
 
-} // namespace
+/// Wraps one pass: records wall time and static op counts before/after when
+/// a timing report is attached, adds a trace span when tracing is on,
+/// otherwise just runs the pass. Shared by all three pipeline stages so the
+/// staged and in-place paths observe identically.
+struct PassRunner {
+  Module &M;
+  TimingReport *Timing; ///< null when not collecting
+  TraceCollector *Trace;
+  std::string Label;
 
-CompileOutput rpcc::compileProgram(const std::string &Source,
-                                   const CompilerConfig &Cfg) {
-  CompileOutput Out;
-  Out.M = std::make_unique<Module>();
-  PipelineClock Clock(Out, Cfg.CollectTiming);
-
-  // Wraps one pass: records wall time and static op counts before/after
-  // when timing is on, adds a trace span when tracing is on, otherwise just
-  // runs the pass.
-  auto Timed = [&](const char *Name, auto &&Body) {
-    if (!Cfg.CollectTiming && !Cfg.Trace) {
+  template <typename BodyT> void run(const char *Name, BodyT &&Body) {
+    if (!Timing && !Trace) {
       Body();
       return;
     }
-    uint64_t Before = Cfg.CollectTiming ? countStaticOps(*Out.M) : 0;
+    uint64_t Before = Timing ? countStaticOps(M) : 0;
     double T0 = timingNowMs();
     Body();
     double T1 = timingNowMs();
-    if (Cfg.CollectTiming)
-      Out.Timing.addPass(Name, T1 - T0, Before, countStaticOps(*Out.M));
-    if (Cfg.Trace) {
+    if (Timing)
+      Timing->addPass(Name, T1 - T0, Before, countStaticOps(M));
+    if (Trace) {
       std::vector<std::pair<std::string, std::string>> Args;
-      if (!Cfg.TraceLabel.empty())
-        Args.push_back({"job", Cfg.TraceLabel});
-      Cfg.Trace->addSpan(Name, "pass", T0, T1 - T0, std::move(Args));
+      if (!Label.empty())
+        Args.push_back({"job", Label});
+      Trace->addSpan(Name, "pass", T0, T1 - T0, std::move(Args));
     }
-  };
-
-  bool Lowered = false;
-  Timed("lower", [&] { Lowered = compileToIL(Source, *Out.M, Out.Errors); });
-  if (!Lowered)
-    return Out;
-  Module &M = *Out.M;
-
-  // Landing pads and dedicated exits, as the paper's CFG construction
-  // guarantees.
-  Timed("cfg-normalize", [&] { normalizeAll(M); });
-
-  // Interprocedural analysis; encode results in tag sets and call
-  // summaries, then strengthen opcodes up Table 1's hierarchy.
-  if (Cfg.Analysis == AnalysisKind::PointsTo) {
-    PointsToResult PT;
-    Timed("points-to", [&] { PT = runPointsTo(M); });
-    Timed("modref", [&] { runModRef(M, &PT); });
-  } else {
-    Timed("modref", [&] { runModRef(M); });
   }
+};
+
+/// Stage 1 body: lowering plus the landing-pad/dedicated-exit CFG shape the
+/// paper's CFG construction guarantees.
+bool frontendInto(const std::string &Source, Module &M, std::string &Errors,
+                  PassRunner &R) {
+  bool Lowered = false;
+  R.run("lower", [&] { Lowered = compileToIL(Source, M, Errors); });
+  if (!Lowered)
+    return false;
+  R.run("cfg-normalize", [&] { normalizeAll(M); });
+  return true;
+}
+
+/// Stage 2 body: interprocedural analysis; encodes results in tag sets and
+/// call summaries for the suffix to consume.
+void analyzeInto(Module &M, AnalysisKind Kind, PassRunner &R) {
+  if (Kind == AnalysisKind::PointsTo) {
+    PointsToResult PT;
+    R.run("points-to", [&] { PT = runPointsTo(M); });
+    R.run("modref", [&] { runModRef(M, &PT); });
+  } else {
+    R.run("modref", [&] { runModRef(M); });
+  }
+}
+
+/// Stage 3 body: everything configuration-dependent, from the fuzzer's
+/// analysis-widening hook through verification and the residual audit.
+/// Sets Out.Ok/Out.Errors; Out.M must already alias M.
+void suffixInto(Module &M, CompileOutput &Out, const CompilerConfig &Cfg,
+                PassRunner &R) {
   if (Cfg.PostAnalysisHook)
     Cfg.PostAnalysisHook(M);
-  Timed("strengthen", [&] { Out.Stats.Strengthen = strengthenOpcodes(M); });
+  R.run("strengthen", [&] { Out.Stats.Strengthen = strengthenOpcodes(M); });
 
   // Register promotion happens "in the early phases of optimization".
   if (Cfg.ScalarPromotion)
-    Timed("promote", [&] {
+    R.run("promote", [&] {
       Out.Stats.Promo = promoteScalars(M, Cfg.Promo, Cfg.Remarks);
     });
 
   if (Cfg.EnableOpts) {
-    Timed("vn", [&] { Out.Stats.Vn = runValueNumbering(M); });
-    Timed("pre", [&] { Out.Stats.Pre = runPre(M, Cfg.Remarks); });
-    Timed("copy-prop", [&] { propagateCopies(M); });
-    Timed("sccp", [&] { Out.Stats.Sccp = runSccp(M); });
-    Timed("cleanup", [&] { runCleanup(M); });
-    Timed("cfg-normalize", [&] { normalizeAll(M); });
-    Timed("licm", [&] { Out.Stats.Licm = runLicm(M, Cfg.Remarks); });
+    R.run("vn", [&] { Out.Stats.Vn = runValueNumbering(M); });
+    R.run("pre", [&] { Out.Stats.Pre = runPre(M, Cfg.Remarks); });
+    R.run("copy-prop", [&] { propagateCopies(M); });
+    R.run("sccp", [&] { Out.Stats.Sccp = runSccp(M); });
+    R.run("cleanup", [&] { runCleanup(M); });
+    R.run("cfg-normalize", [&] { normalizeAll(M); });
+    R.run("licm", [&] { Out.Stats.Licm = runLicm(M, Cfg.Remarks); });
   }
 
   // §3.3 pointer-based promotion runs after LICM has exposed invariant
   // base addresses.
   if (Cfg.PointerPromotion) {
-    Timed("cfg-normalize", [&] { normalizeAll(M); });
-    Timed("ptr-promote", [&] {
+    R.run("cfg-normalize", [&] { normalizeAll(M); });
+    R.run("ptr-promote", [&] {
       Out.Stats.PtrPromo = promotePointers(M, Cfg.Remarks);
     });
   }
 
   if (Cfg.EnableOpts)
-    Timed("dce", [&] { Out.Stats.DceRemoved = runDce(M); });
+    R.run("dce", [&] { Out.Stats.DceRemoved = runDce(M); });
 
   if (Cfg.RegisterAllocation) {
     RegAllocOptions RA;
     RA.NumRegisters = Cfg.NumRegisters;
     RA.GeorgeCoalescing = !Cfg.ClassicAllocator;
     RA.Rematerialization = !Cfg.ClassicAllocator;
-    Timed("regalloc", [&] { Out.Stats.RegAlloc = allocateRegisters(M, RA); });
+    R.run("regalloc", [&] { Out.Stats.RegAlloc = allocateRegisters(M, RA); });
   }
 
-  Timed("cleanup", [&] { runCleanup(M); });
+  R.run("cleanup", [&] { runCleanup(M); });
 
   bool Verified = false;
   std::string VerifyErr;
-  Timed("verify", [&] { Verified = verifyModule(M, VerifyErr); });
+  R.run("verify", [&] { Verified = verifyModule(M, VerifyErr); });
   if (!Verified) {
     Out.Errors = "internal error: pipeline produced invalid IL:\n" + VerifyErr;
-    return Out;
+    return;
   }
 
   // Residual audit on the final IL: every surviving in-loop memory op gets
   // a remark with a concrete reason code, so dynamic profiles always join.
   if (Cfg.Remarks && Cfg.ResidualAudit)
-    Timed("residual-audit", [&] {
+    R.run("residual-audit", [&] {
       ResidualAuditOptions AO;
       AO.ScalarPromotion = Cfg.ScalarPromotion;
       AO.PointerPromotion = Cfg.PointerPromotion;
@@ -157,6 +167,79 @@ CompileOutput rpcc::compileProgram(const std::string &Source,
     });
 
   Out.Ok = true;
+}
+
+} // namespace
+
+FrontendArtifact rpcc::runFrontend(const std::string &Source,
+                                   const StageOptions &Opts) {
+  FrontendArtifact FA;
+  FA.M = std::make_unique<Module>();
+  double T0 = timingNowMs();
+  PassRunner R{*FA.M, Opts.CollectTiming ? &FA.Timing : nullptr, Opts.Trace,
+               Opts.TraceLabel};
+  FA.Ok = frontendInto(Source, *FA.M, FA.Errors, R);
+  FA.WallMillis = timingNowMs() - T0;
+  return FA;
+}
+
+AnalyzedModule rpcc::analyzeFrontend(const FrontendArtifact &FA,
+                                     AnalysisKind Kind,
+                                     const StageOptions &Opts) {
+  AnalyzedModule AM;
+  AM.Analysis = Kind;
+  AM.M = FA.M ? FA.M->clone() : std::make_unique<Module>();
+  if (!FA.Ok) {
+    AM.Errors = FA.Errors;
+    return AM;
+  }
+  double T0 = timingNowMs();
+  PassRunner R{*AM.M, Opts.CollectTiming ? &AM.Timing : nullptr, Opts.Trace,
+               Opts.TraceLabel};
+  analyzeInto(*AM.M, Kind, R);
+  AM.WallMillis = timingNowMs() - T0;
+  AM.Ok = true;
+  return AM;
+}
+
+CompileOutput rpcc::compileSuffix(const AnalyzedModule &AM,
+                                  const CompilerConfig &Cfg) {
+  CompileOutput Out;
+  PipelineClock Clock(Out, Cfg.CollectTiming);
+  Out.M = AM.M ? AM.M->clone() : std::make_unique<Module>();
+  if (!AM.Ok) {
+    Out.Errors = AM.Errors;
+    return Out;
+  }
+  assert(Cfg.Analysis == AM.Analysis &&
+         "suffix config disagrees with the analysis baked into the module");
+  PassRunner R{*Out.M, Cfg.CollectTiming ? &Out.Timing : nullptr, Cfg.Trace,
+               Cfg.TraceLabel};
+  double T0 = Cfg.CollectTiming ? timingNowMs() : 0;
+  suffixInto(*Out.M, Out, Cfg, R);
+  if (Cfg.CollectTiming)
+    Out.Timing.SuffixMillis = timingNowMs() - T0;
+  return Out;
+}
+
+CompileOutput rpcc::compileProgram(const std::string &Source,
+                                   const CompilerConfig &Cfg) {
+  CompileOutput Out;
+  Out.M = std::make_unique<Module>();
+  PipelineClock Clock(Out, Cfg.CollectTiming);
+  PassRunner R{*Out.M, Cfg.CollectTiming ? &Out.Timing : nullptr, Cfg.Trace,
+               Cfg.TraceLabel};
+
+  double T0 = Cfg.CollectTiming ? timingNowMs() : 0;
+  if (!frontendInto(Source, *Out.M, Out.Errors, R))
+    return Out;
+  analyzeInto(*Out.M, Cfg.Analysis, R);
+  double T1 = Cfg.CollectTiming ? timingNowMs() : 0;
+  suffixInto(*Out.M, Out, Cfg, R);
+  if (Cfg.CollectTiming) {
+    Out.Timing.FrontendMillis = T1 - T0;
+    Out.Timing.SuffixMillis = timingNowMs() - T1;
+  }
   return Out;
 }
 

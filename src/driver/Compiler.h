@@ -107,8 +107,87 @@ struct CompileOutput {
   TimingReport Timing;
 };
 
+//===----------------------------------------------------------------------===//
+// Staged pipeline
+//
+// The pipeline factors into three stages so that work shared between the
+// suite's configuration cells runs once and forks:
+//
+//   1. runFrontend      — lex/parse/sema/lowering plus CFG normalization.
+//                         Depends only on the source text; one per program.
+//   2. analyzeFrontend  — alias analysis annotating tag lists and call
+//                         MOD/REF summaries. Depends on (program, analysis
+//                         kind); forks the frontend module via
+//                         Module::clone() and rewrites the fork.
+//   3. compileSuffix    — everything configuration-dependent: the
+//                         post-analysis hook, opcode strengthening,
+//                         promotion, scalar opts, register allocation.
+//                         Forks the analyzed module per cell.
+//
+// Stages never mutate their input artifact, so one artifact can feed any
+// number of concurrent downstream stages (see driver/CompileCache.h).
+// compileProgram() below runs all three stages in place with no forks; it
+// produces byte-identical results because every cross-stage handoff is a
+// faithful deep copy.
+//===----------------------------------------------------------------------===//
+
+/// Options for the config-independent stages (frontend, analysis). A subset
+/// of CompilerConfig: only the observability knobs apply before the suffix.
+struct StageOptions {
+  /// Collect per-pass wall time and op counts into the artifact's Timing.
+  bool CollectTiming = false;
+  /// When non-null, stage passes add spans (category "pass") here.
+  TraceCollector *Trace = nullptr;
+  /// Trace span label. Callers that share artifacts across cells (the
+  /// compile cache) pass the program name, not a cell name, so the trace
+  /// skeleton does not depend on which cell triggered the stage.
+  std::string TraceLabel;
+};
+
+/// Stage 1 output: the lowered, CFG-normalized module with its tag and
+/// layout tables — everything that depends only on the source text.
+struct FrontendArtifact {
+  bool Ok = false;
+  std::string Errors;
+  std::unique_ptr<Module> M;
+  /// lower/cfg-normalize pass samples (only when StageOptions asked).
+  TimingReport Timing;
+  /// Frontend wall time; always measured.
+  double WallMillis = 0;
+};
+
+/// Stage 2 output: a fork of the frontend module annotated by one alias
+/// analysis. Timing/WallMillis cover the analysis passes only; combine with
+/// the FrontendArtifact's numbers for whole-prefix accounting.
+struct AnalyzedModule {
+  bool Ok = false;
+  std::string Errors;
+  AnalysisKind Analysis = AnalysisKind::ModRef;
+  std::unique_ptr<Module> M;
+  TimingReport Timing;
+  double WallMillis = 0;
+};
+
+/// Runs lex/parse/sema/lowering and CFG normalization once. The artifact is
+/// immutable from here on: downstream stages fork it.
+FrontendArtifact runFrontend(const std::string &Source,
+                             const StageOptions &Opts = {});
+
+/// Forks \p FA and annotates the fork with \p Kind's alias information (tag
+/// lists, call MOD/REF summaries). \p FA is not mutated.
+AnalyzedModule analyzeFrontend(const FrontendArtifact &FA, AnalysisKind Kind,
+                               const StageOptions &Opts = {});
+
+/// Runs the configuration-dependent suffix (post-analysis hook through
+/// verification and the residual audit) on a fresh fork of \p AM. \p AM is
+/// not mutated, so concurrent calls against one analyzed module are safe.
+/// Cfg.Analysis must match AM.Analysis.
+CompileOutput compileSuffix(const AnalyzedModule &AM,
+                            const CompilerConfig &Cfg);
+
 /// Compiles MiniC source through the configured pipeline. The returned
-/// module is ready for the counting interpreter.
+/// module is ready for the counting interpreter. Equivalent to the three
+/// stages run back to back, but operates in place with no module forks.
 CompileOutput compileProgram(const std::string &Source,
                              const CompilerConfig &Cfg = {});
 

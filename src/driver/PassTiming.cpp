@@ -77,6 +77,10 @@ void TimingReport::merge(const TimingReport &O) {
   InterpMillis += O.InterpMillis;
   InterpSteps += O.InterpSteps;
   Compiles += O.Compiles;
+  FrontendMillis += O.FrontendMillis;
+  SuffixMillis += O.SuffixMillis;
+  CacheHits += O.CacheHits;
+  CacheMisses += O.CacheMisses;
   if (Engine.empty())
     Engine = O.Engine;
 }
@@ -111,6 +115,11 @@ std::string rpcc::formatTimingReport(const TimingReport &R) {
   OS << T.render();
   OS << "compile total: " << fixed(R.CompileMillis, 3) << " ms over "
      << withCommas(R.Compiles) << " compile(s)\n";
+  OS << "  frontend:    " << fixed(R.FrontendMillis, 3) << " ms, suffix: "
+     << fixed(R.SuffixMillis, 3) << " ms\n";
+  if (R.CacheHits || R.CacheMisses)
+    OS << "  cache:       " << withCommas(R.CacheHits) << " hit(s), "
+       << withCommas(R.CacheMisses) << " miss(es)\n";
   OS << "interpret:     " << fixed(R.InterpMillis, 3) << " ms, "
      << withCommas(R.InterpSteps) << " steps";
   if (!R.Engine.empty())
@@ -125,6 +134,10 @@ std::string rpcc::formatTimingJson(const TimingReport &R) {
   OS << ",\"compile_ms\":" << fixed(R.CompileMillis, 3);
   OS << ",\"interp_ms\":" << fixed(R.InterpMillis, 3);
   OS << ",\"interp_steps\":" << R.InterpSteps;
+  OS << ",\"frontend_ms\":" << fixed(R.FrontendMillis, 3);
+  OS << ",\"suffix_ms\":" << fixed(R.SuffixMillis, 3);
+  OS << ",\"cache_hits\":" << R.CacheHits;
+  OS << ",\"cache_misses\":" << R.CacheMisses;
   OS << ",\"engine\":\"" << jsonEscape(R.Engine) << "\"";
   OS << ",\"passes\":[";
   std::vector<PassTime> Sorted = canonicalOrder(R.Passes);

@@ -50,6 +50,19 @@ struct TimingReport {
   double InterpMillis = 0;  ///< interpreter wall time
   uint64_t InterpSteps = 0; ///< dynamic operations executed
   uint64_t Compiles = 0;    ///< compile jobs folded into this report
+  /// Wall time spent in the config-independent prefix (lex/parse/sema/
+  /// lowering/CFG normalization plus alias analysis) versus the
+  /// config-dependent suffix (promotion, scalar opts, register allocation).
+  /// With the compile cache on, prefix time accrues once per (program,
+  /// analysis) inside the cache while every cell accrues its own suffix
+  /// time, so FrontendMillis + SuffixMillis can be far below
+  /// Compiles * average CompileMillis.
+  double FrontendMillis = 0;
+  double SuffixMillis = 0;
+  /// Compile-cache outcomes: a hit reused a cached analyzed module, a miss
+  /// built one. Both stay zero when compiling without a cache.
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
   /// interpEngineName of the engine the run(s) used; empty when nothing was
   /// interpreted. Merging keeps the first non-empty name (one aggregate is
   /// always produced by one engine; the suite never mixes them).
@@ -81,6 +94,7 @@ std::string formatTimingReport(const TimingReport &R);
 /// Renders the aggregate as a single JSON object, passes in the same
 /// canonical order as formatTimingReport:
 /// {"compiles":N,"compile_ms":..,"interp_ms":..,"interp_steps":..,
+///  "frontend_ms":..,"suffix_ms":..,"cache_hits":N,"cache_misses":N,
 ///  "passes":[{"name":..,"calls":..,"ms":..,"ops_before":..,"ops_after":..}]}
 std::string formatTimingJson(const TimingReport &R);
 

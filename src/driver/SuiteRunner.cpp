@@ -2,6 +2,7 @@
 
 #include "driver/SuiteRunner.h"
 
+#include "driver/CompileCache.h"
 #include "obs/Remark.h"
 #include "obs/TagProfile.h"
 #include "obs/Trace.h"
@@ -21,12 +22,12 @@ using namespace rpcc;
 
 namespace {
 
-/// Compiles and runs one matrix cell. Fully self-contained — builds its own
-/// Module/TagTable/RemarkEngine from the source text — so any number of
-/// cells may run on different threads concurrently.
+/// Compiles and runs one matrix cell. The cell owns its Module (forked from
+/// \p Cache when caching, built from source when not) and RemarkEngine, so
+/// any number of cells may run on different threads concurrently.
 ConfigCounts runOneCell(const std::string &Name, const std::string &Source,
                         int A, int P, const SuiteOptions &Opts,
-                        TimingReport &Timing) {
+                        CompileCache *Cache, TimingReport &Timing) {
   CompilerConfig Cfg;
   Cfg.Analysis = A == 0 ? AnalysisKind::ModRef : AnalysisKind::PointsTo;
   Cfg.ScalarPromotion = P == 1;
@@ -46,7 +47,8 @@ ConfigCounts runOneCell(const std::string &Name, const std::string &Source,
 
   double CellT0 = Opts.Trace ? timingNowMs() : 0;
   ConfigCounts C;
-  CompileOutput Out = compileProgram(Source, Cfg);
+  CompileOutput Out =
+      Cache ? Cache->compile(Name, Source, Cfg) : compileProgram(Source, Cfg);
   if (!Out.Ok) {
     C.Error = Out.Errors;
     Timing = std::move(Out.Timing);
@@ -151,13 +153,21 @@ ProgramResults rpcc::runAllConfigs(const std::string &Name,
                                    const SuiteOptions &Opts) {
   ProgramResults PR;
   PR.Name = Name;
+  std::unique_ptr<CompileCache> Cache;
+  if (Opts.UseCompileCache)
+    Cache = std::make_unique<CompileCache>(
+        CompileCache::Options{Opts.CollectTiming, Opts.Trace});
   TimingReport CellTiming[4];
   parallelFor(Opts.Jobs, 4, [&](size_t Cell) {
     int A = static_cast<int>(Cell) / 2, P = static_cast<int>(Cell) % 2;
-    PR.R[A][P] = runOneCell(Name, Source, A, P, Opts, CellTiming[Cell]);
+    PR.R[A][P] =
+        runOneCell(Name, Source, A, P, Opts, Cache.get(), CellTiming[Cell]);
   });
-  if (Opts.CollectTiming)
+  if (Opts.CollectTiming) {
     mergeCellTimings(PR, CellTiming);
+    if (Cache)
+      PR.Timing.merge(Cache->sharedTiming(Name));
+  }
   applyBaselineChecks(PR);
   return PR;
 }
@@ -171,6 +181,13 @@ std::vector<ProgramResults> rpcc::runSuite(const std::vector<std::string> &Names
     Sources[I] = loadBenchProgram(Names[I]);
   }
 
+  // One cache for the whole suite: each program's prefix compiles once and
+  // its four cells fork it, whichever workers get there first.
+  std::unique_ptr<CompileCache> Cache;
+  if (Opts.UseCompileCache)
+    Cache = std::make_unique<CompileCache>(
+        CompileCache::Options{Opts.CollectTiming, Opts.Trace});
+
   // One job per (program, cell): 56 for the paper's 14x4 matrix. Finer
   // granularity than per-program keeps all workers busy even when one
   // program (go, bison) dominates the wall clock.
@@ -178,13 +195,16 @@ std::vector<ProgramResults> rpcc::runSuite(const std::vector<std::string> &Names
   parallelFor(Opts.Jobs, Names.size() * 4, [&](size_t Job) {
     size_t I = Job / 4;
     int A = static_cast<int>(Job % 4) / 2, P = static_cast<int>(Job % 2);
-    All[I].R[A][P] =
-        runOneCell(Names[I], Sources[I], A, P, Opts, CellTiming[Job]);
+    All[I].R[A][P] = runOneCell(Names[I], Sources[I], A, P, Opts, Cache.get(),
+                                CellTiming[Job]);
   });
 
   for (size_t I = 0; I != All.size(); ++I) {
-    if (Opts.CollectTiming)
+    if (Opts.CollectTiming) {
       mergeCellTimings(All[I], &CellTiming[I * 4]);
+      if (Cache)
+        All[I].Timing.merge(Cache->sharedTiming(Names[I]));
+    }
     applyBaselineChecks(All[I]);
   }
   return All;

@@ -51,6 +51,13 @@ struct SuiteOptions {
   /// When non-null, every cell's compile passes add spans to this shared
   /// collector, labeled "program/analysis+promo".
   TraceCollector *Trace = nullptr;
+  /// Share the configuration-independent pipeline prefix across cells
+  /// through a CompileCache: the frontend runs once per program and each
+  /// alias analysis once per (program, kind); every cell then forks the
+  /// cached analyzed module. Results are byte-identical either way — the
+  /// flag exists for A/B verification (`--no-compile-cache`) and compile-
+  /// time benchmarking.
+  bool UseCompileCache = true;
 };
 
 struct ConfigCounts {

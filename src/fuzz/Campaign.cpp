@@ -2,6 +2,7 @@
 
 #include "fuzz/Campaign.h"
 
+#include "driver/CompileCache.h"
 #include "driver/PassTiming.h"
 #include "frontend/Lowering.h"
 #include "fuzz/DifferentialOracle.h"
@@ -42,8 +43,8 @@ struct SeedOutcome {
 /// diff oracle: every matrix cell must agree on behavior. Records per-cell
 /// load counts for the corpus-level promotion check.
 bool checkDiff(const std::string &Src, const std::vector<FuzzConfig> &Matrix,
-               InterpEngine Engine, SeedOutcome &Out) {
-  OracleResult R = checkProgram(Src, Matrix, fuzzInterpOptions(Engine));
+               InterpEngine Engine, CompileCache *Cache, SeedOutcome &Out) {
+  OracleResult R = checkProgram(Src, Matrix, fuzzInterpOptions(Engine), Cache);
   if (R.Ok) {
     Out.DiffOk = true;
     Out.Loads = std::move(R.Loads);
@@ -54,18 +55,32 @@ bool checkDiff(const std::string &Src, const std::vector<FuzzConfig> &Matrix,
 }
 
 /// widen oracle: behavior must survive conservative analysis degradation.
+/// The widening hook runs in the config-dependent suffix, so both runs can
+/// fork one cached points-to prefix: the reference suffix sees the pristine
+/// analysis, the widened suffix degrades its own private fork.
 bool checkWiden(uint64_t Seed, const std::string &Src, InterpEngine Engine,
-                std::string &Why) {
+                CompileCache *Cache, std::string &Why) {
+  auto Run = [&](const CompilerConfig &Cfg) {
+    if (!Cache)
+      return compileAndRun(Src, Cfg, fuzzInterpOptions(Engine));
+    CompileOutput Out = Cache->compile("program", Src, Cfg);
+    if (!Out.Ok) {
+      ExecResult R;
+      R.Error = Out.Errors;
+      return R;
+    }
+    return interpret(*Out.M, fuzzInterpOptions(Engine));
+  };
   CompilerConfig Base;
   Base.Analysis = AnalysisKind::PointsTo;
-  ExecResult Ref = compileAndRun(Src, Base, fuzzInterpOptions(Engine));
+  ExecResult Ref = Run(Base);
   if (!Ref.Ok) {
     Why = "[widen] reference run failed: " + Ref.Error;
     return false;
   }
   CompilerConfig Widened = Base;
   Widened.PostAnalysisHook = [Seed](Module &M) { widenAnalysis(M, Seed); };
-  ExecResult Got = compileAndRun(Src, Widened, fuzzInterpOptions(Engine));
+  ExecResult Got = Run(Widened);
   if (!Got.Ok) {
     Why = "[widen] widened run failed: " + Got.Error;
     return false;
@@ -116,17 +131,25 @@ bool checkCorrupt(uint64_t Seed, const std::string &Src, std::string &Why) {
   return true;
 }
 
-/// Runs every enabled oracle for one seed. Self-contained: builds private
-/// modules for each compile, touches no shared state.
+/// Runs every enabled oracle for one seed. Self-contained: the seed's
+/// compiles share a private prefix cache (diff and widen compile the same
+/// program under many configs), and every compile forks its own module, so
+/// no shared state crosses seeds or threads.
 SeedOutcome checkSeed(uint64_t Seed, const CampaignOptions &Opts,
                       const std::vector<FuzzConfig> &Matrix) {
   double T0 = Opts.Trace ? timingNowMs() : 0;
   SeedOutcome Out;
   std::string Src = generateProgram(Seed);
+  std::unique_ptr<CompileCache> Cache;
+  if (Opts.UseCompileCache)
+    Cache = std::make_unique<CompileCache>();
   std::string Why;
-  bool Ok = (!Opts.DoDiff || checkDiff(Src, Matrix, Opts.Engine, Out)) &&
-            (!Opts.DoWiden || checkWiden(Seed, Src, Opts.Engine, Why)) &&
-            (!Opts.DoCorrupt || checkCorrupt(Seed, Src, Why));
+  bool Ok =
+      (!Opts.DoDiff ||
+       checkDiff(Src, Matrix, Opts.Engine, Cache.get(), Out)) &&
+      (!Opts.DoWiden ||
+       checkWiden(Seed, Src, Opts.Engine, Cache.get(), Why)) &&
+      (!Opts.DoCorrupt || checkCorrupt(Seed, Src, Why));
   if (!Ok) {
     Out.Ok = false;
     if (Out.Why.empty())

@@ -48,6 +48,12 @@ struct CampaignOptions {
   /// Interpreter engine for every oracle execution. Campaigns pinned to
   /// each engine must produce identical verdict logs.
   InterpEngine Engine = DefaultInterpEngine;
+  /// Share the compiled pipeline prefix across one seed's oracle runs (the
+  /// diff matrix alone compiles each program dozens of times). Verdict logs
+  /// are byte-identical with the cache on or off; `--no-compile-cache`
+  /// turns it off for A/B runs. The corrupt oracle never uses the cache —
+  /// it must corrupt freshly lowered, un-normalized IL.
+  bool UseCompileCache = true;
 };
 
 struct CampaignResult {

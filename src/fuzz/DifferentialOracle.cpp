@@ -2,6 +2,7 @@
 
 #include "fuzz/DifferentialOracle.h"
 
+#include "driver/CompileCache.h"
 #include "obs/Remark.h"
 
 #include <sstream>
@@ -79,7 +80,8 @@ rpcc::promotionPairs(const std::vector<FuzzConfig> &Matrix) {
 
 OracleResult rpcc::checkProgram(const std::string &Source,
                                 const std::vector<FuzzConfig> &Matrix,
-                                const InterpOptions &IO) {
+                                const InterpOptions &IO,
+                                CompileCache *Cache) {
   OracleResult R;
   R.Loads.assign(Matrix.size(), 0);
   bool HaveBase = false;
@@ -103,7 +105,8 @@ OracleResult rpcc::checkProgram(const std::string &Source,
     }
     ExecResult E;
     {
-      CompileOutput Out = compileProgram(Source, Cfg);
+      CompileOutput Out = Cache ? Cache->compile("program", Source, Cfg)
+                                : compileProgram(Source, Cfg);
       if (!Out.Ok) {
         E.Error = Out.Errors;
       } else {

@@ -26,6 +26,8 @@
 
 namespace rpcc {
 
+class CompileCache;
+
 /// One cell of the differential matrix.
 struct FuzzConfig {
   AnalysisKind Analysis = AnalysisKind::ModRef;
@@ -59,10 +61,14 @@ struct OracleResult {
 };
 
 /// Compiles and runs \p Source under every cell of \p Matrix and compares
-/// observable behavior (exit code, stdout) against cell 0.
+/// observable behavior (exit code, stdout) against cell 0. When \p Cache is
+/// non-null the cells share its compiled prefix (the matrix re-compiles one
+/// program dozens of times, so this is the fuzzer's hot path); the verdict
+/// is identical with or without a cache.
 OracleResult checkProgram(const std::string &Source,
                           const std::vector<FuzzConfig> &Matrix,
-                          const InterpOptions &IO = {});
+                          const InterpOptions &IO = {},
+                          CompileCache *Cache = nullptr);
 
 /// (without, with) index pairs of cells identical except scalar promotion.
 /// Per program the load delta can go either way (landing-pad loads, spill

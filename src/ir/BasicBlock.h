@@ -68,6 +68,19 @@ public:
   const std::vector<BlockId> &preds() const { return Preds; }
   const std::vector<BlockId> &succs() const { return Succs; }
 
+  /// Deep copy: same id/name, every instruction copied by value (operand
+  /// lists and tag sets included), predecessor/successor lists preserved.
+  /// Shares no storage with this block.
+  std::unique_ptr<BasicBlock> clone() const {
+    auto B = std::make_unique<BasicBlock>(Id, Name);
+    B->Insts.reserve(Insts.size());
+    for (const auto &IP : Insts)
+      B->Insts.push_back(std::make_unique<Instruction>(IP->clone()));
+    B->Preds = Preds;
+    B->Succs = Succs;
+    return B;
+  }
+
 private:
   BlockId Id;
   std::string Name;

@@ -6,6 +6,20 @@
 
 using namespace rpcc;
 
+std::unique_ptr<Function> Function::clone() const {
+  auto F = std::make_unique<Function>(Id, Name);
+  F->Builtin = Builtin;
+  F->RegTypes = RegTypes;
+  F->Params = Params;
+  F->HasRet = HasRet;
+  F->RetTy = RetTy;
+  F->FnTag = FnTag;
+  F->Blocks.reserve(Blocks.size());
+  for (const auto &B : Blocks)
+    F->Blocks.push_back(B->clone());
+  return F;
+}
+
 void Function::removeBlocks(const std::vector<bool> &Dead) {
   assert(Dead.size() == Blocks.size() && "flag vector arity mismatch");
   assert((Blocks.empty() || !Dead[0]) && "cannot remove the entry block");

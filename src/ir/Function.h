@@ -122,6 +122,12 @@ public:
   /// lists. Predecessor/successor lists must be recomputed afterwards.
   void removeBlocks(const std::vector<bool> &Dead);
 
+  /// Deep copy preserving every id (function, blocks, registers): block
+  /// order, register file, params, return shape, builtin kind, and function
+  /// tag all carry over; blocks are cloned instruction by instruction. The
+  /// clone shares no storage with this function.
+  std::unique_ptr<Function> clone() const;
+
 private:
   FuncId Id;
   std::string Name;

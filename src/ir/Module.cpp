@@ -4,6 +4,17 @@
 
 using namespace rpcc;
 
+std::unique_ptr<Module> Module::clone() const {
+  auto M = std::make_unique<Module>();
+  M->Funcs.reserve(Funcs.size());
+  for (const auto &F : Funcs)
+    M->Funcs.push_back(F->clone());
+  M->FuncByName = FuncByName;
+  M->Tags = Tags;
+  M->Globals = Globals;
+  return M;
+}
+
 Function *Module::addFunction(std::string Name) {
   assert(FuncByName.find(Name) == FuncByName.end() && "duplicate function");
   FuncId Id = static_cast<FuncId>(Funcs.size());

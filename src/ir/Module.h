@@ -67,6 +67,16 @@ public:
     Globals.push_back(GlobalInit{Tag, std::move(Bytes)});
   }
 
+  /// Deep copy of the whole program. Function, block, register, and tag ids
+  /// are dense indices, so the clone preserves them all verbatim: every
+  /// function (blocks, instructions, tag lists, call MOD/REF summaries),
+  /// the tag table with its per-owner indexes, the name lookup map, and the
+  /// global initializers. The clone aliases no storage with this module —
+  /// mutating either side never affects the other — which is what lets the
+  /// compile cache hand forks of one analyzed module to concurrent compile
+  /// jobs.
+  std::unique_ptr<Module> clone() const;
+
 private:
   std::vector<std::unique_ptr<Function>> Funcs;
   std::unordered_map<std::string, FuncId> FuncByName;

@@ -7,6 +7,7 @@
 #include "support/DenseBitSet.h"
 
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 using namespace rpcc;
@@ -21,12 +22,17 @@ struct ExprKey {
   std::vector<Reg> Ops;
   uint64_t Extra; // LoadAddr offset, or the tag of a scalar load
 
-  bool operator<(const ExprKey &O) const {
-    if (Op != O.Op)
-      return Op < O.Op;
-    if (Extra != O.Extra)
-      return Extra < O.Extra;
-    return Ops < O.Ops;
+  bool operator==(const ExprKey &O) const {
+    return Op == O.Op && Extra == O.Extra && Ops == O.Ops;
+  }
+};
+
+struct ExprKeyHash {
+  size_t operator()(const ExprKey &K) const {
+    uint64_t H = K.Op * 0x9E3779B97F4A7C15ull ^ K.Extra;
+    for (Reg R : K.Ops)
+      H = (H ^ R) * 0x100000001B3ull;
+    return static_cast<size_t>(H);
   }
 };
 
@@ -80,17 +86,24 @@ public:
 private:
   // -- Expression pool -----------------------------------------------------
   void collectExprs() {
+    // Record each block's candidate expression indices in visit order;
+    // the later walks (local sets, both rewrite passes) see candidates in
+    // exactly this order, so they replay the sequence by cursor instead
+    // of re-keying and re-hashing every instruction.
+    SeqByBlock.assign(F.numBlocks(), {});
     for (const auto &B : F.blocks())
       for (const auto &IP : B->insts()) {
         if (!isCandidate(*IP))
           continue;
         ExprKey K = keyOf(*IP);
-        if (!Index.count(K)) {
-          Index[K] = static_cast<unsigned>(Exprs.size());
-          Exprs.push_back(K);
+        auto [It, New] = Index.try_emplace(std::move(K),
+                                           static_cast<unsigned>(Exprs.size()));
+        if (New) {
+          Exprs.push_back(It->first);
           IsLoad.push_back(IP->Op == Opcode::ScalarLoad);
           ResultType.push_back(F.regType(IP->Result));
         }
+        SeqByBlock[B->id()].push_back(It->second);
       }
     // Killed-by maps: expression lists per operand register and per tag.
     // LoadAddr keys carry a tag in Ops (not a register) and are never
@@ -137,6 +150,7 @@ private:
     for (const auto &B : F.blocks()) {
       DenseBitSet &G = Gen[B->id()];
       DenseBitSet &K = Kill[B->id()];
+      size_t Cursor = 0;
       for (const auto &IP : B->insts()) {
         const Instruction &I = *IP;
         // Kills first: a computation after a kill regenerates.
@@ -164,7 +178,7 @@ private:
             KillTag(T);
         // Generation after kills.
         if (isCandidate(I)) {
-          unsigned E = Index[keyOf(I)];
+          unsigned E = SeqByBlock[B->id()][Cursor++];
           G.set(E);
           K.reset(E);
         }
@@ -181,25 +195,38 @@ private:
     for (BlockId B = 0; B != NB; ++B)
       if (B != 0)
         AvailOut[B].setAll();
-    bool Changed = true;
-    while (Changed) {
-      Changed = false;
-      for (BlockId B = 0; B != NB; ++B) {
-        DenseBitSet In(NE);
-        const auto &Preds = F.block(B)->preds();
-        if (!Preds.empty()) {
-          In.setAll();
-          for (BlockId P : Preds)
-            In.intersectWith(AvailOut[P]);
-        }
-        DenseBitSet Out = In;
-        Out.subtract(Kill[B]);
-        Out.unionWith(Gen[B]);
-        if (In != AvailIn[B] || Out != AvailOut[B]) {
-          AvailIn[B] = std::move(In);
-          AvailOut[B] = std::move(Out);
-          Changed = true;
-        }
+    // Worklist iteration to the (unique) fixpoint; a block is revisited
+    // only when a predecessor's OUT changes, and the scratch sets are
+    // reused across visits.
+    std::vector<char> Queued(NB, 1);
+    std::vector<BlockId> Work;
+    Work.reserve(NB);
+    for (size_t B = NB; B-- > 0;)
+      Work.push_back(static_cast<BlockId>(B)); // popped front-to-back
+    DenseBitSet In(NE), Out(NE);
+    while (!Work.empty()) {
+      BlockId B = Work.back();
+      Work.pop_back();
+      Queued[B] = 0;
+      const auto &Preds = F.block(B)->preds();
+      In.clear();
+      if (!Preds.empty()) {
+        In.setAll();
+        for (BlockId P : Preds)
+          In.intersectWith(AvailOut[P]);
+      }
+      Out = In;
+      Out.subtract(Kill[B]);
+      Out.unionWith(Gen[B]);
+      if (In != AvailIn[B])
+        std::swap(AvailIn[B], In);
+      if (Out != AvailOut[B]) {
+        std::swap(AvailOut[B], Out);
+        for (BlockId S : F.block(B)->succs())
+          if (!Queued[S]) {
+            Queued[S] = 1;
+            Work.push_back(S);
+          }
       }
     }
   }
@@ -210,16 +237,16 @@ private:
     DenseBitSet NeedHolder(NE);
     for (const auto &B : F.blocks()) {
       DenseBitSet Live = AvailIn[B->id()];
+      size_t Cursor = 0;
       for (const auto &IP : B->insts()) {
         const Instruction &I = *IP;
-        if (isCandidate(I)) {
-          unsigned E = Index[keyOf(I)];
-          if (Live.test(E))
-            NeedHolder.set(E);
-        }
+        bool Cand = isCandidate(I);
+        unsigned E = Cand ? SeqByBlock[B->id()][Cursor++] : 0;
+        if (Cand && Live.test(E))
+          NeedHolder.set(E);
         applyKills(I, Live);
-        if (isCandidate(I))
-          Live.set(Index[keyOf(I)]);
+        if (Cand)
+          Live.set(E);
       }
     }
     if (NeedHolder.none())
@@ -236,10 +263,11 @@ private:
     for (auto &B : F.blocks()) {
       DenseBitSet Live = AvailIn[B->id()];
       auto &Insts = B->insts();
+      size_t Cursor = 0;
       for (size_t Idx = 0; Idx < Insts.size(); ++Idx) {
         Instruction &I = *Insts[Idx];
         bool Cand = isCandidate(I);
-        unsigned E = Cand ? Index[keyOf(I)] : 0;
+        unsigned E = Cand ? SeqByBlock[B->id()][Cursor++] : 0;
         if (Cand && Holders[E] != NoReg && Live.test(E)) {
           // Redundant: read the holder.
           bool WasLoad = I.Op == Opcode::ScalarLoad;
@@ -280,7 +308,8 @@ private:
   RemarkEngine *Re;
   std::map<TagId, unsigned> ElimByTag;
 
-  std::map<ExprKey, unsigned> Index;
+  std::unordered_map<ExprKey, unsigned, ExprKeyHash> Index;
+  std::vector<std::vector<unsigned>> SeqByBlock;
   std::vector<ExprKey> Exprs;
   std::vector<bool> IsLoad;
   std::vector<RegType> ResultType;

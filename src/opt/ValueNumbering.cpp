@@ -7,9 +7,9 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
-#include <map>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 using namespace rpcc;
 
@@ -91,14 +91,31 @@ std::optional<ConstVal> foldOp(Opcode Op, const std::vector<ConstVal> &C) {
   }
 }
 
-/// One block's numbering state.
-class BlockNumberer {
+/// One function's numbering state. Every table is either dense (indexed by
+/// register, tag, or value number) or a retained-capacity hash map; the
+/// register- and tag-indexed tables are epoch-stamped, so starting a new
+/// block costs O(1) revalidation instead of O(registers + tags) clearing.
+/// Value numbers restart at zero each block (numbering is block-local), so
+/// the VN-indexed tables just reset their length.
+class FunctionNumberer {
 public:
-  BlockNumberer(Function &F, const Module &M, VnStats &Stats)
-      : F(F), M(M), Stats(Stats) {}
+  FunctionNumberer(Function &F, const Module &M, VnStats &Stats)
+      : F(F), M(M), Stats(Stats), VnOfReg(F.numRegs(), 0),
+        RegEpoch(F.numRegs(), 0), AvailScalarVn(M.tags().size(), 0),
+        AvailScalarEpoch(M.tags().size(), 0),
+        LastStoreIdx(M.tags().size(), 0),
+        LastStoreEpoch(M.tags().size(), 0) {}
 
   void run(BasicBlock &B) {
-    std::vector<size_t> ToErase;
+    ++Epoch;
+    NextVn = 0;
+    Holder.clear();
+    IsConst.clear();
+    ConstOf.clear();
+    ConstVn.clear();
+    Exprs.clear();
+    AvailPtr.clear();
+    ToErase.clear();
     for (size_t Idx = 0; Idx != B.size(); ++Idx)
       visit(B, Idx, ToErase);
     for (auto It = ToErase.rbegin(); It != ToErase.rend(); ++It)
@@ -107,32 +124,36 @@ public:
 
 private:
   // -- VN bookkeeping ---------------------------------------------------------
-  VN freshVn() { return NextVn++; }
+  VN freshVn() {
+    Holder.push_back(NoReg);
+    IsConst.push_back(0);
+    ConstOf.push_back(ConstVal{});
+    return NextVn++;
+  }
 
   VN vnOf(Reg R) {
-    auto It = VnOfReg.find(R);
-    if (It != VnOfReg.end())
-      return It->second;
+    if (RegEpoch[R] == Epoch)
+      return VnOfReg[R];
     VN V = freshVn();
+    RegEpoch[R] = Epoch;
     VnOfReg[R] = V;
     Holder[V] = R;
     return V;
   }
 
   void setVn(Reg R, VN V) {
+    RegEpoch[R] = Epoch;
     VnOfReg[R] = V;
-    if (!Holder.count(V))
+    if (Holder[V] == NoReg)
       Holder[V] = R;
   }
 
   /// Register currently carrying value \p V, or NoReg.
   Reg holderOf(VN V) {
-    auto It = Holder.find(V);
-    if (It == Holder.end())
+    Reg H = Holder[V];
+    if (H == NoReg)
       return NoReg;
-    Reg H = It->second;
-    auto RIt = VnOfReg.find(H);
-    if (RIt == VnOfReg.end() || RIt->second != V)
+    if (RegEpoch[H] != Epoch || VnOfReg[H] != V)
       return NoReg; // holder was overwritten
     return H;
   }
@@ -144,22 +165,47 @@ private:
       return It->second;
     VN V = freshVn();
     ConstVn[Key] = V;
+    IsConst[V] = 1;
     ConstOf[V] = C;
     return V;
   }
 
   std::optional<ConstVal> constOf(VN V) {
-    auto It = ConstOf.find(V);
-    if (It == ConstOf.end())
+    if (!IsConst[V])
       return std::nullopt;
-    return It->second;
+    return ConstOf[V];
   }
+
+  // -- Scalar availability / last-store, epoch-stamped per tag ---------------
+  bool availScalarGet(TagId T, VN &V) const {
+    if (AvailScalarEpoch[T] != Epoch)
+      return false;
+    V = AvailScalarVn[T];
+    return true;
+  }
+  void availScalarSet(TagId T, VN V) {
+    AvailScalarEpoch[T] = Epoch;
+    AvailScalarVn[T] = V;
+  }
+  void availScalarErase(TagId T) { AvailScalarEpoch[T] = 0; }
+
+  bool lastStoreGet(TagId T, size_t &Idx) const {
+    if (LastStoreEpoch[T] != Epoch)
+      return false;
+    Idx = LastStoreIdx[T];
+    return true;
+  }
+  void lastStoreSet(TagId T, size_t Idx) {
+    LastStoreEpoch[T] = Epoch;
+    LastStoreIdx[T] = Idx;
+  }
+  void lastStoreErase(TagId T) { LastStoreEpoch[T] = 0; }
 
   // -- Kills ---------------------------------------------------------------------
   void killTag(TagId T, bool KillsValue) {
     if (KillsValue)
-      AvailScalar.erase(T);
-    LastScalarStore.erase(T);
+      availScalarErase(T);
+    lastStoreErase(T);
   }
 
   void killTagSet(const TagSet &Tags, bool KillsValue) {
@@ -215,12 +261,12 @@ private:
       return;
     }
     case Opcode::ScalarLoad: {
-      auto It = AvailScalar.find(I.Tag);
-      if (It != AvailScalar.end()) {
-        if (Reg H = holderOf(It->second); H != NoReg) {
+      VN Avail;
+      if (availScalarGet(I.Tag, Avail)) {
+        if (Reg H = holderOf(Avail); H != NoReg) {
           // A prior load or store already has the value in a register.
           replaceWithCopy(I, H);
-          setVn(I.Result, It->second);
+          setVn(I.Result, Avail);
           ++Stats.LoadsForwarded;
           // The memory value was observed; earlier store is not dead,
           // but it was the source of this value, so DSE state survives.
@@ -229,36 +275,36 @@ private:
       }
       VN V = freshVn();
       setVn(I.Result, V);
-      AvailScalar[I.Tag] = V;
+      availScalarSet(I.Tag, V);
       // The load observes memory, so the previous store is not dead.
-      LastScalarStore.erase(I.Tag);
+      lastStoreErase(I.Tag);
       return;
     }
     case Opcode::ScalarStore: {
       // Block-local dead-store elimination: the previous store to this tag
       // is dead if nothing observed the value in between.
-      auto LS = LastScalarStore.find(I.Tag);
-      if (LS != LastScalarStore.end()) {
-        ToErase.push_back(LS->second);
+      size_t Prev;
+      if (lastStoreGet(I.Tag, Prev)) {
+        ToErase.push_back(Prev);
         ++Stats.DeadStores;
       }
-      LastScalarStore[I.Tag] = Idx;
+      lastStoreSet(I.Tag, Idx);
       // Store forwarding: the stored value is now the memory value.
       // (I8 stores truncate; the frontend masks char values, so the
       // register equals the stored byte. Conservatively skip forwarding
       // for I8 anyway.)
       if (I.MemTy != MemType::I8)
-        AvailScalar[I.Tag] = vnOf(I.Ops[0]);
+        availScalarSet(I.Tag, vnOf(I.Ops[0]));
       else
-        AvailScalar.erase(I.Tag);
+        availScalarErase(I.Tag);
       return;
     }
     case Opcode::Load:
     case Opcode::ConstLoad: {
       // A pointer load may observe any tag in its set.
       for (TagId T : I.Tags)
-        LastScalarStore.erase(T);
-      PtrKey K{vnOf(I.Ops[0]), I.MemTy};
+        lastStoreErase(T);
+      uint64_t K = ptrKey(vnOf(I.Ops[0]), I.MemTy);
       auto It = AvailPtr.find(K);
       if (It != AvailPtr.end()) {
         if (Reg H = holderOf(It->second.Value); H != NoReg) {
@@ -277,7 +323,7 @@ private:
       killTagSet(I.Tags, /*KillsValue=*/true);
       // Forward the stored value to subsequent same-address loads.
       if (I.MemTy != MemType::I8) {
-        PtrKey K{vnOf(I.Ops[0]), I.MemTy};
+        uint64_t K = ptrKey(vnOf(I.Ops[0]), I.MemTy);
         AvailPtr[K] = PtrAvail{vnOf(I.Ops[1]), I.Tags};
       }
       return;
@@ -287,7 +333,7 @@ private:
       killTagSet(I.Mods, /*KillsValue=*/true);
       // Referenced tags: stores before the call are observed.
       for (TagId T : I.Refs)
-        LastScalarStore.erase(T);
+        lastStoreErase(T);
       if (I.hasResult())
         setVn(I.Result, freshVn());
       return;
@@ -332,12 +378,16 @@ private:
     uint32_t Op;
     std::vector<VN> Ops;
     uint64_t Imm;
-    bool operator<(const ExprKey &O) const {
-      if (Op != O.Op)
-        return Op < O.Op;
-      if (Imm != O.Imm)
-        return Imm < O.Imm;
-      return Ops < O.Ops;
+    bool operator==(const ExprKey &O) const {
+      return Op == O.Op && Imm == O.Imm && Ops == O.Ops;
+    }
+  };
+  struct ExprKeyHash {
+    size_t operator()(const ExprKey &K) const {
+      uint64_t H = K.Op * 0x9E3779B97F4A7C15ull ^ K.Imm;
+      for (VN V : K.Ops)
+        H = (H ^ V) * 0x100000001B3ull;
+      return static_cast<size_t>(H);
     }
   };
 
@@ -356,15 +406,13 @@ private:
     Exprs[K] = V;
   }
 
-  struct PtrKey {
-    VN Addr;
-    MemType MT;
-    bool operator<(const PtrKey &O) const {
-      if (Addr != O.Addr)
-        return Addr < O.Addr;
-      return static_cast<int>(MT) < static_cast<int>(O.MT);
-    }
-  };
+  /// Packed (address VN, access width) key for pointer-load availability.
+  /// Nothing iterates AvailPtr except the kill loop, which only erases, so
+  /// hash order is fine.
+  static uint64_t ptrKey(VN Addr, MemType MT) {
+    return (static_cast<uint64_t>(Addr) << 2) |
+           static_cast<uint64_t>(static_cast<uint8_t>(MT));
+  }
   struct PtrAvail {
     VN Value;
     TagSet Tags;
@@ -375,24 +423,35 @@ private:
   VnStats &Stats;
 
   VN NextVn = 0;
-  std::unordered_map<Reg, VN> VnOfReg;
-  std::unordered_map<VN, Reg> Holder;
+  uint32_t Epoch = 0;
+
+  // Register-indexed, epoch-stamped.
+  std::vector<VN> VnOfReg;
+  std::vector<uint32_t> RegEpoch;
+  // Tag-indexed, epoch-stamped.
+  std::vector<VN> AvailScalarVn;
+  std::vector<uint32_t> AvailScalarEpoch;
+  std::vector<size_t> LastStoreIdx;
+  std::vector<uint32_t> LastStoreEpoch;
+  // VN-indexed; grown by freshVn, truncated per block.
+  std::vector<Reg> Holder;
+  std::vector<uint8_t> IsConst;
+  std::vector<ConstVal> ConstOf;
+  // Hash tables cleared per block (capacity is retained across blocks).
   std::unordered_map<uint64_t, VN> ConstVn;
-  std::unordered_map<VN, ConstVal> ConstOf;
-  std::map<ExprKey, VN> Exprs;
-  std::unordered_map<TagId, VN> AvailScalar;
-  std::unordered_map<TagId, size_t> LastScalarStore;
-  std::map<PtrKey, PtrAvail> AvailPtr;
+  std::unordered_map<ExprKey, VN, ExprKeyHash> Exprs;
+  std::unordered_map<uint64_t, PtrAvail> AvailPtr;
+
+  std::vector<size_t> ToErase;
 };
 
 } // namespace
 
 VnStats rpcc::runValueNumbering(Function &F, const Module &M) {
   VnStats Stats;
-  for (auto &B : F.blocks()) {
-    BlockNumberer BN(F, M, Stats);
-    BN.run(*B);
-  }
+  FunctionNumberer FN(F, M, Stats);
+  for (auto &B : F.blocks())
+    FN.run(*B);
   return Stats;
 }
 

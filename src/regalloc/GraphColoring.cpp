@@ -3,10 +3,14 @@
 #include "regalloc/GraphColoring.h"
 
 #include "analysis/Cfg.h"
+#include "analysis/LoopInfo.h"
 #include "regalloc/Liverange.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <memory>
+#include <queue>
 
 using namespace rpcc;
 
@@ -42,12 +46,27 @@ public:
 
   void run() {
     recomputeCfg(F);
+    // Spill rounds insert instructions but never touch the CFG, so the
+    // loop-depth spill weights are computed once for every graph build.
+    {
+      LoopInfo LI(F);
+      BlockWeight.assign(F.numBlocks(), 1.0);
+      for (BlockId B = 0; B != F.numBlocks(); ++B) {
+        int LoopIdx = LI.innermostLoop(B);
+        unsigned Depth = LoopIdx < 0 ? 0 : LI.loop(LoopIdx).Depth;
+        BlockWeight[B] = std::pow(10.0, static_cast<double>(Depth));
+      }
+    }
     for (unsigned Round = 0; Round < 100; ++Round) {
       ++Stats.Rounds;
-      coalesce();
-      InterferenceGraph IG(F);
+      // coalesce() folds merges into the round's single graph with the
+      // union update, which matches a from-scratch rebuild of the
+      // rewritten function (see InterferenceGraph::merge) — so the graph
+      // it hands back is colored directly, and the only rebuilds left are
+      // the one per spill round.
+      std::unique_ptr<InterferenceGraph> IG = coalesce();
       std::vector<Reg> SpillList;
-      if (color(IG, SpillList)) {
+      if (color(*IG, SpillList)) {
         rewriteToColors();
         return;
       }
@@ -59,24 +78,16 @@ public:
 
 private:
   // -- Coalescing ---------------------------------------------------------
-  /// Degree within a node's own register class (colors are per-class, so
-  /// only same-class neighbors constrain coloring).
-  unsigned classDegree(const InterferenceGraph &IG, Reg R) {
-    unsigned D = 0;
-    for (Reg Nb : IG.neighbors(R))
-      if (F.regType(Nb) == F.regType(R))
-        ++D;
-    return D;
-  }
-
   /// Briggs conservative test: merging is safe if the combined node has
-  /// fewer than K same-class neighbors of significant degree.
+  /// fewer than K same-class neighbors of significant degree. Dead
+  /// adjacency entries (nodes already folded away by earlier merges) are
+  /// skipped lazily.
   bool briggsSafe(const InterferenceGraph &IG, Reg A, Reg B) {
     unsigned Significant = 0;
     for (Reg Nb : IG.neighbors(A)) {
-      if (Nb == B || F.regType(Nb) != F.regType(A))
+      if (Nb == B || !IG.isLive(Nb) || F.regType(Nb) != F.regType(A))
         continue;
-      unsigned Deg = classDegree(IG, Nb);
+      unsigned Deg = IG.classDegree(Nb);
       if (IG.interfere(Nb, B))
         --Deg; // merged node counts once
       if (Deg >= K)
@@ -84,9 +95,10 @@ private:
     }
     // Neighbors of B not shared with A.
     for (Reg Nb : IG.neighbors(B)) {
-      if (Nb == A || IG.interfere(Nb, A) || F.regType(Nb) != F.regType(B))
+      if (Nb == A || !IG.isLive(Nb) || IG.interfere(Nb, A) ||
+          F.regType(Nb) != F.regType(B))
         continue;
-      if (classDegree(IG, Nb) >= K)
+      if (IG.classDegree(Nb) >= K)
         ++Significant;
     }
     return Significant < K;
@@ -98,55 +110,62 @@ private:
   /// accumulators) that the Briggs test rejects under pressure.
   bool georgeSafe(const InterferenceGraph &IG, Reg A, Reg B) {
     for (Reg Nb : IG.neighbors(B)) {
-      if (Nb == A || F.regType(Nb) != F.regType(B))
+      if (Nb == A || !IG.isLive(Nb) || F.regType(Nb) != F.regType(B))
         continue;
-      if (classDegree(IG, Nb) >= K && !IG.interfere(Nb, A))
+      if (IG.classDegree(Nb) >= K && !IG.interfere(Nb, A))
         return false;
     }
     return true;
   }
 
-  void coalesce() {
-    bool MergedAny = true;
-    while (MergedAny) {
-      MergedAny = false;
-      InterferenceGraph IG(F);
-      std::vector<bool> Dirty(F.numRegs(), false);
-      std::vector<Reg> Remap(F.numRegs());
-      for (Reg R = 0; R != F.numRegs(); ++R)
-        Remap[R] = R;
-      bool NeedRewrite = false;
+  /// Representative of \p R under the pending merges, with path
+  /// compression.
+  static Reg rep(std::vector<Reg> &Remap, Reg R) {
+    while (Remap[R] != R) {
+      Remap[R] = Remap[Remap[R]]; // halve the chain
+      R = Remap[R];
+    }
+    return R;
+  }
 
-      for (const auto &C : IG.copies()) {
-        Reg A = Remap[C.Dst], B = Remap[C.Src];
-        if (A == B)
-          continue;
-        if (Dirty[A] || Dirty[B] || IG.interfere(A, B))
+  /// Coalesce to a fixpoint on one interference graph. Each merge folds
+  /// the copy's endpoints with InterferenceGraph::merge — the conservative
+  /// union update — which keeps degrees current, so no rebuild is needed
+  /// between sweeps; sweeps repeat only because a merge elsewhere can drop
+  /// a neighborhood below the Briggs threshold and unlock another copy.
+  std::unique_ptr<InterferenceGraph> coalesce() {
+    auto IG = std::make_unique<InterferenceGraph>(F, BlockWeight);
+    std::vector<Reg> Remap(F.numRegs());
+    for (Reg R = 0; R != F.numRegs(); ++R)
+      Remap[R] = R;
+    bool NeedRewrite = false;
+
+    for (bool MergedAny = true; MergedAny;) {
+      MergedAny = false;
+      for (const auto &C : IG->copies()) {
+        Reg A = rep(Remap, C.Dst), B = rep(Remap, C.Src);
+        if (A == B || IG->interfere(A, B))
           continue;
         if (F.regType(A) != F.regType(B))
           continue;
-        bool Safe = briggsSafe(IG, A, B) ||
+        bool Safe = briggsSafe(*IG, A, B) ||
                     (Opts.GeorgeCoalescing &&
-                     (georgeSafe(IG, A, B) || georgeSafe(IG, B, A)));
+                     (georgeSafe(*IG, A, B) || georgeSafe(*IG, B, A)));
         if (!Safe)
           continue;
-        // Merge B into A. Degrees of the neighborhood are now stale; mark
-        // everything involved dirty for the rest of this sweep.
-        for (Reg R = 0; R != F.numRegs(); ++R)
-          if (Remap[R] == B)
-            Remap[R] = A;
-        Dirty[A] = true;
-        for (Reg Nb : IG.neighbors(A))
-          Dirty[Nb] = true;
-        for (Reg Nb : IG.neighbors(B))
-          Dirty[Nb] = true;
+        IG->merge(A, B, C.Weight);
+        Remap[B] = A;
         NeedRewrite = true;
         MergedAny = true;
         ++Stats.CoalescedCopies;
       }
-      if (NeedRewrite)
-        applyRemap(Remap);
     }
+    if (NeedRewrite) {
+      for (Reg R = 0; R != F.numRegs(); ++R)
+        Remap[R] = rep(Remap, R);
+      applyRemap(Remap);
+    }
+    return IG;
   }
 
   void applyRemap(const std::vector<Reg> &Remap) {
@@ -173,27 +192,34 @@ private:
   /// floats from {K..2K-1}. Only same-class neighbors constrain a node.
   bool color(const InterferenceGraph &IG, std::vector<Reg> &SpillList) {
     const size_t N = F.numRegs();
-    std::vector<unsigned> Degree(N);
+    std::vector<unsigned> Degree = IG.classDegrees();
     std::vector<bool> Removed(N, true);
     std::vector<Reg> Stack;
+    // Low-degree nodes awaiting simplification, kept in a min-heap so each
+    // pick is the lowest-numbered eligible node — the same node a linear
+    // rescan would find. Degrees only decrease, so a node enters at most
+    // once (the Queued flags make re-inserts no-ops).
+    std::priority_queue<Reg, std::vector<Reg>, std::greater<Reg>> LowDegree;
+    std::vector<char> Queued(N, 0);
     size_t Remaining = 0;
     for (Reg R = 0; R != N; ++R) {
       if (!IG.isLive(R))
         continue;
       Removed[R] = false;
-      Degree[R] = classDegree(IG, R);
+      if (Degree[R] < K) {
+        LowDegree.push(R);
+        Queued[R] = 1;
+      }
       ++Remaining;
     }
 
     // Simplify with optimistic spill candidates.
     while (Remaining) {
       Reg Pick = NoReg;
-      for (Reg R = 0; R != N; ++R)
-        if (!Removed[R] && Degree[R] < K) {
-          Pick = R;
-          break;
-        }
-      if (Pick == NoReg) {
+      if (!LowDegree.empty()) {
+        Pick = LowDegree.top();
+        LowDegree.pop();
+      } else {
         // Optimistic spill: cheapest candidate, avoiding spiller temps.
         double Best = 0;
         for (Reg R = 0; R != N; ++R) {
@@ -213,22 +239,31 @@ private:
       Stack.push_back(Pick);
       for (Reg Nb : IG.neighbors(Pick))
         if (!Removed[Nb] && Degree[Nb] > 0 &&
-            F.regType(Nb) == F.regType(Pick))
+            F.regType(Nb) == F.regType(Pick)) {
           --Degree[Nb];
+          if (Degree[Nb] < K && !Queued[Nb]) {
+            LowDegree.push(Nb);
+            Queued[Nb] = 1;
+          }
+        }
     }
 
-    // Select.
+    // Select. One stamp buffer serves every node: a color is "used" for
+    // the node under consideration iff its stamp matches that node's
+    // epoch, so no per-node clearing or allocation is needed.
     Colors.assign(N, -1);
     bool Success = true;
+    std::vector<unsigned> UsedStamp(K, 0);
+    unsigned Epoch = 0;
     for (auto It = Stack.rbegin(); It != Stack.rend(); ++It) {
       Reg R = *It;
-      std::vector<bool> Used(K, false);
+      ++Epoch;
       for (Reg Nb : IG.neighbors(R))
         if (Colors[Nb] >= 0 && F.regType(Nb) == F.regType(R))
-          Used[classColor(Nb)] = true;
+          UsedStamp[classColor(Nb)] = Epoch;
       int C = -1;
       for (unsigned I = 0; I != K; ++I)
-        if (!Used[I]) {
+        if (UsedStamp[I] != Epoch) {
           C = static_cast<int>(I);
           break;
         }
@@ -415,6 +450,7 @@ private:
   RegAllocStats &Stats;
   std::vector<int> Colors;
   std::vector<bool> NoSpill;
+  std::vector<double> BlockWeight;
 };
 
 } // namespace

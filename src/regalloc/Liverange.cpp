@@ -9,31 +9,42 @@
 
 using namespace rpcc;
 
-void InterferenceGraph::addEdge(Reg A, Reg B) {
-  if (A == B || Matrix[A].test(B))
-    return;
-  Matrix[A].set(B);
-  Matrix[B].set(A);
-  Adj[A].push_back(B);
-  Adj[B].push_back(A);
-  ++Degrees[A];
-  ++Degrees[B];
+namespace {
+/// 10^loop-depth per block — the classic spill-cost weight.
+std::vector<double> loopWeights(const Function &F) {
+  LoopInfo LI(F);
+  std::vector<double> W(F.numBlocks(), 1.0);
+  for (BlockId B = 0; B != F.numBlocks(); ++B) {
+    int LoopIdx = LI.innermostLoop(B);
+    unsigned Depth = LoopIdx < 0 ? 0 : LI.loop(LoopIdx).Depth;
+    W[B] = std::pow(10.0, static_cast<double>(Depth));
+  }
+  return W;
 }
+} // namespace
 
 InterferenceGraph::InterferenceGraph(const Function &F)
+    : InterferenceGraph(F, loopWeights(F)) {}
+
+InterferenceGraph::InterferenceGraph(const Function &F,
+                                     const std::vector<double> &BlockWeight)
     : N(F.numRegs()), Matrix(N, DenseBitSet(N)), Adj(N), Degrees(N, 0),
-      Live(N, false), Costs(N, 0.0) {
+      ClassDeg(N, 0), Types(N), Live(N, false), RawCosts(N, 0.0),
+      Costs(N, 0.0) {
+  for (Reg R = 0; R != N; ++R)
+    Types[R] = F.regType(R);
   Liveness LV(F);
-  LoopInfo LI(F);
 
   for (Reg P : F.paramRegs())
     Live[P] = true;
 
+  // Each definition interferes with everything live across it. The live
+  // set is unioned into the definition's matrix row word-parallel; rows
+  // are symmetrized below, once, instead of mirroring every bit as it is
+  // discovered.
   for (const auto &B : F.blocks()) {
     // Spill-cost weight grows with loop depth.
-    int LoopIdx = LI.innermostLoop(B->id());
-    unsigned Depth = LoopIdx < 0 ? 0 : LI.loop(LoopIdx).Depth;
-    double Weight = std::pow(10.0, static_cast<double>(Depth));
+    double Weight = BlockWeight[B->id()];
 
     DenseBitSet LiveNow = LV.liveOut(B->id());
     // Walk backward building interferences.
@@ -42,22 +53,20 @@ InterferenceGraph::InterferenceGraph(const Function &F)
       const Instruction &I = *Insts[Idx];
       if (I.hasResult()) {
         Live[I.Result] = true;
-        Costs[I.Result] += Weight;
+        RawCosts[I.Result] += Weight;
         if (I.Op == Opcode::Copy) {
-          Copies.push_back(CopyEdge{I.Result, I.Ops[0]});
+          Copies.push_back(CopyEdge{I.Result, I.Ops[0], Weight});
           // Chaitin's refinement: the copy source does not interfere with
           // the destination (they may share a register).
           LiveNow.reset(I.Ops[0]);
         }
-        LiveNow.forEach([&](size_t Other) {
-          addEdge(I.Result, static_cast<Reg>(Other));
-        });
+        Matrix[I.Result].unionWith(LiveNow);
         LiveNow.reset(I.Result);
       }
       for (Reg U : I.Ops) {
         LiveNow.set(U);
         Live[U] = true;
-        Costs[U] += Weight;
+        RawCosts[U] += Weight;
       }
     }
     // Parameters are defined at entry: they interfere with everything live
@@ -65,15 +74,76 @@ InterferenceGraph::InterferenceGraph(const Function &F)
     if (B->id() == 0) {
       const DenseBitSet &EntryIn = LV.liveIn(0);
       for (Reg P : F.paramRegs())
-        EntryIn.forEach([&](size_t Other) {
-          if (static_cast<Reg>(Other) != P)
-            addEdge(P, static_cast<Reg>(Other));
-        });
+        Matrix[P].unionWith(EntryIn);
     }
   }
 
-  // Normalize cost to cost/degree (classic Chaitin heuristic); guard the
-  // degree-zero case.
+  // Drop self-edges, then close the matrix under symmetry. Setting the
+  // mirror bit of an already-mirrored edge is a no-op, so visiting rows in
+  // order — including transpose bits added by earlier rows — is safe.
   for (Reg R = 0; R != N; ++R)
-    Costs[R] = Degrees[R] ? Costs[R] / Degrees[R] : Costs[R];
+    Matrix[R].reset(R);
+  for (Reg R = 0; R != N; ++R)
+    Matrix[R].forEach([&](size_t Other) {
+      Matrix[Other].set(R);
+    });
+
+  // Adjacency lists, degrees, and per-class degrees straight off the
+  // final rows (neighbors in register order).
+  for (Reg R = 0; R != N; ++R) {
+    Adj[R].reserve(Matrix[R].count());
+    Matrix[R].forEach([&](size_t Other) {
+      Adj[R].push_back(static_cast<Reg>(Other));
+      if (Types[Other] == Types[R])
+        ++ClassDeg[R];
+    });
+    Degrees[R] = static_cast<unsigned>(Adj[R].size());
+  }
+
+  // Normalize cost to cost/degree (classic Chaitin heuristic); guard the
+  // degree-zero case. The raw counts are kept so merge() can re-normalize
+  // as degrees shift.
+  for (Reg R = 0; R != N; ++R)
+    Costs[R] = Degrees[R] ? RawCosts[R] / Degrees[R] : RawCosts[R];
+}
+
+void InterferenceGraph::merge(Reg A, Reg B, double CopyWeight) {
+  // B's neighbors become A's. A shared neighbor loses B and keeps A —
+  // the merged node counts once — while a B-only neighbor swaps B for A
+  // at unchanged degree. Types[A] == Types[B] by precondition, so the
+  // class-degree bookkeeping mirrors the plain degrees.
+  for (Reg Nb : Adj[B]) {
+    if (!Live[Nb] || Nb == A)
+      continue;
+    Matrix[Nb].reset(B);
+    if (Matrix[Nb].test(A)) {
+      --Degrees[Nb];
+      if (Types[Nb] == Types[B])
+        --ClassDeg[Nb];
+      Costs[Nb] = Degrees[Nb] ? RawCosts[Nb] / Degrees[Nb] : RawCosts[Nb];
+    } else {
+      Matrix[Nb].set(A);
+      Matrix[A].set(Nb);
+      Adj[Nb].push_back(A);
+    }
+  }
+  Matrix[A].reset(B);
+  Live[B] = false;
+  // The combined live range spills as one unit: pool the raw weighted
+  // counts — minus the deleted copy's def and use — then re-normalize
+  // against the merged degree below.
+  RawCosts[A] += RawCosts[B] - 2 * CopyWeight;
+  // Recompact A's adjacency from its final row (stale B entries and any
+  // dead nodes drop out here; neighbors keep lazy Live checks instead).
+  Adj[A].clear();
+  ClassDeg[A] = 0;
+  Matrix[A].forEach([&](size_t Other) {
+    if (!Live[Other])
+      return;
+    Adj[A].push_back(static_cast<Reg>(Other));
+    if (Types[Other] == Types[A])
+      ++ClassDeg[A];
+  });
+  Degrees[A] = static_cast<unsigned>(Adj[A].size());
+  Costs[A] = Degrees[A] ? RawCosts[A] / Degrees[A] : RawCosts[A];
 }

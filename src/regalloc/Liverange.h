@@ -26,20 +26,51 @@ namespace rpcc {
 /// coalescing).
 class InterferenceGraph {
 public:
-  /// Requires up-to-date CFG lists; computes liveness internally.
+  /// Requires up-to-date CFG lists; computes liveness and loop-depth
+  /// weights internally.
   explicit InterferenceGraph(const Function &F);
+
+  /// As above, but with precomputed per-block spill-cost weights
+  /// (10^loop-depth). The allocator hoists these out of its spill rounds:
+  /// rounds change instructions, never the CFG.
+  InterferenceGraph(const Function &F,
+                    const std::vector<double> &BlockWeight);
 
   size_t numNodes() const { return N; }
   bool interfere(Reg A, Reg B) const { return Matrix[A].test(B); }
   unsigned degree(Reg A) const { return Degrees[A]; }
   const std::vector<Reg> &neighbors(Reg A) const { return Adj[A]; }
 
-  /// True if the register is defined or used anywhere.
+  /// True if the register is defined or used anywhere and has not been
+  /// folded into another node by merge().
   bool isLive(Reg A) const { return Live[A]; }
 
-  /// Copy instructions found during the build: (dst, src) pairs.
+  /// Per-node degree within its own register class (colors are per-class,
+  /// so only same-class neighbors constrain coloring). Maintained across
+  /// merge() calls.
+  unsigned classDegree(Reg A) const { return ClassDeg[A]; }
+  const std::vector<unsigned> &classDegrees() const { return ClassDeg; }
+
+  /// Coalesce update: fold node \p B into node \p A in place. The merged
+  /// node's neighborhood becomes the union of the two old neighborhoods,
+  /// which equals the true interference of the combined live range —
+  /// interference only arises at definitions, and every edge visible at
+  /// the (removed) copy is already visible at a definition of A or B — so
+  /// the updated graph matches a from-scratch rebuild of the rewritten
+  /// function, and spill costs are re-normalized against the new degrees.
+  /// \p B becomes dead (isLive() false); stale \p B entries may linger in
+  /// neighbors' adjacency lists, so traversals must skip non-live nodes.
+  /// Requires the two nodes be distinct, live, non-interfering, and of
+  /// the same register class. \p CopyWeight is the deleted copy's weight
+  /// (one def + one use leave the program with it).
+  void merge(Reg A, Reg B, double CopyWeight);
+
+  /// Copy instructions found during the build: (dst, src) pairs plus the
+  /// copy's own spill-cost weight (10^loop-depth), so coalescing can
+  /// deduct the instruction it deletes from the merged node's cost.
   struct CopyEdge {
     Reg Dst, Src;
+    double Weight;
   };
   const std::vector<CopyEdge> &copies() const { return Copies; }
 
@@ -48,14 +79,15 @@ public:
   const std::vector<double> &spillCosts() const { return Costs; }
 
 private:
-  void addEdge(Reg A, Reg B);
-
   size_t N;
   std::vector<DenseBitSet> Matrix;
   std::vector<std::vector<Reg>> Adj;
   std::vector<unsigned> Degrees;
+  std::vector<unsigned> ClassDeg;
+  std::vector<RegType> Types;
   std::vector<bool> Live;
   std::vector<CopyEdge> Copies;
+  std::vector<double> RawCosts;
   std::vector<double> Costs;
 };
 

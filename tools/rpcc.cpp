@@ -97,7 +97,11 @@ void usage() {
       "  --programs=a,b,...         restrict --suite to a subset of the "
       "suite\n"
       "  --jobs=N                   worker threads for --suite (default 1);\n"
-      "                             stdout is identical for any N\n",
+      "                             stdout is identical for any N\n"
+      "  --no-compile-cache         compile every suite cell from scratch\n"
+      "                             instead of forking each program's shared\n"
+      "                             frontend+analysis prefix; output is\n"
+      "                             byte-identical either way (A/B check)\n",
       stderr);
 }
 
@@ -187,9 +191,11 @@ bool reportTiming(const TimingReport &T, const TimingOptions &Opts) {
 /// observability flags are set.
 int runSuiteMode(unsigned Jobs, const TimingOptions &Timing,
                  const std::vector<std::string> &Programs,
-                 const ObsOptions &Obs, InterpEngine Engine) {
+                 const ObsOptions &Obs, InterpEngine Engine,
+                 bool UseCompileCache) {
   SuiteOptions Opts;
   Opts.Jobs = Jobs;
+  Opts.UseCompileCache = UseCompileCache;
   Opts.Interp.Engine = Engine;
   Opts.CollectTiming = Timing.collect();
   Opts.Remarks = Obs.wantRemarks();
@@ -327,6 +333,7 @@ int main(int argc, char **argv) {
   bool Run = false, Counts = false, Stats = false, DumpIL = false;
   bool PerFunction = false;
   bool Suite = false;
+  bool UseCompileCache = true;
   TimingOptions Timing;
   ObsOptions Obs;
   unsigned Jobs = 1;
@@ -418,6 +425,8 @@ int main(int argc, char **argv) {
       PerFunction = true;
     } else if (std::strcmp(A, "--suite") == 0) {
       Suite = true;
+    } else if (std::strcmp(A, "--no-compile-cache") == 0) {
+      UseCompileCache = false;
     } else if (std::strncmp(A, "--jobs=", 7) == 0) {
       if (!parseUnsigned(A + 7, Jobs) || Jobs == 0 || Jobs > 1024) {
         std::fprintf(stderr, "error: bad --jobs value '%s'\n", A + 7);
@@ -489,7 +498,8 @@ int main(int argc, char **argv) {
         }
       }
     }
-    return runSuiteMode(Jobs, Timing, Programs, Obs, Engine);
+    return runSuiteMode(Jobs, Timing, Programs, Obs, Engine,
+                        UseCompileCache);
   }
   if (!ProgramsList.empty()) {
     std::fprintf(stderr, "error: --programs only applies to --suite\n");

@@ -50,6 +50,9 @@ void usage() {
       "  --mode=all|diff|widen|corrupt\n"
       "                      which oracles to run per seed (default all)\n"
       "  --emit=S            print the program for seed S and exit\n"
+      "  --no-compile-cache  compile every oracle cell from scratch instead\n"
+      "                      of sharing each seed's frontend+analysis\n"
+      "                      prefix; verdicts are identical either way\n"
       "  --trace=FILE        write a Chrome trace-event JSON file with one\n"
       "                      span per seed (track = worker thread)\n"
       "\n"
@@ -203,6 +206,8 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "error: bad --mode value '%s'\n", Mode.c_str());
         return 3;
       }
+    } else if (std::strcmp(A, "--no-compile-cache") == 0) {
+      Campaign.UseCompileCache = false;
     } else if (std::strncmp(A, "--emit=", 7) == 0) {
       if (!parseU64(A + 7, EmitSeedVal)) {
         std::fprintf(stderr, "error: bad --emit value '%s'\n", A + 7);

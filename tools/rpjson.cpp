@@ -563,6 +563,10 @@ int checkTiming(const std::string &Text) {
   C.need(V, "timing", "compile_ms", JValue::Number);
   C.need(V, "timing", "interp_ms", JValue::Number);
   C.need(V, "timing", "interp_steps", JValue::Number);
+  C.need(V, "timing", "frontend_ms", JValue::Number);
+  C.need(V, "timing", "suffix_ms", JValue::Number);
+  C.need(V, "timing", "cache_hits", JValue::Number);
+  C.need(V, "timing", "cache_misses", JValue::Number);
   C.need(V, "timing", "engine", JValue::String);
   const JValue *Passes = nullptr;
   if (C.need(V, "timing", "passes", JValue::Array, &Passes))
