@@ -1,0 +1,179 @@
+//===- driver/JobRunner.cpp -----------------------------------------------===//
+
+#include "driver/JobRunner.h"
+
+#include "driver/PassTiming.h"
+#include "obs/Trace.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace rpcc;
+
+const char *rpcc::workerFaultName(WorkerFault F) {
+  switch (F) {
+  case WorkerFault::None: return "none";
+  case WorkerFault::Crash: return "crash";
+  case WorkerFault::Hang: return "hang";
+  case WorkerFault::Oom: return "oom";
+  }
+  return "?";
+}
+
+bool rpcc::parseWorkerFault(const std::string &Name, WorkerFault &Out) {
+  if (Name == "none")
+    Out = WorkerFault::None;
+  else if (Name == "crash")
+    Out = WorkerFault::Crash;
+  else if (Name == "hang")
+    Out = WorkerFault::Hang;
+  else if (Name == "oom")
+    Out = WorkerFault::Oom;
+  else
+    return false;
+  return true;
+}
+
+SandboxStatus rpcc::expectedFaultStatus(WorkerFault F) {
+  switch (F) {
+  case WorkerFault::Crash:
+    return SandboxStatus::Crash;
+  case WorkerFault::Hang:
+    return SandboxStatus::Timeout;
+  case WorkerFault::Oom:
+    return SandboxStatus::Oom;
+  case WorkerFault::None:
+    break;
+  }
+  return SandboxStatus::Ok;
+}
+
+namespace {
+
+/// Executes the injected sabotage inside the child. Never returns for any
+/// fault other than None.
+void executeFault(WorkerFault F, const SandboxLimits &Limits) {
+  switch (F) {
+  case WorkerFault::None:
+    return;
+  case WorkerFault::Crash:
+    // abort() raises SIGABRT, which sanitizer runtimes leave alone (unlike
+    // SIGSEGV, which ASan intercepts into a plain exit), so the crash
+    // classifies identically in every build flavor.
+    std::abort();
+  case WorkerFault::Hang:
+    // Sleep forever; the parent's watchdog SIGKILLs at the wall deadline.
+    for (;;)
+      std::this_thread::sleep_for(std::chrono::seconds(3600));
+  case WorkerFault::Oom: {
+    // Allocate until the cap bites. Under RLIMIT_AS the kernel fails an
+    // allocation and operator new invokes the sandbox's new-handler; under
+    // sanitizer builds (no RLIMIT_AS) a bounded hog simulates exhaustion by
+    // invoking the handler directly — both leave through the Oom protocol.
+    // The chunks stay untouched: RLIMIT_AS trips on address space, and
+    // writing them would make instrumented (TSan) children so slow the
+    // wall watchdog fires first, misclassifying the fault as a timeout.
+    uint64_t Cap = Limits.MemoryBytes ? Limits.MemoryBytes * 2
+                                      : (uint64_t(64) << 20);
+    std::vector<char *> Hog;
+    for (uint64_t Held = 0; Held < Cap; Held += 1 << 20)
+      Hog.push_back(new char[1 << 20]);
+    std::get_new_handler()();
+    std::abort(); // unreachable: the handler never returns
+  }
+  }
+}
+
+} // namespace
+
+void JobLog::add(JobRecord R) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Records.push_back(std::move(R));
+}
+
+std::vector<JobRecord> JobLog::records() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Records;
+}
+
+size_t JobLog::abnormal() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t N = 0;
+  for (const JobRecord &R : Records)
+    N += R.Status != SandboxStatus::Ok && R.Status != SandboxStatus::Trap;
+  return N;
+}
+
+std::string JobLog::toJsonArray() const {
+  std::vector<JobRecord> Sorted = records();
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const JobRecord &A, const JobRecord &B) {
+                     return A.Name < B.Name;
+                   });
+  std::ostringstream OS;
+  OS << "[";
+  for (size_t I = 0; I != Sorted.size(); ++I) {
+    const JobRecord &R = Sorted[I];
+    if (I)
+      OS << ",";
+    OS << "{\"name\":\"" << jsonEscape(R.Name) << "\"";
+    OS << ",\"status\":\"" << sandboxStatusName(R.Status) << "\"";
+    OS << ",\"signal\":" << R.Signal;
+    OS << ",\"wall_ms\":" << fixed(R.WallMillis, 3);
+    OS << ",\"attempts\":" << R.Attempts << "}";
+  }
+  OS << "]";
+  return OS.str();
+}
+
+SandboxResult rpcc::runJob(const SandboxJob &Job, const JobOptions &Opts) {
+  double T0 = Opts.Trace ? timingNowMs() : 0;
+  SandboxResult R;
+  if (!Opts.Sandbox) {
+    // Inline mode: the job's own verdict is the outcome; there is nothing
+    // between a misbehaving job and the process.
+    double W0 = timingNowMs();
+    R.Status = Job(R.Payload) ? SandboxStatus::Ok : SandboxStatus::Trap;
+    if (R.Status == SandboxStatus::Trap)
+      R.Error = R.Payload;
+    R.WallMillis = timingNowMs() - W0;
+    R.Attempts = 1;
+  } else {
+    SandboxOptions SO;
+    SO.Limits = Opts.Limits;
+    SO.MaxAttempts = Opts.MaxAttempts;
+    SO.ForkFn = Opts.ForkFn;
+    WorkerFault Inject = Opts.Inject;
+    SandboxLimits Limits = Opts.Limits;
+    R = runSandboxed(
+        [&Job, Inject, Limits](std::string &Payload) {
+          executeFault(Inject, Limits);
+          return Job(Payload);
+        },
+        SO);
+  }
+  if (Opts.Log)
+    Opts.Log->add(
+        {Opts.Name, R.Status, R.Signal, R.WallMillis, R.Attempts});
+  if (Opts.Trace)
+    Opts.Trace->addSpan(Opts.Name, "job", T0, timingNowMs() - T0,
+                        {{"status", sandboxStatusName(R.Status)},
+                         {"attempts", std::to_string(R.Attempts)}});
+  return R;
+}
+
+int rpcc::jobExitSeverity(bool AnyCrash, bool AnyOom, bool AnyTimeout) {
+  if (AnyCrash)
+    return ExitCodeCrashedChild;
+  if (AnyOom)
+    return ExitCodeOomChild;
+  if (AnyTimeout)
+    return ExitCodeTimedOutChild;
+  return 0;
+}

@@ -1,0 +1,111 @@
+//===- driver/JobRunner.h - Named, observable sandboxed jobs ----*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The driver-level face of support/Sandbox: a job with a name, an optional
+/// sandbox (off = run inline in-process, the zero-overhead default), an
+/// optional injected worker fault (the harness-level proof that the
+/// classifier works end to end), and observability — every run can append a
+/// JobRecord to a thread-safe JobLog (rendered into `--timing-json` as the
+/// "jobs" array) and a category-"job" span to the trace emitter.
+///
+/// This is the execution discipline the ROADMAP's rpserved daemon needs:
+/// every request becomes a named job whose worst case is a classified
+/// record, never a dead process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_DRIVER_JOBRUNNER_H
+#define RPCC_DRIVER_JOBRUNNER_H
+
+#include "support/Sandbox.h"
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rpcc {
+
+class TraceCollector;
+
+/// Deliberate worker sabotage for end-to-end classifier proofs
+/// (`rpfuzz --inject-worker-faults`, `rpcc --inject-cell-fault`). The fault
+/// fires inside the sandboxed child, before the real job body runs.
+enum class WorkerFault : uint8_t { None, Crash, Hang, Oom };
+
+/// Stable name: "none", "crash", "hang", "oom".
+const char *workerFaultName(WorkerFault F);
+
+/// Parses a workerFaultName spelling; returns false on anything else.
+bool parseWorkerFault(const std::string &Name, WorkerFault &Out);
+
+/// The sandbox status each injected fault must classify as.
+SandboxStatus expectedFaultStatus(WorkerFault F);
+
+/// One finished job, as recorded in the JobLog.
+struct JobRecord {
+  std::string Name;
+  SandboxStatus Status = SandboxStatus::Ok;
+  int Signal = 0;
+  double WallMillis = 0;
+  unsigned Attempts = 1;
+};
+
+/// Thread-safe collector of job outcomes, shared by every worker of a run.
+/// Rendering sorts by name, so the JSON is deterministic for any --jobs.
+class JobLog {
+public:
+  void add(JobRecord R);
+  std::vector<JobRecord> records() const;
+
+  /// Count of records whose status is not Ok and not Trap (Trap is a clean
+  /// in-protocol failure; the job layer worked).
+  size_t abnormal() const;
+
+  /// `[{"name":..,"status":..,"signal":N,"wall_ms":..,"attempts":N}, ...]`
+  /// sorted by name. Wall times are volatile; everything else is
+  /// deterministic.
+  std::string toJsonArray() const;
+
+private:
+  mutable std::mutex Mu;
+  std::vector<JobRecord> Records;
+};
+
+struct JobOptions {
+  /// Shown in logs, the JobLog, and trace spans.
+  std::string Name;
+  /// Fork a child; off runs the job inline (no isolation, no overhead).
+  bool Sandbox = false;
+  SandboxLimits Limits;
+  unsigned MaxAttempts = 3;
+  /// Sabotage executed in the child before the job body; requires Sandbox.
+  WorkerFault Inject = WorkerFault::None;
+  JobLog *Log = nullptr;
+  TraceCollector *Trace = nullptr;
+  /// Test seam forwarded to SandboxOptions.
+  std::function<int()> ForkFn;
+};
+
+/// Runs \p Job under \p Opts. Inline mode (Sandbox off) reports Ok/Trap from
+/// the job's own verdict and can neither time out nor absorb a crash — the
+/// sandbox is where the strong guarantees live.
+SandboxResult runJob(const SandboxJob &Job, const JobOptions &Opts);
+
+/// Aggregated process exit severity across many jobs, reflecting the worst
+/// outcome seen: 5 crash > 7 oom > 6 timeout > 0. Tools fold their own
+/// job-independent failure code (usually 1) in after. Documented in
+/// docs/ROBUSTNESS.md and extending rpcc's historic 0-4 codes.
+int jobExitSeverity(bool AnyCrash, bool AnyOom, bool AnyTimeout);
+
+constexpr int ExitCodeCrashedChild = 5;
+constexpr int ExitCodeTimedOutChild = 6;
+constexpr int ExitCodeOomChild = 7;
+
+} // namespace rpcc
+
+#endif // RPCC_DRIVER_JOBRUNNER_H

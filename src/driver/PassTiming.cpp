@@ -128,7 +128,8 @@ std::string rpcc::formatTimingReport(const TimingReport &R) {
   return OS.str();
 }
 
-std::string rpcc::formatTimingJson(const TimingReport &R) {
+std::string rpcc::formatTimingJson(const TimingReport &R,
+                                   const std::string &JobsJson) {
   std::ostringstream OS;
   OS << "{\"compiles\":" << R.Compiles;
   OS << ",\"compile_ms\":" << fixed(R.CompileMillis, 3);
@@ -139,6 +140,8 @@ std::string rpcc::formatTimingJson(const TimingReport &R) {
   OS << ",\"cache_hits\":" << R.CacheHits;
   OS << ",\"cache_misses\":" << R.CacheMisses;
   OS << ",\"engine\":\"" << jsonEscape(R.Engine) << "\"";
+  if (!JobsJson.empty())
+    OS << ",\"jobs\":" << JobsJson;
   OS << ",\"passes\":[";
   std::vector<PassTime> Sorted = canonicalOrder(R.Passes);
   for (size_t I = 0; I != Sorted.size(); ++I) {

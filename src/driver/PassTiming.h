@@ -96,7 +96,12 @@ std::string formatTimingReport(const TimingReport &R);
 /// {"compiles":N,"compile_ms":..,"interp_ms":..,"interp_steps":..,
 ///  "frontend_ms":..,"suffix_ms":..,"cache_hits":N,"cache_misses":N,
 ///  "passes":[{"name":..,"calls":..,"ms":..,"ops_before":..,"ops_after":..}]}
-std::string formatTimingJson(const TimingReport &R);
+/// When \p JobsJson is non-empty (a JobLog::toJsonArray rendering from a
+/// sandboxed run), it is embedded verbatim as a "jobs" key before "passes";
+/// otherwise the key is absent and the output is byte-identical to before
+/// sandboxing existed.
+std::string formatTimingJson(const TimingReport &R,
+                             const std::string &JobsJson = std::string());
 
 } // namespace rpcc
 

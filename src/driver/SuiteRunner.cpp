@@ -102,6 +102,123 @@ ConfigCounts runOneCell(const std::string &Name, const std::string &Source,
   return C;
 }
 
+// -- Sandbox plumbing --------------------------------------------------------
+
+/// Flattens the child-computed half of ConfigCounts onto the result pipe.
+/// Diverged/BaselineFailed stay parent-side (baseline checks run after all
+/// cells finish), and TimingReport is not shipped: sandboxed cells do not
+/// contribute per-pass timing.
+std::string encodeCounts(const ConfigCounts &C) {
+  PayloadWriter W;
+  W.u8(C.Ok);
+  W.str(C.Error);
+  W.u64(C.Total);
+  W.u64(C.Loads);
+  W.u64(C.Stores);
+  W.i64(C.ExitCode);
+  W.str(C.Output);
+  W.u64(C.RemarksPromoted);
+  W.u64(C.RemarksMissed);
+  W.u64(C.RemarksHoisted);
+  W.u64(C.RemarksResidual);
+  W.str(C.RemarksText);
+  W.str(C.RemarksJson);
+  W.str(C.HotTags);
+  W.str(C.Explain);
+  W.str(C.ProfileJson);
+  return W.take();
+}
+
+bool decodeCounts(const std::string &Payload, ConfigCounts &C) {
+  PayloadReader R(Payload);
+  C.Ok = R.u8() != 0;
+  C.Error = R.str();
+  C.Total = R.u64();
+  C.Loads = R.u64();
+  C.Stores = R.u64();
+  C.ExitCode = R.i64();
+  C.Output = R.str();
+  C.RemarksPromoted = R.u64();
+  C.RemarksMissed = R.u64();
+  C.RemarksHoisted = R.u64();
+  C.RemarksResidual = R.u64();
+  C.RemarksText = R.str();
+  C.RemarksJson = R.str();
+  C.HotTags = R.str();
+  C.Explain = R.str();
+  C.ProfileJson = R.str();
+  return R.complete();
+}
+
+/// Parses SuiteOptions::InjectCellFault against this cell's key; returns the
+/// fault to fire inside its child (None for every other cell or on a
+/// malformed spec).
+WorkerFault cellFault(const SuiteOptions &Opts, const std::string &Name,
+                      int A, int P) {
+  if (Opts.InjectCellFault.empty())
+    return WorkerFault::None;
+  size_t Colon = Opts.InjectCellFault.rfind(':');
+  if (Colon == std::string::npos)
+    return WorkerFault::None;
+  if (Opts.InjectCellFault.substr(0, Colon) !=
+      Name + "/" + suiteCellName(A, P))
+    return WorkerFault::None;
+  WorkerFault F = WorkerFault::None;
+  parseWorkerFault(Opts.InjectCellFault.substr(Colon + 1), F);
+  return F;
+}
+
+/// Cell dispatcher: inline execution when the sandbox is off (byte-for-byte
+/// the historic path), otherwise the cell body runs in a forked child and
+/// its ConfigCounts come back over the pipe. A child that crashes, hangs,
+/// or OOMs becomes a classified error cell; the suite keeps going.
+ConfigCounts runCell(const std::string &Name, const std::string &Source,
+                     int A, int P, const SuiteOptions &Opts,
+                     CompileCache *Cache, TimingReport &Timing) {
+  JobOptions JOpts;
+  JOpts.Name = Name + "/" + suiteCellName(A, P);
+  JOpts.Sandbox = Opts.Sandbox;
+  JOpts.Limits = Opts.Limits;
+  JOpts.Inject = cellFault(Opts, Name, A, P);
+  JOpts.Log = Opts.Log;
+  JOpts.Trace = Opts.Trace;
+
+  // Inline mode is byte-for-byte the historic path: no job records, no
+  // "job" trace spans, nothing the sandbox could perturb.
+  if (!Opts.Sandbox)
+    return runOneCell(Name, Source, A, P, Opts, Cache, Timing);
+
+  // The child must not touch cross-thread state forked mid-flight: another
+  // worker may hold the compile cache or trace mutex at fork time, and that
+  // lock would never be released in the child. Each sandboxed cell compiles
+  // standalone and traces nothing; the parent still emits the job span.
+  SuiteOptions ChildOpts = Opts;
+  ChildOpts.Trace = nullptr;
+  ChildOpts.CollectTiming = false;
+  SandboxResult R = runJob(
+      [&](std::string &Payload) {
+        TimingReport ChildTiming;
+        Payload = encodeCounts(runOneCell(Name, Source, A, P, ChildOpts,
+                                          /*Cache=*/nullptr, ChildTiming));
+        return true;
+      },
+      JOpts);
+
+  ConfigCounts C;
+  if (R.ok()) {
+    if (decodeCounts(R.Payload, C))
+      return C;
+    C = ConfigCounts();
+    C.Child = SandboxStatus::InternalError;
+    C.Error = "malformed sandbox payload";
+    return C;
+  }
+  C.Child = R.Status;
+  C.ChildSignal = R.Signal;
+  C.Error = R.Error;
+  return C;
+}
+
 /// Cross-checks the three non-baseline cells against the modref/no-promotion
 /// cell: promotion and alias analysis may only change counts, never
 /// behavior. When the baseline itself failed, surviving cells are flagged as
@@ -161,7 +278,7 @@ ProgramResults rpcc::runAllConfigs(const std::string &Name,
   parallelFor(Opts.Jobs, 4, [&](size_t Cell) {
     int A = static_cast<int>(Cell) / 2, P = static_cast<int>(Cell) % 2;
     PR.R[A][P] =
-        runOneCell(Name, Source, A, P, Opts, Cache.get(), CellTiming[Cell]);
+        runCell(Name, Source, A, P, Opts, Cache.get(), CellTiming[Cell]);
   });
   if (Opts.CollectTiming) {
     mergeCellTimings(PR, CellTiming);
@@ -176,9 +293,17 @@ std::vector<ProgramResults> rpcc::runSuite(const std::vector<std::string> &Names
                                            const SuiteOptions &Opts) {
   std::vector<ProgramResults> All(Names.size());
   std::vector<std::string> Sources(Names.size());
+  std::vector<bool> Loaded(Names.size(), false);
   for (size_t I = 0; I != Names.size(); ++I) {
     All[I].Name = Names[I];
-    Sources[I] = loadBenchProgram(Names[I]);
+    Status S = loadBenchProgram(Names[I], Sources[I]);
+    Loaded[I] = !S.isError();
+    // A missing program degrades to four error cells instead of killing the
+    // whole suite: the other thirteen programs' figures still matter.
+    if (S.isError())
+      for (int A = 0; A != 2; ++A)
+        for (int P = 0; P != 2; ++P)
+          All[I].R[A][P].Error = S.message();
   }
 
   // One cache for the whole suite: each program's prefix compiles once and
@@ -194,9 +319,11 @@ std::vector<ProgramResults> rpcc::runSuite(const std::vector<std::string> &Names
   std::vector<TimingReport> CellTiming(Names.size() * 4);
   parallelFor(Opts.Jobs, Names.size() * 4, [&](size_t Job) {
     size_t I = Job / 4;
+    if (!Loaded[I])
+      return;
     int A = static_cast<int>(Job % 4) / 2, P = static_cast<int>(Job % 2);
-    All[I].R[A][P] = runOneCell(Names[I], Sources[I], A, P, Opts, Cache.get(),
-                                CellTiming[Job]);
+    All[I].R[A][P] = runCell(Names[I], Sources[I], A, P, Opts, Cache.get(),
+                             CellTiming[Job]);
   });
 
   for (size_t I = 0; I != All.size(); ++I) {
@@ -232,8 +359,19 @@ std::string rpcc::formatPaperTable(const std::vector<ProgramResults> &Programs,
       const ConfigCounts &With = PR.R[A][1];
       std::string Analysis = A == 0 ? "modref" : "pointer";
       if (!Without.Ok || !With.Ok) {
+        // A dead sandboxed child outranks in-protocol failures, and crash >
+        // oom > timeout matches the process exit severity (jobExitSeverity).
+        auto ChildIs = [&](SandboxStatus S) {
+          return Without.Child == S || With.Child == S;
+        };
         const char *Cell = "error";
-        if (Without.Diverged || With.Diverged)
+        if (ChildIs(SandboxStatus::Crash))
+          Cell = "CRASHED";
+        else if (ChildIs(SandboxStatus::Oom))
+          Cell = "OOM";
+        else if (ChildIs(SandboxStatus::Timeout))
+          Cell = "TIMEOUT";
+        else if (Without.Diverged || With.Diverged)
           Cell = "diverged";
         else if (Without.BaselineFailed || With.BaselineFailed)
           Cell = "baseline failed";
@@ -274,17 +412,25 @@ std::string rpcc::formatSuiteRemarkSummary(
   return T.render();
 }
 
-std::string rpcc::loadBenchProgram(const std::string &Name) {
+Status rpcc::loadBenchProgram(const std::string &Name, std::string &Src) {
   std::string Path = std::string(RPCC_PROGRAMS_DIR) + "/" + Name + ".c";
   std::ifstream In(Path);
-  if (!In) {
-    std::fprintf(stderr, "error: cannot open benchmark program %s\n",
-                 Path.c_str());
-    std::exit(1);
-  }
+  if (!In)
+    return Status::error("cannot open benchmark program " + Path);
   std::ostringstream SS;
   SS << In.rdbuf();
-  return SS.str();
+  Src = SS.str();
+  return Status::ok();
+}
+
+std::string rpcc::loadBenchProgram(const std::string &Name) {
+  std::string Src;
+  Status S = loadBenchProgram(Name, Src);
+  if (S.isError()) {
+    std::fprintf(stderr, "error: %s\n", S.message().c_str());
+    std::exit(1);
+  }
+  return Src;
 }
 
 const std::vector<std::string> &rpcc::benchProgramNames() {

@@ -18,6 +18,8 @@
 #define RPCC_DRIVER_SUITERUNNER_H
 
 #include "driver/Compiler.h"
+#include "driver/JobRunner.h"
+#include "support/Status.h"
 
 #include <string>
 #include <vector>
@@ -58,6 +60,22 @@ struct SuiteOptions {
   /// flag exists for A/B verification (`--no-compile-cache`) and compile-
   /// time benchmarking.
   bool UseCompileCache = true;
+  /// Run every cell in a forked sandbox (driver/JobRunner): a crashing,
+  /// hanging, or OOMing cell becomes a classified table entry instead of
+  /// killing the suite. Healthy cells produce byte-identical tables either
+  /// way; sandboxed cells do not contribute per-pass timing (the child's
+  /// TimingReport dies with it) and do not share the compile cache (each
+  /// child compiles in its own address space).
+  bool Sandbox = false;
+  /// Resource caps for sandboxed cells.
+  SandboxLimits Limits;
+  /// When non-null, every cell's outcome is appended as a JobRecord
+  /// (rendered into `--timing-json` as the "jobs" array).
+  JobLog *Log = nullptr;
+  /// Deliberate sabotage of one sandboxed cell, for end-to-end classifier
+  /// proofs: "<program>/<analysis>/<promo>:<fault>", e.g.
+  /// "tsp/modref/with:crash" (fault = crash | hang | oom).
+  std::string InjectCellFault;
 };
 
 struct ConfigCounts {
@@ -71,6 +89,13 @@ struct ConfigCounts {
   /// baseline to be compared against; they must not appear in the paper
   /// tables as if they were comparable.
   bool BaselineFailed = false;
+  /// How the cell's sandboxed child ended. Ok both for a healthy cell and
+  /// for inline (non-sandboxed) execution; Crash/Timeout/Oom render as
+  /// CRASHED/TIMEOUT/OOM in the paper tables and drive the process exit
+  /// severity (jobExitSeverity).
+  SandboxStatus Child = SandboxStatus::Ok;
+  /// Terminating signal when Child == Crash (0 if none).
+  int ChildSignal = 0;
 
   /// Observability payloads, filled only under the corresponding
   /// SuiteOptions flags. Pre-rendered inside the cell so the per-module
@@ -128,7 +153,14 @@ std::string
 formatSuiteRemarkSummary(const std::vector<ProgramResults> &Programs);
 
 /// Reads one of the repository's benchmark programs
-/// (bench/programs/<name>.c). Aborts with a clear message if missing.
+/// (bench/programs/<name>.c) into \p Src. Returns an error Status — never
+/// exits — so drivers can degrade a missing program to error cells.
+Status loadBenchProgram(const std::string &Name, std::string &Src);
+
+/// Convenience wrapper for tests and benchmarks, which treat a missing
+/// program as a broken checkout: prints the diagnostic and exits. Library
+/// and tool code must use the Status overload above — only executables own
+/// process exit.
 std::string loadBenchProgram(const std::string &Name);
 
 /// Names of the 14-program suite standing in for the paper's Figure 4.

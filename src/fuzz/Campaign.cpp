@@ -14,6 +14,8 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
@@ -38,6 +40,9 @@ struct SeedOutcome {
   std::string Why;
   std::string Src;            ///< kept only for failing seeds
   std::vector<uint64_t> Loads; ///< per-cell dynamic loads when DiffOk
+  /// How the seed's sandboxed child ended; Ok for in-protocol verdicts and
+  /// for inline (non-sandboxed) checking.
+  SandboxStatus Child = SandboxStatus::Ok;
 };
 
 /// diff oracle: every matrix cell must agree on behavior. Records per-cell
@@ -163,10 +168,121 @@ SeedOutcome checkSeed(uint64_t Seed, const CampaignOptions &Opts,
   return Out;
 }
 
+// -- Sandbox plumbing --------------------------------------------------------
+
+/// Flattens a SeedOutcome onto the sandbox result pipe. Child is parent-side
+/// by construction (the child cannot classify its own death).
+std::string encodeOutcome(const SeedOutcome &Out) {
+  PayloadWriter W;
+  W.u8(Out.Ok);
+  W.u8(Out.DiffOk);
+  W.str(Out.Why);
+  W.str(Out.Src);
+  W.u64(Out.Loads.size());
+  for (uint64_t L : Out.Loads)
+    W.u64(L);
+  return W.take();
+}
+
+bool decodeOutcome(const std::string &Payload, SeedOutcome &Out) {
+  PayloadReader R(Payload);
+  Out.Ok = R.u8() != 0;
+  Out.DiffOk = R.u8() != 0;
+  Out.Why = R.str();
+  Out.Src = R.str();
+  uint64_t N = R.u64();
+  if (N > Payload.size() / 8) // corrupt length: cannot possibly fit
+    return false;
+  Out.Loads.assign(N, 0);
+  for (uint64_t &L : Out.Loads)
+    L = R.u64();
+  return R.complete();
+}
+
+/// The deterministic sabotage schedule for --inject-worker-faults: seeds
+/// ≡ 3 (mod 20) crash, ≡ 9 hang, ≡ 15 OOM. Spread so a smoke campaign of a
+/// few dozen seeds exercises every classification at least once.
+WorkerFault injectedFault(const CampaignOptions &Opts, uint64_t Seed) {
+  if (!Opts.InjectWorkerFaults)
+    return WorkerFault::None;
+  switch (Seed % 20) {
+  case 3:
+    return WorkerFault::Crash;
+  case 9:
+    return WorkerFault::Hang;
+  case 15:
+    return WorkerFault::Oom;
+  default:
+    return WorkerFault::None;
+  }
+}
+
+/// Seed dispatcher: inline checking when the sandbox is off (byte-for-byte
+/// the historic path), otherwise the oracles run in a forked child. A dead
+/// child becomes a failing outcome with a "[sandbox]" diagnostic; its
+/// program is regenerated parent-side (generation is deterministic) for the
+/// log and the reproducer dir.
+SeedOutcome checkSeedMaybeSandboxed(uint64_t Seed, const CampaignOptions &Opts,
+                                    const std::vector<FuzzConfig> &Matrix) {
+  if (!Opts.Sandbox)
+    return checkSeed(Seed, Opts, Matrix);
+
+  JobOptions JOpts;
+  JOpts.Name = "seed-" + std::to_string(Seed);
+  JOpts.Sandbox = true;
+  JOpts.Limits = Opts.Limits;
+  JOpts.Inject = injectedFault(Opts, Seed);
+  JOpts.Log = Opts.Log;
+  JOpts.Trace = Opts.Trace;
+
+  // The child must not touch the shared trace collector: another worker may
+  // hold its mutex at fork time. The parent-side runJob emits the span.
+  CampaignOptions ChildOpts = Opts;
+  ChildOpts.Trace = nullptr;
+  SandboxResult R = runJob(
+      [&](std::string &Payload) {
+        Payload = encodeOutcome(checkSeed(Seed, ChildOpts, Matrix));
+        return true;
+      },
+      JOpts);
+
+  SeedOutcome Out;
+  if (R.ok()) {
+    if (decodeOutcome(R.Payload, Out))
+      return Out;
+    Out = SeedOutcome();
+    Out.Child = SandboxStatus::InternalError;
+    Out.Why = "[sandbox] malformed result payload";
+  } else {
+    Out.Child = R.Status;
+    Out.Why = "[sandbox] " + R.Error;
+  }
+  Out.Ok = false;
+  Out.Src = generateProgram(Seed);
+  return Out;
+}
+
 void emit(CampaignResult &R, std::FILE *Live, const std::string &Text) {
   R.Log += Text;
   if (Live)
     std::fputs(Text.c_str(), Live);
+}
+
+/// Writes a failing seed's program to `<Dir>/seed-<N>.c`, creating the
+/// directory on first use. Filesystem trouble is reported in the log, never
+/// fatal — the reproducer is a convenience, the FAIL line is the record.
+void writeReproducer(CampaignResult &R, std::FILE *Live,
+                     const std::string &Dir, uint64_t Seed,
+                     const std::string &Src) {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  std::string Path = Dir + "/seed-" + std::to_string(Seed) + ".c";
+  std::ofstream Out(Path);
+  Out << Src;
+  Out.close();
+  emit(R, Live,
+       Out.good() ? "rpfuzz: reproducer " + Path + "\n"
+                  : "rpfuzz: failed to write reproducer " + Path + "\n");
 }
 
 } // namespace
@@ -187,7 +303,7 @@ CampaignResult rpcc::runCampaign(const CampaignOptions &Opts,
     uint64_t N = std::min(BlockSize, Opts.Runs - Base);
     Block.assign(N, SeedOutcome());
     parallelFor(Opts.Jobs, N, [&](size_t I) {
-      Block[I] = checkSeed(Opts.Seed0 + Base + I, Opts, Matrix);
+      Block[I] = checkSeedMaybeSandboxed(Opts.Seed0 + Base + I, Opts, Matrix);
     });
 
     for (uint64_t I = 0; I != N; ++I) {
@@ -199,6 +315,9 @@ CampaignResult rpcc::runCampaign(const CampaignOptions &Opts,
           LoadTotals[Cell] += Out.Loads[Cell];
       if (!Out.Ok) {
         ++R.Failures;
+        R.Crashed += Out.Child == SandboxStatus::Crash;
+        R.OomKilled += Out.Child == SandboxStatus::Oom;
+        R.TimedOut += Out.Child == SandboxStatus::Timeout;
         std::ostringstream OS;
         OS << "FAIL seed=" << Seed << " " << Out.Why << "\n";
         if (Printed < Opts.MaxPrintedPrograms) {
@@ -207,6 +326,8 @@ CampaignResult rpcc::runCampaign(const CampaignOptions &Opts,
              << Out.Src << "---- end program ----\n";
         }
         emit(R, Live, OS.str());
+        if (!Opts.ReproducerDir.empty())
+          writeReproducer(R, Live, Opts.ReproducerDir, Seed, Out.Src);
       }
       if (Opts.ProgressInterval && (K + 1) % Opts.ProgressInterval == 0) {
         std::ostringstream OS;
@@ -233,10 +354,17 @@ CampaignResult rpcc::runCampaign(const CampaignOptions &Opts,
     }
   }
   std::ostringstream OS;
-  if (R.Failures)
-    OS << "rpfuzz: " << R.Failures << " failing seed(s)\n";
-  else
+  if (R.Failures) {
+    OS << "rpfuzz: " << R.Failures << " failing seed(s)";
+    // Abnormal children get their own accounting: the whole point of the
+    // sandbox is that these are distinguishable from wrong-answer seeds.
+    if (R.Crashed || R.OomKilled || R.TimedOut)
+      OS << " (" << R.Crashed << " crashed, " << R.OomKilled << " oom, "
+         << R.TimedOut << " timed out)";
+    OS << "\n";
+  } else {
     OS << "rpfuzz: " << Opts.Runs << " seeds clean\n";
+  }
   emit(R, Live, OS.str());
   return R;
 }

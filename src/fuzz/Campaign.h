@@ -18,6 +18,7 @@
 #ifndef RPCC_FUZZ_CAMPAIGN_H
 #define RPCC_FUZZ_CAMPAIGN_H
 
+#include "driver/JobRunner.h"
 #include "interp/Interpreter.h"
 
 #include <cstdint>
@@ -54,10 +55,32 @@ struct CampaignOptions {
   /// turns it off for A/B runs. The corrupt oracle never uses the cache —
   /// it must corrupt freshly lowered, un-normalized IL.
   bool UseCompileCache = true;
+  /// Check every seed in a forked sandbox (driver/JobRunner): a crashing,
+  /// hanging, or OOMing seed becomes a classified FAIL line and the
+  /// campaign continues. Healthy seeds produce byte-identical logs either
+  /// way.
+  bool Sandbox = false;
+  /// Resource caps for sandboxed seed checks.
+  SandboxLimits Limits;
+  /// Deliberately crash/hang/OOM a deterministic subset of sandboxed
+  /// workers (`rpfuzz --inject-worker-faults`): seeds ≡ 3, 9, 15 (mod 20)
+  /// crash, hang, and OOM respectively. End-to-end proof that the
+  /// classifier and the fail-soft paths work; requires Sandbox.
+  bool InjectWorkerFaults = false;
+  /// When non-empty, every failing seed's generated program is written to
+  /// `<ReproducerDir>/seed-<N>.c` (the directory is created if needed).
+  std::string ReproducerDir;
+  /// When non-null, every sandboxed seed appends a JobRecord here
+  /// (rendered into `--timing-json` as the "jobs" array).
+  JobLog *Log = nullptr;
 };
 
 struct CampaignResult {
   uint64_t Failures = 0;
+  /// Abnormal-child breakdown (each also counts in Failures). Nonzero only
+  /// with CampaignOptions::Sandbox; drives the process exit severity
+  /// (jobExitSeverity: crash > oom > timeout).
+  uint64_t Crashed = 0, TimedOut = 0, OomKilled = 0;
   /// The full verdict log: FAIL lines, failing programs, progress lines,
   /// the corpus-level promotion check, and the summary line. Byte-identical
   /// for equal options regardless of CampaignOptions::Jobs.

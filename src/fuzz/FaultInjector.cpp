@@ -93,9 +93,50 @@ bool rpcc::corruptModule(Module &M, uint64_t Seed, std::string &Desc) {
   TagId BadTag = static_cast<TagId>(M.tags().size()) + 3;
   FuncId BadFunc = static_cast<FuncId>(M.numFunctions()) + 3;
 
-  // Try random (site, mutation) pairs until one applies; with ten mutation
-  // kinds over every instruction this terminates almost immediately.
+  // Module-level targets for the tag-table mutations (kinds 10 and 11):
+  // Local/Spill owners and Func targets that can be made to dangle.
+  std::vector<TagId> OwnedTags;
+  for (const Tag &T : M.tags())
+    if (T.Kind == TagKind::Local || T.Kind == TagKind::Spill ||
+        T.Kind == TagKind::Func)
+      OwnedTags.push_back(T.Id);
+
+  // Try random (site, mutation) pairs until one applies; with twelve
+  // mutation kinds over every instruction this terminates almost
+  // immediately.
   for (unsigned Attempt = 0; Attempt != 256; ++Attempt) {
+    unsigned Kind = static_cast<unsigned>(Rng() % 12);
+
+    // The last two kinds corrupt module-level tables instead of an
+    // instruction; they exercise the verifier's tag-table checks and the
+    // printer's tolerance for dangling owner/global references.
+    if (Kind == 10) {
+      if (OwnedTags.empty())
+        continue;
+      Tag &T = M.tags().tag(OwnedTags[Rng() % OwnedTags.size()]);
+      std::ostringstream OS;
+      OS << "tag table: ";
+      if (T.Kind == TagKind::Func) {
+        T.Fn = BadFunc;
+        OS << "dangling function on func tag '" << T.Name << "'";
+      } else {
+        T.Owner = BadFunc;
+        OS << "dangling owner on tag '" << T.Name << "'";
+      }
+      Desc = OS.str();
+      return true;
+    }
+    if (Kind == 11) {
+      if (M.globals().empty())
+        continue;
+      size_t G = Rng() % M.globals().size();
+      M.globals()[G].Tag = BadTag;
+      std::ostringstream OS;
+      OS << "globals: dangling tag on initializer #" << G;
+      Desc = OS.str();
+      return true;
+    }
+
     const Site &S = Sites[Rng() % Sites.size()];
     Function *Fn = M.function(S.F);
     BasicBlock *B = Fn->block(S.B);
@@ -103,7 +144,7 @@ bool rpcc::corruptModule(Module &M, uint64_t Seed, std::string &Desc) {
     std::ostringstream OS;
     OS << Fn->name() << " B" << S.B << " inst " << S.I << ": ";
 
-    switch (Rng() % 10) {
+    switch (Kind) {
     case 0: // dangling tag in a pointer tag list
       if (!isPointerMemOp(I.Op))
         continue;

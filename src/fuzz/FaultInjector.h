@@ -19,8 +19,10 @@
 ///
 /// **Corruption** breaks a structural invariant outright — a dangling tag
 /// id, an out-of-range register or branch target, a missing operand, a
-/// stripped terminator. The verifier must reject every corrupted module
-/// with a diagnostic; crashing (or accepting) is a bug.
+/// stripped terminator, or a module-level table entry that dangles (a
+/// Local/Spill tag whose owner function does not exist, a global
+/// initializer naming a nonexistent tag). The verifier must reject every
+/// corrupted module with a diagnostic; crashing (or accepting) is a bug.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -68,6 +68,10 @@ uint64_t Machine::callDecoded(FuncId FId, size_t ArgBase, size_t NArgs) {
 template <bool Profiled>
 uint64_t Machine::execDecoded(const DecodedFunction &DF, size_t ArgBase,
                               size_t NArgs) {
+  // Budget checks before the frame exists; mirrors the switch engine's
+  // executeBody so the fault point is counting-exact across engines.
+  if (checkFrameBudget(DF.FrameSize) || checkWallDeadline())
+    return 0;
   const uint64_t FrameBase = InterpStackBase + StackMem.size();
   StackMem.resize(StackMem.size() + DF.FrameSize, 0);
   if (Profiled && DF.FrameSize)
@@ -131,6 +135,8 @@ uint64_t Machine::execDecoded(const DecodedFunction &DF, size_t ArgBase,
       Err.raise("step limit exceeded (infinite loop?)");                       \
       goto fast_done;                                                          \
     }                                                                          \
+    if ((TotalLoc & 0xFFFF) == 0 && checkWallDeadline())                       \
+      goto fast_done;                                                          \
     ++Counters.ByOpcode[static_cast<size_t>(DI->Op)];                          \
     ++FCTotalLoc;                                                              \
     if constexpr (Profiled)                                                    \
@@ -160,6 +166,8 @@ uint64_t Machine::execDecoded(const DecodedFunction &DF, size_t ArgBase,
       Err.raise("step limit exceeded (infinite loop?)");                       \
       goto fast_done;                                                          \
     }                                                                          \
+    if ((TotalLoc & 0xFFFF) == 0 && checkWallDeadline())                       \
+      goto fast_done;                                                          \
     ++Counters.ByOpcode[static_cast<size_t>(OPC)];                             \
     ++FCTotalLoc;                                                              \
   } while (0)

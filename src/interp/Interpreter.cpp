@@ -38,6 +38,8 @@ bool rpcc::parseInterpEngine(const std::string &Name, InterpEngine &Out) {
 }
 
 ExecResult Machine::run() {
+  if (Opts.WallDeadlineMs)
+    DeadlineAbsMs = wallNowMs() + Opts.WallDeadlineMs;
   GlobalLayout GL = computeGlobalLayout(M);
   Layouts = computeFrameLayouts(M);
   PerFunc.assign(M.numFunctions(), FunctionCounters());
@@ -304,6 +306,10 @@ void Machine::appendOutput(const std::string &S) {
 uint64_t Machine::executeBody(const Function &F,
                               const std::vector<uint64_t> &Args) {
   const FrameLayout &Layout = Layouts[F.id()];
+  // Budget checks before the frame exists: a fault here costs no callee
+  // steps, keeping both engines counting-exact at the limit.
+  if (checkFrameBudget(Layout.Size) || checkWallDeadline())
+    return 0;
   const FrameLayout *SavedLayout = CurLayout;
   CurLayout = &Layout;
 
@@ -326,6 +332,8 @@ uint64_t Machine::executeBody(const Function &F,
       Err.raise("step limit exceeded (infinite loop?)");
       break;
     }
+    if ((Counters.Total & 0xFFFF) == 0 && checkWallDeadline())
+      break;
     const BasicBlock *Blk = F.block(BB);
     assert(PC < Blk->size() && "fell off the end of a block");
     const Instruction &I = *Blk->insts()[PC];

@@ -81,6 +81,15 @@ struct InterpOptions {
   size_t MaxCallDepth = 1 << 15;
   size_t HeapLimit = size_t(1) << 30;
   size_t OutputLimit = size_t(1) << 24;
+  /// Cap on total simulated stack bytes across all live frames. Checked at
+  /// frame entry in both engines, so the fault (message and Counters.Total)
+  /// is counting-exact and engine-identical, like MaxCallDepth.
+  size_t MaxFrameBytes = size_t(1) << 26;
+  /// Wall-clock execution budget in milliseconds; 0 = none. Checked every
+  /// 64K executed operations by both engines, so the two engines fault at
+  /// the same check points — but when the clock trips is inherently
+  /// nondeterministic, unlike the counting-exact limits above.
+  double WallDeadlineMs = 0;
   /// When non-null, every executed load/store is attributed to its
   /// (function, innermost loop, tag) and collected in ExecResult::Profile.
   /// Build the meta from the same module being interpreted (it snapshots the

@@ -20,6 +20,7 @@
 #include "interp/Decode.h"
 #include "interp/Interpreter.h"
 
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -73,6 +74,33 @@ private:
   void profileDecoded(const DecodedInst &DI, uint32_t BaseSlot,
                       const uint64_t *Regs);
 
+  // -- Resource budgets --------------------------------------------------------
+  static double wallNowMs() {
+    using Clock = std::chrono::steady_clock;
+    return std::chrono::duration<double, std::milli>(
+               Clock::now().time_since_epoch())
+        .count();
+  }
+  /// True (and raises the fault) when InterpOptions::WallDeadlineMs has
+  /// elapsed. Both engines call this at the same Counters.Total check
+  /// points — entry to every frame plus every 64K executed operations — so
+  /// they fault with the same message at the same cadence.
+  bool checkWallDeadline() {
+    if (!DeadlineAbsMs || wallNowMs() <= DeadlineAbsMs)
+      return false;
+    Err.raise("wall-clock deadline exceeded (execution budget elapsed)");
+    return true;
+  }
+  /// Raises the frame-memory fault when growing the simulated stack by
+  /// \p FrameSize would blow InterpOptions::MaxFrameBytes. Checked at frame
+  /// entry, before any callee step executes, so it is counting-exact.
+  bool checkFrameBudget(size_t FrameSize) {
+    if (StackMem.size() + FrameSize <= Opts.MaxFrameBytes)
+      return false;
+    Err.raise("frame memory limit exceeded (runaway recursion?)");
+    return true;
+  }
+
   // -- Value helpers -----------------------------------------------------------
   static double asF(uint64_t V) {
     double D;
@@ -102,6 +130,8 @@ private:
   std::vector<FrameLayout> Layouts;
   const FrameLayout *CurLayout = nullptr;
   size_t CallDepth = 0;
+  /// Absolute wallNowMs() deadline; 0 when WallDeadlineMs is unset.
+  double DeadlineAbsMs = 0;
 
   /// Ascending (address, tag) intervals of the global segment.
   std::vector<std::pair<uint64_t, TagId>> GlobalSpans;

@@ -227,10 +227,13 @@ std::string rpcc::printModule(const Module &M) {
     OS << " val=" << (T.ValTy == MemType::I8
                           ? "i8"
                           : T.ValTy == MemType::F64 ? "f64" : "i64");
+    // funcName tolerates dangling ids: the printer also renders corrupted
+    // modules from the verifier's failure path (see the comment atop
+    // tagName), and Module::function would assert on them.
     if (T.Kind == TagKind::Local || T.Kind == TagKind::Spill)
-      OS << " owner=" << M.function(T.Owner)->name();
+      OS << " owner=" << funcName(M, T.Owner);
     if (T.Kind == TagKind::Func)
-      OS << " fn=" << M.function(T.Fn)->name();
+      OS << " fn=" << funcName(M, T.Fn);
     if (T.IsScalar)
       OS << " scalar";
     if (T.AddressTaken)
@@ -241,7 +244,7 @@ std::string rpcc::printModule(const Module &M) {
   }
   // Global storage directives, with any nonzero initializer bytes in hex.
   for (const GlobalInit &G : M.globals()) {
-    OS << "global " << M.tags().tag(G.Tag).Name;
+    OS << "global " << tagName(M, G.Tag);
     bool AnyNonZero = false;
     for (uint8_t B : G.Bytes)
       AnyNonZero |= B != 0;

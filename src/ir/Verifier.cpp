@@ -317,9 +317,42 @@ bool rpcc::verifyFunction(const Module &M, const Function &F, std::string &Err,
   return FunctionVerifier(M, F, Err, Opts).run();
 }
 
+namespace {
+
+/// Module-level structure: the tag table and the globals list. Every
+/// cross-reference they hold (owner function, named function, initialized
+/// tag) must be in range *before* anything dereferences it — Module's
+/// accessors assert on bad ids, so a dangling reference that slipped past
+/// here would be process death, not a diagnostic.
+bool verifyModuleTables(const Module &M, std::string &Err) {
+  bool Ok = true;
+  auto Fail = [&](const std::string &Msg) {
+    Ok = false;
+    Err += "module: " + Msg + "\n";
+  };
+  const size_t NFuncs = M.numFunctions();
+  for (const Tag &T : M.tags()) {
+    if ((T.Kind == TagKind::Local || T.Kind == TagKind::Spill) &&
+        T.Owner >= NFuncs)
+      Fail("tag '" + T.Name + "' has a dangling owner func#" +
+           std::to_string(T.Owner));
+    if (T.Kind == TagKind::Func && T.Fn >= NFuncs)
+      Fail("func tag '" + T.Name + "' names a dangling func#" +
+           std::to_string(T.Fn));
+  }
+  const size_t NTags = M.tags().size();
+  for (size_t I = 0; I != M.globals().size(); ++I)
+    if (M.globals()[I].Tag >= NTags)
+      Fail("global initializer #" + std::to_string(I) +
+           " names a dangling tag#" + std::to_string(M.globals()[I].Tag));
+  return Ok;
+}
+
+} // namespace
+
 bool rpcc::verifyModule(const Module &M, std::string &Err,
                         const VerifyOptions &Opts) {
-  bool Ok = true;
+  bool Ok = verifyModuleTables(M, Err);
   for (size_t I = 0; I != M.numFunctions(); ++I) {
     const Function *F = M.function(static_cast<FuncId>(I));
     if (F->isBuiltin())

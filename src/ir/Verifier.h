@@ -33,7 +33,11 @@ struct VerifyOptions {
 bool verifyFunction(const Module &M, const Function &F, std::string &Err,
                     const VerifyOptions &Opts = {});
 
-/// Verifies every non-builtin function in \p M.
+/// Verifies every non-builtin function in \p M, plus the module-level
+/// tables: Local/Spill tag owners and Func tag targets must name existing
+/// functions, and global initializers must name existing tags. These are
+/// the references printModule and the layout code chase, so a dangling one
+/// must be a diagnostic here, never an assert downstream.
 bool verifyModule(const Module &M, std::string &Err,
                   const VerifyOptions &Opts = {});
 

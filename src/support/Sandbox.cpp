@@ -1,0 +1,295 @@
+//===- support/Sandbox.cpp ------------------------------------------------===//
+
+#include "support/Sandbox.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <new>
+#include <sstream>
+#include <thread>
+
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace rpcc;
+
+namespace {
+
+// Reserved child exit codes, chosen high to stay clear of job-level exit
+// paths (a well-behaved child only ever leaves via _exit(0) after writing
+// its payload; these mark the two deliberate abnormal exits).
+constexpr int OomExitCode = 86;       ///< allocation failed under the cap
+constexpr int WriteFailExitCode = 87; ///< result pipe write failed
+
+// First payload byte, ahead of the job's bytes: did the job report success
+// or a clean (Trap) failure?
+constexpr char VerdictOk = 'K';
+constexpr char VerdictTrap = 'T';
+
+double nowMs() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Full write with EINTR handling; false on any hard error (parent gone,
+/// pipe broken).
+bool writeAll(int Fd, const char *Data, size_t Len) {
+  while (Len) {
+    ssize_t N = ::write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Child side: apply limits, run the job, ship the verdict + payload, and
+/// _exit. Never returns. `_exit` (not `exit`) keeps the parent's buffered
+/// stdio from being flushed a second time from the child's copy.
+[[noreturn]] void runChild(int WriteFd, const SandboxJob &Job,
+                           const SandboxLimits &Limits) {
+  // A dead parent must not kill us with SIGPIPE mid-write; a failed write
+  // has its own exit code.
+  ::signal(SIGPIPE, SIG_IGN);
+  // Injected and genuine crashes both classify by wait status alone; cores
+  // from deliberately-crashed children are pure overhead.
+  struct rlimit NoCore = {0, 0};
+  ::setrlimit(RLIMIT_CORE, &NoCore);
+
+  if (Limits.CpuSeconds) {
+    struct rlimit Cpu;
+    Cpu.rlim_cur = static_cast<rlim_t>(Limits.CpuSeconds);
+    Cpu.rlim_max = static_cast<rlim_t>(Limits.CpuSeconds) + 1;
+    ::setrlimit(RLIMIT_CPU, &Cpu);
+  }
+  if (Limits.MemoryBytes) {
+#ifndef RPCC_SANITIZER_BUILD
+    // ASan/TSan reserve terabytes of shadow address space; an RLIMIT_AS cap
+    // would kill instrumented children at startup. Plain builds take the
+    // real kernel-enforced cap.
+    struct rlimit Mem;
+    Mem.rlim_cur = static_cast<rlim_t>(Limits.MemoryBytes);
+    Mem.rlim_max = static_cast<rlim_t>(Limits.MemoryBytes);
+    ::setrlimit(RLIMIT_AS, &Mem);
+#endif
+  }
+  // Either way, allocation failure classifies as Oom instead of an unwound
+  // bad_alloc tumbling into std::terminate (which would read as Crash).
+  std::set_new_handler([] { ::_exit(OomExitCode); });
+
+  std::string Payload;
+  bool JobOk = Job(Payload);
+
+  char Verdict = JobOk ? VerdictOk : VerdictTrap;
+  if (!writeAll(WriteFd, &Verdict, 1) ||
+      !writeAll(WriteFd, Payload.data(), Payload.size()))
+    ::_exit(WriteFailExitCode);
+  ::close(WriteFd);
+  ::_exit(0);
+}
+
+const char *signalName(int Sig) {
+  switch (Sig) {
+  case SIGABRT: return "SIGABRT";
+  case SIGBUS: return "SIGBUS";
+  case SIGFPE: return "SIGFPE";
+  case SIGILL: return "SIGILL";
+  case SIGKILL: return "SIGKILL";
+  case SIGSEGV: return "SIGSEGV";
+  case SIGTERM: return "SIGTERM";
+  case SIGXCPU: return "SIGXCPU";
+  default: return nullptr;
+  }
+}
+
+std::string describeSignal(int Sig) {
+  std::ostringstream OS;
+  OS << "signal " << Sig;
+  if (const char *N = signalName(Sig))
+    OS << " (" << N << ")";
+  return OS.str();
+}
+
+/// One fork-run-classify attempt. InternalError results are the only ones
+/// the caller retries.
+SandboxResult runOnce(const SandboxJob &Job, const SandboxOptions &Opts) {
+  SandboxResult R;
+  double T0 = nowMs();
+
+  int Fds[2];
+  if (::pipe(Fds) != 0) {
+    R.Error = std::string("sandbox: pipe failed: ") + std::strerror(errno);
+    return R;
+  }
+
+  int Pid = Opts.ForkFn ? Opts.ForkFn() : ::fork();
+  if (Pid < 0) {
+    int E = errno;
+    ::close(Fds[0]);
+    ::close(Fds[1]);
+    R.Error = std::string("sandbox: fork failed: ") + std::strerror(E);
+    return R;
+  }
+  if (Pid == 0) {
+    ::close(Fds[0]);
+    runChild(Fds[1], Job, Opts.Limits); // never returns
+  }
+  ::close(Fds[1]);
+
+  // Watchdog + reader: drain the pipe until EOF or the wall deadline. The
+  // child blocks in write once the pipe fills, so reading here is also what
+  // lets large payloads finish.
+  double DeadlineMs =
+      Opts.Limits.WallSeconds ? T0 + Opts.Limits.WallSeconds * 1000.0 : 0;
+  std::string Payload;
+  bool DeadlineKill = false;
+  for (;;) {
+    int TimeoutMs = -1;
+    if (DeadlineMs) {
+      double Left = DeadlineMs - nowMs();
+      if (Left <= 0) {
+        DeadlineKill = true;
+        break;
+      }
+      TimeoutMs = static_cast<int>(Left) + 1;
+    }
+    struct pollfd Pfd = {Fds[0], POLLIN, 0};
+    int PN = ::poll(&Pfd, 1, TimeoutMs);
+    if (PN < 0) {
+      if (errno == EINTR)
+        continue;
+      DeadlineKill = true; // cannot watch the child any more: stop it
+      break;
+    }
+    if (PN == 0) {
+      DeadlineKill = true;
+      break;
+    }
+    char Buf[65536];
+    ssize_t N = ::read(Fds[0], Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      DeadlineKill = true;
+      break;
+    }
+    if (N == 0)
+      break; // EOF: the child is done (or dead); reap it below
+    Payload.append(Buf, static_cast<size_t>(N));
+  }
+  ::close(Fds[0]);
+  if (DeadlineKill)
+    ::kill(Pid, SIGKILL);
+
+  int WStatus = 0;
+  for (;;) {
+    if (::waitpid(Pid, &WStatus, 0) >= 0)
+      break;
+    if (errno == EINTR)
+      continue;
+    R.Error = std::string("sandbox: waitpid failed: ") + std::strerror(errno);
+    R.WallMillis = nowMs() - T0;
+    return R;
+  }
+  R.WallMillis = nowMs() - T0;
+
+  if (DeadlineKill) {
+    R.Status = SandboxStatus::Timeout;
+    std::ostringstream OS;
+    OS << "timed out after " << Opts.Limits.WallSeconds << "s (wall deadline)";
+    R.Error = OS.str();
+    return R;
+  }
+  if (WIFSIGNALED(WStatus)) {
+    int Sig = WTERMSIG(WStatus);
+    if (Sig == SIGXCPU) {
+      R.Status = SandboxStatus::Timeout;
+      std::ostringstream OS;
+      OS << "exceeded the " << Opts.Limits.CpuSeconds << "s CPU cap ("
+         << describeSignal(Sig) << ")";
+      R.Error = OS.str();
+    } else {
+      R.Status = SandboxStatus::Crash;
+      R.Signal = Sig;
+      R.Error = "crashed: " + describeSignal(Sig);
+    }
+    return R;
+  }
+  int Code = WIFEXITED(WStatus) ? WEXITSTATUS(WStatus) : -1;
+  if (Code == OomExitCode) {
+    R.Status = SandboxStatus::Oom;
+    std::ostringstream OS;
+    OS << "out of memory";
+    if (Opts.Limits.MemoryBytes)
+      OS << " (limit " << (Opts.Limits.MemoryBytes >> 20) << " MiB)";
+    R.Error = OS.str();
+    return R;
+  }
+  if (Code == 0 && !Payload.empty() &&
+      (Payload[0] == VerdictOk || Payload[0] == VerdictTrap)) {
+    R.Status =
+        Payload[0] == VerdictOk ? SandboxStatus::Ok : SandboxStatus::Trap;
+    R.Payload = Payload.substr(1);
+    if (R.Status == SandboxStatus::Trap)
+      R.Error = R.Payload;
+    return R;
+  }
+  if (Code == 0 || Code == WriteFailExitCode) {
+    // The job claims success but the result never arrived whole — a pipe
+    // or protocol problem on our side, not a job verdict. Retryable.
+    R.Status = SandboxStatus::InternalError;
+    R.Error = "sandbox: child finished but its result payload was "
+              "incomplete";
+    return R;
+  }
+  // Any other exit path (sanitizer abort-to-exit, exit() smuggled into
+  // library code, a corrupted runtime limping to _exit) is still a child we
+  // lost control of: classify as a crash without a signal.
+  R.Status = SandboxStatus::Crash;
+  R.Signal = 0;
+  std::ostringstream OS;
+  OS << "crashed: exited with unexpected code " << Code;
+  R.Error = OS.str();
+  return R;
+}
+
+} // namespace
+
+const char *rpcc::sandboxStatusName(SandboxStatus S) {
+  switch (S) {
+  case SandboxStatus::Ok: return "ok";
+  case SandboxStatus::Trap: return "trap";
+  case SandboxStatus::Timeout: return "timeout";
+  case SandboxStatus::Oom: return "oom";
+  case SandboxStatus::Crash: return "crash";
+  case SandboxStatus::InternalError: return "internal-error";
+  }
+  return "?";
+}
+
+SandboxResult rpcc::runSandboxed(const SandboxJob &Job,
+                                 const SandboxOptions &Opts) {
+  unsigned MaxAttempts = Opts.MaxAttempts ? Opts.MaxAttempts : 1;
+  double Backoff = Opts.BackoffMillis;
+  SandboxResult R;
+  for (unsigned Attempt = 1;; ++Attempt) {
+    R = runOnce(Job, Opts);
+    R.Attempts = Attempt;
+    if (R.Status != SandboxStatus::InternalError || Attempt == MaxAttempts)
+      return R;
+    if (Backoff > 0)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(Backoff));
+    Backoff *= 2;
+  }
+}

@@ -1,0 +1,180 @@
+//===- support/Sandbox.h - Fork-isolated job execution ----------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash isolation for one job: run a callable in a forked child under a
+/// wall-clock watchdog and `setrlimit` resource caps, ship its result back
+/// over a pipe, and classify whatever happened into a small closed taxonomy:
+///
+///   Ok            child finished and delivered a complete payload
+///   Trap          child finished, but the job reported a clean failure
+///                 (its diagnostic is the payload)
+///   Timeout       the watchdog killed the child at the wall deadline, or
+///                 the kernel delivered SIGXCPU at the CPU cap
+///   Oom           the child's allocator gave out under the memory cap
+///   Crash{signal} the child died of a signal (or exited through an
+///                 unexpected path) — the failure mode sandboxing exists for
+///   InternalError the sandbox infrastructure itself failed (fork, pipe)
+///                 even after retry-with-backoff
+///
+/// Only infrastructure failures retry: a deterministic job crash would
+/// crash again, but a transient `fork` EAGAIN under load deserves another
+/// attempt. The suite runner and fuzz campaign consume this through
+/// driver/JobRunner, which adds naming, fault injection, and observability.
+///
+/// Sanitizer interactions (the acceptance bar is ASan/TSan green):
+/// `RLIMIT_AS` is skipped under sanitizer builds because ASan/TSan reserve
+/// terabytes of shadow address space up front; the child still classifies
+/// OOM through `std::set_new_handler`. Children always leave via `_exit`,
+/// never `exit`, so the parent's buffered stdio is not flushed twice —
+/// that is what keeps campaign/suite stdout byte-identical with the
+/// sandbox on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_SUPPORT_SANDBOX_H
+#define RPCC_SUPPORT_SANDBOX_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rpcc {
+
+/// Final classification of one sandboxed job. Values are part of the CLI
+/// surface (exit codes, --timing-json job records); see docs/ROBUSTNESS.md.
+enum class SandboxStatus : uint8_t {
+  Ok,
+  Trap,
+  Timeout,
+  Oom,
+  Crash,
+  InternalError,
+};
+
+/// Stable lowercase name: "ok", "trap", "timeout", "oom", "crash",
+/// "internal-error".
+const char *sandboxStatusName(SandboxStatus S);
+
+/// Resource caps for one child. Zero means "no cap" for every field.
+struct SandboxLimits {
+  /// Wall-clock deadline enforced by the parent's watchdog (SIGKILL).
+  double WallSeconds = 30.0;
+  /// Address-space cap via RLIMIT_AS (skipped under sanitizer builds; the
+  /// new-handler protocol still classifies allocation failure as Oom).
+  uint64_t MemoryBytes = 0;
+  /// CPU-seconds cap via RLIMIT_CPU; the kernel's SIGXCPU classifies as
+  /// Timeout (the job ran too long, just measured in cycles).
+  uint64_t CpuSeconds = 0;
+};
+
+struct SandboxOptions {
+  SandboxLimits Limits;
+  /// Total attempts for transient infrastructure failures (fork EAGAIN/
+  /// ENOMEM, pipe creation, garbled result protocol). Job outcomes — Crash,
+  /// Timeout, Oom, Trap — never retry: they are deterministic verdicts.
+  unsigned MaxAttempts = 3;
+  /// Backoff before the second attempt, doubling per retry.
+  double BackoffMillis = 10.0;
+  /// Test seam: replaces ::fork. Return <0 with errno set to fail.
+  std::function<int()> ForkFn;
+};
+
+struct SandboxResult {
+  SandboxStatus Status = SandboxStatus::InternalError;
+  /// Complete job payload (Ok) or job diagnostic (Trap); empty otherwise.
+  std::string Payload;
+  /// Human-readable description for every non-Ok status.
+  std::string Error;
+  /// Terminating signal for Crash-by-signal; 0 for a crash classified from
+  /// an unexpected exit path.
+  int Signal = 0;
+  /// Wall time of the final attempt, in milliseconds.
+  double WallMillis = 0;
+  /// Attempts consumed (1 = first try succeeded in reaching a verdict).
+  unsigned Attempts = 0;
+
+  bool ok() const { return Status == SandboxStatus::Ok; }
+};
+
+/// The job body run inside the child. Returns true for Ok (Payload = the
+/// result bytes) or false for Trap (Payload = the diagnostic). Anything
+/// else the body does — crash, hang, allocate past the cap — is classified
+/// by the parent. The body must not write to stdout/stderr: the child
+/// shares the parent's descriptors and would corrupt its streams.
+using SandboxJob = std::function<bool(std::string &Payload)>;
+
+/// Runs \p Job in a forked child under \p Opts and classifies the outcome.
+/// Never throws; infrastructure problems surface as InternalError.
+SandboxResult runSandboxed(const SandboxJob &Job,
+                           const SandboxOptions &Opts = {});
+
+// -- Payload (de)serialization helpers ---------------------------------------
+// The pipe carries raw bytes; jobs with structured results flatten them with
+// these little-endian, length-prefixed primitives. A PayloadReader that runs
+// past the end goes sticky-bad instead of reading garbage, so a truncated
+// payload from a dying child parses as "malformed", never as wrong data.
+
+class PayloadWriter {
+public:
+  void u8(uint8_t V) { Bytes.push_back(static_cast<char>(V)); }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Bytes.push_back(static_cast<char>((V >> (I * 8)) & 0xFF));
+  }
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+  void str(const std::string &S) {
+    u64(S.size());
+    Bytes.append(S);
+  }
+  std::string take() { return std::move(Bytes); }
+
+private:
+  std::string Bytes;
+};
+
+class PayloadReader {
+public:
+  explicit PayloadReader(const std::string &Bytes) : Bytes(Bytes) {}
+
+  uint8_t u8() {
+    if (Bad || Pos + 1 > Bytes.size())
+      return fail(), 0;
+    return static_cast<uint8_t>(Bytes[Pos++]);
+  }
+  uint64_t u64() {
+    if (Bad || Pos + 8 > Bytes.size())
+      return fail(), 0;
+    uint64_t V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<uint8_t>(Bytes[Pos++]))
+           << (I * 8);
+    return V;
+  }
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  std::string str() {
+    uint64_t N = u64();
+    if (Bad || N > Bytes.size() - Pos)
+      return fail(), std::string();
+    std::string S = Bytes.substr(Pos, N);
+    Pos += N;
+    return S;
+  }
+  /// True when every read so far was in bounds and everything was consumed.
+  bool complete() const { return !Bad && Pos == Bytes.size(); }
+  bool bad() const { return Bad; }
+
+private:
+  void fail() { Bad = true; }
+  const std::string &Bytes;
+  size_t Pos = 0;
+  bool Bad = false;
+};
+
+} // namespace rpcc
+
+#endif // RPCC_SUPPORT_SANDBOX_H

@@ -1,0 +1,54 @@
+//===- support/Status.h - Recoverable error results -------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal expected-style result for library code: success, or failure
+/// with a human-readable message. Library layers (`src/driver`, `src/ir`,
+/// `src/frontend`) return Status instead of calling `exit()`/`abort()`, so
+/// only the `tools/` entry points decide when the process dies — the
+/// prerequisite for a long-lived rpserved daemon, where a bad request must
+/// degrade into an error reply, never take the process down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_SUPPORT_STATUS_H
+#define RPCC_SUPPORT_STATUS_H
+
+#include <string>
+#include <utility>
+
+namespace rpcc {
+
+/// Success, or an error message. Contextual truthiness reads as "is ok":
+///
+///   Status S = loadBenchProgram(Name, Src);
+///   if (!S)
+///     report(S.message());
+class Status {
+public:
+  Status() = default;
+
+  static Status ok() { return Status(); }
+  static Status error(std::string Message) {
+    Status S;
+    S.Failed = true;
+    S.Msg = std::move(Message);
+    return S;
+  }
+
+  explicit operator bool() const { return !Failed; }
+  bool isError() const { return Failed; }
+  const std::string &message() const { return Msg; }
+
+private:
+  bool Failed = false;
+  std::string Msg;
+};
+
+} // namespace rpcc
+
+#endif // RPCC_SUPPORT_STATUS_H

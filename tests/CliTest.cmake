@@ -69,3 +69,31 @@ set_tests_properties(cli_remarks_json_no_arg PROPERTIES WILL_FAIL TRUE)
 add_test(NAME cli_programs_without_suite
          COMMAND ${RPCC_BIN} --programs=tsp)
 set_tests_properties(cli_programs_without_suite PROPERTIES WILL_FAIL TRUE)
+
+# Sandbox flag guards: --sandbox needs --suite, fault injection needs the
+# sandbox (an inline fault would take the whole process down), and the
+# injection spec's kind must parse.
+add_test(NAME cli_sandbox_without_suite
+         COMMAND ${RPCC_BIN} ${PROGS}/allroots.c --sandbox)
+set_tests_properties(cli_sandbox_without_suite PROPERTIES WILL_FAIL TRUE)
+
+add_test(NAME cli_inject_without_sandbox
+         COMMAND ${RPCC_BIN} --suite --programs=clean
+                 --inject-cell-fault=clean/modref/with:crash)
+set_tests_properties(cli_inject_without_sandbox PROPERTIES WILL_FAIL TRUE)
+
+add_test(NAME cli_inject_bad_kind
+         COMMAND ${RPCC_BIN} --suite --programs=clean --sandbox
+                 --inject-cell-fault=clean/modref/with:explode)
+set_tests_properties(cli_inject_bad_kind PROPERTIES WILL_FAIL TRUE)
+
+# A healthy sandboxed suite run exits 0 and still prints the paper tables.
+add_test(NAME cli_suite_sandboxed
+         COMMAND ${RPCC_BIN} --suite --programs=clean --sandbox)
+set_tests_properties(cli_suite_sandboxed PROPERTIES
+  PASS_REGULAR_EXPRESSION "Figure 7: dynamic loads executed")
+
+# rpfuzz guard: worker-fault injection requires the sandbox.
+add_test(NAME cli_fuzz_inject_without_sandbox
+         COMMAND $<TARGET_FILE:rpfuzz> --runs=1 --inject-worker-faults)
+set_tests_properties(cli_fuzz_inject_without_sandbox PROPERTIES WILL_FAIL TRUE)

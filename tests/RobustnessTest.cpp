@@ -225,6 +225,80 @@ TEST(InterpFaultTest, OutOfBoundsGlobalCaught) {
   EXPECT_NE(R.Error.find("out of bounds"), std::string::npos) << R.Error;
 }
 
+// ---------------------------------------------------------------------------
+// Resource budgets: both engines must fault identically at the limit. The
+// counting-exact budgets (call depth, frame bytes) are checked at frame
+// entry, so the error text AND the step count at the fault must match bit
+// for bit between the reference and fast-path engines.
+// ---------------------------------------------------------------------------
+
+const char *RunawaySrc = "int down(int n) { return down(n + 1); }\n"
+                         "int main() { return down(0); }";
+
+ExecResult runEngine(const Module &M, InterpOptions Opts, InterpEngine E) {
+  Opts.Engine = E;
+  return interpret(M, Opts);
+}
+
+TEST(InterpBudgetTest, CallDepthFaultIsEngineIdentical) {
+  Module M;
+  std::string Err;
+  ASSERT_TRUE(compileToIL(RunawaySrc, M, Err));
+  InterpOptions Opts;
+  Opts.MaxCallDepth = 500;
+  ExecResult A = runEngine(M, Opts, InterpEngine::Switch);
+  ExecResult B = runEngine(M, Opts, InterpEngine::FastPath);
+  EXPECT_FALSE(A.Ok);
+  EXPECT_FALSE(B.Ok);
+  EXPECT_NE(A.Error.find("depth"), std::string::npos) << A.Error;
+  EXPECT_EQ(A.Error, B.Error);
+  EXPECT_EQ(A.Counters.Total, B.Counters.Total)
+      << "depth fault must be counting-exact across engines";
+}
+
+TEST(InterpBudgetTest, FrameBudgetFaultIsEngineIdentical) {
+  // The array forces real frame bytes (RunawaySrc's frames are all-register,
+  // size zero, and would never touch the byte budget).
+  Module M;
+  std::string Err;
+  ASSERT_TRUE(compileToIL("int down(int n) { int a[16]; a[0] = n;\n"
+                          "  return down(a[0] + 1); }\n"
+                          "int main() { return down(0); }",
+                          M, Err));
+  InterpOptions Opts;
+  Opts.MaxFrameBytes = 1 << 12; // trips long before MaxCallDepth
+  ExecResult A = runEngine(M, Opts, InterpEngine::Switch);
+  ExecResult B = runEngine(M, Opts, InterpEngine::FastPath);
+  EXPECT_FALSE(A.Ok);
+  EXPECT_FALSE(B.Ok);
+  EXPECT_NE(A.Error.find("frame memory limit"), std::string::npos) << A.Error;
+  EXPECT_EQ(A.Error, B.Error);
+  EXPECT_EQ(A.Counters.Total, B.Counters.Total)
+      << "frame fault must be counting-exact across engines";
+}
+
+TEST(InterpBudgetTest, WallDeadlineFaultsBothEngines) {
+  // The deadline is checked at the same program points in both engines, but
+  // when the clock trips is nondeterministic, so only the message is
+  // compared — not the step count.
+  Module M;
+  std::string Err;
+  ASSERT_TRUE(compileToIL("int main() { int i; i = 0;\n"
+                          "  while (i < 1000000000) i = i + 1;\n"
+                          "  return i; }",
+                          M, Err));
+  InterpOptions Opts;
+  Opts.WallDeadlineMs = 1;
+  ExecResult A = runEngine(M, Opts, InterpEngine::Switch);
+  ExecResult B = runEngine(M, Opts, InterpEngine::FastPath);
+  EXPECT_FALSE(A.Ok);
+  EXPECT_FALSE(B.Ok);
+  EXPECT_NE(A.Error.find("wall-clock deadline"), std::string::npos) << A.Error;
+  EXPECT_EQ(A.Error, B.Error);
+  EXPECT_GT(A.Counters.Total, 0u) << "partial counts must survive the fault";
+  EXPECT_GT(B.Counters.Total, 0u);
+}
+
 TEST(InterpFaultTest, FaultsStillReportCounters) {
   Module M;
   std::string Err;

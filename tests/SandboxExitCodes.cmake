@@ -1,0 +1,35 @@
+# The three abnormal-child exit codes, each driven end to end through
+# `rpcc --suite --sandbox --inject-cell-fault`: a crashing cell exits 5, a
+# hanging cell (killed at the wall deadline) exits 6, an OOMing cell exits
+# 7. Documented in docs/ROBUSTNESS.md; ctest's WILL_FAIL can only see
+# "nonzero", so the exact codes are asserted here.
+#
+# Invoked by ctest as:
+#   cmake -DRPCC_BIN=<path-to-rpcc> -P SandboxExitCodes.cmake
+
+if(NOT RPCC_BIN)
+  message(FATAL_ERROR "RPCC_BIN not set")
+endif()
+
+# kind / expected exit code / extra flag making the fault bite quickly
+# (comma-separated so the outer foreach does not flatten the triples)
+set(CASES
+    "crash,5,--sandbox-wall=30"
+    "hang,6,--sandbox-wall=1"
+    "oom,7,--sandbox-mem=64")
+
+foreach(CASE ${CASES})
+  string(REPLACE "," ";" CASE "${CASE}")
+  list(GET CASE 0 KIND)
+  list(GET CASE 1 WANT)
+  list(GET CASE 2 EXTRA)
+  execute_process(COMMAND ${RPCC_BIN} --suite --programs=clean --sandbox
+                          ${EXTRA} --inject-cell-fault=clean/modref/with:${KIND}
+                  OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR
+                  RESULT_VARIABLE RC)
+  if(NOT RC EQUAL ${WANT})
+    message(FATAL_ERROR
+            "injected ${KIND}: expected exit code ${WANT}, got ${RC}:\n"
+            "${OUT}\n${ERR}")
+  endif()
+endforeach()

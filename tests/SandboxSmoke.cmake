@@ -1,0 +1,51 @@
+# End-to-end fail-soft proof for the sandboxed fuzz campaign: with
+# --inject-worker-faults, seeds 3, 9, and 15 (mod 20) deliberately crash,
+# hang, and OOM inside their forked workers. The campaign must survive all
+# three, classify each on its FAIL line, write a reproducer per failing
+# seed, and exit with the crash severity code (5) — the worst outcome wins.
+#
+# Invoked by ctest as:
+#   cmake -DRPFUZZ_BIN=<path-to-rpfuzz> -DWORK_DIR=<scratch> -P SandboxSmoke.cmake
+
+if(NOT RPFUZZ_BIN)
+  message(FATAL_ERROR "RPFUZZ_BIN not set")
+endif()
+if(NOT WORK_DIR)
+  message(FATAL_ERROR "WORK_DIR not set")
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(REPRO_DIR ${WORK_DIR}/reproducers)
+
+execute_process(COMMAND ${RPFUZZ_BIN} --runs=25 --matrix=quick --seed=1
+                        --jobs=4 --sandbox --sandbox-wall=3
+                        --inject-worker-faults
+                        --reproducer-dir=${REPRO_DIR}
+                OUTPUT_VARIABLE OUT
+                ERROR_VARIABLE ERR
+                RESULT_VARIABLE RC)
+
+# Crash severity beats OOM and timeout; the run saw one of each.
+if(NOT RC EQUAL 5)
+  message(FATAL_ERROR
+          "expected exit code 5 (crashed child), got ${RC}:\n${OUT}\n${ERR}")
+endif()
+
+foreach(NEEDLE "FAIL seed=3" "FAIL seed=9" "FAIL seed=15"
+               "crashed" "timed out" "out of memory")
+  if(NOT ERR MATCHES "${NEEDLE}")
+    message(FATAL_ERROR "log is missing \"${NEEDLE}\":\n${OUT}\n${ERR}")
+  endif()
+endforeach()
+
+# Seeds 3 and 23 both crash (23 = 3 mod 20); 9 hangs; 15 OOMs.
+if(NOT ERR MATCHES "2 crashed, 1 oom, 1 timed out")
+  message(FATAL_ERROR "summary breakdown missing:\n${OUT}\n${ERR}")
+endif()
+
+foreach(SEED 3 9 15 23)
+  if(NOT EXISTS ${REPRO_DIR}/seed-${SEED}.c)
+    message(FATAL_ERROR "reproducer for seed ${SEED} was not written")
+  endif()
+endforeach()

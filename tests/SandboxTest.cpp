@@ -1,0 +1,385 @@
+//===- tests/SandboxTest.cpp - Sandbox / JobRunner classification ---------===//
+//
+// The sandbox's whole contract is its outcome taxonomy: a child that
+// finishes, traps, crashes, hangs, or allocates past the cap must land in
+// exactly the right SandboxStatus bucket, and the infrastructure-failure
+// path (fork refusing) must retry with backoff and then report
+// InternalError — never masquerade as a job verdict. These tests drive each
+// bucket deliberately and check the fuzz campaign's fail-soft behavior on
+// top.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/JobRunner.h"
+#include "fuzz/Campaign.h"
+#include "support/Sandbox.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <new>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace rpcc;
+
+namespace {
+
+SandboxOptions quickOpts(double WallSeconds = 10.0) {
+  SandboxOptions Opts;
+  Opts.Limits.WallSeconds = WallSeconds;
+  Opts.BackoffMillis = 1.0; // keep retry tests fast
+  return Opts;
+}
+
+// ---------------------------------------------------------------------------
+// Core classification: one test per taxonomy bucket.
+// ---------------------------------------------------------------------------
+
+TEST(SandboxTest, OkDeliversPayload) {
+  SandboxResult R = runSandboxed(
+      [](std::string &Payload) {
+        Payload = "hello from the child";
+        return true;
+      },
+      quickOpts());
+  ASSERT_EQ(R.Status, SandboxStatus::Ok) << R.Error;
+  EXPECT_EQ(R.Payload, "hello from the child");
+  EXPECT_EQ(R.Attempts, 1u);
+  EXPECT_TRUE(R.ok());
+}
+
+TEST(SandboxTest, TrapCarriesDiagnostic) {
+  SandboxResult R = runSandboxed(
+      [](std::string &Payload) {
+        Payload = "job-level failure detail";
+        return false;
+      },
+      quickOpts());
+  ASSERT_EQ(R.Status, SandboxStatus::Trap);
+  EXPECT_EQ(R.Payload, "job-level failure detail");
+}
+
+TEST(SandboxTest, CrashClassifiedWithSignal) {
+  SandboxResult R = runSandboxed(
+      [](std::string &) -> bool { std::abort(); }, quickOpts());
+  ASSERT_EQ(R.Status, SandboxStatus::Crash);
+  EXPECT_EQ(R.Signal, SIGABRT);
+  EXPECT_NE(R.Error.find("SIGABRT"), std::string::npos) << R.Error;
+}
+
+TEST(SandboxTest, SegvClassifiedAsCrash) {
+  SandboxResult R = runSandboxed(
+      [](std::string &) -> bool {
+        raise(SIGSEGV); // deterministic stand-in for a wild dereference
+        return true;
+      },
+      quickOpts());
+  ASSERT_EQ(R.Status, SandboxStatus::Crash);
+#ifndef RPCC_SANITIZER_BUILD
+  // ASan/TSan intercept SIGSEGV into a report + plain exit, so the child
+  // still classifies as Crash there, just not by signal number.
+  EXPECT_EQ(R.Signal, SIGSEGV);
+#endif
+}
+
+TEST(SandboxTest, HangKilledAtWallDeadline) {
+  SandboxResult R = runSandboxed(
+      [](std::string &) -> bool {
+        for (;;)
+          ::pause();
+      },
+      quickOpts(/*WallSeconds=*/0.2));
+  ASSERT_EQ(R.Status, SandboxStatus::Timeout);
+  EXPECT_NE(R.Error.find("timed out"), std::string::npos) << R.Error;
+  EXPECT_EQ(R.Attempts, 1u) << "timeouts are verdicts, not retries";
+}
+
+TEST(SandboxTest, OomClassifiedViaNewHandler) {
+  SandboxOptions Opts = quickOpts();
+  Opts.Limits.MemoryBytes = 64ull << 20;
+  SandboxResult R = runSandboxed(
+      [](std::string &) -> bool {
+        // Allocate far past the cap; under sanitizer builds RLIMIT_AS is
+        // skipped, so drive the new-handler protocol directly.
+        std::vector<char *> Chunks;
+        for (int I = 0; I != 1024; ++I) {
+          char *C = new char[1 << 20];
+          C[0] = 1;
+          Chunks.push_back(C);
+        }
+        if (std::new_handler H = std::get_new_handler())
+          H();
+        return true;
+      },
+      Opts);
+  ASSERT_EQ(R.Status, SandboxStatus::Oom) << R.Error;
+  EXPECT_NE(R.Error.find("memory"), std::string::npos) << R.Error;
+}
+
+TEST(SandboxTest, LargePayloadCrossesPipe) {
+  // Bigger than any pipe buffer: proves the parent drains concurrently with
+  // the child writing instead of deadlocking at 64K.
+  const size_t N = 4u << 20;
+  SandboxResult R = runSandboxed(
+      [N](std::string &Payload) {
+        Payload.reserve(N);
+        for (size_t I = 0; I != N; ++I)
+          Payload.push_back(static_cast<char>('a' + I % 26));
+        return true;
+      },
+      quickOpts());
+  ASSERT_EQ(R.Status, SandboxStatus::Ok) << R.Error;
+  ASSERT_EQ(R.Payload.size(), N);
+  EXPECT_EQ(R.Payload[0], 'a');
+  EXPECT_EQ(R.Payload[N - 1], static_cast<char>('a' + (N - 1) % 26));
+}
+
+// ---------------------------------------------------------------------------
+// Infrastructure failures: the ForkFn seam.
+// ---------------------------------------------------------------------------
+
+TEST(SandboxTest, TransientForkFailureRetriesThenSucceeds) {
+  int Calls = 0;
+  SandboxOptions Opts = quickOpts();
+  Opts.ForkFn = [&Calls]() -> int {
+    if (++Calls <= 2) {
+      errno = EAGAIN;
+      return -1;
+    }
+    return ::fork();
+  };
+  SandboxResult R = runSandboxed(
+      [](std::string &Payload) {
+        Payload = "third time lucky";
+        return true;
+      },
+      Opts);
+  ASSERT_EQ(R.Status, SandboxStatus::Ok) << R.Error;
+  EXPECT_EQ(R.Payload, "third time lucky");
+  EXPECT_EQ(R.Attempts, 3u);
+  EXPECT_EQ(Calls, 3);
+}
+
+TEST(SandboxTest, PersistentForkFailureIsInternalError) {
+  SandboxOptions Opts = quickOpts();
+  Opts.MaxAttempts = 2;
+  int Calls = 0;
+  Opts.ForkFn = [&Calls]() -> int {
+    ++Calls;
+    errno = EAGAIN;
+    return -1;
+  };
+  SandboxResult R = runSandboxed(
+      [](std::string &) { return true; }, Opts);
+  ASSERT_EQ(R.Status, SandboxStatus::InternalError);
+  EXPECT_NE(R.Error.find("fork"), std::string::npos) << R.Error;
+  EXPECT_EQ(R.Attempts, 2u);
+  EXPECT_EQ(Calls, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Payload protocol.
+// ---------------------------------------------------------------------------
+
+TEST(SandboxTest, PayloadRoundTrip) {
+  std::string Embedded("raw\0bytes", 9); // embedded NUL must survive
+  PayloadWriter W;
+  W.u8(7);
+  W.u64(0xDEADBEEFCAFEF00Dull);
+  W.i64(-42);
+  W.str(Embedded);
+  std::string Bytes = W.take();
+
+  PayloadReader R(Bytes);
+  EXPECT_EQ(R.u8(), 7u);
+  EXPECT_EQ(R.u64(), 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(R.i64(), -42);
+  EXPECT_EQ(R.str(), Embedded);
+  EXPECT_TRUE(R.complete());
+}
+
+TEST(SandboxTest, TruncatedPayloadGoesStickyBad) {
+  PayloadWriter W;
+  W.str("some content");
+  std::string Bytes = W.take();
+  Bytes.resize(Bytes.size() - 3); // simulate a child dying mid-write
+
+  PayloadReader R(Bytes);
+  EXPECT_EQ(R.str(), "");
+  EXPECT_TRUE(R.bad());
+  EXPECT_FALSE(R.complete());
+  EXPECT_EQ(R.u64(), 0u) << "sticky-bad: later reads stay failed";
+}
+
+// ---------------------------------------------------------------------------
+// JobRunner: names, injected faults, the log, exit severities.
+// ---------------------------------------------------------------------------
+
+TEST(JobRunnerTest, InjectedFaultsClassifyAsDocumented) {
+  const WorkerFault Faults[] = {WorkerFault::Crash, WorkerFault::Oom};
+  for (WorkerFault F : Faults) {
+    JobOptions Opts;
+    Opts.Name = std::string("inject-") + workerFaultName(F);
+    Opts.Sandbox = true;
+    Opts.Limits.WallSeconds = 10.0;
+    Opts.Limits.MemoryBytes = 64ull << 20;
+    Opts.Inject = F;
+    SandboxResult R = runJob([](std::string &) { return true; }, Opts);
+    EXPECT_EQ(R.Status, expectedFaultStatus(F))
+        << workerFaultName(F) << ": " << R.Error;
+  }
+}
+
+TEST(JobRunnerTest, InjectedHangTimesOut) {
+  JobOptions Opts;
+  Opts.Name = "inject-hang";
+  Opts.Sandbox = true;
+  Opts.Limits.WallSeconds = 0.2;
+  Opts.Inject = WorkerFault::Hang;
+  SandboxResult R = runJob([](std::string &) { return true; }, Opts);
+  EXPECT_EQ(R.Status, expectedFaultStatus(WorkerFault::Hang)) << R.Error;
+}
+
+TEST(JobRunnerTest, InlineModeReportsJobVerdict) {
+  JobOptions Opts;
+  Opts.Name = "inline";
+  SandboxResult Ok = runJob(
+      [](std::string &P) {
+        P = "result";
+        return true;
+      },
+      Opts);
+  EXPECT_EQ(Ok.Status, SandboxStatus::Ok);
+  EXPECT_EQ(Ok.Payload, "result");
+
+  SandboxResult Trap = runJob(
+      [](std::string &P) {
+        P = "diag";
+        return false;
+      },
+      Opts);
+  EXPECT_EQ(Trap.Status, SandboxStatus::Trap);
+  EXPECT_EQ(Trap.Payload, "diag");
+}
+
+TEST(JobRunnerTest, LogIsSortedAndDeterministic) {
+  JobLog Log;
+  for (const char *Name : {"zeta", "alpha", "mid"}) {
+    JobOptions Opts;
+    Opts.Name = Name;
+    Opts.Sandbox = true;
+    Opts.Limits.WallSeconds = 10.0;
+    Opts.Log = &Log;
+    SandboxResult R =
+        runJob([](std::string &P) { return P = "x", true; }, Opts);
+    ASSERT_TRUE(R.ok()) << R.Error;
+  }
+  std::vector<JobRecord> Recs = Log.records();
+  ASSERT_EQ(Recs.size(), 3u);
+  EXPECT_EQ(Log.abnormal(), 0u);
+
+  std::string Json = Log.toJsonArray();
+  size_t A = Json.find("\"alpha\""), M = Json.find("\"mid\""),
+         Z = Json.find("\"zeta\"");
+  ASSERT_NE(A, std::string::npos);
+  ASSERT_NE(M, std::string::npos);
+  ASSERT_NE(Z, std::string::npos);
+  EXPECT_LT(A, M);
+  EXPECT_LT(M, Z) << "records must render sorted by name:\n" << Json;
+  EXPECT_NE(Json.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(JobRunnerTest, AbnormalCountSkipsTraps) {
+  JobLog Log;
+  Log.add(JobRecord{"a", SandboxStatus::Ok, 0, 1.0, 1});
+  Log.add(JobRecord{"b", SandboxStatus::Trap, 0, 1.0, 1});
+  Log.add(JobRecord{"c", SandboxStatus::Crash, SIGSEGV, 1.0, 1});
+  Log.add(JobRecord{"d", SandboxStatus::Timeout, 0, 1.0, 1});
+  EXPECT_EQ(Log.abnormal(), 2u);
+}
+
+TEST(JobRunnerTest, ExitSeverityPrecedence) {
+  EXPECT_EQ(jobExitSeverity(false, false, false), 0);
+  EXPECT_EQ(jobExitSeverity(false, false, true), ExitCodeTimedOutChild);
+  EXPECT_EQ(jobExitSeverity(false, true, true), ExitCodeOomChild);
+  EXPECT_EQ(jobExitSeverity(true, true, true), ExitCodeCrashedChild);
+  EXPECT_EQ(jobExitSeverity(true, false, false), ExitCodeCrashedChild);
+}
+
+TEST(JobRunnerTest, FaultNamesRoundTrip) {
+  for (WorkerFault F : {WorkerFault::None, WorkerFault::Crash,
+                        WorkerFault::Hang, WorkerFault::Oom}) {
+    WorkerFault Parsed = WorkerFault::None;
+    EXPECT_TRUE(parseWorkerFault(workerFaultName(F), Parsed));
+    EXPECT_EQ(Parsed, F);
+  }
+  WorkerFault Junk;
+  EXPECT_FALSE(parseWorkerFault("explode", Junk));
+}
+
+// ---------------------------------------------------------------------------
+// Campaign fail-soft: a crashing seed becomes a classified FAIL line, a
+// reproducer on disk, and a nonzero severity — never a dead campaign.
+// ---------------------------------------------------------------------------
+
+TEST(CampaignSandboxTest, SurvivesInjectedCrashAndWritesReproducer) {
+  namespace fs = std::filesystem;
+  fs::path Dir =
+      fs::temp_directory_path() / ("rpcc-sandbox-test-" + std::to_string(getpid()));
+  fs::remove_all(Dir);
+
+  CampaignOptions Opts;
+  Opts.Seed0 = 1;
+  Opts.Runs = 5; // covers seed 3 (crash injection: 3 mod 20)
+  Opts.Quick = true;
+  Opts.Jobs = 2;
+  Opts.ProgressInterval = 0;
+  Opts.Sandbox = true;
+  Opts.Limits.WallSeconds = 20.0;
+  Opts.InjectWorkerFaults = true;
+  Opts.ReproducerDir = Dir.string();
+  JobLog Log;
+  Opts.Log = &Log;
+
+  CampaignResult R = runCampaign(Opts);
+  EXPECT_EQ(R.Crashed, 1u) << R.Log;
+  EXPECT_EQ(R.Failures, 1u);
+  EXPECT_EQ(R.TimedOut, 0u);
+  EXPECT_NE(R.Log.find("FAIL seed=3"), std::string::npos) << R.Log;
+  EXPECT_NE(R.Log.find("crashed"), std::string::npos) << R.Log;
+  EXPECT_NE(R.Log.find("1 crashed"), std::string::npos) << R.Log;
+  EXPECT_TRUE(fs::exists(Dir / "seed-3.c"))
+      << "reproducer for the crashing seed must be on disk";
+  EXPECT_GT(fs::file_size(Dir / "seed-3.c"), 0u);
+  EXPECT_EQ(Log.records().size(), 5u) << "every sandboxed seed is logged";
+  EXPECT_EQ(Log.abnormal(), 1u);
+  fs::remove_all(Dir);
+}
+
+TEST(CampaignSandboxTest, HealthySandboxedLogMatchesInline) {
+  CampaignOptions Base;
+  Base.Seed0 = 40;
+  Base.Runs = 6;
+  Base.Quick = true;
+  Base.ProgressInterval = 0;
+
+  CampaignOptions Inline = Base;
+  CampaignResult RI = runCampaign(Inline);
+
+  CampaignOptions Boxed = Base;
+  Boxed.Sandbox = true;
+  Boxed.Limits.WallSeconds = 60.0;
+  Boxed.Jobs = 2;
+  CampaignResult RB = runCampaign(Boxed);
+
+  EXPECT_EQ(RI.Failures, RB.Failures);
+  EXPECT_EQ(RI.Log, RB.Log)
+      << "healthy seeds must log byte-identically with the sandbox on";
+}
+
+} // namespace

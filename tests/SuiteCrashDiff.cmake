@@ -1,0 +1,71 @@
+# Two sandbox guarantees at the suite level:
+#
+#   1. Healthy cells: `--suite --sandbox` stdout is byte-identical to the
+#      plain in-process suite, at any --jobs value. Sandboxing is invisible
+#      until something dies.
+#   2. A dead cell (here: an injected crash in tsp's modref/with cell)
+#      renders as a CRASHED table entry — byte-identically for --jobs=1 and
+#      --jobs=8 — and the process exits with the crashed-child code (5).
+#
+# Invoked by ctest as:
+#   cmake -DRPCC_BIN=<path-to-rpcc> -P SuiteCrashDiff.cmake
+
+if(NOT RPCC_BIN)
+  message(FATAL_ERROR "RPCC_BIN not set")
+endif()
+
+set(PROGS --programs=tsp,fft)
+
+execute_process(COMMAND ${RPCC_BIN} --suite ${PROGS} --jobs=2
+                OUTPUT_VARIABLE PLAIN_OUT ERROR_VARIABLE PLAIN_ERR
+                RESULT_VARIABLE PLAIN_RC)
+if(NOT PLAIN_RC EQUAL 0)
+  message(FATAL_ERROR "plain suite failed (rc=${PLAIN_RC}):\n${PLAIN_ERR}")
+endif()
+
+foreach(JOBS 1 4)
+  execute_process(COMMAND ${RPCC_BIN} --suite ${PROGS} --sandbox
+                          --jobs=${JOBS}
+                  OUTPUT_VARIABLE BOXED_OUT ERROR_VARIABLE BOXED_ERR
+                  RESULT_VARIABLE BOXED_RC)
+  if(NOT BOXED_RC EQUAL 0)
+    message(FATAL_ERROR
+            "sandboxed suite --jobs=${JOBS} failed (rc=${BOXED_RC}):\n"
+            "${BOXED_ERR}")
+  endif()
+  if(NOT BOXED_OUT STREQUAL PLAIN_OUT)
+    message(FATAL_ERROR
+            "healthy sandboxed suite stdout (--jobs=${JOBS}) differs from "
+            "the plain suite")
+  endif()
+endforeach()
+
+# An injected crash in one cell: classified, rendered, jobs-independent.
+foreach(JOBS 1 8)
+  execute_process(COMMAND ${RPCC_BIN} --suite ${PROGS} --sandbox
+                          --inject-cell-fault=tsp/modref/with:crash
+                          --jobs=${JOBS}
+                  OUTPUT_VARIABLE CRASH_OUT ERROR_VARIABLE CRASH_ERR
+                  RESULT_VARIABLE CRASH_RC)
+  if(NOT CRASH_RC EQUAL 5)
+    message(FATAL_ERROR
+            "expected exit code 5 for a crashed cell (--jobs=${JOBS}), "
+            "got ${CRASH_RC}:\n${CRASH_ERR}")
+  endif()
+  if(NOT CRASH_OUT MATCHES "CRASHED")
+    message(FATAL_ERROR
+            "crashed cell not rendered as CRASHED (--jobs=${JOBS}):\n"
+            "${CRASH_OUT}")
+  endif()
+  if(NOT CRASH_ERR MATCHES "tsp \\[modref/with\\]: crashed: signal")
+    message(FATAL_ERROR
+            "missing crash diagnostic on stderr (--jobs=${JOBS}):\n"
+            "${CRASH_ERR}")
+  endif()
+  if(JOBS EQUAL 1)
+    set(CRASH_OUT_SERIAL "${CRASH_OUT}")
+  elseif(NOT CRASH_OUT STREQUAL CRASH_OUT_SERIAL)
+    message(FATAL_ERROR
+            "CRASHED-cell table differs between --jobs=1 and --jobs=8")
+  endif()
+endforeach()

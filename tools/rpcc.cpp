@@ -101,7 +101,24 @@ void usage() {
       "  --no-compile-cache         compile every suite cell from scratch\n"
       "                             instead of forking each program's shared\n"
       "                             frontend+analysis prefix; output is\n"
-      "                             byte-identical either way (A/B check)\n",
+      "                             byte-identical either way (A/B check)\n"
+      "  --sandbox                  run every suite cell in a forked child;\n"
+      "                             a crashing/hanging/OOMing cell renders "
+      "as\n"
+      "                             CRASHED/TIMEOUT/OOM instead of killing\n"
+      "                             the suite (exit codes 5/6/7)\n"
+      "  --sandbox-wall=SECONDS     wall-clock deadline per sandboxed cell\n"
+      "                             (default 30)\n"
+      "  --sandbox-mem=MB           address-space cap per sandboxed cell\n"
+      "                             (default: none)\n"
+      "  --inject-cell-fault=SPEC   deliberately kill one sandboxed cell;\n"
+      "                             SPEC = prog/analysis/promo:kind, e.g.\n"
+      "                             tsp/modref/with:crash (crash|hang|oom)\n"
+      "\n"
+      "exit codes: 0 ok, 1 compile/runtime/cell error, 2 usage error,\n"
+      "3 bad option value, 4 file I/O error, 5 crashed sandboxed cell,\n"
+      "6 timed-out sandboxed cell, 7 OOM-killed sandboxed cell (worst\n"
+      "severity wins: 5 > 7 > 6; see docs/ROBUSTNESS.md)\n",
       stderr);
 }
 
@@ -134,7 +151,9 @@ bool parseUnsigned(const char *S, unsigned &Out) {
 
 // Exit codes: 0 success, 1 compile/runtime error, 2 usage error (unknown
 // flag, missing input), 3 malformed option value, 4 unreadable input or
-// unwritable output file.
+// unwritable output file, 5/6/7 a sandboxed suite cell crashed / timed out /
+// was OOM-killed (ExitCode*Child in driver/JobRunner.h; crash outranks oom
+// outranks timeout when several cells die differently).
 
 /// Writes \p Content to \p Path; complains on stderr when that fails.
 bool writeOutputFile(const std::string &Path, const std::string &Content) {
@@ -172,16 +191,26 @@ struct TimingOptions {
 };
 
 /// Emits the collected timing report to its configured destinations.
-/// Returns false when a file write failed.
-bool reportTiming(const TimingReport &T, const TimingOptions &Opts) {
+/// Returns false when a file write failed. \p JobsJson, when non-empty, is
+/// a JobLog rendering embedded as the JSON report's "jobs" array.
+bool reportTiming(const TimingReport &T, const TimingOptions &Opts,
+                  const std::string &JobsJson = std::string()) {
   if (Opts.Human)
     std::fputs(formatTimingReport(T).c_str(), stderr);
   if (Opts.Json)
-    std::fputs(formatTimingJson(T).c_str(), stderr);
+    std::fputs(formatTimingJson(T, JobsJson).c_str(), stderr);
   if (!Opts.JsonFile.empty())
-    return writeOutputFile(Opts.JsonFile, formatTimingJson(T));
+    return writeOutputFile(Opts.JsonFile, formatTimingJson(T, JobsJson));
   return true;
 }
+
+/// Sandbox-related command-line state, suite mode only.
+struct SandboxCliOptions {
+  bool Enabled = false;
+  unsigned WallSeconds = 30;
+  unsigned MemoryMB = 0;
+  std::string InjectCellFault;
+};
 
 /// --suite: the paper's whole evaluation — 14 programs x 4 configurations —
 /// with all three figure tables on stdout. Cell failures go to stderr and
@@ -192,7 +221,7 @@ bool reportTiming(const TimingReport &T, const TimingOptions &Opts) {
 int runSuiteMode(unsigned Jobs, const TimingOptions &Timing,
                  const std::vector<std::string> &Programs,
                  const ObsOptions &Obs, InterpEngine Engine,
-                 bool UseCompileCache) {
+                 bool UseCompileCache, const SandboxCliOptions &SB) {
   SuiteOptions Opts;
   Opts.Jobs = Jobs;
   Opts.UseCompileCache = UseCompileCache;
@@ -204,19 +233,32 @@ int runSuiteMode(unsigned Jobs, const TimingOptions &Timing,
   TraceCollector Trace;
   if (!Obs.TraceFile.empty())
     Opts.Trace = &Trace;
+  JobLog Log;
+  if (SB.Enabled) {
+    Opts.Sandbox = true;
+    Opts.Limits.WallSeconds = SB.WallSeconds;
+    Opts.Limits.MemoryBytes = uint64_t(SB.MemoryMB) << 20;
+    Opts.Log = &Log;
+    Opts.InjectCellFault = SB.InjectCellFault;
+  }
 
   std::vector<ProgramResults> All = runSuite(Programs, Opts);
 
   bool AnyFailed = false;
+  bool AnyCrash = false, AnyOom = false, AnyTimeout = false;
   for (const ProgramResults &PR : All)
     for (int A = 0; A != 2; ++A)
-      for (int P = 0; P != 2; ++P)
-        if (!PR.R[A][P].Ok) {
+      for (int P = 0; P != 2; ++P) {
+        const ConfigCounts &C = PR.R[A][P];
+        AnyCrash |= C.Child == SandboxStatus::Crash;
+        AnyOom |= C.Child == SandboxStatus::Oom;
+        AnyTimeout |= C.Child == SandboxStatus::Timeout;
+        if (!C.Ok) {
           AnyFailed = true;
           std::fprintf(stderr, "error: %s [%s]: %s\n", PR.Name.c_str(),
-                       suiteCellName(A, P).c_str(),
-                       PR.R[A][P].Error.c_str());
+                       suiteCellName(A, P).c_str(), C.Error.c_str());
         }
+      }
 
   struct {
     Metric Which;
@@ -276,10 +318,15 @@ int runSuiteMode(unsigned Jobs, const TimingOptions &Timing,
     TimingReport Total;
     for (const ProgramResults &PR : All)
       Total.merge(PR.Timing);
-    WriteFailed |= !reportTiming(Total, Timing);
+    WriteFailed |= !reportTiming(
+        Total, Timing, SB.Enabled ? Log.toJsonArray() : std::string());
   }
   if (WriteFailed)
     return 4;
+  // A dead child is the most actionable verdict, so its severity outranks
+  // the generic failure exit.
+  if (int Severity = jobExitSeverity(AnyCrash, AnyOom, AnyTimeout))
+    return Severity;
   return AnyFailed ? 1 : 0;
 }
 
@@ -336,6 +383,7 @@ int main(int argc, char **argv) {
   bool UseCompileCache = true;
   TimingOptions Timing;
   ObsOptions Obs;
+  SandboxCliOptions SB;
   unsigned Jobs = 1;
   InterpEngine Engine = DefaultInterpEngine;
   std::string DumpFunc, DumpCfgFunc, ProgramsList;
@@ -427,6 +475,32 @@ int main(int argc, char **argv) {
       Suite = true;
     } else if (std::strcmp(A, "--no-compile-cache") == 0) {
       UseCompileCache = false;
+    } else if (std::strcmp(A, "--sandbox") == 0) {
+      SB.Enabled = true;
+    } else if (std::strncmp(A, "--sandbox-wall=", 15) == 0) {
+      if (!parseUnsigned(A + 15, SB.WallSeconds) || SB.WallSeconds == 0) {
+        std::fprintf(stderr, "error: bad --sandbox-wall value '%s'\n",
+                     A + 15);
+        return 3;
+      }
+    } else if (std::strncmp(A, "--sandbox-mem=", 14) == 0) {
+      if (!parseUnsigned(A + 14, SB.MemoryMB) || SB.MemoryMB == 0) {
+        std::fprintf(stderr, "error: bad --sandbox-mem value '%s'\n",
+                     A + 14);
+        return 3;
+      }
+    } else if (std::strncmp(A, "--inject-cell-fault=", 20) == 0) {
+      SB.InjectCellFault = A + 20;
+      size_t Colon = SB.InjectCellFault.rfind(':');
+      WorkerFault F;
+      if (Colon == std::string::npos ||
+          !parseWorkerFault(SB.InjectCellFault.substr(Colon + 1), F)) {
+        std::fprintf(stderr,
+                     "error: bad --inject-cell-fault spec '%s' (expected "
+                     "prog/analysis/promo:crash|hang|oom)\n",
+                     A + 20);
+        return 3;
+      }
     } else if (std::strncmp(A, "--jobs=", 7) == 0) {
       if (!parseUnsigned(A + 7, Jobs) || Jobs == 0 || Jobs > 1024) {
         std::fprintf(stderr, "error: bad --jobs value '%s'\n", A + 7);
@@ -498,11 +572,20 @@ int main(int argc, char **argv) {
         }
       }
     }
+    if (!SB.InjectCellFault.empty() && !SB.Enabled) {
+      std::fprintf(stderr,
+                   "error: --inject-cell-fault requires --sandbox\n");
+      return 2;
+    }
     return runSuiteMode(Jobs, Timing, Programs, Obs, Engine,
-                        UseCompileCache);
+                        UseCompileCache, SB);
   }
   if (!ProgramsList.empty()) {
     std::fprintf(stderr, "error: --programs only applies to --suite\n");
+    return 2;
+  }
+  if (SB.Enabled || !SB.InjectCellFault.empty()) {
+    std::fprintf(stderr, "error: --sandbox only applies to --suite\n");
     return 2;
   }
 

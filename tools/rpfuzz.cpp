@@ -56,6 +56,25 @@ void usage() {
       "  --trace=FILE        write a Chrome trace-event JSON file with one\n"
       "                      span per seed (track = worker thread)\n"
       "\n"
+      "sandboxing (fail-soft seed checking):\n"
+      "  --sandbox           check every seed in a forked child; a crashing,\n"
+      "                      hanging, or OOMing seed becomes a classified\n"
+      "                      FAIL line and the campaign continues\n"
+      "  --sandbox-wall=S    wall-clock deadline per seed, seconds "
+      "(default 30)\n"
+      "  --sandbox-mem=MB    address-space cap per seed (default: none)\n"
+      "  --inject-worker-faults\n"
+      "                      deliberately crash/hang/OOM seeds = 3/9/15 mod "
+      "20\n"
+      "                      (classifier proof; requires --sandbox)\n"
+      "  --reproducer-dir=DIR\n"
+      "                      write each failing seed's program to\n"
+      "                      DIR/seed-<N>.c\n"
+      "\n"
+      "exit codes: 0 clean, 1 failing seed(s), 2 usage error, 3 bad option\n"
+      "value, 4 file I/O error, 5 crashed worker, 6 timed-out worker,\n"
+      "7 OOM-killed worker (worst severity wins: 5 > 7 > 6)\n"
+      "\n"
       "reduction:\n"
       "  --reduce=FILE       shrink FILE with delta debugging\n"
       "  --predicate=diverge|error|substr:TEXT\n"
@@ -208,6 +227,32 @@ int main(int argc, char **argv) {
       }
     } else if (std::strcmp(A, "--no-compile-cache") == 0) {
       Campaign.UseCompileCache = false;
+    } else if (std::strcmp(A, "--sandbox") == 0) {
+      Campaign.Sandbox = true;
+    } else if (std::strncmp(A, "--sandbox-wall=", 15) == 0) {
+      uint64_t S = 0;
+      if (!parseU64(A + 15, S) || S == 0) {
+        std::fprintf(stderr, "error: bad --sandbox-wall value '%s'\n",
+                     A + 15);
+        return 3;
+      }
+      Campaign.Limits.WallSeconds = static_cast<double>(S);
+    } else if (std::strncmp(A, "--sandbox-mem=", 14) == 0) {
+      uint64_t MB = 0;
+      if (!parseU64(A + 14, MB) || MB == 0) {
+        std::fprintf(stderr, "error: bad --sandbox-mem value '%s'\n",
+                     A + 14);
+        return 3;
+      }
+      Campaign.Limits.MemoryBytes = MB << 20;
+    } else if (std::strcmp(A, "--inject-worker-faults") == 0) {
+      Campaign.InjectWorkerFaults = true;
+    } else if (std::strncmp(A, "--reproducer-dir=", 17) == 0) {
+      Campaign.ReproducerDir = A + 17;
+      if (Campaign.ReproducerDir.empty()) {
+        std::fprintf(stderr, "error: --reproducer-dir= needs a path\n");
+        return 3;
+      }
     } else if (std::strncmp(A, "--emit=", 7) == 0) {
       if (!parseU64(A + 7, EmitSeedVal)) {
         std::fprintf(stderr, "error: bad --emit value '%s'\n", A + 7);
@@ -245,6 +290,11 @@ int main(int argc, char **argv) {
     return emitSeed(EmitSeedVal);
   if (ReducePath)
     return runReduce(ReducePath, PredicateSpec, Engine);
+  if (Campaign.InjectWorkerFaults && !Campaign.Sandbox) {
+    std::fprintf(stderr,
+                 "error: --inject-worker-faults requires --sandbox\n");
+    return 2;
+  }
 
   Campaign.Jobs = static_cast<unsigned>(Jobs);
   Campaign.Engine = Engine;
@@ -263,5 +313,10 @@ int main(int argc, char **argv) {
     }
     Out << Trace.toJson();
   }
+  // A dead worker is the most actionable verdict: its severity outranks the
+  // generic failing-seed exit. 5 crash > 7 oom > 6 timeout, then 1.
+  if (int Severity =
+          jobExitSeverity(R.Crashed != 0, R.OomKilled != 0, R.TimedOut != 0))
+    return Severity;
   return R.Failures ? 1 : 0;
 }

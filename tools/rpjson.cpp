@@ -568,6 +568,35 @@ int checkTiming(const std::string &Text) {
   C.need(V, "timing", "cache_hits", JValue::Number);
   C.need(V, "timing", "cache_misses", JValue::Number);
   C.need(V, "timing", "engine", JValue::String);
+  // "jobs" is optional: present only for sandboxed runs (a JobLog
+  // rendering), absent — not empty — otherwise.
+  if (const JValue *Jobs = V.field("jobs")) {
+    if (Jobs->K != JValue::Array) {
+      C.problem("timing", "key 'jobs' has wrong type");
+    } else {
+      static const std::vector<const char *> Statuses = {
+          "ok", "trap", "timeout", "oom", "crash", "internal-error"};
+      for (size_t I = 0; I != Jobs->Items.size(); ++I) {
+        std::ostringstream WS;
+        WS << "timing jobs[" << I << "]";
+        const JValue &J = Jobs->Items[I];
+        if (J.K != JValue::Object) {
+          C.problem(WS.str(), "not an object");
+          continue;
+        }
+        C.need(J, WS.str(), "name", JValue::String);
+        const JValue *St = nullptr;
+        if (C.need(J, WS.str(), "status", JValue::String, &St))
+          C.oneOf(WS.str(), "status", St->Str, Statuses);
+        C.need(J, WS.str(), "signal", JValue::Number);
+        C.need(J, WS.str(), "wall_ms", JValue::Number);
+        const JValue *At = nullptr;
+        if (C.need(J, WS.str(), "attempts", JValue::Number, &At) &&
+            At->Num < 1)
+          C.problem(WS.str(), "attempts must be at least 1");
+      }
+    }
+  }
   const JValue *Passes = nullptr;
   if (C.need(V, "timing", "passes", JValue::Array, &Passes))
     for (size_t I = 0; I != Passes->Items.size(); ++I) {
