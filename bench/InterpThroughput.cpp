@@ -1,17 +1,19 @@
 //===- bench/InterpThroughput.cpp - Interpreter engine speedup ------------===//
 //
 // Measures dynamic steps/second of the counting interpreter over the suite
-// programs, switch engine vs pre-decoded fast path, and reports the
-// per-program and geomean speedup. Each (program, engine) pair takes the
-// best of --reps wall-clock samples on the same compiled module, so compile
-// time and first-touch page faults stay out of the measurement.
+// programs — switch engine, pre-decoded fast path, and (where available)
+// the native jit — and reports the per-program and geomean speedups. Each
+// (program, engine) pair takes the best of --reps wall-clock samples on the
+// same compiled module, so compile time and first-touch page faults stay
+// out of the measurement.
 //
 //   interp_throughput [--reps=N] [--json=FILE] [--programs=a,b,...]
 //
 // The table goes to stdout; the raw samples are also written as JSON
 // (default BENCH_interp.json):
 //   {"reps":N,"results":[{"program":..,"engine":..,"steps":..,
-//    "wall_ms":..}],"geomean_speedup":..}
+//    "wall_ms":..}],"geomean_speedup":..,"geomean_speedup_jit":..}
+// (the jit fields appear only when the build has a jit).
 //
 // Run from a Release build — the fast path's advantage is mostly inlining
 // and dispatch, which RelWithDebInfo already shows but sanitizers distort.
@@ -132,11 +134,20 @@ int main(int argc, char **argv) {
     }
   }
 
+  const bool Jit = jitSupported();
   std::vector<Sample> Results;
-  double LogSum = 0;
+  double LogSum = 0, LogSumJit = 0;
   size_t NPrograms = 0;
-  TextTable T({"program", "steps", "switch ms", "fastpath ms",
-               "switch Msteps/s", "fastpath Msteps/s", "speedup"});
+  std::vector<std::string> Cols = {"program", "steps", "switch ms",
+                                   "fastpath ms"};
+  if (Jit)
+    Cols.push_back("jit ms");
+  Cols.insert(Cols.end(), {"switch Msteps/s", "fastpath Msteps/s"});
+  if (Jit)
+    Cols.insert(Cols.end(), {"jit Msteps/s", "speedup", "jit speedup"});
+  else
+    Cols.push_back("speedup");
+  TextTable T(Cols);
   for (const std::string &Name : Programs) {
     CompilerConfig Cfg;
     Cfg.Analysis = AnalysisKind::PointsTo;
@@ -148,30 +159,55 @@ int main(int argc, char **argv) {
     }
     Sample Sw = measure(Name, *Out.M, InterpEngine::Switch, Reps);
     Sample Fp = measure(Name, *Out.M, InterpEngine::FastPath, Reps);
-    if (Sw.Steps != Fp.Steps) {
+    Sample Jt;
+    if (Jit)
+      Jt = measure(Name, *Out.M, InterpEngine::Jit, Reps);
+    if (Sw.Steps != Fp.Steps || (Jit && Sw.Steps != Jt.Steps)) {
       std::fprintf(stderr, "error: %s: engines disagree on step count\n",
                    Name.c_str());
       return 1;
     }
     double Speedup = Sw.BestMs / Fp.BestMs;
     LogSum += std::log(Speedup);
+    // The jit's headline ratio is against the fast path — the engine it has
+    // to beat — not the reference loop.
+    double JitSpeedup = Jit ? Fp.BestMs / Jt.BestMs : 0;
+    if (Jit)
+      LogSumJit += std::log(JitSpeedup);
     ++NPrograms;
     auto MStepsPerSec = [&](const Sample &S) {
       return static_cast<double>(S.Steps) / S.BestMs / 1e3;
     };
-    T.addRow({Name, withCommas(Sw.Steps), fixed(Sw.BestMs, 3),
-              fixed(Fp.BestMs, 3), fixed(MStepsPerSec(Sw), 2),
-              fixed(MStepsPerSec(Fp), 2), fixed(Speedup, 2)});
+    std::vector<std::string> Row = {Name, withCommas(Sw.Steps),
+                                    fixed(Sw.BestMs, 3), fixed(Fp.BestMs, 3)};
+    if (Jit)
+      Row.push_back(fixed(Jt.BestMs, 3));
+    Row.insert(Row.end(),
+               {fixed(MStepsPerSec(Sw), 2), fixed(MStepsPerSec(Fp), 2)});
+    if (Jit)
+      Row.insert(Row.end(), {fixed(MStepsPerSec(Jt), 2), fixed(Speedup, 2),
+                             fixed(JitSpeedup, 2)});
+    else
+      Row.push_back(fixed(Speedup, 2));
+    T.addRow(Row);
     Results.push_back(Sw);
     Results.push_back(Fp);
+    if (Jit)
+      Results.push_back(Jt);
   }
 
   double Geomean = NPrograms
                        ? std::exp(LogSum / static_cast<double>(NPrograms))
                        : 0;
+  double GeomeanJit =
+      Jit && NPrograms ? std::exp(LogSumJit / static_cast<double>(NPrograms))
+                       : 0;
   std::fputs(T.render().c_str(), stdout);
   std::printf("geomean speedup (fastpath vs switch): %s\n",
               fixed(Geomean, 2).c_str());
+  if (Jit)
+    std::printf("geomean speedup (jit vs fastpath): %s\n",
+                fixed(GeomeanJit, 2).c_str());
 
   std::string Json;
   Json += "{\"reps\":" + std::to_string(Reps) + ",\"results\":[";
@@ -184,7 +220,10 @@ int main(int argc, char **argv) {
     Json += ",\"steps\":" + std::to_string(S.Steps);
     Json += ",\"wall_ms\":" + fixed(S.BestMs, 3) + "}";
   }
-  Json += "],\"geomean_speedup\":" + fixed(Geomean, 3) + "}\n";
+  Json += "],\"geomean_speedup\":" + fixed(Geomean, 3);
+  if (Jit)
+    Json += ",\"geomean_speedup_jit\":" + fixed(GeomeanJit, 3);
+  Json += "}\n";
   std::ofstream JOut(JsonFile, std::ios::binary);
   if (!JOut) {
     std::fprintf(stderr, "error: cannot write %s\n", JsonFile.c_str());

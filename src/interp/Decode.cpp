@@ -432,7 +432,7 @@ void fuseSuperinstructions(DecodedFunction &DF,
 
 DecodedModule rpcc::decodeModule(const Module &M, const GlobalLayout &GL,
                                  const std::vector<FrameLayout> &Layouts,
-                                 const DenseProfileSink *Sink) {
+                                 const DenseProfileSink *Sink, bool Fuse) {
   DecodedModule DM;
   DM.Funcs.resize(M.numFunctions());
   for (FuncId FI = 0; FI != M.numFunctions(); ++FI) {
@@ -466,7 +466,8 @@ DecodedModule rpcc::decodeModule(const Module &M, const GlobalLayout &GL,
         if (Sink)
           DF.ProfSlots.push_back(ProfSlot);
       }
-    fuseSuperinstructions(DF, BlockStart, Sink != nullptr);
+    if (Fuse)
+      fuseSuperinstructions(DF, BlockStart, Sink != nullptr);
   }
   return DM;
 }

@@ -188,10 +188,13 @@ struct DecodedModule {
 
 /// Lowers every function of \p M against the given layouts. \p Sink, when
 /// non-null, must be initialized from the same module's ProfileMeta; memory
-/// operations then carry pre-packed profile slots.
+/// operations then carry pre-packed profile slots. \p Fuse controls the
+/// superinstruction pass: the fast path wants it, the JIT decodes unfused so
+/// its per-op templates (and the fast-path fallback frames) see only base
+/// ops — counting is identical either way by construction.
 DecodedModule decodeModule(const Module &M, const GlobalLayout &GL,
                            const std::vector<FrameLayout> &Layouts,
-                           const DenseProfileSink *Sink);
+                           const DenseProfileSink *Sink, bool Fuse = true);
 
 } // namespace rpcc
 

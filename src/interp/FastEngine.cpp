@@ -32,6 +32,22 @@ uint64_t Machine::runFast(FuncId Main) {
   return Prof ? callDecoded<true>(Main, 0, 0) : callDecoded<false>(Main, 0, 0);
 }
 
+uint64_t Machine::runJit(FuncId Main) {
+  const uint64_t Ret =
+      Prof ? callDecoded<true>(Main, 0, 0) : callDecoded<false>(Main, 0, 0);
+  // Native frames defer the global Figure 6/7 tallies into JitRT
+  // accumulators (nothing observes them mid-run and sums commute); merge
+  // them exactly once, fault or not, so the final counters are exact.
+  Counters.Loads += RT.LoadsAcc;
+  Counters.Stores += RT.StoresAcc;
+  return Ret;
+}
+
+uint64_t Machine::callDecodedDyn(FuncId FId, size_t ArgBase, size_t NArgs) {
+  return Prof ? callDecoded<true>(FId, ArgBase, NArgs)
+              : callDecoded<false>(FId, ArgBase, NArgs);
+}
+
 void Machine::profileDecoded(const DecodedInst &DI, uint32_t BaseSlot,
                              const uint64_t *Regs) {
   size_t Slot = BaseSlot;
@@ -58,11 +74,54 @@ uint64_t Machine::callDecoded(FuncId FId, size_t ArgBase, size_t NArgs) {
     return 0;
   }
   const DecodedFunction &DF = DM->Funcs[FId];
-  uint64_t Result =
-      DF.HasBody ? execDecoded<Profiled>(DF, ArgBase, NArgs)
-                 : callBuiltin(DF.Builtin, ArgArena.data() + ArgBase, NArgs);
+  uint64_t Result;
+  if (!DF.HasBody)
+    Result = callBuiltin(DF.Builtin, ArgArena.data() + ArgBase, NArgs);
+  else if (JitModule::Entry E = JM ? JM->entry(FId) : nullptr)
+    Result = execJit<Profiled>(E, DF, ArgBase, NArgs);
+  else
+    Result = execDecoded<Profiled>(DF, ArgBase, NArgs);
   --CallDepth;
   return Result;
+}
+
+template <bool Profiled>
+uint64_t Machine::execJit(JitModule::Entry E, const DecodedFunction &DF,
+                          size_t ArgBase, size_t NArgs) {
+  // Same frame ceremony as execDecoded, in the same order, so budgets fault
+  // at the same counting points and the profiler sees identical frames.
+  if (checkFrameBudget(DF.FrameSize) || checkWallDeadline())
+    return 0;
+  const size_t FrameOff = StackMem.size();
+  StackMem.resize(FrameOff + DF.FrameSize, 0);
+  if (Profiled && DF.FrameSize)
+    FrameStack.push_back({InterpStackBase + FrameOff, DF.Id});
+
+  const size_t RegBase = RegArena.size();
+  RegArena.resize(RegBase + DF.NumRegs, 0);
+  {
+    uint64_t *Regs = RegArena.data() + RegBase;
+    const uint64_t *Args = ArgArena.data() + ArgBase;
+    const size_t NParams = DF.ParamRegs.size();
+    for (size_t I = 0; I != NArgs && I != NParams; ++I)
+      Regs[DF.ParamRegs[I]] = Args[I];
+  }
+
+  // Hand the live counters and arena bases to the native frame; the call
+  // shims keep them fresh across nested calls, and the epilogue flushes
+  // Total back even on faults.
+  RT.TotalCell = Counters.Total;
+  RT.RegArenaData = RegArena.data();
+  RT.StackData = StackMem.data();
+  RT.FaultCell = Err.Active;
+  const uint64_t RetVal = E(&RT, RegBase, FrameOff);
+  Counters.Total = RT.TotalCell;
+
+  if (Profiled && DF.FrameSize)
+    FrameStack.pop_back();
+  StackMem.resize(FrameOff);
+  RegArena.resize(RegBase);
+  return RetVal;
 }
 
 template <bool Profiled>

@@ -22,7 +22,15 @@
 using namespace rpcc;
 
 const char *rpcc::interpEngineName(InterpEngine E) {
-  return E == InterpEngine::Switch ? "switch" : "fastpath";
+  switch (E) {
+  case InterpEngine::Switch:
+    return "switch";
+  case InterpEngine::FastPath:
+    return "fastpath";
+  case InterpEngine::Jit:
+    return "jit";
+  }
+  return "fastpath";
 }
 
 bool rpcc::parseInterpEngine(const std::string &Name, InterpEngine &Out) {
@@ -32,6 +40,10 @@ bool rpcc::parseInterpEngine(const std::string &Name, InterpEngine &Out) {
   }
   if (Name == "fastpath") {
     Out = InterpEngine::FastPath;
+    return true;
+  }
+  if (Name == "jit") {
+    Out = InterpEngine::Jit;
     return true;
   }
   return false;
@@ -48,22 +60,48 @@ ExecResult Machine::run() {
 
   // Decode against the layout before its pieces move into machine state;
   // baked addresses and machine addresses come from the same computation.
+  // The jit decodes unfused: its templates cover exactly the base ops, and
+  // unfused streams keep its per-op counting prologue trivially exact.
   DecodedModule Decoded;
-  if (Opts.Engine == InterpEngine::FastPath)
-    Decoded = decodeModule(M, GL, Layouts, Prof ? &Sink : nullptr);
+  if (Opts.Engine != InterpEngine::Switch)
+    Decoded = decodeModule(M, GL, Layouts, Prof ? &Sink : nullptr,
+                           /*Fuse=*/Opts.Engine == InterpEngine::FastPath);
 
   GlobalMem = std::move(GL.Image);
   GlobalAddr = std::move(GL.AddrOfTag);
   GlobalSpans = std::move(GL.Spans);
 
   ExecResult R;
+  if (Opts.Engine == InterpEngine::Jit && !jitSupported()) {
+    R.Error = "engine 'jit' is not supported on this host/build "
+              "(requires x86-64 unix, non-sanitizer)";
+    return R;
+  }
   FuncId Main = M.lookup("main");
   if (Main == NoFunc) {
     R.Error = "no 'main' function";
     return R;
   }
+  // Compile after the global image has reached its final home: the emitter
+  // bakes host pointers into GlobalMem for in-image scalar accesses.
+  std::unique_ptr<JitModule> Jitted;
+  if (Opts.Engine == InterpEngine::Jit) {
+    JitExternals Ext;
+    Ext.ByOpcode = Counters.ByOpcode.data();
+    Ext.PerFunc = PerFunc.data();
+    Ext.GlobalData = GlobalMem.data();
+    Ext.GlobalSize = GlobalMem.size();
+    Ext.Profiled = Prof != nullptr;
+    Jitted = jitCompileModule(Decoded, Ext);
+  }
   uint64_t Ret;
-  if (Opts.Engine == InterpEngine::FastPath) {
+  if (Opts.Engine == InterpEngine::Jit) {
+    DM = &Decoded;
+    JM = Jitted.get(); // may be null: whole-module fast-path fallback
+    initJitRuntime(RT, this);
+    RT.MaxSteps = Opts.MaxSteps;
+    Ret = runJit(Main);
+  } else if (Opts.Engine == InterpEngine::FastPath) {
     DM = &Decoded;
     Ret = runFast(Main);
   } else {

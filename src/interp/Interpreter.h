@@ -53,13 +53,20 @@ struct FunctionCounters {
   uint64_t Stores = 0;
 };
 
-/// Which execute loop runs the program. Both engines are observationally
+/// Which execute loop runs the program. All engines are observationally
 /// identical — same counters, profiles, output bytes, faults, and exit codes
 /// (the engine-parity tests assert it bit for bit). Switch is the readable
 /// reference implementation; FastPath pre-decodes the module into flat
-/// instruction streams and dispatches with zero hash lookups (see
-/// docs/INTERPRETER.md).
-enum class InterpEngine : uint8_t { Switch, FastPath };
+/// instruction streams and dispatches with zero hash lookups; Jit lowers the
+/// decoded streams further to native x86-64 templates, falling back to the
+/// fast path per function (see docs/INTERPRETER.md).
+enum class InterpEngine : uint8_t { Switch, FastPath, Jit };
+
+/// True when this build can execute InterpEngine::Jit: x86-64 unix hosts,
+/// non-sanitizer builds (sanitizers cannot see into generated code, so
+/// instrumented runs keep to the interpreted engines). Callers must check
+/// before selecting the engine; interpret() reports an error otherwise.
+bool jitSupported();
 
 /// FastPath everywhere except sanitizer builds (RPCC_SANITIZE), which keep
 /// the reference engine as their default so instrumented runs cover the
@@ -70,7 +77,7 @@ inline constexpr InterpEngine DefaultInterpEngine = InterpEngine::Switch;
 inline constexpr InterpEngine DefaultInterpEngine = InterpEngine::FastPath;
 #endif
 
-/// CLI-stable engine name: "switch" or "fastpath".
+/// CLI-stable engine name: "switch", "fastpath", or "jit".
 const char *interpEngineName(InterpEngine E);
 
 /// Parses an interpEngineName spelling; returns false on anything else.

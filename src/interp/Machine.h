@@ -19,6 +19,7 @@
 
 #include "interp/Decode.h"
 #include "interp/Interpreter.h"
+#include "jit/Jit.h"
 
 #include <chrono>
 #include <cstring>
@@ -73,6 +74,20 @@ private:
                        size_t NArgs);
   void profileDecoded(const DecodedInst &DI, uint32_t BaseSlot,
                       const uint64_t *Regs);
+
+  // -- Native JIT engine (FastEngine.cpp frame shim + src/jit) ----------------
+  /// Top-level jit entry: dispatches main, then merges the deferred
+  /// load/store accumulators into the counters.
+  uint64_t runJit(FuncId Main);
+  /// Frame setup/teardown around one native activation; the exact mirror of
+  /// execDecoded so budgets, profiling frames, and arena discipline match.
+  template <bool Profiled>
+  uint64_t execJit(JitModule::Entry E, const DecodedFunction &DF,
+                   size_t ArgBase, size_t NArgs);
+  /// Non-template callDecoded for the call shims (the template bodies live
+  /// in FastEngine.cpp and are not visible to other TUs).
+  uint64_t callDecodedDyn(FuncId FId, size_t ArgBase, size_t NArgs);
+  friend struct JitBridge;
 
   // -- Resource budgets --------------------------------------------------------
   static double wallNowMs() {
@@ -143,6 +158,11 @@ private:
   /// arenas (grown and shrunk per call, never hashed).
   const DecodedModule *DM = nullptr;
   std::vector<uint64_t> RegArena, ArgArena;
+
+  /// Jit engine only: the compiled module (null entries fall back to the
+  /// fast path per function) and the cell block shared with emitted code.
+  const JitModule *JM = nullptr;
+  JitRT RT;
 };
 
 } // namespace rpcc

@@ -1,0 +1,153 @@
+//===- jit/Jit.h - Baseline template JIT for decoded IL ---------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The third interpreter engine: a baseline template JIT that lowers each
+/// DecodedFunction (branch targets already instruction indices, addresses
+/// already baked, callees already FuncIds) to x86-64 machine code in an
+/// mmap'd W^X buffer. The register file stays in memory (the fast path's
+/// RegArena), every DecodedOp becomes a short load/op/store template, and
+/// anything with observable semantics — memory faults, div/rem guards,
+/// fpToIntSat, calls, profiling — goes through runtime shims that reuse the
+/// exact Machine services both interpreters use, so behavior and fault
+/// messages stay byte-identical.
+///
+/// Counting-exactness is the design constraint, not speed-at-any-cost: the
+/// step counter lives in a pinned register flushed at the same points the
+/// fast path flushes its locals (around calls and at exits), ByOpcode and
+/// per-function counters are incremented in place (commutative, so no flush
+/// discipline is needed), and the global load/store tallies accumulate in
+/// JitRT cells merged once at the end of the run — nothing observes them
+/// mid-run, and the sums are order-independent. Budgets (MaxSteps,
+/// MaxFrameBytes, WallDeadlineMs) are checked at the identical program
+/// points, so the budget-parity tests hold including Counters.Total.
+///
+/// Functions the emitter declines (out-of-range displacements; never in
+/// practice) simply get no native entry and run on the fast-path engine —
+/// the per-function fallback that makes --engine=jit total.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_JIT_JIT_H
+#define RPCC_JIT_JIT_H
+
+#include "interp/Decode.h"
+#include "interp/Interpreter.h"
+
+#include <memory>
+#include <vector>
+
+namespace rpcc {
+
+class Machine;
+
+// The JIT exists only on x86-64 unix hosts and outside sanitizer builds
+// (generated code is invisible to sanitizer instrumentation). Everything
+// else compiles the interface but jitSupported() is false and
+// jitCompileModule returns nothing.
+#if defined(__x86_64__) && defined(__unix__) && !defined(RPCC_NO_JIT)
+#define RPCC_JIT_AVAILABLE 1
+#else
+#define RPCC_JIT_AVAILABLE 0
+#endif
+
+/// Shared cell block between emitted code and the runtime shims. Pinned in
+/// r15 for the whole native activation; emitted code addresses fields by
+/// offsetof, so the layout is part of the emitter's ABI. Standard layout on
+/// purpose — keep plain data only.
+struct JitRT {
+  /// Counters.Total while native frames are live. Emitted code keeps it in
+  /// r12 and flushes here around calls and exits, exactly where the fast
+  /// path flushes its TotalLoc local.
+  uint64_t TotalCell = 0;
+  /// InterpOptions::MaxSteps, compared against r12 every step.
+  uint64_t MaxSteps = 0;
+  /// Global Figure 6/7 tallies deferred by the native code; Machine::runJit
+  /// merges them into Counters.Loads/Stores once at the end of the run.
+  uint64_t LoadsAcc = 0;
+  uint64_t StoresAcc = 0;
+  /// RegArena.data(), refreshed by the call shims after any callee growth;
+  /// emitted code rebases its frame pointer from it after every call.
+  uint64_t *RegArenaData = nullptr;
+  /// StackMem.data(), same refresh discipline; frame-relative scalar ops
+  /// address host memory directly through it.
+  uint8_t *StackData = nullptr;
+  /// Mirror of InterpFault::Active (0/1), updated by every shim that can
+  /// unwind with a fault; emitted code tests it after calls.
+  uint64_t FaultCell = 0;
+  // Shim entry points, invoked as `call qword ptr [r15 + offsetof]`. Typed
+  // void* so this header needs no shim signatures; JitRuntime.cpp installs
+  // and casts them.
+  const void *HelpLoad = nullptr;
+  const void *HelpStore = nullptr;
+  const void *HelpDiv = nullptr;
+  const void *HelpRem = nullptr;
+  const void *HelpFpToInt = nullptr;
+  const void *HelpCall = nullptr;
+  const void *HelpCallInd = nullptr;
+  const void *HelpDeadline = nullptr;
+  const void *HelpStepLimit = nullptr;
+  const void *HelpFault = nullptr;
+  const void *HelpProfile = nullptr;
+  /// The owning Machine, recovered by the shims.
+  Machine *M = nullptr;
+};
+
+/// Addresses of machine state the emitter bakes into code as immediates.
+/// All of them must be stable for the lifetime of the run: PerFunc and
+/// ByOpcode are sized before compilation and never reallocate, the global
+/// image never grows after layout.
+struct JitExternals {
+  uint64_t *ByOpcode = nullptr;          ///< &Counters.ByOpcode[0]
+  FunctionCounters *PerFunc = nullptr;   ///< PerFunc.data(), FuncId-indexed
+  const uint8_t *GlobalData = nullptr;   ///< GlobalMem.data()
+  size_t GlobalSize = 0;
+  bool Profiled = false;                 ///< emit profile-shim calls
+};
+
+/// One module's worth of executable code. Owns the mapping; entries are
+/// null for builtins and for functions the emitter declined (they run on
+/// the fast path).
+class JitModule {
+public:
+  /// Native calling convention of a compiled function: the shared runtime
+  /// block, the frame's base index into RegArena, and the frame's byte
+  /// offset into StackMem. Returns the IL return value (0 for void/fault).
+  using Entry = uint64_t (*)(JitRT *RT, uint64_t RegBase, uint64_t FrameOff);
+
+  JitModule() = default;
+  ~JitModule();
+  JitModule(const JitModule &) = delete;
+  JitModule &operator=(const JitModule &) = delete;
+
+  Entry entry(FuncId F) const {
+    return F < Entries.size() ? Entries[F] : nullptr;
+  }
+  /// Number of functions with native code (diagnostics only).
+  size_t compiledCount() const;
+
+private:
+  friend std::unique_ptr<JitModule>
+  jitCompileModule(const DecodedModule &DM, const JitExternals &Ext);
+  uint8_t *Mem = nullptr;
+  size_t Size = 0;
+  std::vector<Entry> Entries;
+};
+
+/// Compiles every coverable function of \p DM (which must have been decoded
+/// unfused) against the baked state in \p Ext. Returns null when the build
+/// has no JIT or the executable mapping failed — callers fall back to the
+/// fast path wholesale.
+std::unique_ptr<JitModule> jitCompileModule(const DecodedModule &DM,
+                                            const JitExternals &Ext);
+
+/// Installs the shim entry points and the owning machine into \p RT.
+void initJitRuntime(JitRT &RT, Machine *M);
+
+} // namespace rpcc
+
+#endif // RPCC_JIT_JIT_H

@@ -1,0 +1,844 @@
+//===- jit/JitEmitter.cpp - x86-64 template emitter -----------------------===//
+//
+// Lowers decoded (unfused) instruction streams to native code. One template
+// per DecodedOp; the IL register file stays in memory and every template is
+// a short load/op/store sequence over it, so this is a baseline template
+// JIT, not an optimizing one — all the speedup comes from deleting the
+// dispatch loop and the per-step operand decoding.
+//
+// Register convention inside a compiled function (all callee-saved, so shim
+// calls preserve them):
+//   r15  JitRT*                     rbx  &RegArena[RegBase] (the frame's R)
+//   r12  Counters.Total             r13  StackMem.data() + FrameOff
+//   rbp  &PerFunc[fid]              r14  &Counters.ByOpcode[0]
+//   [rsp]    RegBase                [rsp+8]  FrameOff
+// rbx/r13 are rebased from JitRT after every call (the arenas may have
+// reallocated); r12 is flushed to JitRT::TotalCell around calls and exits,
+// mirroring the fast path's RPCC_FLUSH/RELOAD_COUNTERS discipline exactly.
+//
+// Every step begins with the same counting prologue the interpreters run:
+// increment Total and compare against MaxSteps, call the wall-deadline shim
+// when the low 16 bits of Total are zero, bump ByOpcode[op] and the
+// per-function total, then (under profiling) the profile shim, then the
+// load/store tallies, then the operation — the same order, so every counter
+// and fault point is bit-identical.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Jit.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if RPCC_JIT_AVAILABLE
+#include <sys/mman.h>
+#endif
+
+using namespace rpcc;
+
+bool rpcc::jitSupported() { return RPCC_JIT_AVAILABLE != 0; }
+
+JitModule::~JitModule() {
+#if RPCC_JIT_AVAILABLE
+  if (Mem)
+    ::munmap(Mem, Size);
+#endif
+}
+
+size_t JitModule::compiledCount() const {
+  size_t N = 0;
+  for (Entry E : Entries)
+    N += E != nullptr;
+  return N;
+}
+
+#if !RPCC_JIT_AVAILABLE
+
+std::unique_ptr<JitModule> rpcc::jitCompileModule(const DecodedModule &,
+                                                  const JitExternals &) {
+  return nullptr;
+}
+
+#else // RPCC_JIT_AVAILABLE
+
+static_assert(std::is_standard_layout_v<JitRT>,
+              "emitted code addresses JitRT by offsetof");
+static_assert(offsetof(FunctionCounters, Loads) == 8 &&
+                  offsetof(FunctionCounters, Stores) == 16,
+              "emitted code addresses FunctionCounters by fixed offsets");
+
+namespace {
+
+enum : uint8_t {
+  RAX = 0, RCX = 1, RDX = 2, RBX = 3, RSP = 4, RBP = 5, RSI = 6, RDI = 7,
+  R8 = 8, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+};
+
+/// Raw little-endian x86-64 encoder over a byte vector. Only the handful of
+/// forms the templates need; every emit helper encodes REX/ModRM/SIB itself
+/// so the call sites read like assembly.
+class Asm {
+public:
+  explicit Asm(std::vector<uint8_t> &Code) : C(Code) {}
+
+  size_t pos() const { return W; }
+  /// Guarantees \p N bytes of unchecked headroom past the cursor. Called
+  /// once per template, so b() is a single store — compile time is on the
+  /// critical path of every interpret() call and a per-byte capacity check
+  /// dominated it.
+  void ensure(size_t N) {
+    if (W + N > C.size())
+      C.resize(std::max(C.size() * 2, W + N));
+  }
+  /// Rewinds the cursor (declined function); the bytes stay allocated.
+  void truncate(size_t P) { W = P; }
+  void b(uint8_t X) { C[W++] = X; }
+  void d32(uint32_t X) {
+    for (int I = 0; I != 4; ++I)
+      b(static_cast<uint8_t>(X >> (I * 8)));
+  }
+  void d64(uint64_t X) {
+    for (int I = 0; I != 8; ++I)
+      b(static_cast<uint8_t>(X >> (I * 8)));
+  }
+  void patch32(size_t At, uint32_t X) {
+    for (int I = 0; I != 4; ++I)
+      C[At + I] = static_cast<uint8_t>(X >> (I * 8));
+  }
+
+  /// [Base + Disp] memory operand for register field \p Reg (both full
+  /// 4-bit numbers). No index registers; RSP-encoded bases get the trivial
+  /// SIB, RBP-encoded bases get a forced displacement.
+  void mem(uint8_t Reg, uint8_t Base, int32_t Disp) {
+    uint8_t RegLow = Reg & 7, BaseLow = Base & 7;
+    bool Sib = BaseLow == 4;
+    uint8_t Mod = (Disp == 0 && BaseLow != 5) ? 0
+                  : (Disp >= -128 && Disp <= 127) ? 1
+                                                  : 2;
+    b(static_cast<uint8_t>(Mod << 6 | RegLow << 3 | (Sib ? 4 : BaseLow)));
+    if (Sib)
+      b(0x24);
+    if (Mod == 1)
+      b(static_cast<uint8_t>(Disp));
+    else if (Mod == 2)
+      d32(static_cast<uint32_t>(Disp));
+  }
+  void rex(bool W, uint8_t Reg, uint8_t Base) {
+    b(static_cast<uint8_t>(0x40 | (W << 3) | ((Reg >> 3) << 2) |
+                           (Base >> 3)));
+  }
+  void modrmRR(uint8_t Reg, uint8_t Rm) {
+    b(static_cast<uint8_t>(0xC0 | (Reg & 7) << 3 | (Rm & 7)));
+  }
+
+  // mov r64, [base+disp] / mov [base+disp], r64
+  void movRM(uint8_t R, uint8_t Base, int32_t D) {
+    rex(1, R, Base); b(0x8B); mem(R, Base, D);
+  }
+  void movMR(uint8_t Base, int32_t D, uint8_t R) {
+    rex(1, R, Base); b(0x89); mem(R, Base, D);
+  }
+  void movRR(uint8_t Dst, uint8_t Src) {
+    rex(1, Src, Dst); b(0x89); modrmRR(Src, Dst);
+  }
+  /// mov r64, imm (movabs, or the sign-extended imm32 form when it fits).
+  void movRI(uint8_t R, uint64_t V) {
+    int64_t S = static_cast<int64_t>(V);
+    if (S >= INT32_MIN && S <= INT32_MAX) {
+      rex(1, 0, R); b(0xC7); modrmRR(0, R); d32(static_cast<uint32_t>(V));
+    } else {
+      rex(1, 0, R); b(static_cast<uint8_t>(0xB8 | (R & 7))); d64(V);
+    }
+  }
+  /// mov r32, imm32 (zero-extends; for shim arguments).
+  void movRI32(uint8_t R, uint32_t V) {
+    if (R >= 8)
+      b(0x41);
+    b(static_cast<uint8_t>(0xB8 | (R & 7)));
+    d32(V);
+  }
+  // Integer ALU, reg <- reg OP [base+disp]. Opcodes: add 03, sub 2B,
+  // and 23, or 0B, xor 33, cmp 3B.
+  void aluRM(uint8_t Opc, uint8_t R, uint8_t Base, int32_t D) {
+    rex(1, R, Base); b(Opc); mem(R, Base, D);
+  }
+  void imulRM(uint8_t R, uint8_t Base, int32_t D) {
+    rex(1, R, Base); b(0x0F); b(0xAF); mem(R, Base, D);
+  }
+  void incM(uint8_t Base, int32_t D) {
+    rex(1, 0, Base); b(0xFF); mem(0, Base, D);
+  }
+  void leaRM(uint8_t R, uint8_t Base, int32_t D) {
+    rex(1, R, Base); b(0x8D); mem(R, Base, D);
+  }
+  void testRR(uint8_t A, uint8_t B2) {
+    rex(1, B2, A); b(0x85); modrmRR(B2, A);
+  }
+  void setcc(uint8_t CC, uint8_t R8Low) { // al/cl only, no REX
+    b(0x0F); b(static_cast<uint8_t>(0x90 | CC)); modrmRR(0, R8Low);
+  }
+  void movzxEaxAl() { b(0x0F); b(0xB6); modrmRR(0, 0); }
+  void callM(uint8_t Base, int32_t D) { // call qword [base+disp]
+    if (Base >= 8)
+      b(0x41);
+    b(0xFF); mem(2, Base, D);
+  }
+  // SSE scalar double. movsd load F2 0F 10, store F2 0F 11; ALU opcodes:
+  // addsd 58, mulsd 59, subsd 5C, divsd 5E; ucomisd is 66 0F 2E.
+  void sseRM(uint8_t Pfx, uint8_t Opc, uint8_t X, uint8_t Base, int32_t D) {
+    b(Pfx);
+    if (Base >= 8)
+      rex(0, X, Base);
+    b(0x0F); b(Opc); mem(X, Base, D);
+  }
+  void movsdRM(uint8_t X, uint8_t Base, int32_t D) {
+    sseRM(0xF2, 0x10, X, Base, D);
+  }
+  void movsdMR(uint8_t Base, int32_t D, uint8_t X) {
+    sseRM(0xF2, 0x11, X, Base, D);
+  }
+
+private:
+  std::vector<uint8_t> &C;
+  size_t W = 0; ///< write cursor; C.size() is capacity, pos() is length
+};
+
+/// Pending rel32 to an instruction-index (or stub) label.
+struct Fixup {
+  size_t Pos;     ///< offset of the 4 rel bytes
+  uint32_t Label; ///< inst index, or N + StubX
+};
+
+// Stub labels appended after the per-instruction labels.
+enum : uint32_t { StubStep = 0, StubDeadline = 1, StubFault = 2, StubEpi = 3 };
+
+constexpr int32_t OffTotal = offsetof(JitRT, TotalCell);
+constexpr int32_t OffMaxSteps = offsetof(JitRT, MaxSteps);
+constexpr int32_t OffLoadsAcc = offsetof(JitRT, LoadsAcc);
+constexpr int32_t OffStoresAcc = offsetof(JitRT, StoresAcc);
+constexpr int32_t OffRegArena = offsetof(JitRT, RegArenaData);
+constexpr int32_t OffStackData = offsetof(JitRT, StackData);
+constexpr int32_t OffFault = offsetof(JitRT, FaultCell);
+
+/// Label/fixup scratch reused across the functions of one module so the
+/// per-function emission cost is byte output, not allocator churn (compile
+/// time is on the critical path of every interpret() call).
+struct EmitScratch {
+  std::vector<size_t> LabelOff;
+  std::vector<Fixup> Fixups;
+};
+
+class FunctionEmitter {
+public:
+  FunctionEmitter(const DecodedFunction &DF, const JitExternals &Ext, Asm &A,
+                  EmitScratch &S)
+      : DF(DF), Ext(Ext), A(A), LabelOff(S.LabelOff), Fixups(S.Fixups) {}
+
+  /// Emits the whole function; returns false (and truncates back to the
+  /// starting size) when some instruction is outside the template set.
+  bool emit();
+
+private:
+  bool emitInst(uint32_t I);
+  void emitStepPrologue(const DecodedInst &DI, uint32_t I);
+  void label(uint32_t L) { LabelOff[L] = A.pos(); }
+  void jmpTo(uint32_t L) { A.b(0xE9); ref(L); }
+  void jccTo(uint8_t CC, uint32_t L) {
+    A.b(0x0F); A.b(static_cast<uint8_t>(0x80 | CC)); ref(L);
+  }
+  void callTo(uint32_t L) { A.b(0xE8); ref(L); }
+  void ref(uint32_t L) {
+    Fixups.push_back({A.pos(), L});
+    A.d32(0);
+  }
+  uint32_t stub(uint32_t S) const {
+    return static_cast<uint32_t>(DF.Insts.size()) + S;
+  }
+  int32_t regOff(Reg R) const { return static_cast<int32_t>(R) * 8; }
+  /// Host pointer for a baked absolute address inside the global image, or
+  /// null when it is not one (then the op goes through the load/store shim).
+  const uint8_t *globalHost(int64_t Addr, uint32_t Len) const {
+    uint64_t U = static_cast<uint64_t>(Addr);
+    if (U < InterpGlobalBase)
+      return nullptr;
+    uint64_t Off = U - InterpGlobalBase;
+    if (Off + Len > Ext.GlobalSize)
+      return nullptr;
+    return Ext.GlobalData + Off;
+  }
+  void emitMemShimTail(bool IsStore, Reg Result);
+  void emitPostCall(Reg Result);
+  void emitFcFlush(uint8_t Scratch);
+
+  // Short forward branches inside one template, patched immediately when the
+  // target is reached (the label/Fixup machinery is for inter-instruction
+  // control flow).
+  size_t jccFwd(uint8_t CC) {
+    A.b(0x0F); A.b(static_cast<uint8_t>(0x80 | CC));
+    size_t P = A.pos();
+    A.d32(0);
+    return P;
+  }
+  size_t jmpFwd() {
+    A.b(0xE9);
+    size_t P = A.pos();
+    A.d32(0);
+    return P;
+  }
+  void bindFwd(size_t P) {
+    A.patch32(P, static_cast<uint32_t>(A.pos() - (P + 4)));
+  }
+
+  const DecodedFunction &DF;
+  const JitExternals &Ext;
+  Asm &A;
+  std::vector<size_t> &LabelOff;
+  std::vector<Fixup> &Fixups;
+};
+
+void FunctionEmitter::emitStepPrologue(const DecodedInst &DI, uint32_t I) {
+  // inc r12; cmp r12, [r15+MaxSteps]; ja StubStep
+  A.b(0x49); A.b(0xFF); A.b(0xC4);
+  A.aluRM(0x3B, R12, R15, OffMaxSteps);
+  jccTo(0x7, stub(StubStep)); // ja
+  // Every 64K steps: test r12w, r12w; jnz +5; call StubDeadline
+  A.b(0x66); A.b(0x45); A.b(0x85); A.b(0xE4);
+  A.b(0x75); A.b(0x05);
+  callTo(stub(StubDeadline));
+  // ByOpcode[op]++. PerFunc[fid].Total is NOT bumped per step: it would be
+  // a read-modify-write of the same cell every step — a serialized
+  // store-forward chain that caps throughput. Since r12 advances by exactly
+  // one per step, the function's share is r12 minus the entry snapshot at
+  // [rsp+16], flushed at calls and exits (emitFcFlush) exactly where the
+  // fast path flushes its FCTotal local.
+  A.incM(R14, static_cast<int32_t>(DI.Op) * 8);
+  if (Ext.Profiled && (DI.Flags & DIFlagMem)) {
+    if (DI.Flags & DIFlagPtrProf)
+      A.movRM(RCX, RBX, regOff(DI.A));
+    else {
+      A.b(0x31); A.b(0xC9); // xor ecx, ecx
+    }
+    A.movRR(RDI, R15);
+    A.movRI32(RSI, DF.ProfSlots[I]);
+    A.movRI32(RDX, DI.Flags);
+    A.callM(R15, offsetof(JitRT, HelpProfile));
+  }
+  // Figure 6/7 tallies, before the access like both interpreters. Keyed on
+  // the DecodedOp, not the flags: decode-time Fault records keep the
+  // original op's flags but the fast path's Fault handler never tallies.
+  switch (DI.D) {
+  case DecodedOp::ScalarLoadAbs:
+  case DecodedOp::ScalarLoadFrame:
+  case DecodedOp::PtrLoad:
+    A.incM(R15, OffLoadsAcc);
+    A.incM(RBP, 8);
+    break;
+  case DecodedOp::ScalarStoreAbs:
+  case DecodedOp::ScalarStoreFrame:
+  case DecodedOp::PtrStore:
+    A.incM(R15, OffStoresAcc);
+    A.incM(RBP, 16);
+    break;
+  default:
+    break;
+  }
+}
+
+/// Common tail of a load/store shim call: test the fault flag the shim
+/// returned (rdx for loads — value rides in rax — rax for stores), bail to
+/// the fault exit, store the loaded value.
+void FunctionEmitter::emitMemShimTail(bool IsStore, Reg Result) {
+  if (IsStore) {
+    A.testRR(RAX, RAX);
+    jccTo(0x5, stub(StubFault)); // jnz
+  } else {
+    A.testRR(RDX, RDX);
+    jccTo(0x5, stub(StubFault));
+    A.movMR(RBX, regOff(Result), RAX);
+  }
+}
+
+/// PerFunc[fid].Total += r12 - [rsp+16] through \p Scratch, without
+/// re-snapshotting the base (call sites either re-snapshot after reloading
+/// r12 or are about to return).
+void FunctionEmitter::emitFcFlush(uint8_t Scratch) {
+  A.movRR(Scratch, R12);
+  A.aluRM(0x2B, Scratch, RSP, 16); // sub scratch, [rsp+16]
+  // add [rbp], scratch
+  A.rex(true, Scratch, RBP); A.b(0x01); A.mem(Scratch, RBP, 0);
+}
+
+/// After a call shim returns: reload Total, rebase the register-file and
+/// host-frame pointers (the callee may have grown either arena), check the
+/// fault mirror, store the result.
+void FunctionEmitter::emitPostCall(Reg Result) {
+  A.movRM(R12, R15, OffTotal);
+  A.movMR(RSP, 16, R12); // restart the FC.Total delta
+  A.movRM(RBX, R15, OffRegArena);
+  A.movRM(RCX, RSP, 0); // RegBase
+  A.b(0x48); A.b(0x8D); A.b(0x1C); A.b(0xCB); // lea rbx, [rbx+rcx*8]
+  A.movRM(R13, R15, OffStackData);
+  A.aluRM(0x03, R13, RSP, 8); // add r13, [rsp+8] (FrameOff)
+  // cmp qword [r15+FaultCell], 0 ; jnz StubFault
+  A.b(0x49); A.b(0x83); A.mem(7, R15, OffFault); A.b(0x00);
+  jccTo(0x5, stub(StubFault));
+  if (Result != NoReg)
+    A.movMR(RBX, regOff(Result), RAX);
+}
+
+bool FunctionEmitter::emitInst(uint32_t I) {
+  const DecodedInst &DI = DF.Insts[I];
+  A.ensure(512); // covers the longest prologue + template pair
+  label(I);
+  emitStepPrologue(DI, I);
+
+  auto intBin = [&](uint8_t Opc) {
+    A.movRM(RAX, RBX, regOff(DI.A));
+    A.aluRM(Opc, RAX, RBX, regOff(DI.B));
+    A.movMR(RBX, regOff(DI.Result), RAX);
+  };
+  auto intCmp = [&](uint8_t CC) {
+    A.movRM(RAX, RBX, regOff(DI.A));
+    A.aluRM(0x3B, RAX, RBX, regOff(DI.B));
+    A.setcc(CC, RAX);
+    A.movzxEaxAl();
+    A.movMR(RBX, regOff(DI.Result), RAX);
+  };
+  auto fpBin = [&](uint8_t Opc) {
+    A.movsdRM(0, RBX, regOff(DI.A));
+    A.sseRM(0xF2, Opc, 0, RBX, regOff(DI.B));
+    A.movsdMR(RBX, regOff(DI.Result), 0);
+  };
+  // ucomisd xmm0, [rbx + first]; then setcc. Ordered-greater predicates
+  // (seta/setae) are false on NaN because unordered sets CF, which is why
+  // Lt/Le compare with the operands swapped.
+  auto fpCmpGtGe = [&](Reg First, Reg Second, uint8_t CC) {
+    A.movsdRM(0, RBX, regOff(First));
+    A.sseRM(0x66, 0x2E, 0, RBX, regOff(Second));
+    A.setcc(CC, RAX);
+    A.movzxEaxAl();
+    A.movMR(RBX, regOff(DI.Result), RAX);
+  };
+  auto shimDivRem = [&](int32_t HelpOff) {
+    A.movRR(RDI, R15);
+    A.movRM(RSI, RBX, regOff(DI.A));
+    A.movRM(RDX, RBX, regOff(DI.B));
+    A.callM(R15, HelpOff);
+    emitMemShimTail(false, DI.Result);
+  };
+
+  switch (DI.D) {
+  case DecodedOp::Add: intBin(0x03); break;
+  case DecodedOp::Sub: intBin(0x2B); break;
+  case DecodedOp::Mul:
+    A.movRM(RAX, RBX, regOff(DI.A));
+    A.imulRM(RAX, RBX, regOff(DI.B));
+    A.movMR(RBX, regOff(DI.Result), RAX);
+    break;
+  case DecodedOp::Div: shimDivRem(offsetof(JitRT, HelpDiv)); break;
+  case DecodedOp::Rem: shimDivRem(offsetof(JitRT, HelpRem)); break;
+  case DecodedOp::And: intBin(0x23); break;
+  case DecodedOp::Or: intBin(0x0B); break;
+  case DecodedOp::Xor: intBin(0x33); break;
+  case DecodedOp::Shl:
+  case DecodedOp::Shr:
+    // Native 64-bit shifts mask the count to 6 bits, exactly the Arith.h
+    // contract (shiftLeft/shiftRightArith).
+    A.movRM(RAX, RBX, regOff(DI.A));
+    A.movRM(RCX, RBX, regOff(DI.B));
+    A.b(0x48); A.b(0xD3);
+    A.b(DI.D == DecodedOp::Shl ? 0xE0 : 0xF8); // shl rax,cl / sar rax,cl
+    A.movMR(RBX, regOff(DI.Result), RAX);
+    break;
+  case DecodedOp::CmpEq: intCmp(0x4); break;
+  case DecodedOp::CmpNe: intCmp(0x5); break;
+  case DecodedOp::CmpLt: intCmp(0xC); break;
+  case DecodedOp::CmpLe: intCmp(0xE); break;
+  case DecodedOp::CmpGt: intCmp(0xF); break;
+  case DecodedOp::CmpGe: intCmp(0xD); break;
+  case DecodedOp::FAdd: fpBin(0x58); break;
+  case DecodedOp::FSub: fpBin(0x5C); break;
+  case DecodedOp::FMul: fpBin(0x59); break;
+  case DecodedOp::FDiv: fpBin(0x5E); break;
+  case DecodedOp::FCmpEq:
+    // Equal iff ordered (PF=0) and ZF=1.
+    A.movsdRM(0, RBX, regOff(DI.A));
+    A.sseRM(0x66, 0x2E, 0, RBX, regOff(DI.B));
+    A.setcc(0xB, RAX); // setnp al
+    A.setcc(0x4, RCX); // sete cl
+    A.b(0x20); A.b(0xC8); // and al, cl
+    A.movzxEaxAl();
+    A.movMR(RBX, regOff(DI.Result), RAX);
+    break;
+  case DecodedOp::FCmpNe:
+    // Not-equal is true on NaN: unordered (PF=1) or ZF=0.
+    A.movsdRM(0, RBX, regOff(DI.A));
+    A.sseRM(0x66, 0x2E, 0, RBX, regOff(DI.B));
+    A.setcc(0xA, RAX); // setp al
+    A.setcc(0x5, RCX); // setne cl
+    A.b(0x08); A.b(0xC8); // or al, cl
+    A.movzxEaxAl();
+    A.movMR(RBX, regOff(DI.Result), RAX);
+    break;
+  case DecodedOp::FCmpLt: fpCmpGtGe(DI.B, DI.A, 0x7); break; // b > a
+  case DecodedOp::FCmpLe: fpCmpGtGe(DI.B, DI.A, 0x3); break; // b >= a
+  case DecodedOp::FCmpGt: fpCmpGtGe(DI.A, DI.B, 0x7); break;
+  case DecodedOp::FCmpGe: fpCmpGtGe(DI.A, DI.B, 0x3); break;
+  case DecodedOp::Neg:
+  case DecodedOp::Not:
+    A.movRM(RAX, RBX, regOff(DI.A));
+    A.b(0x48); A.b(0xF7);
+    A.b(DI.D == DecodedOp::Neg ? 0xD8 : 0xD0); // neg rax / not rax
+    A.movMR(RBX, regOff(DI.Result), RAX);
+    break;
+  case DecodedOp::FNeg:
+    // Sign-bit flip, bit-exact with the interpreters' -double.
+    A.movRM(RAX, RBX, regOff(DI.A));
+    A.b(0x48); A.b(0x0F); A.b(0xBA); A.b(0xF8); A.b(0x3F); // btc rax, 63
+    A.movMR(RBX, regOff(DI.Result), RAX);
+    break;
+  case DecodedOp::IntToFp:
+    A.movRM(RAX, RBX, regOff(DI.A));
+    A.b(0xF2); A.b(0x48); A.b(0x0F); A.b(0x2A); A.b(0xC0); // cvtsi2sd xmm0,rax
+    A.movsdMR(RBX, regOff(DI.Result), 0);
+    break;
+  case DecodedOp::FpToInt:
+    // cvttsd2si does NOT match fpToIntSat (NaN -> INT64_MIN on x86); the
+    // saturating helper is the one semantics everything folds with.
+    A.movsdRM(0, RBX, regOff(DI.A));
+    A.callM(R15, offsetof(JitRT, HelpFpToInt));
+    A.movMR(RBX, regOff(DI.Result), RAX);
+    break;
+  case DecodedOp::LoadI:
+  case DecodedOp::LoadF:
+  case DecodedOp::LoadAddrAbs:
+    A.movRI(RAX, static_cast<uint64_t>(DI.Imm));
+    A.movMR(RBX, regOff(DI.Result), RAX);
+    break;
+  case DecodedOp::LoadAddrFrame:
+    // Simulated address: InterpStackBase + FrameOff + baked offset.
+    A.movRI(RAX, InterpStackBase + static_cast<uint64_t>(DI.Imm));
+    A.aluRM(0x03, RAX, RSP, 8);
+    A.movMR(RBX, regOff(DI.Result), RAX);
+    break;
+  case DecodedOp::Copy:
+    A.movRM(RAX, RBX, regOff(DI.A));
+    A.movMR(RBX, regOff(DI.Result), RAX);
+    break;
+  case DecodedOp::ScalarLoadAbs:
+  case DecodedOp::ScalarStoreAbs: {
+    const bool IsStore = DI.D == DecodedOp::ScalarStoreAbs;
+    const uint32_t Len = memTypeSize(DI.MemTy);
+    if (const uint8_t *Host = globalHost(DI.Imm, Len)) {
+      // Baked global address: in bounds by layout construction, so the
+      // access compiles to a direct host load/store.
+      A.movRI(RCX, reinterpret_cast<uint64_t>(Host));
+      if (IsStore) {
+        A.movRM(RAX, RBX, regOff(DI.A));
+        if (DI.MemTy == MemType::I8) {
+          A.b(0x88); A.mem(RAX, RCX, 0); // mov [rcx], al
+        } else {
+          A.movMR(RCX, 0, RAX);
+        }
+      } else {
+        if (DI.MemTy == MemType::I8) {
+          A.b(0x48); A.b(0x0F); A.b(0xB6); A.mem(RAX, RCX, 0); // movzx
+        } else {
+          A.movRM(RAX, RCX, 0);
+        }
+        A.movMR(RBX, regOff(DI.Result), RAX);
+      }
+      break;
+    }
+    // Not a global-image address (cannot happen today): keep the exact
+    // interpreter semantics by going through the shim.
+    A.movRR(RDI, R15);
+    A.movRI(RSI, static_cast<uint64_t>(DI.Imm));
+    if (IsStore) {
+      A.movRM(RDX, RBX, regOff(DI.A));
+      A.movRI32(RCX, static_cast<uint32_t>(DI.MemTy));
+      A.callM(R15, offsetof(JitRT, HelpStore));
+    } else {
+      A.movRI32(RDX, static_cast<uint32_t>(DI.MemTy));
+      A.callM(R15, offsetof(JitRT, HelpLoad));
+    }
+    emitMemShimTail(IsStore, DI.Result);
+    break;
+  }
+  case DecodedOp::ScalarLoadFrame:
+  case DecodedOp::ScalarStoreFrame: {
+    // Frame offsets are in bounds by FrameLayout construction (the frame
+    // was sized to cover them at entry), so these are direct host accesses
+    // through the r13 frame pointer.
+    const bool IsStore = DI.D == DecodedOp::ScalarStoreFrame;
+    const uint32_t Len = memTypeSize(DI.MemTy);
+    if (DI.Imm < 0 || static_cast<uint64_t>(DI.Imm) + Len > DF.FrameSize)
+      return false; // malformed layout; let the fast path interpret it
+    const int32_t Off = static_cast<int32_t>(DI.Imm);
+    if (IsStore) {
+      A.movRM(RAX, RBX, regOff(DI.A));
+      if (DI.MemTy == MemType::I8) {
+        A.b(0x41); A.b(0x88); A.mem(RAX, R13, Off); // mov [r13+off], al
+      } else {
+        A.movMR(R13, Off, RAX);
+      }
+    } else {
+      if (DI.MemTy == MemType::I8) {
+        A.b(0x49); A.b(0x0F); A.b(0xB6); A.mem(RAX, R13, Off); // movzx
+      } else {
+        A.movRM(RAX, R13, Off);
+      }
+      A.movMR(RBX, regOff(DI.Result), RAX);
+    }
+    break;
+  }
+  case DecodedOp::PtrLoad:
+  case DecodedOp::PtrStore: {
+    // Pointer traffic in the suite is dominated by global arrays, so the
+    // in-bounds-global case is inlined: one unsigned compare of the
+    // rebased address against the image size discriminates it exactly
+    // (stack, heap, function, and null/small addresses all wrap far past
+    // the limit and take the shim, which reproduces every interpreter
+    // fault message). decodeAddr checks Off + Len > size, i.e. in bounds
+    // iff addr - GlobalBase <= GlobalSize - Len.
+    const bool IsStore = DI.D == DecodedOp::PtrStore;
+    const uint32_t Len = memTypeSize(DI.MemTy);
+    A.movRM(RSI, RBX, regOff(DI.A)); // simulated address (also the shim arg)
+    size_t ToShim = 0, ToDone = 0;
+    const bool Inline =
+        Ext.GlobalSize >= Len &&
+        Ext.GlobalSize - Len <= static_cast<uint64_t>(INT32_MAX);
+    if (Inline) {
+      A.leaRM(RAX, RSI, -static_cast<int32_t>(InterpGlobalBase));
+      A.b(0x48); A.b(0x3D); // cmp rax, imm32
+      A.d32(static_cast<uint32_t>(Ext.GlobalSize - Len));
+      ToShim = jccFwd(0x7); // ja: not a global in-bounds access
+      A.movRI(RCX, reinterpret_cast<uint64_t>(Ext.GlobalData));
+      A.b(0x48); A.b(0x01); A.b(0xC8); // add rax, rcx
+      if (IsStore) {
+        A.movRM(RDX, RBX, regOff(DI.B));
+        if (DI.MemTy == MemType::I8) {
+          A.b(0x88); A.mem(RDX, RAX, 0); // mov [rax], dl
+        } else {
+          A.movMR(RAX, 0, RDX);
+        }
+      } else {
+        if (DI.MemTy == MemType::I8) {
+          A.b(0x48); A.b(0x0F); A.b(0xB6); A.mem(RAX, RAX, 0); // movzx
+        } else {
+          A.movRM(RAX, RAX, 0);
+        }
+        A.movMR(RBX, regOff(DI.Result), RAX);
+      }
+      ToDone = jmpFwd();
+      bindFwd(ToShim);
+    }
+    A.movRR(RDI, R15);
+    if (IsStore) {
+      A.movRM(RDX, RBX, regOff(DI.B));
+      A.movRI32(RCX, static_cast<uint32_t>(DI.MemTy));
+      A.callM(R15, offsetof(JitRT, HelpStore));
+    } else {
+      A.movRI32(RDX, static_cast<uint32_t>(DI.MemTy));
+      A.callM(R15, offsetof(JitRT, HelpLoad));
+    }
+    emitMemShimTail(IsStore, DI.Result);
+    if (Inline)
+      bindFwd(ToDone);
+    break;
+  }
+  case DecodedOp::Call:
+    A.movMR(R15, OffTotal, R12); // flush Total around the call
+    emitFcFlush(RAX);            // ... and the per-function share
+    A.movRR(RDI, R15);
+    A.movRI32(RSI, DI.T0); // callee FuncId
+    A.movRI(RDX, reinterpret_cast<uint64_t>(DF.ArgPool.data() + DI.T1));
+    A.movRI32(RCX, DI.A); // arg count
+    A.movRR(R8, RBX);
+    A.callM(R15, offsetof(JitRT, HelpCall));
+    emitPostCall(DI.Result);
+    break;
+  case DecodedOp::CallIndirect:
+    A.movMR(R15, OffTotal, R12);
+    emitFcFlush(RAX);
+    A.movRR(RDI, R15);
+    A.movRM(RSI, RBX, regOff(DI.A)); // target value, validated by the shim
+    A.movRI(RDX, reinterpret_cast<uint64_t>(DF.ArgPool.data() + DI.T0));
+    A.movRI32(RCX, DI.T1);
+    A.movRR(R8, RBX);
+    A.callM(R15, offsetof(JitRT, HelpCallInd));
+    emitPostCall(DI.Result);
+    break;
+  case DecodedOp::Br:
+    A.movRM(RAX, RBX, regOff(DI.A));
+    A.testRR(RAX, RAX);
+    jccTo(0x5, DI.T0); // jnz taken
+    if (DI.T1 != I + 1)
+      jmpTo(DI.T1);
+    break;
+  case DecodedOp::Jmp:
+    if (DI.T0 != I + 1)
+      jmpTo(DI.T0);
+    break;
+  case DecodedOp::RetVal:
+    A.movRM(RAX, RBX, regOff(DI.A));
+    jmpTo(stub(StubEpi));
+    break;
+  case DecodedOp::RetVoid:
+    A.b(0x31); A.b(0xC0); // xor eax, eax
+    jmpTo(stub(StubEpi));
+    break;
+  case DecodedOp::Fault:
+    A.movRR(RDI, R15);
+    A.movRI(RSI, reinterpret_cast<uint64_t>(
+                     &DF.FaultMsgs[static_cast<size_t>(DI.Imm)]));
+    A.callM(R15, offsetof(JitRT, HelpFault));
+    jmpTo(stub(StubFault));
+    break;
+  default:
+    // Fused superinstruction (the module must be decoded unfused) or a new
+    // DecodedOp without a template: decline the whole function.
+    return false;
+  }
+  return true;
+}
+
+bool FunctionEmitter::emit() {
+  const size_t Start = A.pos();
+  const uint32_t N = static_cast<uint32_t>(DF.Insts.size());
+  if (N == 0)
+    return false;
+  LabelOff.assign(N + 4, 0);
+  Fixups.clear();
+  A.ensure(512);
+
+  // Prologue: save callee-saved state, pin the convention registers.
+  A.b(0x53);             // push rbx
+  A.b(0x55);             // push rbp
+  A.b(0x41); A.b(0x54);  // push r12
+  A.b(0x41); A.b(0x55);  // push r13
+  A.b(0x41); A.b(0x56);  // push r14
+  A.b(0x41); A.b(0x57);  // push r15
+  A.b(0x48); A.b(0x83); A.b(0xEC); A.b(24); // sub rsp, 24
+  A.movRR(R15, RDI);
+  A.movMR(RSP, 0, RSI); // RegBase
+  A.movMR(RSP, 8, RDX); // FrameOff
+  A.movRI(RBP, reinterpret_cast<uint64_t>(Ext.PerFunc + DF.Id));
+  A.movRI(R14, reinterpret_cast<uint64_t>(Ext.ByOpcode));
+  A.movRM(RBX, R15, OffRegArena);
+  A.b(0x48); A.b(0x8D); A.b(0x1C); A.b(0xF3); // lea rbx, [rbx+rsi*8]
+  A.movRM(R13, R15, OffStackData);
+  A.b(0x49); A.b(0x01); A.b(0xD5); // add r13, rdx
+  A.movRM(R12, R15, OffTotal);
+  A.movMR(RSP, 16, R12); // FC.Total delta base (see emitStepPrologue)
+
+  for (uint32_t I = 0; I != N; ++I)
+    if (!emitInst(I)) {
+      A.truncate(Start);
+      return false;
+    }
+  A.ensure(512); // the four stubs
+
+  // Step-limit stub: raise through the shim, then unwind as a fault. The
+  // overflowing step counts toward Total but not the per-function total
+  // (the fast path raises before ++FCTotalLoc), so bump the delta base to
+  // exclude it from the epilogue's flush.
+  label(stub(StubStep));
+  A.incM(RSP, 16);
+  A.movRR(RDI, R15);
+  A.callM(R15, offsetof(JitRT, HelpStepLimit));
+  jmpTo(stub(StubFault));
+
+  // Deadline stub (reached by call, so rsp is 8 past alignment here).
+  label(stub(StubDeadline));
+  A.b(0x48); A.b(0x83); A.b(0xEC); A.b(0x08); // sub rsp, 8
+  A.movRR(RDI, R15);
+  A.callM(R15, offsetof(JitRT, HelpDeadline));
+  A.b(0x48); A.b(0x83); A.b(0xC4); A.b(0x08); // add rsp, 8
+  A.testRR(RAX, RAX);
+  A.b(0x75); A.b(0x01); // jnz over the ret
+  A.b(0xC3);
+  A.b(0x48); A.b(0x83); A.b(0xC4); A.b(0x08); // drop the return address
+  // The deadline-striking step counts like the step-limit one: toward
+  // Total, not the per-function total. rsp is back at the body level here
+  // (return address dropped), so +16 addresses the delta-base slot.
+  A.incM(RSP, 16);
+  jmpTo(stub(StubFault));
+
+  // Fault exit falls through into the epilogue with a zero return value.
+  label(stub(StubFault));
+  A.b(0x31); A.b(0xC0); // xor eax, eax
+  label(stub(StubEpi));
+  A.movMR(R15, OffTotal, R12);
+  emitFcFlush(RCX); // rax carries the return value
+  A.b(0x48); A.b(0x83); A.b(0xC4); A.b(24); // add rsp, 24
+  A.b(0x41); A.b(0x5F); // pop r15
+  A.b(0x41); A.b(0x5E); // pop r14
+  A.b(0x41); A.b(0x5D); // pop r13
+  A.b(0x41); A.b(0x5C); // pop r12
+  A.b(0x5D);            // pop rbp
+  A.b(0x5B);            // pop rbx
+  A.b(0xC3);
+
+  for (const Fixup &F : Fixups) {
+    int64_t Rel = static_cast<int64_t>(LabelOff[F.Label]) -
+                  static_cast<int64_t>(F.Pos + 4);
+    if (Rel < INT32_MIN || Rel > INT32_MAX) {
+      A.truncate(Start);
+      return false;
+    }
+    A.patch32(F.Pos, static_cast<uint32_t>(Rel));
+  }
+  return true;
+}
+
+} // namespace
+
+std::unique_ptr<JitModule> rpcc::jitCompileModule(const DecodedModule &DM,
+                                                  const JitExternals &Ext) {
+  std::vector<uint8_t> Code;
+  size_t Estimate = 0;
+  for (const DecodedFunction &DF : DM.Funcs)
+    if (DF.HasBody)
+      Estimate += DF.Insts.size() * 96 + 256;
+  Code.resize(Estimate);
+  Asm A(Code);
+  EmitScratch Scratch;
+  constexpr size_t NoEntry = ~size_t(0);
+  std::vector<size_t> Offsets(DM.Funcs.size(), NoEntry);
+  for (size_t F = 0; F != DM.Funcs.size(); ++F) {
+    const DecodedFunction &DF = DM.Funcs[F];
+    if (!DF.HasBody)
+      continue;
+    size_t Start = A.pos();
+    if (FunctionEmitter(DF, Ext, A, Scratch).emit())
+      Offsets[F] = Start;
+  }
+  const size_t Size = A.pos();
+  if (Size == 0)
+    return nullptr;
+
+  void *Mem = ::mmap(nullptr, Size, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Mem == MAP_FAILED)
+    return nullptr;
+  std::memcpy(Mem, Code.data(), Size);
+  if (::mprotect(Mem, Size, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(Mem, Size);
+    return nullptr;
+  }
+
+  auto JM = std::make_unique<JitModule>();
+  JM->Mem = static_cast<uint8_t *>(Mem);
+  JM->Size = Size;
+  JM->Entries.assign(DM.Funcs.size(), nullptr);
+  for (size_t F = 0; F != DM.Funcs.size(); ++F)
+    if (Offsets[F] != NoEntry)
+      JM->Entries[F] =
+          reinterpret_cast<JitModule::Entry>(JM->Mem + Offsets[F]);
+  return JM;
+}
+
+#endif // RPCC_JIT_AVAILABLE

@@ -1,0 +1,184 @@
+//===- jit/JitRuntime.cpp - Shims between emitted code and the Machine ----===//
+//
+// Everything with observable semantics goes through here: memory access,
+// div/rem guards, fpToIntSat, calls, profiling, budget faults. Each shim is
+// a thin extern "C" wrapper over the exact Machine service both interpreter
+// engines use, so fault messages and counting stay byte-identical by
+// construction. The call shims are also where the counter hand-off happens:
+// Counters.Total crosses from JitRT::TotalCell into the Machine before the
+// callee runs and back after, mirroring the fast path's flush/reload pair
+// around calls.
+//
+// JitBridge is the single friend seam into Machine; keep all private access
+// in it so the surface stays auditable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Jit.h"
+
+#include "interp/Machine.h"
+#include "support/Arith.h"
+
+using namespace rpcc;
+
+namespace rpcc {
+
+struct JitBridge {
+  static uint64_t load(Machine &M, uint64_t Addr, MemType T) {
+    return M.loadMem(Addr, T);
+  }
+  static void store(Machine &M, uint64_t Addr, MemType T, uint64_t V) {
+    M.storeMem(Addr, T, V);
+  }
+  static InterpFault &err(Machine &M) { return M.Err; }
+  static OpCounters &counters(Machine &M) { return M.Counters; }
+  static std::vector<uint64_t> &argArena(Machine &M) { return M.ArgArena; }
+  static std::vector<uint64_t> &regArena(Machine &M) { return M.RegArena; }
+  static std::vector<uint8_t> &stackMem(Machine &M) { return M.StackMem; }
+  static size_t numFunctions(const Machine &M) { return M.M.numFunctions(); }
+  static uint64_t call(Machine &M, FuncId F, size_t ArgBase, size_t NArgs) {
+    return M.callDecodedDyn(F, ArgBase, NArgs);
+  }
+  static bool deadline(Machine &M) { return M.checkWallDeadline(); }
+  static void profile(Machine &M, size_t Slot, uint64_t Flags, uint64_t Addr) {
+    if (Flags & DIFlagPtrProf) {
+      TagId T = M.resolveAddress(Addr);
+      if (T != NoTag)
+        Slot += size_t(T) + 1;
+    }
+    if (Flags & DIFlagStore)
+      M.Sink.countStore(Slot);
+    else
+      M.Sink.countLoad(Slot);
+  }
+};
+
+} // namespace rpcc
+
+namespace {
+
+/// Two-register return (rax:rdx under the SysV ABI): the value and a
+/// did-it-fault flag the emitted code branches on.
+struct JitPair {
+  uint64_t Val;
+  uint64_t Fault;
+};
+
+/// Refreshes the cells the emitted code rebases from after a call: the
+/// arenas may have reallocated, and the callee may have faulted.
+void syncAfterCall(JitRT *RT, Machine &M) {
+  RT->TotalCell = JitBridge::counters(M).Total;
+  RT->RegArenaData = JitBridge::regArena(M).data();
+  RT->StackData = JitBridge::stackMem(M).data();
+  RT->FaultCell = JitBridge::err(M).Active;
+}
+
+extern "C" JitPair rpccJitLoad(JitRT *RT, uint64_t Addr, uint64_t MemTy) {
+  Machine &M = *RT->M;
+  uint64_t V = JitBridge::load(M, Addr, static_cast<MemType>(MemTy));
+  return {V, JitBridge::err(M).Active};
+}
+
+extern "C" uint64_t rpccJitStore(JitRT *RT, uint64_t Addr, uint64_t V,
+                                 uint64_t MemTy) {
+  Machine &M = *RT->M;
+  JitBridge::store(M, Addr, static_cast<MemType>(MemTy), V);
+  return JitBridge::err(M).Active;
+}
+
+extern "C" JitPair rpccJitDiv(JitRT *RT, uint64_t A, uint64_t B) {
+  int64_t N = static_cast<int64_t>(A), D = static_cast<int64_t>(B);
+  if (divFaults(N, D)) {
+    JitBridge::err(*RT->M).raise(D == 0
+                                     ? "integer division by zero"
+                                     : "integer division overflow "
+                                       "(INT64_MIN / -1)");
+    return {0, 1};
+  }
+  return {static_cast<uint64_t>(sdiv(N, D)), 0};
+}
+
+extern "C" JitPair rpccJitRem(JitRT *RT, uint64_t A, uint64_t B) {
+  int64_t N = static_cast<int64_t>(A), D = static_cast<int64_t>(B);
+  if (D == 0) {
+    JitBridge::err(*RT->M).raise("integer remainder by zero");
+    return {0, 1};
+  }
+  return {static_cast<uint64_t>(srem(N, D)), 0};
+}
+
+extern "C" uint64_t rpccJitFpToInt(double V) {
+  return static_cast<uint64_t>(fpToIntSat(V));
+}
+
+extern "C" uint64_t rpccJitCall(JitRT *RT, uint64_t Callee,
+                                const Reg *ArgRegs, uint64_t NArgs,
+                                const uint64_t *R) {
+  Machine &M = *RT->M;
+  JitBridge::counters(M).Total = RT->TotalCell;
+  std::vector<uint64_t> &AA = JitBridge::argArena(M);
+  const size_t AB = AA.size();
+  for (uint64_t I = 0; I != NArgs; ++I)
+    AA.push_back(R[ArgRegs[I]]);
+  uint64_t V = JitBridge::call(M, static_cast<FuncId>(Callee), AB,
+                               static_cast<size_t>(NArgs));
+  AA.resize(AB);
+  syncAfterCall(RT, M);
+  return V;
+}
+
+extern "C" uint64_t rpccJitCallInd(JitRT *RT, uint64_t Target,
+                                   const Reg *ArgRegs, uint64_t NArgs,
+                                   const uint64_t *R) {
+  Machine &M = *RT->M;
+  JitBridge::counters(M).Total = RT->TotalCell;
+  if (Target < InterpFuncBase ||
+      (Target & ~InterpFuncBase) >= JitBridge::numFunctions(M)) {
+    JitBridge::err(M).raise("indirect call through a non-function value");
+    RT->FaultCell = 1;
+    return 0;
+  }
+  std::vector<uint64_t> &AA = JitBridge::argArena(M);
+  const size_t AB = AA.size();
+  for (uint64_t I = 0; I != NArgs; ++I)
+    AA.push_back(R[ArgRegs[I]]);
+  uint64_t V = JitBridge::call(M, static_cast<FuncId>(Target & ~InterpFuncBase),
+                               AB, static_cast<size_t>(NArgs));
+  AA.resize(AB);
+  syncAfterCall(RT, M);
+  return V;
+}
+
+extern "C" uint64_t rpccJitDeadline(JitRT *RT) {
+  return JitBridge::deadline(*RT->M);
+}
+
+extern "C" void rpccJitStepLimit(JitRT *RT) {
+  JitBridge::err(*RT->M).raise("step limit exceeded (infinite loop?)");
+}
+
+extern "C" void rpccJitFault(JitRT *RT, const std::string *Msg) {
+  JitBridge::err(*RT->M).raise(*Msg);
+}
+
+extern "C" void rpccJitProfile(JitRT *RT, uint64_t Slot, uint64_t Flags,
+                               uint64_t Addr) {
+  JitBridge::profile(*RT->M, static_cast<size_t>(Slot), Flags, Addr);
+}
+
+} // namespace
+
+void rpcc::initJitRuntime(JitRT &RT, Machine *M) {
+  RT.M = M;
+  RT.HelpLoad = reinterpret_cast<const void *>(&rpccJitLoad);
+  RT.HelpStore = reinterpret_cast<const void *>(&rpccJitStore);
+  RT.HelpDiv = reinterpret_cast<const void *>(&rpccJitDiv);
+  RT.HelpRem = reinterpret_cast<const void *>(&rpccJitRem);
+  RT.HelpFpToInt = reinterpret_cast<const void *>(&rpccJitFpToInt);
+  RT.HelpCall = reinterpret_cast<const void *>(&rpccJitCall);
+  RT.HelpCallInd = reinterpret_cast<const void *>(&rpccJitCallInd);
+  RT.HelpDeadline = reinterpret_cast<const void *>(&rpccJitDeadline);
+  RT.HelpStepLimit = reinterpret_cast<const void *>(&rpccJitStepLimit);
+  RT.HelpFault = reinterpret_cast<const void *>(&rpccJitFault);
+  RT.HelpProfile = reinterpret_cast<const void *>(&rpccJitProfile);
+}

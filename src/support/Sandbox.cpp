@@ -4,6 +4,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <climits>
 #include <csignal>
 #include <cstring>
 #include <new>
@@ -36,6 +37,21 @@ double nowMs() {
              Clock::now().time_since_epoch())
       .count();
 }
+
+} // namespace
+
+int rpcc::sandboxPollTimeoutMs(double LeftMs) {
+  // Round up (poll truncates to whole milliseconds and must not return
+  // before the deadline) and clamp: a blind `static_cast<int>(LeftMs) + 1`
+  // is UB past INT_MAX and in practice wraps negative, which poll reads as
+  // "infinite" — a disarmed watchdog for wall budgets over ~24.8 days. The
+  // clamp just means one extra (cheap) poll cycle per ~24.8 days of budget.
+  if (LeftMs >= static_cast<double>(INT_MAX - 1))
+    return INT_MAX;
+  return static_cast<int>(LeftMs) + 1;
+}
+
+namespace {
 
 /// Full write with EINTR handling; false on any hard error (parent gone,
 /// pipe broken).
@@ -161,7 +177,7 @@ SandboxResult runOnce(const SandboxJob &Job, const SandboxOptions &Opts) {
         DeadlineKill = true;
         break;
       }
-      TimeoutMs = static_cast<int>(Left) + 1;
+      TimeoutMs = sandboxPollTimeoutMs(Left);
     }
     struct pollfd Pfd = {Fds[0], POLLIN, 0};
     int PN = ::poll(&Pfd, 1, TimeoutMs);

@@ -113,6 +113,14 @@ using SandboxJob = std::function<bool(std::string &Payload)>;
 SandboxResult runSandboxed(const SandboxJob &Job,
                            const SandboxOptions &Opts = {});
 
+/// Converts the watchdog's remaining wall budget (milliseconds, may be huge
+/// or fractional) into a poll(2) timeout: rounded up so the watchdog never
+/// wakes before the deadline, and clamped to INT_MAX — a naive cast
+/// overflows for budgets past ~24.8 days and the resulting negative timeout
+/// would disarm the watchdog entirely (poll waits forever). \p LeftMs must
+/// be positive; the caller handles the expired case first.
+int sandboxPollTimeoutMs(double LeftMs);
+
 // -- Payload (de)serialization helpers ---------------------------------------
 // The pipe carries raw bytes; jobs with structured results flatten them with
 // these little-endian, length-prefixed primitives. A PayloadReader that runs

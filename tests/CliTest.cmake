@@ -93,6 +93,30 @@ add_test(NAME cli_suite_sandboxed
 set_tests_properties(cli_suite_sandboxed PROPERTIES
   PASS_REGULAR_EXPRESSION "Figure 7: dynamic loads executed")
 
+# Engine flag: an unknown engine name is rejected with the full menu.
+add_test(NAME cli_bad_engine
+         COMMAND ${RPCC_BIN} ${PROGS}/allroots.c --run --engine=turbo)
+set_tests_properties(cli_bad_engine PROPERTIES WILL_FAIL TRUE)
+
+if(RPCC_JIT_TESTS)
+  # Supported host/build: --engine=jit runs and counts like any engine.
+  add_test(NAME cli_engine_jit
+           COMMAND ${RPCC_BIN} ${PROGS}/allroots.c --counts --engine=jit)
+  set_tests_properties(cli_engine_jit PROPERTIES
+    PASS_REGULAR_EXPRESSION "total ops:")
+else()
+  # Non-x86-64 hosts and sanitizer builds: --engine=jit must be rejected up
+  # front with a diagnostic naming the requirement, not fail mid-run. The
+  # pass-regex replaces exit-code checking, so matching the diagnostic (and
+  # not the counters banner) is the whole assertion.
+  add_test(NAME cli_engine_jit_rejected
+           COMMAND ${RPCC_BIN} ${PROGS}/allroots.c --counts --engine=jit)
+  set_tests_properties(cli_engine_jit_rejected PROPERTIES
+    PASS_REGULAR_EXPRESSION
+      "--engine=jit is not supported on this host/build"
+    FAIL_REGULAR_EXPRESSION "total ops:")
+endif()
+
 # rpfuzz guard: worker-fault injection requires the sandbox.
 add_test(NAME cli_fuzz_inject_without_sandbox
          COMMAND $<TARGET_FILE:rpfuzz> --runs=1 --inject-worker-faults)

@@ -1,0 +1,67 @@
+# Runs the full `rpcc --suite` evaluation under the jit engine and requires
+# the Figure 5/6/7 tables, the remark stream, and the tag profile to be
+# byte-identical to the reference switch engine — the CLI-level face of the
+# three-way engine-parity guarantee. The jit leg is crossed with --jobs,
+# --sandbox, and --no-compile-cache: none of them may perturb a single
+# output byte. Only registered on hosts/builds where the jit exists (see
+# tests/CMakeLists.txt).
+#
+# Invoked by ctest as:
+#   cmake -DRPCC_BIN=<path-to-rpcc> -DWORK_DIR=<scratch-dir>
+#         -P EngineJitDiff.cmake
+
+if(NOT RPCC_BIN)
+  message(FATAL_ERROR "RPCC_BIN not set")
+endif()
+if(NOT WORK_DIR)
+  message(FATAL_ERROR "WORK_DIR not set")
+endif()
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# run_suite(<tag> <stdout-var> <extra-args...>)
+function(run_suite tag stdout_var)
+  execute_process(COMMAND ${RPCC_BIN} --suite ${ARGN}
+                          --remarks-json ${WORK_DIR}/remarks_${tag}.json
+                          --profile-json ${WORK_DIR}/profile_${tag}.json
+                  OUTPUT_VARIABLE OUT
+                  ERROR_VARIABLE ERR
+                  RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "--suite [${tag}] failed (rc=${RC}):\n${ERR}")
+  endif()
+  set(${stdout_var} "${OUT}" PARENT_SCOPE)
+endfunction()
+
+run_suite(switch SW_OUT --engine=switch)
+run_suite(fastpath FP_OUT --engine=fastpath)
+run_suite(jit1 J1_OUT --engine=jit --jobs=1)
+run_suite(jit4 J4_OUT --engine=jit --jobs=4)
+run_suite(jit_sandbox JSB_OUT --engine=jit --sandbox)
+run_suite(jit_sandbox4 JSB4_OUT --engine=jit --sandbox --jobs=4)
+run_suite(jit_nocache JNC_OUT --engine=jit --no-compile-cache)
+
+if(NOT SW_OUT MATCHES "Figure 7: dynamic loads executed")
+  message(FATAL_ERROR "--suite output is missing the Figure 7 table")
+endif()
+
+foreach(pair "fastpath:FP_OUT" "jit --jobs=1:J1_OUT" "jit --jobs=4:J4_OUT"
+        "jit --sandbox:JSB_OUT" "jit --sandbox --jobs=4:JSB4_OUT"
+        "jit --no-compile-cache:JNC_OUT")
+  string(REPLACE ":" ";" pair "${pair}")
+  list(GET pair 0 what)
+  list(GET pair 1 var)
+  if(NOT SW_OUT STREQUAL "${${var}}")
+    message(FATAL_ERROR
+            "--suite stdout differs: --engine=switch vs --engine=${what}")
+  endif()
+endforeach()
+
+foreach(kind remarks profile)
+  file(READ ${WORK_DIR}/${kind}_switch.json REF_JSON)
+  foreach(tag fastpath jit1 jit4 jit_sandbox jit_sandbox4 jit_nocache)
+    file(READ ${WORK_DIR}/${kind}_${tag}.json GOT_JSON)
+    if(NOT REF_JSON STREQUAL GOT_JSON)
+      message(FATAL_ERROR "${kind} JSON differs: switch vs ${tag}")
+    endif()
+  endforeach()
+endforeach()

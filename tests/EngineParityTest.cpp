@@ -1,11 +1,13 @@
-//===- tests/EngineParityTest.cpp - Switch vs fast-path bit parity --------===//
+//===- tests/EngineParityTest.cpp - Cross-engine bit parity ---------------===//
 //
-// The fast-path engine must be observationally indistinguishable from the
+// Every execution engine must be observationally indistinguishable from the
 // reference switch engine: identical counters (total, loads, stores,
 // per-opcode), per-function attribution, tag profiles, output bytes, exit
 // codes, and fault messages — on every suite program, on generated fuzz
-// programs, and on faulting executions, with profiling on and off. Any
-// mismatch here means a decode or superinstruction bug, not noise.
+// programs, and on faulting executions, with profiling on and off. The
+// comparison is three-way (switch, fastpath, jit) on hosts with a jit;
+// elsewhere the jit leg is skipped. Any mismatch here means a decode,
+// superinstruction, or code-emission bug, not noise.
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,47 +24,60 @@ using namespace rpcc;
 
 namespace {
 
-/// Runs \p M under both engines with the same options and asserts every
-/// observable of the two results is bitwise equal.
-void expectParity(Module &M, const InterpOptions &Base,
-                  const std::string &What) {
-  InterpOptions SwOpts = Base, FpOpts = Base;
-  SwOpts.Engine = InterpEngine::Switch;
-  FpOpts.Engine = InterpEngine::FastPath;
-  ExecResult Sw = interpret(M, SwOpts);
-  ExecResult Fp = interpret(M, FpOpts);
+/// Asserts every observable of \p Got is bitwise equal to the reference
+/// result \p Ref.
+void expectSameResult(const ExecResult &Ref, const ExecResult &Got,
+                      const std::string &What) {
+  EXPECT_EQ(Ref.Ok, Got.Ok) << What;
+  EXPECT_EQ(Ref.Error, Got.Error) << What;
+  EXPECT_EQ(Ref.ExitCode, Got.ExitCode) << What;
+  EXPECT_EQ(Ref.Output, Got.Output) << What;
 
-  EXPECT_EQ(Sw.Ok, Fp.Ok) << What;
-  EXPECT_EQ(Sw.Error, Fp.Error) << What;
-  EXPECT_EQ(Sw.ExitCode, Fp.ExitCode) << What;
-  EXPECT_EQ(Sw.Output, Fp.Output) << What;
-
-  EXPECT_EQ(Sw.Counters.Total, Fp.Counters.Total) << What;
-  EXPECT_EQ(Sw.Counters.Loads, Fp.Counters.Loads) << What;
-  EXPECT_EQ(Sw.Counters.Stores, Fp.Counters.Stores) << What;
+  EXPECT_EQ(Ref.Counters.Total, Got.Counters.Total) << What;
+  EXPECT_EQ(Ref.Counters.Loads, Got.Counters.Loads) << What;
+  EXPECT_EQ(Ref.Counters.Stores, Got.Counters.Stores) << What;
   for (size_t Op = 0; Op != NumOpcodes; ++Op)
-    EXPECT_EQ(Sw.Counters.ByOpcode[Op], Fp.Counters.ByOpcode[Op])
+    EXPECT_EQ(Ref.Counters.ByOpcode[Op], Got.Counters.ByOpcode[Op])
         << What << " opcode " << opcodeName(static_cast<Opcode>(Op));
 
-  ASSERT_EQ(Sw.PerFunction.size(), Fp.PerFunction.size()) << What;
-  for (size_t F = 0; F != Sw.PerFunction.size(); ++F) {
-    EXPECT_EQ(Sw.PerFunction[F].Total, Fp.PerFunction[F].Total)
+  ASSERT_EQ(Ref.PerFunction.size(), Got.PerFunction.size()) << What;
+  for (size_t F = 0; F != Ref.PerFunction.size(); ++F) {
+    EXPECT_EQ(Ref.PerFunction[F].Total, Got.PerFunction[F].Total)
         << What << " func " << F;
-    EXPECT_EQ(Sw.PerFunction[F].Loads, Fp.PerFunction[F].Loads)
+    EXPECT_EQ(Ref.PerFunction[F].Loads, Got.PerFunction[F].Loads)
         << What << " func " << F;
-    EXPECT_EQ(Sw.PerFunction[F].Stores, Fp.PerFunction[F].Stores)
+    EXPECT_EQ(Ref.PerFunction[F].Stores, Got.PerFunction[F].Stores)
         << What << " func " << F;
   }
 
-  ASSERT_EQ(Sw.Profile.Counts.size(), Fp.Profile.Counts.size()) << What;
-  for (size_t I = 0; I != Sw.Profile.Counts.size(); ++I) {
-    const TagLoopCount &A = Sw.Profile.Counts[I];
-    const TagLoopCount &B = Fp.Profile.Counts[I];
+  ASSERT_EQ(Ref.Profile.Counts.size(), Got.Profile.Counts.size()) << What;
+  for (size_t I = 0; I != Ref.Profile.Counts.size(); ++I) {
+    const TagLoopCount &A = Ref.Profile.Counts[I];
+    const TagLoopCount &B = Got.Profile.Counts[I];
     EXPECT_EQ(A.Func, B.Func) << What << " profile row " << I;
     EXPECT_EQ(A.Loop, B.Loop) << What << " profile row " << I;
     EXPECT_EQ(A.Tag, B.Tag) << What << " profile row " << I;
     EXPECT_EQ(A.Loads, B.Loads) << What << " profile row " << I;
     EXPECT_EQ(A.Stores, B.Stores) << What << " profile row " << I;
+  }
+}
+
+/// Runs \p M under every available engine with the same options and asserts
+/// each one matches the reference switch engine bit for bit.
+void expectParity(Module &M, const InterpOptions &Base,
+                  const std::string &What) {
+  InterpOptions SwOpts = Base;
+  SwOpts.Engine = InterpEngine::Switch;
+  ExecResult Sw = interpret(M, SwOpts);
+
+  InterpOptions FpOpts = Base;
+  FpOpts.Engine = InterpEngine::FastPath;
+  expectSameResult(Sw, interpret(M, FpOpts), What + " {fastpath}");
+
+  if (jitSupported()) {
+    InterpOptions JitOpts = Base;
+    JitOpts.Engine = InterpEngine::Jit;
+    expectSameResult(Sw, interpret(M, JitOpts), What + " {jit}");
   }
 }
 
@@ -118,6 +133,22 @@ TEST(EngineParityTest, DivisionByZeroFaultMatches) {
   expectParityBothProfiles(M, "div by zero");
 }
 
+TEST(EngineParityTest, DivisionByZeroFaultMessageExact) {
+  // The message text itself is part of the contract (reproducer logs diff
+  // it); assert it verbatim on every engine, not just pairwise-equal.
+  Module M = compileOrDie("int main() { int a; a = 3; return a / (a - a); }");
+  for (InterpEngine E :
+       {InterpEngine::Switch, InterpEngine::FastPath, InterpEngine::Jit}) {
+    if (E == InterpEngine::Jit && !jitSupported())
+      continue;
+    InterpOptions O;
+    O.Engine = E;
+    ExecResult R = interpret(M, O);
+    EXPECT_FALSE(R.Ok) << interpEngineName(E);
+    EXPECT_EQ(R.Error, "integer division by zero") << interpEngineName(E);
+  }
+}
+
 TEST(EngineParityTest, NullDereferenceFaultMatches) {
   Module M = compileOrDie("int main() { int *p; p = (int *)0;\n"
                           "return *p; }");
@@ -132,9 +163,58 @@ TEST(EngineParityTest, CallDepthFaultMatches) {
   expectParity(M, O, "call depth");
 }
 
+// -- Arithmetic edge vectors --------------------------------------------------
+// Each defined-behavior corner of support/Arith.h, checked across every
+// engine (the jit lowers these to native idioms — cqo/idiv guards, cl-masked
+// shifts, ucomisd parity tricks, the fpToIntSat helper — so the corners are
+// exactly where an encoding bug would hide).
+
+TEST(EngineParityTest, Int64MinDivMinusOneFaults) {
+  // a = INT64_MIN via 1 << 63; INT64_MIN / -1 overflows and must fault
+  // identically everywhere.
+  Module M = compileOrDie("int main() { int a; int b; a = 1; a = a << 63;\n"
+                          "b = 0 - 1; return a / b; }");
+  expectParityBothProfiles(M, "INT64_MIN / -1");
+}
+
+TEST(EngineParityTest, Int64MinRemMinusOneIsZero) {
+  // INT64_MIN % -1 is defined as 0 (no fault) in this IL.
+  Module M = compileOrDie("int main() { int a; int b; a = 1; a = a << 63;\n"
+                          "b = 0 - 1; return a % b; }");
+  expectParityBothProfiles(M, "INT64_MIN % -1");
+}
+
+TEST(EngineParityTest, OversizedShiftAmountsMatch) {
+  // Shift counts are defined mod 64; sweep through and past the boundary,
+  // including counts whose low six bits are zero.
+  Module M = compileOrDie(
+      "int main() { int a; int n; int s; s = 0;\n"
+      "  for (n = 60; n < 200; n = n + 1) {\n"
+      "    a = 5; s = s + (a << n); s = s + ((0 - a) >> n); }\n"
+      "  return s; }");
+  expectParityBothProfiles(M, "shift >= 64");
+}
+
+TEST(EngineParityTest, FpToIntSaturationVectorsMatch) {
+  // NaN -> 0, +/-inf and out-of-range magnitudes clamp to INT64_MAX/MIN;
+  // division produces the specials so no literal parsing is involved.
+  Module M = compileOrDie(
+      "float g;\n"
+      "int main() { float z; float inf; float nan; int s;\n"
+      "  z = 0.0; inf = 1.0 / z; nan = z / z; s = 0;\n"
+      "  s = s + (int)nan;\n"
+      "  s = s + (int)inf; s = s + (int)(0.0 - inf);\n"
+      "  g = 9007199254740992.0;\n" // 2^53
+      "  s = s + (int)(g * g);\n"   // far past INT64_MAX
+      "  s = s + (int)(0.0 - g * g);\n"
+      "  s = s + (int)1.9; s = s + (int)(0.0 - 1.9);\n"
+      "  return s; }");
+  expectParityBothProfiles(M, "fpToIntSat vectors");
+}
+
 // The step limit can strike anywhere, including between the two halves of a
 // fused superinstruction; sweeping every cutoff through a loop body checks
-// that the fast path counts each half as a distinct step exactly like the
+// that each engine counts each half as a distinct step exactly like the
 // reference engine does.
 TEST(EngineParityTest, StepLimitSweepMatches) {
   Module M = compileOrDie(

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <cerrno>
+#include <climits>
 #include <csignal>
 #include <cstdlib>
 #include <filesystem>
@@ -97,6 +98,40 @@ TEST(SandboxTest, HangKilledAtWallDeadline) {
   ASSERT_EQ(R.Status, SandboxStatus::Timeout);
   EXPECT_NE(R.Error.find("timed out"), std::string::npos) << R.Error;
   EXPECT_EQ(R.Attempts, 1u) << "timeouts are verdicts, not retries";
+}
+
+TEST(SandboxTest, PollTimeoutRoundsUpAndClamps) {
+  // Small budgets round up so poll never returns before the deadline.
+  EXPECT_EQ(sandboxPollTimeoutMs(0.25), 1);
+  EXPECT_EQ(sandboxPollTimeoutMs(1.0), 2);
+  EXPECT_EQ(sandboxPollTimeoutMs(1500.5), 1501);
+
+  // The regression: any budget whose millisecond count exceeds INT_MAX
+  // (wall budgets past ~24.8 days) used to wrap the naive `int` cast
+  // negative, which poll(2) treats as "wait forever" — a disarmed
+  // watchdog. It must clamp to INT_MAX instead.
+  EXPECT_EQ(sandboxPollTimeoutMs(static_cast<double>(INT_MAX)), INT_MAX);
+  EXPECT_EQ(sandboxPollTimeoutMs(static_cast<double>(INT_MAX) + 1.0),
+            INT_MAX);
+  EXPECT_EQ(sandboxPollTimeoutMs(100.0 * 86400.0 * 1000.0), INT_MAX);
+  EXPECT_EQ(sandboxPollTimeoutMs(1e18), INT_MAX);
+  // Every return is a valid (armed) poll timeout.
+  EXPECT_GT(sandboxPollTimeoutMs(1e300), 0);
+}
+
+TEST(SandboxTest, HugeWallBudgetStillCompletes) {
+  // A >24.8-day budget exercises the clamped watchdog path end to end: the
+  // child finishes normally and the parent must classify Ok, not hang or
+  // misreport. (Before the fix the first poll was already "infinite", which
+  // happened to work for finishing children but left hangs unkillable.)
+  SandboxResult R = runSandboxed(
+      [](std::string &Payload) -> bool {
+        Payload = "done";
+        return true;
+      },
+      quickOpts(/*WallSeconds=*/30.0 * 86400.0));
+  ASSERT_EQ(R.Status, SandboxStatus::Ok) << R.Error;
+  EXPECT_EQ(R.Payload, "done");
 }
 
 TEST(SandboxTest, OomClassifiedViaNewHandler) {

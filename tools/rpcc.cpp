@@ -57,9 +57,12 @@ void usage() {
       "\n"
       "output options:\n"
       "  --run                      execute and print exit code + output\n"
-      "  --engine=switch|fastpath   interpreter engine (default: fastpath,\n"
-      "                             or switch in sanitizer builds); both\n"
-      "                             produce identical counts and output\n"
+      "  --engine=switch|fastpath|jit\n"
+      "                             interpreter engine (default: fastpath,\n"
+      "                             or switch in sanitizer builds); all\n"
+      "                             produce identical counts and output;\n"
+      "                             jit needs an x86-64 unix host and a\n"
+      "                             non-sanitizer build\n"
       "  --counts                   print total/load/store counters "
       "(implies --run)\n"
       "  --stats                    print per-pass statistics\n"
@@ -452,8 +455,14 @@ int main(int argc, char **argv) {
     } else if (std::strncmp(A, "--engine=", 9) == 0) {
       if (!parseInterpEngine(A + 9, Engine)) {
         std::fprintf(stderr, "error: bad --engine value '%s' (expected "
-                             "switch or fastpath)\n",
+                             "switch, fastpath, or jit)\n",
                      A + 9);
+        return 3;
+      }
+      if (Engine == InterpEngine::Jit && !jitSupported()) {
+        std::fprintf(stderr,
+                     "error: --engine=jit is not supported on this "
+                     "host/build (requires x86-64 unix, non-sanitizer)\n");
         return 3;
       }
     } else if (std::strcmp(A, "--run") == 0) {

@@ -49,6 +49,11 @@ void usage() {
       "  --matrix=full|quick differential matrix size (default full)\n"
       "  --mode=all|diff|widen|corrupt\n"
       "                      which oracles to run per seed (default all)\n"
+      "  --engine=switch|fastpath|jit\n"
+      "                      interpreter engine for every oracle run\n"
+      "                      (default: fastpath, or switch in sanitizer\n"
+      "                      builds); jit needs an x86-64 unix host and a\n"
+      "                      non-sanitizer build\n"
       "  --emit=S            print the program for seed S and exit\n"
       "  --no-compile-cache  compile every oracle cell from scratch instead\n"
       "                      of sharing each seed's frontend+analysis\n"
@@ -262,8 +267,14 @@ int main(int argc, char **argv) {
     } else if (std::strncmp(A, "--engine=", 9) == 0) {
       if (!parseInterpEngine(A + 9, Engine)) {
         std::fprintf(stderr, "error: bad --engine value '%s' (expected "
-                             "switch or fastpath)\n",
+                             "switch, fastpath, or jit)\n",
                      A + 9);
+        return 3;
+      }
+      if (Engine == InterpEngine::Jit && !jitSupported()) {
+        std::fprintf(stderr,
+                     "error: --engine=jit is not supported on this "
+                     "host/build (requires x86-64 unix, non-sanitizer)\n");
         return 3;
       }
     } else if (std::strncmp(A, "--trace=", 8) == 0) {
