@@ -17,6 +17,7 @@
 #include "frontend/Lowering.h"
 #include "promote/ScalarPromotion.h"
 #include "support/Format.h"
+#include "support/Json.h"
 
 #include <benchmark/benchmark.h>
 

@@ -23,6 +23,7 @@
 #include "driver/Compiler.h"
 #include "driver/SuiteRunner.h"
 #include "support/Format.h"
+#include "support/Json.h"
 
 #include <cmath>
 #include <cstdio>

@@ -2,7 +2,43 @@
 
 #include "driver/CompileCache.h"
 
+#include "obs/Metrics.h"
+
 using namespace rpcc;
+
+namespace {
+
+/// Cache metric handles, registered once. Hit/miss split is Volatile: with
+/// --jobs > 1 the call_once races decide which job pays the miss. The
+/// latency histograms are count-stable: how many frontends/analyses/
+/// suffixes run is deterministic, their durations are wall time.
+struct CacheMetrics {
+  Counter Hits, Misses;
+  Histogram FrontendUs, AnalysisUs, SuffixUs;
+  CacheMetrics() {
+    auto &R = MetricsRegistry::global();
+    Hits = R.counter("cache.hits", {}, MetricStability::Volatile, "ops",
+                     "Compile cache hits (shared-prefix reuse).");
+    Misses = R.counter("cache.misses", {}, MetricStability::Volatile, "ops",
+                       "Compile cache misses (frontend or analysis ran).");
+    FrontendUs = R.histogram("compile.frontend_us", {},
+                             MetricStability::CountStable, "us",
+                             "Frontend stage latency (lex..cfg-normalize).");
+    AnalysisUs = R.histogram("compile.analysis_us", {},
+                             MetricStability::CountStable, "us",
+                             "Alias analysis stage latency.");
+    SuffixUs = R.histogram("compile.suffix_us", {},
+                           MetricStability::CountStable, "us",
+                           "Config-dependent compile suffix latency.");
+  }
+};
+
+CacheMetrics &cacheMetrics() {
+  static CacheMetrics M;
+  return M;
+}
+
+} // namespace
 
 CompileCache::Entry &CompileCache::entryFor(const std::string &Key) {
   std::lock_guard<std::mutex> L(Mu);
@@ -17,6 +53,7 @@ CompileOutput CompileCache::compile(const std::string &Key,
                                     const CompilerConfig &Cfg) {
   Entry &E = entryFor(Key);
   size_t Kind = Cfg.Analysis == AnalysisKind::PointsTo ? 1 : 0;
+  CacheMetrics &CM = cacheMetrics();
 
   bool Missed = false;
   std::call_once(E.FrontendOnce, [&] {
@@ -24,7 +61,9 @@ CompileOutput CompileCache::compile(const std::string &Key,
     SO.CollectTiming = Opts.CollectTiming;
     SO.Trace = Opts.Trace;
     SO.TraceLabel = Key;
+    uint64_t T0 = metricsNowUs();
     E.FA = runFrontend(Source, SO);
+    CM.FrontendUs.observe(metricsNowUs() - T0);
     Missed = true;
   });
   std::call_once(E.AnalyzedOnce[Kind], [&] {
@@ -32,12 +71,17 @@ CompileOutput CompileCache::compile(const std::string &Key,
     SO.CollectTiming = Opts.CollectTiming;
     SO.Trace = Opts.Trace;
     SO.TraceLabel = Key + "/" + (Kind ? "points-to" : "modref");
+    uint64_t T0 = metricsNowUs();
     E.AM[Kind] = analyzeFrontend(E.FA, Cfg.Analysis, SO);
+    CM.AnalysisUs.observe(metricsNowUs() - T0);
     Missed = true;
   });
   (Missed ? Misses : Hits).fetch_add(1, std::memory_order_relaxed);
+  (Missed ? CM.Misses : CM.Hits).inc();
 
+  uint64_t T0 = metricsNowUs();
   CompileOutput Out = compileSuffix(E.AM[Kind], Cfg);
+  CM.SuffixUs.observe(metricsNowUs() - T0);
   if (Missed)
     Out.Timing.CacheMisses = 1;
   else

@@ -3,8 +3,10 @@
 #include "driver/JobRunner.h"
 
 #include "driver/PassTiming.h"
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Format.h"
+#include "support/Json.h"
 
 #include <algorithm>
 #include <chrono>
@@ -132,6 +134,62 @@ std::string JobLog::toJsonArray() const {
   return OS.str();
 }
 
+namespace {
+
+/// One outcome counter per taxonomy status, so the sum over labels equals
+/// the number of runJob calls (and therefore the JobLog record count when a
+/// log is attached). Stable: which cells crash/trap is deterministic.
+Counter &jobOutcomeCounter(SandboxStatus S) {
+  static Counter Counters[] = {
+      MetricsRegistry::global().counter(
+          "jobs.outcome", {{"status", sandboxStatusName(SandboxStatus::Ok)}},
+          MetricStability::Stable, "ops", "Jobs per final sandbox status."),
+      MetricsRegistry::global().counter(
+          "jobs.outcome", {{"status", sandboxStatusName(SandboxStatus::Trap)}},
+          MetricStability::Stable, "ops", "Jobs per final sandbox status."),
+      MetricsRegistry::global().counter(
+          "jobs.outcome",
+          {{"status", sandboxStatusName(SandboxStatus::Timeout)}},
+          MetricStability::Stable, "ops", "Jobs per final sandbox status."),
+      MetricsRegistry::global().counter(
+          "jobs.outcome", {{"status", sandboxStatusName(SandboxStatus::Oom)}},
+          MetricStability::Stable, "ops", "Jobs per final sandbox status."),
+      MetricsRegistry::global().counter(
+          "jobs.outcome",
+          {{"status", sandboxStatusName(SandboxStatus::Crash)}},
+          MetricStability::Stable, "ops", "Jobs per final sandbox status."),
+      MetricsRegistry::global().counter(
+          "jobs.outcome",
+          {{"status", sandboxStatusName(SandboxStatus::InternalError)}},
+          MetricStability::Stable, "ops", "Jobs per final sandbox status."),
+  };
+  return Counters[static_cast<size_t>(S)];
+}
+
+struct JobMetrics {
+  Counter Retries;
+  Histogram ChildWallUs, ChildCpuUs;
+  JobMetrics() {
+    auto &R = MetricsRegistry::global();
+    Retries = R.counter("jobs.retries", {}, MetricStability::Volatile, "ops",
+                        "Extra sandbox attempts after transient "
+                        "infrastructure failures.");
+    ChildWallUs = R.histogram("jobs.child_wall_us", {},
+                              MetricStability::CountStable, "us",
+                              "Wall time of sandboxed children.");
+    ChildCpuUs = R.histogram("jobs.child_cpu_us", {},
+                             MetricStability::CountStable, "us",
+                             "CPU time (user+sys) of sandboxed children.");
+  }
+};
+
+JobMetrics &jobMetrics() {
+  static JobMetrics M;
+  return M;
+}
+
+} // namespace
+
 SandboxResult rpcc::runJob(const SandboxJob &Job, const JobOptions &Opts) {
   double T0 = Opts.Trace ? timingNowMs() : 0;
   SandboxResult R;
@@ -157,6 +215,17 @@ SandboxResult rpcc::runJob(const SandboxJob &Job, const JobOptions &Opts) {
           return Job(Payload);
         },
         SO);
+  }
+  // Counted unconditionally, at the same point a JobLog record would be
+  // written: whenever a log is attached, the outcome counters sum exactly
+  // to its taxonomy.
+  jobOutcomeCounter(R.Status).inc();
+  JobMetrics &JM = jobMetrics();
+  if (R.Attempts > 1)
+    JM.Retries.inc(R.Attempts - 1);
+  if (Opts.Sandbox) {
+    JM.ChildWallUs.observe(static_cast<uint64_t>(R.WallMillis * 1e3));
+    JM.ChildCpuUs.observe(static_cast<uint64_t>(R.CpuMillis * 1e3));
   }
   if (Opts.Log)
     Opts.Log->add(

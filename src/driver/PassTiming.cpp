@@ -4,6 +4,7 @@
 
 #include "ir/Module.h"
 #include "support/Format.h"
+#include "support/Json.h"
 
 #include <algorithm>
 #include <chrono>
@@ -81,6 +82,8 @@ void TimingReport::merge(const TimingReport &O) {
   SuffixMillis += O.SuffixMillis;
   CacheHits += O.CacheHits;
   CacheMisses += O.CacheMisses;
+  PoolItems += O.PoolItems;
+  PoolBusyMillis += O.PoolBusyMillis;
   if (Engine.empty())
     Engine = O.Engine;
 }
@@ -120,6 +123,9 @@ std::string rpcc::formatTimingReport(const TimingReport &R) {
   if (R.CacheHits || R.CacheMisses)
     OS << "  cache:       " << withCommas(R.CacheHits) << " hit(s), "
        << withCommas(R.CacheMisses) << " miss(es)\n";
+  if (R.PoolItems)
+    OS << "  pool:        " << withCommas(R.PoolItems) << " item(s), "
+       << fixed(R.PoolBusyMillis, 3) << " ms busy\n";
   OS << "interpret:     " << fixed(R.InterpMillis, 3) << " ms, "
      << withCommas(R.InterpSteps) << " steps";
   if (!R.Engine.empty())
@@ -139,6 +145,8 @@ std::string rpcc::formatTimingJson(const TimingReport &R,
   OS << ",\"suffix_ms\":" << fixed(R.SuffixMillis, 3);
   OS << ",\"cache_hits\":" << R.CacheHits;
   OS << ",\"cache_misses\":" << R.CacheMisses;
+  OS << ",\"pool_items\":" << R.PoolItems;
+  OS << ",\"pool_busy_ms\":" << fixed(R.PoolBusyMillis, 3);
   OS << ",\"engine\":\"" << jsonEscape(R.Engine) << "\"";
   if (!JobsJson.empty())
     OS << ",\"jobs\":" << JobsJson;

@@ -63,6 +63,14 @@ struct TimingReport {
   /// built one. Both stay zero when compiling without a cache.
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
+  /// ThreadPool utilization over the run that produced this report:
+  /// parallelFor iterations executed and the wall time they consumed across
+  /// all workers (the utilization numerator; divide by run wall time for
+  /// average busy workers). Populated by the CLI drivers from the metrics
+  /// registry, so --timing-json consumers see pool health without adopting
+  /// --metrics-json. Zero when nothing ran through a parallelFor.
+  uint64_t PoolItems = 0;
+  double PoolBusyMillis = 0;
   /// interpEngineName of the engine the run(s) used; empty when nothing was
   /// interpreted. Merging keeps the first non-empty name (one aggregate is
   /// always produced by one engine; the suite never mixes them).
@@ -95,6 +103,7 @@ std::string formatTimingReport(const TimingReport &R);
 /// canonical order as formatTimingReport:
 /// {"compiles":N,"compile_ms":..,"interp_ms":..,"interp_steps":..,
 ///  "frontend_ms":..,"suffix_ms":..,"cache_hits":N,"cache_misses":N,
+///  "pool_items":N,"pool_busy_ms":..,
 ///  "passes":[{"name":..,"calls":..,"ms":..,"ops_before":..,"ops_after":..}]}
 /// When \p JobsJson is non-empty (a JobLog::toJsonArray rendering from a
 /// sandboxed run), it is embedded verbatim as a "jobs" key before "passes";

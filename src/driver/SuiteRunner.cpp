@@ -3,6 +3,7 @@
 #include "driver/SuiteRunner.h"
 
 #include "driver/CompileCache.h"
+#include "obs/Metrics.h"
 #include "obs/Remark.h"
 #include "obs/TagProfile.h"
 #include "obs/Trace.h"
@@ -175,6 +176,12 @@ WorkerFault cellFault(const SuiteOptions &Opts, const std::string &Name,
 ConfigCounts runCell(const std::string &Name, const std::string &Source,
                      int A, int P, const SuiteOptions &Opts,
                      CompileCache *Cache, TimingReport &Timing) {
+  // Parent-side progress tally for the heartbeat, covering the inline and
+  // sandboxed paths alike (a dead child still finishes its cell).
+  static Counter CellsDone = MetricsRegistry::global().counter(
+      "suite.cells", {}, MetricStability::Stable, "ops",
+      "Suite matrix cells executed.");
+  CellsDone.inc();
   JobOptions JOpts;
   JOpts.Name = Name + "/" + suiteCellName(A, P);
   JOpts.Sandbox = Opts.Sandbox;

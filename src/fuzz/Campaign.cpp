@@ -10,6 +10,7 @@
 #include "fuzz/ProgramGenerator.h"
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/ThreadPool.h"
 
@@ -285,10 +286,38 @@ void writeReproducer(CampaignResult &R, std::FILE *Live,
                   : "rpfuzz: failed to write reproducer " + Path + "\n");
 }
 
+/// Fail classes mirror the FAIL-line prefixes the oracle/sandbox attach to
+/// SeedOutcome::Why, so the counters partition exactly like the log.
+Counter &fuzzFailCounter(const std::string &Why) {
+  auto &R = MetricsRegistry::global();
+  auto Make = [&R](const char *Class) {
+    return R.counter("fuzz.fails", {{"class", Class}},
+                     MetricStability::Stable, "ops",
+                     "Failing seeds per failure class.");
+  };
+  static Counter Diff = Make("diff");
+  static Counter Widen = Make("widen");
+  static Counter Corrupt = Make("corrupt");
+  static Counter Sandbox = Make("sandbox");
+  static Counter Other = Make("other");
+  if (Why.rfind("[diff] ", 0) == 0)
+    return Diff;
+  if (Why.rfind("[widen] ", 0) == 0)
+    return Widen;
+  if (Why.rfind("[corrupt] ", 0) == 0)
+    return Corrupt;
+  if (Why.rfind("[sandbox] ", 0) == 0)
+    return Sandbox;
+  return Other;
+}
+
 } // namespace
 
 CampaignResult rpcc::runCampaign(const CampaignOptions &Opts,
                                  std::FILE *Live) {
+  Counter SeedsDone = MetricsRegistry::global().counter(
+      "fuzz.seeds", {}, MetricStability::Stable, "ops",
+      "Seeds fully checked (heartbeat rates derive seeds/sec from this).");
   std::vector<FuzzConfig> Matrix = Opts.Quick ? quickMatrix() : fullMatrix();
   CampaignResult R;
   std::vector<uint64_t> LoadTotals(Matrix.size(), 0);
@@ -310,10 +339,12 @@ CampaignResult rpcc::runCampaign(const CampaignOptions &Opts,
       uint64_t K = Base + I;
       uint64_t Seed = Opts.Seed0 + K;
       SeedOutcome &Out = Block[I];
+      SeedsDone.inc();
       if (Out.DiffOk)
         for (size_t Cell = 0; Cell != Out.Loads.size(); ++Cell)
           LoadTotals[Cell] += Out.Loads[Cell];
       if (!Out.Ok) {
+        fuzzFailCounter(Out.Why).inc();
         ++R.Failures;
         R.Crashed += Out.Child == SandboxStatus::Crash;
         R.OomKilled += Out.Child == SandboxStatus::Oom;

@@ -10,6 +10,7 @@
 #include "interp/Interpreter.h"
 
 #include "interp/Machine.h"
+#include "obs/Metrics.h"
 #include "support/Arith.h"
 #include "support/Format.h"
 
@@ -48,6 +49,44 @@ bool rpcc::parseInterpEngine(const std::string &Name, InterpEngine &Out) {
   }
   return false;
 }
+
+namespace {
+
+/// JIT cost metrics. Compile time is wall clock (count-stable); emitted
+/// code size and the compiled/declined split are deterministic per module,
+/// hence stable.
+void recordJitCompile(uint64_t CompileUs, const DecodedModule &Decoded,
+                      const JitModule *JM) {
+  struct JitMetrics {
+    Histogram CompileUs, CodeBytes;
+    Counter Functions, Declines;
+    JitMetrics() {
+      auto &R = MetricsRegistry::global();
+      CompileUs = R.histogram("jit.compile_us", {},
+                              MetricStability::CountStable, "us",
+                              "Per-module JIT compile latency.");
+      CodeBytes = R.histogram("jit.code_bytes", {}, MetricStability::Stable,
+                              "bytes", "Emitted machine code per module.");
+      Functions = R.counter("jit.functions", {}, MetricStability::Stable,
+                            "ops", "Functions compiled to native code.");
+      Declines = R.counter("jit.declines", {}, MetricStability::Stable, "ops",
+                           "Functions declined to the fast-path fallback.");
+    }
+  };
+  static JitMetrics M;
+  M.CompileUs.observe(CompileUs);
+  M.CodeBytes.observe(JM ? JM->codeBytes() : 0);
+  size_t Candidates = 0;
+  for (const DecodedFunction &F : Decoded.Funcs)
+    Candidates += !F.Insts.empty();
+  size_t Compiled = JM ? JM->compiledCount() : 0;
+  if (Compiled)
+    M.Functions.inc(Compiled);
+  if (Candidates > Compiled)
+    M.Declines.inc(Candidates - Compiled);
+}
+
+} // namespace
 
 ExecResult Machine::run() {
   if (Opts.WallDeadlineMs)
@@ -92,7 +131,9 @@ ExecResult Machine::run() {
     Ext.GlobalData = GlobalMem.data();
     Ext.GlobalSize = GlobalMem.size();
     Ext.Profiled = Prof != nullptr;
+    uint64_t T0 = metricsNowUs();
     Jitted = jitCompileModule(Decoded, Ext);
+    recordJitCompile(metricsNowUs() - T0, Decoded, Jitted.get());
   }
   uint64_t Ret;
   if (Opts.Engine == InterpEngine::Jit) {
@@ -577,7 +618,44 @@ uint64_t Machine::executeBody(const Function &F,
   return RetVal;
 }
 
+namespace {
+
+/// Per-engine execution tallies, recorded once per interpret() call (never
+/// per step). Stable: the set of runs and their step/fault outcomes are
+/// deterministic for a given configuration.
+struct EngineMetrics {
+  Counter Runs, Steps, Faults;
+};
+
+EngineMetrics &engineMetrics(InterpEngine E) {
+  static EngineMetrics M[3] = {};
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    auto &R = MetricsRegistry::global();
+    for (InterpEngine E :
+         {InterpEngine::Switch, InterpEngine::FastPath, InterpEngine::Jit}) {
+      MetricLabels L = {{"engine", interpEngineName(E)}};
+      EngineMetrics &EM = M[static_cast<size_t>(E)];
+      EM.Runs = R.counter("interp.runs", L, MetricStability::Stable, "ops",
+                          "interpret() invocations per engine.");
+      EM.Steps = R.counter("interp.steps", L, MetricStability::Stable, "ops",
+                           "Dynamic IL operations executed per engine.");
+      EM.Faults = R.counter("interp.faults", L, MetricStability::Stable,
+                            "ops", "Runs that ended in a fault per engine.");
+    }
+  });
+  return M[static_cast<size_t>(E)];
+}
+
+} // namespace
+
 ExecResult rpcc::interpret(const Module &M, const InterpOptions &Opts) {
   Machine Mch(M, Opts);
-  return Mch.run();
+  ExecResult R = Mch.run();
+  EngineMetrics &EM = engineMetrics(Opts.Engine);
+  EM.Runs.inc();
+  EM.Steps.inc(R.Counters.Total);
+  if (!R.Ok)
+    EM.Faults.inc();
+  return R;
 }

@@ -130,6 +130,9 @@ public:
   /// Number of functions with native code (diagnostics only).
   size_t compiledCount() const;
 
+  /// Bytes of emitted machine code (the executable mapping's used size).
+  size_t codeBytes() const { return Size; }
+
 private:
   friend std::unique_ptr<JitModule>
   jitCompileModule(const DecodedModule &DM, const JitExternals &Ext);

@@ -3,7 +3,7 @@
 #include "obs/Remark.h"
 
 #include "ir/Module.h"
-#include "support/Format.h"
+#include "support/Json.h"
 
 #include <sstream>
 

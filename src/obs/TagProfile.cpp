@@ -6,6 +6,7 @@
 #include "analysis/LoopInfo.h"
 #include "ir/Module.h"
 #include "support/Format.h"
+#include "support/Json.h"
 
 #include <algorithm>
 #include <sstream>

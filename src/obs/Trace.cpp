@@ -4,6 +4,7 @@
 
 #include "driver/PassTiming.h"
 #include "support/Format.h"
+#include "support/Json.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>

@@ -32,45 +32,6 @@ std::string rpcc::fixed(double V, int Decimals) {
   return Buf;
 }
 
-std::string rpcc::jsonEscape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size());
-  for (unsigned char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\r':
-      Out += "\\r";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    case '\b':
-      Out += "\\b";
-      break;
-    case '\f':
-      Out += "\\f";
-      break;
-    default:
-      if (C < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out.push_back(static_cast<char>(C));
-      }
-    }
-  }
-  return Out;
-}
-
 TextTable::TextTable(std::vector<std::string> Header) {
   Rows.push_back(std::move(Header));
 }

@@ -29,13 +29,6 @@ std::string withCommasSigned(int64_t N);
 /// Formats \p V with \p Decimals fractional digits (no locale dependence).
 std::string fixed(double V, int Decimals);
 
-/// Escapes \p S for inclusion inside a JSON string literal: quotes,
-/// backslashes, and control characters become their \-sequences. Every JSON
-/// emitter in the tree (timing, remarks, profile, trace) must route string
-/// data through this so arbitrary pass/file/tag names cannot corrupt the
-/// output.
-std::string jsonEscape(const std::string &S);
-
 /// A minimal plain-text table writer producing aligned columns, in the style
 /// of the paper's Figures 5-7.
 class TextTable {

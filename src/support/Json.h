@@ -1,0 +1,30 @@
+//===- support/Json.h - JSON string escaping --------------------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one JSON string escaper shared by every emitter in the tree (timing,
+/// remarks, profile, trace, job log, metrics, bench reports). All string
+/// data must route through it so arbitrary pass/file/tag names cannot
+/// corrupt the output: quotes and backslashes become their two-character
+/// escapes, and every control character below 0x20 — not just the common
+/// ones — is emitted as \uXXXX (or its short form where JSON has one).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_SUPPORT_JSON_H
+#define RPCC_SUPPORT_JSON_H
+
+#include <string>
+
+namespace rpcc {
+
+/// Escapes \p S for inclusion inside a JSON string literal.
+std::string jsonEscape(const std::string &S);
+
+} // namespace rpcc
+
+#endif // RPCC_SUPPORT_JSON_H

@@ -208,16 +208,19 @@ SandboxResult runOnce(const SandboxJob &Job, const SandboxOptions &Opts) {
     ::kill(Pid, SIGKILL);
 
   int WStatus = 0;
+  struct rusage Ru = {};
   for (;;) {
-    if (::waitpid(Pid, &WStatus, 0) >= 0)
+    if (::wait4(Pid, &WStatus, 0, &Ru) >= 0)
       break;
     if (errno == EINTR)
       continue;
-    R.Error = std::string("sandbox: waitpid failed: ") + std::strerror(errno);
+    R.Error = std::string("sandbox: wait4 failed: ") + std::strerror(errno);
     R.WallMillis = nowMs() - T0;
     return R;
   }
   R.WallMillis = nowMs() - T0;
+  R.CpuMillis = (Ru.ru_utime.tv_sec + Ru.ru_stime.tv_sec) * 1e3 +
+                (Ru.ru_utime.tv_usec + Ru.ru_stime.tv_usec) / 1e3;
 
   if (DeadlineKill) {
     R.Status = SandboxStatus::Timeout;

@@ -95,6 +95,9 @@ struct SandboxResult {
   int Signal = 0;
   /// Wall time of the final attempt, in milliseconds.
   double WallMillis = 0;
+  /// CPU time (user + system) the child actually consumed, in milliseconds,
+  /// from wait4's rusage; 0 when the child was never reaped.
+  double CpuMillis = 0;
   /// Attempts consumed (1 = first try succeeded in reaching a verdict).
   unsigned Attempts = 0;
 

@@ -2,7 +2,10 @@
 
 #include "support/ThreadPool.h"
 
+#include "obs/Metrics.h"
+
 #include <atomic>
+#include <string>
 
 using namespace rpcc;
 
@@ -10,6 +13,36 @@ namespace {
 /// 0 outside pool workers; workers are numbered from 1 so the main thread
 /// keeps a distinct trace track.
 thread_local int CurrentWorkerId = 0;
+
+/// Pool metric handles. Queue/wait/run metrics are Volatile — with
+/// --jobs=1 no pool task ever exists, so they cannot be compared across
+/// job counts. parallelFor's per-item metrics are counted symmetrically in
+/// the inline and worker paths, which makes pool.items jobs-invariant
+/// (Stable) and pool.item_us population-deterministic (CountStable).
+struct PoolMetrics {
+  Gauge QueueDepth;
+  Histogram TaskWaitUs, TaskRunUs, ItemUs;
+  Counter Items;
+  PoolMetrics() {
+    auto &R = MetricsRegistry::global();
+    QueueDepth = R.gauge("pool.queue_depth", {}, MetricStability::Volatile,
+                         "ops", "Tasks currently sitting in pool queues.");
+    TaskWaitUs = R.histogram("pool.task_wait_us", {},
+                             MetricStability::Volatile, "us",
+                             "Queue residency of pool tasks.");
+    TaskRunUs = R.histogram("pool.task_run_us", {}, MetricStability::Volatile,
+                            "us", "Execution time of pool tasks.");
+    Items = R.counter("pool.items", {}, MetricStability::Stable, "ops",
+                      "parallelFor iterations executed (inline or pooled).");
+    ItemUs = R.histogram("pool.item_us", {}, MetricStability::CountStable,
+                         "us", "Execution time of parallelFor iterations.");
+  }
+};
+
+PoolMetrics &poolMetrics() {
+  static PoolMetrics M;
+  return M;
+}
 } // namespace
 
 int ThreadPool::currentWorker() { return CurrentWorkerId; }
@@ -58,9 +91,10 @@ void ThreadPool::submit(std::function<void()> Task) {
   }
   {
     std::lock_guard<std::mutex> L(Mu);
-    Queue.push_back(std::move(Task));
+    Queue.push_back({std::move(Task), metricsNowUs()});
     ++Pending;
   }
+  poolMetrics().QueueDepth.add(1);
   HaveWork.notify_one();
 }
 
@@ -78,8 +112,13 @@ void ThreadPool::wait() {
 
 void ThreadPool::workerLoop(int WorkerId) {
   CurrentWorkerId = WorkerId;
+  PoolMetrics &PM = poolMetrics();
+  Counter Busy = MetricsRegistry::global().counter(
+      "pool.worker_busy_us", {{"worker", std::to_string(WorkerId)}},
+      MetricStability::Volatile, "us",
+      "Time this worker spent running tasks (utilization numerator).");
   for (;;) {
-    std::function<void()> Task;
+    QueuedTask Task;
     {
       std::unique_lock<std::mutex> L(Mu);
       HaveWork.wait(L, [this] { return Stopping || !Queue.empty(); });
@@ -88,7 +127,13 @@ void ThreadPool::workerLoop(int WorkerId) {
       Task = std::move(Queue.front());
       Queue.pop_front();
     }
-    runTask(Task);
+    PM.QueueDepth.add(-1);
+    uint64_t Start = metricsNowUs();
+    PM.TaskWaitUs.observe(Start - Task.EnqueuedUs);
+    runTask(Task.Fn);
+    uint64_t RunUs = metricsNowUs() - Start;
+    PM.TaskRunUs.observe(RunUs);
+    Busy.inc(RunUs);
     {
       std::lock_guard<std::mutex> L(Mu);
       if (--Pending == 0)
@@ -101,11 +146,20 @@ void rpcc::parallelFor(unsigned Jobs, size_t N,
                        const std::function<void(size_t)> &Body) {
   if (N == 0)
     return;
+  // Per-item accounting is identical in the inline and pooled paths so the
+  // item counter does not depend on Jobs.
+  PoolMetrics &PM = poolMetrics();
+  auto RunOne = [&](size_t I) {
+    uint64_t T0 = metricsNowUs();
+    Body(I);
+    PM.ItemUs.observe(metricsNowUs() - T0);
+    PM.Items.inc();
+  };
   unsigned Workers =
       Jobs > N ? static_cast<unsigned>(N) : Jobs;
   if (Workers <= 1) {
     for (size_t I = 0; I != N; ++I)
-      Body(I);
+      RunOne(I);
     return;
   }
 
@@ -124,7 +178,7 @@ void rpcc::parallelFor(unsigned Jobs, size_t N,
         if (I >= N)
           return;
         try {
-          Body(I);
+          RunOne(I);
         } catch (...) {
           {
             std::lock_guard<std::mutex> L(ErrMu);

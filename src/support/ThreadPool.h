@@ -21,6 +21,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -69,10 +70,17 @@ private:
   void workerLoop(int WorkerId);
   void runTask(std::function<void()> &Task);
 
+  /// A queued task plus its enqueue timestamp, so workers can report how
+  /// long it sat in the queue (the pool.task_wait_us metric).
+  struct QueuedTask {
+    std::function<void()> Fn;
+    uint64_t EnqueuedUs;
+  };
+
   std::mutex Mu;
   std::condition_variable HaveWork; ///< signalled on submit and shutdown
   std::condition_variable AllDone;  ///< signalled when Pending hits zero
-  std::deque<std::function<void()>> Queue;
+  std::deque<QueuedTask> Queue;
   size_t Pending = 0; ///< queued + currently running tasks
   bool Stopping = false;
   std::exception_ptr FirstError;

@@ -9,8 +9,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Compiler.h"
+#include "driver/JobRunner.h"
 #include "driver/PassTiming.h"
 #include "driver/SuiteRunner.h"
+#include "obs/Metrics.h"
 #include "obs/Remark.h"
 #include "obs/TagProfile.h"
 #include "obs/Trace.h"
@@ -19,6 +21,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <thread>
 #include <tuple>
 
 using namespace rpcc;
@@ -375,6 +378,234 @@ TEST(SuiteObs, CellsCollectRemarksAndProfile) {
   EXPECT_NE(PR.R[1][1].RemarksJson.find(
                 "{\"program\":\"dhrystone\",\"cell\":\"pointer/with\""),
             std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics registry
+//===----------------------------------------------------------------------===//
+
+/// Finds the sample with this exact (name, labels) pair; fails if absent.
+const MetricSample *findSample(const std::vector<MetricSample> &Samples,
+                               const std::string &Name,
+                               const MetricLabels &Labels = {}) {
+  for (const MetricSample &S : Samples)
+    if (S.Name == Name && S.Labels == Labels)
+      return &S;
+  return nullptr;
+}
+
+TEST(Metrics, BucketBoundaries) {
+  // Bucket 0 holds only zero; bucket k in [1,64] holds [2^(k-1), 2^k).
+  EXPECT_EQ(metricBucketFor(0), 0u);
+  EXPECT_EQ(metricBucketFor(1), 1u);
+  EXPECT_EQ(metricBucketFor(2), 2u);
+  EXPECT_EQ(metricBucketFor(3), 2u);
+  EXPECT_EQ(metricBucketFor(4), 3u);
+  EXPECT_EQ(metricBucketFor(7), 3u);
+  EXPECT_EQ(metricBucketFor(8), 4u);
+  for (unsigned K = 1; K != 64; ++K) {
+    EXPECT_EQ(metricBucketFor(uint64_t(1) << K), K + 1) << "2^" << K;
+    EXPECT_EQ(metricBucketFor((uint64_t(1) << K) - 1), K) << "2^" << K
+                                                          << " - 1";
+  }
+  EXPECT_EQ(metricBucketFor(uint64_t(1) << 63), 64u);
+  EXPECT_EQ(metricBucketFor(UINT64_MAX), 64u);
+}
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  MetricsRegistry &R = MetricsRegistry::global();
+  Counter C = R.counter("test.basics_count", {}, MetricStability::Stable,
+                        "ops", "test");
+  Gauge G = R.gauge("test.basics_gauge", {}, MetricStability::Stable, "ops",
+                    "test");
+  Histogram H = R.histogram("test.basics_hist", {}, MetricStability::Stable,
+                            "us", "test");
+  // Re-registering the same (name, labels) must alias the same metric.
+  Counter C2 = R.counter("test.basics_count", {}, MetricStability::Stable,
+                         "ops", "test");
+  C.inc();
+  C.inc(41);
+  C2.inc();
+  G.add(10);
+  G.add(-3);
+  H.observe(0);
+  H.observe(1);
+  H.observe(1000);
+
+  std::vector<MetricSample> S = R.snapshot();
+  const MetricSample *SC = findSample(S, "test.basics_count");
+  ASSERT_NE(SC, nullptr);
+  EXPECT_EQ(SC->Value, 43);
+  const MetricSample *SG = findSample(S, "test.basics_gauge");
+  ASSERT_NE(SG, nullptr);
+  EXPECT_EQ(SG->Value, 7);
+  const MetricSample *SH = findSample(S, "test.basics_hist");
+  ASSERT_NE(SH, nullptr);
+  EXPECT_EQ(SH->Count, 3u);
+  EXPECT_EQ(SH->Sum, 1001u);
+  EXPECT_EQ(SH->Buckets[0], 1u);
+  EXPECT_EQ(SH->Buckets[1], 1u);
+  EXPECT_EQ(SH->Buckets[metricBucketFor(1000)], 1u);
+  uint64_t BucketSum = 0;
+  for (uint64_t B : SH->Buckets)
+    BucketSum += B;
+  EXPECT_EQ(BucketSum, SH->Count);
+
+  // The snapshot is sorted by (name, labels) — the exposition invariant.
+  for (size_t I = 1; I < S.size(); ++I)
+    EXPECT_LE(S[I - 1].Name, S[I].Name);
+
+  // reset() zeroes values but keeps registrations and live handles.
+  R.reset();
+  C.inc(5);
+  S = R.snapshot();
+  SC = findSample(S, "test.basics_count");
+  ASSERT_NE(SC, nullptr);
+  EXPECT_EQ(SC->Value, 5);
+  SH = findSample(S, "test.basics_hist");
+  ASSERT_NE(SH, nullptr);
+  EXPECT_EQ(SH->Count, 0u);
+  EXPECT_EQ(SH->Sum, 0u);
+}
+
+TEST(Metrics, NullHandlesAreNoOps) {
+  Counter C;
+  Gauge G;
+  Histogram H;
+  C.inc();
+  G.add(1);
+  H.observe(1); // must not crash
+}
+
+// The TSan target: many threads hammering the same handles through the
+// sharded storage must lose no increments and produce exact totals.
+TEST(Metrics, ConcurrentIncrementHammer) {
+  MetricsRegistry &R = MetricsRegistry::global();
+  Counter C = R.counter("test.hammer_count", {}, MetricStability::Stable,
+                        "ops", "test");
+  Histogram H = R.histogram("test.hammer_hist", {}, MetricStability::Stable,
+                            "us", "test");
+  constexpr int Threads = 8;
+  constexpr uint64_t PerThread = 20000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T != Threads; ++T)
+    Ts.emplace_back([&C, &H, T] {
+      for (uint64_t I = 0; I != PerThread; ++I) {
+        C.inc();
+        H.observe(static_cast<uint64_t>(T));
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+
+  std::vector<MetricSample> S = R.snapshot();
+  const MetricSample *SC = findSample(S, "test.hammer_count");
+  ASSERT_NE(SC, nullptr);
+  EXPECT_EQ(SC->Value, static_cast<int64_t>(Threads * PerThread));
+  const MetricSample *SH = findSample(S, "test.hammer_hist");
+  ASSERT_NE(SH, nullptr);
+  EXPECT_EQ(SH->Count, Threads * PerThread);
+  uint64_t BucketSum = 0;
+  for (uint64_t B : SH->Buckets)
+    BucketSum += B;
+  EXPECT_EQ(BucketSum, SH->Count);
+}
+
+TEST(Metrics, ExpositionShapes) {
+  MetricsRegistry &R = MetricsRegistry::global();
+  R.reset();
+  Counter C = R.counter("test.expo_count", {{"who", "me"}},
+                        MetricStability::Stable, "ops", "an \"escaped\" help");
+  Histogram H = R.histogram("test.expo_hist", {}, MetricStability::Stable,
+                            "us", "test");
+  C.inc(3);
+  H.observe(5);
+  std::vector<MetricSample> S = R.snapshot();
+
+  std::string Json = metricsToJson(S, 12.5);
+  EXPECT_NE(Json.find("\"schema\":\"metrics\""), std::string::npos);
+  EXPECT_NE(Json.find("\"wall_ms\":12.500"), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"test.expo_count\""), std::string::npos);
+  EXPECT_NE(Json.find("\"labels\":{\"who\":\"me\"}"), std::string::npos);
+  EXPECT_NE(Json.find("an \\\"escaped\\\" help"), std::string::npos);
+
+  std::string Prom = metricsToProm(S);
+  EXPECT_NE(Prom.find("# TYPE rpcc_test_expo_count counter"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("rpcc_test_expo_count{who=\"me\"} 3"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("rpcc_test_expo_hist_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("rpcc_test_expo_hist_count 1"), std::string::npos);
+
+  std::string Canon = metricsCanon(S);
+  EXPECT_NE(Canon.find("test.expo_count{who=me} 3"), std::string::npos);
+  EXPECT_NE(Canon.find("test.expo_hist count=1 sum=5 buckets=3:1"),
+            std::string::npos);
+}
+
+// Two runs of the same suite workload — serial and parallel — must project
+// to identical canon strings, the metrics mirror of the rpjson trace canon.
+TEST(Metrics, SuiteCanonIsJobsIndependent) {
+  MetricsRegistry &R = MetricsRegistry::global();
+  SuiteOptions Opts;
+  std::string Canon[2];
+  for (int Leg = 0; Leg != 2; ++Leg) {
+    R.reset();
+    Opts.Jobs = Leg ? 4 : 1;
+    std::vector<ProgramResults> All = runSuite({"tsp"}, Opts);
+    for (const ProgramResults &PR : All)
+      for (int A = 0; A != 2; ++A)
+        for (int P = 0; P != 2; ++P)
+          ASSERT_TRUE(PR.R[A][P].Ok) << PR.R[A][P].Error;
+    Canon[Leg] = metricsCanon(R.snapshot());
+  }
+  EXPECT_EQ(Canon[0], Canon[1]);
+  EXPECT_NE(Canon[0].find("suite.cells 4"), std::string::npos) << Canon[0];
+  EXPECT_NE(Canon[0].find("pool.items 4"), std::string::npos) << Canon[0];
+  R.reset();
+}
+
+// The acceptance invariant: jobs.outcome counters partition exactly like
+// the JobLog's status taxonomy — every logged record is counted once under
+// its final status, sandboxed or inline.
+TEST(Metrics, JobOutcomeCountersMatchJobLog) {
+  MetricsRegistry &R = MetricsRegistry::global();
+  R.reset();
+  JobLog Log;
+  JobOptions Opts;
+  Opts.Log = &Log;
+
+  Opts.Name = "inline-ok";
+  runJob([](std::string &) { return true; }, Opts);
+  Opts.Name = "inline-trap";
+  runJob([](std::string &) { return false; }, Opts);
+#ifndef _WIN32
+  Opts.Name = "sandbox-ok";
+  Opts.Sandbox = true;
+  Opts.Limits.WallSeconds = 30;
+  runJob([](std::string &) { return true; }, Opts);
+#endif
+
+  std::vector<MetricSample> S = R.snapshot();
+  std::vector<JobRecord> Records = Log.records();
+  // Per-status counts match the log exactly...
+  for (SandboxStatus St :
+       {SandboxStatus::Ok, SandboxStatus::Trap, SandboxStatus::Timeout,
+        SandboxStatus::Oom, SandboxStatus::Crash,
+        SandboxStatus::InternalError}) {
+    int64_t Logged = 0;
+    for (const JobRecord &Rec : Records)
+      Logged += Rec.Status == St;
+    const MetricSample *Sample = findSample(
+        S, "jobs.outcome", {{"status", sandboxStatusName(St)}});
+    ASSERT_NE(Sample, nullptr) << sandboxStatusName(St);
+    EXPECT_EQ(Sample->Value, Logged) << sandboxStatusName(St);
+  }
+  // ... so the label sums do too.
+  EXPECT_EQ(metricsValue(S, "jobs.outcome"),
+            static_cast<int64_t>(Records.size()));
+  R.reset();
 }
 
 } // namespace

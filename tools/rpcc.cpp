@@ -19,6 +19,7 @@
 #include "driver/Compiler.h"
 #include "driver/SuiteRunner.h"
 #include "ir/IRPrinter.h"
+#include "obs/Metrics.h"
 #include "obs/Remark.h"
 #include "obs/TagProfile.h"
 #include "obs/Trace.h"
@@ -92,6 +93,15 @@ void usage() {
       "  --trace FILE               write a Chrome trace-event JSON file\n"
       "                             covering compile passes and suite "
       "cells\n"
+      "  --metrics-json FILE        write the runtime metrics registry\n"
+      "                             (counters/gauges/histograms) as JSON;\n"
+      "                             name-sorted, rpjson 'metrics' schema\n"
+      "  --metrics-prom FILE        same registry in Prometheus text\n"
+      "                             exposition format (rpjson 'prom' lints "
+      "it)\n"
+      "  --heartbeat=SECS           print a one-line progress summary to\n"
+      "                             stderr every SECS seconds (cells done,\n"
+      "                             cache hit %%, worker utilization)\n"
       "\n"
       "suite mode (no input file):\n"
       "  --suite                    run the 14-program suite through the "
@@ -177,6 +187,9 @@ struct ObsOptions {
   bool ProfileTags = false;    ///< hot-tag + explain reports on stderr
   std::string ProfileJsonFile; ///< "" = off
   std::string TraceFile;       ///< "" = off
+  std::string MetricsJsonFile; ///< "" = off
+  std::string MetricsPromFile; ///< "" = off
+  unsigned HeartbeatSecs = 0;  ///< 0 = off
 
   bool wantRemarks() const { return Remarks || !RemarksJsonFile.empty(); }
   bool wantProfile() const {
@@ -225,6 +238,8 @@ int runSuiteMode(unsigned Jobs, const TimingOptions &Timing,
                  const std::vector<std::string> &Programs,
                  const ObsOptions &Obs, InterpEngine Engine,
                  bool UseCompileCache, const SandboxCliOptions &SB) {
+  double MetricsT0 = timingNowMs();
+  Heartbeat HB(Obs.HeartbeatSecs, "rpcc");
   SuiteOptions Opts;
   Opts.Jobs = Jobs;
   Opts.UseCompileCache = UseCompileCache;
@@ -246,6 +261,7 @@ int runSuiteMode(unsigned Jobs, const TimingOptions &Timing,
   }
 
   std::vector<ProgramResults> All = runSuite(Programs, Opts);
+  HB.stop(); // progress is done; quiesce before snapshots and exports
 
   bool AnyFailed = false;
   bool AnyCrash = false, AnyOom = false, AnyTimeout = false;
@@ -317,13 +333,26 @@ int runSuiteMode(unsigned Jobs, const TimingOptions &Timing,
   if (!Obs.TraceFile.empty())
     WriteFailed |= !writeOutputFile(Obs.TraceFile, Trace.toJson());
 
+  std::vector<MetricSample> Samples = MetricsRegistry::global().snapshot();
   if (Opts.CollectTiming) {
     TimingReport Total;
     for (const ProgramResults &PR : All)
       Total.merge(PR.Timing);
+    Total.PoolItems =
+        static_cast<uint64_t>(metricsValue(Samples, "pool.items"));
+    uint64_t ItemCount = 0, ItemUs = 0;
+    metricsHistTotals(Samples, "pool.item_us", ItemCount, ItemUs);
+    Total.PoolBusyMillis = static_cast<double>(ItemUs) / 1e3;
     WriteFailed |= !reportTiming(
         Total, Timing, SB.Enabled ? Log.toJsonArray() : std::string());
   }
+  if (!Obs.MetricsJsonFile.empty())
+    WriteFailed |= !writeOutputFile(
+        Obs.MetricsJsonFile,
+        metricsToJson(Samples, timingNowMs() - MetricsT0));
+  if (!Obs.MetricsPromFile.empty())
+    WriteFailed |=
+        !writeOutputFile(Obs.MetricsPromFile, metricsToProm(Samples));
   if (WriteFailed)
     return 4;
   // A dead child is the most actionable verdict, so its severity outranks
@@ -401,7 +430,9 @@ int main(int argc, char **argv) {
       std::string *Dest;
     } FileFlags[] = {{"--remarks-json", &Obs.RemarksJsonFile},
                      {"--profile-json", &Obs.ProfileJsonFile},
-                     {"--trace", &Obs.TraceFile}};
+                     {"--trace", &Obs.TraceFile},
+                     {"--metrics-json", &Obs.MetricsJsonFile},
+                     {"--metrics-prom", &Obs.MetricsPromFile}};
     int VF = 0;
     for (const auto &FF : FileFlags)
       if ((VF = matchValueFlag(argc, argv, I, FF.Name, *FF.Dest)) != 0) {
@@ -490,6 +521,12 @@ int main(int argc, char **argv) {
       if (!parseUnsigned(A + 15, SB.WallSeconds) || SB.WallSeconds == 0) {
         std::fprintf(stderr, "error: bad --sandbox-wall value '%s'\n",
                      A + 15);
+        return 3;
+      }
+    } else if (std::strncmp(A, "--heartbeat=", 12) == 0) {
+      if (!parseUnsigned(A + 12, Obs.HeartbeatSecs) ||
+          Obs.HeartbeatSecs == 0) {
+        std::fprintf(stderr, "error: bad --heartbeat value '%s'\n", A + 12);
         return 3;
       }
     } else if (std::strncmp(A, "--sandbox-mem=", 14) == 0) {
@@ -612,6 +649,27 @@ int main(int argc, char **argv) {
   if (Obs.wantProfile())
     Run = true;
 
+  // Metrics lifecycle for the single-file path: the heartbeat (if any)
+  // starts before compilation and its destructor quiesces it on every
+  // return; FlushMetrics stops it explicitly and writes the exports on the
+  // main exits. Error paths that already return 4 on a failed write skip
+  // the export — the same filesystem would fail it anyway.
+  double MetricsT0 = timingNowMs();
+  Heartbeat HB(Obs.HeartbeatSecs, "rpcc");
+  auto FlushMetrics = [&]() -> bool {
+    HB.stop();
+    if (Obs.MetricsJsonFile.empty() && Obs.MetricsPromFile.empty())
+      return true;
+    std::vector<MetricSample> S = MetricsRegistry::global().snapshot();
+    bool Ok = true;
+    if (!Obs.MetricsJsonFile.empty())
+      Ok &= writeOutputFile(Obs.MetricsJsonFile,
+                            metricsToJson(S, timingNowMs() - MetricsT0));
+    if (!Obs.MetricsPromFile.empty())
+      Ok &= writeOutputFile(Obs.MetricsPromFile, metricsToProm(S));
+    return Ok;
+  };
+
   RemarkEngine Remarks;
   if (Obs.wantRemarks() || Obs.wantProfile())
     Cfg.Remarks = &Remarks;
@@ -628,6 +686,7 @@ int main(int argc, char **argv) {
                  Out.Errors.c_str());
     if (!Obs.TraceFile.empty())
       writeOutputFile(Obs.TraceFile, Trace.toJson());
+    FlushMetrics();
     return 1;
   }
 
@@ -713,6 +772,7 @@ int main(int argc, char **argv) {
       return 4;
     if (!R.Ok) {
       std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
+      FlushMetrics();
       return 1;
     }
     if (Obs.ProfileTags) {
@@ -750,12 +810,16 @@ int main(int argc, char **argv) {
         }
       }
     }
+    if (!FlushMetrics())
+      return 4;
     return static_cast<int>(R.ExitCode & 0xFF);
   }
   if (Cfg.CollectTiming && !reportTiming(Out.Timing, Timing))
     return 4;
   if (!Obs.TraceFile.empty() &&
       !writeOutputFile(Obs.TraceFile, Trace.toJson()))
+    return 4;
+  if (!FlushMetrics())
     return 4;
   return 0;
 }

@@ -25,6 +25,7 @@
 #include "fuzz/DifferentialOracle.h"
 #include "fuzz/ProgramGenerator.h"
 #include "fuzz/Reducer.h"
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
 
 #include <cstdio>
@@ -60,6 +61,13 @@ void usage() {
       "                      prefix; verdicts are identical either way\n"
       "  --trace=FILE        write a Chrome trace-event JSON file with one\n"
       "                      span per seed (track = worker thread)\n"
+      "  --metrics-json=FILE write the runtime metrics registry (seeds,\n"
+      "                      fail classes, pool/cache/job health) as JSON\n"
+      "  --metrics-prom=FILE same registry in Prometheus text exposition\n"
+      "                      format\n"
+      "  --heartbeat=S       print a one-line progress summary (seeds/sec,\n"
+      "                      cache hit %%, busy workers) to stderr every S\n"
+      "                      seconds\n"
       "\n"
       "sandboxing (fail-soft seed checking):\n"
       "  --sandbox           check every seed in a forked child; a crashing,\n"
@@ -195,6 +203,8 @@ int main(int argc, char **argv) {
   uint64_t EmitSeedVal = 0;
   uint64_t Jobs = 1;
   std::string TraceFile;
+  std::string MetricsJsonFile, MetricsPromFile;
+  uint64_t HeartbeatSecs = 0;
   InterpEngine Engine = DefaultInterpEngine;
 
   for (int I = 1; I < argc; ++I) {
@@ -283,6 +293,24 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "error: --trace= needs a file\n");
         return 3;
       }
+    } else if (std::strncmp(A, "--metrics-json=", 15) == 0) {
+      MetricsJsonFile = A + 15;
+      if (MetricsJsonFile.empty()) {
+        std::fprintf(stderr, "error: --metrics-json= needs a file\n");
+        return 3;
+      }
+    } else if (std::strncmp(A, "--metrics-prom=", 15) == 0) {
+      MetricsPromFile = A + 15;
+      if (MetricsPromFile.empty()) {
+        std::fprintf(stderr, "error: --metrics-prom= needs a file\n");
+        return 3;
+      }
+    } else if (std::strncmp(A, "--heartbeat=", 12) == 0) {
+      if (!parseU64(A + 12, HeartbeatSecs) || HeartbeatSecs == 0 ||
+          HeartbeatSecs > 0xFFFFFFFFu) {
+        std::fprintf(stderr, "error: bad --heartbeat value '%s'\n", A + 12);
+        return 3;
+      }
     } else if (std::strncmp(A, "--reduce=", 9) == 0) {
       ReducePath = A + 9;
     } else if (std::strncmp(A, "--predicate=", 12) == 0) {
@@ -315,7 +343,13 @@ int main(int argc, char **argv) {
   TraceCollector Trace;
   if (!TraceFile.empty())
     Campaign.Trace = &Trace;
-  CampaignResult R = runCampaign(Campaign, stderr);
+  uint64_t MetricsT0 = metricsNowUs();
+  CampaignResult R;
+  {
+    // Scoped so the heartbeat thread quiesces before any export snapshot.
+    Heartbeat HB(static_cast<unsigned>(HeartbeatSecs), "rpfuzz");
+    R = runCampaign(Campaign, stderr);
+  }
   if (!TraceFile.empty()) {
     std::ofstream Out(TraceFile, std::ios::binary);
     if (!Out) {
@@ -323,6 +357,28 @@ int main(int argc, char **argv) {
       return 4;
     }
     Out << Trace.toJson();
+  }
+  if (!MetricsJsonFile.empty() || !MetricsPromFile.empty()) {
+    std::vector<MetricSample> Samples = MetricsRegistry::global().snapshot();
+    struct {
+      const std::string *Path;
+      std::string Body;
+    } Exports[] = {
+        {&MetricsJsonFile,
+         metricsToJson(Samples, static_cast<double>(metricsNowUs() -
+                                                    MetricsT0) /
+                                    1e3)},
+        {&MetricsPromFile, metricsToProm(Samples)}};
+    for (const auto &E : Exports) {
+      if (E.Path->empty())
+        continue;
+      std::ofstream Out(*E.Path, std::ios::binary);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write %s\n", E.Path->c_str());
+        return 4;
+      }
+      Out << E.Body;
+    }
   }
   // A dead worker is the most actionable verdict: its severity outranks the
   // generic failing-seed exit. 5 crash > 7 oom > 6 timeout, then 1.

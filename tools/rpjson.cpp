@@ -18,15 +18,27 @@
 //                          skeleton: volatile fields (ts/dur/tid) removed,
 //                          events sorted — byte-comparable across runs and
 //                          worker counts
+//   rpjson metrics FILE    metrics registry object (--metrics-json)
+//   rpjson prom FILE       Prometheus text exposition (--metrics-prom):
+//                          HELP/TYPE discipline, name charset, monotone
+//                          cumulative histogram buckets
+//   rpjson metrics-canon FILE
+//                          print a metrics file's deterministic skeleton:
+//                          volatile metrics dropped, count-stable
+//                          histograms reduced to their count —
+//                          byte-comparable across runs and worker counts
 //
 // Exit codes: 0 valid, 1 invalid or unreadable input, 2 usage error.
 //
 //===----------------------------------------------------------------------===//
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -567,6 +579,8 @@ int checkTiming(const std::string &Text) {
   C.need(V, "timing", "suffix_ms", JValue::Number);
   C.need(V, "timing", "cache_hits", JValue::Number);
   C.need(V, "timing", "cache_misses", JValue::Number);
+  C.need(V, "timing", "pool_items", JValue::Number);
+  C.need(V, "timing", "pool_busy_ms", JValue::Number);
   C.need(V, "timing", "engine", JValue::String);
   // "jobs" is optional: present only for sandboxed runs (a JobLog
   // rendering), absent — not empty — otherwise.
@@ -616,11 +630,391 @@ int checkTiming(const std::string &Text) {
   return finish(C, "timing", Passes ? Passes->Items.size() : 0);
 }
 
+//===----------------------------------------------------------------------===//
+// Metrics registry JSON (--metrics-json)
+//===----------------------------------------------------------------------===//
+
+/// Registry metric names: lowercase dotted words, e.g. "pool.task_wait_us".
+bool validMetricName(const std::string &N) {
+  if (N.empty() || !(N[0] >= 'a' && N[0] <= 'z'))
+    return false;
+  for (char C : N)
+    if (!((C >= 'a' && C <= 'z') || (C >= '0' && C <= '9') || C == '.' ||
+          C == '_'))
+      return false;
+  return true;
+}
+
+/// Renders a parsed JSON number the way the emitter wrote it: integers
+/// without a decimal point (every registry value is a uint64 that survives
+/// the double round-trip), anything else via %g.
+std::string renderNum(const JValue *V) {
+  if (!V)
+    return "?";
+  long long N = static_cast<long long>(V->Num);
+  if (static_cast<double>(N) == V->Num)
+    return std::to_string(N);
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%g", V->Num);
+  return Buf;
+}
+
+int checkMetrics(const std::string &Text, bool Canon) {
+  JValue V;
+  if (int Rc = parseWholeFile(Text, "metrics", V))
+    return Rc;
+  Checker C;
+  const JValue *F = nullptr;
+  if (C.need(V, "metrics", "schema", JValue::String, &F) &&
+      F->Str != "metrics")
+    C.problem("metrics", "schema must be \"metrics\"");
+  C.need(V, "metrics", "wall_ms", JValue::Number);
+  const JValue *List = nullptr;
+  C.need(V, "metrics", "metrics", JValue::Array, &List);
+  std::string PrevKey;
+  std::vector<std::string> CanonLines;
+  if (List)
+    for (size_t I = 0; I != List->Items.size(); ++I) {
+      std::ostringstream WS;
+      WS << "metric " << I;
+      std::string Where = WS.str();
+      const JValue &M = List->Items[I];
+      if (M.K != JValue::Object) {
+        C.problem(Where, "not an object");
+        continue;
+      }
+      const JValue *Name = nullptr, *Labels = nullptr;
+      const JValue *Kind = nullptr, *Stab = nullptr;
+      if (C.need(M, Where, "name", JValue::String, &Name) &&
+          !validMetricName(Name->Str))
+        C.problem(Where, "name '" + Name->Str +
+                             "' has characters outside [a-z0-9._]");
+      std::string LabelsFlat;
+      if (C.need(M, Where, "labels", JValue::Object, &Labels))
+        for (const auto &KV : Labels->Members) {
+          if (KV.second.K != JValue::String)
+            C.problem(Where, "label '" + KV.first + "' is not a string");
+          else
+            LabelsFlat += "\x1f" + KV.first + "=" + KV.second.Str;
+        }
+      if (C.need(M, Where, "kind", JValue::String, &Kind))
+        C.oneOf(Where, "kind", Kind->Str,
+                {"counter", "gauge", "histogram"});
+      if (C.need(M, Where, "stability", JValue::String, &Stab))
+        C.oneOf(Where, "stability", Stab->Str,
+                {"stable", "count-stable", "volatile"});
+      C.need(M, Where, "unit", JValue::String);
+      C.need(M, Where, "help", JValue::String);
+      if (Kind && Kind->Str == "histogram") {
+        const JValue *Count = nullptr, *Buckets = nullptr;
+        C.need(M, Where, "count", JValue::Number, &Count);
+        C.need(M, Where, "sum", JValue::Number);
+        if (C.need(M, Where, "buckets", JValue::Array, &Buckets)) {
+          if (Buckets->Items.size() != 65)
+            C.problem(Where, "buckets must have exactly 65 entries");
+          double Total = 0;
+          bool AllNum = true;
+          for (const JValue &B : Buckets->Items) {
+            if (B.K != JValue::Number || B.Num < 0) {
+              AllNum = false;
+              break;
+            }
+            Total += B.Num;
+          }
+          if (!AllNum)
+            C.problem(Where, "buckets must be non-negative numbers");
+          else if (Count && Total != Count->Num)
+            C.problem(Where, "buckets do not sum to count");
+        }
+      } else if (Kind) {
+        C.need(M, Where, "value", JValue::Number);
+      }
+      // The emitter walks a map keyed (name, labels), so the array must be
+      // strictly sorted by that composite key — this is what makes the
+      // file diffable at all.
+      if (Name) {
+        std::string Key = Name->Str + LabelsFlat;
+        if (I && Key <= PrevKey)
+          C.problem(Where,
+                    "metrics are not sorted by (name, labels), or duplicate");
+        PrevKey = Key;
+      }
+      if (Canon && Name && Stab && Stab->Str != "volatile") {
+        // Mirrors rpcc::metricsCanon: the run-invariant projection.
+        std::string L = Name->Str;
+        if (Labels && !Labels->Members.empty()) {
+          L += "{";
+          bool First = true;
+          for (const auto &KV : Labels->Members) {
+            if (!First)
+              L += ",";
+            First = false;
+            L += KV.first + "=" + KV.second.Str;
+          }
+          L += "}";
+        }
+        if (Kind && Kind->Str == "histogram") {
+          L += " count=" + renderNum(M.field("count"));
+          if (Stab->Str == "stable") {
+            L += " sum=" + renderNum(M.field("sum")) + " buckets=";
+            const JValue *Buckets = M.field("buckets");
+            bool First = true;
+            if (Buckets)
+              for (size_t B = 0; B != Buckets->Items.size(); ++B) {
+                if (Buckets->Items[B].Num == 0)
+                  continue;
+                if (!First)
+                  L += ",";
+                First = false;
+                L += std::to_string(B) + ":" +
+                     renderNum(&Buckets->Items[B]);
+              }
+            if (First)
+              L += "-";
+          }
+        } else {
+          L += " " + renderNum(M.field("value"));
+        }
+        CanonLines.push_back(L);
+      }
+    }
+  if (Canon && C.Problems.empty()) {
+    for (const std::string &L : CanonLines)
+      std::printf("%s\n", L.c_str());
+    return 0;
+  }
+  return finish(C, "metrics", List ? List->Items.size() : 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus text exposition (--metrics-prom)
+//===----------------------------------------------------------------------===//
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+bool validPromName(const std::string &N) {
+  auto Alpha = [](char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_' ||
+           C == ':';
+  };
+  if (N.empty() || !Alpha(N[0]))
+    return false;
+  for (char C : N)
+    if (!Alpha(C) && !(C >= '0' && C <= '9'))
+      return false;
+  return true;
+}
+
+int checkProm(const std::string &Text) {
+  Checker C;
+  std::map<std::string, std::string> Types; ///< family -> TYPE token
+  std::map<std::string, bool> Helped;       ///< family -> HELP seen
+  size_t Samples = 0, LineNo = 0, Pos = 0;
+
+  // Histogram families are checked as a streaming state machine: their
+  // samples are contiguous (_bucket* then _sum then _count), cumulative
+  // bucket counts must be monotone over strictly increasing le bounds, the
+  // last bucket must be le="+Inf", and _count must equal it.
+  struct HistState {
+    std::string Family;
+    double LastLe = 0, LastBucket = 0, InfVal = 0, CountVal = 0;
+    bool HaveBucket = false, SawInf = false, SawSum = false,
+         SawCount = false;
+  } H;
+  auto finishHist = [&]() {
+    if (H.Family.empty())
+      return;
+    std::string Where = "prom family " + H.Family;
+    if (!H.SawInf)
+      C.problem(Where, "histogram has no le=\"+Inf\" bucket");
+    if (!H.SawSum)
+      C.problem(Where, "histogram has no _sum sample");
+    if (!H.SawCount)
+      C.problem(Where, "histogram has no _count sample");
+    else if (H.SawInf && H.CountVal != H.InfVal)
+      C.problem(Where, "_count does not equal the +Inf bucket");
+    H = HistState();
+  };
+
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Text.size();
+    std::string Line = Text.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    ++LineNo;
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    std::ostringstream WS;
+    WS << "prom line " << LineNo;
+    std::string Where = WS.str();
+    if (Line.empty())
+      continue;
+
+    if (Line.compare(0, 7, "# HELP ") == 0 ||
+        Line.compare(0, 7, "# TYPE ") == 0) {
+      bool IsType = Line[2] == 'T';
+      size_t Sp = Line.find(' ', 7);
+      std::string Name =
+          Line.substr(7, Sp == std::string::npos ? std::string::npos
+                                                 : Sp - 7);
+      if (!validPromName(Name))
+        C.problem(Where, "bad metric name '" + Name + "'");
+      if (Sp == std::string::npos || Sp + 1 >= Line.size())
+        C.problem(Where, IsType ? "TYPE without a type" : "HELP without text");
+      else if (IsType) {
+        std::string T = Line.substr(Sp + 1);
+        if (T != "counter" && T != "gauge" && T != "histogram")
+          C.problem(Where, "unknown type '" + T + "'");
+        if (Types.count(Name))
+          C.problem(Where, "duplicate TYPE for '" + Name + "'");
+        Types[Name] = T;
+      } else {
+        if (Helped.count(Name) && Helped[Name])
+          C.problem(Where, "duplicate HELP for '" + Name + "'");
+        Helped[Name] = true;
+      }
+      continue;
+    }
+    if (Line[0] == '#')
+      continue; // other comments are legal and unchecked
+
+    // A sample: name[{labels}] value.
+    size_t NameEnd = Line.find_first_of("{ ");
+    if (NameEnd == std::string::npos) {
+      C.problem(Where, "sample has no value");
+      continue;
+    }
+    std::string Name = Line.substr(0, NameEnd);
+    if (!validPromName(Name))
+      C.problem(Where, "bad metric name '" + Name + "'");
+    std::string Le;
+    bool HasLe = false, BadLabels = false;
+    size_t ValPos = NameEnd;
+    if (Line[NameEnd] == '{') {
+      size_t P = NameEnd + 1;
+      while (P < Line.size() && Line[P] != '}') {
+        size_t Eq = Line.find('=', P);
+        if (Eq == std::string::npos || Eq + 1 >= Line.size() ||
+            Line[Eq + 1] != '"') {
+          C.problem(Where, "malformed label");
+          BadLabels = true;
+          break;
+        }
+        std::string Key = Line.substr(P, Eq - P);
+        std::string Val;
+        size_t Q = Eq + 2;
+        while (Q < Line.size() && Line[Q] != '"') {
+          if (Line[Q] == '\\' && Q + 1 < Line.size()) {
+            Val += Line[Q + 1] == 'n' ? '\n' : Line[Q + 1];
+            Q += 2;
+          } else {
+            Val += Line[Q++];
+          }
+        }
+        if (Q >= Line.size()) {
+          C.problem(Where, "unterminated label value");
+          BadLabels = true;
+          break;
+        }
+        if (Key == "le") {
+          Le = Val;
+          HasLe = true;
+        }
+        P = Q + 1;
+        if (P < Line.size() && Line[P] == ',')
+          ++P;
+      }
+      if (BadLabels)
+        continue;
+      if (P >= Line.size() || Line[P] != '}') {
+        C.problem(Where, "unterminated label set");
+        continue;
+      }
+      ValPos = P + 1;
+    }
+    if (ValPos >= Line.size() || Line[ValPos] != ' ') {
+      C.problem(Where, "sample has no value");
+      continue;
+    }
+    const char *VS = Line.c_str() + ValPos + 1;
+    char *End = nullptr;
+    double Val = std::strtod(VS, &End);
+    if (End == VS || *End) {
+      C.problem(Where, "malformed sample value");
+      continue;
+    }
+    ++Samples;
+
+    // Histogram series samples belong to the base family.
+    std::string Family = Name;
+    for (const char *Suf : {"_bucket", "_sum", "_count"}) {
+      size_t N = std::strlen(Suf);
+      if (Name.size() > N &&
+          Name.compare(Name.size() - N, N, Suf) == 0) {
+        std::string Base = Name.substr(0, Name.size() - N);
+        auto It = Types.find(Base);
+        if (It != Types.end() && It->second == "histogram") {
+          Family = Base;
+          break;
+        }
+      }
+    }
+    if (!Types.count(Family))
+      C.problem(Where, "sample for '" + Family +
+                           "' without a preceding # TYPE");
+    if (!Helped.count(Family) || !Helped[Family])
+      C.problem(Where, "sample for '" + Family +
+                           "' without a preceding # HELP");
+
+    bool IsHist =
+        Types.count(Family) && Types[Family] == "histogram";
+    if (!IsHist || Family != H.Family)
+      finishHist();
+    if (IsHist) {
+      H.Family = Family;
+      if (Name == Family + "_bucket") {
+        if (!HasLe) {
+          C.problem(Where, "_bucket sample without an le label");
+        } else {
+          double LeV =
+              Le == "+Inf" ? HUGE_VAL : std::strtod(Le.c_str(), nullptr);
+          if (H.SawInf)
+            C.problem(Where, "bucket after le=\"+Inf\"");
+          if (H.HaveBucket && LeV <= H.LastLe)
+            C.problem(Where, "le bounds not strictly increasing");
+          if (H.HaveBucket && Val < H.LastBucket)
+            C.problem(Where, "cumulative bucket count decreased");
+          H.HaveBucket = true;
+          H.LastLe = LeV;
+          H.LastBucket = Val;
+          if (Le == "+Inf") {
+            H.SawInf = true;
+            H.InfVal = Val;
+          }
+        }
+      } else if (Name == Family + "_sum") {
+        H.SawSum = true;
+      } else if (Name == Family + "_count") {
+        H.SawCount = true;
+        H.CountVal = Val;
+      } else {
+        C.problem(Where,
+                  "histogram sample must be _bucket, _sum, or _count");
+      }
+    }
+  }
+  finishHist();
+  if (Samples == 0)
+    C.Problems.push_back("prom: no samples found");
+  return finish(C, "prom", Samples);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   if (argc != 3) {
-    std::fputs("usage: rpjson remarks|profile|trace|timing|canon FILE\n",
+    std::fputs("usage: rpjson remarks|profile|trace|timing|canon|metrics|"
+               "prom|metrics-canon FILE\n",
                stderr);
     return 2;
   }
@@ -644,6 +1038,12 @@ int main(int argc, char **argv) {
     return checkTrace(Text, true);
   if (std::strcmp(Cmd, "timing") == 0)
     return checkTiming(Text);
+  if (std::strcmp(Cmd, "metrics") == 0)
+    return checkMetrics(Text, false);
+  if (std::strcmp(Cmd, "metrics-canon") == 0)
+    return checkMetrics(Text, true);
+  if (std::strcmp(Cmd, "prom") == 0)
+    return checkProm(Text);
   std::fprintf(stderr, "rpjson: unknown command '%s'\n", Cmd);
   return 2;
 }
