@@ -8,12 +8,17 @@
 // out of the measurement.
 //
 //   interp_throughput [--reps=N] [--json=FILE] [--programs=a,b,...]
+//                     [--min-jit-geomean=X]
 //
 // The table goes to stdout; the raw samples are also written as JSON
 // (default BENCH_interp.json):
 //   {"reps":N,"results":[{"program":..,"engine":..,"steps":..,
-//    "wall_ms":..}],"geomean_speedup":..,"geomean_speedup_jit":..}
-// (the jit fields appear only when the build has a jit).
+//    "wall_ms":..,"compile_ms":..}],
+//    "geomean_speedup":..,"geomean_speedup_jit":..}
+// (the jit fields appear only when the build has a jit; compile_ms is the
+// warmup run's lazy-compilation time and is 0 for non-jit engines).
+// --min-jit-geomean=X exits nonzero when the jit geomean lands below X,
+// which is how the bench_smoke ctest turns this harness into a perf gate.
 //
 // Run from a Release build — the fast path's advantage is mostly inlining
 // and dispatch, which RelWithDebInfo already shows but sanitizers distort.
@@ -41,6 +46,11 @@ struct Sample {
   InterpEngine Engine;
   uint64_t Steps = 0;
   double BestMs = 0;
+  /// Lazy-compilation wall time of the warmup run — the only run that can
+  /// pay it when the code cache is on. Kept out of BestMs (the warmup never
+  /// enters the best-of pool) and reported separately so the JSON shows
+  /// compile cost next to, not inside, steady-state throughput.
+  double CompileMs = 0;
 };
 
 /// Best-of-N wall time for one engine over an already-compiled module.
@@ -63,10 +73,12 @@ Sample measure(const std::string &Name, Module &M, InterpEngine E,
   S.Engine = E;
   S.BestMs = 1e300;
 
-  auto runOnce = [&]() -> double {
+  auto runOnce = [&](bool Warmup) -> double {
     double T0 = timingNowMs();
     ExecResult Res = interpret(M, IO);
     double Ms = timingNowMs() - T0;
+    if (Warmup)
+      S.CompileMs = Res.JitCompileMs;
     if (!Res.Ok) {
       std::fprintf(stderr, "error: %s [%s]: %s\n", Name.c_str(),
                    interpEngineName(E), Res.Error.c_str());
@@ -84,14 +96,14 @@ Sample measure(const std::string &Name, Module &M, InterpEngine E,
 
   // Warmup run: pages in the simulated memory images and calibrates how
   // many repetitions MinTotalMs buys.
-  double WarmMs = runOnce();
+  double WarmMs = runOnce(/*Warmup=*/true);
   double PerRun = WarmMs > 1e-6 ? WarmMs : 1e-6;
   unsigned N = Reps;
   if (PerRun * Reps < MinTotalMs)
     N = static_cast<unsigned>(MinTotalMs / PerRun) + 1;
 
   for (unsigned R = 0; R != N; ++R) {
-    double Ms = runOnce();
+    double Ms = runOnce(/*Warmup=*/false);
     if (Ms < S.BestMs)
       S.BestMs = Ms;
   }
@@ -102,6 +114,7 @@ Sample measure(const std::string &Name, Module &M, InterpEngine E,
 
 int main(int argc, char **argv) {
   unsigned Reps = 3;
+  double MinJitGeomean = 0;
   std::string JsonFile = "BENCH_interp.json";
   std::vector<std::string> Programs = benchProgramNames();
 
@@ -116,6 +129,13 @@ int main(int argc, char **argv) {
       Reps = static_cast<unsigned>(V);
     } else if (std::strncmp(A, "--json=", 7) == 0) {
       JsonFile = A + 7;
+    } else if (std::strncmp(A, "--min-jit-geomean=", 18) == 0) {
+      MinJitGeomean = std::atof(A + 18);
+      if (MinJitGeomean <= 0) {
+        std::fprintf(stderr, "error: bad --min-jit-geomean value '%s'\n",
+                     A + 18);
+        return 2;
+      }
     } else if (std::strncmp(A, "--programs=", 11) == 0) {
       Programs.clear();
       std::string List = A + 11;
@@ -130,7 +150,7 @@ int main(int argc, char **argv) {
     } else {
       std::fprintf(stderr,
                    "usage: interp_throughput [--reps=N] [--json=FILE] "
-                   "[--programs=a,b,...]\n");
+                   "[--programs=a,b,...] [--min-jit-geomean=X]\n");
       return 2;
     }
   }
@@ -173,8 +193,17 @@ int main(int argc, char **argv) {
     // The jit's headline ratio is against the fast path — the engine it has
     // to beat — not the reference loop.
     double JitSpeedup = Jit ? Fp.BestMs / Jt.BestMs : 0;
-    if (Jit)
+    if (Jit) {
       LogSumJit += std::log(JitSpeedup);
+      // The jit must never lose to the engine it exists to beat; a loss on
+      // any single program is a regression worth flagging even when the
+      // geomean looks healthy.
+      if (Jt.BestMs > Fp.BestMs)
+        std::fprintf(stderr,
+                     "warning: %s: jit (%.3f ms) slower than fastpath "
+                     "(%.3f ms)\n",
+                     Name.c_str(), Jt.BestMs, Fp.BestMs);
+    }
     ++NPrograms;
     auto MStepsPerSec = [&](const Sample &S) {
       return static_cast<double>(S.Steps) / S.BestMs / 1e3;
@@ -219,7 +248,8 @@ int main(int argc, char **argv) {
     Json += "{\"program\":\"" + jsonEscape(S.Program) + "\"";
     Json += ",\"engine\":\"" + std::string(interpEngineName(S.Engine)) + "\"";
     Json += ",\"steps\":" + std::to_string(S.Steps);
-    Json += ",\"wall_ms\":" + fixed(S.BestMs, 3) + "}";
+    Json += ",\"wall_ms\":" + fixed(S.BestMs, 3);
+    Json += ",\"compile_ms\":" + fixed(S.CompileMs, 3) + "}";
   }
   Json += "],\"geomean_speedup\":" + fixed(Geomean, 3);
   if (Jit)
@@ -231,5 +261,12 @@ int main(int argc, char **argv) {
     return 4;
   }
   JOut << Json;
+
+  if (Jit && MinJitGeomean > 0 && GeomeanJit < MinJitGeomean) {
+    std::fprintf(stderr,
+                 "error: jit geomean %.3f below required minimum %.3f\n",
+                 GeomeanJit, MinJitGeomean);
+    return 5;
+  }
   return 0;
 }

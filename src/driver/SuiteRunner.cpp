@@ -60,6 +60,10 @@ ConfigCounts runOneCell(const std::string &Name, const std::string &Source,
   }
   ProfileMeta Meta;
   InterpOptions IOpts = Opts.Interp;
+  // --no-compile-cache is a whole-pipeline A/B switch: it bypasses the jit's
+  // native-code cache along with the frontend compile cache, so a cached run
+  // can be diffed against a every-stage-from-scratch run.
+  IOpts.JitCodeCache = Opts.UseCompileCache;
   if (ProfileThisCell) {
     Meta = ProfileMeta::build(*Out.M);
     IOpts.Profile = &Meta;

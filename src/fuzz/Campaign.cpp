@@ -24,12 +24,15 @@ using namespace rpcc;
 
 namespace {
 
-InterpOptions fuzzInterpOptions(InterpEngine Engine) {
+InterpOptions fuzzInterpOptions(InterpEngine Engine, bool UseCaches) {
   InterpOptions IO;
   IO.Engine = Engine;
   // Generated programs are terminating by construction; a run that needs
   // more than this is a generator bug worth flagging loudly.
   IO.MaxSteps = uint64_t(1) << 26;
+  // --no-compile-cache turns off the jit's native-code cache along with the
+  // frontend cache, so campaigns can A/B a fully-from-scratch pipeline.
+  IO.JitCodeCache = UseCaches;
   return IO;
 }
 
@@ -50,7 +53,8 @@ struct SeedOutcome {
 /// load counts for the corpus-level promotion check.
 bool checkDiff(const std::string &Src, const std::vector<FuzzConfig> &Matrix,
                InterpEngine Engine, CompileCache *Cache, SeedOutcome &Out) {
-  OracleResult R = checkProgram(Src, Matrix, fuzzInterpOptions(Engine), Cache);
+  OracleResult R = checkProgram(Src, Matrix,
+                              fuzzInterpOptions(Engine, Cache != nullptr), Cache);
   if (R.Ok) {
     Out.DiffOk = true;
     Out.Loads = std::move(R.Loads);
@@ -68,14 +72,14 @@ bool checkWiden(uint64_t Seed, const std::string &Src, InterpEngine Engine,
                 CompileCache *Cache, std::string &Why) {
   auto Run = [&](const CompilerConfig &Cfg) {
     if (!Cache)
-      return compileAndRun(Src, Cfg, fuzzInterpOptions(Engine));
+      return compileAndRun(Src, Cfg, fuzzInterpOptions(Engine, false));
     CompileOutput Out = Cache->compile("program", Src, Cfg);
     if (!Out.Ok) {
       ExecResult R;
       R.Error = Out.Errors;
       return R;
     }
-    return interpret(*Out.M, fuzzInterpOptions(Engine));
+    return interpret(*Out.M, fuzzInterpOptions(Engine, true));
   };
   CompilerConfig Base;
   Base.Analysis = AnalysisKind::PointsTo;

@@ -468,6 +468,7 @@ DecodedModule rpcc::decodeModule(const Module &M, const GlobalLayout &GL,
       }
     if (Fuse)
       fuseSuperinstructions(DF, BlockStart, Sink != nullptr);
+    DF.BlockStarts = std::move(BlockStart);
   }
   return DM;
 }

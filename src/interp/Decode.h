@@ -175,6 +175,13 @@ struct DecodedFunction {
   /// Messages of DecodedOp::Fault records.
   std::vector<std::string> FaultMsgs;
   std::vector<Reg> ParamRegs;
+  /// Instruction index of every block's first instruction, in block-id
+  /// order (ascending). Exposes the block structure to the JIT tier: block
+  /// boundaries are its register-residency and deferred-counter flush
+  /// points, and branch targets are exactly this set. Populated for fused
+  /// and unfused streams alike (indices are identical by construction —
+  /// fusion never moves or removes a slot).
+  std::vector<uint32_t> BlockStarts;
   uint32_t NumRegs = 0;
   uint32_t FrameSize = 0;
   FuncId Id = NoFunc;

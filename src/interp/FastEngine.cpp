@@ -75,18 +75,29 @@ uint64_t Machine::callDecoded(FuncId FId, size_t ArgBase, size_t NArgs) {
   }
   const DecodedFunction &DF = DM->Funcs[FId];
   uint64_t Result;
-  if (!DF.HasBody)
+  if (!DF.HasBody) {
     Result = callBuiltin(DF.Builtin, ArgArena.data() + ArgBase, NArgs);
-  else if (JitModule::Entry E = JM ? JM->entry(FId) : nullptr)
-    Result = execJit<Profiled>(E, DF, ArgBase, NArgs);
-  else
+  } else if (JP) {
+    // Lazy per-function compilation: pay emission only for functions that
+    // actually run (and nothing at all on code-cache hits). Declines fall
+    // back to the fast path, making --engine=jit total.
+    JitProgram::Entry E = JP->entry(FId);
+    if (!E && !JP->declined(FId)) {
+      uint64_t Us = 0;
+      E = JP->compile(DF, Us);
+      JitCompileUs += Us;
+    }
+    Result = E ? execJit<Profiled>(E, DF, ArgBase, NArgs)
+               : execDecoded<Profiled>(DF, ArgBase, NArgs);
+  } else {
     Result = execDecoded<Profiled>(DF, ArgBase, NArgs);
+  }
   --CallDepth;
   return Result;
 }
 
 template <bool Profiled>
-uint64_t Machine::execJit(JitModule::Entry E, const DecodedFunction &DF,
+uint64_t Machine::execJit(JitProgram::Entry E, const DecodedFunction &DF,
                           size_t ArgBase, size_t NArgs) {
   // Same frame ceremony as execDecoded, in the same order, so budgets fault
   // at the same counting points and the profiler sees identical frames.
@@ -113,6 +124,9 @@ uint64_t Machine::execJit(JitModule::Entry E, const DecodedFunction &DF,
   RT.TotalCell = Counters.Total;
   RT.RegArenaData = RegArena.data();
   RT.StackData = StackMem.data();
+  RT.HeapData = HeapMem.data();
+  RT.HeapSize = HeapMem.size();
+  RT.StackSize = StackMem.size();
   RT.FaultCell = Err.Active;
   const uint64_t RetVal = E(&RT, RegBase, FrameOff);
   Counters.Total = RT.TotalCell;

@@ -52,38 +52,18 @@ bool rpcc::parseInterpEngine(const std::string &Name, InterpEngine &Out) {
 
 namespace {
 
-/// JIT cost metrics. Compile time is wall clock (count-stable); emitted
-/// code size and the compiled/declined split are deterministic per module,
-/// hence stable.
-void recordJitCompile(uint64_t CompileUs, const DecodedModule &Decoded,
-                      const JitModule *JM) {
-  struct JitMetrics {
-    Histogram CompileUs, CodeBytes;
-    Counter Functions, Declines;
-    JitMetrics() {
-      auto &R = MetricsRegistry::global();
-      CompileUs = R.histogram("jit.compile_us", {},
-                              MetricStability::CountStable, "us",
-                              "Per-module JIT compile latency.");
-      CodeBytes = R.histogram("jit.code_bytes", {}, MetricStability::Stable,
-                              "bytes", "Emitted machine code per module.");
-      Functions = R.counter("jit.functions", {}, MetricStability::Stable,
-                            "ops", "Functions compiled to native code.");
-      Declines = R.counter("jit.declines", {}, MetricStability::Stable, "ops",
-                           "Functions declined to the fast-path fallback.");
-    }
-  };
-  static JitMetrics M;
-  M.CompileUs.observe(CompileUs);
-  M.CodeBytes.observe(JM ? JM->codeBytes() : 0);
-  size_t Candidates = 0;
-  for (const DecodedFunction &F : Decoded.Funcs)
-    Candidates += !F.Insts.empty();
-  size_t Compiled = JM ? JM->compiledCount() : 0;
-  if (Compiled)
-    M.Functions.inc(Compiled);
-  if (Candidates > Compiled)
-    M.Declines.inc(Candidates - Compiled);
+/// Per-run JIT cost record. The per-function metrics (jit.functions,
+/// jit.code_bytes, jit.fused_pairs, ...) are counted at the compile sites
+/// under the program's compile lock, exactly once per function per distinct
+/// cached program — which is what keeps them --jobs-invariant; here we only
+/// observe what this run paid in wall time (count-stable: the observation
+/// count is deterministic, the latency is not).
+void recordJitRun(uint64_t CompileUs) {
+  static Histogram CompileUsH = MetricsRegistry::global().histogram(
+      "jit.compile_us", {}, MetricStability::CountStable, "us",
+      "Wall time a jit-engine run spent in lazy compilation (0 on full "
+      "code-cache hits).");
+  CompileUsH.observe(CompileUs);
 }
 
 } // namespace
@@ -121,27 +101,24 @@ ExecResult Machine::run() {
     R.Error = "no 'main' function";
     return R;
   }
-  // Compile after the global image has reached its final home: the emitter
-  // bakes host pointers into GlobalMem for in-image scalar accesses.
-  std::unique_ptr<JitModule> Jitted;
-  if (Opts.Engine == InterpEngine::Jit) {
-    JitExternals Ext;
-    Ext.ByOpcode = Counters.ByOpcode.data();
-    Ext.PerFunc = PerFunc.data();
-    Ext.GlobalData = GlobalMem.data();
-    Ext.GlobalSize = GlobalMem.size();
-    Ext.Profiled = Prof != nullptr;
-    uint64_t T0 = metricsNowUs();
-    Jitted = jitCompileModule(Decoded, Ext);
-    recordJitCompile(metricsNowUs() - T0, Decoded, Jitted.get());
-  }
   uint64_t Ret;
   if (Opts.Engine == InterpEngine::Jit) {
     DM = &Decoded;
-    JM = Jitted.get(); // may be null: whole-module fast-path fallback
+    // Functions compile lazily on first call; the (possibly cache-shared)
+    // program holds the published entries. Emitted code is relocatable —
+    // module-level bases reach it through the JitRT cells below, set once
+    // here because none of them can move during the run (ByOpcode and
+    // PerFunc are sized already, GlobalMem never grows).
+    JP = jitProgramFor(Decoded, GlobalMem.size(), Prof != nullptr,
+                       Opts.JitCodeCache);
     initJitRuntime(RT, this);
     RT.MaxSteps = Opts.MaxSteps;
+    RT.ByOpcodeBase = Counters.ByOpcode.data();
+    RT.PerFuncBase = PerFunc.data();
+    RT.GlobalData = GlobalMem.data();
     Ret = runJit(Main);
+    recordJitRun(JitCompileUs);
+    R.JitCompileMs = static_cast<double>(JitCompileUs) / 1000.0;
   } else if (Opts.Engine == InterpEngine::FastPath) {
     DM = &Decoded;
     Ret = runFast(Main);

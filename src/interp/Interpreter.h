@@ -104,6 +104,12 @@ struct InterpOptions {
   const ProfileMeta *Profile = nullptr;
   /// Execute loop selection; observationally irrelevant by construction.
   InterpEngine Engine = DefaultInterpEngine;
+  /// Reuse compiled native code across runs of the same decoded program
+  /// (jit engine only). The cache key covers everything the emitter bakes
+  /// into code, so a hit is observationally identical to a fresh compile;
+  /// `--no-compile-cache` clears this for A/B verification, exactly like
+  /// the frontend CompileCache it rides along with.
+  bool JitCodeCache = true;
 };
 
 struct ExecResult {
@@ -118,6 +124,10 @@ struct ExecResult {
   /// InterpOptions::Profile was set. Invariant: the per-tag loads/stores sum
   /// exactly to Counters.Loads/Counters.Stores.
   TagProfile Profile;
+  /// Wall milliseconds this run spent emitting native code (jit engine
+  /// only; 0 on code-cache hits and for the interpreted engines). Kept out
+  /// of the parity comparison — it is a cost report, not behavior.
+  double JitCompileMs = 0;
 };
 
 /// Runs \p M from its "main" function (no arguments). Never throws; runtime

@@ -82,7 +82,7 @@ private:
   /// Frame setup/teardown around one native activation; the exact mirror of
   /// execDecoded so budgets, profiling frames, and arena discipline match.
   template <bool Profiled>
-  uint64_t execJit(JitModule::Entry E, const DecodedFunction &DF,
+  uint64_t execJit(JitProgram::Entry E, const DecodedFunction &DF,
                    size_t ArgBase, size_t NArgs);
   /// Non-template callDecoded for the call shims (the template bodies live
   /// in FastEngine.cpp and are not visible to other TUs).
@@ -159,10 +159,13 @@ private:
   const DecodedModule *DM = nullptr;
   std::vector<uint64_t> RegArena, ArgArena;
 
-  /// Jit engine only: the compiled module (null entries fall back to the
-  /// fast path per function) and the cell block shared with emitted code.
-  const JitModule *JM = nullptr;
+  /// Jit engine only: the (possibly cache-shared) compiled program — null
+  /// entries compile lazily on first call, declines fall back to the fast
+  /// path per function — plus the cell block shared with emitted code and
+  /// the wall microseconds this run actually spent emitting.
+  std::shared_ptr<JitProgram> JP;
   JitRT RT;
+  uint64_t JitCompileUs = 0;
 };
 
 } // namespace rpcc

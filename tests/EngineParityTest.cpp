@@ -234,4 +234,45 @@ TEST(EngineParityTest, StepLimitSweepMatches) {
   }
 }
 
+// Every fused-template family the jit emitter recognizes, packed into one
+// loop body: int cmp + branch, fp cmp + branch (including the NaN-parity
+// Eq/Ne forms), LoadI folded into Add/Sub/Mul/CmpEq/CmpNe/CmpLt, LoadI and
+// Copy folded into a block-closing Jmp, and FMul feeding FAdd/FSub in both
+// operand orders. Sweeping the step limit across two-plus iterations lands
+// the cutoff between the halves of each pair; both halves must count as
+// distinct steps and the partial-iteration counters must match the switch
+// engine exactly. The profiled leg is the sharper check: a profiled
+// fast-path decode drops fusion while the jit re-derives its pairs from the
+// unfused stream, so the two engines run differently-shaped code over the
+// same cutoffs.
+TEST(EngineParityTest, FusedPairStepLimitSweepMatches) {
+  Module M = compileOrDie(
+      "int A[4]; float x; float y;\n"
+      "int main() { int i; int s; int t;\n"
+      "  s = 0; x = 1.0; y = 0.5;\n"
+      "  for (i = 0; i < 1000000; i++) {\n"
+      "    s = s + 7; s = s - 3; t = s * 5;\n"
+      "    if (t == 35) { s = 1; } else { s = t; }\n"
+      "    if (s != 9) { s = s + 1; }\n"
+      "    if (s < 4) { s = s + 2; }\n"
+      "    x = x * 1.0000001 + y;\n"
+      "    y = y - x * 0.0000001;\n"
+      "    if (x > y) { s = s + 1; }\n"
+      "    if (x == y) { s = s - 1; }\n"
+      "    if (x != x) { s = 0; }\n"
+      "    A[s % 4] = s; s = s + A[(i + 1) % 4];\n"
+      "  }\n"
+      "  return s; }");
+  ProfileMeta Meta = ProfileMeta::build(M);
+  for (uint64_t Limit = 1; Limit <= 160; ++Limit) {
+    InterpOptions O;
+    O.MaxSteps = Limit;
+    expectParity(M, O, "fused-pair step limit " + std::to_string(Limit));
+    InterpOptions P = O;
+    P.Profile = &Meta;
+    expectParity(M, P,
+                 "profiled fused-pair step limit " + std::to_string(Limit));
+  }
+}
+
 } // namespace

@@ -12,7 +12,13 @@
 #
 # Invoked by ctest as:
 #   cmake -DRPCC_BIN=<rpcc> -DRPFUZZ_BIN=<rpfuzz> -DRPJSON_BIN=<rpjson>
-#         -DWORK_DIR=<dir> -P MetricsJsonDiff.cmake
+#         -DWORK_DIR=<dir> [-DJIT_ENGINE=ON] -P MetricsJsonDiff.cmake
+#
+# With JIT_ENGINE=ON a fourth config pins --engine=jit, proving the jit's
+# compile-side metrics (functions, fused pairs, resident registers — all
+# counted once per compile under the code-cache lock) are jobs-invariant
+# like every other stable metric, and that the volatile cache-hit split
+# stays out of the canon.
 
 cmake_policy(SET CMP0007 NEW) # keep the empty EXTRA of the plain config
 
@@ -51,7 +57,12 @@ endfunction()
 # Each config: a plain reference run, then metrics-flag runs at --jobs=1
 # and --jobs=4. Stdout must match the reference byte-for-byte, both
 # exports must validate, and the two canons must be identical.
-foreach(CONFIG "plain;" "sandbox;--sandbox" "nocache;--no-compile-cache")
+set(CONFIGS "plain," "sandbox,--sandbox" "nocache,--no-compile-cache")
+if(JIT_ENGINE)
+  list(APPEND CONFIGS "jit,--engine=jit")
+endif()
+foreach(CONFIG ${CONFIGS})
+  string(REPLACE "," ";" CONFIG "${CONFIG}")
   list(GET CONFIG 0 TAG)
   list(GET CONFIG 1 EXTRA)
   separate_arguments(EXTRA)
@@ -102,6 +113,27 @@ metrics_canon(sandbox1.json SANDBOX_CANON)
 if(NOT SANDBOX_CANON MATCHES "jobs.child_wall_us count=8")
   message(FATAL_ERROR
           "sandboxed run did not observe child wall time:\n${SANDBOX_CANON}")
+endif()
+
+# Jit runs must surface the compile-side counters in the canon (values are
+# per-compile statics, so they survived the jobs-invariance compare above),
+# and the volatile cache-hit split must stay out of it.
+if(JIT_ENGINE)
+  metrics_canon(jit1.json JIT_CANON)
+  foreach(NEEDED jit.functions jit.fused_pairs jit.regalloc_resident_regs)
+    if(NOT JIT_CANON MATCHES "${NEEDED} [1-9]")
+      message(FATAL_ERROR
+              "jit canon is missing a nonzero ${NEEDED}:\n${JIT_CANON}")
+    endif()
+  endforeach()
+  if(NOT JIT_CANON MATCHES "jit.compile_us count=")
+    message(FATAL_ERROR
+            "jit canon lost the compile_us count:\n${JIT_CANON}")
+  endif()
+  if(JIT_CANON MATCHES "jit.cache_hits")
+    message(FATAL_ERROR
+            "volatile jit.cache_hits leaked into the canon:\n${JIT_CANON}")
+  endif()
 endif()
 
 # --- the heartbeat leaves stdout untouched and quiesces cleanly ------------

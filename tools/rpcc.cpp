@@ -754,6 +754,7 @@ int main(int argc, char **argv) {
     ProfileMeta Meta;
     InterpOptions IOpts;
     IOpts.Engine = Engine;
+    IOpts.JitCodeCache = UseCompileCache;
     if (Obs.wantProfile()) {
       Meta = ProfileMeta::build(*Out.M);
       IOpts.Profile = &Meta;

@@ -27,6 +27,10 @@
 //                          volatile metrics dropped, count-stable
 //                          histograms reduced to their count —
 //                          byte-comparable across runs and worker counts
+//   rpjson bench FILE      benchmark report (bench/interp_throughput
+//                          --json, compile_throughput --json): engine/mode
+//                          discipline, per-program step agreement across
+//                          engines, jit geomean presence
 //
 // Exit codes: 0 valid, 1 invalid or unreadable input, 2 usage error.
 //
@@ -1009,12 +1013,98 @@ int checkProm(const std::string &Text) {
   return finish(C, "prom", Samples);
 }
 
+/// Validates the benchmark JSON the bench/ harnesses commit at the repo
+/// root. One mode covers both shapes — BENCH_interp.json rows carry an
+/// engine and a step count, BENCH_compile.json rows carry a cache mode —
+/// because everything else (reps, program, wall_ms, the geomean footer) is
+/// shared. Cross-row semantics are checked too: every engine must report
+/// the same step count for a program (the engines are observationally
+/// identical by contract), and the jit geomean must be present exactly
+/// when jit rows are.
+int checkBench(const std::string &Text) {
+  JValue V;
+  if (int Rc = parseWholeFile(Text, "bench", V))
+    return Rc;
+  Checker C;
+  const JValue *Reps = nullptr;
+  if (C.need(V, "bench", "reps", JValue::Number, &Reps) && Reps->Num < 1)
+    C.problem("bench", "reps must be at least 1");
+  C.need(V, "bench", "geomean_speedup", JValue::Number);
+  static const std::vector<const char *> Engines = {"switch", "fastpath",
+                                                    "jit"};
+  static const std::vector<const char *> Modes = {"uncached", "cached"};
+  const JValue *Results = nullptr;
+  bool SawJit = false;
+  std::map<std::string, double> StepsOf;
+  if (C.need(V, "bench", "results", JValue::Array, &Results)) {
+    if (Results->Items.empty())
+      C.problem("bench", "results is empty");
+    for (size_t I = 0; I != Results->Items.size(); ++I) {
+      std::ostringstream WS;
+      WS << "bench results[" << I << "]";
+      const JValue &R = Results->Items[I];
+      if (R.K != JValue::Object) {
+        C.problem(WS.str(), "not an object");
+        continue;
+      }
+      const JValue *Prog = nullptr;
+      C.need(R, WS.str(), "program", JValue::String, &Prog);
+      const JValue *Wall = nullptr;
+      if (C.need(R, WS.str(), "wall_ms", JValue::Number, &Wall) &&
+          Wall->Num < 0)
+        C.problem(WS.str(), "wall_ms is negative");
+      const JValue *Engine = R.field("engine");
+      const JValue *Mode = R.field("mode");
+      if (Engine && Mode) {
+        C.problem(WS.str(), "row has both 'engine' and 'mode'");
+      } else if (Engine) {
+        if (Engine->K != JValue::String)
+          C.problem(WS.str(), "key 'engine' has wrong type");
+        else {
+          C.oneOf(WS.str(), "engine", Engine->Str, Engines);
+          if (Engine->Str == "jit")
+            SawJit = true;
+        }
+        const JValue *Steps = nullptr;
+        if (C.need(R, WS.str(), "steps", JValue::Number, &Steps) && Prog) {
+          auto It = StepsOf.find(Prog->Str);
+          if (It == StepsOf.end())
+            StepsOf.emplace(Prog->Str, Steps->Num);
+          else if (It->second != Steps->Num)
+            C.problem(WS.str(), "engines disagree on steps for '" +
+                                    Prog->Str + "'");
+        }
+        if (const JValue *CompMs = R.field("compile_ms")) {
+          if (CompMs->K != JValue::Number)
+            C.problem(WS.str(), "key 'compile_ms' has wrong type");
+          else if (CompMs->Num < 0)
+            C.problem(WS.str(), "compile_ms is negative");
+        }
+      } else if (Mode) {
+        if (Mode->K != JValue::String)
+          C.problem(WS.str(), "key 'mode' has wrong type");
+        else
+          C.oneOf(WS.str(), "mode", Mode->Str, Modes);
+      } else {
+        C.problem(WS.str(),
+                  "row needs 'engine' (interp bench) or 'mode' (compile "
+                  "bench)");
+      }
+    }
+  }
+  if (SawJit)
+    C.need(V, "bench", "geomean_speedup_jit", JValue::Number);
+  else if (V.field("geomean_speedup_jit"))
+    C.problem("bench", "geomean_speedup_jit present without jit rows");
+  return finish(C, "bench", Results ? Results->Items.size() : 0);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   if (argc != 3) {
     std::fputs("usage: rpjson remarks|profile|trace|timing|canon|metrics|"
-               "prom|metrics-canon FILE\n",
+               "prom|metrics-canon|bench FILE\n",
                stderr);
     return 2;
   }
@@ -1044,6 +1134,8 @@ int main(int argc, char **argv) {
     return checkMetrics(Text, true);
   if (std::strcmp(Cmd, "prom") == 0)
     return checkProm(Text);
+  if (std::strcmp(Cmd, "bench") == 0)
+    return checkBench(Text);
   std::fprintf(stderr, "rpjson: unknown command '%s'\n", Cmd);
   return 2;
 }
