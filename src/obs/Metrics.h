@@ -248,8 +248,10 @@ private:
   std::mutex Mu;
   std::condition_variable Cv;
   bool Stopping = false;
-  /// Rate state: previous snapshot's seed count and pool busy-time.
+  /// Rate state: previous snapshot's seed count, served-request count and
+  /// pool busy-time.
   uint64_t LastSeeds = 0;
+  uint64_t LastRequests = 0;
   uint64_t LastBusyUs = 0;
   std::thread Thr;
 };

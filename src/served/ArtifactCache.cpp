@@ -1,0 +1,281 @@
+//===- served/ArtifactCache.cpp - Coalescing LRU artifact cache -----------===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "served/ArtifactCache.h"
+
+#include "driver/PassTiming.h"
+#include "obs/Metrics.h"
+
+#include <cassert>
+
+using namespace rpcc;
+
+namespace {
+
+/// served.* cache metric handles, registered once. Hit/miss/coalesce splits
+/// are Volatile: which of N racing connections pays the miss is a scheduling
+/// accident. Build latency is count-stable per corpus.
+struct ServedCacheMetrics {
+  Counter Hits, Misses, Evictions, Coalesced, Bypass;
+  Gauge Bytes, Entries, Inflight;
+  Histogram BuildUs;
+  ServedCacheMetrics() {
+    auto &R = MetricsRegistry::global();
+    Hits = R.counter("served.cache_hits", {}, MetricStability::Volatile,
+                     "ops", "Artifact cache hits (request served from LRU).");
+    Misses = R.counter("served.cache_misses", {}, MetricStability::Volatile,
+                       "ops", "Artifact cache misses (this request built).");
+    Evictions =
+        R.counter("served.cache_evictions", {}, MetricStability::Volatile,
+                  "ops", "Whole artifacts evicted to respect --cache-mb.");
+    Coalesced =
+        R.counter("served.coalesced", {}, MetricStability::Volatile, "ops",
+                  "Requests that attached to another request's build.");
+    Bypass = R.counter("served.cache_bypass", {}, MetricStability::Volatile,
+                       "ops",
+                       "Content-hash collisions compiled privately.");
+    Bytes = R.gauge("served.cache_bytes", {}, MetricStability::Volatile,
+                    "bytes", "Estimated bytes held by cached artifacts.");
+    Entries = R.gauge("served.cache_entries", {}, MetricStability::Volatile,
+                      "ops", "Artifacts resident in the cache.");
+    Inflight = R.gauge("served.inflight", {}, MetricStability::Volatile,
+                       "ops", "Artifact builds currently in flight.");
+    BuildUs = R.histogram("served.build_us", {}, MetricStability::Volatile,
+                          "us",
+                          "Frontend+analysis latency for cache misses.");
+  }
+};
+
+ServedCacheMetrics &servedMetrics() {
+  static ServedCacheMetrics M;
+  return M;
+}
+
+/// Estimated resident footprint of one artifact stage: the module's static
+/// op count times a per-op constant covering the instruction, its operand
+/// vectors, and its share of block/table overhead. Deliberately coarse —
+/// the budget bounds memory growth, it does not meter allocations.
+constexpr size_t kBytesPerOp = 64;
+constexpr size_t kEntryOverhead = 512;
+
+size_t moduleBytes(const std::unique_ptr<Module> &M) {
+  return M ? static_cast<size_t>(countStaticOps(*M)) * kBytesPerOp : 0;
+}
+
+size_t artifactBytes(const ServedArtifact &Art) {
+  size_t N = kEntryOverhead + Art.Source.size() + Art.FA.Errors.size() +
+             moduleBytes(Art.FA.M);
+  for (const AnalyzedModule &AM : Art.AM)
+    N += AM.Errors.size() + moduleBytes(AM.M);
+  return N;
+}
+
+} // namespace
+
+std::string ArtifactCache::contentKey(const std::string &Source) {
+  // Two independent FNV-1a lanes (different offset bases, the second lane
+  // also folds in the length) give a 128-bit key. Collisions are handled —
+  // get() compares sources — so the hash only needs to be uniform, not
+  // cryptographic.
+  uint64_t A = 1469598103934665603ull;
+  uint64_t B = 0x9ae16a3b2f90404full ^ (0x9ddfea08eb382d69ull *
+                                        (uint64_t)Source.size());
+  for (unsigned char C : Source) {
+    A = (A ^ C) * 1099511628211ull;
+    B = (B ^ (C + 0x9eu)) * 1099511628211ull;
+  }
+  static const char *Hex = "0123456789abcdef";
+  std::string Key(32, '0');
+  for (int I = 0; I != 16; ++I) {
+    Key[15 - I] = Hex[(A >> (I * 4)) & 0xF];
+    Key[31 - I] = Hex[(B >> (I * 4)) & 0xF];
+  }
+  return Key;
+}
+
+ArtifactCache::ArtifactCache(size_t BudgetBytes) : Budget(BudgetBytes) {
+  servedMetrics(); // register gauges before the first scrape
+}
+
+size_t ArtifactCache::bytes() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return BytesUsed;
+}
+
+size_t ArtifactCache::entries() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Map.size();
+}
+
+std::shared_ptr<ServedArtifact> ArtifactCache::peek(const std::string &Key) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Map.find(Key);
+  return It == Map.end() ? nullptr : It->second.Art;
+}
+
+void ArtifactCache::evictOverBudgetLocked(const std::string &Keep) {
+  ServedCacheMetrics &SM = servedMetrics();
+  while (BytesUsed > Budget && !Lru.empty()) {
+    const std::string &Victim = Lru.back();
+    if (Victim == Keep)
+      break; // never evict the entry this request needs
+    auto It = Map.find(Victim);
+    assert(It != Map.end() && "LRU list out of sync with map");
+    size_t Charged = It->second.Art->Charged.load(std::memory_order_relaxed);
+    BytesUsed -= Charged < BytesUsed ? Charged : BytesUsed;
+    Map.erase(It);
+    Lru.pop_back();
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+    SM.Evictions.inc();
+  }
+  publishGaugesLocked();
+}
+
+void ArtifactCache::publishGaugesLocked() {
+  ServedCacheMetrics &SM = servedMetrics();
+  int64_t B = static_cast<int64_t>(BytesUsed);
+  int64_t E = static_cast<int64_t>(Map.size());
+  int64_t I = static_cast<int64_t>(Building.size());
+  SM.Bytes.add(B - PubBytes);
+  SM.Entries.add(E - PubEntries);
+  SM.Inflight.add(I - PubInflight);
+  PubBytes = B;
+  PubEntries = E;
+  PubInflight = I;
+}
+
+void ArtifactCache::ensureAnalyzed(const std::shared_ptr<ServedArtifact> &Art,
+                                   AnalysisKind Kind) {
+  size_t Idx = Kind == AnalysisKind::PointsTo ? 1 : 0;
+  std::call_once(Art->AnalyzedOnce[Idx], [&] {
+    if (Art->FA.Ok)
+      Art->AM[Idx] = analyzeFrontend(Art->FA, Kind);
+    else {
+      // Frontend already failed; stamp the analysis stage with the same
+      // errors so callers can consult AM[Kind] uniformly.
+      Art->AM[Idx].Ok = false;
+      Art->AM[Idx].Errors = Art->FA.Errors;
+      Art->AM[Idx].Analysis = Kind;
+    }
+    // Recharge the entry for the stage that just materialized (the second
+    // analysis kind typically arrives after insertion).
+    size_t Now = artifactBytes(*Art);
+    size_t Before = Art->Charged.exchange(Now, std::memory_order_relaxed);
+    if (Now > Before) {
+      std::lock_guard<std::mutex> L(Mu);
+      if (Map.count(Art->Key)) {
+        BytesUsed += Now - Before;
+        evictOverBudgetLocked(Art->Key);
+      }
+    }
+  });
+}
+
+std::shared_ptr<ServedArtifact>
+ArtifactCache::get(const std::string &Source, AnalysisKind Kind,
+                   Outcome &Out) {
+  Out = Outcome();
+  ServedCacheMetrics &SM = servedMetrics();
+  std::string Key = contentKey(Source);
+
+  std::shared_ptr<Inflight> Inf;
+  bool Builder = false;
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    auto It = Map.find(Key);
+    if (It != Map.end()) {
+      if (It->second.Art->Source == Source) {
+        // Hit: move to MRU and reuse.
+        Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+        std::shared_ptr<ServedArtifact> Art = It->second.Art;
+        L.unlock();
+        Hits.fetch_add(1, std::memory_order_relaxed);
+        SM.Hits.inc();
+        Out.Hit = true;
+        ensureAnalyzed(Art, Kind);
+        return Art;
+      }
+      // 128-bit collision: do not disturb the resident entry; compile
+      // privately below.
+      L.unlock();
+      Bypass.fetch_add(1, std::memory_order_relaxed);
+      SM.Bypass.inc();
+      Out.Bypass = true;
+      auto Art = std::make_shared<ServedArtifact>();
+      Art->Key = Key;
+      Art->Source = Source;
+      Art->FA = runFrontend(Source);
+      ensureAnalyzed(Art, Kind);
+      return Art;
+    }
+    auto BIt = Building.find(Key);
+    if (BIt != Building.end()) {
+      Inf = BIt->second;
+    } else {
+      Inf = std::make_shared<Inflight>();
+      Building.emplace(Key, Inf);
+      Builder = true;
+      publishGaugesLocked();
+    }
+  }
+
+  if (!Builder) {
+    // Coalesce: wait for the builder's publication.
+    std::unique_lock<std::mutex> L(Inf->Mu);
+    Inf->Cv.wait(L, [&] { return Inf->Done; });
+    std::shared_ptr<ServedArtifact> Art = Inf->Art;
+    L.unlock();
+    if (Art->Source == Source) {
+      Coalesced.fetch_add(1, std::memory_order_relaxed);
+      SM.Coalesced.inc();
+      Out.Coalesced = true;
+      ensureAnalyzed(Art, Kind);
+      return Art;
+    }
+    // Collided with the in-flight build's source: private compile.
+    Bypass.fetch_add(1, std::memory_order_relaxed);
+    SM.Bypass.inc();
+    Out.Bypass = true;
+    auto Mine = std::make_shared<ServedArtifact>();
+    Mine->Key = Key;
+    Mine->Source = Source;
+    Mine->FA = runFrontend(Source);
+    ensureAnalyzed(Mine, Kind);
+    return Mine;
+  }
+
+  // Builder path: compile outside the cache lock, publish, insert.
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  SM.Misses.inc();
+  Out.Miss = true;
+  auto Art = std::make_shared<ServedArtifact>();
+  Art->Key = Key;
+  Art->Source = Source;
+  uint64_t T0 = metricsNowUs();
+  Art->FA = runFrontend(Source);
+  ensureAnalyzed(Art, Kind);
+  SM.BuildUs.observe(metricsNowUs() - T0);
+  Art->Charged.store(artifactBytes(*Art), std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    // The collision re-check under the lock is unnecessary: only this
+    // thread owns the Building slot for Key, and hits never insert.
+    Lru.push_front(Key);
+    Map[Key] = MapEntry{Art, Lru.begin()};
+    BytesUsed += Art->Charged.load(std::memory_order_relaxed);
+    Building.erase(Key);
+    evictOverBudgetLocked(Key);
+  }
+  {
+    std::lock_guard<std::mutex> L(Inf->Mu);
+    Inf->Done = true;
+    Inf->Art = Art;
+  }
+  Inf->Cv.notify_all();
+  return Art;
+}

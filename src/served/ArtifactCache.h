@@ -1,0 +1,157 @@
+//===- served/ArtifactCache.h - Coalescing LRU artifact cache ---*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon-side store of compiled program prefixes, keyed by *content*
+/// (a hash of the source bytes) rather than by name: clients do not name
+/// programs, they post source, and two clients posting the same bytes must
+/// share one artifact. Two mechanisms make this the serving hot path:
+///
+///  - **Request coalescing.** Concurrent requests for a source not yet
+///    cached attach to the one in-flight build (a Building-map entry with a
+///    condition variable) instead of racing N frontends for the same
+///    program. The winner builds, everyone else blocks until publication
+///    and shares the result. This is the CompileCache's call_once
+///    discipline lifted to a keyspace with eviction.
+///
+///  - **LRU with a byte budget.** Completed artifacts are charged an
+///    estimate of their footprint (source + IL ops across the frontend and
+///    analyzed modules) and live on an LRU list; inserting past the budget
+///    evicts whole least-recently-used entries. Evicted artifacts die when
+///    their last in-flight user drops the shared_ptr — eviction never
+///    invalidates a handle.
+///
+/// Artifacts are immutable after each stage builds (the CompileCache
+/// fork-never-share invariant): servers fork the analyzed module with
+/// Module::clone() per request and never mutate the cached copy. The
+/// second analysis kind is built lazily on first demand, coalesced by a
+/// per-artifact once-flag.
+///
+/// A 128-bit content hash keys the map, but a hit additionally compares
+/// the stored source bytes — on the (theoretical) collision the request is
+/// compiled privately and never cached, so a collision can degrade
+/// performance but never serve the wrong program.
+///
+/// Thread-safe throughout; metrics: served.cache_{hits,misses,evictions},
+/// served.cache_bytes, served.coalesced, served.inflight.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_SERVED_ARTIFACTCACHE_H
+#define RPCC_SERVED_ARTIFACTCACHE_H
+
+#include "driver/Compiler.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace rpcc {
+
+/// One program's cached prefix: the frontend artifact plus lazily built
+/// analyzed modules (index 0 = ModRef, 1 = PointsTo). Stages are immutable
+/// once built; consumers fork with Module::clone().
+struct ServedArtifact {
+  std::string Key;    ///< 32-hex content hash
+  std::string Source; ///< exact bytes, for collision rejection
+  FrontendArtifact FA;
+  std::once_flag AnalyzedOnce[2];
+  AnalyzedModule AM[2];
+  /// Bytes currently charged against the cache budget for this artifact.
+  std::atomic<size_t> Charged{0};
+};
+
+class ArtifactCache {
+public:
+  /// How one get() was satisfied; exactly one of Hit/Miss/Coalesced/Bypass
+  /// is set.
+  struct Outcome {
+    bool Hit = false;       ///< served from the LRU
+    bool Miss = false;      ///< this call built and published the artifact
+    bool Coalesced = false; ///< attached to another call's in-flight build
+    bool Bypass = false;    ///< hash collision; compiled privately, uncached
+  };
+
+  explicit ArtifactCache(size_t BudgetBytes);
+
+  ArtifactCache(const ArtifactCache &) = delete;
+  ArtifactCache &operator=(const ArtifactCache &) = delete;
+
+  /// Returns the artifact for \p Source with analysis \p Kind built,
+  /// coalescing concurrent builds and recording how the request was
+  /// satisfied. Never returns null; a source that fails to compile yields
+  /// an artifact with FA.Ok / AM[kind].Ok false (cached like any other —
+  /// a deterministic compile error is worth remembering too).
+  std::shared_ptr<ServedArtifact> get(const std::string &Source,
+                                      AnalysisKind Kind, Outcome &Out);
+
+  /// Looks up an already-cached artifact by its content key (GET /remarks);
+  /// null when absent. Counts neither a hit nor a miss and does not touch
+  /// LRU order.
+  std::shared_ptr<ServedArtifact> peek(const std::string &Key);
+
+  /// The 32-hex content key get() would use for \p Source.
+  static std::string contentKey(const std::string &Source);
+
+  // Accounting, for tests and /healthz.
+  size_t bytes() const;
+  size_t entries() const;
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return Evictions.load(std::memory_order_relaxed);
+  }
+  uint64_t coalesced() const {
+    return Coalesced.load(std::memory_order_relaxed);
+  }
+  uint64_t bypasses() const { return Bypass.load(std::memory_order_relaxed); }
+
+private:
+  struct Inflight {
+    std::mutex Mu;
+    std::condition_variable Cv;
+    bool Done = false;
+    std::shared_ptr<ServedArtifact> Art;
+  };
+  struct MapEntry {
+    std::shared_ptr<ServedArtifact> Art;
+    std::list<std::string>::iterator LruIt;
+  };
+
+  /// Builds AM[Kind] if absent (coalesced per artifact) and charges the
+  /// growth against the budget.
+  void ensureAnalyzed(const std::shared_ptr<ServedArtifact> &Art,
+                      AnalysisKind Kind);
+
+  /// Caller holds Mu. Evicts LRU-tail entries until the budget holds,
+  /// never evicting \p Keep (the entry just touched).
+  void evictOverBudgetLocked(const std::string &Keep);
+
+  /// Caller holds Mu. Folds BytesUsed / Map.size() / Building.size() into
+  /// the served.cache_* gauges as deltas against the last published values
+  /// (the registry's Gauge handle is delta-only).
+  void publishGaugesLocked();
+
+  const size_t Budget;
+  mutable std::mutex Mu;
+  size_t BytesUsed = 0;
+  int64_t PubBytes = 0, PubEntries = 0, PubInflight = 0;
+  std::list<std::string> Lru; ///< front = most recently used
+  std::unordered_map<std::string, MapEntry> Map;
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> Building;
+
+  std::atomic<uint64_t> Hits{0}, Misses{0}, Evictions{0}, Coalesced{0},
+      Bypass{0};
+};
+
+} // namespace rpcc
+
+#endif // RPCC_SERVED_ARTIFACTCACHE_H

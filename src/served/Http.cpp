@@ -1,0 +1,283 @@
+//===- served/Http.cpp - Minimal HTTP/1.1 request/response ----------------===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "served/Http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace rpcc {
+
+namespace {
+
+bool iequals(const std::string &A, const std::string &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I)
+    if (std::tolower(static_cast<unsigned char>(A[I])) !=
+        std::tolower(static_cast<unsigned char>(B[I])))
+      return false;
+  return true;
+}
+
+/// Token charset from RFC 9110; methods and header names must stay inside
+/// it so log lines and error messages cannot carry raw controls.
+bool isTokenChar(char C) {
+  if (std::isalnum(static_cast<unsigned char>(C)))
+    return true;
+  switch (C) {
+  case '!':
+  case '#':
+  case '$':
+  case '%':
+  case '&':
+  case '\'':
+  case '*':
+  case '+':
+  case '-':
+  case '.':
+  case '^':
+  case '_':
+  case '`':
+  case '|':
+  case '~':
+    return true;
+  default:
+    return false;
+  }
+}
+
+void trimOws(std::string &S) {
+  size_t B = S.find_first_not_of(" \t");
+  size_t E = S.find_last_not_of(" \t");
+  S = B == std::string::npos ? std::string() : S.substr(B, E - B + 1);
+}
+
+/// Strict non-negative decimal parse for Content-Length; rejects signs,
+/// blanks, and anything that would overflow a size_t.
+bool parseContentLength(const std::string &S, size_t &Out) {
+  if (S.empty())
+    return false;
+  size_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    size_t D = static_cast<size_t>(C - '0');
+    if (V > (SIZE_MAX - D) / 10)
+      return false;
+    V = V * 10 + D;
+  }
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+std::string HttpRequest::header(const std::string &Name) const {
+  for (const auto &H : Headers)
+    if (iequals(H.first, Name))
+      return H.second;
+  return std::string();
+}
+
+std::string HttpRequest::queryParam(const std::string &Key) const {
+  size_t Pos = 0;
+  while (Pos <= Query.size()) {
+    size_t Amp = Query.find('&', Pos);
+    if (Amp == std::string::npos)
+      Amp = Query.size();
+    size_t Eq = Query.find('=', Pos);
+    if (Eq != std::string::npos && Eq < Amp &&
+        Query.compare(Pos, Eq - Pos, Key) == 0)
+      return Query.substr(Eq + 1, Amp - Eq - 1);
+    Pos = Amp + 1;
+  }
+  return std::string();
+}
+
+HttpParser::State HttpParser::failWith(int Status, const char *Reason) {
+  St = State::Error;
+  ErrStatus = Status;
+  ErrReason = Reason;
+  return St;
+}
+
+HttpParser::State HttpParser::feed(const char *Data, size_t N) {
+  Buf.append(Data, N);
+  if (St != State::NeedMore)
+    return St; // pipelined bytes wait for reset()
+  return advance();
+}
+
+HttpParser::State HttpParser::reset() {
+  if (St != State::Complete)
+    return St;
+  Req = HttpRequest();
+  HaveHeader = false;
+  HeaderEnd = 0;
+  BodyNeed = 0;
+  St = State::NeedMore;
+  return advance();
+}
+
+HttpParser::State HttpParser::advance() {
+  if (!HaveHeader) {
+    // Find the end of the header block without rescanning from zero on
+    // every feed: the terminator cannot start more than 3 bytes before the
+    // old cursor.
+    size_t From = HeaderEnd > 3 ? HeaderEnd - 3 : 0;
+    size_t End = Buf.find("\r\n\r\n", From);
+    if (End == std::string::npos) {
+      HeaderEnd = Buf.size();
+      if (Buf.size() > Limits.MaxHeaderBytes)
+        return failWith(431, "header block too large");
+      // A request line that never terminates is caught before the whole
+      // header cap, with the more specific status.
+      size_t LineEnd = Buf.find("\r\n");
+      if (LineEnd == std::string::npos && Buf.size() > Limits.MaxRequestLine)
+        return failWith(400, "request line too long");
+      return St;
+    }
+
+    // --- request line ---
+    size_t LineEnd = Buf.find("\r\n");
+    if (LineEnd > Limits.MaxRequestLine)
+      return failWith(400, "request line too long");
+    std::string Line = Buf.substr(0, LineEnd);
+    size_t Sp1 = Line.find(' ');
+    size_t Sp2 = Sp1 == std::string::npos ? std::string::npos
+                                          : Line.find(' ', Sp1 + 1);
+    if (Sp1 == std::string::npos || Sp2 == std::string::npos ||
+        Line.find(' ', Sp2 + 1) != std::string::npos)
+      return failWith(400, "malformed request line");
+    Req.Method = Line.substr(0, Sp1);
+    Req.Target = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+    std::string Version = Line.substr(Sp2 + 1);
+    if (Req.Method.empty() ||
+        !std::all_of(Req.Method.begin(), Req.Method.end(), isTokenChar))
+      return failWith(400, "malformed method");
+    if (Req.Target.empty() || Req.Target[0] != '/')
+      return failWith(400, "malformed request target");
+    for (char C : Req.Target)
+      if (static_cast<unsigned char>(C) <= 0x20 ||
+          static_cast<unsigned char>(C) == 0x7F)
+        return failWith(400, "malformed request target");
+    bool Http10;
+    if (Version == "HTTP/1.1")
+      Http10 = false;
+    else if (Version == "HTTP/1.0")
+      Http10 = true;
+    else
+      return failWith(505, "unsupported HTTP version");
+    size_t Q = Req.Target.find('?');
+    Req.Path = Req.Target.substr(0, Q);
+    Req.Query = Q == std::string::npos ? std::string()
+                                       : Req.Target.substr(Q + 1);
+
+    // --- header fields ---
+    size_t Pos = LineEnd + 2;
+    while (Pos < End + 2) {
+      size_t Eol = Buf.find("\r\n", Pos);
+      std::string H = Buf.substr(Pos, Eol - Pos);
+      Pos = Eol + 2;
+      if (H.empty())
+        break;
+      if (H[0] == ' ' || H[0] == '\t')
+        return failWith(400, "obsolete header folding");
+      size_t Colon = H.find(':');
+      if (Colon == std::string::npos || Colon == 0)
+        return failWith(400, "malformed header field");
+      std::string Name = H.substr(0, Colon);
+      if (!std::all_of(Name.begin(), Name.end(), isTokenChar))
+        return failWith(400, "malformed header name");
+      std::string Value = H.substr(Colon + 1);
+      for (char C : Value)
+        if (static_cast<unsigned char>(C) < 0x20 && C != '\t')
+          return failWith(400, "control character in header value");
+      trimOws(Value);
+      Req.Headers.emplace_back(std::move(Name), std::move(Value));
+    }
+
+    // --- framing ---
+    if (!Req.header("Transfer-Encoding").empty())
+      return failWith(501, "Transfer-Encoding is not supported");
+    std::string CL = Req.header("Content-Length");
+    size_t BodyLen = 0;
+    if (!CL.empty()) {
+      if (!parseContentLength(CL, BodyLen))
+        return failWith(400, "malformed Content-Length");
+    } else if (Req.Method == "POST" || Req.Method == "PUT") {
+      return failWith(411, "Content-Length required");
+    }
+    if (BodyLen > Limits.MaxBodyBytes)
+      return failWith(413, "body exceeds limit");
+
+    std::string Conn = Req.header("Connection");
+    if (iequals(Conn, "close"))
+      Req.KeepAlive = false;
+    else if (Http10)
+      Req.KeepAlive = iequals(Conn, "keep-alive");
+
+    Buf.erase(0, End + 4);
+    HaveHeader = true;
+    BodyNeed = BodyLen;
+    HeaderEnd = 0;
+  }
+
+  if (Buf.size() < BodyNeed)
+    return St; // NeedMore
+  Req.Body = Buf.substr(0, BodyNeed);
+  Buf.erase(0, BodyNeed);
+  St = State::Complete;
+  return St;
+}
+
+const char *httpReason(int Status) {
+  switch (Status) {
+  case 200:
+    return "OK";
+  case 400:
+    return "Bad Request";
+  case 404:
+    return "Not Found";
+  case 405:
+    return "Method Not Allowed";
+  case 408:
+    return "Request Timeout";
+  case 411:
+    return "Length Required";
+  case 413:
+    return "Content Too Large";
+  case 422:
+    return "Unprocessable Content";
+  case 431:
+    return "Request Header Fields Too Large";
+  case 501:
+    return "Not Implemented";
+  case 503:
+    return "Service Unavailable";
+  case 505:
+    return "HTTP Version Not Supported";
+  default:
+    return "Error";
+  }
+}
+
+std::string httpResponse(int Status, const std::string &ContentType,
+                         const std::string &Body, bool KeepAlive) {
+  std::string R = "HTTP/1.1 " + std::to_string(Status) + " " +
+                  httpReason(Status) + "\r\n";
+  if (!ContentType.empty())
+    R += "Content-Type: " + ContentType + "\r\n";
+  R += "Content-Length: " + std::to_string(Body.size()) + "\r\n";
+  R += KeepAlive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  R += "\r\n";
+  R += Body;
+  return R;
+}
+
+} // namespace rpcc

@@ -1,0 +1,127 @@
+//===- served/Http.h - Minimal HTTP/1.1 request/response --------*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Just enough HTTP/1.1 for the rpserved daemon: an incremental request
+/// parser hardened against hostile bytes (oversized lines, huge bodies,
+/// raw controls, truncation), and a response serializer. The parser is a
+/// push state machine — feed() it whatever the socket produced, ask
+/// state() afterwards — so the event loop never blocks on a slow client,
+/// and a request split across any number of reads parses identically to
+/// one arriving whole. Pipelined requests are first-class: bytes past the
+/// end of one request stay buffered and seed the next parse after reset().
+///
+/// Everything outside the supported envelope maps to a definite status
+/// code rather than undefined behavior: bad request line / headers -> 400,
+/// absurd header block -> 431, body past the limit -> 413, non-1.x
+/// version -> 505, missing Content-Length on a bodied method -> 411.
+/// Transfer-Encoding is deliberately unsupported (501): every rpcc client
+/// sends sized bodies, and chunk parsing is the classic smuggling surface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_SERVED_HTTP_H
+#define RPCC_SERVED_HTTP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rpcc {
+
+struct HttpLimits {
+  /// Cap on the request line (method + target + version).
+  size_t MaxRequestLine = 8 << 10;
+  /// Cap on the whole header block.
+  size_t MaxHeaderBytes = 32 << 10;
+  /// Cap on the declared body size; beyond it the request is rejected with
+  /// 413 before any body byte is buffered.
+  size_t MaxBodyBytes = 4 << 20;
+};
+
+struct HttpRequest {
+  std::string Method;  ///< "GET", "POST", ...
+  std::string Target;  ///< raw request target, e.g. "/remarks?key=ab12"
+  std::string Path;    ///< target up to '?'
+  std::string Query;   ///< target past '?', "" when absent
+  std::vector<std::pair<std::string, std::string>> Headers;
+  std::string Body;
+  /// False when the client asked for "Connection: close" (or spoke 1.0
+  /// without keep-alive); the server closes after the response.
+  bool KeepAlive = true;
+
+  /// Case-insensitive header lookup; returns "" when absent.
+  std::string header(const std::string &Name) const;
+
+  /// Value of one "key=value" query parameter; "" when absent.
+  std::string queryParam(const std::string &Key) const;
+};
+
+class HttpParser {
+public:
+  enum class State : uint8_t {
+    NeedMore, ///< incomplete request; feed more bytes
+    Complete, ///< request() is valid; reset() to parse the next one
+    Error,    ///< protocol violation; errorStatus()/errorReason() describe it
+  };
+
+  explicit HttpParser(HttpLimits Limits = {}) : Limits(Limits) {}
+
+  /// Appends \p N bytes and advances the state machine as far as they
+  /// allow. No-op in Complete/Error states (bytes still buffer, for
+  /// pipelining after reset()).
+  State feed(const char *Data, size_t N);
+
+  State state() const { return St; }
+  const HttpRequest &request() const { return Req; }
+
+  /// HTTP status (400/411/413/431/501/505) and reason for State::Error.
+  int errorStatus() const { return ErrStatus; }
+  const std::string &errorReason() const { return ErrReason; }
+
+  /// Forgets the completed request and re-parses any buffered pipelined
+  /// bytes (which may immediately complete the next request — check
+  /// state() after every reset).
+  State reset();
+
+  /// True when no byte of a next request has arrived — the idle-timeout
+  /// distinction between a quiet keep-alive connection and a slow-loris
+  /// drip-feeding a partial request. The HaveHeader check matters: once
+  /// the header block is consumed the buffer is empty while body bytes are
+  /// still owed, and that connection is mid-request, not idle.
+  bool idle() const {
+    return St == State::NeedMore && Buf.empty() && !HaveHeader;
+  }
+
+private:
+  State advance();
+  State failWith(int Status, const char *Reason);
+
+  HttpLimits Limits;
+  State St = State::NeedMore;
+  HttpRequest Req;
+  std::string Buf;      ///< unconsumed bytes
+  size_t HeaderEnd = 0; ///< scan cursor for the header terminator
+  bool HaveHeader = false;
+  size_t BodyNeed = 0;
+  int ErrStatus = 0;
+  std::string ErrReason;
+};
+
+/// Serializes one response. Adds Content-Length and Connection headers;
+/// \p ContentType may be empty for bodyless responses.
+std::string httpResponse(int Status, const std::string &ContentType,
+                         const std::string &Body, bool KeepAlive);
+
+/// Standard reason phrase for the status codes rpserved emits.
+const char *httpReason(int Status);
+
+} // namespace rpcc
+
+#endif // RPCC_SERVED_HTTP_H

@@ -1,0 +1,210 @@
+//===- served/HttpClient.cpp - Blocking test/bench HTTP client ------------===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "served/HttpClient.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+using namespace rpcc;
+
+namespace {
+
+bool iequals(const std::string &A, const std::string &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I)
+    if (std::tolower(static_cast<unsigned char>(A[I])) !=
+        std::tolower(static_cast<unsigned char>(B[I])))
+      return false;
+  return true;
+}
+
+} // namespace
+
+std::string HttpClientResponse::header(const std::string &Name) const {
+  for (const auto &H : Headers)
+    if (iequals(H.first, Name))
+      return H.second;
+  return std::string();
+}
+
+void HttpClient::close() {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+  Buf.clear();
+}
+
+Status HttpClient::connect(const std::string &H, uint16_t P,
+                           double Timeout) {
+  close();
+  Host = H;
+  Port = P;
+  TimeoutSecs = Timeout;
+
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Status::error(std::string("socket: ") + std::strerror(errno));
+  timeval Tv;
+  Tv.tv_sec = static_cast<time_t>(Timeout);
+  Tv.tv_usec =
+      static_cast<suseconds_t>((Timeout - static_cast<double>(Tv.tv_sec)) *
+                               1e6);
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    close();
+    return Status::error("bad host address: " + Host);
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Status S = Status::error(std::string("connect: ") + std::strerror(errno));
+    close();
+    return S;
+  }
+  return Status::ok();
+}
+
+Status HttpClient::sendAll(const std::string &Bytes) {
+  size_t Sent = 0;
+  while (Sent < Bytes.size()) {
+    ssize_t N = ::send(Fd, Bytes.data() + Sent, Bytes.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N <= 0)
+      return Status::error(std::string("send: ") + std::strerror(errno));
+    Sent += static_cast<size_t>(N);
+  }
+  return Status::ok();
+}
+
+Status HttpClient::readResponse(HttpClientResponse &Out) {
+  Out = HttpClientResponse();
+  // Read until the header terminator.
+  size_t End;
+  while ((End = Buf.find("\r\n\r\n")) == std::string::npos) {
+    char Tmp[16384];
+    ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+    if (N <= 0)
+      return Status::error(N == 0 ? "connection closed before response"
+                                  : std::string("recv: ") +
+                                        std::strerror(errno));
+    Buf.append(Tmp, static_cast<size_t>(N));
+    if (Buf.size() > (64u << 20))
+      return Status::error("response headers unreasonably large");
+  }
+
+  std::string Head = Buf.substr(0, End);
+  Buf.erase(0, End + 4);
+
+  size_t LineEnd = Head.find("\r\n");
+  std::string StatusLine =
+      LineEnd == std::string::npos ? Head : Head.substr(0, LineEnd);
+  if (StatusLine.compare(0, 5, "HTTP/") != 0)
+    return Status::error("malformed status line: " + StatusLine);
+  size_t Sp = StatusLine.find(' ');
+  if (Sp == std::string::npos || Sp + 4 > StatusLine.size())
+    return Status::error("malformed status line: " + StatusLine);
+  Out.Status = std::atoi(StatusLine.c_str() + Sp + 1);
+
+  size_t Pos = LineEnd == std::string::npos ? Head.size() : LineEnd + 2;
+  while (Pos < Head.size()) {
+    size_t Eol = Head.find("\r\n", Pos);
+    if (Eol == std::string::npos)
+      Eol = Head.size();
+    std::string H = Head.substr(Pos, Eol - Pos);
+    Pos = Eol + 2;
+    size_t Colon = H.find(':');
+    if (Colon == std::string::npos)
+      continue;
+    std::string Name = H.substr(0, Colon);
+    std::string Value = H.substr(Colon + 1);
+    size_t B = Value.find_first_not_of(" \t");
+    Value = B == std::string::npos ? std::string() : Value.substr(B);
+    Out.Headers.emplace_back(std::move(Name), std::move(Value));
+  }
+
+  size_t BodyLen = 0;
+  std::string CL = Out.header("Content-Length");
+  if (!CL.empty())
+    BodyLen = static_cast<size_t>(std::strtoull(CL.c_str(), nullptr, 10));
+  while (Buf.size() < BodyLen) {
+    char Tmp[16384];
+    ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+    if (N <= 0)
+      return Status::error(N == 0 ? "connection closed mid-body"
+                                  : std::string("recv: ") +
+                                        std::strerror(errno));
+    Buf.append(Tmp, static_cast<size_t>(N));
+  }
+  Out.Body = Buf.substr(0, BodyLen);
+  Buf.erase(0, BodyLen);
+
+  Out.Closed = iequals(Out.header("Connection"), "close");
+  if (Out.Closed)
+    close();
+  return Status::ok();
+}
+
+Status HttpClient::request(const std::string &Method,
+                           const std::string &Target,
+                           const std::string &Body, HttpClientResponse &Out) {
+  std::string R = Method + " " + Target + " HTTP/1.1\r\n";
+  R += "Host: " + Host + "\r\n";
+  if (!Body.empty() || Method == "POST" || Method == "PUT") {
+    R += "Content-Type: application/json\r\n";
+    R += "Content-Length: " + std::to_string(Body.size()) + "\r\n";
+  }
+  R += "\r\n";
+  R += Body;
+
+  for (int Attempt = 0; Attempt != 2; ++Attempt) {
+    if (!connected()) {
+      Status S = connect(Host, Port, TimeoutSecs);
+      if (!S)
+        return S;
+    }
+    Status S = sendAll(R);
+    if (S)
+      S = readResponse(Out);
+    if (S)
+      return S;
+    // A stale keep-alive socket the server already closed fails on the
+    // first byte; one clean retry on a fresh connection is correct. A
+    // failure on the retry is real.
+    close();
+    if (Attempt == 1)
+      return S;
+  }
+  return Status::error("unreachable");
+}
+
+Status HttpClient::raw(const std::string &Bytes, HttpClientResponse &Out) {
+  if (!connected()) {
+    Status S = connect(Host, Port, TimeoutSecs);
+    if (!S)
+      return S;
+  }
+  Status S = sendAll(Bytes);
+  if (!S)
+    return S;
+  return readResponse(Out);
+}
+

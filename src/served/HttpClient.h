@@ -1,0 +1,80 @@
+//===- served/HttpClient.h - Blocking test/bench HTTP client ----*- C++ -*-===//
+//
+// Part of rpcc, a reproduction of "Register Promotion in C Programs"
+// (Cooper & Lu, PLDI 1997). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the serving stack, used by rploadgen, the served
+/// tests, and the throughput benchmark. Deliberately simple and blocking —
+/// load generators want one outstanding request per connection with
+/// accurate per-request latency, not an event loop of their own. Responses
+/// are framed by Content-Length (the only framing rpserved emits), and a
+/// connection whose server closed mid-response reports an error instead of
+/// a short body.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPCC_SERVED_HTTPCLIENT_H
+#define RPCC_SERVED_HTTPCLIENT_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rpcc {
+
+struct HttpClientResponse {
+  int Status = 0;
+  std::vector<std::pair<std::string, std::string>> Headers;
+  std::string Body;
+  /// Server answered Connection: close (the socket is no longer usable).
+  bool Closed = false;
+
+  std::string header(const std::string &Name) const;
+};
+
+/// One keep-alive connection to an rpserved instance.
+class HttpClient {
+public:
+  HttpClient() = default;
+  ~HttpClient() { close(); }
+
+  HttpClient(const HttpClient &) = delete;
+  HttpClient &operator=(const HttpClient &) = delete;
+
+  /// Connects (or reconnects) to host:port.
+  Status connect(const std::string &Host, uint16_t Port,
+                 double TimeoutSecs = 10.0);
+
+  /// Sends one request and reads the full response. \p Body may be empty
+  /// (GET). Reconnects once automatically if the server closed the
+  /// keep-alive socket between requests.
+  Status request(const std::string &Method, const std::string &Target,
+                 const std::string &Body, HttpClientResponse &Out);
+
+  /// Sends raw bytes verbatim (malformed-input tests) and reads whatever
+  /// response the server produces.
+  Status raw(const std::string &Bytes, HttpClientResponse &Out);
+
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+private:
+  Status sendAll(const std::string &Bytes);
+  Status readResponse(HttpClientResponse &Out);
+
+  int Fd = -1;
+  std::string Host;
+  uint16_t Port = 0;
+  double TimeoutSecs = 10.0;
+  std::string Buf; ///< bytes read past the previous response
+};
+
+} // namespace rpcc
+
+#endif // RPCC_SERVED_HTTPCLIENT_H

@@ -7,6 +7,7 @@
 #include <climits>
 #include <csignal>
 #include <cstring>
+#include <mutex>
 #include <new>
 #include <sstream>
 #include <thread>
@@ -142,25 +143,36 @@ SandboxResult runOnce(const SandboxJob &Job, const SandboxOptions &Opts) {
   SandboxResult R;
   double T0 = nowMs();
 
+  // pipe → fork → close(write end) must be atomic against other threads
+  // forking: a child forked by another thread inside this window inherits
+  // our pipe's write end and holds it for its whole lifetime, so our pipe
+  // never reaches EOF until that *unrelated* child exits — an instant
+  // crash then reads as a wall-deadline timeout. The read end we keep open
+  // is harmless to inherit (EOF needs only the write ends closed), so the
+  // lock covers just the three syscalls, not the job.
+  static std::mutex ForkMu;
   int Fds[2];
-  if (::pipe(Fds) != 0) {
-    R.Error = std::string("sandbox: pipe failed: ") + std::strerror(errno);
-    return R;
-  }
-
-  int Pid = Opts.ForkFn ? Opts.ForkFn() : ::fork();
-  if (Pid < 0) {
-    int E = errno;
-    ::close(Fds[0]);
+  int Pid;
+  {
+    std::lock_guard<std::mutex> Lock(ForkMu);
+    if (::pipe(Fds) != 0) {
+      R.Error = std::string("sandbox: pipe failed: ") + std::strerror(errno);
+      return R;
+    }
+    Pid = Opts.ForkFn ? Opts.ForkFn() : ::fork();
+    if (Pid < 0) {
+      int E = errno;
+      ::close(Fds[0]);
+      ::close(Fds[1]);
+      R.Error = std::string("sandbox: fork failed: ") + std::strerror(E);
+      return R;
+    }
+    if (Pid == 0) {
+      ::close(Fds[0]);
+      runChild(Fds[1], Job, Opts.Limits); // never returns
+    }
     ::close(Fds[1]);
-    R.Error = std::string("sandbox: fork failed: ") + std::strerror(E);
-    return R;
   }
-  if (Pid == 0) {
-    ::close(Fds[0]);
-    runChild(Fds[1], Job, Opts.Limits); // never returns
-  }
-  ::close(Fds[1]);
 
   // Watchdog + reader: drain the pipe until EOF or the wall deadline. The
   // child blocks in write once the pipe fills, so reading here is also what

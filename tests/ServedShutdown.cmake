@@ -1,0 +1,66 @@
+# Signal-path shutdown discipline for the rpserved binary, without traffic:
+# for each of SIGTERM and SIGINT, spawn the daemon, wait for its listening
+# line, deliver the signal, and require exit 0, the "drained, served"
+# farewell on stderr, and a valid flushed --metrics-json snapshot. This is
+# the ctest ISSUE 10 asks for: stop accepting, finish in-flight work under
+# the drain deadline (none here — the in-flight case is covered by
+# ServedTest.GracefulDrainFinishesInflightRequests and ServedSmoke), flush
+# metrics, exit 0.
+#
+# Invoked by ctest as:
+#   cmake -DRPSERVED_BIN=... -DRPJSON_BIN=... -DWORK_DIR=<scratch>
+#         -P ServedShutdown.cmake
+
+foreach(V RPSERVED_BIN RPJSON_BIN WORK_DIR)
+  if(NOT ${V})
+    message(FATAL_ERROR "${V} not set")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+foreach(SIG TERM INT)
+  set(OUT_FILE ${WORK_DIR}/out_${SIG}.txt)
+  set(ERR_FILE ${WORK_DIR}/err_${SIG}.txt)
+  set(METRICS_FILE ${WORK_DIR}/metrics_${SIG}.json)
+  # cmake -P cannot background a process, so the spawn/signal/wait dance
+  # runs in one shell: start the daemon, wait for the listening line (the
+  # flushed stdout marker that the loop is up), signal it, and report the
+  # daemon's own exit code.
+  execute_process(
+    COMMAND sh -c "\
+      '${RPSERVED_BIN}' --port=0 --drain=5 \
+          --metrics-json='${METRICS_FILE}' \
+          > '${OUT_FILE}' 2> '${ERR_FILE}' & \
+      PID=$!; \
+      N=0; \
+      while [ $N -lt 100 ]; do \
+        grep -q 'listening on' '${OUT_FILE}' 2>/dev/null && break; \
+        kill -0 $PID 2>/dev/null || break; \
+        sleep 0.1; N=$((N+1)); \
+      done; \
+      kill -${SIG} $PID; \
+      wait $PID"
+    RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    file(READ ${ERR_FILE} ERR)
+    message(FATAL_ERROR "SIG${SIG}: rpserved exited ${RC}, want 0:\n${ERR}")
+  endif()
+
+  file(READ ${ERR_FILE} ERR)
+  if(NOT ERR MATCHES "drained, served")
+    message(FATAL_ERROR "SIG${SIG}: no drain farewell on stderr:\n${ERR}")
+  endif()
+
+  if(NOT EXISTS ${METRICS_FILE})
+    message(FATAL_ERROR "SIG${SIG}: --metrics-json was not flushed")
+  endif()
+  execute_process(COMMAND ${RPJSON_BIN} metrics ${METRICS_FILE}
+                  OUTPUT_VARIABLE JOUT ERROR_VARIABLE JERR
+                  RESULT_VARIABLE JRC)
+  if(NOT JRC EQUAL 0)
+    message(FATAL_ERROR
+            "SIG${SIG}: flushed metrics JSON invalid:\n${JOUT}\n${JERR}")
+  endif()
+endforeach()

@@ -1,0 +1,73 @@
+# End-to-end smoke for the serving stack over real processes and sockets:
+# rploadgen spawns the actual rpserved binary on an ephemeral port, drives
+# it with keep-alive HTTP traffic, SIGTERMs it, and requires a clean drain
+# (exit 0). Two corpora:
+#
+#   mixed    valid compiles, /run executions, and compile errors — every
+#            request must get a well-formed envelope
+#   hostile  /run with injected crash/hang/oom children — the daemon must
+#            classify every fault (jobs_outcome counters exactly match what
+#            was sent) and stay alive throughout
+#
+# The mixed leg also makes rpserved flush --metrics-json on exit and
+# validates the flushed file with rpjson.
+#
+# Invoked by ctest as:
+#   cmake -DRPSERVED_BIN=... -DRPLOADGEN_BIN=... -DRPJSON_BIN=...
+#         -DWORK_DIR=<scratch> -P ServedSmoke.cmake
+
+foreach(V RPSERVED_BIN RPLOADGEN_BIN RPJSON_BIN WORK_DIR)
+  if(NOT ${V})
+    message(FATAL_ERROR "${V} not set")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# --- mixed corpus: compiles, runs, and compile errors under load ---------
+
+execute_process(COMMAND ${RPLOADGEN_BIN} --server=${RPSERVED_BIN}
+                        --server-arg=--metrics-json=${WORK_DIR}/metrics.json
+                        --connections=4 --requests=12 --corpus=mixed
+                        --expect-outcomes
+                        --json=${WORK_DIR}/loadgen_mixed.json
+                OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "mixed loadgen run failed (${RC}):\n${OUT}\n${ERR}")
+endif()
+if(NOT "${OUT}${ERR}" MATCHES "drained cleanly on SIGTERM")
+  message(FATAL_ERROR "mixed run did not drain cleanly:\n${OUT}\n${ERR}")
+endif()
+
+if(NOT EXISTS ${WORK_DIR}/metrics.json)
+  message(FATAL_ERROR "rpserved did not flush --metrics-json on SIGTERM")
+endif()
+execute_process(COMMAND ${RPJSON_BIN} metrics ${WORK_DIR}/metrics.json
+                OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "flushed metrics JSON is invalid:\n${OUT}\n${ERR}")
+endif()
+
+# The daemon's counters must show served traffic.
+file(READ ${WORK_DIR}/metrics.json METRICS)
+if(NOT METRICS MATCHES "served.requests")
+  message(FATAL_ERROR "metrics snapshot has no served.requests counters")
+endif()
+
+# --- hostile corpus: crash/hang/oom children, exact classification -------
+
+execute_process(COMMAND ${RPLOADGEN_BIN} --server=${RPSERVED_BIN}
+                        --server-arg=--sandbox-wall=2
+                        --connections=4 --requests=6 --corpus=hostile
+                        --expect-outcomes
+                OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "hostile loadgen run failed (${RC}):\n${OUT}\n${ERR}")
+endif()
+if(NOT "${OUT}${ERR}" MATCHES "outcome counters match")
+  message(FATAL_ERROR "hostile outcome counters not verified:\n${OUT}\n${ERR}")
+endif()
+if(NOT "${OUT}${ERR}" MATCHES "drained cleanly on SIGTERM")
+  message(FATAL_ERROR "hostile run did not drain cleanly:\n${OUT}\n${ERR}")
+endif()

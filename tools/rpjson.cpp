@@ -31,6 +31,13 @@
 //                          --json, compile_throughput --json): engine/mode
 //                          discipline, per-program step agreement across
 //                          engines, jit geomean presence
+//   rpjson bench-served FILE
+//                          serving benchmark report (bench/served_throughput
+//                          --json): scenario discipline, per-row rate and
+//                          percentile sanity, headline speedup consistency
+//   rpjson served FILE     rpserved response envelopes, one JSON object per
+//                          line: status vocabulary, key format, cached
+//                          provenance, error presence on failures
 //
 // Exit codes: 0 valid, 1 invalid or unreadable input, 2 usage error.
 //
@@ -1099,12 +1106,197 @@ int checkBench(const std::string &Text) {
   return finish(C, "bench", Results ? Results->Items.size() : 0);
 }
 
+/// Validates the serving benchmark JSON (bench/served_throughput --json,
+/// committed as BENCH_served.json). Beyond per-row shape, the cross-row
+/// claims are checked: every (scenario, connections) row is unique, the
+/// headline connection count actually has warm and fork rows, the headline
+/// rates match those rows, and the speedup is their ratio — so the number
+/// the README quotes cannot drift from the data it summarizes.
+int checkBenchServed(const std::string &Text) {
+  JValue V;
+  if (int Rc = parseWholeFile(Text, "bench-served", V))
+    return Rc;
+  Checker C;
+  const JValue *F = nullptr;
+  if (C.need(V, "bench-served", "requests_per_conn", JValue::Number, &F) &&
+      F->Num < 1)
+    C.problem("bench-served", "requests_per_conn must be at least 1");
+  if (C.need(V, "bench-served", "workers", JValue::Number, &F) && F->Num < 1)
+    C.problem("bench-served", "workers must be at least 1");
+  static const std::vector<const char *> Scenarios = {"fork", "cold", "warm"};
+  const JValue *Results = nullptr;
+  std::map<std::string, double> RpsOf; ///< "scenario/conns" -> rps
+  if (C.need(V, "bench-served", "results", JValue::Array, &Results)) {
+    if (Results->Items.empty())
+      C.problem("bench-served", "results is empty");
+    for (size_t I = 0; I != Results->Items.size(); ++I) {
+      std::ostringstream WS;
+      WS << "bench-served results[" << I << "]";
+      const JValue &R = Results->Items[I];
+      if (R.K != JValue::Object) {
+        C.problem(WS.str(), "not an object");
+        continue;
+      }
+      const JValue *Scen = nullptr, *Conns = nullptr;
+      if (C.need(R, WS.str(), "scenario", JValue::String, &Scen))
+        C.oneOf(WS.str(), "scenario", Scen->Str, Scenarios);
+      if (C.need(R, WS.str(), "connections", JValue::Number, &Conns) &&
+          Conns->Num < 1)
+        C.problem(WS.str(), "connections must be at least 1");
+      if (C.need(R, WS.str(), "requests", JValue::Number, &F) && F->Num < 1)
+        C.problem(WS.str(), "requests must be at least 1");
+      if (C.need(R, WS.str(), "wall_ms", JValue::Number, &F) && F->Num < 0)
+        C.problem(WS.str(), "wall_ms is negative");
+      const JValue *Rps = nullptr;
+      if (C.need(R, WS.str(), "rps", JValue::Number, &Rps) && Rps->Num <= 0)
+        C.problem(WS.str(), "rps must be positive");
+      const JValue *P50 = nullptr, *P99 = nullptr;
+      if (C.need(R, WS.str(), "p50_us", JValue::Number, &P50) && P50->Num < 0)
+        C.problem(WS.str(), "p50_us is negative");
+      if (C.need(R, WS.str(), "p99_us", JValue::Number, &P99) && P50 &&
+          P99->Num < P50->Num)
+        C.problem(WS.str(), "p99_us below p50_us");
+      if (Scen && Conns && Rps) {
+        std::string Key =
+            Scen->Str + "/" + std::to_string(static_cast<long long>(Conns->Num));
+        if (!RpsOf.emplace(Key, Rps->Num).second)
+          C.problem(WS.str(), "duplicate (scenario, connections) row");
+      }
+    }
+  }
+  const JValue *Headline = nullptr, *WarmRps = nullptr, *ForkRps = nullptr;
+  const JValue *Speedup = nullptr;
+  C.need(V, "bench-served", "headline_connections", JValue::Number, &Headline);
+  C.need(V, "bench-served", "warm_rps", JValue::Number, &WarmRps);
+  C.need(V, "bench-served", "fork_rps", JValue::Number, &ForkRps);
+  C.need(V, "bench-served", "speedup_warm_vs_fork", JValue::Number, &Speedup);
+  auto closeEnough = [](double A, double B) {
+    double Mag = std::max(std::fabs(A), std::fabs(B));
+    return std::fabs(A - B) <= 0.01 * Mag + 1e-3;
+  };
+  if (Headline && WarmRps && ForkRps) {
+    std::string Suffix =
+        "/" + std::to_string(static_cast<long long>(Headline->Num));
+    auto Warm = RpsOf.find("warm" + Suffix);
+    auto Fork = RpsOf.find("fork" + Suffix);
+    if (Warm == RpsOf.end() || Fork == RpsOf.end())
+      C.problem("bench-served",
+                "no warm/fork rows at headline_connections");
+    else {
+      if (!closeEnough(Warm->second, WarmRps->Num))
+        C.problem("bench-served", "warm_rps does not match its row");
+      if (!closeEnough(Fork->second, ForkRps->Num))
+        C.problem("bench-served", "fork_rps does not match its row");
+    }
+    if (Speedup && ForkRps->Num > 0 &&
+        !closeEnough(Speedup->Num, WarmRps->Num / ForkRps->Num))
+      C.problem("bench-served",
+                "speedup_warm_vs_fork is not warm_rps / fork_rps");
+  }
+  return finish(C, "bench-served", Results ? Results->Items.size() : 0);
+}
+
+//===----------------------------------------------------------------------===//
+// rpserved response envelopes
+//===----------------------------------------------------------------------===//
+
+/// One rpserved JSON response envelope (any endpoint). Every envelope
+/// carries a status from the shared vocabulary; failure statuses carry an
+/// error; artifact provenance ("key", "cached") is format-checked when
+/// present. /run success bodies get their ops object checked, /suite
+/// success bodies their per-program cells.
+void checkServedObject(const JValue &O, const std::string &Where,
+                       Checker &C) {
+  static const std::vector<const char *> Statuses = {
+      "ok", "error", "trap", "timeout", "oom", "crash", "internal-error"};
+  static const std::vector<const char *> CachedKinds = {
+      "hit", "miss", "coalesced", "bypass", "fork"};
+  const JValue *St = nullptr;
+  if (C.need(O, Where, "status", JValue::String, &St))
+    C.oneOf(Where, "status", St->Str, Statuses);
+  if (St && St->Str != "ok") {
+    const JValue *Err = O.field("error");
+    if (!Err || Err->K != JValue::String)
+      C.problem(Where, "failure envelope without an 'error' string");
+  }
+  if (const JValue *Key = O.field("key")) {
+    bool Good = Key->K == JValue::String && Key->Str.size() == 32;
+    if (Good)
+      for (char Ch : Key->Str)
+        if (!((Ch >= '0' && Ch <= '9') || (Ch >= 'a' && Ch <= 'f')))
+          Good = false;
+    if (!Good)
+      C.problem(Where, "key is not 32 lowercase hex characters");
+  }
+  if (const JValue *Cached = O.field("cached")) {
+    if (Cached->K != JValue::String)
+      C.problem(Where, "key 'cached' has wrong type");
+    else
+      C.oneOf(Where, "cached", Cached->Str, CachedKinds);
+  }
+  for (const char *Num : {"wall_ms", "static_ops", "promoted_tags",
+                          "rewritten_ops", "exit_code"})
+    if (const JValue *N = O.field(Num))
+      if (N->K != JValue::Number)
+        C.problem(Where, std::string("key '") + Num + "' has wrong type");
+  if (const JValue *Ops = O.field("ops")) {
+    if (Ops->K != JValue::Object) {
+      C.problem(Where, "key 'ops' has wrong type");
+    } else {
+      C.need(*Ops, Where + " ops", "total", JValue::Number);
+      C.need(*Ops, Where + " ops", "loads", JValue::Number);
+      C.need(*Ops, Where + " ops", "stores", JValue::Number);
+    }
+  }
+  if (const JValue *Programs = O.field("programs")) {
+    if (Programs->K != JValue::Array) {
+      C.problem(Where, "key 'programs' has wrong type");
+      return;
+    }
+    for (size_t I = 0; I != Programs->Items.size(); ++I) {
+      std::ostringstream WS;
+      WS << Where << " programs[" << I << "]";
+      const JValue &P = Programs->Items[I];
+      if (P.K != JValue::Object) {
+        C.problem(WS.str(), "not an object");
+        continue;
+      }
+      C.need(P, WS.str(), "name", JValue::String);
+      const JValue *Cells = nullptr;
+      if (!C.need(P, WS.str(), "cells", JValue::Array, &Cells))
+        continue;
+      if (Cells->Items.size() != 4)
+        C.problem(WS.str(), "cells must have exactly 4 entries (2x2)");
+      for (size_t J = 0; J != Cells->Items.size(); ++J) {
+        std::ostringstream CS;
+        CS << WS.str() << " cells[" << J << "]";
+        const JValue &Cell = Cells->Items[J];
+        if (Cell.K != JValue::Object) {
+          C.problem(CS.str(), "not an object");
+          continue;
+        }
+        C.need(Cell, CS.str(), "cell", JValue::String);
+        const JValue *Ok = nullptr;
+        C.need(Cell, CS.str(), "ok", JValue::Bool, &Ok);
+        C.need(Cell, CS.str(), "child", JValue::String);
+        if (Ok && Ok->B) {
+          C.need(Cell, CS.str(), "total", JValue::Number);
+          C.need(Cell, CS.str(), "loads", JValue::Number);
+          C.need(Cell, CS.str(), "stores", JValue::Number);
+        } else if (Ok) {
+          C.need(Cell, CS.str(), "error", JValue::String);
+        }
+      }
+    }
+  }
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   if (argc != 3) {
     std::fputs("usage: rpjson remarks|profile|trace|timing|canon|metrics|"
-               "prom|metrics-canon|bench FILE\n",
+               "prom|metrics-canon|bench|bench-served|served FILE\n",
                stderr);
     return 2;
   }
@@ -1136,6 +1328,10 @@ int main(int argc, char **argv) {
     return checkProm(Text);
   if (std::strcmp(Cmd, "bench") == 0)
     return checkBench(Text);
+  if (std::strcmp(Cmd, "bench-served") == 0)
+    return checkBenchServed(Text);
+  if (std::strcmp(Cmd, "served") == 0)
+    return checkJsonLines(Text, "served", checkServedObject);
   std::fprintf(stderr, "rpjson: unknown command '%s'\n", Cmd);
   return 2;
 }
