@@ -167,7 +167,12 @@ void ArtifactCache::ensureAnalyzed(const std::shared_ptr<ServedArtifact> &Art,
     size_t Before = Art->Charged.exchange(Now, std::memory_order_relaxed);
     if (Now > Before) {
       std::lock_guard<std::mutex> L(Mu);
-      if (Map.count(Art->Key)) {
+      // Identity check, not just key presence: a collision-bypass artifact
+      // shares its key with a different resident entry, and its private
+      // growth must not be charged to (and never released from) the cache
+      // budget.
+      auto It = Map.find(Art->Key);
+      if (It != Map.end() && It->second.Art == Art) {
         BytesUsed += Now - Before;
         evictOverBudgetLocked(Art->Key);
       }
@@ -255,6 +260,38 @@ ArtifactCache::get(const std::string &Source, AnalysisKind Kind,
   auto Art = std::make_shared<ServedArtifact>();
   Art->Key = Key;
   Art->Source = Source;
+
+  // If anything below throws (e.g. std::bad_alloc on a hostile source),
+  // the Building slot must still be freed and Done published, or every
+  // coalesced waiter blocks on the Cv forever and the key is permanently
+  // wedged. The guard turns such an exception into an uncached failed
+  // artifact; the success path disarms it after publishing the real one.
+  struct BuildGuard {
+    ArtifactCache *C;
+    const std::string &Key;
+    std::shared_ptr<Inflight> Inf;
+    std::shared_ptr<ServedArtifact> Art;
+    bool Armed = true;
+    ~BuildGuard() {
+      if (!Armed)
+        return;
+      Art->FA.Ok = false;
+      if (Art->FA.Errors.empty())
+        Art->FA.Errors = "internal error: artifact build failed";
+      {
+        std::lock_guard<std::mutex> L(C->Mu);
+        C->Building.erase(Key);
+        C->publishGaugesLocked();
+      }
+      {
+        std::lock_guard<std::mutex> L(Inf->Mu);
+        Inf->Done = true;
+        Inf->Art = Art;
+      }
+      Inf->Cv.notify_all();
+    }
+  } Guard{this, Key, Inf, Art};
+
   uint64_t T0 = metricsNowUs();
   Art->FA = runFrontend(Source);
   ensureAnalyzed(Art, Kind);
@@ -266,11 +303,17 @@ ArtifactCache::get(const std::string &Source, AnalysisKind Kind,
     // The collision re-check under the lock is unnecessary: only this
     // thread owns the Building slot for Key, and hits never insert.
     Lru.push_front(Key);
-    Map[Key] = MapEntry{Art, Lru.begin()};
+    try {
+      Map[Key] = MapEntry{Art, Lru.begin()};
+    } catch (...) {
+      Lru.pop_front(); // keep the LRU list in sync with the map
+      throw;           // the guard publishes the failure
+    }
     BytesUsed += Art->Charged.load(std::memory_order_relaxed);
     Building.erase(Key);
     evictOverBudgetLocked(Key);
   }
+  Guard.Armed = false;
   {
     std::lock_guard<std::mutex> L(Inf->Mu);
     Inf->Done = true;

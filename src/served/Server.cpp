@@ -20,6 +20,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <vector>
 
 #include <arpa/inet.h>
@@ -357,9 +358,7 @@ void Server::dispatch(uint64_t Id, Conn &C) {
   bool KeepAlive = Req.KeepAlive;
 
   // Cheap, never-blocking endpoints answer inline on the loop thread.
-  if (Req.Path == "/metrics" || Req.Path == "/healthz" ||
-      Req.Path == "/remarks") {
-    std::string Body;
+  if (Req.Path == "/metrics" || Req.Path == "/healthz") {
     if (Req.Method != "GET") {
       SM.HttpErrors.inc();
       queueResponse(C, httpJson(405, jsonError("use GET"), KeepAlive),
@@ -367,23 +366,25 @@ void Server::dispatch(uint64_t Id, Conn &C) {
       return;
     }
     uint64_t T0 = metricsNowUs();
-    if (Req.Path == "/metrics")
-      Body = handleMetrics(Req);
-    else if (Req.Path == "/healthz")
-      Body = handleHealthz(Req);
-    else
-      Body = handleRemarks(Req);
+    std::string Body =
+        Req.Path == "/metrics" ? handleMetrics(Req) : handleHealthz(Req);
     SM.RequestUs.observe(metricsNowUs() - T0);
     Served.fetch_add(1, std::memory_order_relaxed);
     queueResponse(C, Body, !KeepAlive);
     return;
   }
 
-  if (Req.Path == "/compile" || Req.Path == "/run" || Req.Path == "/suite") {
-    if (Req.Method != "POST") {
+  // /remarks is a GET, but it runs the full optimization pipeline — it
+  // goes to the pool with the POST endpoints rather than stalling the
+  // loop thread for its duration.
+  if (Req.Path == "/compile" || Req.Path == "/run" || Req.Path == "/suite" ||
+      Req.Path == "/remarks") {
+    const char *Method = Req.Path == "/remarks" ? "GET" : "POST";
+    if (Req.Method != Method) {
       SM.HttpErrors.inc();
-      queueResponse(C, httpJson(405, jsonError("use POST"), KeepAlive),
-                    !KeepAlive);
+      queueResponse(
+          C, httpJson(405, jsonError(std::string("use ") + Method), KeepAlive),
+          !KeepAlive);
       return;
     }
     C.Busy = true;
@@ -393,12 +394,25 @@ void Server::dispatch(uint64_t Id, Conn &C) {
       ServedMetrics &M = servedMetrics();
       uint64_t T0 = metricsNowUs();
       std::string Response;
-      if (ReqCopy.Path == "/compile")
-        Response = handleCompile(ReqCopy);
-      else if (ReqCopy.Path == "/run")
-        Response = handleRun(ReqCopy);
-      else
-        Response = handleSuite(ReqCopy);
+      // A handler that throws (e.g. std::bad_alloc on a hostile source)
+      // must not unwind through the pool thread; answer 500 and keep the
+      // daemon serving.
+      try {
+        if (ReqCopy.Path == "/compile")
+          Response = handleCompile(ReqCopy);
+        else if (ReqCopy.Path == "/run")
+          Response = handleRun(ReqCopy);
+        else if (ReqCopy.Path == "/suite")
+          Response = handleSuite(ReqCopy);
+        else
+          Response = handleRemarks(ReqCopy);
+      } catch (const std::exception &E) {
+        Response = httpJson(
+            500, jsonError(std::string("internal error: ") + E.what()),
+            KeepAlive);
+      } catch (...) {
+        Response = httpJson(500, jsonError("internal error"), KeepAlive);
+      }
       M.RequestUs.observe(metricsNowUs() - T0);
       Served.fetch_add(1, std::memory_order_relaxed);
       complete(Id, std::move(Response), !KeepAlive);
@@ -476,6 +490,13 @@ std::string Server::handleRun(const HttpRequest &Req) {
   double MaxSteps = V.numOr("max_steps", 0, JErr);
   if (!JErr.empty())
     return httpJson(400, jsonError(JErr), Req.KeepAlive);
+  // The >= 0 comparison also rejects NaN; 2^63 is exact in a double, and
+  // anything at or above it would make the uint64_t cast undefined.
+  if (!(MaxSteps >= 0) || MaxSteps != std::floor(MaxSteps) ||
+      MaxSteps >= 9223372036854775808.0)
+    return httpJson(
+        400, jsonError("field 'max_steps' must be an integer in [0, 2^63)"),
+        Req.KeepAlive);
 
   InterpOptions IO;
   IO.Engine = Opts.Engine;
@@ -618,6 +639,15 @@ std::string Server::handleSuite(const HttpRequest &Req) {
   std::vector<std::pair<std::string, std::string>> Sources;
   for (const JsonValue &P : Programs->Items) {
     if (P.K == JsonValue::String) {
+      // A name indexes the on-disk benchmark corpus, so only the exact
+      // known set may reach the filesystem — anything else (notably '../'
+      // traversal out of RPCC_PROGRAMS_DIR) is rejected before a path is
+      // ever formed.
+      const std::vector<std::string> &Known = benchProgramNames();
+      if (std::find(Known.begin(), Known.end(), P.Str) == Known.end())
+        return httpJson(400,
+                        jsonError("unknown benchmark program: " + P.Str),
+                        Req.KeepAlive);
       std::string Src;
       Status S = loadBenchProgram(P.Str, Src);
       if (!S)

@@ -217,6 +217,11 @@ private:
           else
             return setErr("bad hex digit in \\u escape");
         }
+        // An embedded NUL silently truncates any downstream C-string use
+        // (filesystem paths most dangerously); no rpcc client needs one,
+        // so it is a parse error rather than a decoded byte.
+        if (V == 0)
+          return setErr("\\u0000 is not supported");
         // BMP code point as UTF-8; surrogate pairs are not needed by any
         // rpcc client and decode as their raw halves.
         if (V < 0x80) {

@@ -25,6 +25,7 @@
 #include "interp/Interpreter.h"
 #include "obs/Metrics.h"
 #include "support/Json.h"
+#include "support/JsonParse.h"
 
 #include "gtest/gtest.h"
 
@@ -140,6 +141,18 @@ TEST(HttpParserTest, PipelinedRequestsSurviveReset) {
   EXPECT_EQ(P.request().Path, "/metrics");
   EXPECT_EQ(P.reset(), HttpParser::State::NeedMore);
   EXPECT_TRUE(P.idle());
+}
+
+TEST(JsonParseTest, RejectsEscapedNul) {
+  // A \u0000 escape would decode to an embedded NUL that truncates C-string
+  // uses downstream (the /suite path-traversal probe); it is a parse error.
+  JsonValue V;
+  std::string Err;
+  EXPECT_FALSE(parseJson("{\"name\":\"a\\u0000b\"}", V, Err));
+  EXPECT_NE(Err.find("u0000"), std::string::npos);
+  // Other BMP escapes still decode.
+  ASSERT_TRUE(parseJson("{\"name\":\"a\\u0041b\"}", V, Err)) << Err;
+  EXPECT_EQ(V.strOr("name", "", Err), "aAb");
 }
 
 //===----------------------------------------------------------------------===//
@@ -329,6 +342,67 @@ TEST_F(ServedSocketTest, RoutingErrors) {
   EXPECT_EQ(R.Status, 405);
   ASSERT_TRUE(C.request("POST", "/compile", "{not json", R));
   EXPECT_EQ(R.Status, 400);
+}
+
+TEST_F(ServedSocketTest, SuiteRejectsNamesOutsideTheBenchmarkCorpus) {
+  startServer(ServerOptions());
+  HttpClient C;
+  ASSERT_TRUE(connectClient(C));
+  HttpClientResponse R;
+  // A name is only ever an index into benchProgramNames(); a traversal
+  // probe must be rejected before any filesystem path is formed.
+  ASSERT_TRUE(C.request("POST", "/suite",
+                        "{\"programs\":[\"../../../../etc/passwd\"]}", R));
+  EXPECT_EQ(R.Status, 400);
+  ASSERT_TRUE(C.request("POST", "/suite", "{\"programs\":[\"nonesuch\"]}", R));
+  EXPECT_EQ(R.Status, 400);
+  // An embedded-NUL probe dies earlier, at the JSON layer.
+  ASSERT_TRUE(
+      C.request("POST", "/suite", "{\"programs\":[\"clean\\u0000\"]}", R));
+  EXPECT_EQ(R.Status, 400);
+}
+
+TEST_F(ServedSocketTest, RunRejectsOutOfRangeMaxSteps) {
+  startServer(ServerOptions());
+  HttpClient C;
+  ASSERT_TRUE(connectClient(C));
+  HttpClientResponse R;
+  std::string Prog = "int main() { return 0; }\n";
+  // Values the uint64_t cast cannot represent are a 400, not UB.
+  ASSERT_TRUE(C.request("POST", "/run",
+                        "{\"source\":\"" + jsonEscape(Prog) +
+                            "\",\"max_steps\":1e300}",
+                        R));
+  EXPECT_EQ(R.Status, 400);
+  ASSERT_TRUE(C.request("POST", "/run",
+                        "{\"source\":\"" + jsonEscape(Prog) +
+                            "\",\"max_steps\":1.5}",
+                        R));
+  EXPECT_EQ(R.Status, 400);
+  ASSERT_TRUE(C.request("POST", "/run",
+                        "{\"source\":\"" + jsonEscape(Prog) +
+                            "\",\"max_steps\":100000}",
+                        R));
+  EXPECT_EQ(R.Status, 200);
+  EXPECT_NE(R.Body.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST_F(ServedSocketTest, RemarksForCachedKeyAndMethodDiscipline) {
+  startServer(ServerOptions());
+  HttpClient C;
+  ASSERT_TRUE(connectClient(C));
+  HttpClientResponse R;
+  ASSERT_TRUE(C.request("POST", "/compile", compileBody(kProgram), R));
+  ASSERT_EQ(R.Status, 200);
+  // /remarks now runs on the worker pool; it must still serve the cached
+  // artifact and keep 404/405 discipline.
+  std::string Key = ArtifactCache::contentKey(kProgram);
+  ASSERT_TRUE(C.request("GET", "/remarks?key=" + Key, "", R));
+  EXPECT_EQ(R.Status, 200);
+  ASSERT_TRUE(C.request("POST", "/remarks?key=" + Key, "{}", R));
+  EXPECT_EQ(R.Status, 405);
+  ASSERT_TRUE(C.request("GET", "/remarks?key=deadbeef", "", R));
+  EXPECT_EQ(R.Status, 404);
 }
 
 TEST_F(ServedSocketTest, MalformedRequestLineGets400AndClose) {
